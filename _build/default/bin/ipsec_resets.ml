@@ -1,0 +1,414 @@
+(* ipsec-resets: command-line driver for the reproduction.
+
+   Subcommands:
+     run      one harness scenario (protocol, faults, attack from flags)
+     explore  bounded model checking of the APN protocol models
+     bidir    the Section 6 prolonged-reset scheme
+     kmin     the Section 4 SAVE-interval table
+     trace    run a small scenario and dump the event trace *)
+
+open Cmdliner
+open Resets_core
+open Resets_sim
+open Resets_workload
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsers *)
+
+let time_of_ms f = Time.of_ns (Int64.of_float (f *. 1e6))
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let horizon_arg =
+  Arg.(
+    value
+    & opt float 100.
+    & info [ "horizon" ] ~docv:"MS" ~doc:"Simulation horizon in milliseconds.")
+
+let protocol_arg =
+  let doc =
+    "Recovery discipline: $(b,save-fetch) (the paper), $(b,volatile) (Section 2 \
+     baseline), $(b,reestablish) (IETF baseline), or $(b,robust) (save-fetch with \
+     the bounded-slide receiver)."
+  in
+  Arg.(
+    value
+    & opt (enum
+             [
+               ("save-fetch", `Save_fetch);
+               ("volatile", `Volatile);
+               ("reestablish", `Reestablish);
+               ("robust", `Robust);
+             ])
+        `Save_fetch
+    & info [ "protocol" ] ~docv:"P" ~doc)
+
+let k_arg name default =
+  Arg.(
+    value
+    & opt int default
+    & info [ name ] ~docv:"K" ~doc:(Printf.sprintf "SAVE interval %s." name))
+
+let gap_arg =
+  Arg.(
+    value
+    & opt float 4.
+    & info [ "gap" ] ~docv:"US" ~doc:"Inter-message gap in microseconds.")
+
+let save_latency_arg =
+  Arg.(
+    value
+    & opt float 100.
+    & info [ "save-latency" ] ~docv:"US" ~doc:"SAVE (disk write) latency in microseconds.")
+
+let reset_arg =
+  Arg.(
+    value
+    & opt_all (pair ~sep:'@' (enum [ ("p", Reset_schedule.Sender); ("q", Reset_schedule.Receiver) ]) float) []
+    & info [ "reset" ] ~docv:"HOST@MS"
+        ~doc:"Reset host $(b,p) or $(b,q) at the given millisecond (repeatable).")
+
+let downtime_arg =
+  Arg.(
+    value
+    & opt float 1.
+    & info [ "downtime" ] ~docv:"MS" ~doc:"How long a reset host stays down (ms).")
+
+let attack_arg =
+  let doc =
+    "Adversary plan: $(b,none), $(b,replay-all@MS), $(b,wedge@MS) or \
+     $(b,flood@MS)."
+  in
+  Arg.(value & opt string "none" & info [ "attack" ] ~docv:"PLAN" ~doc)
+
+let stop_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "stop-sender-at" ] ~docv:"MS" ~doc:"Stop fresh traffic at this time (ms).")
+
+let parse_attack gap s =
+  match String.split_on_char '@' s with
+  | [ "none" ] -> Ok Harness.No_attack
+  | [ "replay-all"; ms ] -> (
+    match float_of_string_opt ms with
+    | Some f -> Ok (Harness.Replay_all_at (time_of_ms f))
+    | None -> Error (`Msg "bad time in attack plan"))
+  | [ "wedge"; ms ] -> (
+    match float_of_string_opt ms with
+    | Some f -> Ok (Harness.Wedge_at (time_of_ms f))
+    | None -> Error (`Msg "bad time in attack plan"))
+  | [ "flood"; ms ] -> (
+    match float_of_string_opt ms with
+    | Some f -> Ok (Harness.Flood { start = time_of_ms f; gap })
+    | None -> Error (`Msg "bad time in attack plan"))
+  | [] | [ _ ] | _ :: _ ->
+    Error (`Msg (Printf.sprintf "unknown attack plan %S" s))
+
+let build_protocol variant ~kp ~kq ~save_latency =
+  match variant with
+  | `Save_fetch -> Protocol.save_fetch ~kp ~kq ~save_latency ()
+  | `Robust -> Protocol.save_fetch ~robust_receiver:true ~kp ~kq ~save_latency ()
+  | `Volatile -> Protocol.Volatile
+  | `Reestablish -> Protocol.Reestablish { cost = Resets_ipsec.Ike.default_cost }
+
+(* ------------------------------------------------------------------ *)
+(* run *)
+
+let run_cmd =
+  let go seed horizon variant kp kq gap save_latency resets downtime attack stop =
+    let message_gap = Time.of_ns (Int64.of_float (gap *. 1e3)) in
+    match parse_attack message_gap attack with
+    | Error (`Msg m) ->
+      prerr_endline m;
+      1
+    | Ok attack ->
+      let scenario =
+        {
+          Harness.default with
+          seed;
+          horizon = time_of_ms horizon;
+          protocol =
+            build_protocol variant ~kp ~kq
+              ~save_latency:(Time.of_ns (Int64.of_float (save_latency *. 1e3)));
+          message_gap;
+          resets =
+            List.concat_map
+              (fun (target, ms) ->
+                Reset_schedule.single ~at:(time_of_ms ms) ~downtime:(time_of_ms downtime)
+                  target)
+              resets
+            |> List.sort (fun a b ->
+                   Time.compare a.Reset_schedule.at b.Reset_schedule.at);
+          attack;
+          sender_stop_at = Option.map time_of_ms stop;
+        }
+      in
+      let result = Harness.run scenario in
+      Format.printf "%a@." Harness.pp_result result;
+      let verdict = Convergence.check ~scenario result in
+      Format.printf "verdict: %a@." Convergence.pp verdict;
+      if Convergence.holds verdict then 0 else 2
+  in
+  let term =
+    Term.(
+      const go $ seed_arg $ horizon_arg $ protocol_arg $ k_arg "kp" 25 $ k_arg "kq" 25
+      $ gap_arg $ save_latency_arg $ reset_arg $ downtime_arg $ attack_arg $ stop_arg)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one simulated scenario and print metrics + verdict.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* explore *)
+
+let explore_cmd =
+  let go model s_max p_resets q_resets k w capacity adversary max_states print_model =
+    let bounds = Resets_apn.Models.{ s_max; p_resets; q_resets } in
+    if print_model then begin
+      let open Resets_apn in
+      let processes =
+        match model with
+        | `Original ->
+          [ Models_ast.original_p ~bounds (); Models_ast.original_q ~bounds ~w () ]
+        | `Augmented | `Robust ->
+          [
+            Models_ast.augmented_p ~bounds ~kp:k ();
+            Models_ast.augmented_q ~bounds ~kq:k ~w ();
+          ]
+      in
+      List.iter (fun p -> Format.printf "%s@.@." (Pp.process_to_string p)) processes
+    end;
+    let system, invariant =
+      match model with
+      | `Original ->
+        ( Resets_apn.Models.original_system ~bounds ~capacity ~adversary ~w (),
+          Resets_apn.Models.discrimination_holds )
+      | `Augmented ->
+        ( Resets_apn.Models.augmented_system ~bounds ~capacity ~adversary ~kp:k ~kq:k ~w (),
+          Resets_apn.Models.all_section5_invariants )
+      | `Robust ->
+        ( Resets_apn.Models.augmented_system ~bounds ~capacity ~adversary ~robust:true
+            ~kp:k ~kq:k ~w (),
+          Resets_apn.Models.all_section5_invariants )
+    in
+    let outcome = Resets_apn.Explorer.explore ~max_states ~invariant system in
+    Format.printf "%a@." Resets_apn.Explorer.pp_outcome outcome;
+    match outcome with
+    | Resets_apn.Explorer.Violation _ -> 2
+    | Resets_apn.Explorer.Exhausted _ | Resets_apn.Explorer.Limit_reached _ -> 0
+  in
+  let model =
+    Arg.(
+      value
+      & opt (enum [ ("original", `Original); ("augmented", `Augmented); ("robust", `Robust) ])
+          `Augmented
+      & info [ "model" ] ~docv:"M" ~doc:"Which protocol model to explore.")
+  in
+  let s_max = Arg.(value & opt int 4 & info [ "s-max" ] ~doc:"Max sequence number.") in
+  let p_resets = Arg.(value & opt int 1 & info [ "p-resets" ] ~doc:"Reset budget for p.") in
+  let q_resets = Arg.(value & opt int 1 & info [ "q-resets" ] ~doc:"Reset budget for q.") in
+  let k = Arg.(value & opt int 1 & info [ "k" ] ~doc:"Kp = Kq.") in
+  let w = Arg.(value & opt int 2 & info [ "w" ] ~doc:"Window width.") in
+  let capacity = Arg.(value & opt int 2 & info [ "capacity" ] ~doc:"Channel bound.") in
+  let adversary =
+    Arg.(value & flag & info [ "adversary" ] ~doc:"Enable the replay adversary.")
+  in
+  let max_states =
+    Arg.(value & opt int 500_000 & info [ "max-states" ] ~doc:"State budget.")
+  in
+  let print_model =
+    Arg.(
+      value & flag
+      & info [ "print-model" ]
+          ~doc:"Print the processes in the paper's Abstract Protocol Notation first.")
+  in
+  let term =
+    Term.(
+      const go $ model $ s_max $ p_resets $ q_resets $ k $ w $ capacity $ adversary
+      $ max_states $ print_model)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Exhaustively model-check a protocol model within bounds.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* bidir *)
+
+let bidir_cmd =
+  let go reset_at downtime horizon replay =
+    let outcome =
+      Bidirectional.run ~replay_announce:replay ~reset_at:(time_of_ms reset_at)
+        ~downtime:(time_of_ms downtime) ~horizon:(time_of_ms horizon)
+        Bidirectional.default_config
+    in
+    Format.printf "death detected: %s@."
+      (match outcome.Bidirectional.death_detected_at with
+      | Some t -> Format.asprintf "%a" Time.pp t
+      | None -> "never");
+    Format.printf "sa survived: %b@." outcome.Bidirectional.sa_survived;
+    Format.printf "announce accepted: %b@." outcome.Bidirectional.announce_accepted;
+    Format.printf "replayed announce rejected: %b@."
+      outcome.Bidirectional.replayed_announce_rejected;
+    (match outcome.Bidirectional.convergence_time with
+    | Some t -> Format.printf "convergence: %a@." Time.pp t
+    | None -> Format.printf "convergence: never@.");
+    0
+  in
+  let reset_at =
+    Arg.(value & opt float 10. & info [ "reset-at" ] ~docv:"MS" ~doc:"Reset time.")
+  in
+  let downtime =
+    Arg.(value & opt float 20. & info [ "outage" ] ~docv:"MS" ~doc:"Outage length.")
+  in
+  let horizon =
+    Arg.(value & opt float 120. & info [ "horizon" ] ~docv:"MS" ~doc:"Horizon.")
+  in
+  let replay =
+    Arg.(value & flag & info [ "replay-announce" ] ~doc:"Replay the announcement.")
+  in
+  Cmd.v
+    (Cmd.info "bidir" ~doc:"Run the Section 6 prolonged-reset recovery scheme.")
+    Term.(const go $ reset_at $ downtime $ horizon $ replay)
+
+(* ------------------------------------------------------------------ *)
+(* multi-sa *)
+
+let multi_sa_cmd =
+  let go n discipline =
+    let cfg = { Multi_sa.default_config with Multi_sa.sa_count = n } in
+    let o = Multi_sa.run discipline cfg in
+    Format.printf "ready: %a%s@." Time.pp o.Multi_sa.ready_time
+      (if o.Multi_sa.recovered_fully then "" else " (horizon-capped)");
+    Format.printf "delivering again: %a@." Time.pp o.Multi_sa.recovery_time;
+    Format.printf "messages lost: %d@." o.Multi_sa.messages_lost;
+    Format.printf "disk writes: %d@." o.Multi_sa.disk_writes;
+    Format.printf "handshake messages: %d@." o.Multi_sa.handshake_messages;
+    Format.printf "duplicates: %d@." o.Multi_sa.duplicate_deliveries;
+    if o.Multi_sa.duplicate_deliveries = 0 then 0 else 2
+  in
+  let n =
+    Arg.(value & opt int 16 & info [ "sas" ] ~docv:"N" ~doc:"Number of SAs on the host.")
+  in
+  let discipline =
+    Arg.(
+      value
+      & opt (enum
+               [
+                 ("per-sa", `Save_fetch_per_sa);
+                 ("coalesced", `Save_fetch_coalesced);
+                 ("reestablish", `Reestablish);
+               ])
+          `Save_fetch_per_sa
+      & info [ "discipline" ] ~docv:"D" ~doc:"Recovery discipline.")
+  in
+  Cmd.v
+    (Cmd.info "multi-sa" ~doc:"Recover a host with many SAs after a reset.")
+    Term.(const go $ n $ discipline)
+
+(* ------------------------------------------------------------------ *)
+(* rekey *)
+
+let rekey_cmd =
+  let go strategy lifetime margin =
+    let cfg =
+      {
+        Rekey.default_config with
+        Rekey.lifetime_packets = lifetime;
+        rekey_margin = margin;
+      }
+    in
+    let o = Rekey.run strategy cfg in
+    Format.printf "rekeys completed: %d@." o.Rekey.rekeys_completed;
+    Format.printf "delivered: %d (lost %d)@." o.Rekey.delivered o.Rekey.messages_lost;
+    Format.printf "max delivery gap: %a@." Time.pp o.Rekey.max_delivery_gap;
+    Format.printf "persisted counters live: %d@." o.Rekey.persisted_keys_live;
+    if o.Rekey.duplicate_deliveries = 0 then 0 else 2
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt (enum [ ("mbb", Rekey.Make_before_break); ("hard", Rekey.Hard_expiry) ])
+          Rekey.Make_before_break
+      & info [ "strategy" ] ~docv:"S" ~doc:"$(b,mbb) or $(b,hard).")
+  in
+  let lifetime =
+    Arg.(value & opt int 1000 & info [ "lifetime" ] ~docv:"N" ~doc:"SA lifetime in packets.")
+  in
+  let margin =
+    Arg.(value & opt int 200 & info [ "margin" ] ~docv:"N" ~doc:"Rekey margin in packets.")
+  in
+  Cmd.v
+    (Cmd.info "rekey" ~doc:"Planned SA rollover: make-before-break vs hard expiry.")
+    Term.(const go $ strategy $ lifetime $ margin)
+
+(* ------------------------------------------------------------------ *)
+(* kmin *)
+
+let kmin_cmd =
+  let go () =
+    Format.printf "minimum safe SAVE interval K = ceil(T_save / t_msg):@.@.";
+    Format.printf "%12s" "T \\ gap";
+    let gaps = [ 1; 2; 4; 8; 16; 40 ] in
+    List.iter (fun g -> Format.printf "%8dus" g) gaps;
+    Format.printf "@.";
+    List.iter
+      (fun t_us ->
+        Format.printf "%10dus" t_us;
+        List.iter
+          (fun g ->
+            let k =
+              Analysis.k_min ~save_latency:(Time.of_us t_us) ~message_gap:(Time.of_us g)
+            in
+            Format.printf "%10d" k)
+          gaps;
+        Format.printf "@.")
+      [ 25; 50; 100; 200; 500; 1000 ];
+    Format.printf
+      "@.the paper's operating point (100us write, 4us/message) gives K >= 25.@.";
+    0
+  in
+  Cmd.v
+    (Cmd.info "kmin" ~doc:"Print the Section 4 SAVE-interval table.")
+    Term.(const go $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* trace *)
+
+let trace_cmd =
+  let go horizon =
+    let scenario =
+      {
+        Harness.default with
+        horizon = time_of_ms horizon;
+        message_gap = Time.of_us 400;
+        protocol = Protocol.save_fetch ~kp:5 ~kq:5 ();
+        resets = Reset_schedule.single ~at:(time_of_ms (horizon /. 2.)) Receiver;
+        keep_trace = true;
+      }
+    in
+    let result = Harness.run scenario in
+    (match result.Harness.trace with
+    | Some trace -> Trace.dump Format.std_formatter trace
+    | None -> ());
+    Format.printf "---@.%a@." Harness.pp_result result;
+    0
+  in
+  let horizon =
+    Arg.(value & opt float 10. & info [ "horizon" ] ~docv:"MS" ~doc:"Horizon (ms).")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run a small scenario and dump the full event trace.")
+    Term.(const go $ horizon)
+
+let () =
+  let doc = "Convergence of IPsec in presence of resets — reproduction driver" in
+  let info = Cmd.info "ipsec-resets" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            run_cmd; explore_cmd; bidir_cmd; multi_sa_cmd; rekey_cmd; kmin_cmd; trace_cmd;
+          ]))

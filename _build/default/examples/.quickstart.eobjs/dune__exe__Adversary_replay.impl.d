@@ -1,0 +1,1 @@
+examples/adversary_replay.ml: Format Harness List Metrics Protocol Reset_schedule Resets_core Resets_sim Resets_workload Time

@@ -1,0 +1,1 @@
+examples/adversary_replay.mli:

@@ -1,0 +1,1 @@
+examples/bidirectional_recovery.ml: Bidirectional Format Resets_core Resets_sim Time

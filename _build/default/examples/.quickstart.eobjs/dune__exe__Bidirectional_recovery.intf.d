@@ -1,0 +1,1 @@
+examples/bidirectional_recovery.mli:

@@ -1,0 +1,1 @@
+examples/model_walkthrough.ml: Explorer Format List Models Models_ast Pp Resets_apn String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Esp Format Harness List Metrics Protocol Replay_window Resets_core Resets_ipsec Resets_sim Resets_workload Sa String Time

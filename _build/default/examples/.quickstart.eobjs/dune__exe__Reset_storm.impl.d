@@ -1,0 +1,1 @@
+examples/reset_storm.ml: Convergence File_store Filename Format Harness Journal List Metrics Protocol Reset_schedule Resets_core Resets_persist Resets_sim Resets_workload Time

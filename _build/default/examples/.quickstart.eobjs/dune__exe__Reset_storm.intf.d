@@ -1,0 +1,1 @@
+examples/reset_storm.mli:

@@ -1,0 +1,1 @@
+examples/vpn_tunnel.ml: Format Harness Metrics Protocol Reset_schedule Resets_core Resets_ipsec Resets_sim Resets_util Resets_workload Time

@@ -1,0 +1,1 @@
+examples/vpn_tunnel.mli:

@@ -1,0 +1,73 @@
+(* VPN tunnel scenario: the paper's motivating deployment.
+
+   A gateway pair carries steady application traffic over an ESP
+   tunnel. Mid-stream, the receiving gateway reboots (power blip,
+   kernel panic) and comes back a moment later. We run the identical
+   workload and fault under the three recovery disciplines the paper
+   discusses and print what each one costs:
+
+   - Volatile (Section 2/3): the receiver forgets its window — every
+     old message becomes replayable; we unleash the adversary to show
+     it.
+   - Delete & re-establish (the IETF recommendation Section 3 quotes):
+     safe, but the tunnel is down for the whole renegotiation and
+     everything sent meanwhile dies.
+   - SAVE/FETCH (Section 4): safe, and the outage is just the reboot
+     plus one disk write.
+
+   Run with: dune exec examples/vpn_tunnel.exe *)
+
+open Resets_core
+open Resets_sim
+open Resets_workload
+
+let reset_at = Time.of_ms 20
+let downtime = Time.of_ms 2
+
+let scenario protocol =
+  {
+    Harness.default with
+    protocol;
+    horizon = Time.of_ms 80;
+    message_gap = Time.of_us 8;
+    traffic = Harness.Poisson;
+    link_latency = Time.of_us 50;
+    link_jitter = Time.of_us 5;
+    resets = Reset_schedule.single ~at:reset_at ~downtime Receiver;
+    (* The adversary floods replays as soon as the receiver is back. *)
+    attack =
+      Harness.Flood
+        { start = Time.add reset_at downtime; gap = Time.of_us 8 };
+  }
+
+let row name protocol =
+  let r = Harness.run (scenario protocol) in
+  let m = r.Harness.metrics in
+  let disruption =
+    match Resets_util.Stats.Sample.count m.Metrics.disruption_times with
+    | 0 -> "n/a"
+    | _ ->
+      Format.asprintf "%.2f ms"
+        (1e3 *. Resets_util.Stats.Sample.mean m.Metrics.disruption_times)
+  in
+  Format.printf "%-24s %9d %9d %11d %11d %12s@." name m.Metrics.sent
+    m.Metrics.delivered m.Metrics.replay_accepted m.Metrics.dropped_host_down
+    disruption
+
+let () =
+  Format.printf "VPN tunnel, receiver reboot at %a (down %a), replay flood after@.@."
+    Time.pp reset_at Time.pp downtime;
+  Format.printf "%-24s %9s %9s %11s %11s %12s@." "recovery" "sent" "delivered"
+    "replays-in" "lost-down" "disruption";
+  row "volatile (Sec. 2)" Protocol.Volatile;
+  row "re-establish (IETF)"
+    (Protocol.Reestablish { cost = Resets_ipsec.Ike.default_cost });
+  row "SAVE/FETCH (Sec. 4)" (Protocol.save_fetch ~kp:25 ~kq:25 ());
+  Format.printf
+    "@.'replays-in' counts adversary-injected packets the receiver delivered.@.\
+     With traffic flowing continuously, even the volatile receiver's window@.\
+     races ahead of the replay flood — the unbounded-acceptance attack needs@.\
+     a quiet sender (see examples/adversary_replay.exe). What distinguishes@.\
+     the disciplines here is cost: re-establishment turns a %a reboot@.\
+     into a ~30 ms outage; SAVE/FETCH adds one disk write.@."
+    Time.pp downtime

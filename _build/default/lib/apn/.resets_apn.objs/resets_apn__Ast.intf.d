@@ -1,0 +1,1 @@
+lib/apn/ast.mli: Value

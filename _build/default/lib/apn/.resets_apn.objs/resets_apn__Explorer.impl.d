@@ -1,0 +1,1 @@
+lib/apn/explorer.ml: Format Hashtbl List Printf Queue String System

@@ -1,0 +1,1 @@
+lib/apn/explorer.mli: Format System

@@ -1,0 +1,1 @@
+lib/apn/interp.ml: Array Ast List Message Printf Process State String Value

@@ -1,0 +1,1 @@
+lib/apn/interp.mli: Ast Process State Value

@@ -1,0 +1,1 @@
+lib/apn/message.ml: Format Int List String

@@ -1,0 +1,1 @@
+lib/apn/message.mli: Format

@@ -1,0 +1,1 @@
+lib/apn/models.ml: Array Message Option Process State System Value

@@ -1,0 +1,1 @@
+lib/apn/models.mli: Process System

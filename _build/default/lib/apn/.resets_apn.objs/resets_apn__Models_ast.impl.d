@@ -1,0 +1,1 @@
+lib/apn/models_ast.ml: Array Ast Interp Models Option System Value

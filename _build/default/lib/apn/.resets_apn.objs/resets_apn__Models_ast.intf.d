@@ -1,0 +1,1 @@
+lib/apn/models_ast.mli: Ast Models System

@@ -1,0 +1,1 @@
+lib/apn/network.ml: Hashtbl List Message

@@ -1,0 +1,1 @@
+lib/apn/network.mli: Message

@@ -1,0 +1,1 @@
+lib/apn/pp.ml: Array Ast Format List Printf String Value

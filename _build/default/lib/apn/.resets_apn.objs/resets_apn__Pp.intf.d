@@ -1,0 +1,1 @@
+lib/apn/pp.mli: Ast Format

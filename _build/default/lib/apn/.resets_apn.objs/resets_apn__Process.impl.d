@@ -1,0 +1,1 @@
+lib/apn/process.ml: Message State Value

@@ -1,0 +1,1 @@
+lib/apn/process.mli: Message State Value

@@ -1,0 +1,1 @@
+lib/apn/state.ml: Format Hashtbl List String Value

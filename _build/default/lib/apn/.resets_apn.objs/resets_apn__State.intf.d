@@ -1,0 +1,1 @@
+lib/apn/state.mli: Format Value

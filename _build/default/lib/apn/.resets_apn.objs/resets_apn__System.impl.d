@@ -1,0 +1,1 @@
+lib/apn/system.ml: Array Format Hashtbl List Message Network Printf Prng Process Resets_util State Value

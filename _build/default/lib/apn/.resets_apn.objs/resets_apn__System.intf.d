@@ -1,0 +1,1 @@
+lib/apn/system.mli: Format Message Network Process Resets_util State

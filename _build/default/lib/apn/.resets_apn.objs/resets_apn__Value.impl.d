@@ -1,0 +1,1 @@
+lib/apn/value.ml: Array Bool Format Int Stdlib String

@@ -1,0 +1,1 @@
+lib/apn/value.mli: Format

@@ -1,0 +1,81 @@
+type outcome =
+  | Exhausted of { states : int }
+  | Limit_reached of { states : int }
+  | Violation of { states : int; trace : string list }
+
+let pp_outcome ppf = function
+  | Exhausted { states } -> Format.fprintf ppf "exhausted (%d states, invariant holds)" states
+  | Limit_reached { states } ->
+    Format.fprintf ppf "limit reached (%d states, invariant holds so far)" states
+  | Violation { states; trace } ->
+    Format.fprintf ppf "VIOLATION after %d states; trace: %s" states
+      (String.concat " ; " trace)
+
+module Table = Hashtbl.Make (struct
+  type t = System.snapshot
+
+  let equal = System.snapshot_equal
+  let hash = System.snapshot_hash
+end)
+
+let explore ?(max_states = 200_000) ~invariant system =
+  let initial = System.snapshot system in
+  (* parent pointers for trace reconstruction *)
+  let visited : (System.snapshot option * string) Table.t = Table.create 4096 in
+  Table.replace visited initial (None, "<init>");
+  let frontier = Queue.create () in
+  Queue.add initial frontier;
+  let states = ref 1 in
+  let rec trace_of snap acc =
+    match Table.find_opt visited snap with
+    | None | Some (None, _) -> acc
+    | Some (Some parent, label) -> trace_of parent (label :: acc)
+  in
+  let check snap =
+    System.restore system snap;
+    invariant system
+  in
+  let result = ref None in
+  if not (check initial) then result := Some (Violation { states = !states; trace = [] });
+  while !result = None && not (Queue.is_empty frontier) do
+    let snap = Queue.pop frontier in
+    System.restore system snap;
+    let steps = System.enabled_steps system in
+    List.iter
+      (fun step ->
+        if !result = None then begin
+          System.restore system snap;
+          System.execute system step;
+          let next = System.snapshot system in
+          if not (Table.mem visited next) then begin
+            Table.replace visited next (Some snap, System.step_label step);
+            incr states;
+            if not (invariant system) then
+              result := Some (Violation { states = !states; trace = trace_of next [] })
+            else if !states >= max_states then result := Some (Limit_reached { states = !states })
+            else Queue.add next frontier
+          end
+        end)
+      steps
+  done;
+  System.restore system initial;
+  match !result with
+  | Some outcome -> outcome
+  | None -> Exhausted { states = !states }
+
+let replay system trace =
+  let rec step n = function
+    | [] -> Ok ()
+    | label :: rest -> (
+      match
+        List.find_opt
+          (fun s -> String.equal (System.step_label s) label)
+          (System.enabled_steps system)
+      with
+      | Some s ->
+        System.execute system s;
+        step (n + 1) rest
+      | None ->
+        Error (Printf.sprintf "step %d: %S is not enabled here" n label))
+  in
+  step 1 trace

@@ -1,0 +1,146 @@
+exception Eval_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Eval_error m)) fmt
+
+let lookup ~consts st name =
+  match List.assoc_opt name consts with
+  | Some c -> Value.Int c
+  | None -> (
+    match State.get st name with
+    | v -> v
+    | exception Not_found -> err "unknown name %s" name)
+
+let rec eval ~consts st (e : Ast.expr) : Value.t =
+  let int_of e =
+    match eval ~consts st e with
+    | Value.Int i -> i
+    | Value.Bool _ | Value.Bool_array _ -> err "expected an integer"
+  in
+  let bool_of e =
+    match eval ~consts st e with
+    | Value.Bool b -> b
+    | Value.Int _ | Value.Bool_array _ -> err "expected a boolean"
+  in
+  match e with
+  | Ast.Int_lit i -> Value.Int i
+  | Ast.Bool_lit b -> Value.Bool b
+  | Ast.Var name -> lookup ~consts st name
+  | Ast.Index (name, idx) -> begin
+    match lookup ~consts st name with
+    | Value.Bool_array a ->
+      let i = int_of idx in
+      if i < 1 || i > Array.length a then err "%s[%d] out of range" name i;
+      Value.Bool a.(i - 1)
+    | Value.Int _ | Value.Bool _ -> err "%s is not an array" name
+  end
+  | Ast.Add (a, b) -> Value.Int (int_of a + int_of b)
+  | Ast.Sub (a, b) -> Value.Int (int_of a - int_of b)
+  | Ast.Mul (a, b) -> Value.Int (int_of a * int_of b)
+  | Ast.Le (a, b) -> Value.Bool (int_of a <= int_of b)
+  | Ast.Lt (a, b) -> Value.Bool (int_of a < int_of b)
+  | Ast.Ge (a, b) -> Value.Bool (int_of a >= int_of b)
+  | Ast.Gt (a, b) -> Value.Bool (int_of a > int_of b)
+  | Ast.Eq (a, b) -> Value.Bool (Value.equal (eval ~consts st a) (eval ~consts st b))
+  | Ast.And (a, b) -> Value.Bool (bool_of a && bool_of b)
+  | Ast.Or (a, b) -> Value.Bool (bool_of a || bool_of b)
+  | Ast.Not a -> Value.Bool (not (bool_of a))
+
+let eval_int ~consts st e =
+  match eval ~consts st e with
+  | Value.Int i -> i
+  | Value.Bool _ | Value.Bool_array _ -> err "expected an integer"
+
+let eval_bool ~consts st e =
+  match eval ~consts st e with
+  | Value.Bool b -> b
+  | Value.Int _ | Value.Bool_array _ -> err "expected a boolean"
+
+(* A resolved assignment target: where to store, computed before any
+   store happens (simultaneous-assignment semantics). *)
+type slot =
+  | Slot_var of string
+  | Slot_index of string * int
+
+let resolve_lhs ~consts st (l : Ast.lhs) =
+  match l with
+  | Ast.Lvar name -> Slot_var name
+  | Ast.Lindex (name, idx) -> Slot_index (name, eval_int ~consts st idx)
+
+let store st slot value =
+  match slot with
+  | Slot_var name -> State.set st name value
+  | Slot_index (name, i) -> (
+    match State.get st name with
+    | Value.Bool_array a ->
+      if i < 1 || i > Array.length a then err "%s[%d] out of range" name i;
+      (match value with
+      | Value.Bool b -> a.(i - 1) <- b
+      | Value.Int _ | Value.Bool_array _ -> err "%s[%d] := non-boolean" name i)
+    | Value.Int _ | Value.Bool _ -> err "%s is not an array" name
+    | exception Not_found -> err "unknown name %s" name)
+
+let rec exec ~consts ~(ctx : Process.context) st (s : Ast.stmt) =
+  match s with
+  | Ast.Skip -> ()
+  | Ast.Assign (lhss, rhss) ->
+    if List.length lhss <> List.length rhss then
+      err "assignment arity mismatch (%d targets, %d values)" (List.length lhss)
+        (List.length rhss);
+    let slots = List.map (resolve_lhs ~consts st) lhss in
+    let values = List.map (eval ~consts st) rhss in
+    List.iter2 (store st) slots values
+  | Ast.Send { dst; tag; args } ->
+    let args = List.map (eval_int ~consts st) args in
+    ctx.Process.send ~dst { Message.tag; args }
+  | Ast.If branches ->
+    let rec pick = function
+      | [] -> err "if-fi with no true guard"
+      | (guard, body) :: rest ->
+        if eval_bool ~consts st guard then exec ~consts ~ctx st body else pick rest
+    in
+    pick branches
+  | Ast.Do branches ->
+    let rec loop () =
+      match
+        List.find_opt (fun (guard, _) -> eval_bool ~consts st guard) branches
+      with
+      | Some (_, body) ->
+        exec ~consts ~ctx st body;
+        loop ()
+      | None -> ()
+    in
+    loop ()
+  | Ast.Seq stmts -> List.iter (exec ~consts ~ctx st) stmts
+
+let compile (p : Ast.process) : Process.t =
+  let consts = p.Ast.consts in
+  let init =
+    List.map (fun d -> (d.Ast.var_name, d.Ast.init)) p.Ast.vars
+  in
+  let compile_action = function
+    | Ast.Guarded { label; guard; body } ->
+      Process.Internal
+        {
+          label;
+          guard = (fun st -> eval_bool ~consts st guard);
+          effect = (fun ctx st -> exec ~consts ~ctx st body);
+        }
+    | Ast.Receive { label; from_; tag; binder; guard; body } ->
+      Process.Receive
+        {
+          label;
+          from_;
+          guard = (fun st -> eval_bool ~consts st guard);
+          effect =
+            (fun ctx st msg ->
+              if not (String.equal msg.Message.tag tag) then
+                err "process %s expected %s(...), got %s" p.Ast.name tag
+                  msg.Message.tag;
+              match msg.Message.args with
+              | [ arg ] ->
+                State.set_int st binder arg;
+                exec ~consts ~ctx st body
+              | [] | _ :: _ -> err "process %s: malformed %s message" p.Ast.name tag);
+        }
+  in
+  Process.make ~name:p.Ast.name ~init ~actions:(List.map compile_action p.Ast.actions)

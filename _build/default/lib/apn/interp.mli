@@ -1,0 +1,31 @@
+(** Interpreter for {!Ast} processes.
+
+    Evaluation raises [Eval_error] on type errors, unknown names or
+    out-of-range array indexing (the paper's [wdw\[1..w\]] arrays are
+    1-based, as is this interpreter's indexing). *)
+
+exception Eval_error of string
+
+val eval :
+  consts:(string * int) list -> State.t -> Ast.expr -> Value.t
+
+val eval_int : consts:(string * int) list -> State.t -> Ast.expr -> int
+val eval_bool : consts:(string * int) list -> State.t -> Ast.expr -> bool
+
+val exec :
+  consts:(string * int) list ->
+  ctx:Process.context ->
+  State.t ->
+  Ast.stmt ->
+  unit
+(** Execute a statement. Simultaneous assignments evaluate every
+    right-hand side (and every index on the left) before any store, as
+    the notation requires. [If] with no true guard blocks — the paper
+    never writes such a selection, so this interpreter treats it as an
+    error. *)
+
+val compile : Ast.process -> Process.t
+(** Turn a declarative process into an executable one. The resulting
+    process behaves identically to a hand-coded {!Process.t}; the test
+    suite checks this by exploring both and comparing reachable state
+    spaces. *)

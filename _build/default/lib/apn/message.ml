@@ -1,0 +1,16 @@
+type t = {
+  tag : string;
+  args : int list;
+}
+
+let msg s = { tag = "msg"; args = [ s ] }
+
+let equal a b = String.equal a.tag b.tag && List.equal Int.equal a.args b.args
+
+let compare a b =
+  match String.compare a.tag b.tag with
+  | 0 -> List.compare Int.compare a.args b.args
+  | c -> c
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%s)" t.tag (String.concat "," (List.map string_of_int t.args))

@@ -1,0 +1,14 @@
+(** APN channel messages: a tag plus integer arguments; the paper's
+    protocols only ever send [msg(s)]. *)
+
+type t = {
+  tag : string;
+  args : int list;
+}
+
+val msg : int -> t
+(** [msg s] is the paper's [msg(s)]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,353 @@
+open Value
+
+type bounds = {
+  s_max : int;
+  p_resets : int;
+  q_resets : int;
+}
+
+let default_bounds = { s_max = 6; p_resets = 1; q_resets = 1 }
+
+(* ------------------------------------------------------------------ *)
+(* Shared receive logic: the three-case window update of process q,
+   including the paper's two shift loops. Returns true when the message
+   is delivered. *)
+
+let window_receive st s =
+  let wdw = State.get_bool_array st "wdw" in
+  let w = Array.length wdw in
+  let r = State.get_int st "r" in
+  if s <= r - w then false
+  else if s <= r then begin
+    let i = s - r + w in
+    if wdw.(i - 1) then false
+    else begin
+      wdw.(i - 1) <- true;
+      true
+    end
+  end
+  else begin
+    let i = ref (s - r + 1) and j = ref 1 in
+    State.set_int st "r" s;
+    while !i <= w do
+      wdw.(!j - 1) <- wdw.(!i - 1);
+      incr i;
+      incr j
+    done;
+    while !j < w do
+      wdw.(!j - 1) <- false;
+      incr j
+    done;
+    wdw.(w - 1) <- true;
+    true
+  end
+
+let mark_delivered ~s_max st s =
+  if s >= 1 && s <= s_max then begin
+    let dlv = State.get_bool_array st "dlv" in
+    if dlv.(s - 1) then State.set_bool st "dup" true else dlv.(s - 1) <- true
+  end;
+  if s > State.get_int st "max_dlv" then State.set_int st "max_dlv" s
+
+let fill_true a = Array.fill a 0 (Array.length a) true
+
+(* ------------------------------------------------------------------ *)
+(* Section 2: the original protocol. Reset actions model Section 3's
+   volatile state loss directly. *)
+
+let original_p ?(bounds = default_bounds) () =
+  Process.make ~name:"p"
+    ~init:[ ("s", Int 1); ("resets", Int 0); ("max_sent", Int 0) ]
+    ~actions:
+      [
+        Process.Internal
+          {
+            label = "send";
+            guard = (fun st -> State.get_int st "s" <= bounds.s_max);
+            effect =
+              (fun ctx st ->
+                let s = State.get_int st "s" in
+                ctx.send ~dst:"q" (Message.msg s);
+                if s > State.get_int st "max_sent" then State.set_int st "max_sent" s;
+                State.set_int st "s" (s + 1));
+          };
+        Process.Internal
+          {
+            label = "reset";
+            guard = (fun st -> State.get_int st "resets" < bounds.p_resets);
+            effect =
+              (fun _ctx st ->
+                State.set_int st "s" 1;
+                State.set_int st "resets" (State.get_int st "resets" + 1));
+          };
+      ]
+
+let original_q ?(bounds = default_bounds) ~w () =
+  Process.make ~name:"q"
+    ~init:
+      [
+        ("wdw", Bool_array (Array.make w true));
+        ("r", Int 0);
+        ("resets", Int 0);
+        ("dlv", Bool_array (Array.make bounds.s_max false));
+        ("dup", Bool false);
+        ("max_dlv", Int 0);
+      ]
+    ~actions:
+      [
+        Process.Receive
+          {
+            label = "rcv";
+            from_ = "p";
+            guard = (fun _st -> true);
+            effect =
+              (fun _ctx st msg ->
+                match msg.Message.args with
+                | [ s ] -> if window_receive st s then mark_delivered ~s_max:bounds.s_max st s
+                | [] | _ :: _ -> invalid_arg "original_q: malformed message");
+          };
+        Process.Internal
+          {
+            label = "reset";
+            guard = (fun st -> State.get_int st "resets" < bounds.q_resets);
+            effect =
+              (fun _ctx st ->
+                State.set_int st "r" 0;
+                fill_true (State.get_bool_array st "wdw");
+                State.set_int st "resets" (State.get_int st "resets" + 1));
+          };
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Section 4: the protocol with SAVE and FETCH.
+
+   Persistent memory is the variable [pst]; a background SAVE in flight
+   is [pend >= 0] and becomes durable when the separate [save_done]
+   action fires — so a reset may strike between them. The blocking
+   wakeup SAVE is [pend_wk], split across wakeup_begin/wakeup_done. *)
+
+let augmented_p ?(bounds = default_bounds) ?leap ~kp () =
+  if kp <= 0 then invalid_arg "Models.augmented_p: kp must be positive";
+  let leap = Option.value ~default:(2 * kp) leap in
+  Process.make ~name:"p"
+    ~init:
+      [
+        ("s", Int 1);
+        ("lst", Int 1);
+        ("wait", Bool false);
+        ("pend", Int (-1));
+        ("pend_wk", Int (-1));
+        ("pst", Int 1);
+        ("resets", Int 0);
+        ("max_sent", Int 0);
+        ("stale_resume", Bool false);
+      ]
+    ~actions:
+      [
+        Process.Internal
+          {
+            label = "send";
+            guard =
+              (fun st ->
+                (not (State.get_bool st "wait")) && State.get_int st "s" <= bounds.s_max);
+            effect =
+              (fun ctx st ->
+                let s = State.get_int st "s" in
+                ctx.send ~dst:"q" (Message.msg s);
+                if s > State.get_int st "max_sent" then State.set_int st "max_sent" s;
+                let s = s + 1 in
+                State.set_int st "s" s;
+                if s >= kp + State.get_int st "lst" then begin
+                  (* Section 4 chooses Kp to be at least the number of
+                     messages sendable during one SAVE, so by the time a
+                     new SAVE begins the previous one has completed.
+                     Encode that timing assumption by retiring a pending
+                     save here. *)
+                  let pend = State.get_int st "pend" in
+                  if pend >= 0 then State.set_int st "pst" pend;
+                  State.set_int st "lst" s;
+                  State.set_int st "pend" s
+                end);
+          };
+        Process.Internal
+          {
+            label = "save_done";
+            guard = (fun st -> State.get_int st "pend" >= 0);
+            effect =
+              (fun _ctx st ->
+                State.set_int st "pst" (State.get_int st "pend");
+                State.set_int st "pend" (-1));
+          };
+        Process.Internal
+          {
+            label = "reset";
+            guard = (fun st -> State.get_int st "resets" < bounds.p_resets);
+            effect =
+              (fun _ctx st ->
+                State.set_bool st "wait" true;
+                State.set_int st "pend" (-1);
+                State.set_int st "pend_wk" (-1);
+                State.set_int st "resets" (State.get_int st "resets" + 1));
+          };
+        Process.Internal
+          {
+            label = "wakeup_begin";
+            guard =
+              (fun st -> State.get_bool st "wait" && State.get_int st "pend_wk" < 0);
+            effect =
+              (fun _ctx st ->
+                (* FETCH(s) then begin SAVE(s + leap); the paper's leap
+                   is 2 Kp. *)
+                State.set_int st "pend_wk" (State.get_int st "pst" + leap));
+          };
+        Process.Internal
+          {
+            label = "wakeup_done";
+            guard =
+              (fun st -> State.get_bool st "wait" && State.get_int st "pend_wk" >= 0);
+            effect =
+              (fun _ctx st ->
+                let s = State.get_int st "pend_wk" in
+                State.set_int st "pst" s;
+                State.set_int st "s" s;
+                State.set_int st "lst" s;
+                if s <= State.get_int st "max_sent" then
+                  State.set_bool st "stale_resume" true;
+                State.set_int st "pend_wk" (-1);
+                State.set_bool st "wait" false);
+          };
+      ]
+
+let augmented_q ?(bounds = default_bounds) ?(robust = false) ?leap ~kq ~w () =
+  if kq <= 0 then invalid_arg "Models.augmented_q: kq must be positive";
+  if w <= 0 then invalid_arg "Models.augmented_q: w must be positive";
+  let leap = Option.value ~default:(2 * kq) leap in
+  Process.make ~name:"q"
+    ~init:
+      [
+        ("wdw", Bool_array (Array.make w true));
+        ("r", Int 0);
+        ("lst", Int 0);
+        ("wait", Bool false);
+        ("pend", Int (-1));
+        ("pend_wk", Int (-1));
+        ("pst", Int 0);
+        ("resets", Int 0);
+        ("dlv", Bool_array (Array.make bounds.s_max false));
+        ("dup", Bool false);
+        ("max_dlv", Int 0);
+        ("stale_edge", Bool false);
+      ]
+    ~actions:
+      [
+        Process.Receive
+          {
+            label = "rcv";
+            from_ = "p";
+            (* While waiting after a reset, q buffers: messages stay in
+               the channel until the wakeup SAVE completes. *)
+            guard = (fun st -> not (State.get_bool st "wait"));
+            effect =
+              (fun _ctx st msg ->
+                match msg.Message.args with
+                | [ s ] ->
+                  if window_receive st s then mark_delivered ~s_max:bounds.s_max st s;
+                  let r = State.get_int st "r" in
+                  if robust && r > State.get_int st "pst" + leap then begin
+                    (* Robust variant: never let the edge outrun durable
+                       state by more than the wakeup leap — complete the
+                       SAVE synchronously (a blocking write). *)
+                    State.set_int st "pst" r;
+                    State.set_int st "lst" r;
+                    State.set_int st "pend" (-1)
+                  end
+                  else if r >= kq + State.get_int st "lst" then begin
+                    (* Same Kq timing assumption as in augmented_p. *)
+                    let pend = State.get_int st "pend" in
+                    if pend >= 0 then State.set_int st "pst" pend;
+                    State.set_int st "lst" r;
+                    State.set_int st "pend" r
+                  end
+                | [] | _ :: _ -> invalid_arg "augmented_q: malformed message");
+          };
+        Process.Internal
+          {
+            label = "save_done";
+            guard = (fun st -> State.get_int st "pend" >= 0);
+            effect =
+              (fun _ctx st ->
+                State.set_int st "pst" (State.get_int st "pend");
+                State.set_int st "pend" (-1));
+          };
+        Process.Internal
+          {
+            label = "reset";
+            guard = (fun st -> State.get_int st "resets" < bounds.q_resets);
+            effect =
+              (fun _ctx st ->
+                State.set_bool st "wait" true;
+                State.set_int st "pend" (-1);
+                State.set_int st "pend_wk" (-1);
+                State.set_int st "resets" (State.get_int st "resets" + 1));
+          };
+        Process.Internal
+          {
+            label = "wakeup_begin";
+            guard =
+              (fun st -> State.get_bool st "wait" && State.get_int st "pend_wk" < 0);
+            effect =
+              (fun _ctx st ->
+                State.set_int st "pend_wk" (State.get_int st "pst" + leap));
+          };
+        Process.Internal
+          {
+            label = "wakeup_done";
+            guard =
+              (fun st -> State.get_bool st "wait" && State.get_int st "pend_wk" >= 0);
+            effect =
+              (fun _ctx st ->
+                let r = State.get_int st "pend_wk" in
+                State.set_int st "pst" r;
+                State.set_int st "r" r;
+                State.set_int st "lst" r;
+                fill_true (State.get_bool_array st "wdw");
+                if r < State.get_int st "max_dlv" then State.set_bool st "stale_edge" true;
+                State.set_int st "pend_wk" (-1);
+                State.set_bool st "wait" false);
+          };
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Invariants. Missing ghost variables (e.g. [stale_resume] in the
+   original p) make a claim vacuously true. *)
+
+let ghost_bool system ~proc ~var =
+  match State.get_bool (System.state_of system proc) var with
+  | b -> b
+  | exception Not_found -> false
+
+let discrimination_holds system = not (ghost_bool system ~proc:"q" ~var:"dup")
+
+let sender_freshness_holds system =
+  not (ghost_bool system ~proc:"p" ~var:"stale_resume")
+
+let receiver_freshness_holds system =
+  not (ghost_bool system ~proc:"q" ~var:"stale_edge")
+
+let all_section5_invariants system =
+  discrimination_holds system && sender_freshness_holds system
+  && receiver_freshness_holds system
+
+(* ------------------------------------------------------------------ *)
+
+let original_system ?(bounds = default_bounds) ?capacity ?adversary ?lossy ~w () =
+  System.create ?capacity ?adversary ?lossy
+    [ original_p ~bounds (); original_q ~bounds ~w () ]
+
+let augmented_system ?(bounds = default_bounds) ?capacity ?adversary ?lossy ?robust
+    ?leap_p ?leap_q ~kp ~kq ~w () =
+  System.create ?capacity ?adversary ?lossy
+    [
+      augmented_p ~bounds ?leap:leap_p ~kp ();
+      augmented_q ~bounds ?robust ?leap:leap_q ~kq ~w ();
+    ]

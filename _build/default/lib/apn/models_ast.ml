@@ -1,0 +1,424 @@
+open Ast
+
+(* Shared ghost fragments ------------------------------------------- *)
+
+(* {ghost} track the largest value some variable has carried *)
+let track_max ~of_:value ~into =
+  If
+    [
+      (value >: var into, assign into value);
+      (not_ (value >: var into), Skip);
+    ]
+
+(* {ghost} record a delivery of sequence number [s]; a second delivery
+   of the same number latches [dup]. *)
+let mark_delivered =
+  seq
+    [
+      If
+        [
+          (Index ("dlv", var "s"), assign "dup" (Bool_lit true));
+          (not_ (Index ("dlv", var "s")), Assign ([ Lindex ("dlv", var "s") ], [ Bool_lit true ]));
+        ];
+      track_max ~of_:(var "s") ~into:"max_dlv";
+    ]
+
+let bump name = assign name (var name +: int 1)
+
+(* ------------------------------------------------------------------ *)
+(* Section 2: process p *)
+
+let original_p ?(bounds = Models.default_bounds) () =
+  {
+    name = "p";
+    consts = [ ("s_max", bounds.Models.s_max); ("max_resets", bounds.Models.p_resets) ];
+    vars =
+      [
+        plain_var ~comment:"next to be sent, initially 1" "s" (Value.Int 1);
+        ghost_var "resets" (Value.Int 0);
+        ghost_var "max_sent" (Value.Int 0);
+      ];
+    actions =
+      [
+        Guarded
+          {
+            label = "send";
+            guard = var "s" <=: var "s_max";
+            body =
+              seq
+                [
+                  Send { dst = "q"; tag = "msg"; args = [ var "s" ] };
+                  track_max ~of_:(var "s") ~into:"max_sent";
+                  assign "s" (var "s" +: int 1);
+                ];
+          };
+        Guarded
+          {
+            label = "reset";
+            guard = var "resets" <: var "max_resets";
+            body = seq [ assign "s" (int 1); bump "resets" ];
+          };
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Section 2: process q, with the paper's shift loops verbatim *)
+
+(* The three-case receive of Section 2. [after_deliver] runs whenever
+   the message is delivered. *)
+let window_cases ~after_deliver =
+  If
+    [
+      (var "s" <=: (var "r" -: var "w"), Skip);
+      ( (var "r" -: var "w" <: var "s") &&: (var "s" <=: var "r"),
+        seq
+          [
+            assign "i" (var "s" -: var "r" +: var "w");
+            If
+              [
+                (Index ("wdw", var "i"), (* discard *) Skip);
+                ( not_ (Index ("wdw", var "i")),
+                  seq
+                    [
+                      Assign ([ Lindex ("wdw", var "i") ], [ Bool_lit true ]);
+                      after_deliver;
+                    ] );
+              ];
+          ] );
+      ( var "r" <: var "s",
+        seq
+          [
+            (* r, i, j := s, s - r + 1, 1  (simultaneous: i uses old r) *)
+            assign_many
+              [
+                (Lvar "r", var "s");
+                (Lvar "i", var "s" -: var "r" +: int 1);
+                (Lvar "j", int 1);
+              ];
+            Do
+              [
+                ( var "i" <=: var "w",
+                  assign_many
+                    [
+                      (Lindex ("wdw", var "j"), Index ("wdw", var "i"));
+                      (Lvar "i", var "i" +: int 1);
+                      (Lvar "j", var "j" +: int 1);
+                    ] );
+              ];
+            Do
+              [
+                ( var "j" <: var "w",
+                  assign_many
+                    [
+                      (Lindex ("wdw", var "j"), Bool_lit false);
+                      (Lvar "j", var "j" +: int 1);
+                    ] );
+              ];
+            (* the new right edge was just received *)
+            Assign ([ Lindex ("wdw", var "w") ], [ Bool_lit true ]);
+            after_deliver;
+          ] );
+    ]
+
+let q_base_vars ~w ~(bounds : Models.bounds) =
+  [
+    plain_var "wdw" (Value.Bool_array (Array.make w true));
+    plain_var ~comment:"right edge of window, initially 0" "r" (Value.Int 0);
+    plain_var "s" (Value.Int 0);
+    plain_var "i" (Value.Int 0);
+    plain_var "j" (Value.Int 0);
+    ghost_var "resets" (Value.Int 0);
+    ghost_var "dlv" (Value.Bool_array (Array.make bounds.Models.s_max false));
+    ghost_var "dup" (Value.Bool false);
+    ghost_var "max_dlv" (Value.Int 0);
+  ]
+
+let original_q ?(bounds = Models.default_bounds) ~w () =
+  {
+    name = "q";
+    consts = [ ("w", w); ("max_resets", bounds.Models.q_resets) ];
+    vars = q_base_vars ~w ~bounds;
+    actions =
+      [
+        Receive
+          {
+            label = "rcv";
+            from_ = "p";
+            tag = "msg";
+            binder = "s";
+            guard = Bool_lit true;
+            body = window_cases ~after_deliver:mark_delivered;
+          };
+        Guarded
+          {
+            label = "reset";
+            guard = var "resets" <: var "max_resets";
+            body =
+              seq
+                [
+                  assign "r" (int 0);
+                  assign "j" (int 1);
+                  Do
+                    [
+                      ( var "j" <=: var "w",
+                        assign_many
+                          [
+                            (Lindex ("wdw", var "j"), Bool_lit true);
+                            (Lvar "j", var "j" +: int 1);
+                          ] );
+                    ];
+                  bump "resets";
+                ];
+          };
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Section 4: process p with SAVE and FETCH.
+
+   Persistent memory is [pst]; [pend >= 0] is an in-flight background
+   SAVE; [pend_wk] is the blocking wakeup SAVE. See Models for the
+   discussion of the timing assumption encoded at the SAVE trigger. *)
+
+let augmented_p ?(bounds = Models.default_bounds) ?leap ~kp () =
+  let leap = Option.value ~default:(2 * kp) leap in
+  {
+    name = "p";
+    consts =
+      [
+        ("Kp", kp);
+        ("leap", leap);
+        ("s_max", bounds.Models.s_max);
+        ("max_resets", bounds.Models.p_resets);
+      ];
+    vars =
+      [
+        plain_var ~comment:"next to be sent, initially 1" "s" (Value.Int 1);
+        plain_var ~comment:"last stored, initially 1" "lst" (Value.Int 1);
+        plain_var ~comment:"initially false" "wait" (Value.Bool false);
+        plain_var ~comment:"in-flight SAVE value, -1 if none" "pend" (Value.Int (-1));
+        plain_var ~comment:"blocking wakeup SAVE, -1 if none" "pend_wk" (Value.Int (-1));
+        plain_var ~comment:"persistent memory" "pst" (Value.Int 1);
+        ghost_var "resets" (Value.Int 0);
+        ghost_var "max_sent" (Value.Int 0);
+        ghost_var "stale_resume" (Value.Bool false);
+      ];
+    actions =
+      [
+        Guarded
+          {
+            label = "send";
+            guard = not_ (var "wait") &&: (var "s" <=: var "s_max");
+            body =
+              seq
+                [
+                  Send { dst = "q"; tag = "msg"; args = [ var "s" ] };
+                  track_max ~of_:(var "s") ~into:"max_sent";
+                  assign "s" (var "s" +: int 1);
+                  If
+                    [
+                      ( var "s" >=: (var "Kp" +: var "lst"),
+                        seq
+                          [
+                            (* Kp >= messages per SAVE: the previous
+                               SAVE has completed by now *)
+                            If
+                              [
+                                (var "pend" >=: int 0, assign "pst" (var "pend"));
+                                (not_ (var "pend" >=: int 0), Skip);
+                              ];
+                            assign_many
+                              [ (Lvar "lst", var "s"); (Lvar "pend", var "s") ];
+                          ] );
+                      (not_ (var "s" >=: (var "Kp" +: var "lst")), Skip);
+                    ];
+                ];
+          };
+        Guarded
+          {
+            label = "save_done";
+            guard = var "pend" >=: int 0;
+            body =
+              seq [ assign "pst" (var "pend"); assign "pend" (int (-1)) ];
+          };
+        Guarded
+          {
+            label = "reset";
+            guard = var "resets" <: var "max_resets";
+            body =
+              seq
+                [
+                  assign_many
+                    [
+                      (Lvar "wait", Bool_lit true);
+                      (Lvar "pend", int (-1));
+                      (Lvar "pend_wk", int (-1));
+                    ];
+                  bump "resets";
+                ];
+          };
+        Guarded
+          {
+            label = "wakeup_begin";
+            guard = var "wait" &&: (var "pend_wk" <: int 0);
+            body = assign "pend_wk" (var "pst" +: var "leap");
+          };
+        Guarded
+          {
+            label = "wakeup_done";
+            guard = var "wait" &&: (var "pend_wk" >=: int 0);
+            body =
+              seq
+                [
+                  assign_many
+                    [
+                      (Lvar "pst", var "pend_wk");
+                      (Lvar "s", var "pend_wk");
+                      (Lvar "lst", var "pend_wk");
+                    ];
+                  If
+                    [
+                      (var "s" <=: var "max_sent",
+                       assign "stale_resume" (Bool_lit true));
+                      (not_ (var "s" <=: var "max_sent"), Skip);
+                    ];
+                  assign_many
+                    [ (Lvar "pend_wk", int (-1)); (Lvar "wait", Bool_lit false) ];
+                ];
+          };
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Section 4: process q with SAVE and FETCH *)
+
+let augmented_q ?(bounds = Models.default_bounds) ?leap ~kq ~w () =
+  let leap = Option.value ~default:(2 * kq) leap in
+  let maybe_save =
+    If
+      [
+        ( var "r" >=: (var "Kq" +: var "lst"),
+          seq
+            [
+              If
+                [
+                  (var "pend" >=: int 0, assign "pst" (var "pend"));
+                  (not_ (var "pend" >=: int 0), Skip);
+                ];
+              assign_many [ (Lvar "lst", var "r"); (Lvar "pend", var "r") ];
+            ] );
+        (not_ (var "r" >=: (var "Kq" +: var "lst")), Skip);
+      ]
+  in
+  {
+    name = "q";
+    consts =
+      [
+        ("w", w);
+        ("Kq", kq);
+        ("leap", leap);
+        ("max_resets", bounds.Models.q_resets);
+      ];
+    vars =
+      q_base_vars ~w ~bounds
+      @ [
+          plain_var ~comment:"last stored, initially 0" "lst" (Value.Int 0);
+          plain_var ~comment:"initially false" "wait" (Value.Bool false);
+          plain_var ~comment:"in-flight SAVE value, -1 if none" "pend" (Value.Int (-1));
+          plain_var ~comment:"blocking wakeup SAVE, -1 if none" "pend_wk"
+            (Value.Int (-1));
+          plain_var ~comment:"persistent memory" "pst" (Value.Int 0);
+          ghost_var "stale_edge" (Value.Bool false);
+        ];
+    actions =
+      [
+        Receive
+          {
+            label = "rcv";
+            from_ = "p";
+            tag = "msg";
+            binder = "s";
+            (* buffered while waiting: arrivals stay in the channel *)
+            guard = not_ (var "wait");
+            body =
+              seq [ window_cases ~after_deliver:mark_delivered; maybe_save ];
+          };
+        Guarded
+          {
+            label = "save_done";
+            guard = var "pend" >=: int 0;
+            body = seq [ assign "pst" (var "pend"); assign "pend" (int (-1)) ];
+          };
+        Guarded
+          {
+            label = "reset";
+            guard = var "resets" <: var "max_resets";
+            body =
+              seq
+                [
+                  assign_many
+                    [
+                      (Lvar "wait", Bool_lit true);
+                      (Lvar "pend", int (-1));
+                      (Lvar "pend_wk", int (-1));
+                    ];
+                  bump "resets";
+                ];
+          };
+        Guarded
+          {
+            label = "wakeup_begin";
+            guard = var "wait" &&: (var "pend_wk" <: int 0);
+            body = assign "pend_wk" (var "pst" +: var "leap");
+          };
+        Guarded
+          {
+            label = "wakeup_done";
+            guard = var "wait" &&: (var "pend_wk" >=: int 0);
+            body =
+              seq
+                [
+                  assign_many
+                    [
+                      (Lvar "pst", var "pend_wk");
+                      (Lvar "r", var "pend_wk");
+                      (Lvar "lst", var "pend_wk");
+                    ];
+                  assign "i" (int 1);
+                  Do
+                    [
+                      ( var "i" <=: var "w",
+                        assign_many
+                          [
+                            (Lindex ("wdw", var "i"), Bool_lit true);
+                            (Lvar "i", var "i" +: int 1);
+                          ] );
+                    ];
+                  If
+                    [
+                      (var "r" <: var "max_dlv", assign "stale_edge" (Bool_lit true));
+                      (not_ (var "r" <: var "max_dlv"), Skip);
+                    ];
+                  assign_many
+                    [ (Lvar "pend_wk", int (-1)); (Lvar "wait", Bool_lit false) ];
+                ];
+          };
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let original_system ?(bounds = Models.default_bounds) ?capacity ?adversary ?lossy ~w () =
+  System.create ?capacity ?adversary ?lossy
+    [
+      Interp.compile (original_p ~bounds ());
+      Interp.compile (original_q ~bounds ~w ());
+    ]
+
+let augmented_system ?(bounds = Models.default_bounds) ?capacity ?adversary ?lossy
+    ?leap_p ?leap_q ~kp ~kq ~w () =
+  System.create ?capacity ?adversary ?lossy
+    [
+      Interp.compile (augmented_p ~bounds ?leap:leap_p ~kp ());
+      Interp.compile (augmented_q ~bounds ?leap:leap_q ~kq ~w ());
+    ]

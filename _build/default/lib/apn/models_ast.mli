@@ -1,0 +1,39 @@
+(** The paper's processes as {!Ast} values.
+
+    These are the declarative twins of {!Models}: the same protocols,
+    written in the Abstract Protocol Notation itself rather than as
+    OCaml closures. They can be pretty-printed in the paper's concrete
+    syntax (`ipsec-resets explore --print-model`, or {!Pp.pp_process})
+    and compiled to executable processes with {!Interp.compile}.
+
+    Faithfulness note: unlike the closure models, these declare the
+    paper's scratch variables ([s], [i], [j] in process q) as real
+    state, exactly as the paper's figures do. That enlarges the
+    explored state space (scratch values linger between actions) but
+    cannot change protocol behaviour — the test suite verifies the two
+    formulations agree action-for-action in lockstep execution and
+    reach the same verdicts under exploration. *)
+
+val original_p : ?bounds:Models.bounds -> unit -> Ast.process
+val original_q : ?bounds:Models.bounds -> w:int -> unit -> Ast.process
+val augmented_p : ?bounds:Models.bounds -> ?leap:int -> kp:int -> unit -> Ast.process
+val augmented_q : ?bounds:Models.bounds -> ?leap:int -> kq:int -> w:int -> unit -> Ast.process
+
+val original_system :
+  ?bounds:Models.bounds -> ?capacity:int -> ?adversary:bool -> ?lossy:bool -> w:int ->
+  unit -> System.t
+(** {!Interp.compile}d and assembled, mirroring
+    {!Models.original_system}. *)
+
+val augmented_system :
+  ?bounds:Models.bounds ->
+  ?capacity:int ->
+  ?adversary:bool ->
+  ?lossy:bool ->
+  ?leap_p:int ->
+  ?leap_q:int ->
+  kp:int ->
+  kq:int ->
+  w:int ->
+  unit ->
+  System.t

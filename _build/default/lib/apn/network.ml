@@ -1,0 +1,97 @@
+type channel = {
+  mutable queue : Message.t list; (* head = next to deliver *)
+  mutable history : Message.t list; (* newest first, distinct *)
+}
+
+type t = {
+  cap : int;
+  record_history : bool;
+  channels : (string * string, channel) Hashtbl.t;
+}
+
+let create ?(capacity = 1024) ?(record_history = false) () =
+  if capacity <= 0 then invalid_arg "Network.create: capacity must be positive";
+  { cap = capacity; record_history; channels = Hashtbl.create 8 }
+
+let capacity t = t.cap
+
+let channel t ~src ~dst =
+  match Hashtbl.find_opt t.channels (src, dst) with
+  | Some c -> c
+  | None ->
+    let c = { queue = []; history = [] } in
+    Hashtbl.replace t.channels (src, dst) c;
+    c
+
+let can_send t ~src ~dst = List.length (channel t ~src ~dst).queue < t.cap
+
+let record c msg =
+  if not (List.exists (Message.equal msg) c.history) then c.history <- msg :: c.history
+
+let send t ~src ~dst msg =
+  let c = channel t ~src ~dst in
+  if List.length c.queue >= t.cap then invalid_arg "Network.send: channel full";
+  c.queue <- c.queue @ [ msg ];
+  if t.record_history then record c msg
+
+let peek t ~src ~dst =
+  match (channel t ~src ~dst).queue with
+  | [] -> None
+  | m :: _ -> Some m
+
+let receive t ~src ~dst =
+  let c = channel t ~src ~dst in
+  match c.queue with
+  | [] -> None
+  | m :: rest ->
+    c.queue <- rest;
+    Some m
+
+let queue_length t ~src ~dst = List.length (channel t ~src ~dst).queue
+
+let drop_head = receive
+
+let history t ~src ~dst = List.rev (channel t ~src ~dst).history
+
+let inject t ~src ~dst msg =
+  let c = channel t ~src ~dst in
+  if List.length c.queue >= t.cap then false
+  else begin
+    c.queue <- c.queue @ [ msg ];
+    true
+  end
+
+let pairs t =
+  Hashtbl.fold (fun pair _c acc -> pair :: acc) t.channels []
+  |> List.sort compare
+
+(* Snapshots are canonical: channels that exist in the table but are
+   empty are omitted, so a state reached before and after a channel's
+   first use compares equal. *)
+let snapshot t =
+  Hashtbl.fold
+    (fun pair c acc -> if c.queue = [] then acc else (pair, c.queue) :: acc)
+    t.channels []
+  |> List.sort compare
+
+let restore t snap =
+  Hashtbl.iter (fun _pair c -> c.queue <- []) t.channels;
+  List.iter
+    (fun ((src, dst), queue) ->
+      let c = channel t ~src ~dst in
+      c.queue <- queue)
+    snap
+
+let snapshot_history t =
+  Hashtbl.fold
+    (fun pair c acc -> if c.history = [] then acc else (pair, c.history) :: acc)
+    t.channels []
+  |> List.sort compare
+
+let restore_history t snap =
+  Hashtbl.iter (fun _pair c -> c.history <- []) t.channels;
+  List.iter
+    (fun ((src, dst), history) ->
+      let c = channel t ~src ~dst in
+      c.history <- history)
+    snap

@@ -1,0 +1,39 @@
+type t = (string, Value.t) Hashtbl.t
+
+let create bindings =
+  let t = Hashtbl.create 16 in
+  List.iter
+    (fun (name, v) ->
+      if Hashtbl.mem t name then invalid_arg ("State.create: duplicate variable " ^ name);
+      Hashtbl.replace t name (Value.canonical v))
+    bindings;
+  t
+
+let get t name =
+  match Hashtbl.find_opt t name with
+  | Some v -> v
+  | None -> raise Not_found
+
+let set t name v =
+  if not (Hashtbl.mem t name) then raise Not_found;
+  Hashtbl.replace t name v
+
+let get_int t name = Value.int (get t name)
+let set_int t name i = set t name (Value.Int i)
+let get_bool t name = Value.bool (get t name)
+let set_bool t name b = set t name (Value.Bool b)
+let get_bool_array t name = Value.bool_array (get t name)
+
+let snapshot t =
+  Hashtbl.fold (fun name v acc -> (name, Value.canonical v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let restore t bindings =
+  List.iter (fun (name, v) -> set t name (Value.canonical v)) bindings
+
+let copy t = create (snapshot t)
+
+let pp ppf t =
+  Format.fprintf ppf "{";
+  List.iter (fun (name, v) -> Format.fprintf ppf "%s=%a; " name Value.pp v) (snapshot t);
+  Format.fprintf ppf "}"

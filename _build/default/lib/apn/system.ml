@@ -1,0 +1,156 @@
+open Resets_util
+
+type step =
+  | Proc_action of { proc : string; index : int; label : string }
+  | Replay of { src : string; dst : string; msg : Message.t }
+  | Drop of { src : string; dst : string }
+
+let step_label = function
+  | Proc_action { proc; label; _ } -> Printf.sprintf "%s.%s" proc label
+  | Replay { src; dst; msg; _ } ->
+    Format.asprintf "replay(%s->%s, %a)" src dst Message.pp msg
+  | Drop { src; dst } -> Printf.sprintf "drop(%s->%s)" src dst
+
+let pp_step ppf s = Format.pp_print_string ppf (step_label s)
+
+type t = {
+  net : Network.t;
+  order : string list;
+  procs : (string, Process.t * State.t) Hashtbl.t;
+  adversary : bool;
+  lossy : bool;
+}
+
+let create ?(capacity = 1024) ?(adversary = false) ?(lossy = false) processes =
+  let net = Network.create ~capacity ~record_history:adversary () in
+  let procs = Hashtbl.create 4 in
+  let order =
+    List.map
+      (fun (p : Process.t) ->
+        if Hashtbl.mem procs p.name then
+          invalid_arg ("System.create: duplicate process " ^ p.name);
+        Hashtbl.replace procs p.name (p, State.create p.init);
+        p.name)
+      processes
+  in
+  { net; order; procs; adversary; lossy }
+
+let state_of t name =
+  match Hashtbl.find_opt t.procs name with
+  | Some (_p, st) -> st
+  | None -> raise Not_found
+
+let network t = t.net
+
+let context t name : Process.context =
+  {
+    self = name;
+    send =
+      (fun ~dst msg ->
+        (* A send into a full channel loses the message: the paper's
+           channels may lose messages, and this keeps exploration
+           bounded without disabling the sender's action. *)
+        if Network.can_send t.net ~src:name ~dst then
+          Network.send t.net ~src:name ~dst msg);
+  }
+
+let action_enabled t name st = function
+  | Process.Internal { guard; _ } -> guard st
+  | Process.Receive { from_; guard; _ } ->
+    guard st && Network.peek t.net ~src:from_ ~dst:name <> None
+
+let enabled_steps t =
+  let proc_steps =
+    List.concat_map
+      (fun name ->
+        let p, st = Hashtbl.find t.procs name in
+        List.concat
+          (List.mapi
+             (fun index action ->
+               if action_enabled t name st action then
+                 [ Proc_action { proc = name; index; label = Process.action_label action } ]
+               else [])
+             p.actions))
+      t.order
+  in
+  let channel_steps =
+    List.concat_map
+      (fun (src, dst) ->
+        let replays =
+          if t.adversary then
+            List.map (fun msg -> Replay { src; dst; msg }) (Network.history t.net ~src ~dst)
+          else []
+        in
+        let drops =
+          if t.lossy && Network.queue_length t.net ~src ~dst > 0 then [ Drop { src; dst } ]
+          else []
+        in
+        replays @ drops)
+      (Network.pairs t.net)
+  in
+  proc_steps @ channel_steps
+
+let execute t step =
+  match step with
+  | Proc_action { proc; index; _ } -> begin
+    let p, st = Hashtbl.find t.procs proc in
+    let action = List.nth p.actions index in
+    if not (action_enabled t proc st action) then
+      invalid_arg ("System.execute: disabled step " ^ step_label step);
+    match action with
+    | Process.Internal { effect; _ } -> effect (context t proc) st
+    | Process.Receive { from_; effect; _ } -> (
+      match Network.receive t.net ~src:from_ ~dst:proc with
+      | Some msg -> effect (context t proc) st msg
+      | None -> assert false)
+  end
+  | Replay { src; dst; msg } ->
+    if not t.adversary then invalid_arg "System.execute: adversary disabled";
+    (* Injection into a full channel is simply ineffective. *)
+    ignore (Network.inject t.net ~src ~dst msg)
+  | Drop { src; dst } ->
+    if not t.lossy then invalid_arg "System.execute: lossy channels disabled";
+    ignore (Network.drop_head t.net ~src ~dst)
+
+let step_random prng t =
+  match enabled_steps t with
+  | [] -> None
+  | steps ->
+    let arr = Array.of_list steps in
+    let step = Prng.choose prng arr in
+    execute t step;
+    Some step
+
+let run_random ?(stop_when = fun _ -> false) prng ~steps t =
+  let rec loop executed =
+    if executed >= steps || stop_when t then executed
+    else
+      match step_random prng t with
+      | None -> executed
+      | Some _ -> loop (executed + 1)
+  in
+  loop 0
+
+type snapshot = {
+  proc_states : (string * (string * Value.t) list) list;
+  queues : ((string * string) * Message.t list) list;
+  histories : ((string * string) * Message.t list) list;
+}
+
+let snapshot t =
+  {
+    proc_states =
+      List.map (fun name -> (name, State.snapshot (state_of t name))) t.order;
+    queues = Network.snapshot t.net;
+    histories = Network.snapshot_history t.net;
+  }
+
+let restore t snap =
+  List.iter (fun (name, bindings) -> State.restore (state_of t name) bindings)
+    snap.proc_states;
+  Network.restore t.net snap.queues;
+  Network.restore_history t.net snap.histories
+
+let snapshot_equal (a : snapshot) (b : snapshot) = a = b
+
+let snapshot_hash (s : snapshot) = Hashtbl.hash s

@@ -1,0 +1,60 @@
+(** A closed APN system: processes, channels, and (optionally) the
+    paper's adversary and lossy channels, executable step by step.
+
+    Step semantics: one enabled action executes at a time (the paper's
+    interleaving rule). The random scheduler picks uniformly among
+    enabled steps, which is weakly fair with probability 1; the
+    explorer enumerates all of them. A send into a full channel loses
+    the message (channels may lose messages in the paper's model, and
+    this keeps exploration bounded). *)
+
+type t
+
+type step =
+  | Proc_action of { proc : string; index : int; label : string }
+  | Replay of { src : string; dst : string; msg : Message.t }
+      (** adversary re-inserts a previously sent message *)
+  | Drop of { src : string; dst : string }
+      (** channel loses its head message *)
+
+val pp_step : Format.formatter -> step -> unit
+val step_label : step -> string
+
+val create :
+  ?capacity:int ->
+  ?adversary:bool ->
+  ?lossy:bool ->
+  Process.t list ->
+  t
+(** [adversary] enables {!Replay} steps (and turns on channel history
+    recording); [lossy] enables {!Drop} steps. *)
+
+val state_of : t -> string -> State.t
+(** @raise Not_found for an unknown process. *)
+
+val network : t -> Network.t
+
+val enabled_steps : t -> step list
+(** Deterministic order (process declaration order, then action
+    order, then channel order). *)
+
+val execute : t -> step -> unit
+(** @raise Invalid_argument when the step is not currently enabled. *)
+
+val step_random : Resets_util.Prng.t -> t -> step option
+(** Execute one uniformly chosen enabled step; [None] when the system
+    is quiescent. *)
+
+val run_random :
+  ?stop_when:(t -> bool) -> Resets_util.Prng.t -> steps:int -> t -> int
+(** Execute up to [steps] random steps; returns how many executed.
+    Stops early when quiescent or when [stop_when] becomes true. *)
+
+(** {1 Snapshots (for the explorer)} *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+val snapshot_equal : snapshot -> snapshot -> bool
+val snapshot_hash : snapshot -> int

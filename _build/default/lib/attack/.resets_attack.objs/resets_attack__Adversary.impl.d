@@ -1,0 +1,1 @@
+lib/attack/adversary.ml: Engine Link List Recorder Resets_sim Time

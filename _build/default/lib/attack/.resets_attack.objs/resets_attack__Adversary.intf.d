@@ -1,0 +1,1 @@
+lib/attack/adversary.mli: Resets_sim

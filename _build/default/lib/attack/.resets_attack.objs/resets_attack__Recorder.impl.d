@@ -1,0 +1,1 @@
+lib/attack/recorder.ml: List Resets_util Ring

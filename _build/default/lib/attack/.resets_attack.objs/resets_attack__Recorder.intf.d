@@ -1,0 +1,1 @@
+lib/attack/recorder.mli:

@@ -1,0 +1,86 @@
+open Resets_sim
+
+type 'a t = {
+  engine : Engine.t;
+  link : 'a Link.t;
+  mark : 'a -> 'a;
+  recorder : 'a Recorder.t;
+  mutable injected : int;
+  mutable flood_timer : Engine.handle option;
+  mutable flood_cursor : int;
+}
+
+let create ?capacity ~link ~mark engine =
+  let recorder = Recorder.create ?capacity () in
+  Link.on_transit link (Recorder.tap recorder);
+  {
+    engine;
+    link;
+    mark;
+    recorder;
+    injected = 0;
+    flood_timer = None;
+    flood_cursor = 0;
+  }
+
+let captured_count t = Recorder.count t.recorder
+
+let injected_count t = t.injected
+
+let inject t packet =
+  t.injected <- t.injected + 1;
+  Link.inject t.link (t.mark packet)
+
+let replay_all_in_order ?(gap = Time.zero) t =
+  let packets = Recorder.captured t.recorder in
+  List.iteri
+    (fun i packet ->
+      if Time.equal gap Time.zero then inject t packet
+      else
+        ignore
+          (Engine.schedule_after t.engine ~after:(Time.mul gap i) (fun () ->
+               inject t packet)))
+    packets;
+  List.length packets
+
+let replay_latest t =
+  match Recorder.latest t.recorder with
+  | None -> false
+  | Some packet ->
+    inject t packet;
+    true
+
+let replay_nth t i =
+  match Recorder.nth t.recorder i with
+  | None -> false
+  | Some packet ->
+    inject t packet;
+    true
+
+let replay_matching t p =
+  match Recorder.find_last t.recorder p with
+  | None -> false
+  | Some packet ->
+    inject t packet;
+    true
+
+let rec flood_step ~gap t =
+  let retained = Recorder.retained t.recorder in
+  if retained > 0 then begin
+    let i = t.flood_cursor mod retained in
+    t.flood_cursor <- t.flood_cursor + 1;
+    ignore (replay_nth t i)
+  end;
+  t.flood_timer <-
+    Some (Engine.schedule_after t.engine ~after:gap (fun () -> flood_step ~gap t))
+
+let start_flood ~gap t =
+  if t.flood_timer <> None then invalid_arg "Adversary.start_flood: already flooding";
+  flood_step ~gap t
+
+let stop_flood t =
+  match t.flood_timer with
+  | None -> ()
+  | Some h ->
+    Engine.cancel h;
+    t.flood_timer <- None

@@ -1,0 +1,49 @@
+(** Replay adversary on the p→q path.
+
+    Capability model, exactly the paper's: observe every packet in
+    transit, and insert copies of previously observed packets at any
+    time. The adversary cannot forge integrity tags (it has no keys),
+    so everything it injects is a byte-for-byte replay. [mark] lets the
+    harness label injected copies so metrics can distinguish "replayed
+    message accepted" from ordinary deliveries; the receiver under test
+    never sees the label. *)
+
+type 'a t
+
+val create :
+  ?capacity:int ->
+  link:'a Resets_sim.Link.t ->
+  mark:('a -> 'a) ->
+  Resets_sim.Engine.t ->
+  'a t
+(** Attaches a {!Recorder} to the link's transit tap. *)
+
+val captured_count : 'a t -> int
+val injected_count : 'a t -> int
+
+(** {1 Strategies} *)
+
+val replay_all_in_order : ?gap:Resets_sim.Time.t -> 'a t -> int
+(** Section 3, first attack: after q resets, "an adversary can replay
+    in order all the messages" seen so far. Injects every captured
+    packet, spaced by [gap] (default: back to back at the link's own
+    pacing, i.e. zero gap). Returns how many were injected. *)
+
+val replay_latest : 'a t -> bool
+(** Section 3, third attack (the wedge): replay the highest-numbered
+    (most recent) captured message, forcing q's window far ahead of
+    p's sequence number. [false] when nothing was captured yet. *)
+
+val replay_nth : 'a t -> int -> bool
+(** Replay the [i]-th oldest captured packet. *)
+
+val replay_matching : 'a t -> ('a -> bool) -> bool
+(** Replay the most recent captured packet satisfying the predicate
+    (e.g. "sequence number in the gap the receiver just leapt over"). *)
+
+val start_flood : gap:Resets_sim.Time.t -> 'a t -> unit
+(** Continuously cycle through the capture buffer, injecting one packet
+    every [gap], until {!stop_flood}. Models a sustained replay
+    flood. *)
+
+val stop_flood : 'a t -> unit

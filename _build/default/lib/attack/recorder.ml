@@ -1,0 +1,28 @@
+open Resets_util
+
+type 'a t = {
+  ring : 'a Ring.t;
+  mutable total : int;
+}
+
+let create ?(capacity = 1 lsl 20) () = { ring = Ring.create capacity; total = 0 }
+
+let tap t packet =
+  ignore (Ring.push t.ring packet);
+  t.total <- t.total + 1
+
+let count t = t.total
+
+let retained t = Ring.length t.ring
+
+let captured t = Ring.to_list t.ring
+
+let nth t i =
+  if i < 0 || i >= Ring.length t.ring then None else List.nth_opt (captured t) i
+
+let latest t = Ring.peek_newest t.ring
+
+let find_last t p =
+  List.fold_left (fun acc x -> if p x then Some x else acc) None (captured t)
+
+let clear t = Ring.clear t.ring

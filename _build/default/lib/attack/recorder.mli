@@ -1,0 +1,31 @@
+(** Packet recorder: the adversary's capture buffer.
+
+    The paper's adversary "can insert in the message stream from p to q
+    a copy of any message t that was sent earlier by p"; this module is
+    the "was sent earlier" part — attach {!tap} to a link's
+    {!Resets_sim.Link.on_transit} and every legitimate packet is
+    retained (up to a capacity, oldest evicted first). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Default capacity 1 &lt;&lt; 20 packets. *)
+
+val tap : 'a t -> 'a -> unit
+
+val count : 'a t -> int
+(** Total ever captured (including evicted). *)
+
+val retained : 'a t -> int
+
+val captured : 'a t -> 'a list
+(** Oldest first. *)
+
+val nth : 'a t -> int -> 'a option
+(** [nth t i] is the [i]-th retained capture, oldest = 0. *)
+
+val latest : 'a t -> 'a option
+
+val find_last : 'a t -> ('a -> bool) -> 'a option
+
+val clear : 'a t -> unit

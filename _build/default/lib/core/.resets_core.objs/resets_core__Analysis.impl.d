@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Float Int64 Resets_ipsec Resets_sim Time

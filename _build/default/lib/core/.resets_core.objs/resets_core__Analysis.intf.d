@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Resets_ipsec Resets_sim

@@ -1,0 +1,1 @@
+lib/core/bidirectional.ml: Dpd Engine Esp Link Metrics Option Packet Prng Receiver Resets_attack Resets_ipsec Resets_persist Resets_sim Resets_util Resets_workload Sa Sender Sim_disk Time Traffic

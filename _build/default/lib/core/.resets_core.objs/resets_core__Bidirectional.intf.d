@@ -1,0 +1,1 @@
+lib/core/bidirectional.mli: Resets_ipsec Resets_sim

@@ -1,0 +1,1 @@
+lib/core/convergence.ml: Analysis Format Harness List Metrics Protocol Reset_schedule Resets_sim Resets_util Resets_workload

@@ -1,0 +1,1 @@
+lib/core/convergence.mli: Format Harness

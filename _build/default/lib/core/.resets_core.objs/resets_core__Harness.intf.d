@@ -1,0 +1,1 @@
+lib/core/harness.mli: Format Metrics Packet Protocol Resets_ipsec Resets_sim Resets_workload

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Format Hashtbl Option Resets_util Stats

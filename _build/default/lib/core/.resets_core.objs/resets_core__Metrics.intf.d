@@ -1,0 +1,1 @@
+lib/core/metrics.mli: Format Hashtbl Resets_util

@@ -1,0 +1,1 @@
+lib/core/multi_sa.ml: Array Engine Esp Hashtbl Ike Int32 Int64 List Printf Prng Replay_window Resets_ipsec Resets_persist Resets_sim Resets_util Sa Sim_disk Time

@@ -1,0 +1,1 @@
+lib/core/multi_sa.mli: Resets_ipsec Resets_sim

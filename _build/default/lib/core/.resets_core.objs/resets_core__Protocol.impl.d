@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Format Printf Resets_ipsec Resets_sim Time

@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Format Resets_ipsec Resets_sim

@@ -1,0 +1,1 @@
+lib/core/receiver.ml: Engine Esp List Metrics Option Packet Printf Replay_window Resets_ipsec Resets_persist Resets_sim Sa Sim_disk Trace

@@ -1,0 +1,1 @@
+lib/core/receiver.mli: Metrics Packet Resets_ipsec Resets_persist Resets_sim

@@ -1,0 +1,1 @@
+lib/core/rekey.ml: Engine Esp Hashtbl Ike Int32 Option Printf Prng Replay_window Resets_ipsec Resets_persist Resets_sim Resets_util Sa Sadb Sim_disk Time

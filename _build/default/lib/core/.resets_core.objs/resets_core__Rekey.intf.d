@@ -1,0 +1,1 @@
+lib/core/rekey.mli: Resets_ipsec Resets_sim

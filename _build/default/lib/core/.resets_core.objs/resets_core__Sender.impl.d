@@ -1,0 +1,1 @@
+lib/core/sender.ml: Engine Esp Link Metrics Option Packet Printf Resets_ipsec Resets_persist Resets_sim Resets_workload Sa Sim_disk Time Trace

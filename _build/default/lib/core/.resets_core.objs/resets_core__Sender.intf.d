@@ -1,0 +1,1 @@
+lib/core/sender.mli: Metrics Packet Resets_ipsec Resets_persist Resets_sim Resets_workload

@@ -1,0 +1,172 @@
+open Resets_util
+open Resets_sim
+open Resets_persist
+open Resets_ipsec
+open Resets_workload
+
+type config = {
+  k : int;
+  save_latency : Time.t;
+  message_gap : Time.t;
+  link_latency : Time.t;
+  dpd : Dpd.config;
+  keep_alive : Time.t;
+  window : int;
+}
+
+let default_config =
+  {
+    k = 25;
+    save_latency = Time.of_us 100;
+    message_gap = Time.of_us 50;
+    link_latency = Time.of_us 20;
+    dpd = Dpd.default_config;
+    keep_alive = Time.of_ms 50;
+    window = 64;
+  }
+
+type outcome = {
+  death_detected_at : Time.t option;
+  sa_survived : bool;
+  announce_accepted : bool;
+  replayed_announce_rejected : bool;
+  convergence_time : Time.t option;
+  deliveries_after_recovery : int;
+}
+
+let run ?(seed = 7) ?(replay_announce = false) ~reset_at ~downtime ~horizon config =
+  let engine = Engine.create () in
+  let prng = Prng.create seed in
+  let metrics = Metrics.create () in
+  (* A → B security association (the direction under study). *)
+  let params =
+    Sa.derive_params ~window_width:config.window ~spi:0x6001l
+      ~secret:"bidirectional-secret" ()
+  in
+  let sa_a = Sa.create params and sa_b = Sa.create params in
+  let link_ab =
+    Link.create ~name:"a->b" ~prng:(Prng.split prng) ~latency:config.link_latency engine
+  in
+  let disk_a = Sim_disk.create ~name:"disk.a" ~latency:config.save_latency engine in
+  let sender_a =
+    Sender.create ~name:"a" ~sa:sa_a ~link:link_ab
+      ~traffic:(Traffic.constant ~gap:config.message_gap)
+      ~metrics
+      ~persistence:
+        (Some
+           {
+             Sender.disk = disk_a;
+             k = config.k;
+             leap = 2 * config.k;
+             trigger = Sender.On_count;
+           })
+      engine
+  in
+  let receiver_b =
+    Receiver.create ~name:"b" ~sa:sa_b ~metrics
+      ~persistence:
+        (Some
+           {
+             Receiver.disk = Sim_disk.create ~name:"disk.b" ~latency:config.save_latency engine;
+             k = config.k;
+             leap = 2 * config.k;
+             robust = false;
+             wakeup_buffer = true;
+           })
+      engine
+  in
+  Link.set_deliver link_ab (Receiver.on_packet receiver_b);
+  let adversary =
+    Resets_attack.Adversary.create ~link:link_ab ~mark:Packet.mark_replayed engine
+  in
+  (* Traffic-based dead-peer detection at B: every delivery from A is
+     proof of life; a probing cycle that sees none is a miss. *)
+  let death_detected_at = ref None in
+  let sa_torn_down = ref false in
+  let teardown_timer = ref None in
+  let dpd =
+    Dpd.create engine config.dpd
+      ~send_probe:(fun () -> ())
+      ~on_dead:(fun () ->
+        if !death_detected_at = None then begin
+          death_detected_at := Some (Engine.now engine);
+          (* Keep the SAs alive for a bounded period only (Section 6:
+             "the waiting time ... cannot be too long"). *)
+          teardown_timer :=
+            Some
+              (Engine.schedule_after engine ~after:config.keep_alive (fun () ->
+                   sa_torn_down := true;
+                   (* Deleting the SA: subsequent packets from A no
+                      longer verify under any installed state. *)
+                   Receiver.install_sa receiver_b
+                     (Sa.create
+                        (Sa.derive_params ~window_width:config.window ~spi:0x6002l
+                           ~secret:"post-teardown-unrelated" ()))))
+        end)
+  in
+  Dpd.start dpd;
+  let announce_seq = ref None in
+  let first_recovery_delivery = ref None in
+  let deliveries_after_recovery = ref 0 in
+  Receiver.on_deliver receiver_b (fun ~seq ~payload:_ ->
+      Dpd.probe_acked dpd;
+      (match !teardown_timer with
+      | Some h when not !sa_torn_down ->
+        (* The peer is back: cancel the pending teardown. *)
+        Engine.cancel h;
+        teardown_timer := None
+      | Some _ | None -> ());
+      match !announce_seq with
+      | Some a when seq >= a ->
+        if !first_recovery_delivery = None then
+          first_recovery_delivery := Some (Engine.now engine);
+        incr deliveries_after_recovery
+      | Some _ | None -> ());
+  (* Fault injection: A resets, then wakes after the downtime. *)
+  ignore (Engine.schedule_at engine ~at:reset_at (fun () -> Sender.reset sender_a));
+  ignore
+    (Engine.schedule_at engine ~at:(Time.add reset_at downtime) (fun () ->
+         Sender.wakeup sender_a
+           ~on_ready:(fun () ->
+             (* The first post-wakeup message carries the leaped
+                sequence number: it is the announcement. *)
+             announce_seq := Some (Sender.next_seq sender_a);
+             if replay_announce then begin
+               (* Replay the announcement once it has been captured. *)
+               let wait = Time.mul config.link_latency 4 in
+               ignore
+                 (Engine.schedule_after engine ~after:wait (fun () ->
+                      match !announce_seq with
+                      | None -> ()
+                      | Some a ->
+                        ignore
+                          (Resets_attack.Adversary.replay_matching adversary
+                             (fun pkt ->
+                               match Esp.seq_of_packet pkt.Packet.wire with
+                               | Some s -> s = a
+                               | None -> false))))
+             end)
+           ()));
+  Sender.start sender_a;
+  ignore (Engine.run ~until:horizon engine);
+  let announce_delivered =
+    match !announce_seq with
+    | None -> false
+    | Some a -> Metrics.delivery_count metrics ~seq:a >= 1
+  in
+  let replay_rejected =
+    (not replay_announce)
+    ||
+    match !announce_seq with
+    | None -> false
+    | Some a -> Metrics.delivery_count metrics ~seq:a <= 1
+  in
+  {
+    death_detected_at = !death_detected_at;
+    sa_survived = not !sa_torn_down;
+    announce_accepted = announce_delivered;
+    replayed_announce_rejected = replay_rejected;
+    convergence_time =
+      Option.map (fun t -> Time.diff t reset_at) !first_recovery_delivery;
+    deliveries_after_recovery = !deliveries_after_recovery;
+  }

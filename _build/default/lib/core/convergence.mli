@@ -1,0 +1,22 @@
+(** Post-run convergence verdicts: did a harness run satisfy the
+    paper's Section 5 claims? *)
+
+type verdict = {
+  no_replay_accepted : bool;  (** the headline anti-replay guarantee *)
+  no_duplicate_delivery : bool;  (** Discrimination *)
+  no_seqno_reuse : bool;  (** the sender never reused a number *)
+  skipped_within_bound : bool;
+      (** skipped numbers ≤ resets × 2·Kp (vacuous without SAVE/FETCH) *)
+  discards_within_bound : bool;
+      (** true fresh discards ≤ resets × 2·Kq (vacuous without
+          SAVE/FETCH) *)
+  delivery_resumed : bool;
+      (** something was delivered after the last reset (liveness) *)
+}
+
+val holds : verdict -> bool
+(** All components true. *)
+
+val check : scenario:Harness.scenario -> Harness.result -> verdict
+
+val pp : Format.formatter -> verdict -> unit

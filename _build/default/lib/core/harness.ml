@@ -1,0 +1,247 @@
+open Resets_util
+open Resets_sim
+open Resets_persist
+open Resets_ipsec
+open Resets_workload
+
+type traffic_model =
+  | Constant
+  | Poisson
+  | Bursty of { burst_length : int; off_duration : Time.t }
+
+type attack =
+  | No_attack
+  | Replay_all_at of Time.t
+  | Wedge_at of Time.t
+  | Flood of { start : Time.t; gap : Time.t }
+
+type scenario = {
+  seed : int;
+  horizon : Time.t;
+  protocol : Protocol.t;
+  message_gap : Time.t;
+  traffic : traffic_model;
+  link_latency : Time.t;
+  link_jitter : Time.t;
+  faults : Link.faults;
+  window : int;
+  window_impl : Replay_window.impl;
+  framing : Packet.framing;
+  resets : Reset_schedule.t;
+  attack : attack;
+  sender_stop_at : Time.t option;
+  keep_trace : bool;
+}
+
+let default =
+  {
+    seed = 42;
+    horizon = Time.of_ms 100;
+    protocol = Protocol.save_fetch ~kp:25 ~kq:25 ();
+    message_gap = Time.of_us 4;
+    traffic = Constant;
+    link_latency = Time.of_us 10;
+    link_jitter = Time.zero;
+    faults = Link.no_faults;
+    window = 64;
+    window_impl = Replay_window.Bitmap_impl;
+    framing = Packet.Seq64;
+    resets = Reset_schedule.none;
+    attack = No_attack;
+    sender_stop_at = None;
+    keep_trace = false;
+  }
+
+type result = {
+  metrics : Metrics.t;
+  trace : Trace.t option;
+  sender_next_seq : int;
+  receiver_edge : int;
+  saves_completed_p : int;
+  saves_completed_q : int;
+  saves_lost_p : int;
+  saves_lost_q : int;
+  link_sent : int;
+  link_delivered : int;
+  link_dropped : int;
+  adversary_injected : int;
+  end_time : Time.t;
+}
+
+let make_traffic scenario prng =
+  match scenario.traffic with
+  | Constant -> Traffic.constant ~gap:scenario.message_gap
+  | Poisson -> Traffic.poisson ~mean_gap:scenario.message_gap ~prng
+  | Bursty { burst_length; off_duration } ->
+    Traffic.bursty ~on_gap:scenario.message_gap ~off_duration ~burst_length ~prng
+
+let sa_pair ~scenario ~spi ~secret =
+  let params =
+    Sa.derive_params ~window_width:scenario.window ~window_impl:scenario.window_impl
+      ~spi ~secret ()
+  in
+  (Sa.create params, Sa.create params)
+
+let run scenario =
+  let engine = Engine.create () in
+  let master = Prng.create scenario.seed in
+  let trace = if scenario.keep_trace then Some (Trace.create ()) else None in
+  let metrics = Metrics.create () in
+  let sa_p, sa_q = sa_pair ~scenario ~spi:0x1001l ~secret:"harness-shared-secret" in
+  (* Endpoint persistence per protocol. *)
+  let persistence_p, persistence_q =
+    match scenario.protocol with
+    | Protocol.Save_fetch { sender; receiver; robust_receiver; wakeup_buffer } ->
+      let disk_p =
+        Sim_disk.create ?trace ~name:"disk.p" ~latency:sender.Protocol.save_latency
+          engine
+      in
+      let disk_q =
+        Sim_disk.create ?trace ~name:"disk.q" ~latency:receiver.Protocol.save_latency
+          engine
+      in
+      ( Some
+          Sender.
+            {
+              disk = disk_p;
+              k = sender.Protocol.k;
+              leap = Protocol.resolved_leap sender;
+              trigger =
+                (match sender.Protocol.save_timer with
+                | None -> Sender.On_count
+                | Some dt -> Sender.On_timer dt);
+            },
+        Some
+          Receiver.
+            {
+              disk = disk_q;
+              k = receiver.Protocol.k;
+              leap = Protocol.resolved_leap receiver;
+              robust = robust_receiver;
+              wakeup_buffer;
+            } )
+    | Protocol.Volatile | Protocol.Reestablish _ -> (None, None)
+  in
+  let link =
+    Link.create ?trace ~name:"link" ~faults:scenario.faults ~jitter:scenario.link_jitter
+      ~prng:(Prng.split master) ~latency:scenario.link_latency engine
+  in
+  let adversary =
+    Resets_attack.Adversary.create ~link ~mark:Packet.mark_replayed engine
+  in
+  let traffic = make_traffic scenario (Prng.split master) in
+  let sender =
+    Sender.create ?trace ~framing:scenario.framing ~sa:sa_p ~link ~traffic ~metrics
+      ~persistence:persistence_p engine
+  in
+  let receiver =
+    Receiver.create ?trace ~framing:scenario.framing ~sa:sa_q ~metrics
+      ~persistence:persistence_q engine
+  in
+  Link.set_deliver link (Receiver.on_packet receiver);
+  (* Disruption bookkeeping: reset time -> first delivery after it. *)
+  let pending_disruptions = ref [] in
+  Receiver.on_deliver receiver (fun ~seq:_ ~payload:_ ->
+      match !pending_disruptions with
+      | [] -> ()
+      | pending ->
+        let now = Engine.now engine in
+        List.iter
+          (fun at ->
+            Stats.Sample.add metrics.Metrics.disruption_times
+              (Time.to_sec (Time.diff now at)))
+          pending;
+        pending_disruptions := []);
+  (* Re-establishment baseline: wakeup renegotiates a fresh SA. *)
+  let ike_prng = Prng.split master in
+  let next_spi = ref 0x2000l in
+  let reestablish_wakeup ~cost ~on_ready () =
+    let spi = !next_spi in
+    next_spi := Int32.add spi 1l;
+    Ike.establish ~window_width:scenario.window ~window_impl:scenario.window_impl engine
+      ~cost ~prng:ike_prng ~spi ~on_complete:(fun params ->
+        Sender.install_sa sender (Sa.create params);
+        Receiver.install_sa receiver (Sa.create params);
+        if Sender.is_down sender then Sender.wakeup sender ~on_ready ();
+        if Receiver.is_down receiver then Receiver.wakeup receiver ~on_ready:Fun.id ())
+  in
+  (* Schedule the reset/wakeup fault events. *)
+  let schedule_fault (ev : Reset_schedule.event) =
+    let do_wakeup () =
+      let on_ready () =
+        Stats.Sample.add metrics.Metrics.recovery_times
+          (Time.to_sec (Time.diff (Engine.now engine) ev.at))
+      in
+      match scenario.protocol with
+      | Protocol.Reestablish { cost } -> reestablish_wakeup ~cost ~on_ready ()
+      | Protocol.Save_fetch _ | Protocol.Volatile -> (
+        match ev.target with
+        | Reset_schedule.Sender ->
+          if Sender.is_down sender then Sender.wakeup sender ~on_ready ()
+        | Reset_schedule.Receiver ->
+          if Receiver.is_down receiver then Receiver.wakeup receiver ~on_ready ())
+    in
+    let do_reset () =
+      (match ev.target with
+      | Reset_schedule.Sender -> Sender.reset sender
+      | Reset_schedule.Receiver -> Receiver.reset receiver);
+      pending_disruptions := ev.at :: !pending_disruptions;
+      ignore (Engine.schedule_at engine ~at:(Time.add ev.at ev.downtime) do_wakeup)
+    in
+    ignore (Engine.schedule_at engine ~at:ev.at do_reset)
+  in
+  List.iter schedule_fault scenario.resets;
+  (* Schedule the adversary. *)
+  (match scenario.attack with
+  | No_attack -> ()
+  | Replay_all_at at ->
+    ignore
+      (Engine.schedule_at engine ~at (fun () ->
+           ignore
+             (Resets_attack.Adversary.replay_all_in_order ~gap:scenario.message_gap
+                adversary)))
+  | Wedge_at at ->
+    ignore
+      (Engine.schedule_at engine ~at (fun () ->
+           ignore (Resets_attack.Adversary.replay_latest adversary)))
+  | Flood { start; gap } ->
+    ignore
+      (Engine.schedule_at engine ~at:start (fun () ->
+           Resets_attack.Adversary.start_flood ~gap adversary)));
+  Option.iter
+    (fun at ->
+      ignore (Engine.schedule_at engine ~at (fun () -> Sender.stop sender)))
+    scenario.sender_stop_at;
+  Sender.start sender;
+  ignore (Engine.run ~until:scenario.horizon engine);
+  let saves_of persistence_disk =
+    match persistence_disk with
+    | None -> (0, 0)
+    | Some disk -> (Sim_disk.saves_completed disk, Sim_disk.saves_lost disk)
+  in
+  let disk_p = Option.map (fun p -> p.Sender.disk) persistence_p in
+  let disk_q = Option.map (fun (p : Receiver.persistence) -> p.Receiver.disk) persistence_q in
+  let saves_completed_p, saves_lost_p = saves_of disk_p in
+  let saves_completed_q, saves_lost_q = saves_of disk_q in
+  {
+    metrics;
+    trace;
+    sender_next_seq = Sender.next_seq sender;
+    receiver_edge = Receiver.right_edge receiver;
+    saves_completed_p;
+    saves_completed_q;
+    saves_lost_p;
+    saves_lost_q;
+    link_sent = Link.sent link;
+    link_delivered = Link.delivered link;
+    link_dropped = Link.dropped link;
+    adversary_injected = Resets_attack.Adversary.injected_count adversary;
+    end_time = Engine.now engine;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>%a@ next_seq=%d edge=%d saves(p=%d,q=%d lost p=%d,q=%d)@ \
+                      link sent=%d delivered=%d dropped=%d injected=%d t=%a@]"
+    Metrics.pp_summary r.metrics r.sender_next_seq r.receiver_edge r.saves_completed_p
+    r.saves_completed_q r.saves_lost_p r.saves_lost_q r.link_sent r.link_delivered
+    r.link_dropped r.adversary_injected Time.pp r.end_time

@@ -1,0 +1,69 @@
+(** End-to-end experiment harness.
+
+    Wires a sender, a lossy/reordering link, a replay adversary and a
+    receiver on one simulated clock, injects resets per a schedule,
+    runs to a horizon and reports metrics. Every experiment in
+    EXPERIMENTS.md is a call to {!run} with a different {!scenario}. *)
+
+type traffic_model =
+  | Constant
+  | Poisson
+  | Bursty of { burst_length : int; off_duration : Resets_sim.Time.t }
+
+type attack =
+  | No_attack
+  | Replay_all_at of Resets_sim.Time.t
+      (** Section 3's first attack: replay everything captured, in
+          order *)
+  | Wedge_at of Resets_sim.Time.t
+      (** Section 3's third attack: replay the newest capture to shove
+          q's window ahead of p *)
+  | Flood of { start : Resets_sim.Time.t; gap : Resets_sim.Time.t }
+      (** sustained replay of the capture buffer *)
+
+type scenario = {
+  seed : int;
+  horizon : Resets_sim.Time.t;
+  protocol : Protocol.t;
+  message_gap : Resets_sim.Time.t;  (** base inter-message spacing *)
+  traffic : traffic_model;
+  link_latency : Resets_sim.Time.t;
+  link_jitter : Resets_sim.Time.t;
+  faults : Resets_sim.Link.faults;
+  window : int;
+  window_impl : Resets_ipsec.Replay_window.impl;
+  framing : Packet.framing;
+  resets : Resets_workload.Reset_schedule.t;
+  attack : attack;
+  sender_stop_at : Resets_sim.Time.t option;
+      (** stop generating fresh traffic at this time (stages the
+          Section 3 "p idle while the adversary replays" attacks) *)
+  keep_trace : bool;
+}
+
+val default : scenario
+(** The paper's operating point: 4 µs message gap, 100 µs SAVE latency
+    (via {!Protocol.save_fetch} with Kp = Kq = 25), w = 64, clean 10 µs
+    link, no resets, no attack, 100 ms horizon. *)
+
+type result = {
+  metrics : Metrics.t;
+  trace : Resets_sim.Trace.t option;
+  sender_next_seq : int;
+  receiver_edge : int;
+  saves_completed_p : int;
+  saves_completed_q : int;
+  saves_lost_p : int;
+  saves_lost_q : int;
+  link_sent : int;
+  link_delivered : int;
+  link_dropped : int;
+  adversary_injected : int;
+  end_time : Resets_sim.Time.t;
+}
+
+val run : scenario -> result
+(** Deterministic for a given scenario (all randomness flows from
+    [seed]). *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,86 @@
+open Resets_util
+
+type t = {
+  mutable sent : int;
+  mutable skipped_seqnos : int;
+  mutable reused_seqnos : int;
+  mutable arrived_fresh : int;
+  mutable arrived_replayed : int;
+  mutable delivered : int;
+  mutable duplicate_deliveries : int;
+  mutable replay_accepted : int;
+  mutable replay_rejected : int;
+  mutable fresh_rejected : int;
+  mutable fresh_rejected_undelivered : int;
+  mutable bad_icv : int;
+  mutable dropped_host_down : int;
+  mutable buffered_during_wakeup : int;
+  mutable p_resets : int;
+  mutable q_resets : int;
+  recovery_times : Stats.Sample.s;
+  disruption_times : Stats.Sample.s;
+  deliveries_by_seq : (int * int, int) Hashtbl.t;
+  mutable max_delivered : int;
+  mutable epoch : int;
+  mutable max_displacement : int;
+}
+
+let create () =
+  {
+    sent = 0;
+    skipped_seqnos = 0;
+    reused_seqnos = 0;
+    arrived_fresh = 0;
+    arrived_replayed = 0;
+    delivered = 0;
+    duplicate_deliveries = 0;
+    replay_accepted = 0;
+    replay_rejected = 0;
+    fresh_rejected = 0;
+    fresh_rejected_undelivered = 0;
+    bad_icv = 0;
+    dropped_host_down = 0;
+    buffered_during_wakeup = 0;
+    p_resets = 0;
+    q_resets = 0;
+    recovery_times = Stats.Sample.create ();
+    disruption_times = Stats.Sample.create ();
+    deliveries_by_seq = Hashtbl.create 4096;
+    max_delivered = 0;
+    epoch = 0;
+    max_displacement = 0;
+  }
+
+let bump_epoch t = t.epoch <- t.epoch + 1
+
+let delivery_count t ~seq =
+  Option.value ~default:0 (Hashtbl.find_opt t.deliveries_by_seq (t.epoch, seq))
+
+let record_delivery t ~seq ~replayed =
+  let previous = delivery_count t ~seq in
+  Hashtbl.replace t.deliveries_by_seq (t.epoch, seq) (previous + 1);
+  t.delivered <- t.delivered + 1;
+  if previous > 0 then t.duplicate_deliveries <- t.duplicate_deliveries + 1;
+  if seq > t.max_delivered then t.max_delivered <- seq;
+  if replayed then t.replay_accepted <- t.replay_accepted + 1
+
+let record_rejection t ~seq ~replayed =
+  if replayed then t.replay_rejected <- t.replay_rejected + 1
+  else begin
+    t.fresh_rejected <- t.fresh_rejected + 1;
+    if delivery_count t ~seq = 0 then
+      t.fresh_rejected_undelivered <- t.fresh_rejected_undelivered + 1
+  end
+
+let delivered_distinct t = Hashtbl.length t.deliveries_by_seq
+
+let max_delivered_seq t = t.max_delivered
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "sent=%d delivered=%d (distinct %d) skipped=%d reused=%d fresh_rejected=%d \
+     (undelivered %d) replay_accepted=%d replay_rejected=%d dup_deliveries=%d \
+     bad_icv=%d down_drops=%d resets(p=%d,q=%d)"
+    t.sent t.delivered (delivered_distinct t) t.skipped_seqnos t.reused_seqnos
+    t.fresh_rejected t.fresh_rejected_undelivered t.replay_accepted t.replay_rejected
+    t.duplicate_deliveries t.bad_icv t.dropped_host_down t.p_resets t.q_resets

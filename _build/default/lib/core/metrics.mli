@@ -1,0 +1,74 @@
+(** Experiment counters, shared by sender, receiver and harness.
+
+    Metric definitions (used throughout EXPERIMENTS.md):
+
+    - {e sent}: fresh messages p put on the wire;
+    - {e skipped sequence numbers}: numbers rendered unusable by a
+      wakeup leap (the paper's "lost sequence numbers", bounded by
+      2·Kp);
+    - {e reused sequence numbers}: numbers used twice by the sender
+      (only the Volatile baseline does this);
+    - {e fresh rejected}: arrivals that were not adversary injections
+      but were discarded (stale or marked duplicate). With a loss- and
+      duplication-free link this equals the paper's "discarded fresh
+      messages" (bounded by 2·Kq after a receiver reset);
+    - {e replay accepted}: adversary-injected packets that the receiver
+      delivered — the paper's headline guarantee is that this stays 0
+      under SAVE/FETCH;
+    - {e duplicate deliveries}: a sequence number delivered twice
+      (Discrimination violations observed from outside). *)
+
+type t = {
+  mutable sent : int;
+  mutable skipped_seqnos : int;
+  mutable reused_seqnos : int;
+  mutable arrived_fresh : int;
+  mutable arrived_replayed : int;
+  mutable delivered : int;
+  mutable duplicate_deliveries : int;
+  mutable replay_accepted : int;
+  mutable replay_rejected : int;
+  mutable fresh_rejected : int;
+  mutable fresh_rejected_undelivered : int;
+      (** fresh rejections whose sequence number had not been delivered
+          by any copy at rejection time (true discards) *)
+  mutable bad_icv : int;
+  mutable dropped_host_down : int;
+  mutable buffered_during_wakeup : int;
+  mutable p_resets : int;
+  mutable q_resets : int;
+  recovery_times : Resets_util.Stats.Sample.s;
+      (** reset → endpoint ready again, seconds *)
+  disruption_times : Resets_util.Stats.Sample.s;
+      (** reset → first delivery after, seconds *)
+  deliveries_by_seq : (int * int, int) Hashtbl.t;
+      (** delivery count per (SA epoch, sequence number) — duplicate
+          detection; the epoch isolates sequence spaces of renegotiated
+          SAs *)
+  mutable max_delivered : int;
+  mutable epoch : int;
+  mutable max_displacement : int;
+      (** largest (right edge − sequence number) over accepted
+          arrivals: the worst reorder the window absorbed *)
+}
+
+val create : unit -> t
+
+val bump_epoch : t -> unit
+(** A new SA was installed: its sequence-number space is distinct. *)
+
+val record_delivery : t -> seq:int -> replayed:bool -> unit
+(** Updates delivered / duplicate / replay-accepted counters and the
+    per-sequence delivery table. *)
+
+val record_rejection : t -> seq:int -> replayed:bool -> unit
+
+val delivery_count : t -> seq:int -> int
+(** How many times a given sequence number was delivered. *)
+
+val delivered_distinct : t -> int
+
+val max_delivered_seq : t -> int
+(** 0 when nothing was delivered. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,10 @@
+type t = {
+  wire : string;
+  replayed : bool;
+}
+
+let fresh wire = { wire; replayed = false }
+
+let mark_replayed t = { t with replayed = true }
+
+type framing = Seq64 | Esn32

@@ -1,0 +1,49 @@
+open Resets_sim
+
+type persistence = {
+  k : int;
+  leap : int option;
+  save_latency : Time.t;
+  save_timer : Time.t option;
+}
+
+(* The paper's measured write-to-file latency on its reference machine. *)
+let default_save_latency = Time.of_us 100
+
+let persistence ?leap ?(save_latency = default_save_latency) ?save_timer ~k () =
+  if k <= 0 then invalid_arg "Protocol.persistence: k must be positive";
+  { k; leap; save_latency; save_timer }
+
+let resolved_leap p =
+  match p.leap with
+  | Some leap -> leap
+  | None -> 2 * p.k
+
+type t =
+  | Save_fetch of {
+      sender : persistence;
+      receiver : persistence;
+      robust_receiver : bool;
+      wakeup_buffer : bool;
+    }
+  | Volatile
+  | Reestablish of { cost : Resets_ipsec.Ike.cost }
+
+let save_fetch ?(robust_receiver = false) ?(wakeup_buffer = true) ?leap_p ?leap_q
+    ?save_latency ?save_timer_p ~kp ~kq () =
+  Save_fetch
+    {
+      sender = persistence ?leap:leap_p ?save_latency ?save_timer:save_timer_p ~k:kp ();
+      receiver = persistence ?leap:leap_q ?save_latency ~k:kq ();
+      robust_receiver;
+      wakeup_buffer;
+    }
+
+let to_string = function
+  | Save_fetch { sender; receiver; robust_receiver; _ } ->
+    Printf.sprintf "save-fetch(Kp=%d, Kq=%d%s)" sender.k receiver.k
+      (if robust_receiver then ", robust" else "")
+  | Volatile -> "volatile"
+  | Reestablish _ -> "reestablish"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

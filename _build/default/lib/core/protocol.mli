@@ -1,0 +1,55 @@
+(** Protocol variants under study. *)
+
+type persistence = {
+  k : int;  (** SAVE interval in messages (the paper's Kp / Kq) *)
+  leap : int option;  (** wakeup leap; [None] = the paper's [2 * k].
+      Smaller values are unsound and exist for the ablation benches. *)
+  save_latency : Resets_sim.Time.t;  (** the paper's Tp / Tq *)
+  save_timer : Resets_sim.Time.t option;
+      (** [None] = the paper's message-counted trigger; [Some dt] saves
+          on a fixed timer instead (the ablation Section 4 argues
+          against; see E13) *)
+}
+
+val persistence :
+  ?leap:int ->
+  ?save_latency:Resets_sim.Time.t ->
+  ?save_timer:Resets_sim.Time.t ->
+  k:int ->
+  unit ->
+  persistence
+(** Default save latency: the paper's 100 µs write-to-file figure. *)
+
+val resolved_leap : persistence -> int
+
+type t =
+  | Save_fetch of {
+      sender : persistence;
+      receiver : persistence;
+      robust_receiver : bool;
+          (** bound the window slide by durable state + leap (our fix
+              for the combined-reset corner found by the model checker;
+              see DESIGN.md and Apn.Models) *)
+      wakeup_buffer : bool;
+          (** buffer packets arriving during the wakeup SAVE (the
+              paper's choice); [false] drops them instead (ablation) *)
+    }  (** the paper's Section 4 protocol *)
+  | Volatile  (** Section 2/3 baseline: resets forget everything *)
+  | Reestablish of { cost : Resets_ipsec.Ike.cost }
+      (** IETF baseline: delete the SA on reset and renegotiate it at
+          wakeup *)
+
+val save_fetch :
+  ?robust_receiver:bool ->
+  ?wakeup_buffer:bool ->
+  ?leap_p:int ->
+  ?leap_q:int ->
+  ?save_latency:Resets_sim.Time.t ->
+  ?save_timer_p:Resets_sim.Time.t ->
+  kp:int ->
+  kq:int ->
+  unit ->
+  t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,217 @@
+open Resets_sim
+open Resets_persist
+open Resets_ipsec
+
+type persistence = {
+  disk : Sim_disk.t;
+  k : int;
+  leap : int;
+  robust : bool;
+  wakeup_buffer : bool;
+}
+
+type status = Up | Down | Waking
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  trace : Trace.t option;
+  framing : Packet.framing;
+  mutable sa : Sa.t;
+  metrics : Metrics.t;
+  persistence : persistence option;
+  mutable status : status;
+  mutable lst : int; (* last stored (or begun) right edge *)
+  mutable durable : int; (* mirror of the disk's content *)
+  mutable wakeup_buffer_q : Packet.t list; (* newest first *)
+  mutable catchup_buffer : Packet.t list; (* newest first *)
+  mutable catchup_saving : bool;
+  mutable deliver_hooks : (seq:int -> payload:string -> unit) list;
+}
+
+let disk_key = "recv_edge"
+
+let create ?(name = "q") ?trace ?(framing = Packet.Seq64) ~sa ~metrics ~persistence
+    engine =
+  let initial_edge = Resets_ipsec.Replay_window.right_edge sa.Sa.window in
+  Option.iter
+    (fun p -> Sim_disk.preload p.disk ~key:disk_key ~value:initial_edge)
+    persistence;
+  {
+    engine;
+    name;
+    trace;
+    framing;
+    sa;
+    metrics;
+    persistence;
+    status = Up;
+    lst = initial_edge;
+    durable = initial_edge;
+    wakeup_buffer_q = [];
+    catchup_buffer = [];
+    catchup_saving = false;
+    deliver_hooks = [];
+  }
+
+let tell t event detail =
+  match t.trace with
+  | None -> ()
+  | Some trace ->
+    Trace.record trace ~time:(Engine.now t.engine) ~source:t.name ~event detail
+
+let on_deliver t hook = t.deliver_hooks <- t.deliver_hooks @ [ hook ]
+
+let window t = t.sa.Sa.window
+
+let maybe_begin_periodic_save t =
+  match t.persistence with
+  | None -> ()
+  | Some p ->
+    let r = Replay_window.right_edge (window t) in
+    if r >= p.k + t.lst then begin
+      t.lst <- r;
+      Sim_disk.save p.disk ~key:disk_key ~value:r ~on_complete:(fun () ->
+          if r > t.durable then t.durable <- r)
+    end
+
+let deliver t ~seq ~payload ~replayed =
+  t.sa.Sa.packets_received <- t.sa.Sa.packets_received + 1;
+  Metrics.record_delivery t.metrics ~seq ~replayed;
+  List.iter (fun hook -> hook ~seq ~payload) t.deliver_hooks
+
+(* Process one packet through decap + window. Returns [`Deferred pkt]
+   in robust mode when the packet must wait for an urgent SAVE. *)
+let rec process t (pkt : Packet.t) =
+  let decapped =
+    match t.framing with
+    | Packet.Seq64 -> Esp.decap ~sa:t.sa.Sa.params pkt.Packet.wire
+    | Packet.Esn32 ->
+      Esp.decap_esn ~sa:t.sa.Sa.params
+        ~edge:(Replay_window.right_edge t.sa.Sa.window)
+        ~w:(Replay_window.w t.sa.Sa.window)
+        pkt.Packet.wire
+  in
+  match decapped with
+  | Error _ -> t.metrics.Metrics.bad_icv <- t.metrics.Metrics.bad_icv + 1
+  | Ok (seq, payload) ->
+    if pkt.Packet.replayed then
+      t.metrics.Metrics.arrived_replayed <- t.metrics.Metrics.arrived_replayed + 1
+    else t.metrics.Metrics.arrived_fresh <- t.metrics.Metrics.arrived_fresh + 1;
+    let prospective = max seq (Replay_window.right_edge (window t)) in
+    let needs_catchup =
+      match t.persistence with
+      | Some p -> p.robust && prospective > t.durable + p.leap
+      | None -> false
+    in
+    if needs_catchup then defer t pkt ~edge:prospective
+    else begin
+      let verdict = Replay_window.admit (window t) seq in
+      tell t "rcv"
+        (Printf.sprintf "#%d %s" seq (Replay_window.verdict_to_string verdict));
+      if Replay_window.verdict_accepts verdict then begin
+        let displacement = Replay_window.right_edge (window t) - seq in
+        if displacement > t.metrics.Metrics.max_displacement then
+          t.metrics.Metrics.max_displacement <- displacement;
+        deliver t ~seq ~payload ~replayed:pkt.Packet.replayed;
+        maybe_begin_periodic_save t
+      end
+      else Metrics.record_rejection t.metrics ~seq ~replayed:pkt.Packet.replayed
+    end
+
+(* Robust mode: hold the packet and make the prospective edge durable
+   before letting the window slide to it. *)
+and defer t pkt ~edge =
+  t.catchup_buffer <- pkt :: t.catchup_buffer;
+  match t.persistence with
+  | None -> assert false
+  | Some p ->
+    if not t.catchup_saving then begin
+      t.catchup_saving <- true;
+      tell t "catchup.begin" (string_of_int edge);
+      Sim_disk.save p.disk ~key:disk_key ~value:edge ~on_complete:(fun () ->
+          if edge > t.durable then t.durable <- edge;
+          if edge > t.lst then t.lst <- edge;
+          t.catchup_saving <- false;
+          tell t "catchup.done" (string_of_int edge);
+          let held = List.rev t.catchup_buffer in
+          t.catchup_buffer <- [];
+          if t.status = Up then List.iter (process t) held)
+    end
+
+let on_packet t pkt =
+  match t.status with
+  | Up -> process t pkt
+  | Down ->
+    (* The host is off: arrivals are lost, like any packet sent to a
+       dead machine. *)
+    t.metrics.Metrics.dropped_host_down <- t.metrics.Metrics.dropped_host_down + 1
+  | Waking -> (
+    match t.persistence with
+    | Some { wakeup_buffer = true; _ } ->
+      t.metrics.Metrics.buffered_during_wakeup <-
+        t.metrics.Metrics.buffered_during_wakeup + 1;
+      t.wakeup_buffer_q <- pkt :: t.wakeup_buffer_q
+    | Some { wakeup_buffer = false; _ } | None ->
+      t.metrics.Metrics.dropped_host_down <- t.metrics.Metrics.dropped_host_down + 1)
+
+let reset t =
+  if t.status <> Down then begin
+    t.status <- Down;
+    t.wakeup_buffer_q <- [];
+    t.catchup_buffer <- [];
+    t.catchup_saving <- false;
+    Option.iter (fun p -> Sim_disk.crash p.disk) t.persistence;
+    t.metrics.Metrics.q_resets <- t.metrics.Metrics.q_resets + 1;
+    tell t "reset" ""
+  end
+
+let drain_wakeup_buffer t =
+  let held = List.rev t.wakeup_buffer_q in
+  t.wakeup_buffer_q <- [];
+  List.iter (process t) held
+
+let wakeup t ?(on_ready = fun () -> ()) () =
+  if t.status = Up then invalid_arg "Receiver.wakeup: not down";
+  if t.status = Waking then () (* recovery already in progress *)
+  else
+  match t.persistence with
+  | None ->
+    (* Volatile baseline: Section 3's process q restarts with r = 0. *)
+    Replay_window.volatile_reset (window t);
+    t.lst <- 0;
+    t.status <- Up;
+    tell t "wakeup" "volatile, r=0";
+    on_ready ()
+  | Some p ->
+    let fetched =
+      match Sim_disk.fetch p.disk ~key:disk_key with
+      | Some v -> v
+      | None -> 0
+    in
+    let new_edge = fetched + p.leap in
+    t.status <- Waking;
+    tell t "fetch" (Printf.sprintf "fetched %d, leaping to %d" fetched new_edge);
+    Sim_disk.save p.disk ~key:disk_key ~value:new_edge ~on_complete:(fun () ->
+        Replay_window.resume_at (window t) new_edge;
+        t.lst <- new_edge;
+        t.durable <- new_edge;
+        t.status <- Up;
+        tell t "wakeup" (Printf.sprintf "resume at edge %d" new_edge);
+        drain_wakeup_buffer t;
+        on_ready ())
+
+let is_down t = t.status <> Up
+
+let right_edge t = Replay_window.right_edge (window t)
+
+let last_stored t =
+  match t.persistence with
+  | None -> None
+  | Some p -> Sim_disk.fetch p.disk ~key:disk_key
+
+let install_sa t sa =
+  t.sa <- sa;
+  Metrics.bump_epoch t.metrics
+
+let sa t = t.sa

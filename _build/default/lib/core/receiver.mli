@@ -1,0 +1,61 @@
+(** Process q: the receiving endpoint.
+
+    Runs the paper's augmented process q when given a persistence
+    configuration, and the volatile Section 2/3 process when not:
+
+    - while up, decapsulates each arriving ESP packet (bad ICVs are
+      discarded before any window processing), classifies the sequence
+      number against the anti-replay window, delivers or discards, and
+      every [k] advance of the right edge begins a background SAVE;
+    - {!reset} crashes the host: RAM (window, counters) and the
+      in-flight SAVE are lost; packets arriving while down are lost;
+    - {!wakeup} recovers: FETCH, add the leap, SAVE the result
+      blocking; packets arriving during that SAVE are buffered (the
+      paper's choice) or dropped, per configuration; then the window
+      resumes with every number up to the recovered edge assumed seen.
+
+    The [robust] flag implements the bounded-slide rule our model
+    checker showed necessary when the right edge can jump more than
+    [k] in one packet (sender leap, loss, reordering): a packet that
+    would push the edge beyond [durable + leap] is held back while an
+    urgent SAVE of the new edge runs, and processed once it is durable.
+    See DESIGN.md §5 and the E11 experiments. *)
+
+type persistence = {
+  disk : Resets_persist.Sim_disk.t;
+  k : int;
+  leap : int;
+  robust : bool;
+  wakeup_buffer : bool;
+}
+
+type t
+
+val create :
+  ?name:string ->
+  ?trace:Resets_sim.Trace.t ->
+  ?framing:Packet.framing ->
+  sa:Resets_ipsec.Sa.t ->
+  metrics:Metrics.t ->
+  persistence:persistence option ->
+  Resets_sim.Engine.t ->
+  t
+(** [framing] must match the sender's (default [Seq64]). Under [Esn32]
+    the full sequence number is inferred from the window edge before
+    ICV verification, per RFC 4304. *)
+
+val on_packet : t -> Packet.t -> unit
+(** Wire this to the link's deliver hook. *)
+
+val on_deliver : t -> (seq:int -> payload:string -> unit) -> unit
+(** Register an application-level consumer of delivered payloads. *)
+
+val reset : t -> unit
+val wakeup : t -> ?on_ready:(unit -> unit) -> unit -> unit
+(** @raise Invalid_argument when not down. *)
+
+val is_down : t -> bool
+val right_edge : t -> int
+val last_stored : t -> int option
+val install_sa : t -> Resets_ipsec.Sa.t -> unit
+val sa : t -> Resets_ipsec.Sa.t

@@ -1,0 +1,197 @@
+open Resets_sim
+open Resets_persist
+open Resets_ipsec
+
+type trigger =
+  | On_count
+  | On_timer of Time.t
+
+type persistence = {
+  disk : Sim_disk.t;
+  k : int;
+  leap : int;
+  trigger : trigger;
+}
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  trace : Trace.t option;
+  payload : seq:int -> string;
+  framing : Packet.framing;
+  mutable sa : Sa.t;
+  link : Packet.t Link.t;
+  traffic : Resets_workload.Traffic.t;
+  metrics : Metrics.t;
+  persistence : persistence option;
+  mutable lst : int; (* last stored (or begun) sequence number *)
+  mutable down : bool;
+  mutable recovering : bool; (* wakeup FETCH+SAVE in progress *)
+  mutable running : bool;
+  mutable timer : Engine.handle option;
+}
+
+let disk_key = "send_seq"
+
+let default_payload ~seq = Printf.sprintf "message-%d" seq
+
+let create ?(name = "p") ?trace ?(payload = default_payload)
+    ?(framing = Packet.Seq64) ~sa ~link ~traffic ~metrics ~persistence engine =
+  Option.iter
+    (fun p -> Sim_disk.preload p.disk ~key:disk_key ~value:sa.Sa.send_seq)
+    persistence;
+  {
+    engine;
+    name;
+    trace;
+    payload;
+    framing;
+    sa;
+    link;
+    traffic;
+    metrics;
+    persistence;
+    lst = sa.Sa.send_seq;
+    down = false;
+    recovering = false;
+    running = false;
+    timer = None;
+  }
+
+let tell t event detail =
+  match t.trace with
+  | None -> ()
+  | Some trace ->
+    Trace.record trace ~time:(Engine.now t.engine) ~source:t.name ~event detail
+
+let cancel_timer t =
+  match t.timer with
+  | None -> ()
+  | Some h ->
+    Engine.cancel h;
+    t.timer <- None
+
+let maybe_begin_periodic_save t =
+  match t.persistence with
+  | None -> ()
+  | Some ({ trigger = On_count; _ } as p) ->
+    let s = t.sa.Sa.send_seq in
+    if s >= p.k + t.lst then begin
+      t.lst <- s;
+      (* Background SAVE: sending continues while it is in flight. *)
+      Sim_disk.save p.disk ~key:disk_key ~value:s ~on_complete:(fun () -> ())
+    end
+  | Some { trigger = On_timer _; _ } -> () (* the timer loop saves *)
+
+(* Timer-triggered SAVE (the ablation the paper argues against): write
+   the current number on a fixed cadence, whatever progress was made. *)
+let start_save_timer t =
+  match t.persistence with
+  | None | Some { trigger = On_count; _ } -> ()
+  | Some ({ trigger = On_timer interval; _ } as p) ->
+    let rec tick () =
+      if not t.down then begin
+        let s = t.sa.Sa.send_seq in
+        if s <> t.lst then begin
+          t.lst <- s;
+          Sim_disk.save p.disk ~key:disk_key ~value:s ~on_complete:(fun () -> ())
+        end
+      end;
+      ignore (Engine.schedule_after t.engine ~after:interval tick)
+    in
+    ignore (Engine.schedule_after t.engine ~after:interval tick)
+
+let send_one t =
+  let seq = Sa.next_send_seq t.sa in
+  let payload = t.payload ~seq in
+  let wire =
+    match t.framing with
+    | Packet.Seq64 -> Esp.encap ~sa:t.sa.Sa.params ~seq ~payload
+    | Packet.Esn32 -> Esp.encap_esn ~sa:t.sa.Sa.params ~seq ~payload
+  in
+  Link.send t.link (Packet.fresh wire);
+  t.metrics.Metrics.sent <- t.metrics.Metrics.sent + 1;
+  maybe_begin_periodic_save t
+
+let rec schedule_next t =
+  let gap = Resets_workload.Traffic.next_gap t.traffic in
+  t.timer <-
+    Some
+      (Engine.schedule_after t.engine ~after:gap (fun () ->
+           t.timer <- None;
+           if t.running && not t.down then begin
+             send_one t;
+             schedule_next t
+           end))
+
+let start t =
+  if t.running then invalid_arg "Sender.start: already started";
+  t.running <- true;
+  start_save_timer t;
+  schedule_next t
+
+let stop t =
+  t.running <- false;
+  cancel_timer t
+
+let reset t =
+  if not t.down then begin
+    t.down <- true;
+    t.recovering <- false;
+    cancel_timer t;
+    Option.iter (fun p -> Sim_disk.crash p.disk) t.persistence;
+    t.metrics.Metrics.p_resets <- t.metrics.Metrics.p_resets + 1;
+    tell t "reset" ""
+  end
+
+let resume t ~new_seq ~on_ready =
+  let old_next = t.sa.Sa.send_seq in
+  if new_seq > old_next then
+    t.metrics.Metrics.skipped_seqnos <-
+      t.metrics.Metrics.skipped_seqnos + (new_seq - old_next)
+  else
+    t.metrics.Metrics.reused_seqnos <-
+      t.metrics.Metrics.reused_seqnos + (old_next - new_seq);
+  t.sa.Sa.send_seq <- new_seq;
+  t.lst <- new_seq;
+  t.down <- false;
+  t.recovering <- false;
+  tell t "wakeup" (Printf.sprintf "resume at %d" new_seq);
+  if t.running then schedule_next t;
+  on_ready ()
+
+let wakeup t ?(on_ready = fun () -> ()) () =
+  if not t.down then invalid_arg "Sender.wakeup: not down";
+  if t.recovering then () (* recovery already in progress *)
+  else begin
+    t.recovering <- true;
+    match t.persistence with
+  | None ->
+    (* Volatile baseline: Section 3's process p restarts at 1. *)
+    resume t ~new_seq:1 ~on_ready
+  | Some p ->
+    let fetched =
+      match Sim_disk.fetch p.disk ~key:disk_key with
+      | Some v -> v
+      | None -> 1
+    in
+    let new_seq = fetched + p.leap in
+    tell t "fetch" (Printf.sprintf "fetched %d, leaping to %d" fetched new_seq);
+    (* The wakeup SAVE blocks: p sends nothing until it is durable, so
+       a second reset cannot re-issue these numbers. *)
+    Sim_disk.save p.disk ~key:disk_key ~value:new_seq ~on_complete:(fun () ->
+        resume t ~new_seq ~on_ready)
+  end
+
+let is_down t = t.down
+
+let next_seq t = t.sa.Sa.send_seq
+
+let last_stored t =
+  match t.persistence with
+  | None -> None
+  | Some p -> Sim_disk.fetch p.disk ~key:disk_key
+
+let install_sa t sa = t.sa <- sa
+
+let sa t = t.sa

@@ -1,0 +1,79 @@
+(** Process p: the sending endpoint.
+
+    Runs the paper's augmented process p on the simulation engine when
+    given a persistence configuration, and the Section 2/3 volatile
+    process when not:
+
+    - while up, sends one ESP packet per traffic-model gap, attaching
+      the SA's next sequence number; after each send, if the next
+      sequence number has grown [k] past the last stored one, begins a
+      background SAVE of it;
+    - {!reset} models a crash: sending stops, the in-flight SAVE (if
+      any) is lost with the rest of RAM;
+    - {!wakeup} models recovery: FETCH the stored number, add the leap,
+      SAVE the result {e blocking}, and only then resume sending — or,
+      for the volatile baseline, resume at sequence number 1. *)
+
+(** When to begin a periodic background SAVE. The paper argues for
+    [On_count] — "we measure the interval between two SAVEs in terms of
+    the number of messages, rather than in terms of time, because the
+    rate of message generation may change over time". [On_timer] exists
+    to measure what that argument costs: under bursty traffic a timer
+    wastes writes while idle and lets the durable value fall more than
+    [2K] behind during a burst, breaking the wakeup leap's guarantee
+    (experiment E13). *)
+type trigger =
+  | On_count  (** every [k] messages — the paper's rule *)
+  | On_timer of Resets_sim.Time.t  (** every fixed interval *)
+
+type persistence = {
+  disk : Resets_persist.Sim_disk.t;
+  k : int;
+  leap : int;
+  trigger : trigger;
+}
+
+type t
+
+val create :
+  ?name:string ->
+  ?trace:Resets_sim.Trace.t ->
+  ?payload:(seq:int -> string) ->
+  ?framing:Packet.framing ->
+  sa:Resets_ipsec.Sa.t ->
+  link:Packet.t Resets_sim.Link.t ->
+  traffic:Resets_workload.Traffic.t ->
+  metrics:Metrics.t ->
+  persistence:persistence option ->
+  Resets_sim.Engine.t ->
+  t
+(** With persistence, the disk is preloaded with the initial sequence
+    number 1 (established state is durable). Default payload:
+    ["message-<seq>"]. *)
+
+val start : t -> unit
+(** Schedule the first send. @raise Invalid_argument if started
+    twice. *)
+
+val stop : t -> unit
+(** Stop sending permanently (end of experiment). *)
+
+val reset : t -> unit
+(** Crash now. Idempotent while down. *)
+
+val wakeup : t -> ?on_ready:(unit -> unit) -> unit -> unit
+(** Recover; [on_ready] fires when sending is possible again (after the
+    blocking SAVE under Save/Fetch, immediately for Volatile).
+    @raise Invalid_argument when not down. *)
+
+val is_down : t -> bool
+val next_seq : t -> int
+(** The sequence number the next sent message will carry. *)
+
+val last_stored : t -> int option
+(** Durable value currently on disk (None for volatile senders). *)
+
+val install_sa : t -> Resets_ipsec.Sa.t -> unit
+(** Swap in a freshly negotiated SA (re-establishment baseline). *)
+
+val sa : t -> Resets_ipsec.Sa.t

@@ -1,0 +1,1 @@
+lib/crypto/chacha20.ml: Array Bytes Char Int32 String

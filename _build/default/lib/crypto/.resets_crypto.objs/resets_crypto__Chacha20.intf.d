@@ -1,0 +1,1 @@
+lib/crypto/chacha20.mli:

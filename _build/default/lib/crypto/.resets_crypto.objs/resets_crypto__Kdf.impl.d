@@ -1,0 +1,1 @@
+lib/crypto/kdf.ml: Buffer Char Hmac Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/sha256.ml: Array Bytes Char Int32 Int64 Resets_util String

@@ -1,0 +1,81 @@
+let key_size = 32
+let nonce_size = 12
+
+let rotl x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+
+let ( +% ) = Int32.add
+let ( ^% ) = Int32.logxor
+
+let quarter_round st a b c d =
+  st.(a) <- st.(a) +% st.(b);
+  st.(d) <- rotl (st.(d) ^% st.(a)) 16;
+  st.(c) <- st.(c) +% st.(d);
+  st.(b) <- rotl (st.(b) ^% st.(c)) 12;
+  st.(a) <- st.(a) +% st.(b);
+  st.(d) <- rotl (st.(d) ^% st.(a)) 8;
+  st.(c) <- st.(c) +% st.(d);
+  st.(b) <- rotl (st.(b) ^% st.(c)) 7
+
+let get_le32 s off =
+  let byte i = Int32.of_int (Char.code s.[off + i]) in
+  Int32.logor (byte 0)
+    (Int32.logor
+       (Int32.shift_left (byte 1) 8)
+       (Int32.logor (Int32.shift_left (byte 2) 16) (Int32.shift_left (byte 3) 24)))
+
+let set_le32 b off v =
+  Bytes.set b off (Char.chr (Int32.to_int v land 0xff));
+  Bytes.set b (off + 1) (Char.chr (Int32.to_int (Int32.shift_right_logical v 8) land 0xff));
+  Bytes.set b (off + 2) (Char.chr (Int32.to_int (Int32.shift_right_logical v 16) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xff))
+
+let init_state ~key ~nonce ~counter =
+  let st = Array.make 16 0l in
+  (* "expand 32-byte k" *)
+  st.(0) <- 0x61707865l;
+  st.(1) <- 0x3320646el;
+  st.(2) <- 0x79622d32l;
+  st.(3) <- 0x6b206574l;
+  for i = 0 to 7 do
+    st.(4 + i) <- get_le32 key (4 * i)
+  done;
+  st.(12) <- counter;
+  for i = 0 to 2 do
+    st.(13 + i) <- get_le32 nonce (4 * i)
+  done;
+  st
+
+let block ~key ~nonce ~counter =
+  if String.length key <> key_size then invalid_arg "Chacha20: key must be 32 bytes";
+  if String.length nonce <> nonce_size then invalid_arg "Chacha20: nonce must be 12 bytes";
+  let initial = init_state ~key ~nonce ~counter in
+  let st = Array.copy initial in
+  for _round = 1 to 10 do
+    quarter_round st 0 4 8 12;
+    quarter_round st 1 5 9 13;
+    quarter_round st 2 6 10 14;
+    quarter_round st 3 7 11 15;
+    quarter_round st 0 5 10 15;
+    quarter_round st 1 6 11 12;
+    quarter_round st 2 7 8 13;
+    quarter_round st 3 4 9 14
+  done;
+  let out = Bytes.create 64 in
+  for i = 0 to 15 do
+    set_le32 out (4 * i) (st.(i) +% initial.(i))
+  done;
+  Bytes.unsafe_to_string out
+
+let crypt ~key ~nonce ?(counter = 1l) input =
+  let n = String.length input in
+  let out = Bytes.create n in
+  let blocks = (n + 63) / 64 in
+  for b = 0 to blocks - 1 do
+    let ks = block ~key ~nonce ~counter:(Int32.add counter (Int32.of_int b)) in
+    let off = 64 * b in
+    let len = min 64 (n - off) in
+    for i = 0 to len - 1 do
+      Bytes.set out (off + i) (Char.chr (Char.code input.[off + i] lxor Char.code ks.[i]))
+    done
+  done;
+  Bytes.unsafe_to_string out

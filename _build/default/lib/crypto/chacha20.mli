@@ -1,0 +1,16 @@
+(** ChaCha20 stream cipher (RFC 8439), the confidentiality primitive
+    for the ESP substrate. Encryption and decryption are the same
+    operation. Validated against the RFC 8439 test vector. *)
+
+val key_size : int
+(** 32 bytes. *)
+
+val nonce_size : int
+(** 12 bytes. *)
+
+val crypt : key:string -> nonce:string -> ?counter:int32 -> string -> string
+(** XOR the input with the ChaCha20 keystream.
+    @raise Invalid_argument on wrong key or nonce length. *)
+
+val block : key:string -> nonce:string -> counter:int32 -> string
+(** One 64-byte keystream block (exposed for tests). *)

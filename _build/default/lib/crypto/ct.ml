@@ -1,0 +1,9 @@
+let equal a b =
+  String.length a = String.length b
+  && begin
+       let acc = ref 0 in
+       for i = 0 to String.length a - 1 do
+         acc := !acc lor (Char.code a.[i] lxor Char.code b.[i])
+       done;
+       !acc = 0
+     end

@@ -1,0 +1,5 @@
+(** Constant-time byte-string comparison for MAC verification. *)
+
+val equal : string -> string -> bool
+(** [equal a b] compares without early exit. Strings of different
+    lengths compare unequal (length is not secret). *)

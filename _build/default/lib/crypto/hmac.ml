@@ -1,0 +1,32 @@
+let block_size = Sha256.block_size
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let padded = Bytes.make block_size '\x00' in
+  Bytes.blit_string key 0 padded 0 (String.length key);
+  Bytes.unsafe_to_string padded
+
+let xor_with s byte =
+  String.map (fun c -> Char.chr (Char.code c lxor byte)) s
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner =
+    let ctx = Sha256.init () in
+    Sha256.feed ctx (xor_with key 0x36);
+    Sha256.feed ctx msg;
+    Sha256.finalize ctx
+  in
+  let ctx = Sha256.init () in
+  Sha256.feed ctx (xor_with key 0x5c);
+  Sha256.feed ctx inner;
+  Sha256.finalize ctx
+
+let mac_truncated ~key ~bytes msg =
+  if bytes < 1 || bytes > Sha256.digest_size then
+    invalid_arg "Hmac.mac_truncated: tag length out of range";
+  String.sub (mac ~key msg) 0 bytes
+
+let verify ~key ~tag msg =
+  let n = String.length tag in
+  n >= 1 && n <= Sha256.digest_size && Ct.equal tag (String.sub (mac ~key msg) 0 n)

@@ -1,0 +1,13 @@
+(** HMAC-SHA-256 (RFC 2104), the integrity-check-value algorithm used
+    by the ESP/AH substrate. Validated against RFC 4231 vectors. *)
+
+val mac : key:string -> string -> string
+(** 32-byte tag. Keys longer than the block size are hashed first, per
+    RFC 2104. *)
+
+val mac_truncated : key:string -> bytes:int -> string -> string
+(** Leading [bytes] of the tag (ESP commonly truncates to 12 or 16).
+    @raise Invalid_argument if [bytes] is not in [\[1, 32\]]. *)
+
+val verify : key:string -> tag:string -> string -> bool
+(** Constant-time check of a (possibly truncated) tag. *)

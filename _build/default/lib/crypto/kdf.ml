@@ -1,0 +1,23 @@
+let hash_len = Sha256.digest_size
+
+let extract ~salt ~ikm = Hmac.mac ~key:salt ikm
+
+let expand ~prk ~info ~length =
+  if length <= 0 || length > 255 * hash_len then
+    invalid_arg "Kdf.expand: length out of range";
+  let blocks = (length + hash_len - 1) / hash_len in
+  let buf = Buffer.create (blocks * hash_len) in
+  let previous = ref "" in
+  for i = 1 to blocks do
+    let data = !previous ^ info ^ String.make 1 (Char.chr i) in
+    previous := Hmac.mac ~key:prk data;
+    Buffer.add_string buf !previous
+  done;
+  String.sub (Buffer.contents buf) 0 length
+
+let derive ~salt ~ikm ~info ~length = expand ~prk:(extract ~salt ~ikm) ~info ~length
+
+let stretch ~iterations input =
+  if iterations < 0 then invalid_arg "Kdf.stretch: negative iterations";
+  let rec loop acc n = if n = 0 then acc else loop (Sha256.digest acc) (n - 1) in
+  loop input iterations

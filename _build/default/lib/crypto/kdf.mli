@@ -1,0 +1,20 @@
+(** HKDF-style key derivation (RFC 5869, with HMAC-SHA-256).
+
+    The IKE-lite handshake derives its SA keys through this module; its
+    deliberate computational cost is what makes "re-establish the whole
+    SA" measurably expensive in experiment E7. *)
+
+val extract : salt:string -> ikm:string -> string
+(** 32-byte pseudo-random key. *)
+
+val expand : prk:string -> info:string -> length:int -> string
+(** Derive [length] bytes (at most 255 × 32).
+    @raise Invalid_argument when out of range. *)
+
+val derive : salt:string -> ikm:string -> info:string -> length:int -> string
+(** [extract] then [expand]. *)
+
+val stretch : iterations:int -> string -> string
+(** Iterated hashing (PBKDF-like cost knob): hash the input [iterations]
+    times. Models the expensive exponentiation of a real key exchange
+    in the IKE-lite substrate; cost is linear in [iterations]. *)

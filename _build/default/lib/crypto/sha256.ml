@@ -1,0 +1,160 @@
+(* FIPS 180-4 SHA-256. 32-bit arithmetic over Int32. *)
+
+let k =
+  [|
+    0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl; 0x59f111f1l;
+    0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l; 0x243185bel; 0x550c7dc3l;
+    0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l; 0xc19bf174l; 0xe49b69c1l; 0xefbe4786l;
+    0x0fc19dc6l; 0x240ca1ccl; 0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal;
+    0x983e5152l; 0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
+    0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl; 0x53380d13l;
+    0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l; 0xa2bfe8a1l; 0xa81a664bl;
+    0xc24b8b70l; 0xc76c51a3l; 0xd192e819l; 0xd6990624l; 0xf40e3585l; 0x106aa070l;
+    0x19a4c116l; 0x1e376c08l; 0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al;
+    0x5b9cca4fl; 0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+    0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l;
+  |]
+
+type ctx = {
+  h : int32 array; (* 8 chaining values *)
+  block : Bytes.t; (* 64-byte staging buffer *)
+  mutable block_len : int;
+  mutable total_len : int64; (* bytes absorbed *)
+  mutable finalized : bool;
+  w : int32 array; (* message schedule scratch *)
+}
+
+let digest_size = 32
+let block_size = 64
+
+let init () =
+  {
+    h =
+      [|
+        0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
+        0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l;
+      |];
+    block = Bytes.create block_size;
+    block_len = 0;
+    total_len = 0L;
+    finalized = false;
+    w = Array.make 64 0l;
+  }
+
+let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+
+let ( +% ) = Int32.add
+let ( ^% ) = Int32.logxor
+let ( &% ) = Int32.logand
+
+let big_sigma0 x = rotr x 2 ^% rotr x 13 ^% rotr x 22
+let big_sigma1 x = rotr x 6 ^% rotr x 11 ^% rotr x 25
+let small_sigma0 x = rotr x 7 ^% rotr x 18 ^% Int32.shift_right_logical x 3
+let small_sigma1 x = rotr x 17 ^% rotr x 19 ^% Int32.shift_right_logical x 10
+let ch x y z = (x &% y) ^% (Int32.lognot x &% z)
+let maj x y z = (x &% y) ^% (x &% z) ^% (y &% z)
+
+let get_be32 b off =
+  let byte i = Int32.of_int (Char.code (Bytes.get b (off + i))) in
+  Int32.logor
+    (Int32.shift_left (byte 0) 24)
+    (Int32.logor
+       (Int32.shift_left (byte 1) 16)
+       (Int32.logor (Int32.shift_left (byte 2) 8) (byte 3)))
+
+let compress ctx block off =
+  let w = ctx.w in
+  for i = 0 to 15 do
+    w.(i) <- get_be32 block (off + (4 * i))
+  done;
+  for i = 16 to 63 do
+    w.(i) <- small_sigma1 w.(i - 2) +% w.(i - 7) +% small_sigma0 w.(i - 15) +% w.(i - 16)
+  done;
+  let a = ref ctx.h.(0) and b = ref ctx.h.(1) and c = ref ctx.h.(2) and d = ref ctx.h.(3) in
+  let e = ref ctx.h.(4) and f = ref ctx.h.(5) and g = ref ctx.h.(6) and h = ref ctx.h.(7) in
+  for i = 0 to 63 do
+    let t1 = !h +% big_sigma1 !e +% ch !e !f !g +% k.(i) +% w.(i) in
+    let t2 = big_sigma0 !a +% maj !a !b !c in
+    h := !g;
+    g := !f;
+    f := !e;
+    e := !d +% t1;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := t1 +% t2
+  done;
+  ctx.h.(0) <- ctx.h.(0) +% !a;
+  ctx.h.(1) <- ctx.h.(1) +% !b;
+  ctx.h.(2) <- ctx.h.(2) +% !c;
+  ctx.h.(3) <- ctx.h.(3) +% !d;
+  ctx.h.(4) <- ctx.h.(4) +% !e;
+  ctx.h.(5) <- ctx.h.(5) +% !f;
+  ctx.h.(6) <- ctx.h.(6) +% !g;
+  ctx.h.(7) <- ctx.h.(7) +% !h
+
+let feed_bytes ctx src ~off ~len =
+  if ctx.finalized then invalid_arg "Sha256.feed: context already finalized";
+  if off < 0 || len < 0 || off + len > Bytes.length src then
+    invalid_arg "Sha256.feed_bytes: out of bounds";
+  ctx.total_len <- Int64.add ctx.total_len (Int64.of_int len);
+  let pos = ref off and remaining = ref len in
+  (* Top up a partially filled staging block first. *)
+  if ctx.block_len > 0 then begin
+    let take = min !remaining (block_size - ctx.block_len) in
+    Bytes.blit src !pos ctx.block ctx.block_len take;
+    ctx.block_len <- ctx.block_len + take;
+    pos := !pos + take;
+    remaining := !remaining - take;
+    if ctx.block_len = block_size then begin
+      compress ctx ctx.block 0;
+      ctx.block_len <- 0
+    end
+  end;
+  while !remaining >= block_size do
+    compress ctx src !pos;
+    pos := !pos + block_size;
+    remaining := !remaining - block_size
+  done;
+  if !remaining > 0 then begin
+    Bytes.blit src !pos ctx.block 0 !remaining;
+    ctx.block_len <- !remaining
+  end
+
+let feed ctx s =
+  feed_bytes ctx (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
+
+let finalize ctx =
+  if ctx.finalized then invalid_arg "Sha256.finalize: context already finalized";
+  let bit_len = Int64.mul ctx.total_len 8L in
+  (* Padding: 0x80, zeros, 8-byte big-endian bit length. *)
+  let pad_len =
+    let rem = (ctx.block_len + 1 + 8) mod block_size in
+    if rem = 0 then 1 else 1 + (block_size - rem)
+  in
+  let tail = Bytes.make (pad_len + 8) '\x00' in
+  Bytes.set tail 0 '\x80';
+  for i = 0 to 7 do
+    let shift = 8 * (7 - i) in
+    Bytes.set tail (pad_len + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bit_len shift) 0xffL)))
+  done;
+  feed_bytes ctx tail ~off:0 ~len:(Bytes.length tail);
+  assert (ctx.block_len = 0);
+  ctx.finalized <- true;
+  let out = Bytes.create digest_size in
+  for i = 0 to 7 do
+    let v = ctx.h.(i) in
+    Bytes.set out (4 * i) (Char.chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xff));
+    Bytes.set out ((4 * i) + 1) (Char.chr (Int32.to_int (Int32.shift_right_logical v 16) land 0xff));
+    Bytes.set out ((4 * i) + 2) (Char.chr (Int32.to_int (Int32.shift_right_logical v 8) land 0xff));
+    Bytes.set out ((4 * i) + 3) (Char.chr (Int32.to_int v land 0xff))
+  done;
+  Bytes.unsafe_to_string out
+
+let digest s =
+  let ctx = init () in
+  feed ctx s;
+  finalize ctx
+
+let hex_digest s = Resets_util.Hex.encode (digest s)

@@ -1,0 +1,28 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    Provides the integrity primitive under the IPsec substrate's ICVs;
+    validated against the FIPS test vectors in the test suite. *)
+
+type ctx
+
+val init : unit -> ctx
+
+val feed : ctx -> string -> unit
+(** Absorb bytes; may be called repeatedly. *)
+
+val feed_bytes : ctx -> bytes -> off:int -> len:int -> unit
+
+val finalize : ctx -> string
+(** 32-byte digest. The context must not be reused afterwards.
+    @raise Invalid_argument on reuse. *)
+
+val digest : string -> string
+(** One-shot digest of a full message. *)
+
+val hex_digest : string -> string
+
+val digest_size : int
+(** 32. *)
+
+val block_size : int
+(** 64. *)

@@ -1,0 +1,1 @@
+lib/ipsec/ah.ml: Buffer Esp Int64 Resets_crypto Sa String Wire

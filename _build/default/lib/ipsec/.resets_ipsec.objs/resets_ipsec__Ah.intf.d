@@ -1,0 +1,1 @@
+lib/ipsec/ah.mli: Esp Resets_util Sa

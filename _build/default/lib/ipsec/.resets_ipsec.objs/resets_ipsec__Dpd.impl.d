@@ -1,0 +1,1 @@
+lib/ipsec/dpd.ml: Engine Resets_sim Time

@@ -1,0 +1,1 @@
+lib/ipsec/dpd.mli: Resets_sim

@@ -1,0 +1,1 @@
+lib/ipsec/esn.ml: Replay_window

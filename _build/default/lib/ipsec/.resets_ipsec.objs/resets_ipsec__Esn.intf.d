@@ -1,0 +1,1 @@
+lib/ipsec/esn.mli: Replay_window

@@ -1,0 +1,1 @@
+lib/ipsec/esp.ml: Buffer Esn Format Int32 Int64 Resets_crypto Sa String Wire

@@ -1,0 +1,1 @@
+lib/ipsec/esp.mli: Format Resets_util Sa

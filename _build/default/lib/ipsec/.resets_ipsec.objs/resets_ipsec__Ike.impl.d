@@ -1,0 +1,1 @@
+lib/ipsec/ike.ml: Char Engine Prng Resets_crypto Resets_sim Resets_util Sa String Time

@@ -1,0 +1,1 @@
+lib/ipsec/ike.mli: Replay_window Resets_sim Resets_util Sa

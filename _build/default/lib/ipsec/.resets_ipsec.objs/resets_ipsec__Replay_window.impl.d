@@ -1,0 +1,1 @@
+lib/ipsec/replay_window.ml: Array Bytes Char Format Resets_util Seqno

@@ -1,0 +1,1 @@
+lib/ipsec/replay_window.mli: Format Resets_util

@@ -1,0 +1,1 @@
+lib/ipsec/sa.ml: Format Printf Replay_window Resets_crypto Resets_util Seqno String

@@ -1,0 +1,1 @@
+lib/ipsec/sa.mli: Format Replay_window Resets_util

@@ -1,0 +1,1 @@
+lib/ipsec/sadb.mli: Sa

@@ -1,0 +1,1 @@
+lib/ipsec/wire.ml: Buffer Char Int32 Int64 String

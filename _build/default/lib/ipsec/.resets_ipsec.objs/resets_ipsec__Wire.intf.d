@@ -1,0 +1,1 @@
+lib/ipsec/wire.mli: Buffer

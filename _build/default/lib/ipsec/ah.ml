@@ -1,0 +1,36 @@
+
+type error = Esp.error
+
+let header_length = 12
+
+let icv ~(sa : Sa.params) covered =
+  Resets_crypto.Hmac.mac_truncated ~key:sa.keys.auth_key
+    ~bytes:(Sa.icv_length sa.algo.integ)
+    covered
+
+let encap ~sa ~seq ~payload =
+  if seq < 0 then invalid_arg "Ah.encap: negative sequence number";
+  let header = Buffer.create header_length in
+  Wire.put_be32 header sa.Sa.spi;
+  Wire.put_be64 header (Int64.of_int seq);
+  let header = Buffer.contents header in
+  let tag = icv ~sa (header ^ payload) in
+  header ^ tag ^ payload
+
+let decap ~sa packet =
+  let icv_len = Sa.icv_length sa.Sa.algo.integ in
+  let n = String.length packet in
+  if n < header_length + icv_len then Error Esp.Malformed
+  else begin
+    let header = String.sub packet 0 header_length in
+    let tag = String.sub packet header_length icv_len in
+    let payload = String.sub packet (header_length + icv_len) (n - header_length - icv_len) in
+    if not (Resets_crypto.Ct.equal tag (icv ~sa (header ^ payload))) then Error Esp.Bad_icv
+    else Ok (Int64.to_int (Wire.get_be64 packet 4), payload)
+  end
+
+let seq_of_packet ~sa:_ packet =
+  if String.length packet < header_length then None
+  else Some (Int64.to_int (Wire.get_be64 packet 4))
+
+let overhead ~sa = header_length + Sa.icv_length sa.Sa.algo.integ

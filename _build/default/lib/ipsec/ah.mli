@@ -1,0 +1,15 @@
+(** AH-style encapsulation: integrity + anti-replay sequence number,
+    payload in the clear.
+
+    Wire layout: [spi(4) | seq(8) | icv | payload]; the ICV covers SPI,
+    sequence number and payload. *)
+
+type error = Esp.error
+
+val encap : sa:Sa.params -> seq:Resets_util.Seqno.t -> payload:string -> string
+
+val decap : sa:Sa.params -> string -> (Resets_util.Seqno.t * string, error) result
+
+val seq_of_packet : sa:Sa.params -> string -> Resets_util.Seqno.t option
+
+val overhead : sa:Sa.params -> int

@@ -1,0 +1,104 @@
+
+type error = Malformed | Bad_icv
+
+let error_to_string = function
+  | Malformed -> "malformed"
+  | Bad_icv -> "bad-icv"
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+let header_length = 12 (* spi + seq *)
+
+let nonce ~(sa : Sa.params) ~seq =
+  let buf = Buffer.create 12 in
+  Buffer.add_string buf sa.keys.salt;
+  Wire.put_be64 buf (Int64.of_int seq);
+  Buffer.contents buf
+
+let encrypt ~(sa : Sa.params) ~seq payload =
+  match sa.algo.encr with
+  | Sa.Null_encr -> payload
+  | Sa.Chacha20 ->
+    Resets_crypto.Chacha20.crypt ~key:sa.keys.enc_key ~nonce:(nonce ~sa ~seq) payload
+
+(* ChaCha20 decryption is the same XOR. *)
+let decrypt = encrypt
+
+let icv ~(sa : Sa.params) covered =
+  Resets_crypto.Hmac.mac_truncated ~key:sa.keys.auth_key
+    ~bytes:(Sa.icv_length sa.algo.integ)
+    covered
+
+let encap ~sa ~seq ~payload =
+  if seq < 0 then invalid_arg "Esp.encap: negative sequence number";
+  let buf = Buffer.create (header_length + String.length payload + 32) in
+  Wire.put_be32 buf sa.Sa.spi;
+  Wire.put_be64 buf (Int64.of_int seq);
+  Buffer.add_string buf (encrypt ~sa ~seq payload);
+  let covered = Buffer.contents buf in
+  covered ^ icv ~sa covered
+
+let decap ~sa packet =
+  let icv_len = Sa.icv_length sa.Sa.algo.integ in
+  let n = String.length packet in
+  if n < header_length + icv_len then Error Malformed
+  else begin
+    let covered = String.sub packet 0 (n - icv_len) in
+    let tag = String.sub packet (n - icv_len) icv_len in
+    if not (Resets_crypto.Ct.equal tag (icv ~sa covered)) then Error Bad_icv
+    else begin
+      let seq = Int64.to_int (Wire.get_be64 packet 4) in
+      let ciphertext = String.sub packet header_length (n - icv_len - header_length) in
+      Ok (seq, decrypt ~sa ~seq ciphertext)
+    end
+  end
+
+let seq_of_packet packet =
+  if String.length packet < header_length then None
+  else Some (Int64.to_int (Wire.get_be64 packet 4))
+
+let spi_of_packet packet =
+  if String.length packet < 4 then None else Some (Wire.get_be32 packet 0)
+
+let overhead ~sa = header_length + Sa.icv_length sa.Sa.algo.integ
+
+(* ---- ESN framing -------------------------------------------------- *)
+
+let esn_header_length = 8 (* spi + seq_low *)
+
+(* The ICV covers the reconstructed long header (full 64-bit sequence
+   number), not the wire bytes — RFC 4304's implicit high-order bits. *)
+let esn_covered ~(sa : Sa.params) ~seq ciphertext =
+  let buf = Buffer.create (12 + String.length ciphertext) in
+  Wire.put_be32 buf sa.Sa.spi;
+  Wire.put_be64 buf (Int64.of_int seq);
+  Buffer.add_string buf ciphertext;
+  Buffer.contents buf
+
+let encap_esn ~sa ~seq ~payload =
+  if seq < 0 then invalid_arg "Esp.encap_esn: negative sequence number";
+  let ciphertext = encrypt ~sa ~seq payload in
+  let tag = icv ~sa (esn_covered ~sa ~seq ciphertext) in
+  let buf = Buffer.create (esn_header_length + String.length ciphertext + 32) in
+  Wire.put_be32 buf sa.Sa.spi;
+  Wire.put_be32 buf (Int32.of_int (seq land 0xffffffff));
+  Buffer.add_string buf ciphertext;
+  Buffer.add_string buf tag;
+  Buffer.contents buf
+
+let decap_esn ~sa ~edge ~w packet =
+  let icv_len = Sa.icv_length sa.Sa.algo.integ in
+  let n = String.length packet in
+  if n < esn_header_length + icv_len then Error Malformed
+  else begin
+    let seq_low = Int32.to_int (Wire.get_be32 packet 4) land 0xffffffff in
+    let seq = Esn.infer ~edge ~w ~seq_low in
+    if seq < 0 then Error Bad_icv (* pre-history epoch: cannot verify *)
+    else begin
+      let ciphertext = String.sub packet esn_header_length (n - icv_len - esn_header_length) in
+      let tag = String.sub packet (n - icv_len) icv_len in
+      if not (Resets_crypto.Ct.equal tag (icv ~sa (esn_covered ~sa ~seq ciphertext)))
+      then Error Bad_icv
+      else Ok (seq, decrypt ~sa ~seq ciphertext)
+    end
+  end

@@ -1,0 +1,59 @@
+(** ESP-style encapsulation: confidentiality + integrity + the sequence
+    number the anti-replay machinery rides on.
+
+    Wire layout (honest framing, not bit-exact RFC 4303):
+    [spi(4) | seq(8, big-endian) | ciphertext | icv]. The ICV covers
+    the SPI, sequence number and ciphertext; the per-packet nonce is
+    [salt(4) || seq(8)], so sequence-number reuse would also be
+    nonce reuse — one more reason the SAVE/FETCH leap matters.
+
+    We carry 64-bit sequence numbers (RFC 4304 extended style) because
+    the paper treats them as unbounded integers. *)
+
+type error =
+  | Malformed  (** too short to parse *)
+  | Bad_icv  (** integrity check failed — wrong key or tampering *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val encap : sa:Sa.params -> seq:Resets_util.Seqno.t -> payload:string -> string
+(** Build a wire packet. @raise Invalid_argument on negative [seq]. *)
+
+val decap : sa:Sa.params -> string -> (Resets_util.Seqno.t * string, error) result
+(** Verify the ICV, decrypt, and return (sequence number, payload).
+    Replay-window processing is the caller's job — in IPsec the window
+    check precedes and follows ICV verification; here the caller
+    sequences those steps. *)
+
+val seq_of_packet : string -> Resets_util.Seqno.t option
+(** Peek at the sequence number without verifying (what an adversary on
+    the path can read). *)
+
+val spi_of_packet : string -> int32 option
+
+val overhead : sa:Sa.params -> int
+(** Bytes added to a payload by [encap]. *)
+
+(** {1 ESN framing (RFC 4304 style)}
+
+    The wire carries only the low 32 bits of the sequence number; the
+    ICV covers the {e full} 64-bit value, which the receiver infers
+    from its window state ({!Esn.infer}) before verification. A wrong
+    inference therefore fails the integrity check — exactly the
+    RFC-specified behaviour, and the reason a SAVE/FETCH wakeup leap
+    must recover an edge whose epoch is right. *)
+
+val encap_esn : sa:Sa.params -> seq:Resets_util.Seqno.t -> payload:string -> string
+(** Wire: [spi(4) | seq_low(4) | ciphertext | icv] with the ICV (and
+    nonce) computed over the full [seq]. *)
+
+val decap_esn :
+  sa:Sa.params ->
+  edge:Resets_util.Seqno.t ->
+  w:int ->
+  string ->
+  (Resets_util.Seqno.t * string, error) result
+(** [decap_esn ~sa ~edge ~w packet] infers the full sequence number
+    from the packet's low 32 bits and the receiver's window position,
+    then verifies and decrypts under it. *)

@@ -1,0 +1,346 @@
+open Resets_util
+
+type verdict = Accept_new | Accept_in_window | Reject_duplicate | Reject_stale
+
+let verdict_accepts = function
+  | Accept_new | Accept_in_window -> true
+  | Reject_duplicate | Reject_stale -> false
+
+let verdict_to_string = function
+  | Accept_new -> "accept-new"
+  | Accept_in_window -> "accept-in-window"
+  | Reject_duplicate -> "reject-duplicate"
+  | Reject_stale -> "reject-stale"
+
+let pp_verdict ppf v = Format.pp_print_string ppf (verdict_to_string v)
+
+let equal_verdict (a : verdict) (b : verdict) = a = b
+
+module type S = sig
+  type t
+
+  val create : w:int -> t
+  val w : t -> int
+  val right_edge : t -> Seqno.t
+  val check : t -> Seqno.t -> verdict
+  val admit : t -> Seqno.t -> verdict
+  val volatile_reset : t -> unit
+  val resume_at : t -> Seqno.t -> unit
+  val seen : t -> Seqno.t -> bool
+end
+
+(* Transliteration of the paper's process q: wdw : array [1..w] of
+   boolean (0-based here), right edge r, and the two shift loops of the
+   [r < s] case executed literally. *)
+module Paper = struct
+  type t = {
+    mutable wdw : bool array;
+    mutable r : Seqno.t;
+  }
+
+  let create ~w =
+    if w <= 0 then invalid_arg "Replay_window.Paper.create: w must be positive";
+    { wdw = Array.make w true; r = Seqno.zero }
+
+  let w t = Array.length t.wdw
+
+  let right_edge t = t.r
+
+  let check t s =
+    let w = w t in
+    if Seqno.is_stale ~right:t.r ~w s then Reject_stale
+    else if Seqno.in_window ~right:t.r ~w s then
+      if t.wdw.(Seqno.window_index ~right:t.r ~w s - 1) then Reject_duplicate
+      else Accept_in_window
+    else Accept_new
+
+  let slide t s =
+    (* The paper's two loops:
+         r, i, j := s, s - r + 1, 1;
+         do i <= w -> wdw[j], i, j := wdw[i], i + 1, j + 1 od;
+         do j < w  -> wdw[j], j := false, j + 1 od
+       followed by marking the new right edge as received (the loops
+       preserve the invariant wdw[w] = true because r only ever advances
+       to a sequence number that was just accepted). *)
+    let w = w t in
+    let i = ref (s - t.r + 1) and j = ref 1 in
+    t.r <- s;
+    while !i <= w do
+      t.wdw.(!j - 1) <- t.wdw.(!i - 1);
+      incr i;
+      incr j
+    done;
+    while !j < w do
+      t.wdw.(!j - 1) <- false;
+      incr j
+    done;
+    t.wdw.(w - 1) <- true
+
+  let admit t s =
+    match check t s with
+    | Reject_stale -> Reject_stale
+    | Reject_duplicate -> Reject_duplicate
+    | Accept_in_window ->
+      t.wdw.(Seqno.window_index ~right:t.r ~w:(w t) s - 1) <- true;
+      Accept_in_window
+    | Accept_new ->
+      slide t s;
+      Accept_new
+
+  let volatile_reset t =
+    t.r <- Seqno.zero;
+    Array.fill t.wdw 0 (Array.length t.wdw) true
+
+  let resume_at t s =
+    t.r <- s;
+    Array.fill t.wdw 0 (Array.length t.wdw) true
+
+  let seen t s =
+    let w = w t in
+    if Seqno.is_stale ~right:t.r ~w s then true
+    else if Seqno.in_window ~right:t.r ~w s then
+      t.wdw.(Seqno.window_index ~right:t.r ~w s - 1)
+    else false
+end
+
+(* RFC 2401-style circular bitmap: bit (s mod w) holds the seen flag
+   for s while s is in window. Sliding clears only the bits that leave
+   the window, so a slide costs O(min(distance, w)) instead of O(w). *)
+module Bitmap = struct
+  type t = {
+    bits : Bytes.t; (* one bit per window slot *)
+    w : int;
+    mutable r : Seqno.t;
+  }
+
+  let create ~w =
+    if w <= 0 then invalid_arg "Replay_window.Bitmap.create: w must be positive";
+    let bits = Bytes.make ((w + 7) / 8) '\xff' in
+    { bits; w; r = Seqno.zero }
+
+  let w t = t.w
+
+  let right_edge t = t.r
+
+  let get_bit t s =
+    let i = ((s mod t.w) + t.w) mod t.w in
+    Char.code (Bytes.get t.bits (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+  let set_bit t s v =
+    let i = ((s mod t.w) + t.w) mod t.w in
+    let current = Char.code (Bytes.get t.bits (i / 8)) in
+    let mask = 1 lsl (i mod 8) in
+    let updated = if v then current lor mask else current land lnot mask in
+    Bytes.set t.bits (i / 8) (Char.chr updated)
+
+  let check t s =
+    if Seqno.is_stale ~right:t.r ~w:t.w s then Reject_stale
+    else if Seqno.in_window ~right:t.r ~w:t.w s then
+      if get_bit t s then Reject_duplicate else Accept_in_window
+    else Accept_new
+
+  let fill t v = Bytes.fill t.bits 0 (Bytes.length t.bits) (if v then '\xff' else '\x00')
+
+  let slide t s =
+    let distance = s - t.r in
+    if distance >= t.w then fill t false
+    else
+      (* Clear slots for the numbers entering the window: r+1 .. s-1. *)
+      for n = t.r + 1 to s - 1 do
+        set_bit t n false
+      done;
+    t.r <- s;
+    set_bit t s true
+
+  let admit t s =
+    match check t s with
+    | Reject_stale -> Reject_stale
+    | Reject_duplicate -> Reject_duplicate
+    | Accept_in_window ->
+      set_bit t s true;
+      Accept_in_window
+    | Accept_new ->
+      slide t s;
+      Accept_new
+
+  let volatile_reset t =
+    t.r <- Seqno.zero;
+    fill t true
+
+  let resume_at t s =
+    t.r <- s;
+    fill t true
+
+  let seen t s =
+    if Seqno.is_stale ~right:t.r ~w:t.w s then true
+    else if Seqno.in_window ~right:t.r ~w:t.w s then get_bit t s
+    else false
+end
+
+(* RFC 6479-style blocked bitmap (the WireGuard scheme): the slot space
+   is over-provisioned to ceil(w / word) + 1 machine words so a slide
+   only ever zeroes whole words — no per-slot clearing loop and no
+   byte-level masking on the fast path. The effective window it
+   enforces is exactly [w] because checks still use the w-based range
+   predicates; the extra word is slack for the word-aligned clear. *)
+module Block = struct
+  let word_bits = 63 (* OCaml native int payload *)
+
+  type t = {
+    words : int array;
+    w : int;
+    slots : int; (* words * word_bits, > w *)
+    mutable r : Seqno.t;
+  }
+
+  (* Invariant (RFC 6479): every slot cyclically ahead of the right
+     edge's word is zero. Initialization therefore zeroes the ring and
+     marks only the in-window slots as seen (the paper's "initially
+     true" covers exactly the window). *)
+
+  let create ~w =
+    if w <= 0 then invalid_arg "Replay_window.Block.create: w must be positive";
+    let nwords = ((w + word_bits - 1) / word_bits) + 1 in
+    let t =
+      { words = Array.make nwords 0; w; slots = nwords * word_bits; r = Seqno.zero }
+    in
+    for s = t.r - w + 1 to t.r do
+      let i = ((s mod t.slots) + t.slots) mod t.slots in
+      t.words.(i / word_bits) <- t.words.(i / word_bits) lor (1 lsl (i mod word_bits))
+    done;
+    t
+
+  let w t = t.w
+
+  let right_edge t = t.r
+
+  let slot t s = ((s mod t.slots) + t.slots) mod t.slots
+
+  let get_bit t s =
+    let i = slot t s in
+    t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+  let set_bit t s =
+    let i = slot t s in
+    t.words.(i / word_bits) <- t.words.(i / word_bits) lor (1 lsl (i mod word_bits))
+
+  let check t s =
+    if Seqno.is_stale ~right:t.r ~w:t.w s then Reject_stale
+    else if Seqno.in_window ~right:t.r ~w:t.w s then
+      if get_bit t s then Reject_duplicate else Accept_in_window
+    else Accept_new
+
+  let fill t v = Array.fill t.words 0 (Array.length t.words) (if v then -1 else 0)
+
+  let slide t s =
+    let nwords = Array.length t.words in
+    let old_word = slot t t.r / word_bits and new_word = slot t s / word_bits in
+    let distance = s - t.r in
+    (* A slide that laps (or nearly laps) the whole ring can alias the
+       old and new word positions; clear everything conservatively. *)
+    if distance + word_bits > t.slots then fill t false
+    else begin
+      (* zero every word strictly between the old and the new position
+         (cyclically), then the new word itself if we entered it *)
+      let steps = (new_word - old_word + nwords) mod nwords in
+      for k = 1 to steps do
+        t.words.((old_word + k) mod nwords) <- 0
+      done
+    end;
+    t.r <- s;
+    set_bit t s
+
+  let admit t s =
+    match check t s with
+    | Reject_stale -> Reject_stale
+    | Reject_duplicate -> Reject_duplicate
+    | Accept_in_window ->
+      set_bit t s;
+      Accept_in_window
+    | Accept_new ->
+      slide t s;
+      Accept_new
+
+  let mark_window_seen t =
+    fill t false;
+    for s = t.r - t.w + 1 to t.r do
+      set_bit t s
+    done
+
+  let volatile_reset t =
+    t.r <- Seqno.zero;
+    mark_window_seen t
+
+  let resume_at t s =
+    t.r <- s;
+    mark_window_seen t
+
+  let seen t s =
+    if Seqno.is_stale ~right:t.r ~w:t.w s then true
+    else if Seqno.in_window ~right:t.r ~w:t.w s then get_bit t s
+    else false
+end
+
+type impl = Paper_impl | Bitmap_impl | Block_impl
+
+type packed =
+  | Packed_paper of Paper.t
+  | Packed_bitmap of Bitmap.t
+  | Packed_block of Block.t
+
+type t = packed ref
+
+let create impl ~w =
+  ref
+    (match impl with
+    | Paper_impl -> Packed_paper (Paper.create ~w)
+    | Bitmap_impl -> Packed_bitmap (Bitmap.create ~w)
+    | Block_impl -> Packed_block (Block.create ~w))
+
+let impl t =
+  match !t with
+  | Packed_paper _ -> Paper_impl
+  | Packed_bitmap _ -> Bitmap_impl
+  | Packed_block _ -> Block_impl
+
+let w t =
+  match !t with
+  | Packed_paper p -> Paper.w p
+  | Packed_bitmap b -> Bitmap.w b
+  | Packed_block b -> Block.w b
+
+let right_edge t =
+  match !t with
+  | Packed_paper p -> Paper.right_edge p
+  | Packed_bitmap b -> Bitmap.right_edge b
+  | Packed_block b -> Block.right_edge b
+
+let check t s =
+  match !t with
+  | Packed_paper p -> Paper.check p s
+  | Packed_bitmap b -> Bitmap.check b s
+  | Packed_block b -> Block.check b s
+
+let admit t s =
+  match !t with
+  | Packed_paper p -> Paper.admit p s
+  | Packed_bitmap b -> Bitmap.admit b s
+  | Packed_block b -> Block.admit b s
+
+let volatile_reset t =
+  match !t with
+  | Packed_paper p -> Paper.volatile_reset p
+  | Packed_bitmap b -> Bitmap.volatile_reset b
+  | Packed_block b -> Block.volatile_reset b
+
+let resume_at t s =
+  match !t with
+  | Packed_paper p -> Paper.resume_at p s
+  | Packed_bitmap b -> Bitmap.resume_at b s
+  | Packed_block b -> Block.resume_at b s
+
+let seen t s =
+  match !t with
+  | Packed_paper p -> Paper.seen p s
+  | Packed_bitmap b -> Bitmap.seen b s
+  | Packed_block b -> Block.seen b s

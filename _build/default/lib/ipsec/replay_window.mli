@@ -1,0 +1,87 @@
+(** Anti-replay window: the receiver-side data structure of Section 2.
+
+    The window tracks, for the receiver [q], which of the [w] sequence
+    numbers ending at the right edge [r] have been seen. Checking an
+    incoming sequence number [s] follows the three-case rule of the
+    paper's Section 2:
+
+    - [s <= r - w]: {e stale} — [q] cannot tell whether it has seen the
+      message, so it conservatively rejects;
+    - [r - w < s <= r]: in window — reject iff already seen;
+    - [s > r]: fresh beyond the edge — accept and slide the window so
+      [s] becomes the new right edge.
+
+    Three implementations are provided: {!Paper} transliterates the
+    boolean-array process of Section 2 (including its two shift loops);
+    {!Bitmap} is the RFC 2401-style circular bitmap; {!Block} is the
+    RFC 6479-style blocked bitmap (the WireGuard scheme), which
+    over-provisions the slot space so slides clear whole machine words
+    instead of individual slots. QCheck properties in the test suite
+    check all three observationally equivalent; the benchmark harness
+    compares their cost. *)
+
+type verdict =
+  | Accept_new  (** beyond the right edge; window slid *)
+  | Accept_in_window  (** inside the window, first sighting *)
+  | Reject_duplicate  (** inside the window, already seen *)
+  | Reject_stale  (** at or below the left edge *)
+
+val verdict_accepts : verdict -> bool
+val pp_verdict : Format.formatter -> verdict -> unit
+val verdict_to_string : verdict -> string
+val equal_verdict : verdict -> verdict -> bool
+
+(** Operations every window implementation supports. *)
+module type S = sig
+  type t
+
+  val create : w:int -> t
+  (** Fresh window: right edge 0, every slot marked seen (the paper's
+      declared initial values). @raise Invalid_argument if [w <= 0]. *)
+
+  val w : t -> int
+  val right_edge : t -> Resets_util.Seqno.t
+
+  val check : t -> Resets_util.Seqno.t -> verdict
+  (** Classify without mutating. *)
+
+  val admit : t -> Resets_util.Seqno.t -> verdict
+  (** Classify and, on acceptance, record the sequence number (sliding
+      the window for [Accept_new]). *)
+
+  val volatile_reset : t -> unit
+  (** What a host reset does to RAM: right edge back to 0, history
+      forgotten. (This is the {e problem}; SAVE/FETCH is the cure.) *)
+
+  val resume_at : t -> Resets_util.Seqno.t -> unit
+  (** Wakeup with a recovered right edge: every number up to it is
+      assumed already received (the paper's third action of process q
+      sets the whole array to true). *)
+
+  val seen : t -> Resets_util.Seqno.t -> bool
+  (** Whether an in-window number is marked received; stale numbers
+      report [true], beyond-edge numbers [false]. *)
+end
+
+module Paper : S
+module Bitmap : S
+module Block : S
+
+(** {1 Packed windows}
+
+    A first-class wrapper so harness code can pick the implementation
+    at run time. *)
+
+type impl = Paper_impl | Bitmap_impl | Block_impl
+
+type t
+
+val create : impl -> w:int -> t
+val impl : t -> impl
+val w : t -> int
+val right_edge : t -> Resets_util.Seqno.t
+val check : t -> Resets_util.Seqno.t -> verdict
+val admit : t -> Resets_util.Seqno.t -> verdict
+val volatile_reset : t -> unit
+val resume_at : t -> Resets_util.Seqno.t -> unit
+val seen : t -> Resets_util.Seqno.t -> bool

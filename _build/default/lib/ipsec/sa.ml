@@ -1,0 +1,85 @@
+open Resets_util
+
+type integ_alg = Hmac_sha256_128 | Hmac_sha256_full
+
+type encr_alg = Chacha20 | Null_encr
+
+type algo = {
+  integ : integ_alg;
+  encr : encr_alg;
+}
+
+let icv_length = function
+  | Hmac_sha256_128 -> 16
+  | Hmac_sha256_full -> 32
+
+type keys = {
+  auth_key : string;
+  enc_key : string;
+  salt : string;
+}
+
+type params = {
+  spi : int32;
+  algo : algo;
+  keys : keys;
+  window_width : int;
+  window_impl : Replay_window.impl;
+  lifetime_packets : int option;
+}
+
+let default_algo = { integ = Hmac_sha256_128; encr = Chacha20 }
+
+let derive_params ?(algo = default_algo) ?(window_width = 64)
+    ?(window_impl = Replay_window.Bitmap_impl) ?lifetime_packets ~spi ~secret () =
+  if window_width <= 0 then invalid_arg "Sa.derive_params: window_width must be positive";
+  let info = Printf.sprintf "ipsec-resets sa %ld" spi in
+  let material =
+    Resets_crypto.Kdf.derive ~salt:"ipsec-resets-salt" ~ikm:secret ~info ~length:68
+  in
+  let keys =
+    {
+      auth_key = String.sub material 0 32;
+      enc_key = String.sub material 32 32;
+      salt = String.sub material 64 4;
+    }
+  in
+  { spi; algo; keys; window_width; window_impl; lifetime_packets }
+
+type t = {
+  params : params;
+  mutable send_seq : Seqno.t;
+  window : Replay_window.t;
+  mutable packets_sent : int;
+  mutable packets_received : int;
+}
+
+let create params =
+  {
+    params;
+    send_seq = Seqno.first;
+    window = Replay_window.create params.window_impl ~w:params.window_width;
+    packets_sent = 0;
+    packets_received = 0;
+  }
+
+let next_send_seq t =
+  let s = t.send_seq in
+  t.send_seq <- Seqno.succ s;
+  t.packets_sent <- t.packets_sent + 1;
+  s
+
+let lifetime_exceeded t =
+  match t.params.lifetime_packets with
+  | None -> false
+  | Some limit -> t.packets_sent >= limit || t.packets_received >= limit
+
+let volatile_reset t =
+  t.send_seq <- Seqno.first;
+  Replay_window.volatile_reset t.window
+
+let pp ppf t =
+  Format.fprintf ppf "SA(spi=%ld, next_seq=%a, right_edge=%a, w=%d)" t.params.spi
+    Seqno.pp t.send_seq Seqno.pp
+    (Replay_window.right_edge t.window)
+    t.params.window_width

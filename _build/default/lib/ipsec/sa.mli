@@ -1,0 +1,80 @@
+(** Security associations.
+
+    An SA, per the paper's introduction, bundles authentication and
+    encryption keys, the algorithms, lifetimes, the sender's sequence
+    number and the receiver's anti-replay window. The immutable part
+    ({!type:params}) is what survives a reset without help — "the other
+    attributes … remain the same during the lifetime of this SA" — and
+    the per-packet mutable part (sequence number, window) is what the
+    SAVE/FETCH protocol exists to recover. *)
+
+type integ_alg =
+  | Hmac_sha256_128  (** HMAC-SHA-256 truncated to 16 bytes *)
+  | Hmac_sha256_full  (** full 32-byte tag *)
+
+type encr_alg =
+  | Chacha20
+  | Null_encr  (** integrity only (AH-style payloads inside ESP) *)
+
+type algo = {
+  integ : integ_alg;
+  encr : encr_alg;
+}
+
+val icv_length : integ_alg -> int
+
+type keys = {
+  auth_key : string;  (** 32 bytes *)
+  enc_key : string;  (** 32 bytes *)
+  salt : string;  (** 4 bytes, mixed into the per-packet nonce *)
+}
+
+type params = {
+  spi : int32;  (** security parameter index *)
+  algo : algo;
+  keys : keys;
+  window_width : int;  (** the paper's [w] *)
+  window_impl : Replay_window.impl;
+  lifetime_packets : int option;  (** soft lifetime, if any *)
+}
+
+val default_algo : algo
+
+val derive_params :
+  ?algo:algo ->
+  ?window_width:int ->
+  ?window_impl:Replay_window.impl ->
+  ?lifetime_packets:int ->
+  spi:int32 ->
+  secret:string ->
+  unit ->
+  params
+(** Derive the key material for [spi] from a shared [secret] via HKDF;
+    both peers calling this with the same inputs get identical SAs. *)
+
+(** Mutable per-endpoint state layered over shared [params]. A
+    unidirectional SA has a sending side (sequence counter) and a
+    receiving side (window); each endpoint instantiates the side it
+    plays. *)
+type t = {
+  params : params;
+  mutable send_seq : Resets_util.Seqno.t;  (** next to be sent, initially 1 *)
+  window : Replay_window.t;  (** receiver's anti-replay window *)
+  mutable packets_sent : int;
+  mutable packets_received : int;
+}
+
+val create : params -> t
+
+val next_send_seq : t -> Resets_util.Seqno.t
+(** Take the next outbound sequence number (post-increments, as in the
+    paper's first action of process p). *)
+
+val lifetime_exceeded : t -> bool
+
+val volatile_reset : t -> unit
+(** A host reset as seen by this SA: sequence counter back to 1, window
+    forgotten. Keys and algorithms (the [params]) survive — that is the
+    paper's central observation. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+type t = (int32, Sa.t) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let install t sa =
+  let spi = sa.Sa.params.Sa.spi in
+  if Hashtbl.mem t spi then invalid_arg "Sadb.install: duplicate SPI";
+  Hashtbl.replace t spi sa
+
+let lookup t ~spi = Hashtbl.find_opt t spi
+
+let remove t ~spi = Hashtbl.remove t spi
+
+let count t = Hashtbl.length t
+
+let iter f t = Hashtbl.iter (fun _spi sa -> f sa) t
+
+let fold f acc t = Hashtbl.fold (fun _spi sa acc -> f acc sa) t acc
+
+let spis t = Hashtbl.fold (fun spi _sa acc -> spi :: acc) t []
+
+let clear t = Hashtbl.reset t
+
+let volatile_reset t = iter Sa.volatile_reset t

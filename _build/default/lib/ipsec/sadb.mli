@@ -1,0 +1,34 @@
+(** Security association database.
+
+    A host keeps one entry per live SA, keyed by SPI. The paper's cost
+    argument against "delete and re-establish everything on reset"
+    grows with the number of entries here; experiment E7 sweeps it. *)
+
+type t
+
+val create : unit -> t
+
+val install : t -> Sa.t -> unit
+(** @raise Invalid_argument if the SPI is already present. *)
+
+val lookup : t -> spi:int32 -> Sa.t option
+
+val remove : t -> spi:int32 -> unit
+(** Idempotent. *)
+
+val count : t -> int
+
+val iter : (Sa.t -> unit) -> t -> unit
+
+val fold : ('acc -> Sa.t -> 'acc) -> 'acc -> t -> 'acc
+
+val spis : t -> int32 list
+
+val clear : t -> unit
+(** Drop every SA — the IETF-recommended response to a reset that the
+    paper argues is unnecessarily expensive. *)
+
+val volatile_reset : t -> unit
+(** Reset every SA's per-packet state, keeping keys (what actually
+    happens to RAM-resident counters on a reboot when the SADB itself
+    is recovered from configuration). *)

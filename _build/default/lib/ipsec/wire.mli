@@ -1,0 +1,10 @@
+(** Binary (de)serialization helpers shared by the ESP and AH codecs. *)
+
+val put_be32 : Buffer.t -> int32 -> unit
+val put_be64 : Buffer.t -> int64 -> unit
+
+val get_be32 : string -> int -> int32
+(** @raise Invalid_argument on short input. *)
+
+val get_be64 : string -> int -> int64
+(** @raise Invalid_argument on short input. *)

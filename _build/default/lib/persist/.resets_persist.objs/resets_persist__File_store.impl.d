@@ -1,0 +1,1 @@
+lib/persist/file_store.ml: Array Filename List Resets_util String Sys

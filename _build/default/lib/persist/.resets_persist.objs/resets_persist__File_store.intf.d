@@ -1,0 +1,1 @@
+lib/persist/file_store.mli: Store

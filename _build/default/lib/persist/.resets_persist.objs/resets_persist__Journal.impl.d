@@ -1,0 +1,1 @@
+lib/persist/journal.ml: Char Fun Hashtbl Int64 List Printf Resets_util String Sys

@@ -1,0 +1,1 @@
+lib/persist/sim_disk.ml: Engine Hashtbl Int64 List Printf Prng Resets_sim Resets_util String Time Trace

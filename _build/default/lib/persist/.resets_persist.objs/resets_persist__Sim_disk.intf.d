@@ -1,0 +1,1 @@
+lib/persist/sim_disk.mli: Engine Resets_sim Resets_util Store Time Trace

@@ -1,0 +1,1 @@
+lib/persist/store.mli:

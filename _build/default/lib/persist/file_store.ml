@@ -1,0 +1,49 @@
+type t = { dir : string }
+
+let create ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  { dir }
+
+(* Keys can contain characters unfit for filenames; encode them. *)
+let path t key = Filename.concat t.dir (Resets_util.Hex.encode key ^ ".seq")
+
+let save t ~key ~value ~on_complete =
+  let final = path t key in
+  let tmp = final ^ ".tmp" in
+  let oc = open_out tmp in
+  (try output_string oc (string_of_int value)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  Sys.rename tmp final;
+  on_complete ()
+
+let fetch t ~key =
+  let file = path t key in
+  if not (Sys.file_exists file) then None
+  else begin
+    let ic = open_in file in
+    let content =
+      try really_input_string ic (in_channel_length ic)
+      with e ->
+        close_in_noerr ic;
+        raise e
+    in
+    close_in ic;
+    int_of_string_opt (String.trim content)
+  end
+
+let crash (_ : t) = ()
+
+let keys t =
+  Sys.readdir t.dir |> Array.to_list
+  |> List.filter_map (fun name ->
+         match Filename.chop_suffix_opt ~suffix:".seq" name with
+         | None -> None
+         | Some hex -> (
+           try Some (Resets_util.Hex.decode hex) with Invalid_argument _ -> None))
+
+let remove t ~key =
+  let file = path t key in
+  if Sys.file_exists file then Sys.remove file

@@ -1,0 +1,24 @@
+(** Real file-backed store.
+
+    The paper notes SAVE/FETCH "can be implemented by write-to-file and
+    read-from-file operations in an operating system"; this module is
+    that implementation. Writes are atomic (write to a temporary file,
+    then rename), so a value is either the old or the new one — never
+    torn — matching the [Store.S] contract. Used by the CLI and
+    examples when run against a real filesystem. *)
+
+type t
+
+val create : dir:string -> t
+(** Store values as files under [dir] (created if missing). *)
+
+include Store.S with type t := t
+(** [save] here completes synchronously (the callback runs before
+    [save] returns); [crash] is a no-op because a real filesystem's
+    durable state is exactly what the files hold. *)
+
+val keys : t -> string list
+(** Keys present on disk, unordered. *)
+
+val remove : t -> key:string -> unit
+(** Delete a stored value (used to model "delete the SA"). *)

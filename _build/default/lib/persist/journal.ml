@@ -1,0 +1,83 @@
+type t = { file : string }
+
+let create ~file = { file }
+
+(* FNV-1a over the record body; detects torn final records. *)
+let checksum body =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    body;
+  Printf.sprintf "%016Lx" !h
+
+let format_record ~key ~value =
+  let body = Printf.sprintf "%s %d" (Resets_util.Hex.encode key) value in
+  Printf.sprintf "%s %s\n" (checksum body) body
+
+let parse_record line =
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some i ->
+    let sum = String.sub line 0 i in
+    let body = String.sub line (i + 1) (String.length line - i - 1) in
+    if not (String.equal (checksum body) sum) then None
+    else begin
+      match String.split_on_char ' ' body with
+      | [ key_hex; value ] -> (
+        match (int_of_string_opt value, Resets_util.Hex.decode key_hex) with
+        | Some v, key -> Some (key, v)
+        | None, _ -> None
+        | exception Invalid_argument _ -> None)
+      | [] | [ _ ] | _ :: _ :: _ -> None
+    end
+
+let read_records t =
+  if not (Sys.file_exists t.file) then []
+  else begin
+    let ic = open_in t.file in
+    let rec loop acc =
+      match input_line ic with
+      | line -> loop (parse_record line :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    let records = loop [] in
+    close_in ic;
+    List.filter_map Fun.id records
+  end
+
+let save t ~key ~value ~on_complete =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 t.file in
+  (try output_string oc (format_record ~key ~value)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  on_complete ()
+
+let fetch t ~key =
+  List.fold_left
+    (fun acc (k, v) -> if String.equal k key then Some v else acc)
+    None (read_records t)
+
+let crash (_ : t) = ()
+
+let record_count t = List.length (read_records t)
+
+let compact t =
+  let records = read_records t in
+  let latest = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (k, v) ->
+      if not (Hashtbl.mem latest k) then order := k :: !order;
+      Hashtbl.replace latest k v)
+    records;
+  let tmp = t.file ^ ".tmp" in
+  let oc = open_out tmp in
+  List.iter
+    (fun k -> output_string oc (format_record ~key:k ~value:(Hashtbl.find latest k)))
+    (List.rev !order);
+  close_out oc;
+  Sys.rename tmp t.file

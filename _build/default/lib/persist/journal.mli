@@ -1,0 +1,22 @@
+(** Append-only journal store (ablation of {!File_store}).
+
+    Instead of overwriting one cell per key, every SAVE appends a
+    [key value] record; FETCH replays the journal and keeps the last
+    record per key. Appends are cheaper than atomic-rename updates on
+    real disks, at the cost of recovery-time scan work — the trade-off
+    is measured in the benchmark harness. A partially appended final
+    record (torn write) is detected by a per-record checksum and
+    ignored, preserving the [Store.S] durability contract. *)
+
+type t
+
+val create : file:string -> t
+
+include Store.S with type t := t
+
+val record_count : t -> int
+(** Records currently in the journal file (including superseded
+    ones). *)
+
+val compact : t -> unit
+(** Rewrite the journal keeping only the latest record per key. *)

@@ -1,0 +1,117 @@
+open Resets_util
+open Resets_sim
+
+type pending = {
+  id : int;
+  key : string;
+  handle : Engine.handle;
+}
+
+type t = {
+  engine : Engine.t;
+  trace : Trace.t option;
+  name : string;
+  base_latency : Time.t;
+  jitter : (Time.t * Prng.t) option;
+  durable : (string, int) Hashtbl.t;
+  mutable pending : pending list;
+  mutable next_latency : Time.t option;
+  mutable next_id : int;
+  mutable begun : int;
+  mutable completed : int;
+  mutable lost : int;
+}
+
+let make ?trace ?(name = "disk") ~latency ~jitter engine =
+  {
+    engine;
+    trace;
+    name;
+    base_latency = latency;
+    jitter;
+    durable = Hashtbl.create 16;
+    pending = [];
+    next_latency = None;
+    next_id = 0;
+    begun = 0;
+    completed = 0;
+    lost = 0;
+  }
+
+let create ?trace ?name ~latency engine =
+  make ?trace ?name ~latency ~jitter:None engine
+
+let create_jittered ?trace ?name ~latency ~jitter ~prng engine =
+  make ?trace ?name ~latency ~jitter:(Some (jitter, prng)) engine
+
+let sample_latency t =
+  match t.jitter with
+  | None -> t.base_latency
+  | Some (jitter, prng) ->
+    let extra = Prng.int prng (Int64.to_int (Time.to_ns jitter) + 1) in
+    Time.add t.base_latency (Time.of_ns (Int64.of_int extra))
+
+let latency_of_next_save t =
+  match t.next_latency with
+  | Some l -> l
+  | None ->
+    let l = sample_latency t in
+    t.next_latency <- Some l;
+    l
+
+let tell t event detail =
+  match t.trace with
+  | None -> ()
+  | Some trace ->
+    Trace.record trace ~time:(Engine.now t.engine) ~source:t.name ~event detail
+
+let drop_pending t key =
+  let dropped, kept = List.partition (fun p -> String.equal p.key key) t.pending in
+  List.iter (fun p -> Engine.cancel p.handle) dropped;
+  t.pending <- kept;
+  List.length dropped
+
+let save t ~key ~value ~on_complete =
+  (* A newer save for the same key supersedes an in-flight one: only the
+     most recent write can become durable. *)
+  let superseded = drop_pending t key in
+  if superseded > 0 then
+    tell t "save.supersede" (Printf.sprintf "%s (%d dropped)" key superseded);
+  let latency = latency_of_next_save t in
+  t.next_latency <- None;
+  t.begun <- t.begun + 1;
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  tell t "save.begin" (Printf.sprintf "%s := %d" key value);
+  let handle =
+    Engine.schedule_after t.engine ~after:latency (fun () ->
+        t.pending <- List.filter (fun p -> p.id <> id) t.pending;
+        Hashtbl.replace t.durable key value;
+        t.completed <- t.completed + 1;
+        tell t "save.done" (Printf.sprintf "%s := %d" key value);
+        on_complete ())
+  in
+  t.pending <- { id; key; handle } :: t.pending
+
+let preload t ~key ~value = Hashtbl.replace t.durable key value
+
+let remove t ~key =
+  ignore (drop_pending t key);
+  Hashtbl.remove t.durable key
+
+let key_count t = Hashtbl.length t.durable
+
+let fetch t ~key = Hashtbl.find_opt t.durable key
+
+let crash t =
+  let n = List.length t.pending in
+  List.iter (fun p -> Engine.cancel p.handle) t.pending;
+  t.pending <- [];
+  t.lost <- t.lost + n;
+  if n > 0 then tell t "crash.lost_writes" (string_of_int n) else tell t "crash" ""
+
+let in_flight t = List.length t.pending
+
+let saves_begun t = t.begun
+let saves_completed t = t.completed
+let saves_lost t = t.lost

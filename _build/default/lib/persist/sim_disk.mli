@@ -1,0 +1,57 @@
+(** Simulated persistent disk attached to the discrete-event engine.
+
+    A save begun at time [t] becomes durable at [t + latency]; the
+    paper's constants [Tp]/[Tq] are this latency. A [crash] before the
+    completion event fires discards the in-flight write, which is
+    exactly the "reset occurs before the current SAVE finishes" branch
+    of the paper's Figures 1 and 2. *)
+
+open Resets_sim
+
+type t
+
+val create :
+  ?trace:Trace.t ->
+  ?name:string ->
+  latency:Time.t ->
+  Engine.t ->
+  t
+(** [create ~latency engine] is an empty disk whose writes take
+    [latency]. [name] labels trace entries (default ["disk"]). *)
+
+val create_jittered :
+  ?trace:Trace.t ->
+  ?name:string ->
+  latency:Time.t ->
+  jitter:Time.t ->
+  prng:Resets_util.Prng.t ->
+  Engine.t ->
+  t
+(** Like [create] but each write takes [latency + U(0, jitter)] — the
+    paper notes SAVE duration varies with CPU load. *)
+
+include Store.S with type t := t
+
+val preload : t -> key:string -> value:int -> unit
+(** Make a value durable immediately, bypassing latency and counters —
+    models state written at SA establishment, before the simulation
+    starts. *)
+
+val remove : t -> key:string -> unit
+(** Durably delete a key (cancels any pending write to it). Models
+    retiring a rekeyed SA's persisted counter. *)
+
+val key_count : t -> int
+(** Number of durable keys. *)
+
+val in_flight : t -> int
+(** Number of pending (not yet durable) writes. *)
+
+val saves_begun : t -> int
+val saves_completed : t -> int
+val saves_lost : t -> int
+(** Writes discarded by crashes. *)
+
+val latency_of_next_save : t -> Time.t
+(** The latency the next save will incur (samples jitter eagerly so
+    callers can reason about the schedule in tests). *)

@@ -1,0 +1,27 @@
+(** Persistent-store interface.
+
+    The paper's SAVE and FETCH operations target "persistent memory":
+    storage whose contents survive a reset, written by an operation
+    that takes non-zero time (during which the host keeps sending or
+    receiving). Two facts matter for correctness and both are part of
+    this contract:
+
+    - a SAVE that has {e completed} before a reset is durable;
+    - a SAVE still {e in flight} at a reset leaves the previously
+      stored value in place (the write is lost, not torn). *)
+
+module type S = sig
+  type t
+
+  val save : t -> key:string -> value:int -> on_complete:(unit -> unit) -> unit
+  (** Begin persisting [value] under [key]. [on_complete] runs when the
+      write is durable. Starting a new save for the same key while one
+      is in flight supersedes the pending write. *)
+
+  val fetch : t -> key:string -> int option
+  (** Last durably stored value, if any. *)
+
+  val crash : t -> unit
+  (** Simulate a reset of the attached host: every in-flight save is
+      discarded; durable state is untouched. *)
+end

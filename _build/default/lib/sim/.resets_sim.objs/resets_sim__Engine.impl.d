@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Heap Int Resets_util Time

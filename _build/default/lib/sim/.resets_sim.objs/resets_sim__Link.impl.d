@@ -1,0 +1,1 @@
+lib/sim/link.ml: Engine Int64 List Prng Resets_util Time Trace

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Format List Resets_util Ring String Time

@@ -1,0 +1,100 @@
+open Resets_util
+
+type event = {
+  time : Time.t;
+  seq : int;
+  callback : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  mutable clock : Time.t;
+  mutable next_seq : int;
+  mutable stop_requested : bool;
+  queue : event Heap.t;
+}
+
+let compare_event a b =
+  match Time.compare a.time b.time with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+let create () =
+  {
+    clock = Time.zero;
+    next_seq = 0;
+    stop_requested = false;
+    queue = Heap.create ~cmp:compare_event;
+  }
+
+let now t = t.clock
+
+let schedule_at t ~at callback =
+  if Time.(at < t.clock) then invalid_arg "Engine.schedule_at: time in the past";
+  let event = { time = at; seq = t.next_seq; callback; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.add t.queue event;
+  event
+
+let schedule_after t ~after callback =
+  schedule_at t ~at:(Time.add t.clock after) callback
+
+let cancel event = event.cancelled <- true
+
+let is_pending event = not event.cancelled
+
+let pending_count t =
+  let n = ref 0 in
+  Heap.iter_unordered (fun e -> if not e.cancelled then incr n) t.queue;
+  !n
+
+type stop_reason = Quiescent | Time_limit | Event_limit | Stopped
+
+(* Pop the next live event without firing it. *)
+let rec next_live t =
+  match Heap.peek t.queue with
+  | None -> None
+  | Some e when e.cancelled ->
+    ignore (Heap.pop t.queue);
+    next_live t
+  | Some e -> Some e
+
+let fire t e =
+  ignore (Heap.pop t.queue);
+  t.clock <- e.time;
+  e.cancelled <- true;
+  e.callback ()
+
+let step t =
+  match next_live t with
+  | None -> false
+  | Some e ->
+    fire t e;
+    true
+
+let stop t = t.stop_requested <- true
+
+let run ?until ?max_events t =
+  t.stop_requested <- false;
+  let fired = ref 0 in
+  let rec loop () =
+    if t.stop_requested then Stopped
+    else
+      match max_events with
+      | Some m when !fired >= m -> Event_limit
+      | Some _ | None -> (
+        match next_live t with
+        | None -> Quiescent
+        | Some e -> (
+          match until with
+          | Some limit when Time.(limit < e.time) ->
+            t.clock <- Time.max t.clock limit;
+            Time_limit
+          | Some _ | None ->
+            fire t e;
+            incr fired;
+            loop ()))
+  in
+  loop ()

@@ -1,0 +1,44 @@
+(** Deterministic discrete-event engine.
+
+    Events fire in (time, insertion order) order, so two runs with the
+    same inputs produce identical traces. Callbacks may schedule and
+    cancel further events. *)
+
+type t
+
+type handle
+(** A scheduled event; can be cancelled until it fires. *)
+
+val create : unit -> t
+
+val now : t -> Time.t
+
+val schedule_at : t -> at:Time.t -> (unit -> unit) -> handle
+(** @raise Invalid_argument when [at] is in the past. *)
+
+val schedule_after : t -> after:Time.t -> (unit -> unit) -> handle
+
+val cancel : handle -> unit
+(** Idempotent; no effect after the event fired. *)
+
+val is_pending : handle -> bool
+
+val pending_count : t -> int
+(** Number of not-yet-fired, not-cancelled events. *)
+
+type stop_reason =
+  | Quiescent  (** no events left *)
+  | Time_limit  (** next event lies beyond [until] *)
+  | Event_limit  (** fired [max_events] events *)
+  | Stopped  (** a callback invoked [stop] *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> stop_reason
+(** Drain the queue. With [until], the clock is advanced to exactly
+    [until] on a [Time_limit] stop so a subsequent [run] continues from
+    there. *)
+
+val step : t -> bool
+(** Fire the single next event; [false] when the queue is empty. *)
+
+val stop : t -> unit
+(** Request that the current [run] return after the active callback. *)

@@ -1,0 +1,134 @@
+open Resets_util
+
+type faults = {
+  loss_prob : float;
+  dup_prob : float;
+  reorder_prob : float;
+  reorder_delay : Time.t;
+}
+
+let no_faults =
+  { loss_prob = 0.; dup_prob = 0.; reorder_prob = 0.; reorder_delay = Time.zero }
+
+type 'a t = {
+  engine : Engine.t;
+  name : string;
+  trace : Trace.t option;
+  faults : faults;
+  base_latency : Time.t;
+  jitter : Time.t;
+  prng : Prng.t option;
+  mutable deliver : ('a -> unit) option;
+  mutable observers : ('a -> unit) list;
+  mutable up : bool;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable injected : int;
+}
+
+let faults_need_prng f jitter =
+  f.loss_prob > 0. || f.dup_prob > 0. || f.reorder_prob > 0.
+  || Time.(Time.zero < jitter)
+
+let create ?(name = "link") ?trace ?(faults = no_faults) ?(jitter = Time.zero) ?prng
+    ~latency engine =
+  if faults_need_prng faults jitter && prng = None then
+    invalid_arg "Link.create: faults or jitter require a prng";
+  {
+    engine;
+    name;
+    trace;
+    faults;
+    base_latency = latency;
+    jitter;
+    prng;
+    deliver = None;
+    observers = [];
+    up = true;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    duplicated = 0;
+    reordered = 0;
+    injected = 0;
+  }
+
+let tell t event detail =
+  match t.trace with
+  | None -> ()
+  | Some trace ->
+    Trace.record trace ~time:(Engine.now t.engine) ~source:t.name ~event detail
+
+let set_deliver t f = t.deliver <- Some f
+
+let on_transit t f = t.observers <- t.observers @ [ f ]
+
+let set_up t up = t.up <- up
+
+let deliver_now t packet =
+  match t.deliver with
+  | Some f ->
+    t.delivered <- t.delivered + 1;
+    f packet
+  | None -> t.dropped <- t.dropped + 1
+
+let sample_jitter t =
+  match t.prng with
+  | None -> Time.zero
+  | Some prng ->
+    let bound = Int64.to_int (Time.to_ns t.jitter) in
+    if bound = 0 then Time.zero
+    else Time.of_ns (Int64.of_int (Prng.int prng (bound + 1)))
+
+let schedule_delivery t ~extra packet =
+  let delay = Time.add (Time.add t.base_latency extra) (sample_jitter t) in
+  ignore (Engine.schedule_after t.engine ~after:delay (fun () -> deliver_now t packet))
+
+let send t packet =
+  t.sent <- t.sent + 1;
+  List.iter (fun f -> f packet) t.observers;
+  if not t.up then begin
+    t.dropped <- t.dropped + 1;
+    tell t "link.drop" "down"
+  end
+  else begin
+    let prng_sample p =
+      match t.prng with
+      | None -> false
+      | Some prng -> Prng.bernoulli prng p
+    in
+    if prng_sample t.faults.loss_prob then begin
+      t.dropped <- t.dropped + 1;
+      tell t "link.drop" "loss"
+    end
+    else begin
+      let extra =
+        if prng_sample t.faults.reorder_prob then begin
+          t.reordered <- t.reordered + 1;
+          t.faults.reorder_delay
+        end
+        else Time.zero
+      in
+      schedule_delivery t ~extra packet;
+      if prng_sample t.faults.dup_prob then begin
+        t.duplicated <- t.duplicated + 1;
+        tell t "link.dup" "";
+        schedule_delivery t ~extra packet
+      end
+    end
+  end
+
+let inject t packet =
+  t.injected <- t.injected + 1;
+  tell t "link.inject" "";
+  schedule_delivery t ~extra:Time.zero packet
+
+let sent t = t.sent
+let delivered t = t.delivered
+let dropped t = t.dropped
+let duplicated t = t.duplicated
+let reordered t = t.reordered
+let injected t = t.injected

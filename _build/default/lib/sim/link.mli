@@ -1,0 +1,59 @@
+(** Unidirectional network link with delay, jitter, loss, reordering
+    and duplication.
+
+    The paper's channel "may lose or reorder" messages and hosts an
+    adversary who "can insert … a copy of any message that was sent
+    earlier"; {!on_transit} exposes every packet to observers (the
+    adversary's recorder), and {!inject} lets an observer insert
+    packets of its own. *)
+
+type 'a t
+
+type faults = {
+  loss_prob : float;  (** i.i.d. drop probability *)
+  dup_prob : float;  (** probability a packet is delivered twice *)
+  reorder_prob : float;  (** probability a packet takes the slow path *)
+  reorder_delay : Time.t;  (** extra delay on the slow path *)
+}
+
+val no_faults : faults
+
+val create :
+  ?name:string ->
+  ?trace:Trace.t ->
+  ?faults:faults ->
+  ?jitter:Time.t ->
+  ?prng:Resets_util.Prng.t ->
+  latency:Time.t ->
+  Engine.t ->
+  'a t
+(** A link with base one-way [latency] plus uniform [jitter]. Faults
+    and jitter need a [prng]; omitting it with non-zero faults raises
+    [Invalid_argument]. *)
+
+val set_deliver : 'a t -> ('a -> unit) -> unit
+(** Install the receive handler (the far endpoint). Packets arriving
+    while no handler is installed are counted as dropped. *)
+
+val send : 'a t -> 'a -> unit
+(** Enqueue a packet at the near end. *)
+
+val inject : 'a t -> 'a -> unit
+(** Adversarial insertion: delivered like a normal packet but not
+    reported to {!on_transit} observers (the adversary need not see its
+    own packets) and never dropped or reordered (the adversary times
+    its own injections). *)
+
+val on_transit : 'a t -> ('a -> unit) -> unit
+(** Observe every legitimately sent packet (even ones later lost — an
+    on-path adversary sees the wire before the drop). *)
+
+val set_up : 'a t -> bool -> unit
+(** A downed link drops everything sent through it. *)
+
+val sent : 'a t -> int
+val delivered : 'a t -> int
+val dropped : 'a t -> int
+val duplicated : 'a t -> int
+val reordered : 'a t -> int
+val injected : 'a t -> int

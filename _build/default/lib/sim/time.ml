@@ -1,0 +1,44 @@
+type t = int64
+
+let zero = 0L
+
+let of_ns ns =
+  if Int64.compare ns 0L < 0 then invalid_arg "Time.of_ns: negative";
+  ns
+
+let of_us us = of_ns (Int64.mul (Int64.of_int us) 1_000L)
+
+let of_ms ms = of_ns (Int64.mul (Int64.of_int ms) 1_000_000L)
+
+let of_sec s =
+  if not (Float.is_finite s) || s < 0. then invalid_arg "Time.of_sec: invalid";
+  Int64.of_float (s *. 1e9)
+
+let to_ns t = t
+let to_us t = Int64.to_float t /. 1e3
+let to_ms t = Int64.to_float t /. 1e6
+let to_sec t = Int64.to_float t /. 1e9
+
+let add = Int64.add
+
+let diff a b =
+  if Int64.compare b a > 0 then invalid_arg "Time.diff: negative result";
+  Int64.sub a b
+
+let mul t k =
+  if k < 0 then invalid_arg "Time.mul: negative factor";
+  Int64.mul t (Int64.of_int k)
+
+let compare = Int64.compare
+let equal = Int64.equal
+let ( <= ) a b = compare a b <= 0
+let ( < ) a b = compare a b < 0
+let min a b = if a <= b then a else b
+let max a b = if a <= b then b else a
+
+let pp ppf t =
+  let ns = Int64.to_float t in
+  if Stdlib.( < ) ns 1e3 then Format.fprintf ppf "%.0fns" ns
+  else if Stdlib.( < ) ns 1e6 then Format.fprintf ppf "%.2fus" (ns /. 1e3)
+  else if Stdlib.( < ) ns 1e9 then Format.fprintf ppf "%.3fms" (ns /. 1e6)
+  else Format.fprintf ppf "%.4fs" (ns /. 1e9)

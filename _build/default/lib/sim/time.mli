@@ -1,0 +1,36 @@
+(** Simulated time.
+
+    Time is an integer count of nanoseconds since the start of the
+    simulation. Integer time keeps event ordering exact and runs
+    reproducible; all public constructors convert into it. *)
+
+type t = private int64
+
+val zero : t
+val of_ns : int64 -> t
+(** @raise Invalid_argument on negative input. *)
+
+val of_us : int -> t
+val of_ms : int -> t
+val of_sec : float -> t
+(** @raise Invalid_argument on negative or non-finite input. *)
+
+val to_ns : t -> int64
+val to_us : t -> float
+val to_ms : t -> float
+val to_sec : t -> float
+
+val add : t -> t -> t
+val diff : t -> t -> t
+(** [diff a b] is [a - b]. @raise Invalid_argument if [b > a]. *)
+
+val mul : t -> int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable with an adaptive unit (ns/µs/ms/s). *)

@@ -1,0 +1,47 @@
+open Resets_util
+
+type level = Debug | Info | Warn
+
+type entry = {
+  time : Time.t;
+  level : level;
+  source : string;
+  event : string;
+  detail : string;
+}
+
+type t = {
+  ring : entry Ring.t;
+  mutable total : int;
+  mutable taps : (entry -> unit) list;
+}
+
+let create ?(capacity = 65536) () =
+  { ring = Ring.create capacity; total = 0; taps = [] }
+
+let record t ~time ?(level = Info) ~source ~event detail =
+  let entry = { time; level; source; event; detail } in
+  ignore (Ring.push t.ring entry);
+  t.total <- t.total + 1;
+  List.iter (fun tap -> tap entry) t.taps
+
+let entries t = Ring.to_list t.ring
+
+let count t = t.total
+
+let find t ~event =
+  List.filter (fun e -> String.equal e.event event) (entries t)
+
+let on_record t tap = t.taps <- t.taps @ [ tap ]
+
+let pp_level ppf = function
+  | Debug -> Format.pp_print_string ppf "debug"
+  | Info -> Format.pp_print_string ppf "info"
+  | Warn -> Format.pp_print_string ppf "warn"
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[%a] %a %-8s %-16s %s" Time.pp e.time pp_level e.level
+    e.source e.event e.detail
+
+let dump ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)

@@ -1,0 +1,39 @@
+(** Structured event trace.
+
+    Components record what happened (sends, receives, discards, SAVEs,
+    resets…); tests and the CLI read the trace back. Bounded by a ring
+    so long simulations do not grow without bound. *)
+
+type level = Debug | Info | Warn
+
+type entry = {
+  time : Time.t;
+  level : level;
+  source : string;  (** component, e.g. "p", "q", "disk.p" *)
+  event : string;  (** short machine-readable tag, e.g. "save.begin" *)
+  detail : string;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 65536 entries. *)
+
+val record :
+  t -> time:Time.t -> ?level:level -> source:string -> event:string -> string -> unit
+
+val entries : t -> entry list
+(** Oldest first (up to capacity). *)
+
+val count : t -> int
+(** Total recorded, including entries already evicted from the ring. *)
+
+val find : t -> event:string -> entry list
+(** Retained entries whose [event] tag matches exactly. *)
+
+val on_record : t -> (entry -> unit) -> unit
+(** Register a tap invoked on every record (metrics hooks). *)
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val dump : Format.formatter -> t -> unit

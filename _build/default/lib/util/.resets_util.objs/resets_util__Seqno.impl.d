@@ -1,0 +1,1 @@
+lib/util/seqno.ml: Format Int

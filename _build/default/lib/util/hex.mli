@@ -1,0 +1,8 @@
+(** Hexadecimal encoding of byte strings (debugging, test vectors). *)
+
+val encode : string -> string
+(** Lowercase hex, two characters per byte. *)
+
+val decode : string -> string
+(** Inverse of [encode]; accepts upper or lower case.
+    @raise Invalid_argument on odd length or non-hex characters. *)

@@ -1,0 +1,54 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every randomized component of the simulator takes an explicit
+    generator so that experiments are reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy with the same current state. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t], advancing [t]. The two
+    streams are statistically independent. *)
+
+val next_int64 : t -> int64
+(** Uniform over all 2^64 values. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument
+    if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val unit_float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] samples an exponential distribution with the
+    given rate (mean [1. /. rate]). @raise Invalid_argument if
+    [rate <= 0.]. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] is the number of Bernoulli([p]) failures before the
+    first success (support includes 0). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. @raise Invalid_argument on an
+    empty array. *)

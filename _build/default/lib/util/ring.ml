@@ -1,0 +1,65 @@
+type 'a t = {
+  data : 'a option array;
+  mutable head : int; (* index of oldest element *)
+  mutable size : int;
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { data = Array.make capacity None; head = 0; size = 0 }
+
+let capacity t = Array.length t.data
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let is_full t = t.size = Array.length t.data
+
+let push t x =
+  let cap = Array.length t.data in
+  if t.size < cap then begin
+    t.data.((t.head + t.size) mod cap) <- Some x;
+    t.size <- t.size + 1;
+    None
+  end
+  else begin
+    let evicted = t.data.(t.head) in
+    t.data.(t.head) <- Some x;
+    t.head <- (t.head + 1) mod cap;
+    evicted
+  end
+
+let peek_oldest t = if t.size = 0 then None else t.data.(t.head)
+
+let peek_newest t =
+  if t.size = 0 then None
+  else t.data.((t.head + t.size - 1) mod Array.length t.data)
+
+let pop_oldest t =
+  if t.size = 0 then None
+  else begin
+    let x = t.data.(t.head) in
+    t.data.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.data;
+    t.size <- t.size - 1;
+    x
+  end
+
+let iter f t =
+  let cap = Array.length t.data in
+  for i = 0 to t.size - 1 do
+    match t.data.((t.head + i) mod cap) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) None;
+  t.head <- 0;
+  t.size <- 0

@@ -1,0 +1,33 @@
+(** Fixed-capacity ring buffer. When full, pushing evicts the oldest
+    element. Used by the adversary's packet recorder and trace tails. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** @raise Invalid_argument if capacity is not positive. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> 'a option
+(** [push t x] appends [x]; returns the evicted oldest element when the
+    ring was full. *)
+
+val peek_oldest : 'a t -> 'a option
+
+val peek_newest : 'a t -> 'a option
+
+val pop_oldest : 'a t -> 'a option
+
+val to_list : 'a t -> 'a list
+(** Oldest first. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first. *)
+
+val clear : 'a t -> unit

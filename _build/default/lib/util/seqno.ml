@@ -1,0 +1,22 @@
+type t = int
+
+let zero = 0
+let first = 1
+let succ s = s + 1
+let compare = Int.compare
+let equal = Int.equal
+
+let is_stale ~right ~w s = s <= right - w
+
+let in_window ~right ~w s = s > right - w && s <= right
+
+let beyond ~right s = s > right
+
+let window_index ~right ~w s =
+  if not (in_window ~right ~w s) then
+    invalid_arg "Seqno.window_index: sequence number not in window";
+  s - right + w
+
+let gap ~fetched ~lost_at = lost_at - fetched
+
+let pp ppf s = Format.fprintf ppf "#%d" s

@@ -1,0 +1,37 @@
+(** Sequence-number arithmetic for the anti-replay window.
+
+    The paper treats sequence numbers as unbounded integers; OCaml's
+    63-bit native ints are far beyond any run length we simulate, so we
+    represent sequence numbers as [int] and centralize the window-range
+    predicates of Section 2 here:
+
+    - a number [s] is {e stale} w.r.t. right edge [r] and width [w]
+      when [s <= r - w];
+    - it is {e in-window} when [r - w < s <= r];
+    - it is {e beyond} when [s > r]. *)
+
+type t = int
+
+val zero : t
+val first : t
+(** The paper's initial sender value, 1. *)
+
+val succ : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val is_stale : right:t -> w:int -> t -> bool
+val in_window : right:t -> w:int -> t -> bool
+val beyond : right:t -> t -> bool
+
+val window_index : right:t -> w:int -> t -> int
+(** 1-based index of an in-window [s] into the paper's [wdw\[1..w\]]
+    array: [s - right + w]. @raise Invalid_argument if [s] is not
+    in-window. *)
+
+val gap : fetched:t -> lost_at:t -> int
+(** The quantity analysed in Figures 1 and 2: distance between the
+    sequence number in use at the moment of a reset and the value that
+    FETCH recovers. *)
+
+val pp : Format.formatter -> t -> unit

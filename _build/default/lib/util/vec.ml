@@ -1,0 +1,91 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create () = { data = [||]; size = 0 }
+
+let make n x = { data = Array.make n x; size = n }
+
+let length v = v.size
+
+let is_empty v = v.size = 0
+
+let check_bounds v i =
+  if i < 0 || i >= v.size then invalid_arg "Vec: index out of bounds"
+
+let get v i =
+  check_bounds v i;
+  v.data.(i)
+
+let set v i x =
+  check_bounds v i;
+  v.data.(i) <- x
+
+let grow v x =
+  let capacity = Array.length v.data in
+  let new_capacity = if capacity = 0 then 8 else capacity * 2 in
+  let data = Array.make new_capacity x in
+  Array.blit v.data 0 data 0 v.size;
+  v.data <- data
+
+let push v x =
+  if v.size = Array.length v.data then grow v x;
+  v.data.(v.size) <- x;
+  v.size <- v.size + 1
+
+let pop v =
+  if v.size = 0 then None
+  else begin
+    v.size <- v.size - 1;
+    Some v.data.(v.size)
+  end
+
+let last v = if v.size = 0 then None else Some v.data.(v.size - 1)
+
+let clear v = v.size <- 0
+
+let iter f v =
+  for i = 0 to v.size - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.size - 1 do
+    f i v.data.(i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.size - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.size && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_array v = Array.sub v.data 0 v.size
+
+let to_list v = Array.to_list (to_array v)
+
+let of_list l =
+  let v = create () in
+  List.iter (push v) l;
+  v
+
+let map f v =
+  let w = create () in
+  iter (fun x -> push w (f x)) v;
+  w
+
+let filter p v =
+  let w = create () in
+  iter (fun x -> if p x then push w x) v;
+  w
+
+let sort cmp v =
+  let a = to_array v in
+  Array.sort cmp a;
+  Array.blit a 0 v.data 0 v.size

@@ -1,0 +1,1 @@
+lib/workload/reset_schedule.ml: Int64 List Prng Resets_sim Resets_util Time

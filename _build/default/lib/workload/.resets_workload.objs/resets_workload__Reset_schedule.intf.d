@@ -1,0 +1,1 @@
+lib/workload/reset_schedule.mli: Resets_sim Resets_util

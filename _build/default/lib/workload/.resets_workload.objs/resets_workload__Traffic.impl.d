@@ -1,0 +1,1 @@
+lib/workload/traffic.ml: Float Int64 Prng Resets_sim Resets_util Time

@@ -1,0 +1,1 @@
+lib/workload/traffic.mli: Resets_sim Resets_util

@@ -1,0 +1,44 @@
+open Resets_util
+open Resets_sim
+
+type target = Sender | Receiver
+
+type event = {
+  at : Time.t;
+  target : target;
+  downtime : Time.t;
+}
+
+type t = event list
+
+let none = []
+
+let default_downtime = Time.of_ms 1
+
+let sort events = List.sort (fun a b -> Time.compare a.at b.at) events
+
+let single ~at ?(downtime = default_downtime) target = [ { at; target; downtime } ]
+
+let both ~at ?(downtime = default_downtime) ?(skew = Time.zero) () =
+  sort
+    [
+      { at; target = Sender; downtime };
+      { at = Time.add at skew; target = Receiver; downtime };
+    ]
+
+let periodic ~every ?(downtime = default_downtime) ~count target =
+  if count < 0 then invalid_arg "Reset_schedule.periodic: negative count";
+  List.init count (fun i -> { at = Time.mul every (i + 1); target; downtime })
+
+let random ~mtbf ~horizon ?(downtime = default_downtime) ~prng target =
+  let mtbf_ns = Int64.to_float (Time.to_ns mtbf) in
+  let horizon_ns = Time.to_ns horizon in
+  let rec loop acc now =
+    let gap = Prng.exponential prng (1. /. mtbf_ns) in
+    let next = Int64.add now (Int64.of_float gap) in
+    if Int64.compare next horizon_ns > 0 then List.rev acc
+    else loop ({ at = Time.of_ns next; target; downtime } :: acc) next
+  in
+  loop [] 0L
+
+let merge a b = sort (a @ b)

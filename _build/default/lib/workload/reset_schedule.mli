@@ -1,0 +1,44 @@
+(** Reset (fault) schedules: when each host crashes and how long it
+    stays down. *)
+
+type target = Sender | Receiver
+
+type event = {
+  at : Resets_sim.Time.t;  (** when the reset strikes *)
+  target : target;
+  downtime : Resets_sim.Time.t;  (** reset → wakeup delay *)
+}
+
+type t = event list
+(** Sorted by time. *)
+
+val none : t
+
+val single : at:Resets_sim.Time.t -> ?downtime:Resets_sim.Time.t -> target -> t
+(** Default downtime 1 ms. *)
+
+val both :
+  at:Resets_sim.Time.t -> ?downtime:Resets_sim.Time.t -> ?skew:Resets_sim.Time.t -> unit -> t
+(** Reset both hosts, the receiver [skew] after the sender (default 0):
+    the paper's third failure case. *)
+
+val periodic :
+  every:Resets_sim.Time.t ->
+  ?downtime:Resets_sim.Time.t ->
+  count:int ->
+  target ->
+  t
+(** A storm of [count] resets, one per [every]. *)
+
+val random :
+  mtbf:Resets_sim.Time.t ->
+  horizon:Resets_sim.Time.t ->
+  ?downtime:Resets_sim.Time.t ->
+  prng:Resets_util.Prng.t ->
+  target ->
+  t
+(** Poisson resets with the given mean time between failures, up to
+    [horizon]. *)
+
+val merge : t -> t -> t
+(** Combine two schedules, keeping the time order. *)

@@ -1,0 +1,31 @@
+open Resets_util
+open Resets_sim
+
+type t = unit -> Time.t
+
+let next_gap t = t ()
+
+let constant ~gap () = gap
+
+let poisson ~mean_gap ~prng =
+  let mean_ns = Int64.to_float (Time.to_ns mean_gap) in
+  fun () ->
+    let sample = Prng.exponential prng (1. /. mean_ns) in
+    Time.of_ns (Int64.of_float sample)
+
+let bursty ~on_gap ~off_duration ~burst_length ~prng =
+  if burst_length <= 0 then invalid_arg "Traffic.bursty: burst_length must be positive";
+  let remaining = ref burst_length in
+  fun () ->
+    if !remaining > 0 then begin
+      decr remaining;
+      on_gap
+    end
+    else begin
+      remaining := burst_length - 1;
+      let off_ns = Int64.to_float (Time.to_ns off_duration) in
+      let jitter = (Prng.unit_float prng -. 0.5) *. off_ns in
+      Time.of_ns (Int64.of_float (Float.max 0. (off_ns +. jitter)))
+    end
+
+let of_fun f = f

@@ -1,0 +1,32 @@
+(** Traffic models: inter-message gap generators.
+
+    The paper measures SAVE intervals "in terms of the number of
+    messages, rather than in terms of time, because the rate of message
+    generation may change over time" — these generators provide the
+    changing rates the protocol must cope with. *)
+
+type t
+(** A stateful stream of inter-message gaps. *)
+
+val next_gap : t -> Resets_sim.Time.t
+
+val constant : gap:Resets_sim.Time.t -> t
+(** Fixed message spacing; the paper's example (4 µs per 1000-byte
+    message) is [constant ~gap:(Time.of_us 4)]. *)
+
+val poisson : mean_gap:Resets_sim.Time.t -> prng:Resets_util.Prng.t -> t
+(** Exponentially distributed gaps (Poisson arrivals). *)
+
+val bursty :
+  on_gap:Resets_sim.Time.t ->
+  off_duration:Resets_sim.Time.t ->
+  burst_length:int ->
+  prng:Resets_util.Prng.t ->
+  t
+(** On/off source: bursts of [burst_length] messages spaced [on_gap],
+    separated by idle periods of [off_duration] (±50% jitter). Models
+    the "rate may change over time" argument for message-counted SAVE
+    intervals. *)
+
+val of_fun : (unit -> Resets_sim.Time.t) -> t
+(** Escape hatch for custom models. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Convergence Format Harness Int64 Metrics Protocol Resets_core Resets_ipsec Resets_sim Resets_workload String Time

@@ -1,0 +1,1 @@
+test/test_apn.ml: Alcotest Array Explorer List Message Models Network Option QCheck QCheck_alcotest Resets_apn Resets_util Result State String System Value

@@ -1,0 +1,1 @@
+test/test_ast.ml: Alcotest Array Ast Explorer Format Interp List Message Models Models_ast Pp Process QCheck QCheck_alcotest Resets_apn Resets_util State String System Value

@@ -1,0 +1,1 @@
+test/test_attack.ml: Adversary Alcotest Engine Link List Recorder Resets_attack Resets_sim String Time

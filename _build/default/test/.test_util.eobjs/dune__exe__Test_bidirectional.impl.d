@@ -1,0 +1,1 @@
+test/test_bidirectional.ml: Alcotest Bidirectional Resets_core Resets_sim Time

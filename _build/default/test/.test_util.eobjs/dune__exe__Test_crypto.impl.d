@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Chacha20 Ct Hex Hmac Kdf List Printf QCheck QCheck_alcotest Resets_crypto Resets_util Sha256 String

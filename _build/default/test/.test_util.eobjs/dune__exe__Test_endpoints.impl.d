@@ -1,0 +1,1 @@
+test/test_endpoints.ml: Alcotest Engine Esp Link Metrics Packet Receiver Resets_core Resets_ipsec Resets_persist Resets_sim Resets_workload Sa Sender Sim_disk String Time

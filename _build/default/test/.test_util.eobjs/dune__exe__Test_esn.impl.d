@@ -1,0 +1,1 @@
+test/test_esn.ml: Alcotest Char Esn Esp Float List Multi_sa Printf QCheck QCheck_alcotest Replay_window Resets_core Resets_ipsec Resets_sim Result Sa String Time

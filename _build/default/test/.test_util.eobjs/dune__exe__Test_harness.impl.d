@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Convergence Harness Link List Metrics Packet Printf Protocol Reset_schedule Resets_core Resets_ipsec Resets_sim Resets_util Resets_workload Time

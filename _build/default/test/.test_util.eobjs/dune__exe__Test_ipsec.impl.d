@@ -1,0 +1,1 @@
+test/test_ipsec.ml: Ah Alcotest Char Dpd Engine Esp Ike List Option QCheck QCheck_alcotest Replay_window Resets_ipsec Resets_sim Resets_util Result Sa Sadb String Time

@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Array Engine File_store Filename Gen Hashtbl Journal List Option Printf QCheck QCheck_alcotest Resets_persist Resets_sim Resets_util Sim_disk Sys Time Unix

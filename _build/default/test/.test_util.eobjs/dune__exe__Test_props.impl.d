@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Format Harness Link List Metrics Protocol QCheck QCheck_alcotest Reset_schedule Resets_core Resets_sim Resets_workload String Time

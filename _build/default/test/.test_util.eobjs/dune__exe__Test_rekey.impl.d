@@ -1,0 +1,1 @@
+test/test_rekey.ml: Alcotest Rekey Resets_core Resets_sim Time

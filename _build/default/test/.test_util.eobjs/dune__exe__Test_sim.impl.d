@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Format Link List Prng Resets_sim Resets_util String Time Trace

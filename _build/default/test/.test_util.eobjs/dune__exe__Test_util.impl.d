@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Gen Heap Hex List Printf Prng QCheck QCheck_alcotest Resets_util Ring Seqno Stats Vec

@@ -1,0 +1,1 @@
+test/test_window.ml: Alcotest Array Gen Hashtbl List Printf QCheck QCheck_alcotest Resets_ipsec

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Int64 List Printf Prng Reset_schedule Resets_sim Resets_util Resets_workload Time Traffic

@@ -1,0 +1,346 @@
+(* APN interpreter + model-checking tests.
+
+   The headline cases machine-check the paper's Section 5 claims on
+   small bounds, and document the combined-reset corner case our
+   explorer uncovered (see DESIGN.md §5 and EXPERIMENTS.md E11). *)
+
+open Resets_apn
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Value / State *)
+
+let test_value_accessors () =
+  check_int "int" 5 (Value.int (Value.Int 5));
+  check_bool "bool" true (Value.bool (Value.Bool true));
+  Alcotest.check_raises "type error" (Value.Type_error "expected int") (fun () ->
+      ignore (Value.int (Value.Bool true)))
+
+let test_value_canonical_copies_arrays () =
+  let a = [| true; false |] in
+  let v = Value.canonical (Value.Bool_array a) in
+  a.(0) <- false;
+  check_bool "copy isolated" true (Value.bool_array v).(0)
+
+let test_state_get_set () =
+  let st = State.create [ ("x", Value.Int 1); ("b", Value.Bool false) ] in
+  check_int "get" 1 (State.get_int st "x");
+  State.set_int st "x" 9;
+  check_int "set" 9 (State.get_int st "x");
+  Alcotest.check_raises "undeclared" Not_found (fun () -> State.set_int st "nope" 1)
+
+let test_state_snapshot_restore () =
+  let st = State.create [ ("x", Value.Int 1); ("a", Value.Bool_array [| false |]) ] in
+  let snap = State.snapshot st in
+  State.set_int st "x" 99;
+  (State.get_bool_array st "a").(0) <- true;
+  State.restore st snap;
+  check_int "x restored" 1 (State.get_int st "x");
+  check_bool "array restored" false (State.get_bool_array st "a").(0)
+
+let test_state_snapshot_sorted_and_deep () =
+  let st = State.create [ ("z", Value.Int 1); ("a", Value.Int 2) ] in
+  let names = List.map fst (State.snapshot st) in
+  Alcotest.(check (list string)) "sorted" [ "a"; "z" ] names
+
+let test_state_duplicate_rejected () =
+  Alcotest.check_raises "dup" (Invalid_argument "State.create: duplicate variable x")
+    (fun () -> ignore (State.create [ ("x", Value.Int 1); ("x", Value.Int 2) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Network *)
+
+let test_network_fifo () =
+  let n = Network.create () in
+  Network.send n ~src:"p" ~dst:"q" (Message.msg 1);
+  Network.send n ~src:"p" ~dst:"q" (Message.msg 2);
+  check_int "queue length" 2 (Network.queue_length n ~src:"p" ~dst:"q");
+  Alcotest.(check (option int)) "fifo head"
+    (Some 1)
+    (Option.map (fun m -> List.hd m.Message.args) (Network.receive n ~src:"p" ~dst:"q"));
+  Alcotest.(check (option int)) "fifo second"
+    (Some 2)
+    (Option.map (fun m -> List.hd m.Message.args) (Network.receive n ~src:"p" ~dst:"q"));
+  check_bool "empty" true (Network.receive n ~src:"p" ~dst:"q" = None)
+
+let test_network_capacity () =
+  let n = Network.create ~capacity:1 () in
+  Network.send n ~src:"p" ~dst:"q" (Message.msg 1);
+  check_bool "full" false (Network.can_send n ~src:"p" ~dst:"q");
+  Alcotest.check_raises "overfull" (Invalid_argument "Network.send: channel full")
+    (fun () -> Network.send n ~src:"p" ~dst:"q" (Message.msg 2));
+  check_bool "inject full returns false" false
+    (Network.inject n ~src:"p" ~dst:"q" (Message.msg 3))
+
+let test_network_history () =
+  let n = Network.create ~record_history:true () in
+  Network.send n ~src:"p" ~dst:"q" (Message.msg 1);
+  Network.send n ~src:"p" ~dst:"q" (Message.msg 2);
+  Network.send n ~src:"p" ~dst:"q" (Message.msg 1);
+  (* duplicate collapsed *)
+  check_int "distinct history" 2 (List.length (Network.history n ~src:"p" ~dst:"q"));
+  (* injections are not recorded *)
+  ignore (Network.inject n ~src:"p" ~dst:"q" (Message.msg 9));
+  check_int "inject unrecorded" 2 (List.length (Network.history n ~src:"p" ~dst:"q"))
+
+let test_network_drop_head () =
+  let n = Network.create () in
+  Network.send n ~src:"p" ~dst:"q" (Message.msg 1);
+  ignore (Network.drop_head n ~src:"p" ~dst:"q");
+  check_int "dropped" 0 (Network.queue_length n ~src:"p" ~dst:"q")
+
+(* ------------------------------------------------------------------ *)
+(* System execution *)
+
+let tiny_bounds = Models.{ s_max = 3; p_resets = 0; q_resets = 0 }
+
+let test_system_in_order_delivery () =
+  (* No faults: running the original protocol delivers 1..s_max exactly
+     once (w-Delivery + Discrimination on a perfect channel). *)
+  let sys = Models.original_system ~bounds:tiny_bounds ~w:2 () in
+  let prng = Resets_util.Prng.create 5 in
+  ignore (System.run_random prng ~steps:1000 sys);
+  let q = System.state_of sys "q" in
+  check_bool "no dup" true (Models.discrimination_holds sys);
+  check_int "all delivered" 3
+    (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0
+       (State.get_bool_array q "dlv"))
+
+let test_system_enabled_steps_deterministic_order () =
+  let sys = Models.original_system ~bounds:tiny_bounds ~w:2 () in
+  let a = List.map System.step_label (System.enabled_steps sys) in
+  let b = List.map System.step_label (System.enabled_steps sys) in
+  Alcotest.(check (list string)) "stable" a b
+
+let test_system_execute_disabled_rejected () =
+  let sys = Models.original_system ~bounds:tiny_bounds ~w:2 () in
+  (* q.rcv is disabled while the channel is empty: index 0 is receive *)
+  let disabled =
+    System.Proc_action { proc = "q"; index = 0; label = "rcv" }
+  in
+  Alcotest.check_raises "disabled"
+    (Invalid_argument "System.execute: disabled step q.rcv") (fun () ->
+      System.execute sys disabled)
+
+let test_system_snapshot_restore_roundtrip () =
+  let sys = Models.original_system ~bounds:tiny_bounds ~w:2 () in
+  let snap0 = System.snapshot sys in
+  let prng = Resets_util.Prng.create 1 in
+  ignore (System.run_random prng ~steps:50 sys);
+  let snap1 = System.snapshot sys in
+  check_bool "progressed" false (System.snapshot_equal snap0 snap1);
+  System.restore sys snap0;
+  check_bool "restored" true (System.snapshot_equal snap0 (System.snapshot sys))
+
+let test_system_random_run_deterministic () =
+  let run seed =
+    let sys = Models.original_system ~bounds:tiny_bounds ~w:2 () in
+    let prng = Resets_util.Prng.create seed in
+    ignore (System.run_random prng ~steps:200 sys);
+    System.snapshot sys
+  in
+  check_bool "same seed same state" true (System.snapshot_equal (run 3) (run 3))
+
+(* ------------------------------------------------------------------ *)
+(* Explorer: Section 5 machine-checked on small bounds *)
+
+let explore ?(max_states = 400_000) sys invariant =
+  Explorer.explore ~max_states ~invariant sys
+
+let is_violation = function
+  | Explorer.Violation _ -> true
+  | Explorer.Exhausted _ | Explorer.Limit_reached _ -> false
+
+let is_exhausted_ok = function
+  | Explorer.Exhausted _ -> true
+  | Explorer.Violation _ | Explorer.Limit_reached _ -> false
+
+let test_original_protocol_safe_without_resets () =
+  (* With no resets, even the replay adversary cannot force a duplicate
+     delivery: the window protocol's own guarantee. *)
+  let bounds = Models.{ s_max = 3; p_resets = 0; q_resets = 0 } in
+  let sys = Models.original_system ~bounds ~capacity:2 ~adversary:true ~w:2 () in
+  check_bool "exhausted, invariant holds" true
+    (is_exhausted_ok (explore sys Models.discrimination_holds))
+
+let test_original_protocol_broken_by_receiver_reset () =
+  (* Section 3, paragraph 1: reset q, replay, duplicate delivery. *)
+  let bounds = Models.{ s_max = 4; p_resets = 0; q_resets = 1 } in
+  let sys = Models.original_system ~bounds ~capacity:2 ~adversary:true ~w:2 () in
+  match explore sys Models.discrimination_holds with
+  | Explorer.Violation { trace; _ } ->
+    check_bool "trace mentions a reset" true
+      (List.exists (fun l -> l = "q.reset") trace);
+    check_bool "trace mentions a replay" true
+      (List.exists (fun l -> String.length l >= 6 && String.sub l 0 6 = "replay") trace)
+  | Explorer.Exhausted _ | Explorer.Limit_reached _ ->
+    Alcotest.fail "expected a Discrimination violation"
+
+let test_augmented_sender_resets_safe () =
+  (* Theorem (i): sender resets never violate Section 5 invariants,
+     even with the adversary replaying. *)
+  let bounds = Models.{ s_max = 3; p_resets = 1; q_resets = 0 } in
+  let sys =
+    Models.augmented_system ~bounds ~capacity:2 ~adversary:true ~kp:1 ~kq:1 ~w:2 ()
+  in
+  check_bool "exhausted, invariants hold" true
+    (is_exhausted_ok (explore sys Models.all_section5_invariants))
+
+let test_augmented_receiver_resets_safe_without_jumps () =
+  (* Theorem (ii) under the paper's implicit dense-arrival assumption:
+     no adversary, ample channel capacity, receiver resets only. *)
+  let bounds = Models.{ s_max = 4; p_resets = 0; q_resets = 2 } in
+  let sys = Models.augmented_system ~bounds ~capacity:6 ~kp:1 ~kq:1 ~w:2 () in
+  check_bool "exhausted, invariants hold" true
+    (is_exhausted_ok (explore sys Models.all_section5_invariants))
+
+let test_combined_resets_find_the_corner_case () =
+  (* The case the paper calls "straightforward to verify": with both
+     hosts resetting and the adversary active, the receiver's right
+     edge can jump more than Kq in one receive; a reset during the
+     in-flight SAVE then recovers a stale edge. Our explorer finds it. *)
+  let bounds = Models.{ s_max = 3; p_resets = 1; q_resets = 1 } in
+  let sys =
+    Models.augmented_system ~bounds ~capacity:2 ~adversary:true ~kp:1 ~kq:1 ~w:2 ()
+  in
+  check_bool "violation found" true
+    (is_violation (explore sys Models.all_section5_invariants))
+
+let test_robust_receiver_closes_the_corner_case () =
+  let bounds = Models.{ s_max = 3; p_resets = 1; q_resets = 1 } in
+  let sys =
+    Models.augmented_system ~bounds ~capacity:2 ~adversary:true ~robust:true ~kp:1
+      ~kq:1 ~w:2 ()
+  in
+  check_bool "exhausted, invariants hold" true
+    (is_exhausted_ok (explore sys Models.all_section5_invariants))
+
+let test_leap_two_k_is_tight () =
+  (* Section 5's choice of 2K, machine-checked to be necessary and
+     sufficient: leap = K (or 0) is refuted, leap = 2K is exhaustively
+     verified, with Kp = 2 so a reset can land mid-interval. *)
+  let bounds = Models.{ s_max = 5; p_resets = 1; q_resets = 0 } in
+  let explore_leap leap =
+    explore ~max_states:500_000
+      (Models.augmented_system ~bounds ~capacity:2 ?leap_p:leap ~kp:2 ~kq:2 ~w:2 ())
+      Models.sender_freshness_holds
+  in
+  check_bool "2K verified" true (is_exhausted_ok (explore_leap None));
+  check_bool "K refuted" true (is_violation (explore_leap (Some 2)));
+  check_bool "0 refuted" true (is_violation (explore_leap (Some 0)))
+
+let test_explorer_limit_reached () =
+  let bounds = Models.{ s_max = 6; p_resets = 1; q_resets = 1 } in
+  let sys = Models.augmented_system ~bounds ~capacity:3 ~kp:2 ~kq:2 ~w:3 () in
+  match Explorer.explore ~max_states:50 ~invariant:(fun _ -> true) sys with
+  | Explorer.Limit_reached { states } -> check_int "stopped at budget" 50 states
+  | Explorer.Exhausted _ | Explorer.Violation _ -> Alcotest.fail "expected limit"
+
+let test_explorer_restores_initial_state () =
+  let bounds = Models.{ s_max = 3; p_resets = 0; q_resets = 0 } in
+  let sys = Models.original_system ~bounds ~w:2 () in
+  let before = System.snapshot sys in
+  ignore (explore sys Models.discrimination_holds);
+  check_bool "restored" true (System.snapshot_equal before (System.snapshot sys))
+
+let test_replay_reproduces_counterexample () =
+  (* a counterexample trace replays to a state violating the invariant *)
+  let bounds = Models.{ s_max = 4; p_resets = 0; q_resets = 1 } in
+  let sys = Models.original_system ~bounds ~capacity:2 ~adversary:true ~w:2 () in
+  (match explore sys Models.discrimination_holds with
+  | Explorer.Violation { trace; _ } -> begin
+    match Explorer.replay sys trace with
+    | Ok () ->
+      check_bool "end state violates" false (Models.discrimination_holds sys)
+    | Error m -> Alcotest.failf "replay failed: %s" m
+  end
+  | Explorer.Exhausted _ | Explorer.Limit_reached _ -> Alcotest.fail "expected violation")
+
+let test_replay_rejects_bogus_trace () =
+  let sys = Models.original_system ~bounds:tiny_bounds ~w:2 () in
+  check_bool "bogus label" true
+    (Result.is_error (Explorer.replay sys [ "p.send"; "q.frobnicate" ]))
+
+let test_explorer_immediate_violation () =
+  let sys = Models.original_system ~bounds:tiny_bounds ~w:2 () in
+  match Explorer.explore ~max_states:10 ~invariant:(fun _ -> false) sys with
+  | Explorer.Violation { trace; _ } -> check_int "empty trace" 0 (List.length trace)
+  | Explorer.Exhausted _ | Explorer.Limit_reached _ -> Alcotest.fail "expected violation"
+
+(* ------------------------------------------------------------------ *)
+(* Randomized soundness: long random executions of the robust system
+   keep all invariants, whatever the interleaving. *)
+
+let random_soundness =
+  QCheck.Test.make ~name:"robust augmented system holds under random schedules"
+    ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let bounds = Models.{ s_max = 8; p_resets = 2; q_resets = 2 } in
+      let sys =
+        Models.augmented_system ~bounds ~capacity:4 ~adversary:true ~lossy:true
+          ~robust:true ~kp:2 ~kq:2 ~w:3 ()
+      in
+      let prng = Resets_util.Prng.create seed in
+      ignore
+        (System.run_random prng ~steps:400
+           ~stop_when:(fun s -> not (Models.all_section5_invariants s))
+           sys);
+      Models.all_section5_invariants sys)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "apn"
+    [
+      ( "value/state",
+        [
+          Alcotest.test_case "accessors" `Quick test_value_accessors;
+          Alcotest.test_case "canonical copies" `Quick test_value_canonical_copies_arrays;
+          Alcotest.test_case "get/set" `Quick test_state_get_set;
+          Alcotest.test_case "snapshot/restore" `Quick test_state_snapshot_restore;
+          Alcotest.test_case "snapshot sorted" `Quick test_state_snapshot_sorted_and_deep;
+          Alcotest.test_case "duplicate var" `Quick test_state_duplicate_rejected;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "fifo" `Quick test_network_fifo;
+          Alcotest.test_case "capacity" `Quick test_network_capacity;
+          Alcotest.test_case "history" `Quick test_network_history;
+          Alcotest.test_case "drop head" `Quick test_network_drop_head;
+        ] );
+      ( "system",
+        [
+          Alcotest.test_case "in-order delivery" `Quick test_system_in_order_delivery;
+          Alcotest.test_case "stable step order" `Quick
+            test_system_enabled_steps_deterministic_order;
+          Alcotest.test_case "disabled rejected" `Quick test_system_execute_disabled_rejected;
+          Alcotest.test_case "snapshot/restore" `Quick test_system_snapshot_restore_roundtrip;
+          Alcotest.test_case "deterministic runs" `Quick test_system_random_run_deterministic;
+        ] );
+      ( "model-check (Section 5)",
+        [
+          Alcotest.test_case "original safe without resets" `Slow
+            test_original_protocol_safe_without_resets;
+          Alcotest.test_case "original broken by q reset" `Quick
+            test_original_protocol_broken_by_receiver_reset;
+          Alcotest.test_case "augmented: p resets safe" `Slow
+            test_augmented_sender_resets_safe;
+          Alcotest.test_case "augmented: q resets safe (dense)" `Quick
+            test_augmented_receiver_resets_safe_without_jumps;
+          Alcotest.test_case "combined resets: corner case found" `Quick
+            test_combined_resets_find_the_corner_case;
+          Alcotest.test_case "robust receiver closes it" `Slow
+            test_robust_receiver_closes_the_corner_case;
+          Alcotest.test_case "leap 2K is tight" `Quick test_leap_two_k_is_tight;
+          Alcotest.test_case "limit reached" `Quick test_explorer_limit_reached;
+          Alcotest.test_case "explorer restores state" `Quick
+            test_explorer_restores_initial_state;
+          Alcotest.test_case "immediate violation" `Quick test_explorer_immediate_violation;
+          Alcotest.test_case "replay counterexample" `Quick
+            test_replay_reproduces_counterexample;
+          Alcotest.test_case "replay bogus trace" `Quick test_replay_rejects_bogus_trace;
+        ] );
+      ("random", [ qt random_soundness ]);
+    ]

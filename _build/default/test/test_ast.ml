@@ -1,0 +1,307 @@
+(* The APN abstract syntax: interpreter semantics, the renderer, and
+   the equivalence of the declarative models with the hand-coded
+   closure models. *)
+
+open Resets_apn
+open Ast
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let no_send : Process.context =
+  { Process.self = "test"; send = (fun ~dst:_ _ -> Alcotest.fail "unexpected send") }
+
+let state bindings = State.create bindings
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation *)
+
+let test_eval_arithmetic () =
+  let st = state [ ("x", Value.Int 10) ] in
+  check_int "arith" 9
+    (Interp.eval_int ~consts:[] st ((var "x" +: int 5) -: Mul (int 2, int 3)))
+
+let test_eval_comparisons () =
+  let st = state [ ("x", Value.Int 10) ] in
+  let t e = Interp.eval_bool ~consts:[] st e in
+  check_bool "le" true (t (var "x" <=: int 10));
+  check_bool "lt" false (t (var "x" <: int 10));
+  check_bool "ge" true (t (var "x" >=: int 10));
+  check_bool "gt" false (t (var "x" >: int 10));
+  check_bool "eq" true (t (var "x" =: int 10));
+  check_bool "and" false (t ((var "x" >: int 5) &&: (var "x" >: int 20)));
+  check_bool "or" true (t (Or (var "x" >: int 5, var "x" >: int 20)));
+  check_bool "not" true (t (not_ (var "x" >: int 20)))
+
+let test_eval_consts_shadow_nothing () =
+  let st = state [ ("x", Value.Int 1) ] in
+  check_int "const read" 42 (Interp.eval_int ~consts:[ ("k", 42) ] st (var "k"));
+  check_int "var read" 1 (Interp.eval_int ~consts:[ ("k", 42) ] st (var "x"))
+
+let test_eval_array_indexing_is_one_based () =
+  let st = state [ ("a", Value.Bool_array [| true; false |]) ] in
+  check_bool "a[1]" true (Interp.eval_bool ~consts:[] st (Index ("a", int 1)));
+  check_bool "a[2]" false (Interp.eval_bool ~consts:[] st (Index ("a", int 2)));
+  check_bool "a[0] raises" true
+    (match Interp.eval ~consts:[] st (Index ("a", int 0)) with
+    | exception Interp.Eval_error _ -> true
+    | _ -> false)
+
+let test_eval_type_errors () =
+  let st = state [ ("b", Value.Bool true) ] in
+  check_bool "int of bool raises" true
+    (match Interp.eval_int ~consts:[] st (var "b") with
+    | exception Interp.Eval_error _ -> true
+    | _ -> false);
+  check_bool "unknown name raises" true
+    (match Interp.eval ~consts:[] st (var "nope") with
+    | exception Interp.Eval_error _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution *)
+
+let exec ?(consts = []) st stmt = Interp.exec ~consts ~ctx:no_send st stmt
+
+let test_simultaneous_assignment () =
+  (* the paper's idiom: wdw[j], j := false, j + 1 — the index uses the
+     old j *)
+  let st = state [ ("a", Value.Bool_array [| true; true |]); ("j", Value.Int 1) ] in
+  exec st (assign_many [ (Lindex ("a", var "j"), Bool_lit false); (Lvar "j", var "j" +: int 1) ]);
+  check_bool "a[1] cleared" false (State.get_bool_array st "a").(0);
+  check_bool "a[2] untouched" true (State.get_bool_array st "a").(1);
+  check_int "j bumped" 2 (State.get_int st "j")
+
+let test_simultaneous_swap () =
+  let st = state [ ("x", Value.Int 1); ("y", Value.Int 2) ] in
+  exec st (assign_many [ (Lvar "x", var "y"); (Lvar "y", var "x") ]);
+  check_int "x" 2 (State.get_int st "x");
+  check_int "y" 1 (State.get_int st "y")
+
+let test_if_selects_true_branch () =
+  let st = state [ ("x", Value.Int 5) ] in
+  exec st
+    (If
+       [
+         (var "x" >: int 10, assign "x" (int 0));
+         (var "x" <=: int 10, assign "x" (int 99));
+       ]);
+  check_int "second branch" 99 (State.get_int st "x")
+
+let test_if_no_true_guard_is_error () =
+  let st = state [ ("x", Value.Int 5) ] in
+  check_bool "raises" true
+    (match exec st (If [ (Bool_lit false, Skip) ]) with
+    | exception Interp.Eval_error _ -> true
+    | () -> false)
+
+let test_do_loops_until_false () =
+  let st = state [ ("i", Value.Int 0) ] in
+  exec st (Do [ (var "i" <: int 10, assign "i" (var "i" +: int 1)) ]);
+  check_int "looped" 10 (State.get_int st "i")
+
+let test_send_reaches_context () =
+  let sent = ref [] in
+  let ctx =
+    { Process.self = "p"; send = (fun ~dst msg -> sent := (dst, msg) :: !sent) }
+  in
+  let st = state [ ("s", Value.Int 7) ] in
+  Interp.exec ~consts:[] ~ctx st (Send { dst = "q"; tag = "msg"; args = [ var "s" ] });
+  check_int "one send" 1 (List.length !sent);
+  check_bool "payload" true
+    (!sent = [ ("q", { Message.tag = "msg"; args = [ 7 ] }) ])
+
+let test_arity_mismatch () =
+  let st = state [ ("x", Value.Int 0) ] in
+  check_bool "raises" true
+    (match exec st (Assign ([ Lvar "x" ], [ int 1; int 2 ])) with
+    | exception Interp.Eval_error _ -> true
+    | () -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Renderer *)
+
+let test_pp_expr_precedence () =
+  let s e = Format.asprintf "%a" Pp.pp_expr e in
+  check_str "flat sum" "s + 1" (s (var "s" +: int 1));
+  check_str "cmp over sum" "s >= Kp + lst" (s (var "s" >=: (var "Kp" +: var "lst")));
+  check_str "paren for nested cmp arg" "r - w < s and s <= r"
+    (s ((var "r" -: var "w" <: var "s") &&: (var "s" <=: var "r")));
+  check_str "not" "~wait" (s (not_ (var "wait")));
+  check_str "index" "wdw[s - r + w]" (s (Index ("wdw", var "s" -: var "r" +: var "w")))
+
+let test_pp_stmt_forms () =
+  let s st = Format.asprintf "%a" Pp.pp_stmt st in
+  check_str "skip" "skip" (s Skip);
+  check_str "send" "send msg(s) to q"
+    (s (Send { dst = "q"; tag = "msg"; args = [ var "s" ] }));
+  check_bool "simultaneous assignment" true
+    (s (assign_many [ (Lvar "r", var "s"); (Lvar "j", int 1) ]) = "r, j := s, 1")
+
+let test_pp_process_contains_paper_phrases () =
+  let text = Pp.process_to_string (Models_ast.augmented_p ~kp:25 ()) in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "process header" true (contains "process p");
+  check_bool "const decl" true (contains "const Kp");
+  check_bool "send" true (contains "send msg(s) to q");
+  check_bool "save trigger" true (contains "s >= Kp + lst");
+  check_bool "guards separated" true (contains "[]");
+  check_bool "wakeup leap" true (contains "pst + leap")
+
+let test_pp_q_shows_shift_loops () =
+  let text = Pp.process_to_string (Models_ast.original_q ~w:4 ()) in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "three cases" true (contains "s <= r - w");
+  check_bool "simultaneous slide" true (contains "r, i, j := s, s - r + 1, 1");
+  check_bool "first loop" true (contains "do i <= w");
+  check_bool "second loop" true (contains "j < w");
+  check_bool "receive" true (contains "rcv msg(s) from p")
+
+(* ------------------------------------------------------------------ *)
+(* The declarative models behave exactly like the closure models *)
+
+let shared_p_vars = [ "s"; "resets"; "max_sent" ]
+let shared_q_vars = [ "r"; "wdw"; "resets"; "dup"; "max_dlv" ]
+let shared_aug_p_vars =
+  shared_p_vars @ [ "lst"; "wait"; "pend"; "pend_wk"; "pst"; "stale_resume" ]
+let shared_aug_q_vars =
+  shared_q_vars @ [ "lst"; "wait"; "pend"; "pend_wk"; "pst"; "stale_edge" ]
+
+let lockstep ~steps ~seed ~p_vars ~q_vars sys_a sys_b =
+  let prng = Resets_util.Prng.create seed in
+  let agree proc vars =
+    List.for_all
+      (fun v ->
+        Value.equal
+          (State.get (System.state_of sys_a proc) v)
+          (State.get (System.state_of sys_b proc) v))
+      vars
+  in
+  let rec loop k =
+    if k = 0 then true
+    else begin
+      let ea = System.enabled_steps sys_a and eb = System.enabled_steps sys_b in
+      let la = List.map System.step_label ea and lb = List.map System.step_label eb in
+      if la <> lb then
+        Alcotest.failf "enabled sets diverge at step %d: [%s] vs [%s]" k
+          (String.concat ";" la) (String.concat ";" lb);
+      match ea with
+      | [] -> true
+      | steps_list ->
+        let i = Resets_util.Prng.int prng (List.length steps_list) in
+        System.execute sys_a (List.nth ea i);
+        System.execute sys_b (List.nth eb i);
+        if not (agree "p" p_vars && agree "q" q_vars) then
+          Alcotest.failf "states diverge at step %d" k;
+        loop (k - 1)
+    end
+  in
+  loop steps
+
+let test_lockstep_original () =
+  let bounds = Models.{ s_max = 5; p_resets = 1; q_resets = 1 } in
+  let a = Models.original_system ~bounds ~capacity:2 ~adversary:true ~w:2 () in
+  let b = Models_ast.original_system ~bounds ~capacity:2 ~adversary:true ~w:2 () in
+  check_bool "500 lockstep steps" true
+    (lockstep ~steps:500 ~seed:3 ~p_vars:shared_p_vars ~q_vars:shared_q_vars a b)
+
+let test_lockstep_augmented () =
+  let bounds = Models.{ s_max = 5; p_resets = 2; q_resets = 2 } in
+  let a = Models.augmented_system ~bounds ~capacity:2 ~adversary:true ~kp:2 ~kq:2 ~w:2 () in
+  let b =
+    Models_ast.augmented_system ~bounds ~capacity:2 ~adversary:true ~kp:2 ~kq:2 ~w:2 ()
+  in
+  check_bool "500 lockstep steps" true
+    (lockstep ~steps:500 ~seed:4 ~p_vars:shared_aug_p_vars ~q_vars:shared_aug_q_vars a b)
+
+let lockstep_property =
+  QCheck.Test.make ~name:"closure and AST models agree under any schedule" ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let bounds = Models.{ s_max = 4; p_resets = 1; q_resets = 1 } in
+      let a =
+        Models.augmented_system ~bounds ~capacity:2 ~adversary:true ~kp:1 ~kq:1 ~w:2 ()
+      in
+      let b =
+        Models_ast.augmented_system ~bounds ~capacity:2 ~adversary:true ~kp:1 ~kq:1
+          ~w:2 ()
+      in
+      lockstep ~steps:300 ~seed ~p_vars:shared_aug_p_vars ~q_vars:shared_aug_q_vars a b)
+
+let test_explorer_verdicts_agree () =
+  let bounds = Models.{ s_max = 3; p_resets = 0; q_resets = 1 } in
+  let verdict sys =
+    match
+      Explorer.explore ~max_states:400_000 ~invariant:Models.discrimination_holds sys
+    with
+    | Explorer.Violation _ -> "violation"
+    | Explorer.Exhausted _ -> "exhausted"
+    | Explorer.Limit_reached _ -> "limit"
+  in
+  check_str "original verdicts match" "violation"
+    (verdict (Models_ast.original_system ~bounds ~capacity:2 ~adversary:true ~w:2 ()));
+  let bounds = Models.{ s_max = 3; p_resets = 1; q_resets = 0 } in
+  check_str "augmented p-reset verdicts match" "exhausted"
+    (verdict
+       (Models_ast.augmented_system ~bounds ~capacity:2 ~adversary:true ~kp:1 ~kq:1
+          ~w:2 ()))
+
+let test_ast_leap_ablation () =
+  (* the AST models reproduce the leap-tightness result too *)
+  let bounds = Models.{ s_max = 5; p_resets = 1; q_resets = 0 } in
+  let outcome leap =
+    Explorer.explore ~max_states:500_000 ~invariant:Models.sender_freshness_holds
+      (Models_ast.augmented_system ~bounds ~capacity:2 ?leap_p:leap ~kp:2 ~kq:2 ~w:2 ())
+  in
+  check_bool "2K holds" true
+    (match outcome None with Explorer.Exhausted _ -> true | _ -> false);
+  check_bool "K refuted" true
+    (match outcome (Some 2) with Explorer.Violation _ -> true | _ -> false)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ast"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_eval_arithmetic;
+          Alcotest.test_case "comparisons" `Quick test_eval_comparisons;
+          Alcotest.test_case "constants" `Quick test_eval_consts_shadow_nothing;
+          Alcotest.test_case "1-based arrays" `Quick test_eval_array_indexing_is_one_based;
+          Alcotest.test_case "type errors" `Quick test_eval_type_errors;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "simultaneous assignment" `Quick test_simultaneous_assignment;
+          Alcotest.test_case "simultaneous swap" `Quick test_simultaneous_swap;
+          Alcotest.test_case "if" `Quick test_if_selects_true_branch;
+          Alcotest.test_case "if no guard" `Quick test_if_no_true_guard_is_error;
+          Alcotest.test_case "do" `Quick test_do_loops_until_false;
+          Alcotest.test_case "send" `Quick test_send_reaches_context;
+          Alcotest.test_case "arity" `Quick test_arity_mismatch;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "expr precedence" `Quick test_pp_expr_precedence;
+          Alcotest.test_case "stmt forms" `Quick test_pp_stmt_forms;
+          Alcotest.test_case "process p phrases" `Quick test_pp_process_contains_paper_phrases;
+          Alcotest.test_case "process q shift loops" `Quick test_pp_q_shows_shift_loops;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "lockstep original" `Quick test_lockstep_original;
+          Alcotest.test_case "lockstep augmented" `Quick test_lockstep_augmented;
+          qt lockstep_property;
+          Alcotest.test_case "explorer verdicts" `Quick test_explorer_verdicts_agree;
+          Alcotest.test_case "leap ablation via AST" `Quick test_ast_leap_ablation;
+        ] );
+    ]

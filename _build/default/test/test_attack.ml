@@ -1,0 +1,167 @@
+(* Adversary substrate: the packet recorder and the replay
+   strategies, exercised against a bare link. *)
+
+open Resets_sim
+open Resets_attack
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let us = Time.of_us
+
+(* ------------------------------------------------------------------ *)
+(* Recorder *)
+
+let test_recorder_capture_order () =
+  let r = Recorder.create () in
+  List.iter (Recorder.tap r) [ "a"; "b"; "c" ];
+  check_int "count" 3 (Recorder.count r);
+  Alcotest.(check (list string)) "oldest first" [ "a"; "b"; "c" ] (Recorder.captured r);
+  Alcotest.(check (option string)) "nth 1" (Some "b") (Recorder.nth r 1);
+  Alcotest.(check (option string)) "latest" (Some "c") (Recorder.latest r);
+  Alcotest.(check (option string)) "nth oob" None (Recorder.nth r 3)
+
+let test_recorder_capacity_eviction () =
+  let r = Recorder.create ~capacity:2 () in
+  List.iter (Recorder.tap r) [ 1; 2; 3; 4 ];
+  check_int "total counted" 4 (Recorder.count r);
+  check_int "retained bounded" 2 (Recorder.retained r);
+  Alcotest.(check (list int)) "newest kept" [ 3; 4 ] (Recorder.captured r)
+
+let test_recorder_find_last () =
+  let r = Recorder.create () in
+  List.iter (Recorder.tap r) [ 1; 12; 7; 14; 3 ];
+  Alcotest.(check (option int)) "last > 10" (Some 14)
+    (Recorder.find_last r (fun x -> x > 10));
+  Alcotest.(check (option int)) "none > 99" None (Recorder.find_last r (fun x -> x > 99))
+
+let test_recorder_clear () =
+  let r = Recorder.create () in
+  Recorder.tap r "x";
+  Recorder.clear r;
+  check_int "retained" 0 (Recorder.retained r);
+  Alcotest.(check (option string)) "latest" None (Recorder.latest r)
+
+(* ------------------------------------------------------------------ *)
+(* Adversary strategies against a live link *)
+
+type fixture = {
+  engine : Engine.t;
+  link : string Link.t;
+  adversary : string Adversary.t;
+  received : string list ref;
+}
+
+let make_fixture () =
+  let engine = Engine.create () in
+  let link = Link.create ~latency:(us 5) engine in
+  let received = ref [] in
+  Link.set_deliver link (fun x -> received := x :: !received);
+  let adversary = Adversary.create ~link ~mark:(fun s -> "R:" ^ s) engine in
+  { engine; link; adversary; received }
+
+let arrivals f = List.rev !(f.received)
+
+let test_adversary_captures_legit_traffic () =
+  let f = make_fixture () in
+  Link.send f.link "m1";
+  Link.send f.link "m2";
+  ignore (Engine.run f.engine);
+  check_int "captured" 2 (Adversary.captured_count f.adversary);
+  check_int "nothing injected yet" 0 (Adversary.injected_count f.adversary)
+
+let test_replay_all_in_order () =
+  let f = make_fixture () in
+  List.iter (Link.send f.link) [ "m1"; "m2"; "m3" ];
+  ignore (Engine.run f.engine);
+  let n = Adversary.replay_all_in_order f.adversary in
+  check_int "injected all" 3 n;
+  ignore (Engine.run f.engine);
+  Alcotest.(check (list string)) "marked copies delivered in order"
+    [ "m1"; "m2"; "m3"; "R:m1"; "R:m2"; "R:m3" ]
+    (arrivals f)
+
+let test_replay_all_spaced () =
+  let f = make_fixture () in
+  List.iter (Link.send f.link) [ "a"; "b" ];
+  ignore (Engine.run f.engine);
+  ignore (Adversary.replay_all_in_order ~gap:(us 100) f.adversary);
+  (* after 60us only the first replay has been injected+delivered *)
+  ignore (Engine.run ~until:(us 60) f.engine);
+  check_int "one so far" 3 (List.length (arrivals f));
+  ignore (Engine.run f.engine);
+  check_int "both eventually" 4 (List.length (arrivals f))
+
+let test_replay_latest_and_nth () =
+  let f = make_fixture () in
+  List.iter (Link.send f.link) [ "old"; "newest" ];
+  ignore (Engine.run f.engine);
+  check_bool "latest" true (Adversary.replay_latest f.adversary);
+  check_bool "nth 0" true (Adversary.replay_nth f.adversary 0);
+  check_bool "nth oob" false (Adversary.replay_nth f.adversary 9);
+  ignore (Engine.run f.engine);
+  Alcotest.(check (list string)) "replayed"
+    [ "old"; "newest"; "R:newest"; "R:old" ]
+    (arrivals f)
+
+let test_replay_matching () =
+  let f = make_fixture () in
+  List.iter (Link.send f.link) [ "x1"; "y2"; "x3" ];
+  ignore (Engine.run f.engine);
+  check_bool "match found" true
+    (Adversary.replay_matching f.adversary (fun s -> s.[0] = 'x'));
+  ignore (Engine.run f.engine);
+  (* the most recent matching capture is replayed *)
+  check_bool "latest x replayed" true (List.mem "R:x3" (arrivals f));
+  check_bool "no match" false
+    (Adversary.replay_matching f.adversary (fun s -> s.[0] = 'z'))
+
+let test_replay_empty_capture () =
+  let f = make_fixture () in
+  check_bool "latest on empty" false (Adversary.replay_latest f.adversary);
+  check_int "replay-all on empty" 0 (Adversary.replay_all_in_order f.adversary)
+
+let test_flood_cycles_and_stops () =
+  let f = make_fixture () in
+  List.iter (Link.send f.link) [ "a"; "b" ];
+  ignore (Engine.run f.engine);
+  Adversary.start_flood ~gap:(us 10) f.adversary;
+  ignore (Engine.run ~until:(us 100) f.engine);
+  let injected_at_100 = Adversary.injected_count f.adversary in
+  check_bool "flooding" true (injected_at_100 >= 8);
+  Adversary.stop_flood f.adversary;
+  ignore (Engine.run ~until:(us 200) f.engine);
+  check_int "stopped" injected_at_100 (Adversary.injected_count f.adversary);
+  (* double start after stop is fine *)
+  Adversary.start_flood ~gap:(us 10) f.adversary;
+  Adversary.stop_flood f.adversary
+
+let test_flood_double_start_rejected () =
+  let f = make_fixture () in
+  Adversary.start_flood ~gap:(us 10) f.adversary;
+  Alcotest.check_raises "double flood"
+    (Invalid_argument "Adversary.start_flood: already flooding") (fun () ->
+      Adversary.start_flood ~gap:(us 10) f.adversary)
+
+let () =
+  Alcotest.run "attack"
+    [
+      ( "recorder",
+        [
+          Alcotest.test_case "capture order" `Quick test_recorder_capture_order;
+          Alcotest.test_case "capacity eviction" `Quick test_recorder_capacity_eviction;
+          Alcotest.test_case "find_last" `Quick test_recorder_find_last;
+          Alcotest.test_case "clear" `Quick test_recorder_clear;
+        ] );
+      ( "strategies",
+        [
+          Alcotest.test_case "captures traffic" `Quick test_adversary_captures_legit_traffic;
+          Alcotest.test_case "replay-all order" `Quick test_replay_all_in_order;
+          Alcotest.test_case "replay-all spaced" `Quick test_replay_all_spaced;
+          Alcotest.test_case "latest / nth" `Quick test_replay_latest_and_nth;
+          Alcotest.test_case "matching" `Quick test_replay_matching;
+          Alcotest.test_case "empty capture" `Quick test_replay_empty_capture;
+          Alcotest.test_case "flood" `Quick test_flood_cycles_and_stops;
+          Alcotest.test_case "flood double start" `Quick test_flood_double_start_rejected;
+        ] );
+    ]

@@ -1,0 +1,281 @@
+(* Crypto substrate tests: official test vectors (FIPS 180-4, RFC
+   4231, RFC 8439, RFC 5869) plus structural properties. *)
+
+open Resets_util
+open Resets_crypto
+
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let hex = Hex.decode
+
+(* ------------------------------------------------------------------ *)
+(* SHA-256: FIPS 180-4 / NIST CAVS vectors *)
+
+let sha_vectors =
+  [
+    ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+       ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" );
+    ("a", "ca978112ca1bbdcafac231b39a23dc4da786eff8147c4e72b9807785afee48bb");
+    ( "The quick brown fox jumps over the lazy dog",
+      "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592" );
+  ]
+
+let test_sha256_vectors () =
+  List.iter
+    (fun (msg, expect) -> check_str ("sha256 " ^ msg) expect (Sha256.hex_digest msg))
+    sha_vectors
+
+let test_sha256_long_input () =
+  (* 100,000 'a's — exercises many blocks (vector derived from the
+     standard million-'a' family, computed independently). *)
+  let s = String.make 100_000 'a' in
+  check_str "100k a's"
+    (Sha256.hex_digest s)
+    (Sha256.hex_digest (String.concat "" [ String.make 50_000 'a'; String.make 50_000 'a' ]))
+
+let test_sha256_incremental_equals_oneshot () =
+  let msg = "The quick brown fox jumps over the lazy dog" in
+  (* Feed in awkward chunk sizes, including ones straddling the 64-byte
+     block boundary. *)
+  List.iter
+    (fun chunk ->
+      let ctx = Sha256.init () in
+      let rec feed i =
+        if i < String.length msg then begin
+          let len = min chunk (String.length msg - i) in
+          Sha256.feed ctx (String.sub msg i len);
+          feed (i + len)
+        end
+      in
+      feed 0;
+      check_str
+        (Printf.sprintf "chunk %d" chunk)
+        (Sha256.digest msg)
+        (Sha256.finalize ctx))
+    [ 1; 3; 7; 63; 64; 65 ]
+
+let test_sha256_boundary_lengths () =
+  (* Padding edge cases: lengths around the 55/56/64 byte boundaries
+     must all hash without error and differ from each other. *)
+  let digests =
+    List.map (fun n -> Sha256.digest (String.make n 'x')) [ 54; 55; 56; 57; 63; 64; 65 ]
+  in
+  let distinct = List.sort_uniq compare digests in
+  Alcotest.(check int) "all distinct" (List.length digests) (List.length distinct)
+
+let test_sha256_finalize_once () =
+  let ctx = Sha256.init () in
+  Sha256.feed ctx "x";
+  ignore (Sha256.finalize ctx);
+  Alcotest.check_raises "reuse rejected"
+    (Invalid_argument "Sha256.finalize: context already finalized") (fun () ->
+      ignore (Sha256.finalize ctx))
+
+let incremental_property =
+  QCheck.Test.make ~name:"incremental sha256 = one-shot for any split" ~count:100
+    QCheck.(pair string small_nat)
+    (fun (s, k) ->
+      let k = if String.length s = 0 then 0 else k mod (String.length s + 1) in
+      let ctx = Sha256.init () in
+      Sha256.feed ctx (String.sub s 0 k);
+      Sha256.feed ctx (String.sub s k (String.length s - k));
+      Sha256.finalize ctx = Sha256.digest s)
+
+(* ------------------------------------------------------------------ *)
+(* HMAC-SHA-256: RFC 4231 *)
+
+let test_hmac_rfc4231_case1 () =
+  let key = String.make 20 '\x0b' in
+  check_str "case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hex.encode (Hmac.mac ~key "Hi There"))
+
+let test_hmac_rfc4231_case2 () =
+  check_str "case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hex.encode (Hmac.mac ~key:"Jefe" "what do ya want for nothing?"))
+
+let test_hmac_rfc4231_case3 () =
+  let key = String.make 20 '\xaa' in
+  let msg = String.make 50 '\xdd' in
+  check_str "case 3"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (Hex.encode (Hmac.mac ~key msg))
+
+let test_hmac_rfc4231_case6_long_key () =
+  (* 131-byte key: exercises the hash-the-key path. *)
+  let key = String.make 131 '\xaa' in
+  check_str "case 6"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hex.encode (Hmac.mac ~key "Test Using Larger Than Block-Size Key - Hash Key First"))
+
+let test_hmac_truncation () =
+  let tag = Hmac.mac ~key:"k" "m" in
+  check_str "truncated prefix" (String.sub tag 0 16)
+    (Hmac.mac_truncated ~key:"k" ~bytes:16 "m");
+  Alcotest.check_raises "bad length"
+    (Invalid_argument "Hmac.mac_truncated: tag length out of range") (fun () ->
+      ignore (Hmac.mac_truncated ~key:"k" ~bytes:0 "m"))
+
+let test_hmac_verify () =
+  let tag = Hmac.mac_truncated ~key:"secret" ~bytes:16 "payload" in
+  check_bool "accepts valid" true (Hmac.verify ~key:"secret" ~tag "payload");
+  check_bool "rejects wrong msg" false (Hmac.verify ~key:"secret" ~tag "payloaX");
+  check_bool "rejects wrong key" false (Hmac.verify ~key:"other" ~tag "payload");
+  check_bool "rejects empty tag" false (Hmac.verify ~key:"secret" ~tag:"" "payload")
+
+(* ------------------------------------------------------------------ *)
+(* ChaCha20: RFC 8439 *)
+
+let rfc8439_key =
+  hex "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+
+let test_chacha20_block_vector () =
+  (* RFC 8439 section 2.3.2 *)
+  let nonce = hex "000000090000004a00000000" in
+  let block = Chacha20.block ~key:rfc8439_key ~nonce ~counter:1l in
+  check_str "first block"
+    "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+     d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+    (Hex.encode block)
+
+let test_chacha20_encrypt_vector () =
+  (* RFC 8439 section 2.4.2 *)
+  let nonce = hex "000000000000004a00000000" in
+  let plain =
+    "Ladies and Gentlemen of the class of '99: If I could offer you \
+     only one tip for the future, sunscreen would be it."
+  in
+  let ct = Chacha20.crypt ~key:rfc8439_key ~nonce ~counter:1l plain in
+  check_str "ciphertext"
+    "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+     f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+     07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+     5af90bbf74a35be6b40b8eedf2785e42874d"
+    (Hex.encode ct)
+
+let test_chacha20_involution () =
+  let nonce = hex "000000000000004a00000000" in
+  let msg = "round trip" in
+  let ct = Chacha20.crypt ~key:rfc8439_key ~nonce msg in
+  check_str "decrypt(encrypt(m)) = m" msg (Chacha20.crypt ~key:rfc8439_key ~nonce ct)
+
+let test_chacha20_validates_sizes () =
+  Alcotest.check_raises "short key" (Invalid_argument "Chacha20: key must be 32 bytes")
+    (fun () -> ignore (Chacha20.block ~key:"short" ~nonce:(String.make 12 '\x00') ~counter:0l));
+  Alcotest.check_raises "short nonce"
+    (Invalid_argument "Chacha20: nonce must be 12 bytes") (fun () ->
+      ignore (Chacha20.block ~key:(String.make 32 '\x00') ~nonce:"short" ~counter:0l))
+
+let test_chacha20_nonce_sensitivity () =
+  let n1 = hex "000000000000000000000001" and n2 = hex "000000000000000000000002" in
+  let msg = String.make 32 'm' in
+  check_bool "different nonces differ" true
+    (Chacha20.crypt ~key:rfc8439_key ~nonce:n1 msg
+    <> Chacha20.crypt ~key:rfc8439_key ~nonce:n2 msg)
+
+let chacha_roundtrip_property =
+  QCheck.Test.make ~name:"chacha20 involution on any input" ~count:100 QCheck.string
+    (fun s ->
+      let nonce = String.make 12 '\x07' in
+      Chacha20.crypt ~key:rfc8439_key ~nonce (Chacha20.crypt ~key:rfc8439_key ~nonce s)
+      = s)
+
+(* ------------------------------------------------------------------ *)
+(* HKDF: RFC 5869 *)
+
+let test_hkdf_rfc5869_case1 () =
+  let ikm = hex "0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b" in
+  let salt = hex "000102030405060708090a0b0c" in
+  let info = hex "f0f1f2f3f4f5f6f7f8f9" in
+  let prk = Kdf.extract ~salt ~ikm in
+  check_str "prk"
+    "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+    (Hex.encode prk);
+  check_str "okm"
+    "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+    (Hex.encode (Kdf.expand ~prk ~info ~length:42))
+
+let test_hkdf_lengths () =
+  let prk = Kdf.extract ~salt:"s" ~ikm:"k" in
+  Alcotest.(check int) "1 byte" 1 (String.length (Kdf.expand ~prk ~info:"" ~length:1));
+  Alcotest.(check int) "100 bytes" 100
+    (String.length (Kdf.expand ~prk ~info:"" ~length:100));
+  Alcotest.check_raises "zero" (Invalid_argument "Kdf.expand: length out of range")
+    (fun () -> ignore (Kdf.expand ~prk ~info:"" ~length:0))
+
+let test_hkdf_deterministic_and_info_sensitive () =
+  let d1 = Kdf.derive ~salt:"s" ~ikm:"k" ~info:"a" ~length:32 in
+  let d2 = Kdf.derive ~salt:"s" ~ikm:"k" ~info:"a" ~length:32 in
+  let d3 = Kdf.derive ~salt:"s" ~ikm:"k" ~info:"b" ~length:32 in
+  check_bool "deterministic" true (d1 = d2);
+  check_bool "info-sensitive" true (d1 <> d3)
+
+let test_stretch () =
+  check_str "0 iterations is identity" "x" (Kdf.stretch ~iterations:0 "x");
+  check_str "1 iteration is sha256" (Sha256.digest "x") (Kdf.stretch ~iterations:1 "x");
+  check_str "composition"
+    (Sha256.digest (Sha256.digest "x"))
+    (Kdf.stretch ~iterations:2 "x")
+
+(* ------------------------------------------------------------------ *)
+(* Constant-time compare *)
+
+let test_ct_equal () =
+  check_bool "equal" true (Ct.equal "abc" "abc");
+  check_bool "unequal" false (Ct.equal "abc" "abd");
+  check_bool "lengths" false (Ct.equal "abc" "ab");
+  check_bool "empty" true (Ct.equal "" "")
+
+let ct_matches_structural =
+  QCheck.Test.make ~name:"Ct.equal = String.equal" ~count:300
+    QCheck.(pair string string)
+    (fun (a, b) -> Ct.equal a b = String.equal a b)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "crypto"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "long input" `Quick test_sha256_long_input;
+          Alcotest.test_case "incremental" `Quick test_sha256_incremental_equals_oneshot;
+          Alcotest.test_case "padding boundaries" `Quick test_sha256_boundary_lengths;
+          Alcotest.test_case "finalize once" `Quick test_sha256_finalize_once;
+          qt incremental_property;
+        ] );
+      ( "hmac",
+        [
+          Alcotest.test_case "RFC4231 case 1" `Quick test_hmac_rfc4231_case1;
+          Alcotest.test_case "RFC4231 case 2" `Quick test_hmac_rfc4231_case2;
+          Alcotest.test_case "RFC4231 case 3" `Quick test_hmac_rfc4231_case3;
+          Alcotest.test_case "RFC4231 case 6" `Quick test_hmac_rfc4231_case6_long_key;
+          Alcotest.test_case "truncation" `Quick test_hmac_truncation;
+          Alcotest.test_case "verify" `Quick test_hmac_verify;
+        ] );
+      ( "chacha20",
+        [
+          Alcotest.test_case "RFC8439 block" `Quick test_chacha20_block_vector;
+          Alcotest.test_case "RFC8439 encrypt" `Quick test_chacha20_encrypt_vector;
+          Alcotest.test_case "involution" `Quick test_chacha20_involution;
+          Alcotest.test_case "size validation" `Quick test_chacha20_validates_sizes;
+          Alcotest.test_case "nonce sensitivity" `Quick test_chacha20_nonce_sensitivity;
+          qt chacha_roundtrip_property;
+        ] );
+      ( "kdf",
+        [
+          Alcotest.test_case "RFC5869 case 1" `Quick test_hkdf_rfc5869_case1;
+          Alcotest.test_case "lengths" `Quick test_hkdf_lengths;
+          Alcotest.test_case "determinism" `Quick test_hkdf_deterministic_and_info_sensitive;
+          Alcotest.test_case "stretch" `Quick test_stretch;
+        ] );
+      ( "ct",
+        [ Alcotest.test_case "equal" `Quick test_ct_equal; qt ct_matches_structural ] );
+    ]

@@ -1,0 +1,361 @@
+(* Endpoint unit tests: the Sender (paper's process p) and Receiver
+   (process q) driven directly on the engine, with hand-placed resets
+   so we can check the Figure 1/2 accounting point for point. *)
+
+open Resets_sim
+open Resets_persist
+open Resets_ipsec
+open Resets_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let us = Time.of_us
+
+(* A fixture wiring sender -> link -> receiver with given parameters. *)
+type fixture = {
+  engine : Engine.t;
+  sender : Sender.t;
+  receiver : Receiver.t;
+  disk_p : Sim_disk.t;
+  disk_q : Sim_disk.t;
+  metrics : Metrics.t;
+}
+
+let make_fixture ?(kp = 5) ?(kq = 5) ?(w = 64) ?(gap = us 10) ?(save_latency = us 40)
+    ?(link_latency = us 1) ?(robust = false) ?(wakeup_buffer = true)
+    ?(volatile = false) () =
+  let engine = Engine.create () in
+  let metrics = Metrics.create () in
+  let params = Sa.derive_params ~window_width:w ~spi:0x1l ~secret:"fixture" () in
+  let sa_p = Sa.create params and sa_q = Sa.create params in
+  let link = Link.create ~latency:link_latency engine in
+  let disk_p = Sim_disk.create ~name:"dp" ~latency:save_latency engine in
+  let disk_q = Sim_disk.create ~name:"dq" ~latency:save_latency engine in
+  let persistence_p =
+    if volatile then None
+    else Some { Sender.disk = disk_p; k = kp; leap = 2 * kp; trigger = Sender.On_count }
+  in
+  let persistence_q =
+    if volatile then None
+    else
+      Some { Receiver.disk = disk_q; k = kq; leap = 2 * kq; robust; wakeup_buffer }
+  in
+  let sender =
+    Sender.create ~sa:sa_p ~link
+      ~traffic:(Resets_workload.Traffic.constant ~gap)
+      ~metrics ~persistence:persistence_p engine
+  in
+  let receiver = Receiver.create ~sa:sa_q ~metrics ~persistence:persistence_q engine in
+  Link.set_deliver link (Receiver.on_packet receiver);
+  { engine; sender; receiver; disk_p; disk_q; metrics }
+
+let run_until f t = ignore (Engine.run ~until:t f.engine)
+
+(* ------------------------------------------------------------------ *)
+(* Sender *)
+
+let test_sender_sends_at_gap () =
+  let f = make_fixture ~gap:(us 10) () in
+  Sender.start f.sender;
+  run_until f (us 105);
+  check_int "10 messages in 105us" 10 f.metrics.Metrics.sent;
+  check_int "next seq" 11 (Sender.next_seq f.sender)
+
+let test_sender_periodic_save_cadence () =
+  (* Kp = 5: SAVE triggers when the next-to-send number reaches
+     lst + 5, i.e. stored values 6, 11, 16, ... *)
+  let f = make_fixture ~kp:5 ~gap:(us 10) ~save_latency:(us 1) () in
+  Sender.start f.sender;
+  run_until f (us 1005);
+  check_int "sent 100" 100 f.metrics.Metrics.sent;
+  check_int "20 saves" 20 (Sim_disk.saves_completed f.disk_p);
+  Alcotest.(check (option int)) "last stored" (Some 101) (Sender.last_stored f.sender)
+
+let test_sender_reset_stops_sending () =
+  let f = make_fixture () in
+  Sender.start f.sender;
+  ignore (Engine.schedule_at f.engine ~at:(us 55) (fun () -> Sender.reset f.sender));
+  run_until f (us 200);
+  check_int "stopped at reset" 5 f.metrics.Metrics.sent;
+  check_bool "down" true (Sender.is_down f.sender)
+
+let test_sender_wakeup_leaps_and_resumes () =
+  let f = make_fixture ~kp:5 ~gap:(us 10) ~save_latency:(us 1) () in
+  Sender.start f.sender;
+  (* At 105us: 10 sent, next = 11; last completed save stored 11.
+     Reset, then wake. FETCH 11, leap 10 -> resume at 21. *)
+  ignore (Engine.schedule_at f.engine ~at:(us 105) (fun () -> Sender.reset f.sender));
+  let ready_at = ref None in
+  ignore
+    (Engine.schedule_at f.engine ~at:(us 200) (fun () ->
+         Sender.wakeup f.sender
+           ~on_ready:(fun () -> ready_at := Some (Engine.now f.engine))
+           ()));
+  run_until f (us 195);
+  check_int "sent before reset" 10 f.metrics.Metrics.sent;
+  run_until f (us 1000);
+  (* resumed at 21, then kept counting one per message *)
+  check_int "resumed at 21" 21
+    (Sender.next_seq f.sender - (f.metrics.Metrics.sent - 10));
+  check_int "skipped = leap - 0 pending" 10 f.metrics.Metrics.skipped_seqnos;
+  check_bool "blocking save delayed readiness" true
+    (match !ready_at with
+    | Some t -> Time.(us 200 < t)
+    | None -> false);
+  check_bool "no reuse" true (f.metrics.Metrics.reused_seqnos = 0)
+
+let test_sender_wakeup_after_inflight_save_lost () =
+  (* Reset strikes mid-SAVE: the fetched value is one interval behind
+     (Figure 1, first branch). *)
+  let f = make_fixture ~kp:5 ~gap:(us 10) ~save_latency:(us 35) () in
+  Sender.start f.sender;
+  (* SAVE(6) begins when message 5 is sent at t=50, completes t=85.
+     Reset at t=60 loses it; durable state is still the preloaded 1. *)
+  ignore (Engine.schedule_at f.engine ~at:(us 60) (fun () -> Sender.reset f.sender));
+  ignore
+    (Engine.schedule_at f.engine ~at:(us 100) (fun () -> Sender.wakeup f.sender ()));
+  (* wakeup SAVE completes at 135us; check durable state before the
+     next periodic SAVE (which lands around 220us) becomes durable *)
+  run_until f (us 150);
+  check_int "one save lost" 1 (Sim_disk.saves_lost f.disk_p);
+  (* fetched 1 + leap 10 = 11 > 6 (last used next-seq) : fresh *)
+  Alcotest.(check (option int)) "durable after wakeup" (Some 11)
+    (Sender.last_stored f.sender);
+  run_until f (us 500);
+  check_bool "fresh numbers only" true (f.metrics.Metrics.reused_seqnos = 0)
+
+let test_sender_volatile_reuses_numbers () =
+  let f = make_fixture ~volatile:true () in
+  Sender.start f.sender;
+  ignore (Engine.schedule_at f.engine ~at:(us 105) (fun () -> Sender.reset f.sender));
+  ignore (Engine.schedule_at f.engine ~at:(us 120) (fun () -> Sender.wakeup f.sender ()));
+  run_until f (us 300);
+  check_bool "volatile reuse detected" true (f.metrics.Metrics.reused_seqnos > 0);
+  Alcotest.(check (option int)) "no disk" None (Sender.last_stored f.sender)
+
+let test_sender_double_wakeup_rejected () =
+  let f = make_fixture () in
+  Sender.start f.sender;
+  run_until f (us 30);
+  Alcotest.check_raises "not down" (Invalid_argument "Sender.wakeup: not down")
+    (fun () -> Sender.wakeup f.sender ())
+
+let test_sender_stop () =
+  let f = make_fixture () in
+  Sender.start f.sender;
+  ignore (Engine.schedule_at f.engine ~at:(us 35) (fun () -> Sender.stop f.sender));
+  run_until f (us 200);
+  check_int "stopped" 3 f.metrics.Metrics.sent
+
+(* ------------------------------------------------------------------ *)
+(* Receiver *)
+
+let test_receiver_delivers_and_saves () =
+  let f = make_fixture ~kq:5 ~gap:(us 10) ~save_latency:(us 1) () in
+  Sender.start f.sender;
+  run_until f (us 1010);
+  check_int "delivered all" 100 f.metrics.Metrics.delivered;
+  check_bool "edge advanced" true (Receiver.right_edge f.receiver >= 100);
+  check_bool "saves happened" true (Sim_disk.saves_completed f.disk_q >= 19)
+
+let test_receiver_rejects_bad_icv () =
+  let f = make_fixture () in
+  let bogus = String.make 40 'x' in
+  Receiver.on_packet f.receiver (Packet.fresh bogus);
+  check_int "bad icv counted" 1 f.metrics.Metrics.bad_icv;
+  check_int "nothing delivered" 0 f.metrics.Metrics.delivered
+
+let test_receiver_down_drops () =
+  let f = make_fixture () in
+  Sender.start f.sender;
+  ignore (Engine.schedule_at f.engine ~at:(us 55) (fun () -> Receiver.reset f.receiver));
+  run_until f (us 200);
+  check_bool "drops counted" true (f.metrics.Metrics.dropped_host_down > 0);
+  check_bool "down" true (Receiver.is_down f.receiver)
+
+let test_receiver_wakeup_buffering () =
+  (* Packets arriving during the wakeup SAVE are buffered and processed
+     when it completes (the paper's choice). *)
+  let f = make_fixture ~kq:5 ~gap:(us 10) ~save_latency:(us 100) () in
+  Sender.start f.sender;
+  ignore (Engine.schedule_at f.engine ~at:(us 200) (fun () -> Receiver.reset f.receiver));
+  ignore
+    (Engine.schedule_at f.engine ~at:(us 210) (fun () -> Receiver.wakeup f.receiver ()));
+  (* wakeup SAVE runs 210..310; ~10 messages arrive in that window *)
+  run_until f (us 1000);
+  check_bool "buffered some" true (f.metrics.Metrics.buffered_during_wakeup >= 8);
+  check_bool "recovered" true (not (Receiver.is_down f.receiver));
+  check_int "no replay accepted" 0 f.metrics.Metrics.replay_accepted
+
+let test_receiver_wakeup_drop_mode () =
+  let f =
+    make_fixture ~kq:5 ~gap:(us 10) ~save_latency:(us 100) ~wakeup_buffer:false ()
+  in
+  Sender.start f.sender;
+  ignore (Engine.schedule_at f.engine ~at:(us 200) (fun () -> Receiver.reset f.receiver));
+  ignore
+    (Engine.schedule_at f.engine ~at:(us 210) (fun () -> Receiver.wakeup f.receiver ()));
+  run_until f (us 1000);
+  check_int "nothing buffered" 0 f.metrics.Metrics.buffered_during_wakeup;
+  check_bool "dropped instead" true (f.metrics.Metrics.dropped_host_down > 1)
+
+let test_receiver_discards_bounded_after_reset () =
+  (* Instant crash/wakeup: the in-gap fresh messages arriving after
+     recovery are discarded, at most 2Kq of them (Theorem ii). *)
+  let kq = 5 in
+  let f = make_fixture ~kq ~gap:(us 10) ~save_latency:(us 30) () in
+  Sender.start f.sender;
+  ignore (Engine.schedule_at f.engine ~at:(us 300) (fun () -> Receiver.reset f.receiver));
+  ignore
+    (Engine.schedule_at f.engine ~at:(us 301) (fun () -> Receiver.wakeup f.receiver ()));
+  run_until f (us 2000);
+  check_bool "some fresh discarded" true (f.metrics.Metrics.fresh_rejected > 0);
+  check_bool "bounded by 2Kq" true
+    (f.metrics.Metrics.fresh_rejected_undelivered <= 2 * kq);
+  check_int "no replay accepted" 0 f.metrics.Metrics.replay_accepted
+
+let test_receiver_volatile_accepts_replay_after_reset () =
+  let f = make_fixture ~volatile:true () in
+  (* deliver 1..3 legitimately *)
+  let params = (Receiver.sa f.receiver).Sa.params in
+  let send seq replayed =
+    let wire = Esp.encap ~sa:params ~seq ~payload:"m" in
+    Receiver.on_packet f.receiver
+      (if replayed then Packet.mark_replayed (Packet.fresh wire) else Packet.fresh wire)
+  in
+  send 1 false;
+  send 2 false;
+  send 3 false;
+  Receiver.reset f.receiver;
+  Receiver.wakeup f.receiver ();
+  send 1 true;
+  send 2 true;
+  check_int "replays accepted (the Section 3 failure)" 2
+    f.metrics.Metrics.replay_accepted
+
+let test_receiver_savefetch_rejects_replay_after_reset () =
+  let f = make_fixture ~kq:1 ~save_latency:(us 1) () in
+  let params = (Receiver.sa f.receiver).Sa.params in
+  let send seq replayed =
+    let wire = Esp.encap ~sa:params ~seq ~payload:"m" in
+    Receiver.on_packet f.receiver
+      (if replayed then Packet.mark_replayed (Packet.fresh wire) else Packet.fresh wire)
+  in
+  send 1 false;
+  send 2 false;
+  send 3 false;
+  run_until f (us 100) (* let saves complete *);
+  Receiver.reset f.receiver;
+  Receiver.wakeup f.receiver ();
+  run_until f (us 300) (* wakeup save *);
+  send 1 true;
+  send 2 true;
+  send 3 true;
+  check_int "all replays rejected" 0 f.metrics.Metrics.replay_accepted;
+  check_int "three rejections" 3 f.metrics.Metrics.replay_rejected
+
+let test_receiver_robust_catchup () =
+  (* A jump beyond durable + 2Kq triggers the synchronous catch-up save
+     and the packet is still delivered (after the save). *)
+  let f = make_fixture ~kq:2 ~robust:true ~save_latency:(us 50) () in
+  let params = (Receiver.sa f.receiver).Sa.params in
+  let send seq =
+    Receiver.on_packet f.receiver
+      (Packet.fresh (Esp.encap ~sa:params ~seq ~payload:"m"))
+  in
+  (* durable = 0; leap = 4; seq 100 jumps far beyond durable + 4 *)
+  send 100;
+  check_int "not yet delivered (held for save)" 0 f.metrics.Metrics.delivered;
+  run_until f (us 200);
+  check_int "delivered after catch-up" 1 f.metrics.Metrics.delivered;
+  Alcotest.(check (option int)) "edge durable" (Some 100)
+    (Receiver.last_stored f.receiver);
+  (* now a crash + wakeup resumes at 100 + 4: replay of 100 rejected *)
+  Receiver.reset f.receiver;
+  Receiver.wakeup f.receiver ();
+  run_until f (us 400);
+  Receiver.on_packet f.receiver
+    (Packet.mark_replayed (Packet.fresh (Esp.encap ~sa:params ~seq:100 ~payload:"m")));
+  check_int "replay after jump rejected" 0 f.metrics.Metrics.replay_accepted
+
+let test_receiver_robust_reset_during_catchup () =
+  (* a crash while the urgent catch-up SAVE is in flight: the held
+     packet is lost with RAM, the durable edge stays behind, and the
+     recovered receiver still never double-delivers *)
+  let f = make_fixture ~kq:2 ~robust:true ~save_latency:(us 50) () in
+  let params = (Receiver.sa f.receiver).Sa.params in
+  let send seq replayed =
+    let wire = Esp.encap ~sa:params ~seq ~payload:"m" in
+    Receiver.on_packet f.receiver
+      (if replayed then Packet.mark_replayed (Packet.fresh wire) else Packet.fresh wire)
+  in
+  send 100 false (* held for catch-up SAVE *);
+  run_until f (us 20) (* crash strikes mid-catch-up *);
+  Receiver.reset f.receiver;
+  Receiver.wakeup f.receiver ();
+  run_until f (us 400);
+  check_int "held packet was never delivered" 0 f.metrics.Metrics.delivered;
+  (* the replayed copy may be delivered once (the original never was)
+     but never twice *)
+  send 100 true;
+  run_until f (us 800);
+  send 100 true;
+  run_until f (us 1200);
+  check_bool "at most one delivery of #100" true
+    (Metrics.delivery_count f.metrics ~seq:100 <= 1);
+  check_int "no duplicates" 0 f.metrics.Metrics.duplicate_deliveries
+
+let test_receiver_non_robust_jump_vulnerability () =
+  (* The same schedule against the paper's receiver: the jump's SAVE is
+     lost to the crash and the replay is accepted — the corner case the
+     model checker found (E11). *)
+  let f = make_fixture ~kq:2 ~robust:false ~save_latency:(us 50) () in
+  let params = (Receiver.sa f.receiver).Sa.params in
+  Receiver.on_packet f.receiver
+    (Packet.fresh (Esp.encap ~sa:params ~seq:100 ~payload:"m"));
+  check_int "delivered immediately" 1 f.metrics.Metrics.delivered;
+  (* crash before the background SAVE(100) completes *)
+  Receiver.reset f.receiver;
+  Receiver.wakeup f.receiver ();
+  run_until f (us 400);
+  Receiver.on_packet f.receiver
+    (Packet.mark_replayed (Packet.fresh (Esp.encap ~sa:params ~seq:100 ~payload:"m")));
+  check_int "replay accepted (documented weakness)" 1
+    f.metrics.Metrics.replay_accepted
+
+let () =
+  Alcotest.run "endpoints"
+    [
+      ( "sender",
+        [
+          Alcotest.test_case "send cadence" `Quick test_sender_sends_at_gap;
+          Alcotest.test_case "save cadence" `Quick test_sender_periodic_save_cadence;
+          Alcotest.test_case "reset stops" `Quick test_sender_reset_stops_sending;
+          Alcotest.test_case "wakeup leap" `Quick test_sender_wakeup_leaps_and_resumes;
+          Alcotest.test_case "mid-save crash" `Quick
+            test_sender_wakeup_after_inflight_save_lost;
+          Alcotest.test_case "volatile reuse" `Quick test_sender_volatile_reuses_numbers;
+          Alcotest.test_case "wakeup when up" `Quick test_sender_double_wakeup_rejected;
+          Alcotest.test_case "stop" `Quick test_sender_stop;
+        ] );
+      ( "receiver",
+        [
+          Alcotest.test_case "deliver + save" `Quick test_receiver_delivers_and_saves;
+          Alcotest.test_case "bad icv" `Quick test_receiver_rejects_bad_icv;
+          Alcotest.test_case "down drops" `Quick test_receiver_down_drops;
+          Alcotest.test_case "wakeup buffering" `Quick test_receiver_wakeup_buffering;
+          Alcotest.test_case "wakeup drop mode" `Quick test_receiver_wakeup_drop_mode;
+          Alcotest.test_case "bounded discards" `Quick
+            test_receiver_discards_bounded_after_reset;
+          Alcotest.test_case "volatile replay accepted" `Quick
+            test_receiver_volatile_accepts_replay_after_reset;
+          Alcotest.test_case "save/fetch replay rejected" `Quick
+            test_receiver_savefetch_rejects_replay_after_reset;
+          Alcotest.test_case "robust catch-up" `Quick test_receiver_robust_catchup;
+          Alcotest.test_case "robust reset during catch-up" `Quick
+            test_receiver_robust_reset_during_catchup;
+          Alcotest.test_case "non-robust jump weakness" `Quick
+            test_receiver_non_robust_jump_vulnerability;
+        ] );
+    ]

@@ -1,0 +1,289 @@
+(* Unit tests for the persistence substrate: the simulated disk's
+   crash semantics (the heart of Figures 1 and 2), the file-backed
+   store, and the append-only journal. *)
+
+open Resets_sim
+open Resets_persist
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_opt_int = Alcotest.(check (option int))
+
+let us = Time.of_us
+
+(* ------------------------------------------------------------------ *)
+(* Sim_disk *)
+
+let test_save_becomes_durable_after_latency () =
+  let e = Engine.create () in
+  let d = Sim_disk.create ~latency:(us 100) e in
+  let completed_at = ref None in
+  Sim_disk.save d ~key:"s" ~value:42 ~on_complete:(fun () ->
+      completed_at := Some (Engine.now e));
+  check_opt_int "not durable yet" None (Sim_disk.fetch d ~key:"s");
+  check_int "in flight" 1 (Sim_disk.in_flight d);
+  ignore (Engine.run e);
+  check_opt_int "durable" (Some 42) (Sim_disk.fetch d ~key:"s");
+  Alcotest.(check (option int64)) "completion time" (Some 100_000L)
+    (Option.map Time.to_ns !completed_at);
+  check_int "completed counter" 1 (Sim_disk.saves_completed d)
+
+let test_crash_loses_in_flight_write () =
+  (* The "reset occurs before the current SAVE finishes" branch of
+     Figure 1: the fetched value is the previous one. *)
+  let e = Engine.create () in
+  let d = Sim_disk.create ~latency:(us 100) e in
+  Sim_disk.save d ~key:"s" ~value:1 ~on_complete:ignore;
+  ignore (Engine.run e);
+  Sim_disk.save d ~key:"s" ~value:2 ~on_complete:(fun () ->
+      Alcotest.fail "lost write must not complete");
+  (* crash strikes mid-save *)
+  ignore (Engine.schedule_after e ~after:(us 50) (fun () -> Sim_disk.crash d));
+  ignore (Engine.run e);
+  check_opt_int "previous value survives" (Some 1) (Sim_disk.fetch d ~key:"s");
+  check_int "lost counter" 1 (Sim_disk.saves_lost d)
+
+let test_completed_save_survives_crash () =
+  (* The "reset occurs after the current SAVE finishes" branch. *)
+  let e = Engine.create () in
+  let d = Sim_disk.create ~latency:(us 100) e in
+  Sim_disk.save d ~key:"s" ~value:7 ~on_complete:ignore;
+  ignore (Engine.run e);
+  Sim_disk.crash d;
+  check_opt_int "durable across crash" (Some 7) (Sim_disk.fetch d ~key:"s")
+
+let test_supersede_same_key () =
+  let e = Engine.create () in
+  let d = Sim_disk.create ~latency:(us 100) e in
+  Sim_disk.save d ~key:"s" ~value:1 ~on_complete:(fun () ->
+      Alcotest.fail "superseded write must not complete");
+  ignore (Engine.schedule_after e ~after:(us 10) (fun () ->
+      Sim_disk.save d ~key:"s" ~value:2 ~on_complete:ignore));
+  ignore (Engine.run e);
+  check_opt_int "latest wins" (Some 2) (Sim_disk.fetch d ~key:"s");
+  check_int "one in-flight max" 0 (Sim_disk.in_flight d)
+
+let test_independent_keys () =
+  let e = Engine.create () in
+  let d = Sim_disk.create ~latency:(us 10) e in
+  Sim_disk.save d ~key:"a" ~value:1 ~on_complete:ignore;
+  Sim_disk.save d ~key:"b" ~value:2 ~on_complete:ignore;
+  check_int "two in flight" 2 (Sim_disk.in_flight d);
+  ignore (Engine.run e);
+  check_opt_int "a" (Some 1) (Sim_disk.fetch d ~key:"a");
+  check_opt_int "b" (Some 2) (Sim_disk.fetch d ~key:"b")
+
+let test_preload () =
+  let e = Engine.create () in
+  let d = Sim_disk.create ~latency:(us 10) e in
+  Sim_disk.preload d ~key:"s" ~value:99;
+  check_opt_int "immediately durable" (Some 99) (Sim_disk.fetch d ~key:"s");
+  check_int "no save counted" 0 (Sim_disk.saves_begun d)
+
+let test_jittered_latency_bounds () =
+  let e = Engine.create () in
+  let prng = Resets_util.Prng.create 3 in
+  let d = Sim_disk.create_jittered ~latency:(us 100) ~jitter:(us 50) ~prng e in
+  for _ = 1 to 20 do
+    let l = Time.to_us (Sim_disk.latency_of_next_save d) in
+    check_bool "latency in [100,150]us" true (l >= 100. && l <= 150.);
+    (* consume the sampled latency *)
+    Sim_disk.save d ~key:"k" ~value:0 ~on_complete:ignore;
+    ignore (Engine.run e)
+  done
+
+let test_crash_with_nothing_pending () =
+  let e = Engine.create () in
+  let d = Sim_disk.create ~latency:(us 10) e in
+  Sim_disk.crash d;
+  check_int "nothing lost" 0 (Sim_disk.saves_lost d)
+
+(* ------------------------------------------------------------------ *)
+(* File_store *)
+
+let temp_dir name =
+  let dir = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "resets-test-%s-%d" name (Unix.getpid ())) in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  dir
+
+let test_file_store_roundtrip () =
+  let store = File_store.create ~dir:(temp_dir "fs1") in
+  let completed = ref false in
+  File_store.save store ~key:"sa/send" ~value:12345 ~on_complete:(fun () ->
+      completed := true);
+  check_bool "synchronous completion" true !completed;
+  check_opt_int "fetch" (Some 12345) (File_store.fetch store ~key:"sa/send")
+
+let test_file_store_missing_key () =
+  let store = File_store.create ~dir:(temp_dir "fs2") in
+  check_opt_int "missing" None (File_store.fetch store ~key:"nope")
+
+let test_file_store_overwrite () =
+  let store = File_store.create ~dir:(temp_dir "fs3") in
+  File_store.save store ~key:"k" ~value:1 ~on_complete:ignore;
+  File_store.save store ~key:"k" ~value:2 ~on_complete:ignore;
+  check_opt_int "latest" (Some 2) (File_store.fetch store ~key:"k")
+
+let test_file_store_keys_and_remove () =
+  let store = File_store.create ~dir:(temp_dir "fs4") in
+  File_store.save store ~key:"alpha" ~value:1 ~on_complete:ignore;
+  File_store.save store ~key:"beta/with slash" ~value:2 ~on_complete:ignore;
+  let keys = List.sort compare (File_store.keys store) in
+  Alcotest.(check (list string)) "keys" [ "alpha"; "beta/with slash" ] keys;
+  File_store.remove store ~key:"alpha";
+  check_opt_int "removed" None (File_store.fetch store ~key:"alpha");
+  File_store.remove store ~key:"alpha" (* idempotent *)
+
+let test_file_store_crash_noop () =
+  let store = File_store.create ~dir:(temp_dir "fs5") in
+  File_store.save store ~key:"k" ~value:3 ~on_complete:ignore;
+  File_store.crash store;
+  check_opt_int "filesystem is durable" (Some 3) (File_store.fetch store ~key:"k")
+
+(* ------------------------------------------------------------------ *)
+(* Journal *)
+
+let temp_journal name =
+  let file = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "resets-journal-%s-%d.log" name (Unix.getpid ())) in
+  if Sys.file_exists file then Sys.remove file;
+  Journal.create ~file
+
+let test_journal_append_and_fetch_last () =
+  let j = temp_journal "j1" in
+  List.iter (fun v -> Journal.save j ~key:"edge" ~value:v ~on_complete:ignore)
+    [ 10; 20; 30 ];
+  check_opt_int "last wins" (Some 30) (Journal.fetch j ~key:"edge");
+  check_int "records" 3 (Journal.record_count j)
+
+let test_journal_multiple_keys () =
+  let j = temp_journal "j2" in
+  Journal.save j ~key:"a" ~value:1 ~on_complete:ignore;
+  Journal.save j ~key:"b" ~value:2 ~on_complete:ignore;
+  Journal.save j ~key:"a" ~value:3 ~on_complete:ignore;
+  check_opt_int "a" (Some 3) (Journal.fetch j ~key:"a");
+  check_opt_int "b" (Some 2) (Journal.fetch j ~key:"b")
+
+let test_journal_torn_record_ignored () =
+  let j = temp_journal "j3" in
+  Journal.save j ~key:"k" ~value:5 ~on_complete:ignore;
+  (* Simulate a torn final append: garbage without a valid checksum. *)
+  let file = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "resets-journal-j3-%d.log" (Unix.getpid ())) in
+  let oc = open_out_gen [ Open_append ] 0o644 file in
+  output_string oc "deadbeef 6b 99\n";
+  close_out oc;
+  check_opt_int "torn record ignored" (Some 5) (Journal.fetch j ~key:"k")
+
+let test_journal_compact () =
+  let j = temp_journal "j4" in
+  for v = 1 to 10 do
+    Journal.save j ~key:"k" ~value:v ~on_complete:ignore
+  done;
+  Journal.save j ~key:"other" ~value:7 ~on_complete:ignore;
+  check_int "before" 11 (Journal.record_count j);
+  Journal.compact j;
+  check_int "after" 2 (Journal.record_count j);
+  check_opt_int "k preserved" (Some 10) (Journal.fetch j ~key:"k");
+  check_opt_int "other preserved" (Some 7) (Journal.fetch j ~key:"other")
+
+let test_journal_empty () =
+  let j = temp_journal "j5" in
+  check_opt_int "empty fetch" None (Journal.fetch j ~key:"k");
+  check_int "empty count" 0 (Journal.record_count j)
+
+(* ------------------------------------------------------------------ *)
+(* Backend equivalence: any sequence of saves against File_store and
+   Journal yields the same fetch results (both implement the Store.S
+   durability contract with synchronous completion). *)
+
+let backend_equivalence =
+  QCheck.Test.make ~name:"File_store and Journal agree on any op sequence" ~count:40
+    QCheck.(
+      list_of_size (Gen.int_range 1 30)
+        (pair (int_range 0 3) (int_range 0 1_000_000)))
+    (fun ops ->
+      let dir =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "resets-eqv-%d-%d" (Unix.getpid ()) (Hashtbl.hash ops))
+      in
+      let file = dir ^ ".journal" in
+      if Sys.file_exists file then Sys.remove file;
+      if Sys.file_exists dir then
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      let fs = File_store.create ~dir in
+      let j = Journal.create ~file in
+      let keys = [| "a"; "b"; "c"; "d" |] in
+      List.for_all
+        (fun (ki, v) ->
+          let key = keys.(ki) in
+          File_store.save fs ~key ~value:v ~on_complete:ignore;
+          Journal.save j ~key ~value:v ~on_complete:ignore;
+          File_store.fetch fs ~key = Journal.fetch j ~key)
+        ops
+      && Array.for_all (fun key -> File_store.fetch fs ~key = Journal.fetch j ~key) keys)
+
+let sim_disk_settles_like_file_store =
+  (* once the engine drains, the simulated disk's durable contents match
+     a synchronous store fed the same sequence *)
+  QCheck.Test.make ~name:"Sim_disk settles to last-write-wins" ~count:60
+    QCheck.(
+      list_of_size (Gen.int_range 1 30)
+        (pair (int_range 0 3) (int_range 0 1_000_000)))
+    (fun ops ->
+      let e = Engine.create () in
+      let d = Sim_disk.create ~latency:(us 10) e in
+      let reference = Hashtbl.create 8 in
+      let keys = [| "a"; "b"; "c"; "d" |] in
+      List.iter
+        (fun (ki, v) ->
+          let key = keys.(ki) in
+          Hashtbl.replace reference key v;
+          Sim_disk.save d ~key ~value:v ~on_complete:ignore)
+        ops;
+      ignore (Engine.run e);
+      Array.for_all
+        (fun key -> Sim_disk.fetch d ~key = Hashtbl.find_opt reference key)
+        keys)
+
+let () =
+  Alcotest.run "persist"
+    [
+      ( "sim_disk",
+        [
+          Alcotest.test_case "durable after latency" `Quick
+            test_save_becomes_durable_after_latency;
+          Alcotest.test_case "crash loses in-flight" `Quick
+            test_crash_loses_in_flight_write;
+          Alcotest.test_case "completed survives crash" `Quick
+            test_completed_save_survives_crash;
+          Alcotest.test_case "supersede" `Quick test_supersede_same_key;
+          Alcotest.test_case "independent keys" `Quick test_independent_keys;
+          Alcotest.test_case "preload" `Quick test_preload;
+          Alcotest.test_case "jitter bounds" `Quick test_jittered_latency_bounds;
+          Alcotest.test_case "crash idle" `Quick test_crash_with_nothing_pending;
+        ] );
+      ( "file_store",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_file_store_roundtrip;
+          Alcotest.test_case "missing key" `Quick test_file_store_missing_key;
+          Alcotest.test_case "overwrite" `Quick test_file_store_overwrite;
+          Alcotest.test_case "keys/remove" `Quick test_file_store_keys_and_remove;
+          Alcotest.test_case "crash noop" `Quick test_file_store_crash_noop;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "append/fetch-last" `Quick test_journal_append_and_fetch_last;
+          Alcotest.test_case "multiple keys" `Quick test_journal_multiple_keys;
+          Alcotest.test_case "torn record" `Quick test_journal_torn_record_ignored;
+          Alcotest.test_case "compact" `Quick test_journal_compact;
+          Alcotest.test_case "empty" `Quick test_journal_empty;
+        ] );
+      ( "equivalence",
+        [
+          QCheck_alcotest.to_alcotest backend_equivalence;
+          QCheck_alcotest.to_alcotest sim_disk_settles_like_file_store;
+        ] );
+    ]

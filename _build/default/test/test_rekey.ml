@@ -1,0 +1,71 @@
+(* SA lifetime rollover: make-before-break vs hard expiry, and the
+   retirement of per-epoch persisted state. *)
+
+open Resets_sim
+open Resets_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let cfg = Rekey.default_config
+
+let test_mbb_no_service_gap () =
+  let o = Rekey.run Rekey.Make_before_break cfg in
+  check_bool "several rollovers" true (o.Rekey.rekeys_completed >= 3);
+  check_int "no duplicates" 0 o.Rekey.duplicate_deliveries;
+  check_bool "nothing lost beyond in-flight tail" true (o.Rekey.messages_lost <= 2);
+  (* the worst delivery gap stays at message-spacing scale, far below
+     the 2.8 ms handshake *)
+  check_bool "no handshake-sized gap" true
+    Time.(o.Rekey.max_delivery_gap < Time.of_us 500)
+
+let test_hard_expiry_pays_the_handshake () =
+  let o = Rekey.run Rekey.Hard_expiry cfg in
+  check_bool "rollovers happened" true (o.Rekey.rekeys_completed >= 3);
+  check_int "still safe" 0 o.Rekey.duplicate_deliveries;
+  check_bool "service gap ~ handshake" true
+    Time.(Time.of_ms 2 < o.Rekey.max_delivery_gap);
+  let mbb = Rekey.run Rekey.Make_before_break cfg in
+  check_bool "fewer deliveries than MBB" true (o.Rekey.delivered < mbb.Rekey.delivered)
+
+let test_old_epoch_state_retired () =
+  let o = Rekey.run Rekey.Make_before_break cfg in
+  (* only the live epoch's counter remains on disk *)
+  check_int "one persisted counter" 1 o.Rekey.persisted_keys_live
+
+let test_margin_validation () =
+  Alcotest.check_raises "margin >= lifetime"
+    (Invalid_argument "Rekey.run: margin must be below the lifetime") (fun () ->
+      ignore
+        (Rekey.run Rekey.Make_before_break
+           { cfg with Rekey.rekey_margin = cfg.Rekey.lifetime_packets }))
+
+let test_deterministic () =
+  let a = Rekey.run Rekey.Make_before_break cfg in
+  let b = Rekey.run Rekey.Make_before_break cfg in
+  check_int "same deliveries" a.Rekey.delivered b.Rekey.delivered;
+  check_int "same rekeys" a.Rekey.rekeys_completed b.Rekey.rekeys_completed
+
+let test_tight_margin_still_safe () =
+  (* a margin smaller than the handshake forces an outage even under
+     MBB, but never a safety violation *)
+  let tight = { cfg with Rekey.rekey_margin = 50 } in
+  let o = Rekey.run Rekey.Make_before_break tight in
+  check_int "no duplicates" 0 o.Rekey.duplicate_deliveries;
+  check_bool "gap appears" true Time.(Time.of_ms 1 < o.Rekey.max_delivery_gap)
+
+let () =
+  Alcotest.run "rekey"
+    [
+      ( "rollover",
+        [
+          Alcotest.test_case "MBB: no service gap" `Quick test_mbb_no_service_gap;
+          Alcotest.test_case "hard expiry pays handshake" `Quick
+            test_hard_expiry_pays_the_handshake;
+          Alcotest.test_case "old state retired" `Quick test_old_epoch_state_retired;
+          Alcotest.test_case "margin validation" `Quick test_margin_validation;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "tight margin still safe" `Quick
+            test_tight_margin_still_safe;
+        ] );
+    ]

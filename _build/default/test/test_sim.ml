@@ -1,0 +1,350 @@
+(* Unit tests for the discrete-event substrate: Time, Engine, Trace,
+   Link. *)
+
+open Resets_util
+open Resets_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let us = Time.of_us
+
+(* ------------------------------------------------------------------ *)
+(* Time *)
+
+let test_time_conversions () =
+  Alcotest.(check int64) "us" 1_000L (Time.to_ns (Time.of_us 1));
+  Alcotest.(check int64) "ms" 1_000_000L (Time.to_ns (Time.of_ms 1));
+  Alcotest.(check int64) "sec" 1_500_000_000L (Time.to_ns (Time.of_sec 1.5));
+  Alcotest.(check (float 1e-9)) "to_sec" 0.001 (Time.to_sec (Time.of_ms 1));
+  Alcotest.(check (float 1e-9)) "to_us" 1000. (Time.to_us (Time.of_ms 1))
+
+let test_time_arithmetic () =
+  let a = us 10 and b = us 3 in
+  Alcotest.(check int64) "add" 13_000L (Time.to_ns (Time.add a b));
+  Alcotest.(check int64) "diff" 7_000L (Time.to_ns (Time.diff a b));
+  Alcotest.(check int64) "mul" 30_000L (Time.to_ns (Time.mul a 3));
+  check_bool "lt" true Time.(b < a);
+  check_bool "le refl" true Time.(a <= a);
+  Alcotest.(check int64) "min" (Time.to_ns b) (Time.to_ns (Time.min a b));
+  Alcotest.(check int64) "max" (Time.to_ns a) (Time.to_ns (Time.max a b))
+
+let test_time_invalid () =
+  Alcotest.check_raises "negative ns" (Invalid_argument "Time.of_ns: negative")
+    (fun () -> ignore (Time.of_ns (-1L)));
+  Alcotest.check_raises "negative diff" (Invalid_argument "Time.diff: negative result")
+    (fun () -> ignore (Time.diff (us 1) (us 2)));
+  Alcotest.check_raises "negative sec" (Invalid_argument "Time.of_sec: invalid")
+    (fun () -> ignore (Time.of_sec (-1.)))
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_fires_in_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Engine.schedule_at e ~at:(us 30) (note "c"));
+  ignore (Engine.schedule_at e ~at:(us 10) (note "a"));
+  ignore (Engine.schedule_at e ~at:(us 20) (note "b"));
+  Alcotest.(check bool) "quiescent" true (Engine.run e = Engine.Quiescent);
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_engine_fifo_at_same_time () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule_at e ~at:(us 10) (fun () -> log := i :: !log))
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "insertion order" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_clock_advances () =
+  let e = Engine.create () in
+  let seen = ref Time.zero in
+  ignore (Engine.schedule_at e ~at:(us 42) (fun () -> seen := Engine.now e));
+  ignore (Engine.run e);
+  Alcotest.(check int64) "clock at event" 42_000L (Time.to_ns !seen);
+  Alcotest.(check int64) "clock after run" 42_000L (Time.to_ns (Engine.now e))
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule_at e ~at:(us 5) (fun () -> fired := true) in
+  check_bool "pending before" true (Engine.is_pending h);
+  Engine.cancel h;
+  check_bool "pending after" false (Engine.is_pending h);
+  ignore (Engine.run e);
+  check_bool "not fired" false !fired
+
+let test_engine_schedule_in_past_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule_at e ~at:(us 10) (fun () -> ()));
+  ignore (Engine.run e);
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: time in the past")
+    (fun () -> ignore (Engine.schedule_at e ~at:(us 5) (fun () -> ())))
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule_at e ~at:(us 10) (fun () -> incr fired));
+  ignore (Engine.schedule_at e ~at:(us 30) (fun () -> incr fired));
+  let reason = Engine.run ~until:(us 20) e in
+  check_bool "time limit" true (reason = Engine.Time_limit);
+  check_int "one fired" 1 !fired;
+  Alcotest.(check int64) "clock at limit" 20_000L (Time.to_ns (Engine.now e));
+  (* continue *)
+  ignore (Engine.run e);
+  check_int "both fired" 2 !fired
+
+let test_engine_max_events () =
+  let e = Engine.create () in
+  for i = 1 to 10 do
+    ignore (Engine.schedule_at e ~at:(us i) (fun () -> ()))
+  done;
+  let reason = Engine.run ~max_events:3 e in
+  check_bool "event limit" true (reason = Engine.Event_limit);
+  check_int "pending left" 7 (Engine.pending_count e)
+
+let test_engine_stop () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore
+    (Engine.schedule_at e ~at:(us 1) (fun () ->
+         incr fired;
+         Engine.stop e));
+  ignore (Engine.schedule_at e ~at:(us 2) (fun () -> incr fired));
+  let reason = Engine.run e in
+  check_bool "stopped" true (reason = Engine.Stopped);
+  check_int "only first" 1 !fired
+
+let test_engine_step () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule_at e ~at:(us 1) (fun () -> incr fired));
+  check_bool "step true" true (Engine.step e);
+  check_int "fired" 1 !fired;
+  check_bool "step false on empty" false (Engine.step e)
+
+let test_engine_cascading () =
+  (* Events scheduling events: a chain of 1000. *)
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec chain () =
+    incr count;
+    if !count < 1000 then ignore (Engine.schedule_after e ~after:(us 1) chain)
+  in
+  ignore (Engine.schedule_after e ~after:(us 1) chain);
+  ignore (Engine.run e);
+  check_int "chain completed" 1000 !count;
+  Alcotest.(check int64) "clock" 1_000_000L (Time.to_ns (Engine.now e))
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_record_and_find () =
+  let e = Engine.create () in
+  let t = Trace.create () in
+  Trace.record t ~time:(Engine.now e) ~source:"p" ~event:"send" "#1";
+  Trace.record t ~time:(Engine.now e) ~source:"q" ~event:"rcv" "#1";
+  Trace.record t ~time:(Engine.now e) ~source:"p" ~event:"send" "#2";
+  check_int "count" 3 (Trace.count t);
+  check_int "find send" 2 (List.length (Trace.find t ~event:"send"));
+  check_int "find rcv" 1 (List.length (Trace.find t ~event:"rcv"))
+
+let test_trace_capacity () =
+  let t = Trace.create ~capacity:2 () in
+  for i = 1 to 5 do
+    Trace.record t ~time:Time.zero ~source:"x" ~event:"e" (string_of_int i)
+  done;
+  check_int "total counted" 5 (Trace.count t);
+  let retained = Trace.entries t in
+  check_int "ring bounded" 2 (List.length retained);
+  Alcotest.(check (list string)) "newest kept" [ "4"; "5" ]
+    (List.map (fun en -> en.Trace.detail) retained)
+
+let test_trace_dump_format () =
+  let t = Trace.create () in
+  Trace.record t ~time:(Time.of_us 42) ~level:Trace.Warn ~source:"p" ~event:"reset" "x";
+  let text = Format.asprintf "%a" Trace.dump t in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "time" true (contains "42.00us");
+  Alcotest.(check bool) "level" true (contains "warn");
+  Alcotest.(check bool) "event" true (contains "reset")
+
+let test_trace_tap () =
+  let t = Trace.create () in
+  let seen = ref 0 in
+  Trace.on_record t (fun _ -> incr seen);
+  Trace.record t ~time:Time.zero ~source:"x" ~event:"e" "";
+  Trace.record t ~time:Time.zero ~source:"x" ~event:"e" "";
+  check_int "tap called" 2 !seen
+
+(* ------------------------------------------------------------------ *)
+(* Link *)
+
+let test_link_delivers_with_latency () =
+  let e = Engine.create () in
+  let link = Link.create ~latency:(us 10) e in
+  let arrivals = ref [] in
+  Link.set_deliver link (fun x -> arrivals := (x, Engine.now e) :: !arrivals);
+  Link.send link "a";
+  ignore (Engine.schedule_at e ~at:(us 5) (fun () -> Link.send link "b"));
+  ignore (Engine.run e);
+  let arrivals = List.rev !arrivals in
+  Alcotest.(check (list string)) "payloads" [ "a"; "b" ] (List.map fst arrivals);
+  Alcotest.(check (list int))
+    "times (us)"
+    [ 10; 15 ]
+    (List.map (fun (_, t) -> int_of_float (Time.to_us t)) arrivals);
+  check_int "sent" 2 (Link.sent link);
+  check_int "delivered" 2 (Link.delivered link)
+
+let test_link_no_receiver_drops () =
+  let e = Engine.create () in
+  let link = Link.create ~latency:(us 1) e in
+  Link.send link "x";
+  ignore (Engine.run e);
+  check_int "dropped" 1 (Link.dropped link);
+  check_int "delivered" 0 (Link.delivered link)
+
+let test_link_down () =
+  let e = Engine.create () in
+  let link = Link.create ~latency:(us 1) e in
+  let got = ref 0 in
+  Link.set_deliver link (fun _ -> incr got);
+  Link.set_up link false;
+  Link.send link "lost";
+  Link.set_up link true;
+  Link.send link "ok";
+  ignore (Engine.run e);
+  check_int "one delivered" 1 !got;
+  check_int "one dropped" 1 (Link.dropped link)
+
+let test_link_loss_statistics () =
+  let e = Engine.create () in
+  let prng = Prng.create 5 in
+  let faults = { Link.no_faults with loss_prob = 0.5 } in
+  let link = Link.create ~faults ~prng ~latency:(us 1) e in
+  let got = ref 0 in
+  Link.set_deliver link (fun _ -> incr got);
+  for _ = 1 to 2000 do
+    Link.send link ()
+  done;
+  ignore (Engine.run e);
+  check_bool "about half delivered" true (!got > 850 && !got < 1150);
+  check_int "conservation" 2000 (!got + Link.dropped link)
+
+let test_link_duplication () =
+  let e = Engine.create () in
+  let prng = Prng.create 6 in
+  let faults = { Link.no_faults with dup_prob = 1.0 } in
+  let link = Link.create ~faults ~prng ~latency:(us 1) e in
+  let got = ref 0 in
+  Link.set_deliver link (fun _ -> incr got);
+  for _ = 1 to 10 do
+    Link.send link ()
+  done;
+  ignore (Engine.run e);
+  check_int "every packet doubled" 20 !got;
+  check_int "dup counter" 10 (Link.duplicated link)
+
+let test_link_reorder () =
+  let e = Engine.create () in
+  let prng = Prng.create 7 in
+  (* First packet takes the slow path (+100us); second overtakes. *)
+  let faults =
+    { Link.no_faults with reorder_prob = 1.0; reorder_delay = us 100 }
+  in
+  let slow = Link.create ~faults ~prng ~latency:(us 1) e in
+  let arrivals = ref [] in
+  Link.set_deliver slow (fun x -> arrivals := x :: !arrivals);
+  Link.send slow "first";
+  ignore (Engine.run e);
+  check_int "reordered counter" 1 (Link.reordered slow);
+  Alcotest.(check (list string)) "delivered late" [ "first" ] !arrivals
+
+let test_link_observer_sees_lost_packets () =
+  let e = Engine.create () in
+  let prng = Prng.create 8 in
+  let faults = { Link.no_faults with loss_prob = 1.0 } in
+  let link = Link.create ~faults ~prng ~latency:(us 1) e in
+  let observed = ref 0 in
+  Link.on_transit link (fun _ -> incr observed);
+  Link.set_deliver link (fun _ -> Alcotest.fail "nothing should arrive");
+  for _ = 1 to 5 do
+    Link.send link ()
+  done;
+  ignore (Engine.run e);
+  check_int "observer saw all" 5 !observed
+
+let test_link_inject_bypasses_observer_and_faults () =
+  let e = Engine.create () in
+  let prng = Prng.create 9 in
+  let faults = { Link.no_faults with loss_prob = 1.0 } in
+  let link = Link.create ~faults ~prng ~latency:(us 1) e in
+  let observed = ref 0 and got = ref 0 in
+  Link.on_transit link (fun _ -> incr observed);
+  Link.set_deliver link (fun _ -> incr got);
+  Link.inject link ();
+  ignore (Engine.run e);
+  check_int "not observed" 0 !observed;
+  check_int "delivered despite loss_prob=1" 1 !got;
+  check_int "injected counter" 1 (Link.injected link)
+
+let test_link_requires_prng_for_faults () =
+  let e = Engine.create () in
+  Alcotest.check_raises "no prng"
+    (Invalid_argument "Link.create: faults or jitter require a prng") (fun () ->
+      ignore
+        (Link.create
+           ~faults:{ Link.no_faults with loss_prob = 0.1 }
+           ~latency:(us 1) e
+          : unit Link.t))
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "conversions" `Quick test_time_conversions;
+          Alcotest.test_case "arithmetic" `Quick test_time_arithmetic;
+          Alcotest.test_case "invalid" `Quick test_time_invalid;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_engine_fires_in_time_order;
+          Alcotest.test_case "fifo ties" `Quick test_engine_fifo_at_same_time;
+          Alcotest.test_case "clock" `Quick test_engine_clock_advances;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "past rejected" `Quick test_engine_schedule_in_past_rejected;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "max events" `Quick test_engine_max_events;
+          Alcotest.test_case "stop" `Quick test_engine_stop;
+          Alcotest.test_case "step" `Quick test_engine_step;
+          Alcotest.test_case "cascading" `Quick test_engine_cascading;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "record/find" `Quick test_trace_record_and_find;
+          Alcotest.test_case "capacity" `Quick test_trace_capacity;
+          Alcotest.test_case "tap" `Quick test_trace_tap;
+          Alcotest.test_case "dump format" `Quick test_trace_dump_format;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "latency" `Quick test_link_delivers_with_latency;
+          Alcotest.test_case "no receiver" `Quick test_link_no_receiver_drops;
+          Alcotest.test_case "down" `Quick test_link_down;
+          Alcotest.test_case "loss stats" `Quick test_link_loss_statistics;
+          Alcotest.test_case "duplication" `Quick test_link_duplication;
+          Alcotest.test_case "reorder" `Quick test_link_reorder;
+          Alcotest.test_case "observer sees lost" `Quick test_link_observer_sees_lost_packets;
+          Alcotest.test_case "inject semantics" `Quick test_link_inject_bypasses_observer_and_faults;
+          Alcotest.test_case "faults need prng" `Quick test_link_requires_prng_for_faults;
+        ] );
+    ]

@@ -1,0 +1,293 @@
+(* Anti-replay window tests: the paper's Section 2 three-case rule,
+   literal paper semantics vs the RFC-style bitmap, and the
+   observational-equivalence property between them. *)
+
+open Resets_ipsec.Replay_window
+
+let verdict = Alcotest.testable pp_verdict equal_verdict
+let check_verdict = Alcotest.check verdict
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Run every test against all three implementations. *)
+let both name f =
+  [
+    Alcotest.test_case (name ^ " [paper]") `Quick (fun () -> f Paper_impl);
+    Alcotest.test_case (name ^ " [bitmap]") `Quick (fun () -> f Bitmap_impl);
+    Alcotest.test_case (name ^ " [block]") `Quick (fun () -> f Block_impl);
+  ]
+
+let test_initial_state impl =
+  let w = create impl ~w:8 in
+  check_int "right edge 0" 0 (right_edge w);
+  (* initially every slot is marked seen (the paper's init) but the
+     window covers only non-positive numbers, so any s >= 1 is new *)
+  check_verdict "1 is new" Accept_new (check w 1);
+  check_verdict "100 is new" Accept_new (check w 100)
+
+let test_in_order_acceptance impl =
+  let w = create impl ~w:4 in
+  for s = 1 to 20 do
+    check_verdict (Printf.sprintf "accept %d" s) Accept_new (admit w s)
+  done;
+  check_int "edge follows" 20 (right_edge w)
+
+let test_duplicate_rejection impl =
+  let w = create impl ~w:4 in
+  ignore (admit w 5);
+  check_verdict "replay of edge" Reject_duplicate (admit w 5)
+
+let test_out_of_order_within_window impl =
+  let w = create impl ~w:4 in
+  ignore (admit w 10);
+  (* window now covers 7..10 *)
+  check_verdict "9 first time" Accept_in_window (admit w 9);
+  check_verdict "9 second time" Reject_duplicate (admit w 9);
+  check_verdict "7 first time" Accept_in_window (admit w 7);
+  check_verdict "6 stale" Reject_stale (admit w 6);
+  check_int "edge unchanged" 10 (right_edge w)
+
+let test_stale_rejection impl =
+  let w = create impl ~w:4 in
+  ignore (admit w 100);
+  check_verdict "96 stale (= r - w)" Reject_stale (admit w 96);
+  check_verdict "1 stale" Reject_stale (admit w 1);
+  check_verdict "97 in window" Accept_in_window (admit w 97)
+
+let test_slide_clears_skipped_slots impl =
+  let w = create impl ~w:4 in
+  ignore (admit w 1);
+  ignore (admit w 2);
+  (* jump: 3..9 were never received *)
+  check_verdict "10 new" Accept_new (admit w 10);
+  (* 7,8,9 entered the window unseen *)
+  check_verdict "9 acceptable" Accept_in_window (admit w 9);
+  check_verdict "8 acceptable" Accept_in_window (admit w 8);
+  check_verdict "7 acceptable" Accept_in_window (admit w 7);
+  check_verdict "6 stale" Reject_stale (admit w 6)
+
+let test_slide_preserves_recent_history impl =
+  let w = create impl ~w:4 in
+  ignore (admit w 1);
+  ignore (admit w 2);
+  ignore (admit w 3);
+  (* slide by one: window 1..4; 2 and 3 must still read as seen *)
+  ignore (admit w 4);
+  check_verdict "3 duplicate" Reject_duplicate (admit w 3);
+  check_verdict "2 duplicate" Reject_duplicate (admit w 2);
+  check_verdict "1 duplicate" Reject_duplicate (admit w 1)
+
+let test_jump_beyond_window impl =
+  let w = create impl ~w:4 in
+  ignore (admit w 3);
+  ignore (admit w 1000);
+  check_verdict "999 unseen in window" Accept_in_window (admit w 999);
+  check_verdict "996 stale" Reject_stale (admit w 996);
+  check_verdict "1000 dup" Reject_duplicate (admit w 1000)
+
+let test_w1_window impl =
+  let w = create impl ~w:1 in
+  check_verdict "1" Accept_new (admit w 1);
+  check_verdict "1 dup" Reject_duplicate (admit w 1);
+  check_verdict "3" Accept_new (admit w 3);
+  check_verdict "2 stale" Reject_stale (admit w 2)
+
+let test_check_does_not_mutate impl =
+  let w = create impl ~w:4 in
+  ignore (admit w 5);
+  check_verdict "check 6" Accept_new (check w 6);
+  check_int "edge unchanged by check" 5 (right_edge w);
+  check_verdict "6 still new" Accept_new (admit w 6)
+
+let test_volatile_reset impl =
+  let w = create impl ~w:4 in
+  ignore (admit w 50);
+  volatile_reset w;
+  check_int "edge forgotten" 0 (right_edge w);
+  (* Section 3: any replayed old message is now accepted *)
+  check_verdict "old 10 accepted (the vulnerability)" Accept_new (admit w 10)
+
+let test_resume_at impl =
+  let w = create impl ~w:4 in
+  ignore (admit w 50);
+  volatile_reset w;
+  resume_at w 60;
+  check_int "edge recovered + leap" 60 (right_edge w);
+  (* everything at or below the resumed edge is assumed seen *)
+  check_verdict "59 dup" Reject_duplicate (admit w 59);
+  check_verdict "60 dup" Reject_duplicate (admit w 60);
+  check_verdict "50 stale" Reject_stale (admit w 50);
+  check_verdict "61 new" Accept_new (admit w 61)
+
+let test_seen impl =
+  let w = create impl ~w:4 in
+  ignore (admit w 10);
+  ignore (admit w 8);
+  check_bool "8 seen" true (seen w 8);
+  check_bool "9 unseen" false (seen w 9);
+  check_bool "stale counts as seen" true (seen w 1);
+  check_bool "beyond is unseen" false (seen w 11)
+
+let test_invalid_width impl =
+  Alcotest.check_raises "w=0"
+    (Invalid_argument
+       (match impl with
+       | Paper_impl -> "Replay_window.Paper.create: w must be positive"
+       | Bitmap_impl -> "Replay_window.Bitmap.create: w must be positive"
+       | Block_impl -> "Replay_window.Block.create: w must be positive"))
+    (fun () -> ignore (create impl ~w:0))
+
+let test_packed_impl_tag () =
+  check_bool "paper tag" true (impl (create Paper_impl ~w:4) = Paper_impl);
+  check_bool "bitmap tag" true (impl (create Bitmap_impl ~w:4) = Bitmap_impl);
+  check_int "w accessor" 7 (w (create Paper_impl ~w:7))
+
+(* ------------------------------------------------------------------ *)
+(* Observational equivalence: any sequence of admits produces identical
+   verdicts and right edges on both implementations. *)
+
+let equivalence_property =
+  QCheck.Test.make
+    ~name:"paper == bitmap == block window on any admit sequence" ~count:500
+    QCheck.(pair (int_range 1 16) (list_of_size Gen.(int_range 1 80) (int_range 1 60)))
+    (fun (width, seqs) ->
+      let a = create Paper_impl ~w:width
+      and b = create Bitmap_impl ~w:width
+      and c = create Block_impl ~w:width in
+      List.for_all
+        (fun s ->
+          let va = admit a s and vb = admit b s and vc = admit c s in
+          equal_verdict va vb && equal_verdict vb vc
+          && right_edge a = right_edge b
+          && right_edge b = right_edge c)
+        seqs)
+
+let equivalence_big_jumps =
+  (* stress the block impl's word-clearing with jumps near and past the
+     over-provisioned slot count *)
+  QCheck.Test.make ~name:"block window agrees across huge jumps" ~count:300
+    QCheck.(
+      pair (int_range 1 130)
+        (list_of_size Gen.(int_range 1 40) (int_range 1 1_000)))
+    (fun (width, deltas) ->
+      let b = create Bitmap_impl ~w:width and c = create Block_impl ~w:width in
+      let s = ref 0 in
+      List.for_all
+        (fun d ->
+          (* mix forward jumps with revisits of recent values *)
+          s := !s + d;
+          let probes = [ !s; !s - 1; !s - (width / 2); !s - width; !s - width - 1 ] in
+          List.for_all
+            (fun p ->
+              p < 1
+              || begin
+                   let vb = admit b p and vc = admit c p in
+                   equal_verdict vb vc && right_edge b = right_edge c
+                 end)
+            probes)
+        deltas)
+
+let equivalence_with_resets_property =
+  QCheck.Test.make
+    ~name:"equivalence holds across volatile_reset and resume_at" ~count:300
+    (let op =
+       QCheck.make
+         QCheck.Gen.(
+           oneof
+             [
+               map (fun s -> `Admit s) (int_range 1 40);
+               return `Reset;
+               map (fun r -> `Resume r) (int_range 0 50);
+             ])
+     in
+     QCheck.(pair (int_range 1 8) (list_of_size Gen.(int_range 1 60) op)))
+    (fun (width, ops) ->
+      let a = create Paper_impl ~w:width and b = create Bitmap_impl ~w:width in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Admit s ->
+            equal_verdict (admit a s) (admit b s) && right_edge a = right_edge b
+          | `Reset ->
+            volatile_reset a;
+            volatile_reset b;
+            true
+          | `Resume r ->
+            resume_at a r;
+            resume_at b r;
+            true)
+        ops)
+
+(* Discrimination: no sequence number is ever accepted twice, whatever
+   the arrival order (without resets). *)
+let discrimination_property =
+  QCheck.Test.make ~name:"window never accepts the same number twice" ~count:500
+    QCheck.(pair (int_range 1 16) (list_of_size Gen.(int_range 1 100) (int_range 1 50)))
+    (fun (width, seqs) ->
+      let w = create Bitmap_impl ~w:width in
+      let accepted = Hashtbl.create 16 in
+      List.for_all
+        (fun s ->
+          if verdict_accepts (admit w s) then
+            if Hashtbl.mem accepted s then false
+            else begin
+              Hashtbl.add accepted s ();
+              true
+            end
+          else true)
+        seqs)
+
+(* w-Delivery (Section 2): with reorder degree < w and no loss, every
+   message is delivered exactly once. *)
+let w_delivery_property =
+  QCheck.Test.make ~name:"w-delivery: reorder < w loses nothing" ~count:300
+    QCheck.(pair (int_range 2 32) (int_range 10 200))
+    (fun (width, n) ->
+      (* Reverse disjoint blocks of size w: within a block the first
+         element is overtaken by the following w-1 — a reorder of
+         degree w-1 < w, the worst the window must tolerate. *)
+      let arr = Array.init n (fun i -> i + 1) in
+      let i = ref 0 in
+      while !i + width <= n do
+        for j = 0 to (width / 2) - 1 do
+          let x = arr.(!i + j) in
+          arr.(!i + j) <- arr.(!i + width - 1 - j);
+          arr.(!i + width - 1 - j) <- x
+        done;
+        i := !i + width
+      done;
+      let w = create Bitmap_impl ~w:width in
+      Array.for_all (fun s -> verdict_accepts (admit w s)) arr)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "window"
+    [
+      ( "semantics",
+        List.concat
+          [
+            both "initial state" test_initial_state;
+            both "in-order acceptance" test_in_order_acceptance;
+            both "duplicate rejection" test_duplicate_rejection;
+            both "out-of-order in window" test_out_of_order_within_window;
+            both "stale rejection" test_stale_rejection;
+            both "slide clears skipped" test_slide_clears_skipped_slots;
+            both "slide preserves history" test_slide_preserves_recent_history;
+            both "jump beyond window" test_jump_beyond_window;
+            both "w=1" test_w1_window;
+            both "check is pure" test_check_does_not_mutate;
+            both "volatile reset" test_volatile_reset;
+            both "resume_at" test_resume_at;
+            both "seen" test_seen;
+            both "invalid width" test_invalid_width;
+          ] );
+      ("packed", [ Alcotest.test_case "impl tags" `Quick test_packed_impl_tag ]);
+      ( "properties",
+        [
+          qt equivalence_property;
+          qt equivalence_big_jumps;
+          qt equivalence_with_resets_property;
+          qt discrimination_property;
+          qt w_delivery_property;
+        ] );
+    ]

@@ -1,0 +1,142 @@
+(* Workload substrate: traffic gap generators and reset schedules. *)
+
+open Resets_util
+open Resets_sim
+open Resets_workload
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let us = Time.of_us
+
+let gaps_of n t = List.init n (fun _ -> Time.to_ns (Traffic.next_gap t))
+
+(* ------------------------------------------------------------------ *)
+(* Traffic *)
+
+let test_constant_gap () =
+  let t = Traffic.constant ~gap:(us 4) in
+  Alcotest.(check (list int64)) "all equal" [ 4000L; 4000L; 4000L ] (gaps_of 3 t)
+
+let test_poisson_mean () =
+  let t = Traffic.poisson ~mean_gap:(us 100) ~prng:(Prng.create 3) in
+  let n = 20_000 in
+  let total = List.fold_left Int64.add 0L (gaps_of n t) in
+  let mean_us = Int64.to_float total /. float_of_int n /. 1e3 in
+  check_bool "mean ~100us" true (mean_us > 95. && mean_us < 105.)
+
+let test_poisson_deterministic_per_seed () =
+  let run seed = gaps_of 50 (Traffic.poisson ~mean_gap:(us 10) ~prng:(Prng.create seed)) in
+  check_bool "same seed" true (run 7 = run 7);
+  check_bool "different seed" true (run 7 <> run 8)
+
+let test_bursty_shape () =
+  let t =
+    Traffic.bursty ~on_gap:(us 1) ~off_duration:(us 1000) ~burst_length:3
+      ~prng:(Prng.create 1)
+  in
+  (* the idle gap leads each new burst, so after the initial burst of 3
+     short gaps the pattern repeats every burst_length gaps:
+     S S S | L S S | L S S | ... *)
+  let gaps = gaps_of 9 t in
+  let is_long i = i >= 3 && (i - 3) mod 3 = 0 in
+  List.iteri
+    (fun i g ->
+      if is_long i then
+        check_bool (Printf.sprintf "gap %d long" i) true (Int64.compare g 400_000L > 0)
+      else check_bool (Printf.sprintf "gap %d short" i) true (g = 1_000L))
+    gaps
+
+let test_bursty_validation () =
+  Alcotest.check_raises "zero burst"
+    (Invalid_argument "Traffic.bursty: burst_length must be positive") (fun () ->
+      ignore
+        (Traffic.bursty ~on_gap:(us 1) ~off_duration:(us 1) ~burst_length:0
+           ~prng:(Prng.create 1)))
+
+let test_of_fun () =
+  let n = ref 0 in
+  let t =
+    Traffic.of_fun (fun () ->
+        incr n;
+        us !n)
+  in
+  Alcotest.(check (list int64)) "custom" [ 1000L; 2000L ] (gaps_of 2 t)
+
+(* ------------------------------------------------------------------ *)
+(* Reset_schedule *)
+
+let targets s = List.map (fun ev -> ev.Reset_schedule.target) s
+let times s = List.map (fun ev -> Time.to_ns ev.Reset_schedule.at) s
+
+let test_single () =
+  let s = Reset_schedule.single ~at:(us 5) Sender in
+  check_int "one event" 1 (List.length s);
+  check_bool "target" true (targets s = [ Reset_schedule.Sender ]);
+  Alcotest.(check (list int64)) "time" [ 5_000L ] (times s)
+
+let test_both_with_skew () =
+  let s = Reset_schedule.both ~at:(us 10) ~skew:(us 3) () in
+  check_int "two events" 2 (List.length s);
+  Alcotest.(check (list int64)) "ordered" [ 10_000L; 13_000L ] (times s);
+  check_bool "sender first" true
+    (targets s = [ Reset_schedule.Sender; Reset_schedule.Receiver ])
+
+let test_periodic () =
+  let s = Reset_schedule.periodic ~every:(us 10) ~count:3 Receiver in
+  Alcotest.(check (list int64)) "times" [ 10_000L; 20_000L; 30_000L ] (times s);
+  check_bool "all receiver" true
+    (List.for_all (fun t -> t = Reset_schedule.Receiver) (targets s));
+  check_int "count 0" 0 (List.length (Reset_schedule.periodic ~every:(us 1) ~count:0 Sender))
+
+let test_random_bounded_by_horizon () =
+  let s =
+    Reset_schedule.random ~mtbf:(us 100) ~horizon:(us 10_000) ~prng:(Prng.create 2)
+      Sender
+  in
+  check_bool "some resets" true (List.length s > 10);
+  check_bool "all within horizon" true
+    (List.for_all (fun ev -> Time.(ev.Reset_schedule.at <= us 10_000)) s);
+  let sorted = List.sort compare (times s) in
+  check_bool "sorted" true (sorted = times s)
+
+let test_random_mtbf_statistics () =
+  let s =
+    Reset_schedule.random ~mtbf:(us 100) ~horizon:(us 100_000) ~prng:(Prng.create 9)
+      Sender
+  in
+  let n = List.length s in
+  (* expect ~1000 events, allow generous slack *)
+  check_bool "about horizon/mtbf events" true (n > 800 && n < 1200)
+
+let test_merge_keeps_order () =
+  let a = Reset_schedule.single ~at:(us 30) Sender in
+  let b = Reset_schedule.periodic ~every:(us 20) ~count:2 Receiver in
+  let m = Reset_schedule.merge a b in
+  Alcotest.(check (list int64)) "interleaved" [ 20_000L; 30_000L; 40_000L ] (times m)
+
+let test_none_is_empty () = check_int "none" 0 (List.length Reset_schedule.none)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "traffic",
+        [
+          Alcotest.test_case "constant" `Quick test_constant_gap;
+          Alcotest.test_case "poisson mean" `Quick test_poisson_mean;
+          Alcotest.test_case "poisson determinism" `Quick test_poisson_deterministic_per_seed;
+          Alcotest.test_case "bursty shape" `Quick test_bursty_shape;
+          Alcotest.test_case "bursty validation" `Quick test_bursty_validation;
+          Alcotest.test_case "of_fun" `Quick test_of_fun;
+        ] );
+      ( "reset schedule",
+        [
+          Alcotest.test_case "single" `Quick test_single;
+          Alcotest.test_case "both + skew" `Quick test_both_with_skew;
+          Alcotest.test_case "periodic" `Quick test_periodic;
+          Alcotest.test_case "random bounded" `Quick test_random_bounded_by_horizon;
+          Alcotest.test_case "random mtbf" `Quick test_random_mtbf_statistics;
+          Alcotest.test_case "merge" `Quick test_merge_keeps_order;
+          Alcotest.test_case "none" `Quick test_none_is_empty;
+        ] );
+    ]
