@@ -5,7 +5,12 @@
      explore  bounded model checking of the APN protocol models
      bidir    the Section 6 prolonged-reset scheme
      kmin     the Section 4 SAVE-interval table
-     trace    run a small scenario and dump the event trace *)
+     trace    run a small scenario and dump the event trace
+
+   Observability: `run --json` prints the machine-readable metrics
+   record (same schema as the BENCH_*.json artifacts, see
+   EXPERIMENTS.md); `run --trace-out FILE` / `trace --trace-out FILE`
+   write the event trace as JSONL. *)
 
 open Cmdliner
 open Resets_core
@@ -88,6 +93,31 @@ let stop_arg =
     & opt (some float) None
     & info [ "stop-sender-at" ] ~docv:"MS" ~doc:"Stop fresh traffic at this time (ms).")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Print the run as a machine-readable JSON record (metrics, harness \
+           counters, convergence verdict) instead of text.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write the event trace to $(docv) as JSONL (one event per line).")
+
+let write_trace_jsonl path trace =
+  match open_out path with
+  | exception Sys_error msg ->
+    Printf.eprintf "cannot write trace: %s\n" msg;
+    exit 1
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Resets_sim.Trace.dump_jsonl oc trace)
+
 let parse_attack gap s =
   match String.split_on_char '@' s with
   | [ "none" ] -> Ok Harness.No_attack
@@ -117,7 +147,8 @@ let build_protocol variant ~kp ~kq ~save_latency =
 (* run *)
 
 let run_cmd =
-  let go seed horizon variant kp kq gap save_latency resets downtime attack stop =
+  let go seed horizon variant kp kq gap save_latency resets downtime attack stop json
+      trace_out =
     let message_gap = Time.of_ns (Int64.of_float (gap *. 1e3)) in
     match parse_attack message_gap attack with
     | Error (`Msg m) ->
@@ -143,18 +174,28 @@ let run_cmd =
                    Time.compare a.Reset_schedule.at b.Reset_schedule.at);
           attack;
           sender_stop_at = Option.map time_of_ms stop;
+          keep_trace = Harness.default.Harness.keep_trace || trace_out <> None;
         }
       in
       let result = Harness.run scenario in
-      Format.printf "%a@." Harness.pp_result result;
       let verdict = Convergence.check ~scenario result in
-      Format.printf "verdict: %a@." Convergence.pp verdict;
+      (match (trace_out, result.Harness.trace) with
+      | Some path, Some trace -> write_trace_jsonl path trace
+      | Some _, None | None, _ -> ());
+      if json then
+        print_endline
+          (Resets_util.Json.to_string_pretty (Report.result_to_json ~verdict result))
+      else begin
+        Format.printf "%a@." Harness.pp_result result;
+        Format.printf "verdict: %a@." Convergence.pp verdict
+      end;
       if Convergence.holds verdict then 0 else 2
   in
   let term =
     Term.(
       const go $ seed_arg $ horizon_arg $ protocol_arg $ k_arg "kp" 25 $ k_arg "kq" 25
-      $ gap_arg $ save_latency_arg $ reset_arg $ downtime_arg $ attack_arg $ stop_arg)
+      $ gap_arg $ save_latency_arg $ reset_arg $ downtime_arg $ attack_arg $ stop_arg
+      $ json_arg $ trace_out_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one simulated scenario and print metrics + verdict.")
@@ -378,7 +419,7 @@ let kmin_cmd =
 (* trace *)
 
 let trace_cmd =
-  let go horizon =
+  let go horizon trace_out =
     let scenario =
       {
         Harness.default with
@@ -391,7 +432,13 @@ let trace_cmd =
     in
     let result = Harness.run scenario in
     (match result.Harness.trace with
-    | Some trace -> Trace.dump Format.std_formatter trace
+    | Some trace -> (
+      match trace_out with
+      | Some path ->
+        write_trace_jsonl path trace;
+        Format.printf "wrote %d events to %s@." (List.length (Trace.entries trace))
+          path
+      | None -> Trace.dump Format.std_formatter trace)
     | None -> ());
     Format.printf "---@.%a@." Harness.pp_result result;
     0
@@ -401,7 +448,7 @@ let trace_cmd =
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Run a small scenario and dump the full event trace.")
-    Term.(const go $ horizon)
+    Term.(const go $ horizon $ trace_out_arg)
 
 let () =
   let doc = "Convergence of IPsec in presence of resets — reproduction driver" in

@@ -39,6 +39,8 @@ val reestablish_recovery_time : cost:Resets_ipsec.Ike.cost -> sa_count:int -> Re
 (** Sequentially renegotiating every SA of a reset host. *)
 
 val reestablish_message_count : sa_count:int -> int
+(** Wire messages a full renegotiation costs: one IKE handshake per
+    SA. Compare {!save_fetch_message_count}. *)
 
 val save_fetch_recovery_time :
   save_latency:Resets_sim.Time.t -> sa_count:int -> Resets_sim.Time.t
@@ -57,6 +59,8 @@ val save_fetch_message_count : sa_count:int -> int
     the simulator against this function point for point. *)
 
 val sender_loss : kp:int -> reset_phase:int -> save_in_flight:bool -> int
+(** Exact unusable-number count for one sender reset at the given
+    phase; always ≤ {!max_lost_seqnos}[ ~kp]. *)
 
 val receiver_discards : kq:int -> reset_phase:int -> save_in_flight:bool -> int
 (** Same accounting at the receiver (Figure 2): how many in-gap fresh

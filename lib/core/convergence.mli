@@ -18,5 +18,13 @@ val holds : verdict -> bool
 (** All components true. *)
 
 val check : scenario:Harness.scenario -> Harness.result -> verdict
+(** Evaluate every component against the run's metrics. The 2·Kp /
+    2·Kq budgets are scaled by the number of resets in
+    [scenario.resets]; bound checks are vacuously true for protocols
+    without SAVE/FETCH (the paper's claims only cover the augmented
+    system). *)
 
 val pp : Format.formatter -> verdict -> unit
+(** One line per component with a pass/fail mark; the CLI prints this
+    after [run]. The machine-readable twin is
+    [Report.verdict_to_json]. *)

@@ -5,13 +5,19 @@
     runs to a horizon and reports metrics. Every experiment in
     EXPERIMENTS.md is a call to {!run} with a different {!scenario}. *)
 
+(** How the sender spaces fresh messages (experiment E13 varies
+    this to stress count- vs timer-triggered SAVE policies). *)
 type traffic_model =
-  | Constant
-  | Poisson
+  | Constant  (** one message every [message_gap] *)
+  | Poisson  (** exponential inter-arrival with mean [message_gap] *)
   | Bursty of { burst_length : int; off_duration : Resets_sim.Time.t }
+      (** [burst_length] back-to-back messages at [message_gap]
+          spacing, then silence for [off_duration] *)
 
+(** The Section 3 replay adversary: records every ciphertext on the
+    wire and re-injects per one of these strategies. *)
 type attack =
-  | No_attack
+  | No_attack  (** passive wire; nothing injected *)
   | Replay_all_at of Resets_sim.Time.t
       (** Section 3's first attack: replay everything captured, in
           order *)
@@ -21,24 +27,34 @@ type attack =
   | Flood of { start : Resets_sim.Time.t; gap : Resets_sim.Time.t }
       (** sustained replay of the capture buffer *)
 
+(** One experiment configuration. [default] is the paper's operating
+    point; experiments override individual fields with record
+    update syntax. *)
 type scenario = {
-  seed : int;
-  horizon : Resets_sim.Time.t;
+  seed : int;  (** PRNG seed; the run is a pure function of it *)
+  horizon : Resets_sim.Time.t;  (** simulated duration *)
   protocol : Protocol.t;
+      (** counter-persistence discipline under test (SAVE/FETCH,
+          reestablish, volatile, …) *)
   message_gap : Resets_sim.Time.t;  (** base inter-message spacing *)
   traffic : traffic_model;
-  link_latency : Resets_sim.Time.t;
+  link_latency : Resets_sim.Time.t;  (** one-way propagation delay *)
   link_jitter : Resets_sim.Time.t;
-  faults : Resets_sim.Link.faults;
-  window : int;
+      (** uniform extra delay in [0, jitter] — drives reordering *)
+  faults : Resets_sim.Link.faults;  (** drop/duplicate probabilities *)
+  window : int;  (** receiver anti-replay window width w (RFC 2401) *)
   window_impl : Resets_ipsec.Replay_window.impl;
-  framing : Packet.framing;
+      (** bitmap vs ring window implementation (MICRO compares them) *)
+  framing : Packet.framing;  (** ESP sequence-number encoding *)
   resets : Resets_workload.Reset_schedule.t;
+      (** when each endpoint crashes and for how long *)
   attack : attack;
   sender_stop_at : Resets_sim.Time.t option;
       (** stop generating fresh traffic at this time (stages the
           Section 3 "p idle while the adversary replays" attacks) *)
   keep_trace : bool;
+      (** retain the event ring for post-run inspection ([--trace-out]
+          forces this on) *)
 }
 
 val default : scenario
@@ -46,20 +62,23 @@ val default : scenario
     (via {!Protocol.save_fetch} with Kp = Kq = 25), w = 64, clean 10 µs
     link, no resets, no attack, 100 ms horizon. *)
 
+(** Everything observable after a run. Serialized to JSON by
+    [Report.result_to_json] (the CLI's [--json] output). *)
 type result = {
-  metrics : Metrics.t;
+  metrics : Metrics.t;  (** the full counter set (see {!Metrics}) *)
   trace : Resets_sim.Trace.t option;
-  sender_next_seq : int;
-  receiver_edge : int;
-  saves_completed_p : int;
-  saves_completed_q : int;
-  saves_lost_p : int;
-  saves_lost_q : int;
-  link_sent : int;
-  link_delivered : int;
-  link_dropped : int;
-  adversary_injected : int;
-  end_time : Resets_sim.Time.t;
+      (** event ring, present iff [keep_trace] was set *)
+  sender_next_seq : int;  (** p's counter value at the horizon *)
+  receiver_edge : int;  (** right edge of q's window at the horizon *)
+  saves_completed_p : int;  (** persistent writes p finished *)
+  saves_completed_q : int;  (** persistent writes q finished *)
+  saves_lost_p : int;  (** SAVEs in flight when p was reset *)
+  saves_lost_q : int;  (** SAVEs in flight when q was reset *)
+  link_sent : int;  (** packets entering the link (incl. injected) *)
+  link_delivered : int;  (** packets the link handed to q *)
+  link_dropped : int;  (** packets the link lost (faults + downtime) *)
+  adversary_injected : int;  (** replayed ciphertexts put on the wire *)
+  end_time : Resets_sim.Time.t;  (** simulated clock at exit *)
 }
 
 val run : scenario -> result
@@ -67,3 +86,5 @@ val run : scenario -> result
     [seed]). *)
 
 val pp_result : Format.formatter -> result -> unit
+(** Human-readable run summary; the machine-readable twin is
+    [Report.result_to_json]. *)

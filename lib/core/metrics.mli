@@ -19,24 +19,39 @@
       (Discrimination violations observed from outside). *)
 
 type t = {
-  mutable sent : int;
+  mutable sent : int;  (** fresh messages p put on the wire *)
   mutable skipped_seqnos : int;
+      (** sequence numbers rendered unusable by wakeup leaps — the
+          paper's Theorem (i) bounds this by 2·Kp per sender reset *)
   mutable reused_seqnos : int;
-  mutable arrived_fresh : int;
+      (** sequence numbers used twice by the sender; 0 under SAVE/FETCH
+          with K ≥ k_min, positive only for unsound baselines *)
+  mutable arrived_fresh : int;  (** non-injected packets reaching q *)
   mutable arrived_replayed : int;
-  mutable delivered : int;
+      (** adversary-injected packets reaching q *)
+  mutable delivered : int;  (** packets q's window accepted *)
   mutable duplicate_deliveries : int;
+      (** a (epoch, seq) pair delivered more than once — each is a
+          Discrimination violation *)
   mutable replay_accepted : int;
-  mutable replay_rejected : int;
+      (** injected packets delivered; the Section 3 attacks succeed iff
+          this is positive — SAVE/FETCH keeps it 0 *)
+  mutable replay_rejected : int;  (** injected packets discarded *)
   mutable fresh_rejected : int;
+      (** non-injected arrivals discarded (stale or marked duplicate);
+          with a clean link this is the paper's "discarded fresh
+          messages", ≤ 2·Kq per receiver reset (Theorem (ii)) *)
   mutable fresh_rejected_undelivered : int;
       (** fresh rejections whose sequence number had not been delivered
           by any copy at rejection time (true discards) *)
-  mutable bad_icv : int;
+  mutable bad_icv : int;  (** integrity-check failures (wrong key) *)
   mutable dropped_host_down : int;
+      (** packets that arrived while the host was down (reset
+          downtime) and were lost *)
   mutable buffered_during_wakeup : int;
-  mutable p_resets : int;
-  mutable q_resets : int;
+      (** packets queued while a FETCH/SAVE wakeup was in progress *)
+  mutable p_resets : int;  (** sender resets injected *)
+  mutable q_resets : int;  (** receiver resets injected *)
   recovery_times : Resets_util.Stats.Sample.s;
       (** reset → endpoint ready again, seconds *)
   disruption_times : Resets_util.Stats.Sample.s;
@@ -53,6 +68,7 @@ type t = {
 }
 
 val create : unit -> t
+(** All counters zero, empty samples, epoch 0. *)
 
 val bump_epoch : t -> unit
 (** A new SA was installed: its sequence-number space is distinct. *)
@@ -62,13 +78,20 @@ val record_delivery : t -> seq:int -> replayed:bool -> unit
     per-sequence delivery table. *)
 
 val record_rejection : t -> seq:int -> replayed:bool -> unit
+(** Updates the rejection counters ([replay_rejected] or
+    [fresh_rejected], and [fresh_rejected_undelivered] when no copy of
+    [seq] had been delivered). *)
 
 val delivery_count : t -> seq:int -> int
 (** How many times a given sequence number was delivered. *)
 
 val delivered_distinct : t -> int
+(** Distinct (epoch, sequence-number) pairs delivered — [delivered]
+    minus duplicates. *)
 
 val max_delivered_seq : t -> int
 (** 0 when nothing was delivered. *)
 
 val pp_summary : Format.formatter -> t -> unit
+(** Human-readable counter dump, as printed by the CLI after a run.
+    The machine-readable twin is [Report.metrics_to_json]. *)

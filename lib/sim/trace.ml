@@ -39,6 +39,26 @@ let pp_level ppf = function
   | Info -> Format.pp_print_string ppf "info"
   | Warn -> Format.pp_print_string ppf "warn"
 
+let level_tag = function Debug -> "debug" | Info -> "info" | Warn -> "warn"
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("t_ns", Json.Int (Int64.to_int (Time.to_ns e.time)));
+      ("level", Json.String (level_tag e.level));
+      ("source", Json.String e.source);
+      ("event", Json.String e.event);
+      ("detail", Json.String e.detail);
+    ]
+
+let output_jsonl_entry oc e =
+  output_string oc (Json.to_string (entry_to_json e));
+  output_char oc '\n'
+
+let attach_jsonl t oc = on_record t (output_jsonl_entry oc)
+
+let dump_jsonl oc t = List.iter (output_jsonl_entry oc) (entries t)
+
 let pp_entry ppf e =
   Format.fprintf ppf "[%a] %a %-8s %-16s %s" Time.pp e.time pp_level e.level
     e.source e.event e.detail

@@ -37,3 +37,19 @@ val on_record : t -> (entry -> unit) -> unit
 val pp_entry : Format.formatter -> entry -> unit
 
 val dump : Format.formatter -> t -> unit
+
+(** {1 JSONL export}
+
+    One JSON object per line — the machine-readable twin of {!dump},
+    written by the CLI's [--trace-out FILE]. Fields: [t_ns] (simulated
+    nanoseconds), [level], [source], [event], [detail]. *)
+
+val entry_to_json : entry -> Resets_util.Json.t
+
+val attach_jsonl : t -> out_channel -> unit
+(** Stream every subsequently recorded entry to the channel as a JSON
+    line. Unlike {!dump_jsonl} this sees entries even after the ring
+    evicts them; the caller closes the channel. *)
+
+val dump_jsonl : out_channel -> t -> unit
+(** Write the retained entries (oldest first), one JSON line each. *)

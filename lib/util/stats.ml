@@ -121,11 +121,44 @@ module Histogram = struct
 
   let counts h = Array.copy h.counts
 
+  let total h = Array.fold_left ( + ) 0 h.counts
+
+  let percentile h p =
+    let n = total h in
+    if n = 0 then invalid_arg "Stats.Histogram.percentile: empty";
+    if p < 0. || p > 100. then invalid_arg "Stats.Histogram.percentile: p out of range";
+    let buckets = Array.length h.counts in
+    let width = (h.hi -. h.lo) /. float_of_int buckets in
+    let target = p /. 100. *. float_of_int n in
+    if target <= 0. then begin
+      (* p = 0: the lower edge of the first populated bucket *)
+      let i = ref 0 in
+      while h.counts.(!i) = 0 do
+        incr i
+      done;
+      h.lo +. (float_of_int !i *. width)
+    end
+    else begin
+      let result = ref h.hi in
+      let cum = ref 0 in
+      (try
+         for i = 0 to buckets - 1 do
+           let c = h.counts.(i) in
+           if c > 0 && float_of_int (!cum + c) >= target then begin
+             (* the target rank falls inside bucket i: interpolate *)
+             let frac = (target -. float_of_int !cum) /. float_of_int c in
+             result := h.lo +. ((float_of_int i +. frac) *. width);
+             raise Exit
+           end;
+           cum := !cum + c
+         done
+       with Exit -> ());
+      Float.min !result h.hi
+    end
+
   let bucket_bounds h =
     let buckets = Array.length h.counts in
     let width = (h.hi -. h.lo) /. float_of_int buckets in
     Array.init buckets (fun i ->
         (h.lo +. (float_of_int i *. width), h.lo +. (float_of_int (i + 1) *. width)))
-
-  let total h = Array.fold_left ( + ) 0 h.counts
 end

@@ -60,4 +60,13 @@ module Histogram : sig
   val counts : h -> int array
   val bucket_bounds : h -> (float * float) array
   val total : h -> int
+
+  val percentile : h -> float -> float
+  (** [percentile h p] for [p] in [\[0, 100\]]: the bucketed estimate of
+      the [p]-th percentile, linearly interpolated inside the bucket the
+      target rank falls in. Within one bucket width of the exact
+      (nearest-rank) sample percentile for in-range samples — the
+      qcheck property in [test_report] checks this against a
+      sorted-array oracle. @raise Invalid_argument when empty or [p]
+      out of range. *)
 end

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Smoke gate: build, full test suite, and a quick bench pass that
+# exercises the JSON artifact pipeline end to end. Run from anywhere;
+# artifacts land in a throwaway directory.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+# odoc is optional in the dev image; build the docs only when present.
+if command -v odoc >/dev/null 2>&1; then
+  echo "== dune build @doc =="
+  dune build @doc
+else
+  echo "== dune build @doc skipped (odoc not installed) =="
+fi
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench smoke (E1 E6, JSON artifacts) =="
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+dune exec bench/main.exe -- E1 E6 --json="$out"
+
+for f in BENCH_E1.json BENCH_E6.json; do
+  test -s "$out/$f" || { echo "missing artifact $f" >&2; exit 1; }
+  grep -q '"pass": true' "$out/$f" || { echo "$f reports pass=false" >&2; exit 1; }
+done
+
+echo "OK"
