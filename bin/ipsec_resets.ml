@@ -318,8 +318,13 @@ let bidir_cmd =
 (* multi-sa *)
 
 let multi_sa_cmd =
-  let go n discipline =
-    let cfg = { Multi_sa.default_config with Multi_sa.sa_count = n } in
+  let go n discipline attack_at =
+    let attack =
+      match attack_at with
+      | None -> Endpoint.No_attack
+      | Some at -> Endpoint.Replay_all_at (time_of_ms at)
+    in
+    let cfg = { Multi_sa.default_config with Multi_sa.sa_count = n; attack } in
     let o = Multi_sa.run discipline cfg in
     Format.printf "ready: %a%s@." Time.pp o.Multi_sa.ready_time
       (if o.Multi_sa.recovered_fully then "" else " (horizon-capped)");
@@ -328,10 +333,22 @@ let multi_sa_cmd =
     Format.printf "disk writes: %d@." o.Multi_sa.disk_writes;
     Format.printf "handshake messages: %d@." o.Multi_sa.handshake_messages;
     Format.printf "duplicates: %d@." o.Multi_sa.duplicate_deliveries;
-    if o.Multi_sa.duplicate_deliveries = 0 then 0 else 2
+    if attack_at <> None then begin
+      Format.printf "replays injected: %d@." o.Multi_sa.adversary_injected;
+      Format.printf "replays accepted: %d@." o.Multi_sa.replay_accepted
+    end;
+    if o.Multi_sa.duplicate_deliveries = 0 && o.Multi_sa.replay_accepted = 0 then 0
+    else 2
   in
   let n =
     Arg.(value & opt int 16 & info [ "sas" ] ~docv:"N" ~doc:"Number of SAs on the host.")
+  in
+  let attack_at =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "attack" ] ~docv:"MS"
+          ~doc:"Replay every captured packet against every SA's link at MS.")
   in
   let discipline =
     Arg.(
@@ -347,7 +364,7 @@ let multi_sa_cmd =
   in
   Cmd.v
     (Cmd.info "multi-sa" ~doc:"Recover a host with many SAs after a reset.")
-    Term.(const go $ n $ discipline)
+    Term.(const go $ n $ discipline $ attack_at)
 
 (* ------------------------------------------------------------------ *)
 (* rekey *)

@@ -38,36 +38,31 @@ let run ?(seed = 7) ?(replay_announce = false) ~reset_at ~downtime ~horizon conf
   let engine = Engine.create () in
   let prng = Prng.create seed in
   let metrics = Metrics.create () in
-  (* A → B security association (the direction under study). *)
-  let params =
-    Sa.derive_params ~window_width:config.window ~spi:0x6001l
-      ~secret:"bidirectional-secret" ()
-  in
-  let sa_a = Sa.create params and sa_b = Sa.create params in
-  let link_ab =
-    Link.create ~name:"a->b" ~prng:(Prng.split prng) ~latency:config.link_latency engine
-  in
+  (* A → B security association (the direction under study), composed
+     from the shared endpoint layer: A's sequence counter persists on
+     A's disk, B's window edge on B's. *)
   let disk_a = Sim_disk.create ~name:"disk.a" ~latency:config.save_latency engine in
-  let sender_a =
-    Sender.create ~name:"a" ~sa:sa_a ~link:link_ab
+  let disk_b = Sim_disk.create ~name:"disk.b" ~latency:config.save_latency engine in
+  let endpoint =
+    Endpoint.create ~sender_name:"a" ~receiver_name:"b" ~link_name:"a->b"
+      ~window:config.window ~link_prng:(Prng.split prng) ~spi:0x6001l
+      ~secret:"bidirectional-secret" ~link_latency:config.link_latency
       ~traffic:(Traffic.constant ~gap:config.message_gap)
       ~metrics
-      ~persistence:
+      ~sender_persistence:
         (Some
            {
              Sender.disk = disk_a;
+             key = "send_seq";
              k = config.k;
              leap = 2 * config.k;
              trigger = Sender.On_count;
            })
-      engine
-  in
-  let receiver_b =
-    Receiver.create ~name:"b" ~sa:sa_b ~metrics
-      ~persistence:
+      ~receiver_persistence:
         (Some
            {
-             Receiver.disk = Sim_disk.create ~name:"disk.b" ~latency:config.save_latency engine;
+             Receiver.disk = disk_b;
+             key = "recv_edge";
              k = config.k;
              leap = 2 * config.k;
              robust = false;
@@ -75,9 +70,12 @@ let run ?(seed = 7) ?(replay_announce = false) ~reset_at ~downtime ~horizon conf
            })
       engine
   in
-  Link.set_deliver link_ab (Receiver.on_packet receiver_b);
+  let sender_a = Endpoint.sender endpoint in
+  let receiver_b = Endpoint.receiver endpoint in
   let adversary =
-    Resets_attack.Adversary.create ~link:link_ab ~mark:Packet.mark_replayed engine
+    match Endpoint.adversary endpoint with
+    | Some a -> a
+    | None -> assert false (* default tap is on *)
   in
   (* Traffic-based dead-peer detection at B: every delivery from A is
      proof of life; a probing cycle that sees none is a miss. *)
@@ -147,7 +145,7 @@ let run ?(seed = 7) ?(replay_announce = false) ~reset_at ~downtime ~horizon conf
                                | None -> false))))
              end)
            ()));
-  Sender.start sender_a;
+  Endpoint.start endpoint;
   ignore (Engine.run ~until:horizon engine);
   let announce_delivered =
     match !announce_seq with

@@ -9,7 +9,7 @@ type traffic_model =
   | Poisson
   | Bursty of { burst_length : int; off_duration : Time.t }
 
-type attack =
+type attack = Endpoint.attack =
   | No_attack
   | Replay_all_at of Time.t
   | Wedge_at of Time.t
@@ -75,19 +75,11 @@ let make_traffic scenario prng =
   | Bursty { burst_length; off_duration } ->
     Traffic.bursty ~on_gap:scenario.message_gap ~off_duration ~burst_length ~prng
 
-let sa_pair ~scenario ~spi ~secret =
-  let params =
-    Sa.derive_params ~window_width:scenario.window ~window_impl:scenario.window_impl
-      ~spi ~secret ()
-  in
-  (Sa.create params, Sa.create params)
-
 let run scenario =
   let engine = Engine.create () in
   let master = Prng.create scenario.seed in
   let trace = if scenario.keep_trace then Some (Trace.create ()) else None in
   let metrics = Metrics.create () in
-  let sa_p, sa_q = sa_pair ~scenario ~spi:0x1001l ~secret:"harness-shared-secret" in
   (* Endpoint persistence per protocol. *)
   let persistence_p, persistence_q =
     match scenario.protocol with
@@ -104,6 +96,7 @@ let run scenario =
           Sender.
             {
               disk = disk_p;
+              key = "send_seq";
               k = sender.Protocol.k;
               leap = Protocol.resolved_leap sender;
               trigger =
@@ -115,6 +108,7 @@ let run scenario =
           Receiver.
             {
               disk = disk_q;
+              key = "recv_edge";
               k = receiver.Protocol.k;
               leap = Protocol.resolved_leap receiver;
               robust = robust_receiver;
@@ -122,23 +116,22 @@ let run scenario =
             } )
     | Protocol.Volatile | Protocol.Reestablish _ -> (None, None)
   in
-  let link =
-    Link.create ?trace ~name:"link" ~faults:scenario.faults ~jitter:scenario.link_jitter
-      ~prng:(Prng.split master) ~latency:scenario.link_latency engine
-  in
-  let adversary =
-    Resets_attack.Adversary.create ~link ~mark:Packet.mark_replayed engine
-  in
+  (* The PRNG split order (link, traffic, ike) and the endpoint's
+     internal construction order are part of the deterministic-replay
+     contract: the committed BENCH artifacts were produced under it. *)
+  let link_prng = Prng.split master in
   let traffic = make_traffic scenario (Prng.split master) in
-  let sender =
-    Sender.create ?trace ~framing:scenario.framing ~sa:sa_p ~link ~traffic ~metrics
-      ~persistence:persistence_p engine
+  let endpoint =
+    Endpoint.create ?trace ~framing:scenario.framing ~window:scenario.window
+      ~window_impl:scenario.window_impl ~faults:scenario.faults
+      ~link_jitter:scenario.link_jitter ~link_prng ~spi:0x1001l
+      ~secret:"harness-shared-secret" ~link_latency:scenario.link_latency
+      ~traffic ~metrics ~sender_persistence:persistence_p
+      ~receiver_persistence:persistence_q engine
   in
-  let receiver =
-    Receiver.create ?trace ~framing:scenario.framing ~sa:sa_q ~metrics
-      ~persistence:persistence_q engine
-  in
-  Link.set_deliver link (Receiver.on_packet receiver);
+  let sender = Endpoint.sender endpoint in
+  let receiver = Endpoint.receiver endpoint in
+  let link = Endpoint.link endpoint in
   (* Disruption bookkeeping: reset time -> first delivery after it. *)
   let pending_disruptions = ref [] in
   Receiver.on_deliver receiver (fun ~seq:_ ~payload:_ ->
@@ -192,22 +185,8 @@ let run scenario =
   in
   List.iter schedule_fault scenario.resets;
   (* Schedule the adversary. *)
-  (match scenario.attack with
-  | No_attack -> ()
-  | Replay_all_at at ->
-    ignore
-      (Engine.schedule_at engine ~at (fun () ->
-           ignore
-             (Resets_attack.Adversary.replay_all_in_order ~gap:scenario.message_gap
-                adversary)))
-  | Wedge_at at ->
-    ignore
-      (Engine.schedule_at engine ~at (fun () ->
-           ignore (Resets_attack.Adversary.replay_latest adversary)))
-  | Flood { start; gap } ->
-    ignore
-      (Engine.schedule_at engine ~at:start (fun () ->
-           Resets_attack.Adversary.start_flood ~gap adversary)));
+  Endpoint.schedule_attack endpoint ~message_gap:scenario.message_gap
+    scenario.attack;
   Option.iter
     (fun at ->
       ignore (Engine.schedule_at engine ~at (fun () -> Sender.stop sender)))
@@ -235,7 +214,7 @@ let run scenario =
     link_sent = Link.sent link;
     link_delivered = Link.delivered link;
     link_dropped = Link.dropped link;
-    adversary_injected = Resets_attack.Adversary.injected_count adversary;
+    adversary_injected = Endpoint.injected_count endpoint;
     end_time = Engine.now engine;
   }
 

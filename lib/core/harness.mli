@@ -15,8 +15,9 @@ type traffic_model =
           spacing, then silence for [off_duration] *)
 
 (** The Section 3 replay adversary: records every ciphertext on the
-    wire and re-injects per one of these strategies. *)
-type attack =
+    wire and re-injects per one of these strategies. A re-export of
+    {!Endpoint.attack}, the shared vocabulary of every composer. *)
+type attack = Endpoint.attack =
   | No_attack  (** passive wire; nothing injected *)
   | Replay_all_at of Resets_sim.Time.t
       (** Section 3's first attack: replay everything captured, in

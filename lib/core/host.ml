@@ -1,0 +1,178 @@
+open Resets_util
+open Resets_sim
+open Resets_persist
+open Resets_ipsec
+
+type discipline =
+  | Per_sa
+  | Coalesced
+  | Reestablish of { cost : Ike.cost }
+
+type t = {
+  engine : Engine.t;
+  disk : Sim_disk.t;
+  endpoints : Endpoint.t array;
+  discipline : discipline;
+  k : int;
+  leap : int;
+  keys : string array;
+  lst : int array; (* coalesced: per-SA edge as of the last begun batch *)
+  window : int;
+  window_impl : Replay_window.impl;
+  ike_prng : Prng.t option;
+  mutable next_spi : int32;
+  mutable batch_in_flight : bool;
+  mutable handshake_messages : int;
+  mutable down : bool;
+}
+
+let sa_key i = Printf.sprintf "sa-%d" i
+
+let receiver_i t i = Endpoint.receiver t.endpoints.(i)
+
+(* Coalesced periodic persistence: when any SA's edge has advanced K
+   past its share of the last begun batch, snapshot every SA's current
+   edge in ONE disk write. The triggering SA's watermark moves even
+   when a batch is already in flight — matching the per-SA rule "begin
+   a SAVE every K messages", just amortised. *)
+let maybe_begin_batch t i =
+  if not t.down then begin
+    let r = Receiver.right_edge (receiver_i t i) in
+    if r >= t.k + t.lst.(i) then begin
+      t.lst.(i) <- r;
+      if not t.batch_in_flight then begin
+        t.batch_in_flight <- true;
+        let entries =
+          Array.mapi
+            (fun j _ -> (t.keys.(j), Receiver.right_edge (receiver_i t j)))
+            t.endpoints
+        in
+        Sim_disk.save_snapshot t.disk ~entries ~on_complete:(fun () ->
+            t.batch_in_flight <- false)
+      end
+    end
+  end
+
+let create ?(k = 25) ?leap ?(window = 64)
+    ?(window_impl = Replay_window.Bitmap_impl) ?ike_prng
+    ?(spi_base = 0x6000l) ~disk ~discipline endpoints engine =
+  let n = Array.length endpoints in
+  if n = 0 then invalid_arg "Host.create: no endpoints";
+  let leap =
+    match leap with
+    | Some l -> l
+    | None -> 2 * k
+  in
+  let t =
+    {
+      engine;
+      disk;
+      endpoints;
+      discipline;
+      k;
+      leap;
+      keys = Array.init n sa_key;
+      lst = Array.make n 0;
+      window;
+      window_impl;
+      ike_prng;
+      next_spi = spi_base;
+      batch_in_flight = false;
+      handshake_messages = 0;
+      down = false;
+    }
+  in
+  (match discipline with
+  | Coalesced ->
+    (* Host-managed persistence: the receivers carry none of their own;
+       the host preloads established state and batches the periodic
+       SAVEs across all SAs. *)
+    Array.iteri
+      (fun i ep ->
+        Sim_disk.preload disk ~key:t.keys.(i)
+          ~value:(Receiver.right_edge (Endpoint.receiver ep));
+        Receiver.on_deliver (Endpoint.receiver ep) (fun ~seq:_ ~payload:_ ->
+            maybe_begin_batch t i))
+      endpoints
+  | Per_sa | Reestablish _ -> ());
+  t
+
+let endpoints t = t.endpoints
+let sa_count t = Array.length t.endpoints
+let is_down t = t.down
+let handshake_messages t = t.handshake_messages
+
+let reset t =
+  if not t.down then begin
+    t.down <- true;
+    t.batch_in_flight <- false;
+    (* One crash: the whole host's RAM and every in-flight write die
+       together, whatever keys they covered. *)
+    Sim_disk.crash t.disk;
+    Array.iter (fun ep -> Receiver.reset (Endpoint.receiver ep)) t.endpoints
+  end
+
+let durable_edge t i =
+  match Sim_disk.fetch t.disk ~key:t.keys.(i) with
+  | Some v -> v
+  | None -> 0
+
+let recover t ?(on_sa_ready = fun _ -> ()) ?(on_complete = fun () -> ()) () =
+  if not t.down then invalid_arg "Host.recover: not down";
+  t.down <- false;
+  let n = sa_count t in
+  match t.discipline with
+  | Per_sa ->
+    (* The paper's discipline, once per SA: FETCH + leap + blocking
+       SAVE. The single disk serializes the writes, so recovery time
+       grows linearly with the SA count — exactly what E7/E14
+       measure. *)
+    let rec go i =
+      if i >= n then on_complete ()
+      else
+        Receiver.wakeup (receiver_i t i)
+          ~on_ready:(fun () ->
+            on_sa_ready i;
+            go (i + 1))
+          ()
+    in
+    go 0
+  | Coalesced ->
+    (* Every durable edge leaps; ONE snapshot write makes them all
+       durable; then every SA resumes at once. O(1) in the SA count. *)
+    let edges = Array.init n (fun i -> durable_edge t i + t.leap) in
+    let entries = Array.init n (fun i -> (t.keys.(i), edges.(i))) in
+    Sim_disk.save_snapshot t.disk ~entries ~on_complete:(fun () ->
+        Array.iteri
+          (fun i _ ->
+            t.lst.(i) <- edges.(i);
+            Receiver.resume_at (receiver_i t i) ~edge:edges.(i);
+            on_sa_ready i)
+          t.endpoints;
+        on_complete ())
+  | Reestablish { cost } ->
+    let prng =
+      match t.ike_prng with
+      | Some p -> p
+      | None -> invalid_arg "Host.recover: Reestablish requires ike_prng"
+    in
+    let rec go i =
+      if i >= n then on_complete ()
+      else begin
+        t.handshake_messages <- t.handshake_messages + Ike.message_count;
+        let spi = t.next_spi in
+        t.next_spi <- Int32.add spi 1l;
+        Ike.establish ~window_width:t.window ~window_impl:t.window_impl
+          t.engine ~cost ~prng ~spi
+          ~on_complete:(fun params ->
+            let ep = t.endpoints.(i) in
+            Sender.install_sa (Endpoint.sender ep) (Sa.create params);
+            Receiver.install_sa (Endpoint.receiver ep) (Sa.create params);
+            (* A fresh SA starts with a fresh window: resume at edge
+               0 — nothing sent under the new keys yet. *)
+            Receiver.resume_at (Endpoint.receiver ep) ~edge:0;
+            on_sa_ready i;
+            go (i + 1))
+      end
+    in
+    go 0

@@ -1,0 +1,81 @@
+(** A host carrying many SAs that share one disk: reset and recovery
+    at scale.
+
+    Section 3's cost argument is per-host: a reset wipes the volatile
+    state of {e every} SA the host carries at once, and the recovery
+    discipline determines whether the cost of coming back is linear in
+    the SA count or constant. A [Host.t] owns an array of
+    {!Endpoint.t}s whose receivers live on this host, plus the one
+    {!Resets_persist.Sim_disk.t} they persist to, and implements the
+    three disciplines:
+
+    - {!Per_sa}: the paper, verbatim per SA — FETCH + leap + blocking
+      SAVE, serialized on the single disk, so recovery is O(n);
+    - {!Coalesced}: our extension — the periodic SAVEs of all SAs are
+      batched into one {!Resets_persist.Sim_disk.save_snapshot} write,
+      and recovery leaps every durable edge and persists them all in
+      one write: O(1) in the SA count;
+    - {!Reestablish}: the IETF default the paper argues against —
+      renegotiate every SA with IKE-lite, serially.
+
+    Which endpoints carry their own receiver persistence depends on the
+    discipline: [Per_sa] receivers persist under [sa_key i] themselves;
+    [Coalesced] and [Reestablish] receivers are created with
+    [persistence = None] and the host manages durability (or the lack
+    of it). {!Multi_sa.run} is the canonical composer. *)
+
+open Resets_sim
+open Resets_persist
+
+type discipline =
+  | Per_sa
+  | Coalesced
+  | Reestablish of { cost : Resets_ipsec.Ike.cost }
+
+type t
+
+val sa_key : int -> string
+(** Disk key of SA [i]'s receiver edge: ["sa-<i>"]. [Per_sa] composers
+    must use this in the receivers' persistence records so host-level
+    recovery and receiver-level SAVEs agree on the key space. *)
+
+val create :
+  ?k:int ->
+  ?leap:int ->
+  ?window:int ->
+  ?window_impl:Resets_ipsec.Replay_window.impl ->
+  ?ike_prng:Resets_util.Prng.t ->
+  ?spi_base:int32 ->
+  disk:Sim_disk.t ->
+  discipline:discipline ->
+  Endpoint.t array ->
+  Engine.t ->
+  t
+(** Defaults: [k = 25], [leap = 2k], window 64/bitmap (used when
+    [Reestablish] derives fresh SAs, along with [ike_prng], which is
+    then required, and [spi_base], default 0x6000). Under [Coalesced]
+    this preloads every SA's established edge and hooks the receivers'
+    delivery path to batch their periodic SAVEs.
+    @raise Invalid_argument on an empty endpoint array. *)
+
+val endpoints : t -> Endpoint.t array
+val sa_count : t -> int
+val is_down : t -> bool
+
+val handshake_messages : t -> int
+(** Wire messages spent renegotiating (only [Reestablish] spends
+    any). *)
+
+val reset : t -> unit
+(** Crash the host now: every receiver goes down together and the one
+    disk loses all in-flight writes. Idempotent while down. *)
+
+val recover :
+  t ->
+  ?on_sa_ready:(int -> unit) ->
+  ?on_complete:(unit -> unit) ->
+  unit ->
+  unit
+(** Begin the configured recovery discipline. [on_sa_ready i] fires
+    when SA [i] is processing again; [on_complete] when all are.
+    @raise Invalid_argument when the host is not down. *)

@@ -72,6 +72,31 @@ let record_rejection t ~seq ~replayed =
       t.fresh_rejected_undelivered <- t.fresh_rejected_undelivered + 1
   end
 
+let absorb ~into src =
+  into.sent <- into.sent + src.sent;
+  into.skipped_seqnos <- into.skipped_seqnos + src.skipped_seqnos;
+  into.reused_seqnos <- into.reused_seqnos + src.reused_seqnos;
+  into.arrived_fresh <- into.arrived_fresh + src.arrived_fresh;
+  into.arrived_replayed <- into.arrived_replayed + src.arrived_replayed;
+  into.delivered <- into.delivered + src.delivered;
+  into.duplicate_deliveries <-
+    into.duplicate_deliveries + src.duplicate_deliveries;
+  into.replay_accepted <- into.replay_accepted + src.replay_accepted;
+  into.replay_rejected <- into.replay_rejected + src.replay_rejected;
+  into.fresh_rejected <- into.fresh_rejected + src.fresh_rejected;
+  into.fresh_rejected_undelivered <-
+    into.fresh_rejected_undelivered + src.fresh_rejected_undelivered;
+  into.bad_icv <- into.bad_icv + src.bad_icv;
+  into.dropped_host_down <- into.dropped_host_down + src.dropped_host_down;
+  into.buffered_during_wakeup <-
+    into.buffered_during_wakeup + src.buffered_during_wakeup;
+  into.p_resets <- into.p_resets + src.p_resets;
+  into.q_resets <- into.q_resets + src.q_resets;
+  if src.max_delivered > into.max_delivered then
+    into.max_delivered <- src.max_delivered;
+  if src.max_displacement > into.max_displacement then
+    into.max_displacement <- src.max_displacement
+
 let delivered_distinct t = Hashtbl.length t.deliveries_by_seq
 
 let max_delivered_seq t = t.max_delivered

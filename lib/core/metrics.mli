@@ -85,6 +85,13 @@ val record_rejection : t -> seq:int -> replayed:bool -> unit
 val delivery_count : t -> seq:int -> int
 (** How many times a given sequence number was delivered. *)
 
+val absorb : into:t -> t -> unit
+(** Add [src]'s scalar counters into [into] and take the max of the
+    high-water marks — aggregation over per-endpoint metrics in
+    multi-SA runs. The per-sequence delivery table and the timing
+    samples are {e not} merged: distinct SAs' sequence spaces overlap,
+    so a merged table would manufacture false duplicates. *)
+
 val delivered_distinct : t -> int
 (** Distinct (epoch, sequence-number) pairs delivered — [delivered]
     minus duplicates. *)

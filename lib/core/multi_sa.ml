@@ -15,6 +15,7 @@ type config = {
   downtime : Time.t;
   horizon : Time.t;
   ike_cost : Ike.cost;
+  attack : Endpoint.attack;
 }
 
 let default_config =
@@ -28,6 +29,7 @@ let default_config =
     downtime = Time.of_ms 1;
     horizon = Time.of_ms 120;
     ike_cost = Ike.default_cost;
+    attack = Endpoint.No_attack;
   }
 
 type outcome = {
@@ -36,204 +38,121 @@ type outcome = {
   recovered_fully : bool;
   messages_lost : int;
   replay_accepted : int;
+  adversary_injected : int;
   duplicate_deliveries : int;
   disk_writes : int;
   handshake_messages : int;
   delivered : int;
+  events_fired : int;
 }
 
-(* One unidirectional association within the host pair. *)
-type assoc = {
-  index : int;
-  mutable params : Sa.params;
-  mutable send_seq : int;
-  mutable window : Replay_window.t;
-  mutable lst : int; (* last stored (or begun) edge *)
-  mutable up : bool; (* receiver side of this SA is processing *)
-  mutable delivered_after_reset : bool;
-  delivered_seqs : (int * int, unit) Hashtbl.t; (* (epoch, seq) *)
-  mutable epoch : int;
-}
+(* A bounded capture buffer per tapped link: enough for any replay the
+   scenarios stage, small enough that thousands of SAs could carry one
+   (the default 2^20-entry recorder would cost megabytes per link). *)
+let tap_capacity = 4096
 
 let run ?(seed = 11) discipline config =
   if config.sa_count <= 0 then invalid_arg "Multi_sa.run: sa_count must be positive";
   let engine = Engine.create () in
   let prng = Prng.create seed in
   let disk = Sim_disk.create ~name:"disk.q" ~latency:config.save_latency engine in
-  let metrics_lost = ref 0 in
-  let duplicate = ref 0 in
-  let delivered_total = ref 0 in
-  let handshake_messages = ref 0 in
-  (* Durable edges under coalesced mode are managed here: one disk write
-     persists a snapshot of every SA's edge. *)
-  let durable_edges = Array.make config.sa_count 0 in
-  let batch_in_flight = ref false in
-  let assoc_of i =
-    let params =
-      Sa.derive_params ~spi:(Int32.of_int (0x4000 + i))
-        ~secret:(Printf.sprintf "multi-sa-%d" i) ()
-    in
-    {
-      index = i;
-      params;
-      send_seq = 1;
-      window = Replay_window.create Replay_window.Bitmap_impl ~w:64;
-      lst = 0;
-      up = true;
-      delivered_after_reset = false;
-      delivered_seqs = Hashtbl.create 256;
-      epoch = 0;
-    }
+  let host_discipline =
+    match discipline with
+    | `Save_fetch_per_sa -> Host.Per_sa
+    | `Save_fetch_coalesced -> Host.Coalesced
+    | `Reestablish -> Host.Reestablish { cost = config.ike_cost }
   in
-  let assocs = Array.init config.sa_count assoc_of in
-  let host_down = ref false in
-  let reset_happened = ref false in
-  let all_recovered_at = ref None in
-  let all_ready_at = ref None in
-  let mark_ready_if_complete () =
-    if !all_ready_at = None && Array.for_all (fun a -> a.up) assocs then
-      all_ready_at := Some (Engine.now engine)
+  let tap =
+    match config.attack with
+    | Endpoint.No_attack -> Endpoint.No_tap
+    | _ -> Endpoint.Tap { capacity = Some tap_capacity }
   in
-  let key_of i = Printf.sprintf "sa-%d" i in
-  List.iter (fun a -> Sim_disk.preload disk ~key:(key_of a.index) ~value:0)
-    (Array.to_list assocs);
-  (* ---- periodic SAVE disciplines ---------------------------------- *)
-  let begin_periodic_save (a : assoc) =
-    let r = Replay_window.right_edge a.window in
-    if r >= config.k + a.lst then begin
-      a.lst <- r;
+  (* One endpoint per SA, each with its own metrics (sequence spaces
+     overlap across SAs) and — under the per-SA discipline — its own
+     key on the one shared disk. *)
+  let endpoint_of i =
+    let receiver_persistence =
       match discipline with
       | `Save_fetch_per_sa ->
-        Sim_disk.save disk ~key:(key_of a.index) ~value:r ~on_complete:(fun () -> ())
-      | `Save_fetch_coalesced ->
-        if not !batch_in_flight then begin
-          batch_in_flight := true;
-          (* one write persists the edges of every SA as of now *)
-          let snapshot =
-            Array.map (fun a -> Replay_window.right_edge a.window) assocs
-          in
-          Sim_disk.save disk ~key:"batch" ~value:0 ~on_complete:(fun () ->
-              batch_in_flight := false;
-              Array.iteri (fun i v -> durable_edges.(i) <- v) snapshot)
-        end
-      | `Reestablish -> ()
-    end
+        Some
+          {
+            Receiver.disk;
+            key = Host.sa_key i;
+            k = config.k;
+            leap = 2 * config.k;
+            robust = false;
+            wakeup_buffer = false;
+          }
+      | `Save_fetch_coalesced | `Reestablish ->
+        (* the host manages durability (or renegotiates instead) *)
+        None
+    in
+    Endpoint.create
+      ~sender_name:(Printf.sprintf "p%d" i)
+      ~receiver_name:(Printf.sprintf "q%d" i)
+      ~link_name:(Printf.sprintf "link%d" i)
+      ~link_prng:(Prng.split prng) ~tap
+      ~spi:(Int32.of_int (0x4000 + i))
+      ~secret:(Printf.sprintf "multi-sa-%d" i)
+      ~link_latency:config.link_latency
+      ~traffic:(Resets_workload.Traffic.constant ~gap:config.message_gap)
+      ~metrics:(Metrics.create ())
+      ~sender_persistence:None ~receiver_persistence engine
   in
-  (* ---- the receive path ------------------------------------------- *)
-  let receive (a : assoc) wire =
-    if !host_down || not a.up then incr metrics_lost
-    else
-      match Esp.decap ~sa:a.params wire with
-      | Error _ -> incr metrics_lost
-      | Ok (seq, _payload) ->
-        let verdict = Replay_window.admit a.window seq in
-        if Replay_window.verdict_accepts verdict then begin
-          incr delivered_total;
-          if Hashtbl.mem a.delivered_seqs (a.epoch, seq) then incr duplicate
-          else Hashtbl.replace a.delivered_seqs (a.epoch, seq) ();
-          if !reset_happened && not a.delivered_after_reset then begin
-            a.delivered_after_reset <- true;
-            if Array.for_all (fun a -> a.delivered_after_reset) assocs then
+  let endpoints = Array.init config.sa_count endpoint_of in
+  let host =
+    Host.create ~k:config.k ~leap:(2 * config.k) ~ike_prng:prng
+      ~spi_base:0x6000l ~disk ~discipline:host_discipline endpoints engine
+  in
+  (* Recovery bookkeeping: when is every SA processing again, and when
+     has every SA delivered a fresh message again? *)
+  let reset_happened = ref false in
+  let all_ready_at = ref None in
+  let all_recovered_at = ref None in
+  let delivered_after_reset = Array.make config.sa_count false in
+  Array.iteri
+    (fun i ep ->
+      Receiver.on_deliver (Endpoint.receiver ep) (fun ~seq:_ ~payload:_ ->
+          if !reset_happened && not delivered_after_reset.(i) then begin
+            delivered_after_reset.(i) <- true;
+            if Array.for_all Fun.id delivered_after_reset then
               all_recovered_at := Some (Engine.now engine)
-          end;
-          begin_periodic_save a
-        end
-  in
-  (* ---- the send loops --------------------------------------------- *)
-  let rec send_loop (a : assoc) =
-    let seq = a.send_seq in
-    a.send_seq <- seq + 1;
-    let wire = Esp.encap ~sa:a.params ~seq ~payload:"payload" in
-    ignore
-      (Engine.schedule_after engine ~after:config.link_latency (fun () ->
-           receive a wire));
-    ignore (Engine.schedule_after engine ~after:config.message_gap (fun () -> send_loop a))
-  in
+          end))
+    endpoints;
+  (* Stagger start times so SAs do not act in lockstep, and give every
+     link the same adversary the single-SA harness gets. *)
   Array.iter
-    (fun a ->
-      (* stagger start times so SAs do not act in lockstep *)
+    (fun ep ->
       let offset =
         Time.of_ns
-          (Int64.of_int (Prng.int prng (Int64.to_int (Time.to_ns config.message_gap) + 1)))
+          (Int64.of_int
+             (Prng.int prng (Int64.to_int (Time.to_ns config.message_gap) + 1)))
       in
-      ignore (Engine.schedule_after engine ~after:offset (fun () -> send_loop a)))
-    assocs;
-  (* ---- reset and recovery ----------------------------------------- *)
-  let recover_per_sa () =
-    (* FETCH + blocking SAVE per SA, serialized on the one disk. *)
-    let rec recover i =
-      if i < config.sa_count then begin
-        let a = assocs.(i) in
-        let fetched =
-          match Sim_disk.fetch disk ~key:(key_of i) with
-          | Some v -> v
-          | None -> 0
-        in
-        let edge = fetched + (2 * config.k) in
-        Sim_disk.save disk ~key:(key_of i) ~value:edge ~on_complete:(fun () ->
-            Replay_window.resume_at a.window edge;
-            a.lst <- edge;
-            a.up <- true;
-            mark_ready_if_complete ();
-            recover (i + 1))
-      end
-    in
-    recover 0
-  in
-  let recover_coalesced () =
-    (* every edge leaps; one write makes them all durable *)
-    let edges = Array.map (fun v -> v + (2 * config.k)) durable_edges in
-    Sim_disk.save disk ~key:"batch" ~value:1 ~on_complete:(fun () ->
-        Array.iteri
-          (fun i a ->
-            durable_edges.(i) <- edges.(i);
-            Replay_window.resume_at a.window edges.(i);
-            a.lst <- edges.(i);
-            a.up <- true)
-          assocs;
-        mark_ready_if_complete ())
-  in
-  let recover_reestablish () =
-    let rec recover i =
-      if i < config.sa_count then begin
-        let a = assocs.(i) in
-        handshake_messages := !handshake_messages + Ike.message_count;
-        Ike.establish engine ~cost:config.ike_cost ~prng
-          ~spi:(Int32.of_int (0x6000 + (config.sa_count * a.epoch) + i))
-          ~on_complete:(fun params ->
-            a.params <- params;
-            a.send_seq <- 1;
-            a.window <- Replay_window.create Replay_window.Bitmap_impl ~w:64;
-            a.lst <- 0;
-            a.epoch <- a.epoch + 1;
-            a.up <- true;
-            mark_ready_if_complete ();
-            recover (i + 1))
-      end
-    in
-    recover 0
-  in
+      ignore
+        (Engine.schedule_after engine ~after:offset (fun () -> Endpoint.start ep));
+      Endpoint.schedule_attack ep ~message_gap:config.message_gap config.attack)
+    endpoints;
+  (* The fault: one host reset wipes every SA at once, then recovery
+     under the configured discipline after the downtime. *)
   ignore
     (Engine.schedule_at engine ~at:config.reset_at (fun () ->
          reset_happened := true;
-         host_down := true;
-         batch_in_flight := false;
-         Sim_disk.crash disk;
-         Array.iter
-           (fun a ->
-             a.up <- false;
-             Replay_window.volatile_reset a.window)
-           assocs));
+         Host.reset host));
   ignore
     (Engine.schedule_at engine
        ~at:(Time.add config.reset_at config.downtime)
        (fun () ->
-         host_down := false;
-         match discipline with
-         | `Save_fetch_per_sa -> recover_per_sa ()
-         | `Save_fetch_coalesced -> recover_coalesced ()
-         | `Reestablish -> recover_reestablish ()));
+         Host.recover host
+           ~on_complete:(fun () -> all_ready_at := Some (Engine.now engine))
+           ()));
   ignore (Engine.run ~until:config.horizon engine);
+  let totals = Metrics.create () in
+  Array.iter
+    (fun ep -> Metrics.absorb ~into:totals (Endpoint.metrics ep))
+    endpoints;
+  let adversary_injected =
+    Array.fold_left (fun acc ep -> acc + Endpoint.injected_count ep) 0 endpoints
+  in
   {
     ready_time =
       (match !all_ready_at with
@@ -244,10 +163,13 @@ let run ?(seed = 11) discipline config =
       | Some t -> Time.diff t config.reset_at
       | None -> Time.diff config.horizon config.reset_at);
     recovered_fully = !all_recovered_at <> None;
-    messages_lost = !metrics_lost;
-    replay_accepted = 0 (* no adversary in this harness *);
-    duplicate_deliveries = !duplicate;
+    messages_lost =
+      totals.Metrics.dropped_host_down + totals.Metrics.bad_icv;
+    replay_accepted = totals.Metrics.replay_accepted;
+    adversary_injected;
+    duplicate_deliveries = totals.Metrics.duplicate_deliveries;
     disk_writes = Sim_disk.saves_completed disk;
-    handshake_messages = !handshake_messages;
-    delivered = !delivered_total;
+    handshake_messages = Host.handshake_messages host;
+    delivered = totals.Metrics.delivered;
+    events_fired = Engine.fired_count engine;
   }

@@ -3,21 +3,26 @@
     Section 3's cost argument is per-host: "a host may have multiple
     SAs existing at the same time ... Requiring a host with multiple
     existing SAs to drop and reestablish all the existing SAs because
-    of a reset stands for a huge amount of overhead". This module runs
-    [n] parallel sender→receiver associations that share each host's
-    disk and clock, resets the receiver host once (all SAs lose their
-    volatile state together), and measures recovery under three
-    disciplines:
+    of a reset stands for a huge amount of overhead". This composer
+    builds [n] parallel {!Endpoint.t}s (one per sender→receiver
+    association) over one {!Host.t} sharing the receiver host's disk
+    and clock, resets that host once (all SAs lose their volatile
+    state together), and measures recovery under three disciplines:
 
-    - [`Save_fetch_per_sa]: the paper, one blocking wakeup SAVE per SA,
-      sequentially (the disk serializes writes);
-    - [`Save_fetch_coalesced]: our extension — all recovered edges are
-      written in a single disk operation (they fit in one block), so
-      recovery is one SAVE regardless of [n];
-    - [`Reestablish]: IKE-lite renegotiation per SA, sequentially.
+    - [`Save_fetch_per_sa] ({!Host.Per_sa}): the paper, one blocking
+      wakeup SAVE per SA, sequentially (the disk serializes writes);
+    - [`Save_fetch_coalesced] ({!Host.Coalesced}): our extension — all
+      recovered edges are written in a single
+      {!Resets_persist.Sim_disk.save_snapshot} operation (they fit in
+      one block), so recovery is one SAVE regardless of [n];
+    - [`Reestablish] ({!Host.Reestablish}): IKE-lite renegotiation per
+      SA, sequentially.
 
-    The coalesced mode also batches the periodic SAVEs: one write
-    covers every SA that crossed its K threshold in the same window. *)
+    The coalesced mode also batches the periodic SAVEs: one snapshot
+    write covers every SA that crossed its K threshold in the same
+    window. Since the endpoints run through the same datapath as the
+    single-SA harness, an {!Endpoint.attack} can be staged against
+    every link, and [replay_accepted] is measured, not assumed. *)
 
 type discipline = [ `Save_fetch_per_sa | `Save_fetch_coalesced | `Reestablish ]
 
@@ -31,11 +36,15 @@ type config = {
   downtime : Resets_sim.Time.t;
   horizon : Resets_sim.Time.t;
   ike_cost : Resets_ipsec.Ike.cost;
+  attack : Endpoint.attack;
+      (** staged against every SA's link (adversary taps are only
+          attached when an attack is configured, so attack-free scale
+          runs carry no capture buffers) *)
 }
 
 val default_config : config
 (** 16 SAs, K = 25, the paper's latencies, reset at 10 ms for 1 ms,
-    horizon 120 ms. *)
+    horizon 120 ms, no attack. *)
 
 type outcome = {
   ready_time : Resets_sim.Time.t;
@@ -47,12 +56,20 @@ type outcome = {
           edge); when [recovered_fully] is false this is the
           horizon-capped lower bound *)
   recovered_fully : bool;
-  messages_lost : int;  (** arrivals at the dead/recovering host *)
+  messages_lost : int;
+      (** arrivals at the dead/recovering host, plus arrivals that no
+          longer verify (stale keys after re-establishment) *)
   replay_accepted : int;
+      (** adversary injections delivered, summed over every SA — the
+          paper's guarantee is that SAVE/FETCH keeps this 0 *)
+  adversary_injected : int;  (** replayed packets put on the wires *)
   duplicate_deliveries : int;
   disk_writes : int;  (** completed persistent writes at the receiver *)
   handshake_messages : int;  (** wire messages spent renegotiating *)
   delivered : int;
+  events_fired : int;
+      (** engine events the run consumed — the numerator of E14's
+          events-per-second throughput *)
 }
 
 val run : ?seed:int -> discipline -> config -> outcome

@@ -4,6 +4,7 @@ open Resets_ipsec
 
 type persistence = {
   disk : Sim_disk.t;
+  key : string;
   k : int;
   leap : int;
   robust : bool;
@@ -29,13 +30,12 @@ type t = {
   mutable deliver_hooks : (seq:int -> payload:string -> unit) list;
 }
 
-let disk_key = "recv_edge"
 
 let create ?(name = "q") ?trace ?(framing = Packet.Seq64) ~sa ~metrics ~persistence
     engine =
   let initial_edge = Resets_ipsec.Replay_window.right_edge sa.Sa.window in
   Option.iter
-    (fun p -> Sim_disk.preload p.disk ~key:disk_key ~value:initial_edge)
+    (fun p -> Sim_disk.preload p.disk ~key:p.key ~value:initial_edge)
     persistence;
   {
     engine;
@@ -71,7 +71,7 @@ let maybe_begin_periodic_save t =
     let r = Replay_window.right_edge (window t) in
     if r >= p.k + t.lst then begin
       t.lst <- r;
-      Sim_disk.save p.disk ~key:disk_key ~value:r ~on_complete:(fun () ->
+      Sim_disk.save p.disk ~key:p.key ~value:r ~on_complete:(fun () ->
           if r > t.durable then t.durable <- r)
     end
 
@@ -129,7 +129,7 @@ and defer t pkt ~edge =
     if not t.catchup_saving then begin
       t.catchup_saving <- true;
       tell t "catchup.begin" (string_of_int edge);
-      Sim_disk.save p.disk ~key:disk_key ~value:edge ~on_complete:(fun () ->
+      Sim_disk.save p.disk ~key:p.key ~value:edge ~on_complete:(fun () ->
           if edge > t.durable then t.durable <- edge;
           if edge > t.lst then t.lst <- edge;
           t.catchup_saving <- false;
@@ -185,14 +185,14 @@ let wakeup t ?(on_ready = fun () -> ()) () =
     on_ready ()
   | Some p ->
     let fetched =
-      match Sim_disk.fetch p.disk ~key:disk_key with
+      match Sim_disk.fetch p.disk ~key:p.key with
       | Some v -> v
       | None -> 0
     in
     let new_edge = fetched + p.leap in
     t.status <- Waking;
     tell t "fetch" (Printf.sprintf "fetched %d, leaping to %d" fetched new_edge);
-    Sim_disk.save p.disk ~key:disk_key ~value:new_edge ~on_complete:(fun () ->
+    Sim_disk.save p.disk ~key:p.key ~value:new_edge ~on_complete:(fun () ->
         Replay_window.resume_at (window t) new_edge;
         t.lst <- new_edge;
         t.durable <- new_edge;
@@ -201,6 +201,18 @@ let wakeup t ?(on_ready = fun () -> ()) () =
         drain_wakeup_buffer t;
         on_ready ())
 
+(* Host-managed recovery: the edge was determined (and made durable)
+   externally — e.g. by a coalesced snapshot write or a fresh handshake —
+   so skip the per-receiver FETCH + blocking SAVE and come up at once. *)
+let resume_at t ~edge =
+  if t.status = Up then invalid_arg "Receiver.resume_at: not down";
+  Replay_window.resume_at (window t) edge;
+  t.lst <- edge;
+  t.durable <- edge;
+  t.status <- Up;
+  tell t "wakeup" (Printf.sprintf "resume at edge %d (host-managed)" edge);
+  drain_wakeup_buffer t
+
 let is_down t = t.status <> Up
 
 let right_edge t = Replay_window.right_edge (window t)
@@ -208,7 +220,7 @@ let right_edge t = Replay_window.right_edge (window t)
 let last_stored t =
   match t.persistence with
   | None -> None
-  | Some p -> Sim_disk.fetch p.disk ~key:disk_key
+  | Some p -> Sim_disk.fetch p.disk ~key:p.key
 
 let install_sa t sa =
   t.sa <- sa;

@@ -23,6 +23,8 @@
 
 type persistence = {
   disk : Resets_persist.Sim_disk.t;
+  key : string;  (** disk key this receiver's edge lives under — lets
+                     many receivers share one disk (multi-SA hosts) *)
   k : int;
   leap : int;
   robust : bool;
@@ -53,6 +55,13 @@ val on_deliver : t -> (seq:int -> payload:string -> unit) -> unit
 val reset : t -> unit
 val wakeup : t -> ?on_ready:(unit -> unit) -> unit -> unit
 (** @raise Invalid_argument when not down. *)
+
+val resume_at : t -> edge:int -> unit
+(** Come up immediately with the window resumed at [edge], skipping the
+    per-receiver FETCH + blocking SAVE. For host-managed recovery where
+    the edge was computed and persisted externally: a coalesced snapshot
+    covering many SAs, or a freshly negotiated SA (edge 0). Drains the
+    wakeup buffer. @raise Invalid_argument when not down. *)
 
 val is_down : t -> bool
 val right_edge : t -> int

@@ -41,13 +41,6 @@ type outcome = {
   persisted_keys_live : int;
 }
 
-(* Receiver-side bookkeeping attached to each SADB entry. *)
-type recv_state = {
-  sa : Sa.t;
-  mutable lst : int;
-  delivered_seqs : (int, unit) Hashtbl.t;
-}
-
 let run ?(seed = 5) strategy config =
   if config.rekey_margin >= config.lifetime_packets then
     invalid_arg "Rekey.run: margin must be below the lifetime";
@@ -55,8 +48,13 @@ let run ?(seed = 5) strategy config =
   let prng = Prng.create seed in
   let disk = Sim_disk.create ~name:"disk.q" ~latency:config.save_latency engine in
   let sadb = Sadb.create () in
-  let recv_states : (int32, recv_state) Hashtbl.t = Hashtbl.create 4 in
-  let sent = ref 0 and delivered = ref 0 and duplicate = ref 0 in
+  (* One Receiver component per live epoch, each with its own metrics
+     (sequence spaces restart at 1 per SPI) and its own key on the one
+     receiver-host disk. Retired epochs keep their metrics in
+     [all_metrics] so end-of-run totals cover the whole history. *)
+  let recv_states : (int32, Receiver.t) Hashtbl.t = Hashtbl.create 4 in
+  let all_metrics : Metrics.t list ref = ref [] in
+  let sent = ref 0 in
   let rekeys = ref 0 in
   let last_delivery = ref Time.zero in
   let max_gap = ref Time.zero in
@@ -64,41 +62,44 @@ let run ?(seed = 5) strategy config =
   let install_epoch params =
     let sa = Sa.create params in
     Sadb.install sadb sa;
-    Hashtbl.replace recv_states params.Sa.spi
-      { sa; lst = 0; delivered_seqs = Hashtbl.create 256 };
-    Sim_disk.preload disk ~key:(key_of params.Sa.spi) ~value:0
+    let metrics = Metrics.create () in
+    all_metrics := metrics :: !all_metrics;
+    let receiver =
+      Receiver.create
+        ~name:(Printf.sprintf "q.%ld" params.Sa.spi)
+        ~sa ~metrics
+        ~persistence:
+          (Some
+             {
+               Receiver.disk;
+               key = key_of params.Sa.spi;
+               k = config.k;
+               leap = 2 * config.k;
+               robust = false;
+               wakeup_buffer = false;
+             })
+        engine
+    in
+    Receiver.on_deliver receiver (fun ~seq:_ ~payload:_ ->
+        let now = Engine.now engine in
+        let gap = Time.diff now !last_delivery in
+        if Time.(!max_gap < gap) then max_gap := gap;
+        last_delivery := now);
+    Hashtbl.replace recv_states params.Sa.spi receiver
   in
   let retire_epoch spi =
     Sadb.remove sadb ~spi;
     Hashtbl.remove recv_states spi;
     Sim_disk.remove disk ~key:(key_of spi)
   in
-  (* ---- receiver --------------------------------------------------- *)
+  (* ---- receiver: demultiplex by SPI into the epoch's component ---- *)
   let receive wire =
     match Esp.spi_of_packet wire with
     | None -> ()
     | Some spi -> (
       match Hashtbl.find_opt recv_states spi with
       | None -> () (* epoch already retired: the packet is lost *)
-      | Some st -> (
-        match Esp.decap ~sa:st.sa.Sa.params wire with
-        | Error _ -> ()
-        | Ok (seq, _payload) ->
-          if Replay_window.verdict_accepts (Replay_window.admit st.sa.Sa.window seq)
-          then begin
-            incr delivered;
-            if Hashtbl.mem st.delivered_seqs seq then incr duplicate
-            else Hashtbl.replace st.delivered_seqs seq ();
-            let now = Engine.now engine in
-            let gap = Time.diff now !last_delivery in
-            if Time.(!max_gap < gap) then max_gap := gap;
-            last_delivery := now;
-            let r = Replay_window.right_edge st.sa.Sa.window in
-            if r >= config.k + st.lst then begin
-              st.lst <- r;
-              Sim_disk.save disk ~key:(key_of spi) ~value:r ~on_complete:(fun () -> ())
-            end
-          end))
+      | Some receiver -> Receiver.on_packet receiver (Packet.fresh wire))
   in
   (* ---- sender with rollover --------------------------------------- *)
   let next_spi = ref 0x9000l in
@@ -166,11 +167,13 @@ let run ?(seed = 5) strategy config =
   sender_params := Some params0;
   ignore (Engine.schedule_after engine ~after:config.message_gap send_tick);
   ignore (Engine.run ~until:config.horizon engine);
+  let totals = Metrics.create () in
+  List.iter (fun m -> Metrics.absorb ~into:totals m) !all_metrics;
   {
     rekeys_completed = !rekeys;
-    delivered = !delivered;
-    messages_lost = !sent - !delivered;
-    duplicate_deliveries = !duplicate;
+    delivered = totals.Metrics.delivered;
+    messages_lost = !sent - totals.Metrics.delivered;
+    duplicate_deliveries = totals.Metrics.duplicate_deliveries;
     max_delivery_gap = !max_gap;
     persisted_keys_live = Sim_disk.key_count disk;
   }

@@ -8,6 +8,7 @@ type trigger =
 
 type persistence = {
   disk : Sim_disk.t;
+  key : string;
   k : int;
   leap : int;
   trigger : trigger;
@@ -31,14 +32,13 @@ type t = {
   mutable timer : Engine.handle option;
 }
 
-let disk_key = "send_seq"
 
 let default_payload ~seq = Printf.sprintf "message-%d" seq
 
 let create ?(name = "p") ?trace ?(payload = default_payload)
     ?(framing = Packet.Seq64) ~sa ~link ~traffic ~metrics ~persistence engine =
   Option.iter
-    (fun p -> Sim_disk.preload p.disk ~key:disk_key ~value:sa.Sa.send_seq)
+    (fun p -> Sim_disk.preload p.disk ~key:p.key ~value:sa.Sa.send_seq)
     persistence;
   {
     engine;
@@ -79,7 +79,7 @@ let maybe_begin_periodic_save t =
     if s >= p.k + t.lst then begin
       t.lst <- s;
       (* Background SAVE: sending continues while it is in flight. *)
-      Sim_disk.save p.disk ~key:disk_key ~value:s ~on_complete:(fun () -> ())
+      Sim_disk.save p.disk ~key:p.key ~value:s ~on_complete:(fun () -> ())
     end
   | Some { trigger = On_timer _; _ } -> () (* the timer loop saves *)
 
@@ -94,7 +94,7 @@ let start_save_timer t =
         let s = t.sa.Sa.send_seq in
         if s <> t.lst then begin
           t.lst <- s;
-          Sim_disk.save p.disk ~key:disk_key ~value:s ~on_complete:(fun () -> ())
+          Sim_disk.save p.disk ~key:p.key ~value:s ~on_complete:(fun () -> ())
         end
       end;
       ignore (Engine.schedule_after t.engine ~after:interval tick)
@@ -171,7 +171,7 @@ let wakeup t ?(on_ready = fun () -> ()) () =
     resume t ~new_seq:1 ~on_ready
   | Some p ->
     let fetched =
-      match Sim_disk.fetch p.disk ~key:disk_key with
+      match Sim_disk.fetch p.disk ~key:p.key with
       | Some v -> v
       | None -> 1
     in
@@ -179,7 +179,7 @@ let wakeup t ?(on_ready = fun () -> ()) () =
     tell t "fetch" (Printf.sprintf "fetched %d, leaping to %d" fetched new_seq);
     (* The wakeup SAVE blocks: p sends nothing until it is durable, so
        a second reset cannot re-issue these numbers. *)
-    Sim_disk.save p.disk ~key:disk_key ~value:new_seq ~on_complete:(fun () ->
+    Sim_disk.save p.disk ~key:p.key ~value:new_seq ~on_complete:(fun () ->
         resume t ~new_seq ~on_ready)
   end
 
@@ -190,7 +190,7 @@ let next_seq t = t.sa.Sa.send_seq
 let last_stored t =
   match t.persistence with
   | None -> None
-  | Some p -> Sim_disk.fetch p.disk ~key:disk_key
+  | Some p -> Sim_disk.fetch p.disk ~key:p.key
 
 let install_sa t sa = t.sa <- sa
 

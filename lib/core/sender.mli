@@ -28,6 +28,8 @@ type trigger =
 
 type persistence = {
   disk : Resets_persist.Sim_disk.t;
+  key : string;  (** disk key this sender's counter lives under — lets
+                     many senders share one disk (multi-SA hosts) *)
   k : int;
   leap : int;
   trigger : trigger;

@@ -3,7 +3,7 @@ open Resets_sim
 
 type pending = {
   id : int;
-  key : string;
+  keys : string list;
   handle : Engine.handle;
 }
 
@@ -66,32 +66,52 @@ let tell t event detail =
     Trace.record trace ~time:(Engine.now t.engine) ~source:t.name ~event detail
 
 let drop_pending t key =
-  let dropped, kept = List.partition (fun p -> String.equal p.key key) t.pending in
+  let dropped, kept =
+    List.partition (fun p -> List.exists (String.equal key) p.keys) t.pending
+  in
   List.iter (fun p -> Engine.cancel p.handle) dropped;
   t.pending <- kept;
   List.length dropped
 
-let save t ~key ~value ~on_complete =
-  (* A newer save for the same key supersedes an in-flight one: only the
-     most recent write can become durable. *)
-  let superseded = drop_pending t key in
+(* Begin one write covering [entries]. All keys become durable together
+   when the single completion event fires; a crash before then loses the
+   whole write. Shared by [save] (one entry) and [save_snapshot]. *)
+let begin_write t ~entries ~label ~on_complete =
+  let superseded =
+    List.fold_left (fun acc (key, _) -> acc + drop_pending t key) 0 entries
+  in
   if superseded > 0 then
-    tell t "save.supersede" (Printf.sprintf "%s (%d dropped)" key superseded);
+    tell t "save.supersede" (Printf.sprintf "%s (%d dropped)" label superseded);
   let latency = latency_of_next_save t in
   t.next_latency <- None;
   t.begun <- t.begun + 1;
   let id = t.next_id in
   t.next_id <- t.next_id + 1;
-  tell t "save.begin" (Printf.sprintf "%s := %d" key value);
+  tell t "save.begin" label;
   let handle =
     Engine.schedule_after t.engine ~after:latency (fun () ->
         t.pending <- List.filter (fun p -> p.id <> id) t.pending;
-        Hashtbl.replace t.durable key value;
+        List.iter (fun (key, value) -> Hashtbl.replace t.durable key value) entries;
         t.completed <- t.completed + 1;
-        tell t "save.done" (Printf.sprintf "%s := %d" key value);
+        tell t "save.done" label;
         on_complete ())
   in
-  t.pending <- { id; key; handle } :: t.pending
+  t.pending <- { id; keys = List.map fst entries; handle } :: t.pending
+
+let save t ~key ~value ~on_complete =
+  (* A newer save for the same key supersedes an in-flight one: only the
+     most recent write can become durable. *)
+  begin_write t ~entries:[ (key, value) ]
+    ~label:(Printf.sprintf "%s := %d" key value)
+    ~on_complete
+
+let save_snapshot t ~entries ~on_complete =
+  if Array.length entries = 0 then
+    invalid_arg "Sim_disk.save_snapshot: empty snapshot";
+  begin_write t
+    ~entries:(Array.to_list entries)
+    ~label:(Printf.sprintf "snapshot[%d keys]" (Array.length entries))
+    ~on_complete
 
 let preload t ~key ~value = Hashtbl.replace t.durable key value
 

@@ -32,6 +32,19 @@ val create_jittered :
 
 include Store.S with type t := t
 
+val save_snapshot :
+  t -> entries:(string * int) array -> on_complete:(unit -> unit) -> unit
+(** [save_snapshot t ~entries ~on_complete] begins ONE write covering
+    every [(key, value)] pair: all keys become durable together after
+    the disk latency, a crash before completion loses the whole
+    snapshot, and the write counts once in [saves_begun]/[saves_completed].
+    A snapshot supersedes any in-flight write touching one of its keys
+    (and is itself superseded, as a whole, by a later write to any of
+    them) — the same "only the most recent write can become durable"
+    rule as [save]. This is the coalesced multi-SA persistence
+    discipline of Section 6: many SAs amortise one disk write.
+    @raise Invalid_argument when [entries] is empty. *)
+
 val preload : t -> key:string -> value:int -> unit
 (** Make a value durable immediately, bypassing latency and counters —
     models state written at SA establishment, before the simulation

@@ -5,16 +5,19 @@ type event = {
   seq : int;
   callback : unit -> unit;
   mutable cancelled : bool;
+  owner : t;
 }
 
-type handle = event
-
-type t = {
+and t = {
   mutable clock : Time.t;
   mutable next_seq : int;
   mutable stop_requested : bool;
+  mutable live : int;
+  mutable fired : int;
   queue : event Heap.t;
 }
+
+type handle = event
 
 let compare_event a b =
   match Time.compare a.time b.time with
@@ -26,6 +29,8 @@ let create () =
     clock = Time.zero;
     next_seq = 0;
     stop_requested = false;
+    live = 0;
+    fired = 0;
     queue = Heap.create ~cmp:compare_event;
   }
 
@@ -33,38 +38,52 @@ let now t = t.clock
 
 let schedule_at t ~at callback =
   if Time.(at < t.clock) then invalid_arg "Engine.schedule_at: time in the past";
-  let event = { time = at; seq = t.next_seq; callback; cancelled = false } in
+  let event =
+    { time = at; seq = t.next_seq; callback; cancelled = false; owner = t }
+  in
   t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
   Heap.add t.queue event;
   event
 
 let schedule_after t ~after callback =
   schedule_at t ~at:(Time.add t.clock after) callback
 
-let cancel event = event.cancelled <- true
+(* Drop cancelled entries sitting at the heap top so they release their
+   memory immediately instead of lingering until the clock reaches them. *)
+let rec drop_cancelled_top t =
+  match Heap.peek t.queue with
+  | Some e when e.cancelled ->
+    ignore (Heap.pop t.queue);
+    drop_cancelled_top t
+  | Some _ | None -> ()
+
+let cancel event =
+  if not event.cancelled then begin
+    event.cancelled <- true;
+    let t = event.owner in
+    t.live <- t.live - 1;
+    drop_cancelled_top t
+  end
 
 let is_pending event = not event.cancelled
 
-let pending_count t =
-  let n = ref 0 in
-  Heap.iter_unordered (fun e -> if not e.cancelled then incr n) t.queue;
-  !n
+let pending_count t = t.live
+let fired_count t = t.fired
 
 type stop_reason = Quiescent | Time_limit | Event_limit | Stopped
 
 (* Pop the next live event without firing it. *)
-let rec next_live t =
-  match Heap.peek t.queue with
-  | None -> None
-  | Some e when e.cancelled ->
-    ignore (Heap.pop t.queue);
-    next_live t
-  | Some e -> Some e
+let next_live t =
+  drop_cancelled_top t;
+  Heap.peek t.queue
 
 let fire t e =
   ignore (Heap.pop t.queue);
   t.clock <- e.time;
   e.cancelled <- true;
+  t.live <- t.live - 1;
+  t.fired <- t.fired + 1;
   e.callback ()
 
 let step t =

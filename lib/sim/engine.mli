@@ -24,7 +24,14 @@ val cancel : handle -> unit
 val is_pending : handle -> bool
 
 val pending_count : t -> int
-(** Number of not-yet-fired, not-cancelled events. *)
+(** Number of not-yet-fired, not-cancelled events. O(1): the engine
+    keeps a live counter and eagerly drops cancelled entries when they
+    reach the heap top, so long runs that cancel many timers do not
+    accumulate dead heap entries. *)
+
+val fired_count : t -> int
+(** Total events fired since [create] — the denominator for
+    events-per-second throughput measurements. *)
 
 type stop_reason =
   | Quiescent  (** no events left *)

@@ -20,14 +20,20 @@ fi
 echo "== dune runtest =="
 dune runtest
 
-echo "== bench smoke (E1 E6, JSON artifacts) =="
+echo "== bench smoke (E1 E6 E14, JSON artifacts) =="
 out=$(mktemp -d)
 trap 'rm -rf "$out"' EXIT
-dune exec bench/main.exe -- E1 E6 --json="$out"
+# E1 exercises the single-SA harness path, E6 the SAVE-interval rule,
+# E14 the unified Endpoint/Host datapath at 1024 SAs.
+dune exec bench/main.exe -- E1 E6 E14 --json="$out"
 
-for f in BENCH_E1.json BENCH_E6.json; do
+for f in BENCH_E1.json BENCH_E6.json BENCH_E14.json; do
   test -s "$out/$f" || { echo "missing artifact $f" >&2; exit 1; }
   grep -q '"pass": true' "$out/$f" || { echo "$f reports pass=false" >&2; exit 1; }
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$out/$f" >/dev/null \
+      || { echo "$f is not valid JSON" >&2; exit 1; }
+  fi
 done
 
 echo "OK"

@@ -34,12 +34,28 @@ let make_fixture ?(kp = 5) ?(kq = 5) ?(w = 64) ?(gap = us 10) ?(save_latency = u
   let disk_q = Sim_disk.create ~name:"dq" ~latency:save_latency engine in
   let persistence_p =
     if volatile then None
-    else Some { Sender.disk = disk_p; k = kp; leap = 2 * kp; trigger = Sender.On_count }
+    else
+      Some
+        {
+          Sender.disk = disk_p;
+          key = "send_seq";
+          k = kp;
+          leap = 2 * kp;
+          trigger = Sender.On_count;
+        }
   in
   let persistence_q =
     if volatile then None
     else
-      Some { Receiver.disk = disk_q; k = kq; leap = 2 * kq; robust; wakeup_buffer }
+      Some
+        {
+          Receiver.disk = disk_q;
+          key = "recv_edge";
+          k = kq;
+          leap = 2 * kq;
+          robust;
+          wakeup_buffer;
+        }
   in
   let sender =
     Sender.create ~sa:sa_p ~link

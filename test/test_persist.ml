@@ -99,6 +99,73 @@ let test_crash_with_nothing_pending () =
   check_int "nothing lost" 0 (Sim_disk.saves_lost d)
 
 (* ------------------------------------------------------------------ *)
+(* Sim_disk.save_snapshot: one write covering many keys (the coalesced
+   recovery discipline rides on these semantics) *)
+
+let test_snapshot_atomic_durability () =
+  let e = Engine.create () in
+  let d = Sim_disk.create ~latency:(us 100) e in
+  let finished = ref false in
+  Sim_disk.save_snapshot d
+    ~entries:[| ("a", 1); ("b", 2); ("c", 3) |]
+    ~on_complete:(fun () -> finished := true);
+  check_int "one write begun" 1 (Sim_disk.saves_begun d);
+  check_int "one in flight" 1 (Sim_disk.in_flight d);
+  check_opt_int "nothing durable yet" None (Sim_disk.fetch d ~key:"a");
+  ignore (Engine.run e);
+  check_bool "completed" true !finished;
+  check_int "one write completed" 1 (Sim_disk.saves_completed d);
+  List.iter
+    (fun (key, v) -> check_opt_int key (Some v) (Sim_disk.fetch d ~key))
+    [ ("a", 1); ("b", 2); ("c", 3) ]
+
+let test_snapshot_crash_loses_all_keys () =
+  let e = Engine.create () in
+  let d = Sim_disk.create ~latency:(us 100) e in
+  Sim_disk.preload d ~key:"b" ~value:7;
+  Sim_disk.save_snapshot d
+    ~entries:[| ("a", 1); ("b", 2) |]
+    ~on_complete:(fun () -> Alcotest.fail "lost snapshot must not complete");
+  ignore (Engine.schedule_after e ~after:(us 50) (fun () -> Sim_disk.crash d));
+  ignore (Engine.run e);
+  check_opt_int "a never written" None (Sim_disk.fetch d ~key:"a");
+  check_opt_int "b keeps previous value" (Some 7) (Sim_disk.fetch d ~key:"b");
+  check_int "one write lost" 1 (Sim_disk.saves_lost d)
+
+let test_snapshot_supersedes_and_is_superseded () =
+  let e = Engine.create () in
+  let d = Sim_disk.create ~latency:(us 100) e in
+  (* a pending single-key save covered by the snapshot is dropped ... *)
+  Sim_disk.save d ~key:"b" ~value:1 ~on_complete:(fun () ->
+      Alcotest.fail "superseded save must not complete");
+  ignore
+    (Engine.schedule_after e ~after:(us 10) (fun () ->
+         Sim_disk.save_snapshot d
+           ~entries:[| ("a", 10); ("b", 20) |]
+           ~on_complete:ignore));
+  ignore (Engine.run e);
+  check_opt_int "snapshot value wins" (Some 20) (Sim_disk.fetch d ~key:"b");
+  (* ... and a later save touching any snapshot key drops the whole
+     pending snapshot: the write is a unit. *)
+  Sim_disk.save_snapshot d
+    ~entries:[| ("a", 100); ("b", 200) |]
+    ~on_complete:(fun () -> Alcotest.fail "superseded snapshot must not complete");
+  ignore
+    (Engine.schedule_after e ~after:(us 10) (fun () ->
+         Sim_disk.save d ~key:"a" ~value:111 ~on_complete:ignore));
+  ignore (Engine.run e);
+  check_opt_int "late save wins" (Some 111) (Sim_disk.fetch d ~key:"a");
+  check_opt_int "stale snapshot entry discarded" (Some 20)
+    (Sim_disk.fetch d ~key:"b")
+
+let test_snapshot_empty_rejected () =
+  let e = Engine.create () in
+  let d = Sim_disk.create ~latency:(us 10) e in
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Sim_disk.save_snapshot: empty snapshot") (fun () ->
+      Sim_disk.save_snapshot d ~entries:[||] ~on_complete:ignore)
+
+(* ------------------------------------------------------------------ *)
 (* File_store *)
 
 let temp_dir name =
@@ -264,6 +331,16 @@ let () =
           Alcotest.test_case "preload" `Quick test_preload;
           Alcotest.test_case "jitter bounds" `Quick test_jittered_latency_bounds;
           Alcotest.test_case "crash idle" `Quick test_crash_with_nothing_pending;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "atomic durability" `Quick
+            test_snapshot_atomic_durability;
+          Alcotest.test_case "crash loses all keys" `Quick
+            test_snapshot_crash_loses_all_keys;
+          Alcotest.test_case "supersede both ways" `Quick
+            test_snapshot_supersedes_and_is_superseded;
+          Alcotest.test_case "empty rejected" `Quick test_snapshot_empty_rejected;
         ] );
       ( "file_store",
         [

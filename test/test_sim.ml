@@ -139,6 +139,45 @@ let test_engine_cascading () =
   check_int "chain completed" 1000 !count;
   Alcotest.(check int64) "clock" 1_000_000L (Time.to_ns (Engine.now e))
 
+let test_engine_pending_count_is_live () =
+  let e = Engine.create () in
+  let h = Engine.schedule_at e ~at:(us 1) (fun () -> ()) in
+  ignore (Engine.schedule_at e ~at:(us 2) (fun () -> ()));
+  ignore (Engine.schedule_at e ~at:(us 3) (fun () -> ()));
+  check_int "three pending" 3 (Engine.pending_count e);
+  Engine.cancel h;
+  check_int "cancel decrements" 2 (Engine.pending_count e);
+  Engine.cancel h;
+  check_int "double cancel counted once" 2 (Engine.pending_count e);
+  ignore (Engine.run e);
+  check_int "drained" 0 (Engine.pending_count e)
+
+let test_engine_cancelled_storm_is_dropped () =
+  (* Mass cancellation (a crash wiping queued deliveries) must leave no
+     dead weight: with every event cancelled the engine is quiescent
+     immediately, nothing fires, and the clock does not move. *)
+  let e = Engine.create () in
+  let handles =
+    Array.init 1000 (fun i ->
+        Engine.schedule_at e ~at:(us (i + 1)) (fun () ->
+            Alcotest.fail "cancelled event fired"))
+  in
+  Array.iter Engine.cancel handles;
+  check_int "no live events" 0 (Engine.pending_count e);
+  check_bool "step finds nothing" false (Engine.step e);
+  check_bool "quiescent" true (Engine.run e = Engine.Quiescent);
+  Alcotest.(check int64) "clock untouched" 0L (Time.to_ns (Engine.now e))
+
+let test_engine_fired_count () =
+  let e = Engine.create () in
+  let h = Engine.schedule_at e ~at:(us 1) (fun () -> ()) in
+  ignore (Engine.schedule_at e ~at:(us 2) (fun () -> ()));
+  ignore (Engine.schedule_at e ~at:(us 3) (fun () -> ()));
+  check_int "nothing fired yet" 0 (Engine.fired_count e);
+  Engine.cancel h;
+  ignore (Engine.run e);
+  check_int "cancelled events do not count" 2 (Engine.fired_count e)
+
 (* ------------------------------------------------------------------ *)
 (* Trace *)
 
@@ -327,6 +366,11 @@ let () =
           Alcotest.test_case "stop" `Quick test_engine_stop;
           Alcotest.test_case "step" `Quick test_engine_step;
           Alcotest.test_case "cascading" `Quick test_engine_cascading;
+          Alcotest.test_case "live pending count" `Quick
+            test_engine_pending_count_is_live;
+          Alcotest.test_case "cancelled storm" `Quick
+            test_engine_cancelled_storm_is_dropped;
+          Alcotest.test_case "fired count" `Quick test_engine_fired_count;
         ] );
       ( "trace",
         [
