@@ -1164,29 +1164,29 @@ let micro report =
       incr counter;
       ignore (Replay_window.admit w !counter)
   in
+  (* One (name, thunk) list drives both measurements: bechamel's OLS
+     ns/run and a Gc.minor_words delta for allocation per run. *)
+  let ops =
+    [
+      ("window-admit-paper", make_window Replay_window.Paper_impl);
+      ("window-admit-bitmap", make_window Replay_window.Bitmap_impl);
+      ("window-admit-block", make_window Replay_window.Block_impl);
+      ("esp-encap-256B", fun () -> ignore (Esp.encap ~sa ~seq:7 ~payload));
+      ("esp-decap-256B", fun () -> ignore (Esp.decap ~sa packet));
+      ( "hmac-sha256-256B",
+        fun () -> ignore (Resets_crypto.Hmac.mac ~key:"k" payload) );
+      ( "sha256-1KiB",
+        let block = String.make 1024 'y' in
+        fun () -> ignore (Resets_crypto.Sha256.digest block) );
+      ( "chacha20-256B",
+        let nonce = String.make 12 '\x01' in
+        let key = String.make 32 '\x02' in
+        fun () -> ignore (Resets_crypto.Chacha20.crypt ~key ~nonce payload) );
+    ]
+  in
   let tests =
     Test.make_grouped ~name:"micro"
-      [
-        Test.make ~name:"window-admit-paper"
-          (Staged.stage (make_window Replay_window.Paper_impl));
-        Test.make ~name:"window-admit-bitmap"
-          (Staged.stage (make_window Replay_window.Bitmap_impl));
-        Test.make ~name:"window-admit-block"
-          (Staged.stage (make_window Replay_window.Block_impl));
-        Test.make ~name:"esp-encap-256B"
-          (Staged.stage (fun () -> ignore (Esp.encap ~sa ~seq:7 ~payload)));
-        Test.make ~name:"esp-decap-256B"
-          (Staged.stage (fun () -> ignore (Esp.decap ~sa packet)));
-        Test.make ~name:"hmac-sha256-256B"
-          (Staged.stage (fun () -> ignore (Resets_crypto.Hmac.mac ~key:"k" payload)));
-        Test.make ~name:"sha256-1KiB"
-          (let block = String.make 1024 'y' in
-           Staged.stage (fun () -> ignore (Resets_crypto.Sha256.digest block)));
-        Test.make ~name:"chacha20-256B"
-          (let nonce = String.make 12 '\x01' in
-           let key = String.make 32 '\x02' in
-           Staged.stage (fun () -> ignore (Resets_crypto.Chacha20.crypt ~key ~nonce payload)));
-      ]
+      (List.map (fun (name, fn) -> Test.make ~name (Staged.stage fn)) ops)
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Bechamel.Time.second 0.25) () in
   let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
@@ -1195,16 +1195,36 @@ let micro report =
       (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |])
       Toolkit.Instance.monotonic_clock raw
   in
+  (* Minor-heap words allocated per run, averaged over a fixed batch
+     after a warmup (so scratch buffers reach steady state). Keyed by
+     the same "micro/<op>" names bechamel reports under. *)
+  let allocs = Hashtbl.create 8 in
+  List.iter
+    (fun (name, fn) ->
+      for _ = 1 to 100 do
+        fn ()
+      done;
+      let iters = 1000 in
+      let before = Gc.minor_words () in
+      for _ = 1 to iters do
+        fn ()
+      done;
+      let words = (Gc.minor_words () -. before) /. float_of_int iters in
+      Hashtbl.replace allocs ("micro/" ^ name) words)
+    ops;
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
-  Format.printf "%-28s %14s@." "operation" "ns/run";
+  Format.printf "%-28s %14s %18s@." "operation" "ns/run" "minor words/run";
   hr ();
   List.iter
     (fun (name, ols) ->
       let ns = match Analyze.OLS.estimates ols with Some (x :: _) -> Some x | _ -> None in
+      let words = Hashtbl.find_opt allocs name in
       Report.row report ~table:"hot_paths"
         [
           ("operation", Json.String name);
           ("ns_per_run", match ns with Some x -> Json.Float x | None -> Json.Null);
+          ( "minor_words_per_packet",
+            match words with Some w -> Json.Float w | None -> Json.Null );
         ];
       (match ns with
       | Some x ->
@@ -1214,7 +1234,10 @@ let micro report =
       let estimate =
         match ns with Some x -> Format.asprintf "%10.1f" x | None -> "?"
       in
-      Format.printf "%-28s %14s@." name estimate)
+      let alloc =
+        match words with Some w -> Format.asprintf "%14.1f" w | None -> "?"
+      in
+      Format.printf "%-28s %14s %18s@." name estimate alloc)
     (List.sort compare rows)
 
 let () =

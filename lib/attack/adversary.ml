@@ -31,17 +31,21 @@ let inject t packet =
   t.injected <- t.injected + 1;
   Link.inject t.link (t.mark packet)
 
+(* Walks the capture ring directly — no O(n) list materialized per
+   burst. Safe while injecting: [Link.inject] does not fire the
+   on-transit tap, so the ring cannot grow mid-iteration. *)
 let replay_all_in_order ?(gap = Time.zero) t =
-  let packets = Recorder.captured t.recorder in
-  List.iteri
-    (fun i packet ->
+  let i = ref 0 in
+  Recorder.iter
+    (fun packet ->
       if Time.equal gap Time.zero then inject t packet
       else
         ignore
-          (Engine.schedule_after t.engine ~after:(Time.mul gap i) (fun () ->
-               inject t packet)))
-    packets;
-  List.length packets
+          (Engine.schedule_after t.engine ~after:(Time.mul gap !i) (fun () ->
+               inject t packet));
+      incr i)
+    t.recorder;
+  !i
 
 let replay_latest t =
   match Recorder.latest t.recorder with

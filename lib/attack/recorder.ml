@@ -17,12 +17,14 @@ let retained t = Ring.length t.ring
 
 let captured t = Ring.to_list t.ring
 
-let nth t i =
-  if i < 0 || i >= Ring.length t.ring then None else List.nth_opt (captured t) i
+let iter f t = Ring.iter f t.ring
+
+let fold f acc t = Ring.fold f acc t.ring
+
+let nth t i = Ring.nth t.ring i
 
 let latest t = Ring.peek_newest t.ring
 
-let find_last t p =
-  List.fold_left (fun acc x -> if p x then Some x else acc) None (captured t)
+let find_last t p = fold (fun acc x -> if p x then Some x else acc) None t
 
 let clear t = Ring.clear t.ring

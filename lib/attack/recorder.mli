@@ -19,10 +19,17 @@ val count : 'a t -> int
 val retained : 'a t -> int
 
 val captured : 'a t -> 'a list
-(** Oldest first. *)
+(** Oldest first. Materializes a list — prefer {!iter}/{!fold} on the
+    hot path; a full-capacity tap holds 2^20 packets. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first, no list materialized. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Oldest first, no list materialized. *)
 
 val nth : 'a t -> int -> 'a option
-(** [nth t i] is the [i]-th retained capture, oldest = 0. *)
+(** [nth t i] is the [i]-th retained capture, oldest = 0. O(1). *)
 
 val latest : 'a t -> 'a option
 

@@ -12,6 +12,7 @@ type config = {
   dpd : Dpd.config;
   keep_alive : Time.t;
   window : int;
+  framing : Packet.framing;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     dpd = Dpd.default_config;
     keep_alive = Time.of_ms 50;
     window = 64;
+    framing = Packet.Seq64;
   }
 
 type outcome = {
@@ -45,7 +47,8 @@ let run ?(seed = 7) ?(replay_announce = false) ~reset_at ~downtime ~horizon conf
   let disk_b = Sim_disk.create ~name:"disk.b" ~latency:config.save_latency engine in
   let endpoint =
     Endpoint.create ~sender_name:"a" ~receiver_name:"b" ~link_name:"a->b"
-      ~window:config.window ~link_prng:(Prng.split prng) ~spi:0x6001l
+      ~framing:config.framing ~window:config.window
+      ~link_prng:(Prng.split prng) ~spi:0x6001l
       ~secret:"bidirectional-secret" ~link_latency:config.link_latency
       ~traffic:(Traffic.constant ~gap:config.message_gap)
       ~metrics
@@ -137,10 +140,21 @@ let run ?(seed = 7) ?(replay_announce = false) ~reset_at ~downtime ~horizon conf
                       match !announce_seq with
                       | None -> ()
                       | Some a ->
+                        (* The peek must respect the wire framing: an
+                           Esn32 packet carries only the low 32 bits,
+                           at a different offset than Seq64's be64. *)
+                        let peek_seq wire =
+                          match config.framing with
+                          | Packet.Seq64 -> Esp.seq_of_packet wire
+                          | Packet.Esn32 ->
+                            Esp.seq_of_packet_esn
+                              ~edge:(Receiver.right_edge receiver_b)
+                              ~w:config.window wire
+                        in
                         ignore
                           (Resets_attack.Adversary.replay_matching adversary
                              (fun pkt ->
-                               match Esp.seq_of_packet pkt.Packet.wire with
+                               match peek_seq pkt.Packet.wire with
                                | Some s -> s = a
                                | None -> false))))
              end)

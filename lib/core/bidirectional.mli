@@ -27,6 +27,9 @@ type config = {
       (** how long the survivor retains the SAs after detecting
           death *)
   window : int;
+  framing : Packet.framing;
+      (** wire framing for the A→B SA (default [Seq64]); the
+          adversary's announcement peek parses accordingly *)
 }
 
 val default_config : config

@@ -27,7 +27,7 @@ type t = {
   mutable wakeup_buffer_q : Packet.t list; (* newest first *)
   mutable catchup_buffer : Packet.t list; (* newest first *)
   mutable catchup_saving : bool;
-  mutable deliver_hooks : (seq:int -> payload:string -> unit) list;
+  mutable deliver_hooks : (seq:int -> payload:Resets_util.Slice.t -> unit) list;
 }
 
 
@@ -85,9 +85,9 @@ let deliver t ~seq ~payload ~replayed =
 let rec process t (pkt : Packet.t) =
   let decapped =
     match t.framing with
-    | Packet.Seq64 -> Esp.decap ~sa:t.sa.Sa.params pkt.Packet.wire
+    | Packet.Seq64 -> Esp.decap_slice ~sa:t.sa.Sa.params pkt.Packet.wire
     | Packet.Esn32 ->
-      Esp.decap_esn ~sa:t.sa.Sa.params
+      Esp.decap_esn_slice ~sa:t.sa.Sa.params
         ~edge:(Replay_window.right_edge t.sa.Sa.window)
         ~w:(Replay_window.w t.sa.Sa.window)
         pkt.Packet.wire

@@ -49,8 +49,11 @@ val create :
 val on_packet : t -> Packet.t -> unit
 (** Wire this to the link's deliver hook. *)
 
-val on_deliver : t -> (seq:int -> payload:string -> unit) -> unit
-(** Register an application-level consumer of delivered payloads. *)
+val on_deliver : t -> (seq:int -> payload:Resets_util.Slice.t -> unit) -> unit
+(** Register an application-level consumer of delivered payloads. The
+    slice views the SA's decap scratch buffer: it is valid only for
+    the duration of the hook — consumers that keep the bytes must
+    [Slice.to_string] their own copy. *)
 
 val reset : t -> unit
 val wakeup : t -> ?on_ready:(unit -> unit) -> unit -> unit

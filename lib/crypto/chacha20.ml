@@ -1,81 +1,120 @@
+(* ChaCha20 (RFC 8439). State words are native [int]s masked to 32
+   bits — unboxed on 64-bit OCaml, unlike [Int32] — so the per-block
+   core allocates nothing. *)
+
 let key_size = 32
 let nonce_size = 12
 
-let rotl x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
-
-let ( +% ) = Int32.add
-let ( ^% ) = Int32.logxor
-
-let quarter_round st a b c d =
-  st.(a) <- st.(a) +% st.(b);
-  st.(d) <- rotl (st.(d) ^% st.(a)) 16;
-  st.(c) <- st.(c) +% st.(d);
-  st.(b) <- rotl (st.(b) ^% st.(c)) 12;
-  st.(a) <- st.(a) +% st.(b);
-  st.(d) <- rotl (st.(d) ^% st.(a)) 8;
-  st.(c) <- st.(c) +% st.(d);
-  st.(b) <- rotl (st.(b) ^% st.(c)) 7
+let mask = 0xffffffff
 
 let get_le32 s off =
-  let byte i = Int32.of_int (Char.code s.[off + i]) in
-  Int32.logor (byte 0)
-    (Int32.logor
-       (Int32.shift_left (byte 1) 8)
-       (Int32.logor (Int32.shift_left (byte 2) 16) (Int32.shift_left (byte 3) 24)))
+  Char.code (Bytes.unsafe_get s off)
+  lor (Char.code (Bytes.unsafe_get s (off + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get s (off + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get s (off + 3)) lsl 24)
 
 let set_le32 b off v =
-  Bytes.set b off (Char.chr (Int32.to_int v land 0xff));
-  Bytes.set b (off + 1) (Char.chr (Int32.to_int (Int32.shift_right_logical v 8) land 0xff));
-  Bytes.set b (off + 2) (Char.chr (Int32.to_int (Int32.shift_right_logical v 16) land 0xff));
-  Bytes.set b (off + 3) (Char.chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xff))
+  Bytes.unsafe_set b off (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set b (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set b (off + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set b (off + 3) (Char.unsafe_chr ((v lsr 24) land 0xff))
 
-let init_state ~key ~nonce ~counter =
-  let st = Array.make 16 0l in
+(* Per-key state: the 8 key words are parsed once; [init]/[work] and
+   the keystream staging buffer are reused across blocks and calls. *)
+type state = {
+  key_words : int array; (* 8 *)
+  init : int array; (* 16, rebuilt per block *)
+  work : int array; (* 16, round scratch *)
+  ks : Bytes.t; (* 64-byte keystream block *)
+}
+
+let state ~key =
+  if String.length key <> key_size then invalid_arg "Chacha20: key must be 32 bytes";
+  let kb = Bytes.unsafe_of_string key in
+  let key_words = Array.init 8 (fun i -> get_le32 kb (4 * i)) in
+  { key_words; init = Array.make 16 0; work = Array.make 16 0; ks = Bytes.create 64 }
+
+let[@inline] rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+
+let[@inline] quarter_round st a b c d =
+  let sa = Array.unsafe_get st a and sb = Array.unsafe_get st b in
+  let sc = Array.unsafe_get st c and sd = Array.unsafe_get st d in
+  let sa = (sa + sb) land mask in
+  let sd = rotl (sd lxor sa) 16 in
+  let sc = (sc + sd) land mask in
+  let sb = rotl (sb lxor sc) 12 in
+  let sa = (sa + sb) land mask in
+  let sd = rotl (sd lxor sa) 8 in
+  let sc = (sc + sd) land mask in
+  let sb = rotl (sb lxor sc) 7 in
+  Array.unsafe_set st a sa;
+  Array.unsafe_set st b sb;
+  Array.unsafe_set st c sc;
+  Array.unsafe_set st d sd
+
+(* Fill [t.ks] with the keystream block for (nonce, counter). The
+   nonce words live in [t.init].(13..15); the caller has set them. *)
+let fill_block t counter =
+  let init = t.init and work = t.work in
   (* "expand 32-byte k" *)
-  st.(0) <- 0x61707865l;
-  st.(1) <- 0x3320646el;
-  st.(2) <- 0x79622d32l;
-  st.(3) <- 0x6b206574l;
-  for i = 0 to 7 do
-    st.(4 + i) <- get_le32 key (4 * i)
+  init.(0) <- 0x61707865;
+  init.(1) <- 0x3320646e;
+  init.(2) <- 0x79622d32;
+  init.(3) <- 0x6b206574;
+  Array.blit t.key_words 0 init 4 8;
+  init.(12) <- counter land mask;
+  Array.blit init 0 work 0 16;
+  for _round = 1 to 10 do
+    quarter_round work 0 4 8 12;
+    quarter_round work 1 5 9 13;
+    quarter_round work 2 6 10 14;
+    quarter_round work 3 7 11 15;
+    quarter_round work 0 5 10 15;
+    quarter_round work 1 6 11 12;
+    quarter_round work 2 7 8 13;
+    quarter_round work 3 4 9 14
   done;
-  st.(12) <- counter;
-  for i = 0 to 2 do
-    st.(13 + i) <- get_le32 nonce (4 * i)
-  done;
-  st
+  for i = 0 to 15 do
+    set_le32 t.ks (4 * i)
+      ((Array.unsafe_get work i + Array.unsafe_get init i) land mask)
+  done
+
+let set_nonce t nonce ~off =
+  t.init.(13) <- get_le32 nonce off;
+  t.init.(14) <- get_le32 nonce (off + 4);
+  t.init.(15) <- get_le32 nonce (off + 8)
+
+let crypt_into t ~nonce ?(counter = 1l) buf ~off ~len =
+  if Bytes.length nonce <> nonce_size then
+    invalid_arg "Chacha20: nonce must be 12 bytes";
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Chacha20.crypt_into: out of bounds";
+  set_nonce t nonce ~off:0;
+  let c0 = Int32.to_int counter land mask in
+  let blocks = (len + 63) / 64 in
+  for b = 0 to blocks - 1 do
+    fill_block t ((c0 + b) land mask);
+    let boff = off + (64 * b) in
+    let blen = min 64 (len - (64 * b)) in
+    for i = 0 to blen - 1 do
+      Bytes.unsafe_set buf (boff + i)
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get buf (boff + i))
+            lxor Char.code (Bytes.unsafe_get t.ks i)))
+    done
+  done
 
 let block ~key ~nonce ~counter =
-  if String.length key <> key_size then invalid_arg "Chacha20: key must be 32 bytes";
-  if String.length nonce <> nonce_size then invalid_arg "Chacha20: nonce must be 12 bytes";
-  let initial = init_state ~key ~nonce ~counter in
-  let st = Array.copy initial in
-  for _round = 1 to 10 do
-    quarter_round st 0 4 8 12;
-    quarter_round st 1 5 9 13;
-    quarter_round st 2 6 10 14;
-    quarter_round st 3 7 11 15;
-    quarter_round st 0 5 10 15;
-    quarter_round st 1 6 11 12;
-    quarter_round st 2 7 8 13;
-    quarter_round st 3 4 9 14
-  done;
-  let out = Bytes.create 64 in
-  for i = 0 to 15 do
-    set_le32 out (4 * i) (st.(i) +% initial.(i))
-  done;
-  Bytes.unsafe_to_string out
+  if String.length nonce <> nonce_size then
+    invalid_arg "Chacha20: nonce must be 12 bytes";
+  let t = state ~key in
+  set_nonce t (Bytes.unsafe_of_string nonce) ~off:0;
+  fill_block t (Int32.to_int counter land mask);
+  Bytes.to_string t.ks
 
 let crypt ~key ~nonce ?(counter = 1l) input =
-  let n = String.length input in
-  let out = Bytes.create n in
-  let blocks = (n + 63) / 64 in
-  for b = 0 to blocks - 1 do
-    let ks = block ~key ~nonce ~counter:(Int32.add counter (Int32.of_int b)) in
-    let off = 64 * b in
-    let len = min 64 (n - off) in
-    for i = 0 to len - 1 do
-      Bytes.set out (off + i) (Char.chr (Char.code input.[off + i] lxor Char.code ks.[i]))
-    done
-  done;
+  let t = state ~key in
+  let out = Bytes.of_string input in
+  crypt_into t ~nonce:(Bytes.of_string nonce) ~counter out ~off:0
+    ~len:(Bytes.length out);
   Bytes.unsafe_to_string out

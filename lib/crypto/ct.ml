@@ -7,3 +7,15 @@ let equal a b =
        done;
        !acc = 0
      end
+
+let equal_sub s ~off b ~len =
+  off >= 0 && len >= 0
+  && off + len <= String.length s
+  && len <= Bytes.length b
+  && begin
+       let acc = ref 0 in
+       for i = 0 to len - 1 do
+         acc := !acc lor (Char.code s.[off + i] lxor Char.code (Bytes.get b i))
+       done;
+       !acc = 0
+     end

@@ -3,3 +3,9 @@
 val equal : string -> string -> bool
 (** [equal a b] compares without early exit. Strings of different
     lengths compare unequal (length is not secret). *)
+
+val equal_sub : string -> off:int -> Bytes.t -> len:int -> bool
+(** [equal_sub s ~off b ~len] compares [s.[off .. off+len-1]] with
+    [b.[0 .. len-1]] without early exit — e.g. a packet's embedded ICV
+    against a freshly computed tag, with no extraction copy. Returns
+    [false] when either range is out of bounds. *)

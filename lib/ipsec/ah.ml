@@ -1,33 +1,53 @@
+open Resets_util
 
 type error = Esp.error
 
 let header_length = 12
 
-let icv ~(sa : Sa.params) covered =
-  Resets_crypto.Hmac.mac_truncated ~key:sa.keys.auth_key
-    ~bytes:(Sa.icv_length sa.algo.integ)
-    covered
+(* Wire: [spi(4) | seq(8) | icv | payload]; the ICV covers SPI, seq
+   and payload — bytes that are non-contiguous on the wire, which the
+   streaming HMAC walks without concatenating. *)
 
-let encap ~sa ~seq ~payload =
+let encap ~(sa : Sa.params) ~seq ~payload =
   if seq < 0 then invalid_arg "Ah.encap: negative sequence number";
-  let header = Buffer.create header_length in
-  Wire.put_be32 header sa.Sa.spi;
-  Wire.put_be64 header (Int64.of_int seq);
-  let header = Buffer.contents header in
-  let tag = icv ~sa (header ^ payload) in
-  header ^ tag ^ payload
+  let icv_len = Sa.icv_length sa.algo.integ in
+  let plen = String.length payload in
+  let out = Bytes.create (header_length + icv_len + plen) in
+  Wire.set_be32 out 0 sa.spi;
+  Wire.set_be64 out 4 (Int64.of_int seq);
+  Bytes.blit_string payload 0 out (header_length + icv_len) plen;
+  let st = sa.crypto.hmac in
+  Resets_crypto.Hmac.start st;
+  Resets_crypto.Hmac.add_bytes st out ~off:0 ~len:header_length;
+  Resets_crypto.Hmac.add_bytes st out ~off:(header_length + icv_len) ~len:plen;
+  Resets_crypto.Hmac.finish_into st ~bytes:icv_len ~dst:out ~dst_off:header_length;
+  Bytes.unsafe_to_string out
 
-let decap ~sa packet =
-  let icv_len = Sa.icv_length sa.Sa.algo.integ in
+let decap_slice ~(sa : Sa.params) packet =
+  let icv_len = Sa.icv_length sa.algo.integ in
   let n = String.length packet in
   if n < header_length + icv_len then Error Esp.Malformed
   else begin
-    let header = String.sub packet 0 header_length in
-    let tag = String.sub packet header_length icv_len in
-    let payload = String.sub packet (header_length + icv_len) (n - header_length - icv_len) in
-    if not (Resets_crypto.Ct.equal tag (icv ~sa (header ^ payload))) then Error Esp.Bad_icv
-    else Ok (Int64.to_int (Wire.get_be64 packet 4), payload)
+    let plen = n - header_length - icv_len in
+    let st = sa.crypto.hmac in
+    Resets_crypto.Hmac.start st;
+    Resets_crypto.Hmac.add_sub st packet ~off:0 ~len:header_length;
+    Resets_crypto.Hmac.add_sub st packet ~off:(header_length + icv_len) ~len:plen;
+    if
+      not
+        (Resets_crypto.Hmac.finish_verify st ~tag:packet ~tag_off:header_length
+           ~tag_len:icv_len)
+    then Error Esp.Bad_icv
+    else
+      (* The payload travels in the clear: the slice views the packet
+         itself, no copy. *)
+      Ok
+        ( Int64.to_int (Wire.get_be64 packet 4),
+          Slice.of_sub_string packet ~off:(header_length + icv_len) ~len:plen )
   end
+
+let decap ~sa packet =
+  Result.map (fun (seq, s) -> (seq, Slice.to_string s)) (decap_slice ~sa packet)
 
 let seq_of_packet ~sa:_ packet =
   if String.length packet < header_length then None

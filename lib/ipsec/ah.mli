@@ -10,6 +10,14 @@ val encap : sa:Sa.params -> seq:Resets_util.Seqno.t -> payload:string -> string
 
 val decap : sa:Sa.params -> string -> (Resets_util.Seqno.t * string, error) result
 
+val decap_slice :
+  sa:Sa.params ->
+  string ->
+  (Resets_util.Seqno.t * Resets_util.Slice.t, error) result
+(** Zero-copy: the returned slice views the packet's own storage (the
+    payload is not encrypted), so it stays valid as long as the packet
+    string does. *)
+
 val seq_of_packet : sa:Sa.params -> string -> Resets_util.Seqno.t option
 
 val overhead : sa:Sa.params -> int

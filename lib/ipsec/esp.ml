@@ -1,3 +1,4 @@
+open Resets_util
 
 type error = Malformed | Bad_icv
 
@@ -9,49 +10,71 @@ let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
 
 let header_length = 12 (* spi + seq *)
 
-let nonce ~(sa : Sa.params) ~seq =
-  let buf = Buffer.create 12 in
-  Buffer.add_string buf sa.keys.salt;
-  Wire.put_be64 buf (Int64.of_int seq);
-  Buffer.contents buf
+(* The per-packet nonce is salt(4) ‖ seq(8 BE); the salt half is
+   prefilled at key-derivation time, so arming it is one be64 write. *)
+let arm_nonce (sa : Sa.params) ~seq =
+  Wire.set_be64 sa.crypto.nonce 4 (Int64.of_int seq);
+  sa.crypto.nonce
 
-let encrypt ~(sa : Sa.params) ~seq payload =
+let encrypt_in_place (sa : Sa.params) ~seq buf ~off ~len =
   match sa.algo.encr with
-  | Sa.Null_encr -> payload
+  | Sa.Null_encr -> ()
   | Sa.Chacha20 ->
-    Resets_crypto.Chacha20.crypt ~key:sa.keys.enc_key ~nonce:(nonce ~sa ~seq) payload
+    Resets_crypto.Chacha20.crypt_into sa.crypto.cipher
+      ~nonce:(arm_nonce sa ~seq) buf ~off ~len
 
-(* ChaCha20 decryption is the same XOR. *)
-let decrypt = encrypt
-
-let icv ~(sa : Sa.params) covered =
-  Resets_crypto.Hmac.mac_truncated ~key:sa.keys.auth_key
-    ~bytes:(Sa.icv_length sa.algo.integ)
-    covered
-
-let encap ~sa ~seq ~payload =
+let encap ~(sa : Sa.params) ~seq ~payload =
   if seq < 0 then invalid_arg "Esp.encap: negative sequence number";
-  let buf = Buffer.create (header_length + String.length payload + 32) in
-  Wire.put_be32 buf sa.Sa.spi;
-  Wire.put_be64 buf (Int64.of_int seq);
-  Buffer.add_string buf (encrypt ~sa ~seq payload);
-  let covered = Buffer.contents buf in
-  covered ^ icv ~sa covered
+  let icv_len = Sa.icv_length sa.algo.integ in
+  let plen = String.length payload in
+  let out = Bytes.create (header_length + plen + icv_len) in
+  Wire.set_be32 out 0 sa.spi;
+  Wire.set_be64 out 4 (Int64.of_int seq);
+  Bytes.blit_string payload 0 out header_length plen;
+  encrypt_in_place sa ~seq out ~off:header_length ~len:plen;
+  let st = sa.crypto.hmac in
+  Resets_crypto.Hmac.start st;
+  Resets_crypto.Hmac.add_bytes st out ~off:0 ~len:(header_length + plen);
+  Resets_crypto.Hmac.finish_into st ~bytes:icv_len ~dst:out
+    ~dst_off:(header_length + plen);
+  Bytes.unsafe_to_string out
 
-let decap ~sa packet =
-  let icv_len = Sa.icv_length sa.Sa.algo.integ in
+(* Decrypt [packet]'s ciphertext range into the SA's scratch buffer
+   and return a slice of the plaintext (valid until the next codec
+   operation on the same SA). Null-encryption payloads are viewed in
+   the packet itself — no copy at all. *)
+let plaintext_slice (sa : Sa.params) ~seq packet ~off ~len =
+  match sa.algo.encr with
+  | Sa.Null_encr -> Slice.of_sub_string packet ~off ~len
+  | Sa.Chacha20 ->
+    let scratch = Sa.scratch_bytes sa len in
+    Bytes.blit_string packet off scratch 0 len;
+    Resets_crypto.Chacha20.crypt_into sa.crypto.cipher
+      ~nonce:(arm_nonce sa ~seq) scratch ~off:0 ~len;
+    Slice.make scratch ~off:0 ~len
+
+let decap_slice ~(sa : Sa.params) packet =
+  let icv_len = Sa.icv_length sa.algo.integ in
   let n = String.length packet in
   if n < header_length + icv_len then Error Malformed
   else begin
-    let covered = String.sub packet 0 (n - icv_len) in
-    let tag = String.sub packet (n - icv_len) icv_len in
-    if not (Resets_crypto.Ct.equal tag (icv ~sa covered)) then Error Bad_icv
+    let covered_len = n - icv_len in
+    let st = sa.crypto.hmac in
+    Resets_crypto.Hmac.start st;
+    Resets_crypto.Hmac.add_sub st packet ~off:0 ~len:covered_len;
+    if
+      not
+        (Resets_crypto.Hmac.finish_verify st ~tag:packet ~tag_off:covered_len
+           ~tag_len:icv_len)
+    then Error Bad_icv
     else begin
       let seq = Int64.to_int (Wire.get_be64 packet 4) in
-      let ciphertext = String.sub packet header_length (n - icv_len - header_length) in
-      Ok (seq, decrypt ~sa ~seq ciphertext)
+      Ok (seq, plaintext_slice sa ~seq packet ~off:header_length ~len:(covered_len - header_length))
     end
   end
+
+let decap ~sa packet =
+  Result.map (fun (seq, s) -> (seq, Slice.to_string s)) (decap_slice ~sa packet)
 
 let seq_of_packet packet =
   if String.length packet < header_length then None
@@ -67,27 +90,35 @@ let overhead ~sa = header_length + Sa.icv_length sa.Sa.algo.integ
 let esn_header_length = 8 (* spi + seq_low *)
 
 (* The ICV covers the reconstructed long header (full 64-bit sequence
-   number), not the wire bytes — RFC 4304's implicit high-order bits. *)
-let esn_covered ~(sa : Sa.params) ~seq ciphertext =
-  let buf = Buffer.create (12 + String.length ciphertext) in
-  Wire.put_be32 buf sa.Sa.spi;
-  Wire.put_be64 buf (Int64.of_int seq);
-  Buffer.add_string buf ciphertext;
-  Buffer.contents buf
+   number), not the wire bytes — RFC 4304's implicit high-order bits.
+   The streaming HMAC lets us mac that non-contiguous cover (12-byte
+   rebuilt header, then the wire's ciphertext) with no concatenation. *)
+let start_esn_mac (sa : Sa.params) ~seq =
+  let hdr = sa.crypto.hdr in
+  Wire.set_be32 hdr 0 sa.spi;
+  Wire.set_be64 hdr 4 (Int64.of_int seq);
+  let st = sa.crypto.hmac in
+  Resets_crypto.Hmac.start st;
+  Resets_crypto.Hmac.add_bytes st hdr ~off:0 ~len:12;
+  st
 
-let encap_esn ~sa ~seq ~payload =
+let encap_esn ~(sa : Sa.params) ~seq ~payload =
   if seq < 0 then invalid_arg "Esp.encap_esn: negative sequence number";
-  let ciphertext = encrypt ~sa ~seq payload in
-  let tag = icv ~sa (esn_covered ~sa ~seq ciphertext) in
-  let buf = Buffer.create (esn_header_length + String.length ciphertext + 32) in
-  Wire.put_be32 buf sa.Sa.spi;
-  Wire.put_be32 buf (Int32.of_int (seq land 0xffffffff));
-  Buffer.add_string buf ciphertext;
-  Buffer.add_string buf tag;
-  Buffer.contents buf
+  let icv_len = Sa.icv_length sa.algo.integ in
+  let plen = String.length payload in
+  let out = Bytes.create (esn_header_length + plen + icv_len) in
+  Wire.set_be32 out 0 sa.spi;
+  Wire.set_be32 out 4 (Int32.of_int (seq land 0xffffffff));
+  Bytes.blit_string payload 0 out esn_header_length plen;
+  encrypt_in_place sa ~seq out ~off:esn_header_length ~len:plen;
+  let st = start_esn_mac sa ~seq in
+  Resets_crypto.Hmac.add_bytes st out ~off:esn_header_length ~len:plen;
+  Resets_crypto.Hmac.finish_into st ~bytes:icv_len ~dst:out
+    ~dst_off:(esn_header_length + plen);
+  Bytes.unsafe_to_string out
 
-let decap_esn ~sa ~edge ~w packet =
-  let icv_len = Sa.icv_length sa.Sa.algo.integ in
+let decap_esn_slice ~(sa : Sa.params) ~edge ~w packet =
+  let icv_len = Sa.icv_length sa.algo.integ in
   let n = String.length packet in
   if n < esn_header_length + icv_len then Error Malformed
   else begin
@@ -95,10 +126,31 @@ let decap_esn ~sa ~edge ~w packet =
     let seq = Esn.infer ~edge ~w ~seq_low in
     if seq < 0 then Error Bad_icv (* pre-history epoch: cannot verify *)
     else begin
-      let ciphertext = String.sub packet esn_header_length (n - icv_len - esn_header_length) in
-      let tag = String.sub packet (n - icv_len) icv_len in
-      if not (Resets_crypto.Ct.equal tag (icv ~sa (esn_covered ~sa ~seq ciphertext)))
+      let clen = n - icv_len - esn_header_length in
+      let st = start_esn_mac sa ~seq in
+      Resets_crypto.Hmac.add_sub st packet ~off:esn_header_length ~len:clen;
+      if
+        not
+          (Resets_crypto.Hmac.finish_verify st ~tag:packet
+             ~tag_off:(n - icv_len) ~tag_len:icv_len)
       then Error Bad_icv
-      else Ok (seq, decrypt ~sa ~seq ciphertext)
+      else
+        Ok (seq, plaintext_slice sa ~seq packet ~off:esn_header_length ~len:clen)
     end
   end
+
+let decap_esn ~sa ~edge ~w packet =
+  Result.map
+    (fun (seq, s) -> (seq, Slice.to_string s))
+    (decap_esn_slice ~sa ~edge ~w packet)
+
+let seq_low_of_packet_esn packet =
+  if String.length packet < esn_header_length then None
+  else Some (Int32.to_int (Wire.get_be32 packet 4) land 0xffffffff)
+
+let seq_of_packet_esn ~edge ~w packet =
+  match seq_low_of_packet_esn packet with
+  | None -> None
+  | Some seq_low ->
+    let seq = Esn.infer ~edge ~w ~seq_low in
+    if seq < 0 then None else Some seq

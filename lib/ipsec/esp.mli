@@ -8,7 +8,15 @@
     nonce reuse — one more reason the SAVE/FETCH leap matters.
 
     We carry 64-bit sequence numbers (RFC 4304 extended style) because
-    the paper treats them as unbounded integers. *)
+    the paper treats them as unbounded integers.
+
+    The codec is zero-copy: [encap] writes the packet into one
+    exact-size buffer (header, in-place encrypt, MAC into the tail);
+    [decap_slice] verifies the ICV by streaming over the packet and
+    returns the plaintext as a {!Resets_util.Slice.t} into the SA's
+    scratch buffer (or into the packet itself under null encryption),
+    valid until the next codec operation on the same SA. The string
+    [decap] remains as a copying wrapper. *)
 
 type error =
   | Malformed  (** too short to parse *)
@@ -26,9 +34,18 @@ val decap : sa:Sa.params -> string -> (Resets_util.Seqno.t * string, error) resu
     check precedes and follows ICV verification; here the caller
     sequences those steps. *)
 
+val decap_slice :
+  sa:Sa.params ->
+  string ->
+  (Resets_util.Seqno.t * Resets_util.Slice.t, error) result
+(** Like [decap] but the payload is a view into the SA's scratch
+    buffer (or the packet, under null encryption) — valid only until
+    the next codec operation on the same SA. *)
+
 val seq_of_packet : string -> Resets_util.Seqno.t option
 (** Peek at the sequence number without verifying (what an adversary on
-    the path can read). *)
+    the path can read). Seq64 framing only — an [Esn32] packet carries
+    just 32 low bits at a different offset; use {!seq_of_packet_esn}. *)
 
 val spi_of_packet : string -> int32 option
 
@@ -57,3 +74,23 @@ val decap_esn :
 (** [decap_esn ~sa ~edge ~w packet] infers the full sequence number
     from the packet's low 32 bits and the receiver's window position,
     then verifies and decrypts under it. *)
+
+val decap_esn_slice :
+  sa:Sa.params ->
+  edge:Resets_util.Seqno.t ->
+  w:int ->
+  string ->
+  (Resets_util.Seqno.t * Resets_util.Slice.t, error) result
+(** Slice-returning variant of [decap_esn]; same lifetime rules as
+    {!decap_slice}. *)
+
+val seq_low_of_packet_esn : string -> int option
+(** The wire's 32 low sequence bits, as an on-path observer reads
+    them. *)
+
+val seq_of_packet_esn :
+  edge:Resets_util.Seqno.t -> w:int -> string -> Resets_util.Seqno.t option
+(** Reconstruct the full sequence number an [Esn32] packet will verify
+    under, given the receiver window position the observer assumes —
+    the framing-aware counterpart of {!seq_of_packet}. [None] if the
+    packet is short or the inferred epoch is pre-history. *)

@@ -19,6 +19,19 @@ type keys = {
   salt : string;
 }
 
+(* Keyed-crypto state derived once from [keys] and carried alongside
+   them: the HMAC ipad/opad midstates, the parsed cipher key, and the
+   per-packet scratch buffers the codec reuses. One [crypto] serves
+   one packet operation at a time — fine for the single-threaded
+   simulator, where each encap/decap completes within its call. *)
+type crypto = {
+  hmac : Resets_crypto.Hmac.state;
+  cipher : Resets_crypto.Chacha20.state;
+  nonce : Bytes.t;  (* 12: salt(4) ‖ seq(8 BE); salt prefilled *)
+  hdr : Bytes.t;  (* 12: reconstructed ESN covered-prefix scratch *)
+  mutable scratch : Bytes.t;  (* decap plaintext staging, grows on demand *)
+}
+
 type params = {
   spi : int32;
   algo : algo;
@@ -26,9 +39,32 @@ type params = {
   window_width : int;
   window_impl : Replay_window.impl;
   lifetime_packets : int option;
+  crypto : crypto;
 }
 
 let default_algo = { integ = Hmac_sha256_128; encr = Chacha20 }
+
+let derive_crypto keys =
+  let nonce = Bytes.create 12 in
+  Bytes.blit_string keys.salt 0 nonce 0 4;
+  {
+    hmac = Resets_crypto.Hmac.state ~key:keys.auth_key;
+    cipher = Resets_crypto.Chacha20.state ~key:keys.enc_key;
+    nonce;
+    hdr = Bytes.create 12;
+    scratch = Bytes.create 256;
+  }
+
+let scratch_bytes (p : params) len =
+  let c = p.crypto in
+  if Bytes.length c.scratch < len then begin
+    let cap = ref (Bytes.length c.scratch) in
+    while !cap < len do
+      cap := !cap * 2
+    done;
+    c.scratch <- Bytes.create !cap
+  end;
+  c.scratch
 
 let derive_params ?(algo = default_algo) ?(window_width = 64)
     ?(window_impl = Replay_window.Bitmap_impl) ?lifetime_packets ~spi ~secret () =
@@ -44,7 +80,15 @@ let derive_params ?(algo = default_algo) ?(window_width = 64)
       salt = String.sub material 64 4;
     }
   in
-  { spi; algo; keys; window_width; window_impl; lifetime_packets }
+  {
+    spi;
+    algo;
+    keys;
+    window_width;
+    window_impl;
+    lifetime_packets;
+    crypto = derive_crypto keys;
+  }
 
 type t = {
   params : params;

@@ -29,6 +29,19 @@ type keys = {
   salt : string;  (** 4 bytes, mixed into the per-packet nonce *)
 }
 
+(** Keyed-crypto state derived once from the SA's keys: precomputed
+    HMAC pad midstates, parsed cipher key, and the scratch buffers the
+    packet codec reuses. One [crypto] serves one packet operation at a
+    time (the simulator is single-threaded and every encap/decap
+    completes within its call). *)
+type crypto = {
+  hmac : Resets_crypto.Hmac.state;
+  cipher : Resets_crypto.Chacha20.state;
+  nonce : Bytes.t;  (** 12 bytes: salt(4) ‖ seq(8 BE); salt prefilled *)
+  hdr : Bytes.t;  (** 12-byte reconstructed-header scratch (ESN ICV) *)
+  mutable scratch : Bytes.t;  (** decap plaintext staging *)
+}
+
 type params = {
   spi : int32;  (** security parameter index *)
   algo : algo;
@@ -36,7 +49,13 @@ type params = {
   window_width : int;  (** the paper's [w] *)
   window_impl : Replay_window.impl;
   lifetime_packets : int option;  (** soft lifetime, if any *)
+  crypto : crypto;  (** derived; not part of the SA's identity *)
 }
+
+val scratch_bytes : params -> int -> Bytes.t
+(** [scratch_bytes p len] is the SA's scratch buffer, grown to at
+    least [len] bytes. Contents are valid until the next codec
+    operation on the same SA. *)
 
 val default_algo : algo
 

@@ -46,6 +46,20 @@ let pop_oldest t =
     x
   end
 
+let nth t i =
+  if i < 0 || i >= t.size then None
+  else t.data.((t.head + i) mod Array.length t.data)
+
+let fold f acc t =
+  let cap = Array.length t.data in
+  let acc = ref acc in
+  for i = 0 to t.size - 1 do
+    match t.data.((t.head + i) mod cap) with
+    | Some x -> acc := f !acc x
+    | None -> assert false
+  done;
+  !acc
+
 let iter f t =
   let cap = Array.length t.data in
   for i = 0 to t.size - 1 do

@@ -30,4 +30,11 @@ val to_list : 'a t -> 'a list
 val iter : ('a -> unit) -> 'a t -> unit
 (** Oldest first. *)
 
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Oldest first. *)
+
+val nth : 'a t -> int -> 'a option
+(** [nth t i] is the [i]-th element, oldest first, in O(1). [None] if
+    [i] is out of range. *)
+
 val clear : 'a t -> unit

@@ -1,0 +1,41 @@
+type t = { base : Bytes.t; off : int; len : int }
+
+let make base ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length base then
+    invalid_arg "Slice.make: out of bounds";
+  { base; off; len }
+
+let of_bytes base = { base; off = 0; len = Bytes.length base }
+
+let of_string s =
+  { base = Bytes.unsafe_of_string s; off = 0; len = String.length s }
+
+let of_sub_string s ~off ~len =
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Slice.of_sub_string: out of bounds";
+  { base = Bytes.unsafe_of_string s; off; len }
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Slice.get: index out of bounds";
+  Bytes.get t.base (t.off + i)
+
+let sub t ~off ~len =
+  if off < 0 || len < 0 || off + len > t.len then
+    invalid_arg "Slice.sub: out of bounds";
+  { base = t.base; off = t.off + off; len }
+
+let to_string t = Bytes.sub_string t.base t.off t.len
+
+let blit t dst ~dst_off = Bytes.blit t.base t.off dst dst_off t.len
+
+let equal_string t s =
+  t.len = String.length s
+  && begin
+       let rec go i =
+         i >= t.len
+         || (Bytes.get t.base (t.off + i) = s.[i] && go (i + 1))
+       in
+       go 0
+     end

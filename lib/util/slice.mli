@@ -1,0 +1,45 @@
+(** A view into a byte buffer: base + offset + length, no copy.
+
+    Slices are how decapsulated payloads travel through the datapath
+    without being extracted: a decap returns a slice into the SA's
+    scratch buffer (or into the received packet itself), valid until
+    the next operation on the same SA. Holders that need the bytes
+    past that point must [to_string] — everyone else reads in place.
+
+    Slices built from strings via [of_string]/[of_sub_string] alias
+    the string's storage ([Bytes.unsafe_of_string]); they are
+    read-only views and must never be written through. *)
+
+type t = private { base : Bytes.t; off : int; len : int }
+
+val make : Bytes.t -> off:int -> len:int -> t
+(** @raise Invalid_argument if the range is out of bounds. *)
+
+val of_bytes : Bytes.t -> t
+(** The whole buffer. *)
+
+val of_string : string -> t
+(** Read-only view of a string's storage; no copy. *)
+
+val of_sub_string : string -> off:int -> len:int -> t
+(** Read-only view of a substring; no copy.
+    @raise Invalid_argument if the range is out of bounds. *)
+
+val length : t -> int
+
+val get : t -> int -> char
+(** @raise Invalid_argument if the index is out of bounds. *)
+
+val sub : t -> off:int -> len:int -> t
+(** A narrower view of the same storage; no copy.
+    @raise Invalid_argument if the range is out of bounds. *)
+
+val to_string : t -> string
+(** An owned copy of the viewed bytes. *)
+
+val blit : t -> Bytes.t -> dst_off:int -> unit
+(** Copy the viewed bytes into [dst] at [dst_off]. *)
+
+val equal_string : t -> string -> bool
+(** Content equality against a string, no copy. Not constant-time —
+    use {!Ct} for secrets. *)

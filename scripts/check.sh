@@ -36,4 +36,29 @@ for f in BENCH_E1.json BENCH_E6.json BENCH_E14.json; do
   fi
 done
 
+echo "== allocation-regression gate (MICRO) =="
+dune exec bench/main.exe -- MICRO --json="$out" >/dev/null
+test -s "$out/BENCH_MICRO.json" || { echo "missing BENCH_MICRO.json" >&2; exit 1; }
+
+# Budgets: minor-heap words allocated per packet on the codec hot
+# paths, ~1.8x the steady-state numbers committed with the zero-copy
+# refactor (encap 49, decap 60 at 256 B). A regression here means a
+# copy or a boxed intermediate crept back into the per-packet path.
+alloc_gate() {
+  op=$1; budget=$2
+  words=$(awk -v op="micro/$op" '
+    $0 ~ "\"operation\": \"" op "\"" { hot = 1 }
+    hot && /"minor_words_per_packet":/ {
+      gsub(/[ ,]/, "", $2); print $2; exit
+    }' "$out/BENCH_MICRO.json")
+  test -n "$words" || { echo "no minor_words_per_packet for $op" >&2; exit 1; }
+  if awk -v w="$words" -v b="$budget" 'BEGIN { exit !(w > b) }'; then
+    echo "allocation regression: $op allocates $words minor words/packet (budget $budget)" >&2
+    exit 1
+  fi
+  echo "$op: $words minor words/packet (budget $budget)"
+}
+alloc_gate esp-encap-256B 90
+alloc_gate esp-decap-256B 110
+
 echo "OK"

@@ -35,6 +35,22 @@ let test_recorder_find_last () =
     (Recorder.find_last r (fun x -> x > 10));
   Alcotest.(check (option int)) "none > 99" None (Recorder.find_last r (fun x -> x > 99))
 
+let test_recorder_iter_fold () =
+  let r = Recorder.create ~capacity:3 () in
+  List.iter (Recorder.tap r) [ 1; 2; 3; 4; 5 ];
+  (* the ring has wrapped: 1 and 2 were evicted *)
+  let seen = ref [] in
+  Recorder.iter (fun x -> seen := x :: !seen) r;
+  Alcotest.(check (list int)) "iter oldest first" [ 3; 4; 5 ] (List.rev !seen);
+  check_int "fold sum" 12 (Recorder.fold ( + ) 0 r);
+  Alcotest.(check (list int)) "fold order" [ 3; 4; 5 ]
+    (List.rev (Recorder.fold (fun acc x -> x :: acc) [] r));
+  Alcotest.(check (option int)) "nth 0 after wrap" (Some 3) (Recorder.nth r 0);
+  Alcotest.(check (option int)) "nth 2 after wrap" (Some 5) (Recorder.nth r 2);
+  Alcotest.(check (option int)) "nth oob after wrap" None (Recorder.nth r 3);
+  Recorder.clear r;
+  check_int "fold on empty" 0 (Recorder.fold (fun acc _ -> acc + 1) 0 r)
+
 let test_recorder_clear () =
   let r = Recorder.create () in
   Recorder.tap r "x";
@@ -151,6 +167,7 @@ let () =
           Alcotest.test_case "capture order" `Quick test_recorder_capture_order;
           Alcotest.test_case "capacity eviction" `Quick test_recorder_capacity_eviction;
           Alcotest.test_case "find_last" `Quick test_recorder_find_last;
+          Alcotest.test_case "iter/fold/nth after wrap" `Quick test_recorder_iter_fold;
           Alcotest.test_case "clear" `Quick test_recorder_clear;
         ] );
       ( "strategies",

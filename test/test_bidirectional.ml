@@ -49,6 +49,21 @@ let test_outage_just_inside_keepalive () =
   check_bool "sa kept" true o.Bidirectional.sa_survived;
   check_bool "converges" true (o.Bidirectional.convergence_time <> None)
 
+let test_esn_framing_converges_and_rejects_replay () =
+  (* same scenario as above, but the A->B SA uses Esn32 wire framing,
+     so the adversary-side replay peek must reconstruct the full
+     sequence number from the 32 low bits (the framing-aware path) *)
+  let cfg = { Bidirectional.default_config with Bidirectional.framing = Packet.Esn32 } in
+  let o =
+    Bidirectional.run ~replay_announce:true ~reset_at:(ms 10) ~downtime:(ms 10)
+      ~horizon:(ms 90) cfg
+  in
+  check_bool "sa kept" true o.Bidirectional.sa_survived;
+  check_bool "announce accepted" true o.Bidirectional.announce_accepted;
+  check_bool "replayed copy rejected" true o.Bidirectional.replayed_announce_rejected;
+  check_bool "converges" true (o.Bidirectional.convergence_time <> None);
+  check_bool "traffic resumed" true (o.Bidirectional.deliveries_after_recovery > 100)
+
 let test_deterministic () =
   let a = run ~downtime:(ms 10) () and b = run ~downtime:(ms 10) () in
   check_bool "same outcome" true
@@ -67,6 +82,8 @@ let () =
             test_replayed_announce_rejected;
           Alcotest.test_case "long outage tears down" `Quick test_long_outage_tears_down;
           Alcotest.test_case "inside keep-alive" `Quick test_outage_just_inside_keepalive;
+          Alcotest.test_case "esn framing" `Quick
+            test_esn_framing_converges_and_rejects_replay;
           Alcotest.test_case "deterministic" `Quick test_deterministic;
         ] );
     ]

@@ -87,6 +87,52 @@ let incremental_property =
       Sha256.feed ctx (String.sub s k (String.length s - k));
       Sha256.finalize ctx = Sha256.digest s)
 
+let test_sha256_reset_reuse () =
+  let ctx = Sha256.init () in
+  Sha256.feed ctx "first message";
+  ignore (Sha256.finalize ctx);
+  Sha256.reset ctx;
+  Sha256.feed ctx "abc";
+  check_str "reset context = fresh digest" (Sha256.digest "abc") (Sha256.finalize ctx)
+
+let test_sha256_midstate_resume () =
+  (* A 64-byte prefix compressed once, then two different tails resumed
+     from the captured midstate, must equal the one-shot digests. *)
+  let prefix = String.make 64 'p' in
+  let ctx = Sha256.init () in
+  Sha256.feed ctx prefix;
+  let ms = Sha256.midstate ctx in
+  List.iter
+    (fun tail ->
+      Sha256.restore ctx ms;
+      Sha256.feed ctx tail;
+      check_str ("tail " ^ tail) (Sha256.digest (prefix ^ tail)) (Sha256.finalize ctx))
+    [ ""; "x"; String.make 200 'q' ];
+  (* midstate off a block boundary is rejected *)
+  Sha256.reset ctx;
+  Sha256.feed ctx "partial";
+  Alcotest.check_raises "off-boundary midstate"
+    (Invalid_argument "Sha256.midstate: context not on a block boundary") (fun () ->
+      ignore (Sha256.midstate ctx))
+
+let test_sha256_finalize_into () =
+  let ctx = Sha256.init () in
+  Sha256.feed ctx "abc";
+  let dst = Bytes.make 40 '\xff' in
+  Sha256.finalize_into ctx dst ~off:4;
+  check_str "digest at offset" (Sha256.digest "abc") (Bytes.sub_string dst 4 32);
+  check_str "guard bytes untouched"
+    ("\xff\xff\xff\xff" ^ Bytes.sub_string dst 4 32 ^ "\xff\xff\xff\xff")
+    (Bytes.to_string dst)
+
+let test_sha256_feed_sub () =
+  let s = "xxThe quick brown foxyy" in
+  let ctx = Sha256.init () in
+  Sha256.feed_sub ctx s ~off:2 ~len:(String.length s - 4);
+  check_str "feed_sub = digest of the substring"
+    (Sha256.digest "The quick brown fox")
+    (Sha256.finalize ctx)
+
 (* ------------------------------------------------------------------ *)
 (* HMAC-SHA-256: RFC 4231 *)
 
@@ -129,6 +175,76 @@ let test_hmac_verify () =
   check_bool "rejects wrong msg" false (Hmac.verify ~key:"secret" ~tag "payloaX");
   check_bool "rejects wrong key" false (Hmac.verify ~key:"other" ~tag "payload");
   check_bool "rejects empty tag" false (Hmac.verify ~key:"secret" ~tag:"" "payload")
+
+let test_hmac_state_equals_mac () =
+  let st = Hmac.state ~key:"shared-key" in
+  (* The same state object serves successive MACs. *)
+  List.iter
+    (fun msg ->
+      Hmac.start st;
+      Hmac.add_string st msg;
+      check_str ("streaming = one-shot: " ^ msg) (Hmac.mac ~key:"shared-key" msg)
+        (Hmac.finish st))
+    [ ""; "a"; String.make 63 'b'; String.make 64 'c'; String.make 1000 'd' ]
+
+let test_hmac_state_noncontiguous_cover () =
+  (* Feeding header and payload separately — as the ESN/AH codecs do —
+     must equal the MAC over their concatenation. *)
+  let st = Hmac.state ~key:"k2" in
+  let header = Bytes.of_string "HDR-12-BYTES" in
+  let payload = "the covered payload" in
+  Hmac.start st;
+  Hmac.add_bytes st header ~off:0 ~len:(Bytes.length header);
+  Hmac.add_sub st ("__" ^ payload ^ "__") ~off:2 ~len:(String.length payload);
+  check_str "split cover"
+    (Hmac.mac ~key:"k2" (Bytes.to_string header ^ payload))
+    (Hmac.finish st)
+
+let test_hmac_finish_into_and_verify () =
+  let st = Hmac.state ~key:"k3" in
+  let msg = "packet bytes" in
+  let full = Hmac.mac ~key:"k3" msg in
+  Hmac.start st;
+  Hmac.add_string st msg;
+  let dst = Bytes.make 20 '\x00' in
+  Hmac.finish_into st ~bytes:16 ~dst ~dst_off:4;
+  check_str "truncated tag at offset" (String.sub full 0 16) (Bytes.sub_string dst 4 16);
+  (* finish_verify against a tag embedded in a larger string *)
+  let packet = "prefix" ^ String.sub full 0 16 ^ "suffix" in
+  Hmac.start st;
+  Hmac.add_string st msg;
+  check_bool "embedded tag verifies" true
+    (Hmac.finish_verify st ~tag:packet ~tag_off:6 ~tag_len:16);
+  let tampered = "prefix" ^ "0123456789abcdef" ^ "suffix" in
+  Hmac.start st;
+  Hmac.add_string st msg;
+  check_bool "tampered tag rejected" false
+    (Hmac.finish_verify st ~tag:tampered ~tag_off:6 ~tag_len:16);
+  Hmac.start st;
+  Hmac.add_string st msg;
+  check_bool "out-of-range tag rejected" false
+    (Hmac.finish_verify st ~tag:packet ~tag_off:20 ~tag_len:16)
+
+let test_hmac_state_long_key () =
+  (* > block-size keys hash first; the state path must agree. *)
+  let key = String.make 131 '\xaa' in
+  let msg = "Test Using Larger Than Block-Size Key - Hash Key First" in
+  let st = Hmac.state ~key in
+  Hmac.start st;
+  Hmac.add_string st msg;
+  check_str "long key" (Hmac.mac ~key msg) (Hmac.finish st)
+
+let hmac_state_matches_mac_property =
+  QCheck.Test.make ~name:"Hmac.state streaming = Hmac.mac for any split" ~count:200
+    QCheck.(triple string string small_nat)
+    (fun (key, msg, k) ->
+      let key = if key = "" then "k" else key in
+      let k = if String.length msg = 0 then 0 else k mod (String.length msg + 1) in
+      let st = Hmac.state ~key in
+      Hmac.start st;
+      Hmac.add_string st (String.sub msg 0 k);
+      Hmac.add_string st (String.sub msg k (String.length msg - k));
+      Hmac.finish st = Hmac.mac ~key msg)
 
 (* ------------------------------------------------------------------ *)
 (* ChaCha20: RFC 8439 *)
@@ -179,6 +295,35 @@ let test_chacha20_nonce_sensitivity () =
   check_bool "different nonces differ" true
     (Chacha20.crypt ~key:rfc8439_key ~nonce:n1 msg
     <> Chacha20.crypt ~key:rfc8439_key ~nonce:n2 msg)
+
+let test_chacha20_crypt_into_equals_crypt () =
+  let st = Chacha20.state ~key:rfc8439_key in
+  let nonce_s = hex "000000000000004a00000000" in
+  let nonce = Bytes.of_string nonce_s in
+  List.iter
+    (fun len ->
+      let msg = String.init len (fun i -> Char.chr (i land 0xff)) in
+      let buf = Bytes.of_string msg in
+      Chacha20.crypt_into st ~nonce ~counter:1l buf ~off:0 ~len;
+      check_str
+        (Printf.sprintf "len %d" len)
+        (Chacha20.crypt ~key:rfc8439_key ~nonce:nonce_s ~counter:1l msg)
+        (Bytes.to_string buf))
+    [ 0; 1; 63; 64; 65; 256; 300 ]
+
+let test_chacha20_crypt_into_range () =
+  (* Only the given range is touched; bytes around it survive. *)
+  let st = Chacha20.state ~key:rfc8439_key in
+  let nonce = Bytes.make 12 '\x05' in
+  let buf = Bytes.of_string "AAAA-payload-ZZZZ" in
+  Chacha20.crypt_into st ~nonce buf ~off:4 ~len:9;
+  check_str "prefix intact" "AAAA" (Bytes.sub_string buf 0 4);
+  check_str "suffix intact" "ZZZZ" (Bytes.sub_string buf 13 4);
+  Chacha20.crypt_into st ~nonce buf ~off:4 ~len:9;
+  check_str "involution in place" "AAAA-payload-ZZZZ" (Bytes.to_string buf);
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Chacha20.crypt_into: out of bounds") (fun () ->
+      Chacha20.crypt_into st ~nonce buf ~off:10 ~len:10)
 
 let chacha_roundtrip_property =
   QCheck.Test.make ~name:"chacha20 involution on any input" ~count:100 QCheck.string
@@ -238,6 +383,26 @@ let ct_matches_structural =
     QCheck.(pair string string)
     (fun (a, b) -> Ct.equal a b = String.equal a b)
 
+let test_ct_equal_sub () =
+  let b = Bytes.of_string "needle" in
+  check_bool "match at offset" true (Ct.equal_sub "hay needle hay" ~off:4 b ~len:6);
+  check_bool "mismatch" false (Ct.equal_sub "hay noodle hay" ~off:4 b ~len:6);
+  check_bool "shorter compare window" true (Ct.equal_sub "need" ~off:0 b ~len:4);
+  check_bool "range past string" false (Ct.equal_sub "hay" ~off:2 b ~len:6);
+  check_bool "len past bytes" false (Ct.equal_sub "needles!" ~off:0 b ~len:7);
+  check_bool "negative offset" false (Ct.equal_sub "needle" ~off:(-1) b ~len:6)
+
+let ct_equal_sub_matches_extract =
+  QCheck.Test.make ~name:"Ct.equal_sub = extract-and-compare" ~count:300
+    QCheck.(triple string small_nat small_nat)
+    (fun (s, off, len) ->
+      let b = Bytes.of_string (if len = 0 then "" else String.make len 'q') in
+      let expected =
+        off + len <= String.length s
+        && String.sub s off len = Bytes.to_string b
+      in
+      Ct.equal_sub s ~off b ~len = expected)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "crypto"
@@ -249,6 +414,10 @@ let () =
           Alcotest.test_case "incremental" `Quick test_sha256_incremental_equals_oneshot;
           Alcotest.test_case "padding boundaries" `Quick test_sha256_boundary_lengths;
           Alcotest.test_case "finalize once" `Quick test_sha256_finalize_once;
+          Alcotest.test_case "reset reuse" `Quick test_sha256_reset_reuse;
+          Alcotest.test_case "midstate resume" `Quick test_sha256_midstate_resume;
+          Alcotest.test_case "finalize_into" `Quick test_sha256_finalize_into;
+          Alcotest.test_case "feed_sub" `Quick test_sha256_feed_sub;
           qt incremental_property;
         ] );
       ( "hmac",
@@ -259,6 +428,11 @@ let () =
           Alcotest.test_case "RFC4231 case 6" `Quick test_hmac_rfc4231_case6_long_key;
           Alcotest.test_case "truncation" `Quick test_hmac_truncation;
           Alcotest.test_case "verify" `Quick test_hmac_verify;
+          Alcotest.test_case "state = mac" `Quick test_hmac_state_equals_mac;
+          Alcotest.test_case "split cover" `Quick test_hmac_state_noncontiguous_cover;
+          Alcotest.test_case "finish_into/verify" `Quick test_hmac_finish_into_and_verify;
+          Alcotest.test_case "state long key" `Quick test_hmac_state_long_key;
+          qt hmac_state_matches_mac_property;
         ] );
       ( "chacha20",
         [
@@ -267,6 +441,8 @@ let () =
           Alcotest.test_case "involution" `Quick test_chacha20_involution;
           Alcotest.test_case "size validation" `Quick test_chacha20_validates_sizes;
           Alcotest.test_case "nonce sensitivity" `Quick test_chacha20_nonce_sensitivity;
+          Alcotest.test_case "crypt_into = crypt" `Quick test_chacha20_crypt_into_equals_crypt;
+          Alcotest.test_case "crypt_into range" `Quick test_chacha20_crypt_into_range;
           qt chacha_roundtrip_property;
         ] );
       ( "kdf",
@@ -277,5 +453,10 @@ let () =
           Alcotest.test_case "stretch" `Quick test_stretch;
         ] );
       ( "ct",
-        [ Alcotest.test_case "equal" `Quick test_ct_equal; qt ct_matches_structural ] );
+        [
+          Alcotest.test_case "equal" `Quick test_ct_equal;
+          Alcotest.test_case "equal_sub" `Quick test_ct_equal_sub;
+          qt ct_matches_structural;
+          qt ct_equal_sub_matches_extract;
+        ] );
     ]

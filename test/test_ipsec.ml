@@ -138,6 +138,38 @@ let test_esp_rejects_negative_seq () =
   Alcotest.check_raises "negative" (Invalid_argument "Esp.encap: negative sequence number")
     (fun () -> ignore (Esp.encap ~sa ~seq:(-1) ~payload:""))
 
+let test_esp_peek_esn () =
+  let sa = params () in
+  let seq = (1 lsl 32) + 7 in
+  let wire = Esp.encap_esn ~sa ~seq ~payload:"x" in
+  (* the wire carries only the 32 low bits *)
+  Alcotest.(check (option int)) "low bits" (Some 7) (Esp.seq_low_of_packet_esn wire);
+  (* a framing-aware peek recovers the full value from the window position *)
+  Alcotest.(check (option int)) "full seq inferred" (Some seq)
+    (Esp.seq_of_packet_esn ~edge:(seq - 3) ~w:64 wire);
+  (* the Seq64 peek reads 8 bytes where only 4 are sequence — wrong answer *)
+  check_bool "seq64 peek misreads esn wire" true (Esp.seq_of_packet wire <> Some seq);
+  (* a low value whose inferred epoch is pre-history yields None *)
+  let early = Esp.encap_esn ~sa ~seq:((1 lsl 32) - 1) ~payload:"x" in
+  Alcotest.(check (option int)) "pre-history" None
+    (Esp.seq_of_packet_esn ~edge:0 ~w:64 early);
+  Alcotest.(check (option int)) "short wire" None
+    (Esp.seq_of_packet_esn ~edge:0 ~w:64 "xx");
+  Alcotest.(check (option int)) "short wire low" None (Esp.seq_low_of_packet_esn "xx")
+
+let esp_esn_peek_matches_decap =
+  QCheck.Test.make ~name:"esn peek agrees with what decap verifies" ~count:200
+    QCheck.(pair (int_range 64 1_000_000) small_nat)
+    (fun (edge, delta) ->
+      let sa = params () in
+      let seq = edge + 1 + (delta mod 64) in
+      let wire = Esp.encap_esn ~sa ~seq ~payload:"p" in
+      match
+        (Esp.seq_of_packet_esn ~edge ~w:64 wire, Esp.decap_esn ~sa ~edge ~w:64 wire)
+      with
+      | Some peeked, Ok (verified, _) -> peeked = seq && verified = seq
+      | _ -> false)
+
 let esp_decap_never_crashes =
   (* fuzz: arbitrary bytes produce Error (or, vanishingly unlikely, a
      valid packet) but never an exception *)
@@ -378,8 +410,10 @@ let () =
           Alcotest.test_case "wrong SA" `Quick test_esp_wrong_sa_rejected;
           Alcotest.test_case "malformed" `Quick test_esp_malformed;
           Alcotest.test_case "peek" `Quick test_esp_peek;
+          Alcotest.test_case "peek esn" `Quick test_esp_peek_esn;
           Alcotest.test_case "overhead" `Quick test_esp_overhead;
           Alcotest.test_case "negative seq" `Quick test_esp_rejects_negative_seq;
+          qt esp_esn_peek_matches_decap;
           qt esp_roundtrip_property;
           qt esp_decap_never_crashes;
           qt esp_bitflip_never_accepted;

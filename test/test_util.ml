@@ -274,6 +274,18 @@ let test_ring_wraparound () =
   done;
   Alcotest.(check (list int)) "last two" [ 9; 10 ] (Ring.to_list r)
 
+let test_ring_nth_fold () =
+  let r = Ring.create 3 in
+  List.iter (fun i -> ignore (Ring.push r i)) [ 1; 2; 3; 4; 5 ];
+  (* head has wrapped: retained = [3; 4; 5] *)
+  Alcotest.(check (option int)) "nth 0" (Some 3) (Ring.nth r 0);
+  Alcotest.(check (option int)) "nth 2" (Some 5) (Ring.nth r 2);
+  Alcotest.(check (option int)) "nth oob" None (Ring.nth r 3);
+  Alcotest.(check (option int)) "nth negative" None (Ring.nth r (-1));
+  check_int "fold sum" 12 (Ring.fold ( + ) 0 r);
+  Alcotest.(check (list int)) "fold order matches to_list" (Ring.to_list r)
+    (List.rev (Ring.fold (fun acc x -> x :: acc) [] r))
+
 let test_ring_clear () =
   let r = Ring.create 2 in
   ignore (Ring.push r 1);
@@ -285,6 +297,61 @@ let test_ring_invalid () =
   Alcotest.check_raises "zero capacity"
     (Invalid_argument "Ring.create: capacity must be positive") (fun () ->
       ignore (Ring.create 0))
+
+(* ------------------------------------------------------------------ *)
+(* Slice *)
+
+let check_str = Alcotest.(check string)
+
+let test_slice_views () =
+  let s = Slice.of_string "hello world" in
+  check_int "length" 11 (Slice.length s);
+  Alcotest.(check char) "get" 'e' (Slice.get s 1);
+  let w = Slice.sub s ~off:6 ~len:5 in
+  check_str "sub to_string" "world" (Slice.to_string w);
+  check_bool "equal_string" true (Slice.equal_string w "world");
+  check_bool "content mismatch" false (Slice.equal_string w "worle");
+  check_bool "length mismatch" false (Slice.equal_string w "worl");
+  let dst = Bytes.make 7 '.' in
+  Slice.blit w dst ~dst_off:1;
+  check_str "blit" ".world." (Bytes.to_string dst);
+  check_int "empty sub" 0 (Slice.length (Slice.sub s ~off:11 ~len:0))
+
+let test_slice_aliases_storage () =
+  (* a slice is a view, not a copy: mutating the base shows through *)
+  let b = Bytes.of_string "abcdef" in
+  let s = Slice.make b ~off:2 ~len:3 in
+  check_str "before" "cde" (Slice.to_string s);
+  Bytes.set b 3 'X';
+  check_str "after base mutation" "cXe" (Slice.to_string s);
+  Alcotest.(check char) "get sees mutation" 'X' (Slice.get s 1);
+  check_str "of_bytes whole buffer" "abXdef"
+    (Slice.to_string (Slice.of_bytes (Bytes.of_string "abXdef")))
+
+let test_slice_bounds () =
+  let b = Bytes.of_string "abc" in
+  Alcotest.check_raises "make oob" (Invalid_argument "Slice.make: out of bounds")
+    (fun () -> ignore (Slice.make b ~off:2 ~len:2));
+  Alcotest.check_raises "make negative" (Invalid_argument "Slice.make: out of bounds")
+    (fun () -> ignore (Slice.make b ~off:(-1) ~len:1));
+  Alcotest.check_raises "of_sub_string oob"
+    (Invalid_argument "Slice.of_sub_string: out of bounds") (fun () ->
+      ignore (Slice.of_sub_string "abc" ~off:1 ~len:3));
+  let s = Slice.make b ~off:1 ~len:2 in
+  Alcotest.check_raises "sub oob" (Invalid_argument "Slice.sub: out of bounds")
+    (fun () -> ignore (Slice.sub s ~off:1 ~len:2));
+  Alcotest.check_raises "get oob" (Invalid_argument "Slice.get: index out of bounds")
+    (fun () -> ignore (Slice.get s 2))
+
+let slice_sub_matches_string_sub =
+  QCheck.Test.make ~name:"Slice.of_sub_string/to_string matches String.sub" ~count:200
+    QCheck.(triple string small_nat small_nat)
+    (fun (s, a, b) ->
+      let n = String.length s in
+      let off = a mod (n + 1) in
+      let len = if n = off then 0 else b mod (n - off + 1) in
+      Slice.to_string (Slice.of_sub_string s ~off ~len) = String.sub s off len
+      && Slice.equal_string (Slice.of_sub_string s ~off ~len) (String.sub s off len))
 
 (* ------------------------------------------------------------------ *)
 (* Seqno *)
@@ -387,8 +454,16 @@ let () =
         [
           Alcotest.test_case "fifo" `Quick test_ring_fifo;
           Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "nth/fold after wrap" `Quick test_ring_nth_fold;
           Alcotest.test_case "clear" `Quick test_ring_clear;
           Alcotest.test_case "invalid" `Quick test_ring_invalid;
+        ] );
+      ( "slice",
+        [
+          Alcotest.test_case "views" `Quick test_slice_views;
+          Alcotest.test_case "aliases storage" `Quick test_slice_aliases_storage;
+          Alcotest.test_case "bounds" `Quick test_slice_bounds;
+          qt slice_sub_matches_string_sub;
         ] );
       ( "seqno",
         [
