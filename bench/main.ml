@@ -33,22 +33,56 @@ let ms = Time.of_ms
 let us = Time.of_us
 
 (* --json[=DIR] (default: on, current directory) / --no-json, plus the
-   experiment picks. *)
-let json_dir, selected =
+   experiment picks. --domains=LIST and --sweep-sizes=LIST shape E14's
+   domain sweep (defaults 1,2,4,8 and 256,1024,4096); check.sh uses
+   them to keep the smoke run short. *)
+let json_dir, selected, e14_domains, e14_sizes =
   let json_dir = ref (Some ".") in
   let picks = ref [] in
+  let domains = ref [ 1; 2; 4; 8 ] in
+  let sizes = ref [ 256; 1024; 4096 ] in
+  let prefixed ~prefix arg =
+    let n = String.length prefix in
+    if String.length arg > n && String.sub arg 0 n = prefix then
+      Some (String.sub arg n (String.length arg - n))
+    else None
+  in
+  let int_list ~flag s =
+    let parse part =
+      match int_of_string_opt part with
+      | Some v when v > 0 -> v
+      | _ ->
+        Printf.eprintf "%s expects positive integers, got %s\n" flag s;
+        exit 1
+    in
+    match List.map parse (String.split_on_char ',' s) with
+    | [] ->
+      Printf.eprintf "%s expects a non-empty list\n" flag;
+      exit 1
+    | l -> List.sort_uniq Int.compare l
+  in
   List.iter
     (fun arg ->
       if arg = "--json" then json_dir := Some "."
       else if arg = "--no-json" then json_dir := None
-      else if String.length arg > 7 && String.sub arg 0 7 = "--json=" then
-        json_dir := Some (String.sub arg 7 (String.length arg - 7))
-      else if String.length arg >= 2 && String.sub arg 0 2 = "--" then begin
-        Printf.eprintf
-          "unknown flag %s (expected --json[=DIR], --no-json or experiment ids)\n" arg;
-        exit 1
-      end
-      else picks := String.uppercase_ascii arg :: !picks)
+      else
+        match prefixed ~prefix:"--json=" arg with
+        | Some dir -> json_dir := Some dir
+        | None -> (
+          match prefixed ~prefix:"--domains=" arg with
+          | Some l -> domains := int_list ~flag:"--domains" l
+          | None -> (
+            match prefixed ~prefix:"--sweep-sizes=" arg with
+            | Some l -> sizes := int_list ~flag:"--sweep-sizes" l
+            | None ->
+              if String.length arg >= 2 && String.sub arg 0 2 = "--" then begin
+                Printf.eprintf
+                  "unknown flag %s (expected --json[=DIR], --no-json, \
+                   --domains=LIST, --sweep-sizes=LIST or experiment ids)\n"
+                  arg;
+                exit 1
+              end
+              else picks := String.uppercase_ascii arg :: !picks)))
     (List.tl (Array.to_list Sys.argv));
   let known =
     "E1" :: "E2" :: "E3" :: "E4" :: "E5" :: "E6" :: "E7" :: "E8" :: "E9"
@@ -67,7 +101,10 @@ let json_dir, selected =
     Printf.eprintf "--json directory %s does not exist\n" dir;
     exit 1
   | _ -> ());
-  (!json_dir, match !picks with [] -> None | picks -> Some (List.rev picks))
+  ( !json_dir,
+    (match !picks with [] -> None | picks -> Some (List.rev picks)),
+    !domains,
+    !sizes )
 
 let section id title ~claim f =
   let run =
@@ -695,9 +732,124 @@ let e14 report =
   | _ -> Report.check report ~name:"scale table complete" false);
   Report.check report ~name:"no duplicate deliveries across any scale run"
     ~bound:0. ~value:(float_of_int !duplicates) (!duplicates = 0);
+  (* ---------------------------------------------------------------- *)
+  (* Domain sweep: the same coalesced workload sharded over D domains.
+     Protocol-level outcomes must be identical for every D (gated
+     unconditionally); throughput should scale when the machine has
+     the cores (gated only then — determinism is a property of the
+     code, speedup a property of the hardware). *)
+  let cores = Domain.recommended_domain_count () in
+  Report.param report "cores" (Json.Int cores);
+  Report.param report "domain_sweep"
+    (Json.List (List.map (fun d -> Json.Int d) e14_domains));
+  Report.param report "sweep_sizes"
+    (Json.List (List.map (fun n -> Json.Int n) e14_sizes));
+  Format.printf
+    "@.domain sweep (coalesced): one logical host sharded over D domains@.\
+     (machine reports %d core(s)):@.@."
+    cores;
+  Format.printf "%6s %8s %12s %9s %22s %10s %6s@." "SAs" "domains" "events/s"
+    "speedup" "shard events/s" "delivered" "lost";
+  hr ();
+  (* protocol-level signature: every field here must be independent of
+     the domain count *)
+  let signature (o : Multi_sa.outcome) =
+    ( o.Multi_sa.delivered,
+      o.Multi_sa.messages_lost,
+      o.Multi_sa.replay_accepted,
+      o.Multi_sa.duplicate_deliveries,
+      o.Multi_sa.adversary_injected,
+      o.Multi_sa.handshake_messages,
+      o.Multi_sa.recovered_fully,
+      Time.to_ns o.Multi_sa.ready_time,
+      Time.to_ns o.Multi_sa.recovery_time )
+  in
+  let baseline = Hashtbl.create 8 in
+  let mismatches = ref 0 in
+  let speedups = Hashtbl.create 8 in
+  List.iter
+    (fun d ->
+      let pool = if d > 1 then Some (Multi_sa.create_pool ~domains:d) else None in
+      Fun.protect
+        ~finally:(fun () -> Option.iter Domain_pool.shutdown pool)
+        (fun () ->
+          List.iter
+            (fun n ->
+              if d <= n then begin
+                let t0 = Unix.gettimeofday () in
+                let o = Multi_sa.run ?pool ~domains:d `Save_fetch_coalesced (cfg n) in
+                let wall = Unix.gettimeofday () -. t0 in
+                let events_per_sec =
+                  if wall > 0. then float_of_int o.Multi_sa.events_fired /. wall
+                  else 0.
+                in
+                (match Hashtbl.find_opt baseline n with
+                | None -> Hashtbl.replace baseline n (signature o, wall)
+                | Some (sig1, _) ->
+                  if sig1 <> signature o then begin
+                    incr mismatches;
+                    Format.printf
+                      "  !! %d SAs at %d domains diverges from 1 domain@." n d
+                  end);
+                let speedup =
+                  match Hashtbl.find_opt baseline n with
+                  | Some (_, wall1) when wall > 0. -> wall1 /. wall
+                  | _ -> 1.
+                in
+                Hashtbl.replace speedups (n, d) speedup;
+                let shard_eps =
+                  Array.map
+                    (fun (s : Multi_sa.shard_stat) ->
+                      if s.Multi_sa.stat_wall_s > 0. then
+                        float_of_int s.Multi_sa.stat_events_fired
+                        /. s.Multi_sa.stat_wall_s
+                      else 0.)
+                    o.Multi_sa.shard_stats
+                in
+                let shard_min = Array.fold_left Float.min infinity shard_eps in
+                let shard_max = Array.fold_left Float.max 0. shard_eps in
+                Report.row report ~table:"domain_sweep"
+                  [
+                    ("sa_count", Json.Int n);
+                    ("domains", Json.Int d);
+                    ("events_fired", Json.Int o.Multi_sa.events_fired);
+                    ("events_per_sec", Json.Float events_per_sec);
+                    ("speedup_vs_1_domain", Json.Float speedup);
+                    ("shard_events_per_sec_min", Json.Float shard_min);
+                    ("shard_events_per_sec_max", Json.Float shard_max);
+                    ("wall_clock_s", Json.Float wall);
+                    ("delivered", Json.Int o.Multi_sa.delivered);
+                    ("messages_lost", Json.Int o.Multi_sa.messages_lost);
+                    ("replay_accepted", Json.Int o.Multi_sa.replay_accepted);
+                    ( "duplicate_deliveries",
+                      Json.Int o.Multi_sa.duplicate_deliveries );
+                    ("recovered_fully", Json.Bool o.Multi_sa.recovered_fully);
+                    ("ready_s", Json.Float (Time.to_sec o.Multi_sa.ready_time));
+                    ( "recovery_s",
+                      Json.Float (Time.to_sec o.Multi_sa.recovery_time) );
+                  ];
+                Format.printf "%6d %8d %12.0f %8.2fx %10.0f..%-10.0f %10d %6d@."
+                  n d events_per_sec speedup shard_min shard_max
+                  o.Multi_sa.delivered o.Multi_sa.messages_lost
+              end)
+            e14_sizes))
+    e14_domains;
+  Report.check report
+    ~name:"protocol-level outcomes identical across all domain counts"
+    ~bound:0. ~value:(float_of_int !mismatches) (!mismatches = 0);
+  (match Hashtbl.find_opt speedups (1024, 4) with
+  | Some s when cores >= 4 ->
+    Report.check report ~name:"1024 SAs: >= 2.5x events/s at 4 domains"
+      ~bound:2.5 ~value:s (s >= 2.5)
+  | Some s ->
+    Format.printf
+      "@.[skip] speedup gate needs >= 4 cores (machine has %d); measured %.2fx@."
+      cores s
+  | None -> ());
   (* The adversary at scale: replay everything captured on all 1024
      links right after recovery. The paper's guarantee must hold on
-     every SA simultaneously. *)
+     every SA simultaneously — and identically however many domains
+     carry the simulation. *)
   Format.printf
     "@.replay-all staged against every link of 1024 SAs (coalesced),@.\
      injected at t=14 ms, after recovery:@.@.";
@@ -719,7 +871,15 @@ let e14 report =
   Report.check report
     ~name:"zero replays accepted across 1024 attacked SAs (Thm ii at scale)"
     ~bound:0. ~value:(float_of_int o.Multi_sa.replay_accepted)
-    (o.Multi_sa.replay_accepted = 0)
+    (o.Multi_sa.replay_accepted = 0);
+  (* the attacked run, sharded: same verdicts to the byte *)
+  let o2 =
+    Multi_sa.run ~domains:2 `Save_fetch_coalesced
+      (cfg ~attack:(Harness.Replay_all_at (ms 14)) 1024)
+  in
+  Report.check report
+    ~name:"attacked 1024-SA run identical at 1 and 2 domains"
+    (signature o = signature o2)
 
 (* ------------------------------------------------------------------ *)
 (* E8 *)

@@ -80,12 +80,56 @@ let downtime_arg =
     & opt float 1.
     & info [ "downtime" ] ~docv:"MS" ~doc:"How long a reset host stays down (ms).")
 
+(* The attack plan is parsed by cmdliner itself (a bad plan is a usage
+   error, reported before anything runs); the flood's injection gap is
+   only known once --gap is parsed, so the conv carries the raw
+   trigger time and [build_attack] finishes the job. *)
+let attack_conv =
+  let parse s =
+    let timed tag ms k =
+      match float_of_string_opt ms with
+      | Some f when f >= 0. -> Ok (k f)
+      | Some _ | None ->
+        Error (`Msg (Printf.sprintf "bad time in attack plan %s@%s" tag ms))
+    in
+    match String.split_on_char '@' s with
+    | [ "none" ] -> Ok `No_attack
+    | [ "replay-all"; ms ] -> timed "replay-all" ms (fun f -> `Replay_all f)
+    | [ "wedge"; ms ] -> timed "wedge" ms (fun f -> `Wedge f)
+    | [ "flood"; ms ] -> timed "flood" ms (fun f -> `Flood f)
+    | _ -> Error (`Msg (Printf.sprintf "unknown attack plan %S" s))
+  in
+  let print ppf = function
+    | `No_attack -> Format.pp_print_string ppf "none"
+    | `Replay_all f -> Format.fprintf ppf "replay-all@%g" f
+    | `Wedge f -> Format.fprintf ppf "wedge@%g" f
+    | `Flood f -> Format.fprintf ppf "flood@%g" f
+  in
+  Arg.conv (parse, print)
+
+let build_attack gap = function
+  | `No_attack -> Harness.No_attack
+  | `Replay_all f -> Harness.Replay_all_at (time_of_ms f)
+  | `Wedge f -> Harness.Wedge_at (time_of_ms f)
+  | `Flood f -> Harness.Flood { start = time_of_ms f; gap }
+
 let attack_arg =
   let doc =
     "Adversary plan: $(b,none), $(b,replay-all@MS), $(b,wedge@MS) or \
      $(b,flood@MS)."
   in
-  Arg.(value & opt string "none" & info [ "attack" ] ~docv:"PLAN" ~doc)
+  Arg.(value & opt attack_conv `No_attack & info [ "attack" ] ~docv:"PLAN" ~doc)
+
+(* Strictly positive integer (cmdliner rejects 0 and negatives at parse
+   time, so e.g. --domains=0 never reaches the simulation). *)
+let positive_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v > 0 -> Ok v
+    | Some _ -> Error (`Msg (Printf.sprintf "%s is not positive" s))
+    | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
 
 let stop_arg =
   Arg.(
@@ -118,24 +162,6 @@ let write_trace_jsonl path trace =
       ~finally:(fun () -> close_out oc)
       (fun () -> Resets_sim.Trace.dump_jsonl oc trace)
 
-let parse_attack gap s =
-  match String.split_on_char '@' s with
-  | [ "none" ] -> Ok Harness.No_attack
-  | [ "replay-all"; ms ] -> (
-    match float_of_string_opt ms with
-    | Some f -> Ok (Harness.Replay_all_at (time_of_ms f))
-    | None -> Error (`Msg "bad time in attack plan"))
-  | [ "wedge"; ms ] -> (
-    match float_of_string_opt ms with
-    | Some f -> Ok (Harness.Wedge_at (time_of_ms f))
-    | None -> Error (`Msg "bad time in attack plan"))
-  | [ "flood"; ms ] -> (
-    match float_of_string_opt ms with
-    | Some f -> Ok (Harness.Flood { start = time_of_ms f; gap })
-    | None -> Error (`Msg "bad time in attack plan"))
-  | [] | [ _ ] | _ :: _ ->
-    Error (`Msg (Printf.sprintf "unknown attack plan %S" s))
-
 let build_protocol variant ~kp ~kq ~save_latency =
   match variant with
   | `Save_fetch -> Protocol.save_fetch ~kp ~kq ~save_latency ()
@@ -150,12 +176,8 @@ let run_cmd =
   let go seed horizon variant kp kq gap save_latency resets downtime attack stop json
       trace_out =
     let message_gap = Time.of_ns (Int64.of_float (gap *. 1e3)) in
-    match parse_attack message_gap attack with
-    | Error (`Msg m) ->
-      prerr_endline m;
-      1
-    | Ok attack ->
-      let scenario =
+    let attack = build_attack message_gap attack in
+    let scenario =
         {
           Harness.default with
           seed;
@@ -318,30 +340,100 @@ let bidir_cmd =
 (* multi-sa *)
 
 let multi_sa_cmd =
-  let go n discipline attack_at =
-    let attack =
-      match attack_at with
-      | None -> Endpoint.No_attack
-      | Some at -> Endpoint.Replay_all_at (time_of_ms at)
-    in
-    let cfg = { Multi_sa.default_config with Multi_sa.sa_count = n; attack } in
-    let o = Multi_sa.run discipline cfg in
-    Format.printf "ready: %a%s@." Time.pp o.Multi_sa.ready_time
-      (if o.Multi_sa.recovered_fully then "" else " (horizon-capped)");
-    Format.printf "delivering again: %a@." Time.pp o.Multi_sa.recovery_time;
-    Format.printf "messages lost: %d@." o.Multi_sa.messages_lost;
-    Format.printf "disk writes: %d@." o.Multi_sa.disk_writes;
-    Format.printf "handshake messages: %d@." o.Multi_sa.handshake_messages;
-    Format.printf "duplicates: %d@." o.Multi_sa.duplicate_deliveries;
-    if attack_at <> None then begin
-      Format.printf "replays injected: %d@." o.Multi_sa.adversary_injected;
-      Format.printf "replays accepted: %d@." o.Multi_sa.replay_accepted
-    end;
-    if o.Multi_sa.duplicate_deliveries = 0 && o.Multi_sa.replay_accepted = 0 then 0
-    else 2
+  let go n domains discipline attack_at trace_out =
+    (* Nonsensical combinations are cmdliner usage errors, reported
+       before any simulation runs. *)
+    if domains > n then
+      `Error
+        (true,
+         Printf.sprintf "--domains %d exceeds --sas %d: a shard needs at least one SA"
+           domains n)
+    else
+      match trace_out with
+      | Some path
+        when Sys.file_exists path && Sys.is_directory path ->
+        `Error (true, Printf.sprintf "--trace-out %s is a directory" path)
+      | Some path
+        when (let dir = Filename.dirname path in
+              not (Sys.file_exists dir && Sys.is_directory dir)) ->
+        `Error
+          (true,
+           Printf.sprintf "--trace-out directory %s does not exist"
+             (Filename.dirname path))
+      | _ ->
+        let attack =
+          match attack_at with
+          | None -> Endpoint.No_attack
+          | Some at -> Endpoint.Replay_all_at (time_of_ms at)
+        in
+        let cfg =
+          {
+            Multi_sa.default_config with
+            Multi_sa.sa_count = n;
+            attack;
+            keep_trace = trace_out <> None;
+          }
+        in
+        let o = Multi_sa.run ~domains discipline cfg in
+        (match trace_out with
+        | None -> ()
+        | Some path -> (
+          (* the shards' traces, merged deterministically into ONE
+             file — packet-level events are identical for any
+             --domains value; disk bookkeeping (crash/snapshot
+             records) and equal-timestamp tie order are per-shard
+             (see Shard) *)
+          match open_out path with
+          | exception Sys_error msg ->
+            Printf.eprintf "cannot write trace: %s\n" msg;
+            exit 1
+          | oc ->
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                List.iter
+                  (fun entry ->
+                    output_string oc
+                      (Resets_util.Json.to_string (Trace.entry_to_json entry));
+                    output_char oc '\n')
+                  o.Multi_sa.trace)));
+        Format.printf "ready: %a%s@." Time.pp o.Multi_sa.ready_time
+          (if o.Multi_sa.recovered_fully then "" else " (horizon-capped)");
+        Format.printf "delivering again: %a@." Time.pp o.Multi_sa.recovery_time;
+        Format.printf "messages lost: %d@." o.Multi_sa.messages_lost;
+        Format.printf "disk writes: %d@." o.Multi_sa.disk_writes;
+        Format.printf "handshake messages: %d@." o.Multi_sa.handshake_messages;
+        Format.printf "duplicates: %d@." o.Multi_sa.duplicate_deliveries;
+        if domains > 1 then
+          Array.iter
+            (fun (s : Multi_sa.shard_stat) ->
+              Format.printf "shard [%d,%d): %d events in %.3fs@."
+                s.Multi_sa.stat_lo s.Multi_sa.stat_hi s.Multi_sa.stat_events_fired
+                s.Multi_sa.stat_wall_s)
+            o.Multi_sa.shard_stats;
+        if attack_at <> None then begin
+          Format.printf "replays injected: %d@." o.Multi_sa.adversary_injected;
+          Format.printf "replays accepted: %d@." o.Multi_sa.replay_accepted
+        end;
+        if o.Multi_sa.duplicate_deliveries = 0 && o.Multi_sa.replay_accepted = 0
+        then `Ok 0
+        else `Ok 2
   in
   let n =
-    Arg.(value & opt int 16 & info [ "sas" ] ~docv:"N" ~doc:"Number of SAs on the host.")
+    Arg.(
+      value
+      & opt positive_int_conv 16
+      & info [ "sas" ] ~docv:"N" ~doc:"Number of SAs on the host.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt positive_int_conv 1
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Shard the simulation across $(docv) OCaml domains. Protocol-level \
+             results are identical for every value; only wall-clock time \
+             changes. Must not exceed --sas.")
   in
   let attack_at =
     Arg.(
@@ -364,7 +456,7 @@ let multi_sa_cmd =
   in
   Cmd.v
     (Cmd.info "multi-sa" ~doc:"Recover a host with many SAs after a reset.")
-    Term.(const go $ n $ discipline $ attack_at)
+    Term.(ret (const go $ n $ domains $ discipline $ attack_at $ trace_out_arg))
 
 (* ------------------------------------------------------------------ *)
 (* rekey *)

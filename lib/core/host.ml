@@ -13,51 +13,66 @@ type t = {
   disk : Sim_disk.t;
   endpoints : Endpoint.t array;
   discipline : discipline;
+  first_sa : int;
   k : int;
   leap : int;
   keys : string array;
-  lst : int array; (* coalesced: per-SA edge as of the last begun batch *)
+  lst : int array; (* per-SA edge as of the last begun periodic save *)
   window : int;
   window_impl : Replay_window.impl;
-  ike_prng : Prng.t option;
-  mutable next_spi : int32;
-  mutable batch_in_flight : bool;
+  ike_prngs : Prng.t array option;
+  spi_base : int32;
   mutable handshake_messages : int;
   mutable down : bool;
+  mutable recovering : bool;
+      (* a Coalesced recovery snapshot is in flight: the periodic flush
+         must hold off or it would supersede that snapshot (same keys)
+         and silently drop recovery's completion *)
 }
 
 let sa_key i = Printf.sprintf "sa-%d" i
 
 let receiver_i t i = Endpoint.receiver t.endpoints.(i)
 
-(* Coalesced periodic persistence: when any SA's edge has advanced K
-   past its share of the last begun batch, snapshot every SA's current
-   edge in ONE disk write. The triggering SA's watermark moves even
-   when a batch is already in flight — matching the per-SA rule "begin
-   a SAVE every K messages", just amortised. *)
-let maybe_begin_batch t i =
-  if not t.down then begin
-    let r = Receiver.right_edge (receiver_i t i) in
-    if r >= t.k + t.lst.(i) then begin
-      t.lst.(i) <- r;
-      if not t.batch_in_flight then begin
-        t.batch_in_flight <- true;
-        let entries =
-          Array.mapi
-            (fun j _ -> (t.keys.(j), Receiver.right_edge (receiver_i t j)))
-            t.endpoints
-        in
-        Sim_disk.save_snapshot t.disk ~entries ~on_complete:(fun () ->
-            t.batch_in_flight <- false)
-      end
+(* Coalesced periodic persistence, sharding-safe form: ONE snapshot
+   write per fixed flush period covers every SA's current edge. The
+   flush schedule is absolute time [P, 2P, 3P, ...] — a constant of
+   the simulation, not a function of traffic — and each SA's value in
+   the snapshot is its own edge, so what is durable for SA [i] at any
+   instant (in particular at a crash) depends only on [i]'s own packet
+   stream and the global clock, never on which other SAs share the
+   host. That is what lets a host be split across D shards without
+   changing any SA's recovery leap. (The previous scheme began a batch
+   when the FIRST SA crossed its K threshold; that trigger time
+   depends on the batch's membership, so a shard's durable edges would
+   have drifted from the unsharded host's.) A flush with no advanced
+   edge is skipped — the write would change no durable value. *)
+let maybe_flush t =
+  if (not t.down) && not t.recovering then begin
+    let advanced = ref false in
+    let edges =
+      Array.init (Array.length t.endpoints) (fun i ->
+          let r = Receiver.right_edge (receiver_i t i) in
+          if r > t.lst.(i) then advanced := true;
+          r)
+    in
+    if !advanced then begin
+      Array.iteri (fun i r -> t.lst.(i) <- r) edges;
+      Sim_disk.save_snapshot t.disk
+        ~entries:(Array.mapi (fun i r -> (t.keys.(i), r)) edges)
+        ~on_complete:(fun () -> ())
     end
   end
 
 let create ?(k = 25) ?leap ?(window = 64)
-    ?(window_impl = Replay_window.Bitmap_impl) ?ike_prng
-    ?(spi_base = 0x6000l) ~disk ~discipline endpoints engine =
+    ?(window_impl = Replay_window.Bitmap_impl) ?ike_prngs ?(first_sa = 0)
+    ?(spi_base = 0x6000l) ?flush_period ~disk ~discipline endpoints engine =
   let n = Array.length endpoints in
   if n = 0 then invalid_arg "Host.create: no endpoints";
+  (match ike_prngs with
+  | Some a when Array.length a <> n ->
+    invalid_arg "Host.create: ike_prngs must have one generator per endpoint"
+  | Some _ | None -> ());
   let leap =
     match leap with
     | Some l -> l
@@ -69,43 +84,57 @@ let create ?(k = 25) ?leap ?(window = 64)
       disk;
       endpoints;
       discipline;
+      first_sa;
       k;
       leap;
-      keys = Array.init n sa_key;
+      keys = Array.init n (fun i -> sa_key (first_sa + i));
       lst = Array.make n 0;
       window;
       window_impl;
-      ike_prng;
-      next_spi = spi_base;
-      batch_in_flight = false;
+      ike_prngs;
+      spi_base;
       handshake_messages = 0;
       down = false;
+      recovering = false;
     }
   in
   (match discipline with
   | Coalesced ->
     (* Host-managed persistence: the receivers carry none of their own;
-       the host preloads established state and batches the periodic
-       SAVEs across all SAs. *)
+       the host preloads established state and flushes every SA's edge
+       in one snapshot per flush period. *)
     Array.iteri
       (fun i ep ->
         Sim_disk.preload disk ~key:t.keys.(i)
-          ~value:(Receiver.right_edge (Endpoint.receiver ep));
-        Receiver.on_deliver (Endpoint.receiver ep) (fun ~seq:_ ~payload:_ ->
-            maybe_begin_batch t i))
-      endpoints
+          ~value:(Receiver.right_edge (Endpoint.receiver ep)))
+      endpoints;
+    let period =
+      match flush_period with
+      | Some p -> p
+      | None -> Time.mul (Sim_disk.base_latency disk) k
+    in
+    if Time.(period <= Time.zero) then
+      invalid_arg "Host.create: flush_period must be positive";
+    let rec tick () =
+      maybe_flush t;
+      ignore (Engine.schedule_after engine ~after:period tick)
+    in
+    ignore (Engine.schedule_after engine ~after:period tick)
   | Per_sa | Reestablish _ -> ());
   t
 
 let endpoints t = t.endpoints
 let sa_count t = Array.length t.endpoints
+let first_sa t = t.first_sa
 let is_down t = t.down
 let handshake_messages t = t.handshake_messages
 
 let reset t =
   if not t.down then begin
     t.down <- true;
-    t.batch_in_flight <- false;
+    (* A crash also kills an in-flight recovery snapshot, whose
+       completion will never fire. *)
+    t.recovering <- false;
     (* One crash: the whole host's RAM and every in-flight write die
        together, whatever keys they covered. *)
     Sim_disk.crash t.disk;
@@ -117,62 +146,80 @@ let durable_edge t i =
   | Some v -> v
   | None -> 0
 
+(* Recovery schedules are keyed by GLOBAL SA index: SA [g] begins its
+   step at [recover_time + g * step] where [step] is the discipline's
+   fixed per-SA cost. On one host this reproduces the sequential
+   "recover SA 0, then SA 1, ..." chain exactly (the single disk
+   serializes the writes, so recovery time grows linearly with the SA
+   count — what E7/E14 measure); on a sharded host each shard schedules
+   only its own SAs, at the very same absolute times the unsharded
+   chain would have reached them. That closed form is what gives the
+   parallel run a sequential oracle; it requires the per-SA step to be
+   deterministic, hence an un-jittered disk (Per_sa) and the fixed IKE
+   handshake duration (Reestablish). *)
 let recover t ?(on_sa_ready = fun _ -> ()) ?(on_complete = fun () -> ()) () =
   if not t.down then invalid_arg "Host.recover: not down";
   t.down <- false;
   let n = sa_count t in
+  let remaining = ref n in
+  let ready i =
+    on_sa_ready i;
+    decr remaining;
+    if !remaining = 0 then on_complete ()
+  in
   match t.discipline with
   | Per_sa ->
     (* The paper's discipline, once per SA: FETCH + leap + blocking
-       SAVE. The single disk serializes the writes, so recovery time
-       grows linearly with the SA count — exactly what E7/E14
-       measure. *)
-    let rec go i =
-      if i >= n then on_complete ()
-      else
-        Receiver.wakeup (receiver_i t i)
-          ~on_ready:(fun () ->
-            on_sa_ready i;
-            go (i + 1))
-          ()
-    in
-    go 0
+       SAVE, each taking one disk-write latency. *)
+    let step = Sim_disk.base_latency t.disk in
+    Array.iteri
+      (fun i _ ->
+        ignore
+          (Engine.schedule_after t.engine
+             ~after:(Time.mul step (t.first_sa + i))
+             (fun () ->
+               Receiver.wakeup (receiver_i t i) ~on_ready:(fun () -> ready i) ())))
+      t.endpoints
   | Coalesced ->
     (* Every durable edge leaps; ONE snapshot write makes them all
        durable; then every SA resumes at once. O(1) in the SA count. *)
     let edges = Array.init n (fun i -> durable_edge t i + t.leap) in
     let entries = Array.init n (fun i -> (t.keys.(i), edges.(i))) in
+    t.recovering <- true;
     Sim_disk.save_snapshot t.disk ~entries ~on_complete:(fun () ->
+        t.recovering <- false;
         Array.iteri
           (fun i _ ->
             t.lst.(i) <- edges.(i);
             Receiver.resume_at (receiver_i t i) ~edge:edges.(i);
-            on_sa_ready i)
-          t.endpoints;
-        on_complete ())
+            ready i)
+          t.endpoints)
   | Reestablish { cost } ->
-    let prng =
-      match t.ike_prng with
+    let prngs =
+      match t.ike_prngs with
       | Some p -> p
-      | None -> invalid_arg "Host.recover: Reestablish requires ike_prng"
+      | None -> invalid_arg "Host.recover: Reestablish requires ike_prngs"
     in
-    let rec go i =
-      if i >= n then on_complete ()
-      else begin
-        t.handshake_messages <- t.handshake_messages + Ike.message_count;
-        let spi = t.next_spi in
-        t.next_spi <- Int32.add spi 1l;
-        Ike.establish ~window_width:t.window ~window_impl:t.window_impl
-          t.engine ~cost ~prng ~spi
-          ~on_complete:(fun params ->
-            let ep = t.endpoints.(i) in
-            Sender.install_sa (Endpoint.sender ep) (Sa.create params);
-            Receiver.install_sa (Endpoint.receiver ep) (Sa.create params);
-            (* A fresh SA starts with a fresh window: resume at edge
-               0 — nothing sent under the new keys yet. *)
-            Receiver.resume_at (Endpoint.receiver ep) ~edge:0;
-            on_sa_ready i;
-            go (i + 1))
-      end
-    in
-    go 0
+    (* IKE-lite renegotiation per SA, sequentially: SA g's handshake
+       occupies the host for the fixed handshake duration, so it starts
+       g handshakes after recovery began. SPIs and nonces are keyed by
+       global index too. *)
+    let step = Ike.handshake_duration cost in
+    Array.iteri
+      (fun i _ ->
+        let g = t.first_sa + i in
+        ignore
+          (Engine.schedule_after t.engine ~after:(Time.mul step g) (fun () ->
+               t.handshake_messages <- t.handshake_messages + Ike.message_count;
+               let spi = Int32.add t.spi_base (Int32.of_int g) in
+               Ike.establish ~window_width:t.window ~window_impl:t.window_impl
+                 t.engine ~cost ~prng:prngs.(i) ~spi
+                 ~on_complete:(fun params ->
+                   let ep = t.endpoints.(i) in
+                   Sender.install_sa (Endpoint.sender ep) (Sa.create params);
+                   Receiver.install_sa (Endpoint.receiver ep) (Sa.create params);
+                   (* A fresh SA starts with a fresh window: resume at
+                      edge 0 — nothing sent under the new keys yet. *)
+                   Receiver.resume_at (Endpoint.receiver ep) ~edge:0;
+                   ready i))))
+      t.endpoints

@@ -1,11 +1,9 @@
 open Resets_util
 open Resets_sim
-open Resets_persist
-open Resets_ipsec
 
-type discipline = [ `Save_fetch_per_sa | `Save_fetch_coalesced | `Reestablish ]
+type discipline = Shard.discipline
 
-type config = {
+type config = Shard.config = {
   sa_count : int;
   k : int;
   save_latency : Time.t;
@@ -14,25 +12,21 @@ type config = {
   reset_at : Time.t;
   downtime : Time.t;
   horizon : Time.t;
-  ike_cost : Ike.cost;
+  ike_cost : Resets_ipsec.Ike.cost;
   attack : Endpoint.attack;
+  keep_trace : bool;
 }
 
-let default_config =
-  {
-    sa_count = 16;
-    k = 25;
-    save_latency = Time.of_us 100;
-    message_gap = Time.of_us 100;
-    link_latency = Time.of_us 10;
-    reset_at = Time.of_ms 10;
-    downtime = Time.of_ms 1;
-    horizon = Time.of_ms 120;
-    ike_cost = Ike.default_cost;
-    attack = Endpoint.No_attack;
-  }
+let default_config = Shard.default_config
 
-type outcome = {
+type shard_stat = Shard.shard_stat = {
+  stat_lo : int;
+  stat_hi : int;
+  stat_events_fired : int;
+  stat_wall_s : float;
+}
+
+type outcome = Shard.outcome = {
   ready_time : Time.t;
   recovery_time : Time.t;
   recovered_fully : bool;
@@ -44,132 +38,47 @@ type outcome = {
   handshake_messages : int;
   delivered : int;
   events_fired : int;
+  shard_stats : shard_stat array;
+  trace : Trace.entry list;
 }
 
-(* A bounded capture buffer per tapped link: enough for any replay the
-   scenarios stage, small enough that thousands of SAs could carry one
-   (the default 2^20-entry recorder would cost megabytes per link). *)
-let tap_capacity = 4096
+type pool = Engine.t Domain_pool.t
 
-let run ?(seed = 11) discipline config =
-  if config.sa_count <= 0 then invalid_arg "Multi_sa.run: sa_count must be positive";
-  let engine = Engine.create () in
-  let prng = Prng.create seed in
-  let disk = Sim_disk.create ~name:"disk.q" ~latency:config.save_latency engine in
-  let host_discipline =
-    match discipline with
-    | `Save_fetch_per_sa -> Host.Per_sa
-    | `Save_fetch_coalesced -> Host.Coalesced
-    | `Reestablish -> Host.Reestablish { cost = config.ike_cost }
+let create_pool ~domains =
+  Domain_pool.create ~domains
+    ~init:(fun _ -> Engine.create ~hint:(Shard.heap_hint ~sa_count:256) ())
+    ()
+
+let run ?(seed = 11) ?(domains = 1) ?pool discipline config =
+  if config.sa_count <= 0 then
+    invalid_arg "Multi_sa.run: sa_count must be positive";
+  if domains < 1 then invalid_arg "Multi_sa.run: domains must be positive";
+  if domains > config.sa_count then
+    invalid_arg "Multi_sa.run: more domains than SAs";
+  let shards =
+    match pool with
+    | Some p -> min (Domain_pool.size p) config.sa_count
+    | None -> domains
   in
-  let tap =
-    match config.attack with
-    | Endpoint.No_attack -> Endpoint.No_tap
-    | _ -> Endpoint.Tap { capacity = Some tap_capacity }
-  in
-  (* One endpoint per SA, each with its own metrics (sequence spaces
-     overlap across SAs) and — under the per-SA discipline — its own
-     key on the one shared disk. *)
-  let endpoint_of i =
-    let receiver_persistence =
-      match discipline with
-      | `Save_fetch_per_sa ->
-        Some
-          {
-            Receiver.disk;
-            key = Host.sa_key i;
-            k = config.k;
-            leap = 2 * config.k;
-            robust = false;
-            wakeup_buffer = false;
-          }
-      | `Save_fetch_coalesced | `Reestablish ->
-        (* the host manages durability (or renegotiates instead) *)
-        None
+  if shards = 1 && pool = None then
+    (* No parallelism requested: run inline, no pool, no domains. *)
+    Shard.merge config
+      [| Shard.run_range ~seed discipline config ~lo:0 ~hi:config.sa_count |]
+  else begin
+    let owned, pool =
+      match pool with
+      | Some p -> (false, p)
+      | None -> (true, create_pool ~domains)
     in
-    Endpoint.create
-      ~sender_name:(Printf.sprintf "p%d" i)
-      ~receiver_name:(Printf.sprintf "q%d" i)
-      ~link_name:(Printf.sprintf "link%d" i)
-      ~link_prng:(Prng.split prng) ~tap
-      ~spi:(Int32.of_int (0x4000 + i))
-      ~secret:(Printf.sprintf "multi-sa-%d" i)
-      ~link_latency:config.link_latency
-      ~traffic:(Resets_workload.Traffic.constant ~gap:config.message_gap)
-      ~metrics:(Metrics.create ())
-      ~sender_persistence:None ~receiver_persistence engine
-  in
-  let endpoints = Array.init config.sa_count endpoint_of in
-  let host =
-    Host.create ~k:config.k ~leap:(2 * config.k) ~ike_prng:prng
-      ~spi_base:0x6000l ~disk ~discipline:host_discipline endpoints engine
-  in
-  (* Recovery bookkeeping: when is every SA processing again, and when
-     has every SA delivered a fresh message again? *)
-  let reset_happened = ref false in
-  let all_ready_at = ref None in
-  let all_recovered_at = ref None in
-  let delivered_after_reset = Array.make config.sa_count false in
-  Array.iteri
-    (fun i ep ->
-      Receiver.on_deliver (Endpoint.receiver ep) (fun ~seq:_ ~payload:_ ->
-          if !reset_happened && not delivered_after_reset.(i) then begin
-            delivered_after_reset.(i) <- true;
-            if Array.for_all Fun.id delivered_after_reset then
-              all_recovered_at := Some (Engine.now engine)
-          end))
-    endpoints;
-  (* Stagger start times so SAs do not act in lockstep, and give every
-     link the same adversary the single-SA harness gets. *)
-  Array.iter
-    (fun ep ->
-      let offset =
-        Time.of_ns
-          (Int64.of_int
-             (Prng.int prng (Int64.to_int (Time.to_ns config.message_gap) + 1)))
-      in
-      ignore
-        (Engine.schedule_after engine ~after:offset (fun () -> Endpoint.start ep));
-      Endpoint.schedule_attack ep ~message_gap:config.message_gap config.attack)
-    endpoints;
-  (* The fault: one host reset wipes every SA at once, then recovery
-     under the configured discipline after the downtime. *)
-  ignore
-    (Engine.schedule_at engine ~at:config.reset_at (fun () ->
-         reset_happened := true;
-         Host.reset host));
-  ignore
-    (Engine.schedule_at engine
-       ~at:(Time.add config.reset_at config.downtime)
-       (fun () ->
-         Host.recover host
-           ~on_complete:(fun () -> all_ready_at := Some (Engine.now engine))
-           ()));
-  ignore (Engine.run ~until:config.horizon engine);
-  let totals = Metrics.create () in
-  Array.iter
-    (fun ep -> Metrics.absorb ~into:totals (Endpoint.metrics ep))
-    endpoints;
-  let adversary_injected =
-    Array.fold_left (fun acc ep -> acc + Endpoint.injected_count ep) 0 endpoints
-  in
-  {
-    ready_time =
-      (match !all_ready_at with
-      | Some t -> Time.diff t config.reset_at
-      | None -> Time.diff config.horizon config.reset_at);
-    recovery_time =
-      (match !all_recovered_at with
-      | Some t -> Time.diff t config.reset_at
-      | None -> Time.diff config.horizon config.reset_at);
-    recovered_fully = !all_recovered_at <> None;
-    messages_lost =
-      totals.Metrics.dropped_host_down + totals.Metrics.bad_icv;
-    replay_accepted = totals.Metrics.replay_accepted;
-    adversary_injected;
-    duplicate_deliveries = totals.Metrics.duplicate_deliveries;
-    disk_writes = Sim_disk.saves_completed disk;
-    handshake_messages = Host.handshake_messages host;
-    delivered = totals.Metrics.delivered;
-    events_fired = Engine.fired_count engine;
-  }
+    Fun.protect
+      ~finally:(fun () -> if owned then Domain_pool.shutdown pool)
+      (fun () ->
+        let ranges = Shard.partition ~sa_count:config.sa_count ~shards in
+        let results =
+          Domain_pool.map_ordered pool
+            (fun engine (lo, hi) ->
+              Shard.run_range ~seed ~engine discipline config ~lo ~hi)
+            ranges
+        in
+        Shard.merge config results)
+  end

@@ -5,71 +5,97 @@
     existing SAs to drop and reestablish all the existing SAs because
     of a reset stands for a huge amount of overhead". This composer
     builds [n] parallel {!Endpoint.t}s (one per sender→receiver
-    association) over one {!Host.t} sharing the receiver host's disk
-    and clock, resets that host once (all SAs lose their volatile
-    state together), and measures recovery under three disciplines:
+    association) over {!Host.t}s sharing the receiver host's clock,
+    resets that host once (all SAs lose their volatile state
+    together), and measures recovery under three disciplines:
 
     - [`Save_fetch_per_sa] ({!Host.Per_sa}): the paper, one blocking
       wakeup SAVE per SA, sequentially (the disk serializes writes);
-    - [`Save_fetch_coalesced] ({!Host.Coalesced}): our extension — all
-      recovered edges are written in a single
+    - [`Save_fetch_coalesced] ({!Host.Coalesced}): our extension —
+      all recovered edges are written in a single
       {!Resets_persist.Sim_disk.save_snapshot} operation (they fit in
       one block), so recovery is one SAVE regardless of [n];
     - [`Reestablish] ({!Host.Reestablish}): IKE-lite renegotiation per
       SA, sequentially.
 
-    The coalesced mode also batches the periodic SAVEs: one snapshot
-    write covers every SA that crossed its K threshold in the same
-    window. Since the endpoints run through the same datapath as the
+    Since the endpoints run through the same datapath as the
     single-SA harness, an {!Endpoint.attack} can be staged against
-    every link, and [replay_accepted] is measured, not assumed. *)
+    every link, and [replay_accepted] is measured, not assumed.
 
-type discipline = [ `Save_fetch_per_sa | `Save_fetch_coalesced | `Reestablish ]
+    {b Multicore.} [run ~domains:d] shards the SAs across [d] OCaml
+    domains via {!Shard}, each shard on its own engine and disk, and
+    merges the per-shard results deterministically. Every
+    protocol-level outcome field is identical whatever [d] is (the
+    shard determinism suite diffs them); see {!Shard} for the
+    invariance argument and the short list of fields that are
+    throughput bookkeeping rather than protocol outcomes. *)
 
-type config = {
+open Resets_sim
+open Resets_util
+
+type discipline = Shard.discipline
+
+type config = Shard.config = {
   sa_count : int;
   k : int;
-  save_latency : Resets_sim.Time.t;
-  message_gap : Resets_sim.Time.t;  (** per SA *)
-  link_latency : Resets_sim.Time.t;
-  reset_at : Resets_sim.Time.t;
-  downtime : Resets_sim.Time.t;
-  horizon : Resets_sim.Time.t;
+  save_latency : Time.t;
+  message_gap : Time.t;  (** per SA *)
+  link_latency : Time.t;
+  reset_at : Time.t;
+  downtime : Time.t;
+  horizon : Time.t;
   ike_cost : Resets_ipsec.Ike.cost;
   attack : Endpoint.attack;
       (** staged against every SA's link (adversary taps are only
-          attached when an attack is configured, so attack-free scale
-          runs carry no capture buffers) *)
+          attached when an attack is configured) *)
+  keep_trace : bool;  (** see {!Shard.config} *)
 }
 
 val default_config : config
 (** 16 SAs, K = 25, the paper's latencies, reset at 10 ms for 1 ms,
-    horizon 120 ms, no attack. *)
+    horizon 120 ms, no attack, no trace. *)
 
-type outcome = {
-  ready_time : Resets_sim.Time.t;
-      (** reset → every SA's state recovered and processing again
-          (downtime + the recovery discipline's own cost) *)
-  recovery_time : Resets_sim.Time.t;
-      (** reset → every SA delivering again (includes waiting out the
-          leap: post-reset sequence numbers must pass the recovered
-          edge); when [recovered_fully] is false this is the
-          horizon-capped lower bound *)
-  recovered_fully : bool;
-  messages_lost : int;
-      (** arrivals at the dead/recovering host, plus arrivals that no
-          longer verify (stale keys after re-establishment) *)
-  replay_accepted : int;
-      (** adversary injections delivered, summed over every SA — the
-          paper's guarantee is that SAVE/FETCH keeps this 0 *)
-  adversary_injected : int;  (** replayed packets put on the wires *)
-  duplicate_deliveries : int;
-  disk_writes : int;  (** completed persistent writes at the receiver *)
-  handshake_messages : int;  (** wire messages spent renegotiating *)
-  delivered : int;
-  events_fired : int;
-      (** engine events the run consumed — the numerator of E14's
-          events-per-second throughput *)
+type shard_stat = Shard.shard_stat = {
+  stat_lo : int;
+  stat_hi : int;
+  stat_events_fired : int;
+  stat_wall_s : float;
 }
 
-val run : ?seed:int -> discipline -> config -> outcome
+type outcome = Shard.outcome = {
+  ready_time : Time.t;
+  recovery_time : Time.t;
+  recovered_fully : bool;
+  messages_lost : int;
+  replay_accepted : int;
+  adversary_injected : int;
+  duplicate_deliveries : int;
+  disk_writes : int;
+  handshake_messages : int;
+  delivered : int;
+  events_fired : int;
+  shard_stats : shard_stat array;
+  trace : Trace.entry list;
+}
+(** Field semantics are documented on {!Shard.outcome}. *)
+
+type pool = Engine.t Domain_pool.t
+(** A domain pool whose per-worker state is a reusable pre-sized
+    engine — what [run] spawns internally, exposed so sweeps can spawn
+    the domains once and amortise them across many runs. *)
+
+val create_pool : domains:int -> pool
+(** Spawn [domains] worker domains, each owning one engine. The caller
+    must eventually {!Resets_util.Domain_pool.shutdown} it. *)
+
+val run :
+  ?seed:int -> ?domains:int -> ?pool:pool -> discipline -> config -> outcome
+(** [run discipline config] simulates the whole host. [~domains:d]
+    (default 1) shards it over [d] spawned-then-joined domains;
+    [~pool] instead reuses an existing {!create_pool} pool (its size
+    caps the shard count; [domains] is then ignored). With
+    [domains = 1] and no pool the run is inline — no domain is ever
+    spawned, which keeps the sequential path available as the oracle
+    the parallel path is diffed against.
+    @raise Invalid_argument when [sa_count <= 0], [domains < 1], or
+    [domains > sa_count]. *)

@@ -1,0 +1,297 @@
+open Resets_util
+open Resets_sim
+open Resets_persist
+open Resets_ipsec
+
+type discipline = [ `Save_fetch_per_sa | `Save_fetch_coalesced | `Reestablish ]
+
+type config = {
+  sa_count : int;
+  k : int;
+  save_latency : Time.t;
+  message_gap : Time.t;
+  link_latency : Time.t;
+  reset_at : Time.t;
+  downtime : Time.t;
+  horizon : Time.t;
+  ike_cost : Ike.cost;
+  attack : Endpoint.attack;
+  keep_trace : bool;
+}
+
+let default_config =
+  {
+    sa_count = 16;
+    k = 25;
+    save_latency = Time.of_us 100;
+    message_gap = Time.of_us 100;
+    link_latency = Time.of_us 10;
+    reset_at = Time.of_ms 10;
+    downtime = Time.of_ms 1;
+    horizon = Time.of_ms 120;
+    ike_cost = Ike.default_cost;
+    attack = Endpoint.No_attack;
+    keep_trace = false;
+  }
+
+type result = {
+  lo : int;
+  hi : int;
+  ready_at : Time.t option;
+  recovered_at : Time.t option;
+  metrics : Metrics.t;
+  adversary_injected : int;
+  disk_writes : int;
+  handshake_messages : int;
+  events_fired : int;
+  wall_s : float;
+  trace : Trace.entry list;
+}
+
+type shard_stat = {
+  stat_lo : int;
+  stat_hi : int;
+  stat_events_fired : int;
+  stat_wall_s : float;
+}
+
+type outcome = {
+  ready_time : Time.t;
+  recovery_time : Time.t;
+  recovered_fully : bool;
+  messages_lost : int;
+  replay_accepted : int;
+  adversary_injected : int;
+  duplicate_deliveries : int;
+  disk_writes : int;
+  handshake_messages : int;
+  delivered : int;
+  events_fired : int;
+  shard_stats : shard_stat array;
+  trace : Trace.entry list;
+}
+
+let partition ~sa_count ~shards =
+  if sa_count <= 0 then invalid_arg "Shard.partition: sa_count must be positive";
+  if shards < 1 || shards > sa_count then
+    invalid_arg "Shard.partition: need 1 <= shards <= sa_count";
+  let base = sa_count / shards and rem = sa_count mod shards in
+  Array.init shards (fun i ->
+      (* the first [rem] shards carry one extra SA *)
+      let lo = (i * base) + min i rem in
+      let hi = lo + base + if i < rem then 1 else 0 in
+      (lo, hi))
+
+let heap_hint ~sa_count = max 64 (4 * sa_count)
+
+(* A bounded capture buffer per tapped link: enough for any replay the
+   scenarios stage, small enough that thousands of SAs could carry one
+   (the default 2^20-entry recorder would cost megabytes per link). *)
+let tap_capacity = 4096
+
+let run_range ?(seed = 11) ?engine discipline config ~lo ~hi =
+  if config.sa_count <= 0 then
+    invalid_arg "Shard.run_range: sa_count must be positive";
+  if lo < 0 || hi <= lo || hi > config.sa_count then
+    invalid_arg "Shard.run_range: need 0 <= lo < hi <= sa_count";
+  let wall_start = Unix.gettimeofday () in
+  let n = hi - lo in
+  let engine =
+    match engine with
+    | Some e ->
+      Engine.reset e;
+      e
+    | None -> Engine.create ~hint:(heap_hint ~sa_count:n) ()
+  in
+  let trace = if config.keep_trace then Some (Trace.create ()) else None in
+  let disk = Sim_disk.create ?trace ~name:"disk.q" ~latency:config.save_latency engine in
+  let host_discipline =
+    match discipline with
+    | `Save_fetch_per_sa -> Host.Per_sa
+    | `Save_fetch_coalesced -> Host.Coalesced
+    | `Reestablish -> Host.Reestablish { cost = config.ike_cost }
+  in
+  let tap =
+    match config.attack with
+    | Endpoint.No_attack -> Endpoint.No_tap
+    | _ -> Endpoint.Tap { capacity = Some tap_capacity }
+  in
+  (* One endpoint per SA, each with its own metrics (sequence spaces
+     overlap across SAs) and — under the per-SA discipline — its own
+     key on this shard's disk. Everything random about SA [g] comes
+     from a generator keyed by (seed, g) and is drawn in a fixed
+     order, so the SA behaves identically whatever shard carries it
+     and however many shards there are. *)
+  let ike_prngs = Array.make n (Prng.create 0) in
+  let offsets = Array.make n Time.zero in
+  let endpoint_of i =
+    let g = lo + i in
+    let sa_prng = Prng.keyed ~seed ~stream:g in
+    let link_prng = Prng.split sa_prng in
+    offsets.(i) <-
+      Time.of_ns
+        (Int64.of_int
+           (Prng.int sa_prng (Int64.to_int (Time.to_ns config.message_gap) + 1)));
+    ike_prngs.(i) <- sa_prng;
+    let receiver_persistence =
+      match discipline with
+      | `Save_fetch_per_sa ->
+        Some
+          {
+            Receiver.disk;
+            key = Host.sa_key g;
+            k = config.k;
+            leap = 2 * config.k;
+            robust = false;
+            wakeup_buffer = false;
+          }
+      | `Save_fetch_coalesced | `Reestablish ->
+        (* the host manages durability (or renegotiates instead) *)
+        None
+    in
+    Endpoint.create ?trace
+      ~sender_name:(Printf.sprintf "p%d" g)
+      ~receiver_name:(Printf.sprintf "q%d" g)
+      ~link_name:(Printf.sprintf "link%d" g)
+      ~link_prng ~tap
+      ~spi:(Int32.of_int (0x4000 + g))
+      ~secret:(Printf.sprintf "multi-sa-%d" g)
+      ~link_latency:config.link_latency
+      ~traffic:(Resets_workload.Traffic.constant ~gap:config.message_gap)
+      ~metrics:(Metrics.create ())
+      ~sender_persistence:None ~receiver_persistence engine
+  in
+  let endpoints = Array.init n endpoint_of in
+  let host =
+    Host.create ~k:config.k ~leap:(2 * config.k) ~ike_prngs ~first_sa:lo
+      ~spi_base:0x6000l
+      ~flush_period:(Time.mul config.message_gap config.k)
+      ~disk ~discipline:host_discipline endpoints engine
+  in
+  (* Recovery bookkeeping: when is every SA in this range processing
+     again, and when has every one delivered a fresh message again? *)
+  let reset_happened = ref false in
+  let all_ready_at = ref None in
+  let all_recovered_at = ref None in
+  let delivered_after_reset = Array.make n false in
+  Array.iteri
+    (fun i ep ->
+      Receiver.on_deliver (Endpoint.receiver ep) (fun ~seq:_ ~payload:_ ->
+          if !reset_happened && not delivered_after_reset.(i) then begin
+            delivered_after_reset.(i) <- true;
+            if Array.for_all Fun.id delivered_after_reset then
+              all_recovered_at := Some (Engine.now engine)
+          end))
+    endpoints;
+  (* Stagger start times so SAs do not act in lockstep, and give every
+     link the same adversary the single-SA harness gets. *)
+  Array.iteri
+    (fun i ep ->
+      ignore
+        (Engine.schedule_after engine ~after:offsets.(i) (fun () ->
+             Endpoint.start ep));
+      Endpoint.schedule_attack ep ~message_gap:config.message_gap config.attack)
+    endpoints;
+  (* The fault: one host reset wipes every SA at once, then recovery
+     under the configured discipline after the downtime. Every shard
+     schedules these at the same absolute times, so the D shards crash
+     and recover as one logical host. *)
+  ignore
+    (Engine.schedule_at engine ~at:config.reset_at (fun () ->
+         reset_happened := true;
+         Host.reset host));
+  ignore
+    (Engine.schedule_at engine
+       ~at:(Time.add config.reset_at config.downtime)
+       (fun () ->
+         Host.recover host
+           ~on_complete:(fun () -> all_ready_at := Some (Engine.now engine))
+           ()));
+  ignore (Engine.run ~until:config.horizon engine);
+  let totals = Metrics.create () in
+  Array.iter
+    (fun ep -> Metrics.absorb ~into:totals (Endpoint.metrics ep))
+    endpoints;
+  let adversary_injected =
+    Array.fold_left (fun acc ep -> acc + Endpoint.injected_count ep) 0 endpoints
+  in
+  {
+    lo;
+    hi;
+    ready_at = !all_ready_at;
+    recovered_at = !all_recovered_at;
+    metrics = totals;
+    adversary_injected;
+    disk_writes = Sim_disk.saves_completed disk;
+    handshake_messages = Host.handshake_messages host;
+    events_fired = Engine.fired_count engine;
+    wall_s = Unix.gettimeofday () -. wall_start;
+    trace =
+      (match trace with
+      | Some tr -> Trace.entries tr
+      | None -> []);
+  }
+
+let merge config (results : result array) =
+  let shards = Array.length results in
+  if shards = 0 then invalid_arg "Shard.merge: no results";
+  (* The results must tile [0, sa_count) in order — the merge is a
+     deterministic sa-index-ordered reduction, not a bag union. *)
+  if results.(0).lo <> 0 || results.(shards - 1).hi <> config.sa_count then
+    invalid_arg "Shard.merge: results do not cover [0, sa_count)";
+  for i = 1 to shards - 1 do
+    if results.(i).lo <> results.(i - 1).hi then
+      invalid_arg "Shard.merge: results are not contiguous"
+  done;
+  (* "All SAs are X" over the whole host is "all shards report all
+     their SAs are X", at the latest of the shard times. *)
+  let latest field =
+    Array.fold_left
+      (fun acc r ->
+        match (acc, field r) with
+        | Some a, Some b -> Some (Time.max a b)
+        | _ -> None)
+      (Some Time.zero) results
+  in
+  let all_ready_at = latest (fun r -> r.ready_at) in
+  let all_recovered_at = latest (fun r -> r.recovered_at) in
+  let capped = function
+    | Some t -> Time.diff t config.reset_at
+    | None -> Time.diff config.horizon config.reset_at
+  in
+  let totals = Metrics.create () in
+  Array.iter (fun r -> Metrics.absorb ~into:totals r.metrics) results;
+  let sum field = Array.fold_left (fun acc r -> acc + field r) 0 results in
+  let trace =
+    (* Stable sort of the shard-order concatenation: time order, with
+       shard order breaking ties at equal timestamps. *)
+    List.stable_sort
+      (fun (a : Trace.entry) (b : Trace.entry) -> Time.compare a.time b.time)
+      (List.concat_map
+         (fun (r : result) -> r.trace)
+         (Array.to_list results))
+  in
+  {
+    ready_time = capped all_ready_at;
+    recovery_time = capped all_recovered_at;
+    recovered_fully = all_recovered_at <> None;
+    messages_lost = totals.Metrics.dropped_host_down + totals.Metrics.bad_icv;
+    replay_accepted = totals.Metrics.replay_accepted;
+    adversary_injected = sum (fun r -> r.adversary_injected);
+    duplicate_deliveries = totals.Metrics.duplicate_deliveries;
+    disk_writes = sum (fun r -> r.disk_writes);
+    handshake_messages = sum (fun r -> r.handshake_messages);
+    delivered = totals.Metrics.delivered;
+    events_fired = sum (fun r -> r.events_fired);
+    shard_stats =
+      Array.map
+        (fun r ->
+          {
+            stat_lo = r.lo;
+            stat_hi = r.hi;
+            stat_events_fired = r.events_fired;
+            stat_wall_s = r.wall_s;
+          })
+        results;
+    trace;
+  }

@@ -1,0 +1,151 @@
+(** Sharded multi-SA simulation: partition, per-shard run, merge.
+
+    The multi-SA experiment simulates [n] independent SAs that share
+    only three things: a wall clock, one reset event, and a recovery
+    discipline whose serialized cost is a closed-form function of each
+    SA's global index (see {!Host.recover}). That makes the simulation
+    {e partitionable}: SAs [lo..hi) can run on their own
+    {!Resets_sim.Engine.t} with their own
+    {!Resets_persist.Sim_disk.t}, and the per-SA outcomes are
+    identical whatever the partition — the property the shard
+    determinism suite checks by diffing 1-shard against 4-shard runs
+    field by field.
+
+    Three ingredients carry the invariance:
+
+    - {b PRNG streams keyed by SA index.} SA [g] draws everything
+      random about it (link adversary, start offset, IKE nonces) from
+      [Prng.keyed ~seed ~stream:g] — a pure function of [(seed, g)],
+      unlike sequential [Prng.split] chains whose values depend on how
+      many SAs were built before this one.
+    - {b Global-index scheduling.} Disk keys, SPIs and the serialized
+      recovery staggers are computed from [g], so a shard reproduces
+      the absolute timing the unsharded host would give its slice.
+    - {b Disjoint state.} Shards share no keys, so D disks behave like
+      one disk (see {!Resets_persist.Sim_disk}), and the merge is a
+      deterministic sa-index-ordered reduction.
+
+    What is {e not} partition-invariant, by construction:
+    [events_fired] (each shard pays its own reset/recover bookkeeping
+    events), the coalesced recovery [disk_writes] (one snapshot {e per
+    shard}), and trace interleaving at equal timestamps (ties are
+    broken by shard order). Everything protocol-level — deliveries,
+    losses, replay verdicts, readiness and recovery times — is.
+
+    {!Multi_sa.run} drives this module; use it directly only to manage
+    the partition yourself (e.g. from a {!Resets_util.Domain_pool}
+    worker). *)
+
+open Resets_sim
+
+type discipline = [ `Save_fetch_per_sa | `Save_fetch_coalesced | `Reestablish ]
+
+type config = {
+  sa_count : int;
+  k : int;
+  save_latency : Time.t;
+  message_gap : Time.t;  (** per SA *)
+  link_latency : Time.t;
+  reset_at : Time.t;
+  downtime : Time.t;
+  horizon : Time.t;
+  ike_cost : Resets_ipsec.Ike.cost;
+  attack : Endpoint.attack;
+      (** staged against every SA's link (adversary taps are only
+          attached when an attack is configured, so attack-free scale
+          runs carry no capture buffers) *)
+  keep_trace : bool;
+      (** record a per-shard {!Resets_sim.Trace.t} and return its
+          entries (merged deterministically); off by default — scale
+          runs should not pay for tracing *)
+}
+
+val default_config : config
+(** 16 SAs, K = 25, the paper's latencies, reset at 10 ms for 1 ms,
+    horizon 120 ms, no attack, no trace. *)
+
+type result = {
+  lo : int;
+  hi : int;  (** this result covers SAs [lo..hi) *)
+  ready_at : Time.t option;
+      (** absolute time every SA in range was processing again *)
+  recovered_at : Time.t option;
+      (** absolute time every SA in range had delivered again *)
+  metrics : Metrics.t;  (** absorbed over the range, in sa order *)
+  adversary_injected : int;
+  disk_writes : int;
+  handshake_messages : int;
+  events_fired : int;
+  wall_s : float;  (** wall-clock seconds this range took to simulate *)
+  trace : Trace.entry list;  (** [[]] unless [config.keep_trace] *)
+}
+
+type shard_stat = {
+  stat_lo : int;
+  stat_hi : int;
+  stat_events_fired : int;
+  stat_wall_s : float;
+}
+
+type outcome = {
+  ready_time : Time.t;
+      (** reset → every SA's state recovered and processing again
+          (downtime + the recovery discipline's own cost) *)
+  recovery_time : Time.t;
+      (** reset → every SA delivering again (includes waiting out the
+          leap: post-reset sequence numbers must pass the recovered
+          edge); when [recovered_fully] is false this is the
+          horizon-capped lower bound *)
+  recovered_fully : bool;
+  messages_lost : int;
+      (** arrivals at the dead/recovering host, plus arrivals that no
+          longer verify (stale keys after re-establishment) *)
+  replay_accepted : int;
+      (** adversary injections delivered, summed over every SA — the
+          paper's guarantee is that SAVE/FETCH keeps this 0 *)
+  adversary_injected : int;  (** replayed packets put on the wires *)
+  duplicate_deliveries : int;
+  disk_writes : int;  (** completed persistent writes at the receiver *)
+  handshake_messages : int;  (** wire messages spent renegotiating *)
+  delivered : int;
+  events_fired : int;
+      (** engine events the run consumed, summed over shards — the
+          numerator of E14's events-per-second throughput. NOT
+          partition-invariant (constant per-shard overhead). *)
+  shard_stats : shard_stat array;
+      (** one entry per shard, in sa order — per-shard throughput for
+          E14's min/max columns *)
+  trace : Trace.entry list;
+      (** merged: time order, shard order at equal times *)
+}
+
+val partition : sa_count:int -> shards:int -> (int * int) array
+(** [partition ~sa_count ~shards] tiles [0, sa_count) into [shards]
+    contiguous [(lo, hi)] ranges whose sizes differ by at most one
+    (the first [sa_count mod shards] ranges are the longer ones).
+    @raise Invalid_argument unless [1 <= shards <= sa_count]. *)
+
+val heap_hint : sa_count:int -> int
+(** Engine heap pre-size for a shard carrying [sa_count] SAs. *)
+
+val run_range :
+  ?seed:int ->
+  ?engine:Engine.t ->
+  discipline ->
+  config ->
+  lo:int ->
+  hi:int ->
+  result
+(** Simulate SAs [lo..hi) of an [sa_count]-SA host on one engine.
+    [engine] (reset before use) lets a pooled worker reuse a grown
+    event heap across runs; by default a fresh engine pre-sized with
+    {!heap_hint} is created. Thread-safe in the sense that concurrent
+    calls on distinct engines share no mutable state.
+    @raise Invalid_argument unless [0 <= lo < hi <= config.sa_count]. *)
+
+val merge : config -> result array -> outcome
+(** Combine per-shard results into the whole-host outcome. The
+    reduction is deterministic: results must be in sa order and tile
+    [0, sa_count) exactly; times combine by max, counters by
+    sa-ordered sums.
+    @raise Invalid_argument when the results do not tile the range. *)

@@ -13,11 +13,20 @@ let remove t ~spi = Hashtbl.remove t spi
 
 let count t = Hashtbl.length t
 
-let iter f t = Hashtbl.iter (fun _spi sa -> f sa) t
+(* Iteration is pinned to ascending SPI so every traversal — recovery
+   sweeps, resets, metrics — is deterministic. Hashtbl's own order
+   depends on insertion history and hashing, which is exactly the kind
+   of hidden nondeterminism a parallel merge cannot oracle against. *)
+let sorted_bindings t =
+  let bindings = Hashtbl.fold (fun spi sa acc -> (spi, sa) :: acc) t [] in
+  List.sort (fun (a, _) (b, _) -> Int32.compare a b) bindings
 
-let fold f acc t = Hashtbl.fold (fun _spi sa acc -> f acc sa) t acc
+let iter f t = List.iter (fun (_spi, sa) -> f sa) (sorted_bindings t)
 
-let spis t = Hashtbl.fold (fun spi _sa acc -> spi :: acc) t []
+let fold f acc t =
+  List.fold_left (fun acc (_spi, sa) -> f acc sa) acc (sorted_bindings t)
+
+let spis t = List.map fst (sorted_bindings t)
 
 let clear t = Hashtbl.reset t
 

@@ -19,10 +19,17 @@ val remove : t -> spi:int32 -> unit
 val count : t -> int
 
 val iter : (Sa.t -> unit) -> t -> unit
+(** In ascending SPI order. Traversal order is part of the contract:
+    recovery code iterating the database must behave identically run to
+    run (and match the sa-index-ordered sequential oracle the sharded
+    simulation is compared against), so hashtable order is never
+    exposed. *)
 
 val fold : ('acc -> Sa.t -> 'acc) -> 'acc -> t -> 'acc
+(** In ascending SPI order (see {!iter}). *)
 
 val spis : t -> int32 list
+(** In ascending order. *)
 
 val clear : t -> unit
 (** Drop every SA — the IETF-recommended response to a reset that the

@@ -132,6 +132,8 @@ let crash t =
 
 let in_flight t = List.length t.pending
 
+let base_latency t = t.base_latency
+
 let saves_begun t = t.begun
 let saves_completed t = t.completed
 let saves_lost t = t.lost

@@ -4,7 +4,18 @@
     paper's constants [Tp]/[Tq] are this latency. A [crash] before the
     completion event fires discards the in-flight write, which is
     exactly the "reset occurs before the current SAVE finishes" branch
-    of the paper's Figures 1 and 2. *)
+    of the paper's Figures 1 and 2.
+
+    {b Per-shard isolation.} A disk belongs to exactly one
+    {!Resets_sim.Engine.t} (its completion events are scheduled there)
+    and is not thread-safe; a sharded simulation therefore gives every
+    shard its own disk on the shard's own engine. This is semantically
+    free: writes to distinct keys never interact (per-key supersede is
+    the only cross-write rule), so as long as no two shards share a
+    key, D disks behave exactly like one disk that happens to admit D
+    concurrent writers. Only the per-disk counters ([saves_*],
+    [key_count]) become per-shard and must be summed in sa-index order
+    by the merge step. *)
 
 open Resets_sim
 
@@ -68,3 +79,9 @@ val saves_lost : t -> int
 val latency_of_next_save : t -> Time.t
 (** The latency the next save will incur (samples jitter eagerly so
     callers can reason about the schedule in tests). *)
+
+val base_latency : t -> Time.t
+(** The jitter-free write latency this disk was created with. The shard
+    layer's staggered per-SA recovery schedule is computed from it, so
+    deterministic sharding requires an un-jittered disk (see
+    {!Resets_core.Host.recover}). *)

@@ -24,15 +24,29 @@ let compare_event a b =
   | 0 -> Int.compare a.seq b.seq
   | c -> c
 
-let create () =
+let create ?hint () =
   {
     clock = Time.zero;
     next_seq = 0;
     stop_requested = false;
     live = 0;
     fired = 0;
-    queue = Heap.create ~cmp:compare_event;
+    queue =
+      (match hint with
+      | Some capacity -> Heap.create_sized ~capacity ~cmp:compare_event
+      | None -> Heap.create ~cmp:compare_event);
   }
+
+(* Return the engine to its just-created state while keeping the event
+   heap's grown backing store, so a pooled worker can run shard after
+   shard without re-growing the queue each time. *)
+let reset t =
+  t.clock <- Time.zero;
+  t.next_seq <- 0;
+  t.stop_requested <- false;
+  t.live <- 0;
+  t.fired <- 0;
+  Heap.clear t.queue
 
 let now t = t.clock
 

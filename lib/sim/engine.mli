@@ -9,7 +9,17 @@ type t
 type handle
 (** A scheduled event; can be cancelled until it fires. *)
 
-val create : unit -> t
+val create : ?hint:int -> unit -> t
+(** [hint] pre-sizes the event heap (number of simultaneously pending
+    events expected at steady state) so large simulations skip the
+    backing-store re-growth walk. *)
+
+val reset : t -> unit
+(** Return the engine to its just-created state — clock at zero, no
+    pending events, counters cleared — while keeping the event heap's
+    grown backing store. Lets a pooled worker domain reuse one engine
+    across many shard runs. Handles from before the reset must not be
+    [cancel]led afterwards. *)
 
 val now : t -> Time.t
 

@@ -1,0 +1,121 @@
+(* A fixed-size pool of OCaml 5 domains with per-worker state.
+
+   Spawn-once: [create] starts every worker domain immediately; [submit]
+   only enqueues closures, so steady-state use never pays domain spawn
+   cost. Tasks receive their worker's state ['w] (built in the worker
+   domain by [init], so worker-local scratch such as a reusable
+   simulation engine lives in that domain's minor heap). Results come
+   back through futures; exceptions raised by a task are captured with
+   their backtrace and re-raised by [await] in the calling domain. *)
+
+type 'w task = Task of ('w -> unit) | Quit
+
+type 'w t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : 'w task Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t array;
+}
+
+type 'a state = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fmutex : Mutex.t;
+  fdone : Condition.t;
+  mutable state : 'a state;
+}
+
+let worker_loop pool init index () =
+  let state = init index in
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    let rec next () =
+      match Queue.take_opt pool.queue with
+      | Some task -> task
+      | None ->
+        if pool.closed then Quit
+        else begin
+          Condition.wait pool.nonempty pool.mutex;
+          next ()
+        end
+    in
+    let task = next () in
+    Mutex.unlock pool.mutex;
+    match task with
+    | Quit -> ()
+    | Task f ->
+      f state;
+      loop ()
+  in
+  loop ()
+
+let create ~domains ~init () =
+  if domains < 1 then invalid_arg "Domain_pool.create: domains must be >= 1";
+  let pool =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [||];
+    }
+  in
+  pool.workers <-
+    Array.init domains (fun i -> Domain.spawn (worker_loop pool init i));
+  pool
+
+let size pool = Array.length pool.workers
+
+let fill future outcome =
+  Mutex.lock future.fmutex;
+  future.state <- outcome;
+  Condition.broadcast future.fdone;
+  Mutex.unlock future.fmutex
+
+let submit pool f =
+  let future = { fmutex = Mutex.create (); fdone = Condition.create (); state = Pending } in
+  let task =
+    Task
+      (fun state ->
+        match f state with
+        | result -> fill future (Done result)
+        | exception e -> fill future (Failed (e, Printexc.get_raw_backtrace ())))
+  in
+  Mutex.lock pool.mutex;
+  if pool.closed then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Domain_pool.submit: pool is shut down"
+  end;
+  Queue.add task pool.queue;
+  Condition.signal pool.nonempty;
+  Mutex.unlock pool.mutex;
+  future
+
+let await future =
+  Mutex.lock future.fmutex;
+  let rec wait () =
+    match future.state with
+    | Pending ->
+      Condition.wait future.fdone future.fmutex;
+      wait ()
+    | Done v ->
+      Mutex.unlock future.fmutex;
+      v
+    | Failed (e, bt) ->
+      Mutex.unlock future.fmutex;
+      Printexc.raise_with_backtrace e bt
+  in
+  wait ()
+
+let map_ordered pool f items =
+  let futures = Array.map (fun item -> submit pool (fun state -> f state item)) items in
+  Array.map await futures
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let was_closed = pool.closed in
+  pool.closed <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex;
+  if not was_closed then Array.iter Domain.join pool.workers

@@ -1,0 +1,52 @@
+(** A fixed-size pool of OCaml 5 domains with per-worker state.
+
+    The multicore substrate of the sharded simulation: [D] worker
+    domains are spawned once at {!create} and reused for every task, so
+    a bench sweep that runs hundreds of shard simulations pays domain
+    spawn cost once per pool, not once per run. Each worker owns a
+    value of state type ['w] built by [init] {e inside that worker's
+    domain} — the natural home for reusable scratch such as a
+    pre-sized {!Resets_sim.Engine.t} whose event heap should stay warm
+    across shard runs.
+
+    There is deliberately no work stealing: tasks are taken FIFO from
+    one queue. Shard workloads are coarse (one task simulates an entire
+    shard to the horizon), so a single shared queue already balances
+    them, and determinism is the product of the tasks themselves, not
+    of the schedule — results flow back through futures and the caller
+    reduces them in submission order. *)
+
+type 'w t
+(** A pool whose workers each hold state of type ['w]. *)
+
+type 'a future
+(** The pending result of a submitted task. *)
+
+val create : domains:int -> init:(int -> 'w) -> unit -> 'w t
+(** [create ~domains ~init ()] spawns [domains] worker domains; worker
+    [i] first evaluates [init i] in its own domain and then serves
+    tasks until {!shutdown}. @raise Invalid_argument when
+    [domains < 1]. *)
+
+val size : 'w t -> int
+(** Number of worker domains. *)
+
+val submit : 'w t -> ('w -> 'a) -> 'a future
+(** Enqueue one task. It runs on some worker, receiving that worker's
+    state. @raise Invalid_argument after {!shutdown}. *)
+
+val await : 'a future -> 'a
+(** Block until the task finished. Re-raises (with its original
+    backtrace) any exception the task raised. May be called from any
+    domain, more than once. *)
+
+val map_ordered : 'w t -> ('w -> 'a -> 'b) -> 'a array -> 'b array
+(** [map_ordered pool f items] submits one task per item and awaits
+    them all; [result.(i)] corresponds to [items.(i)] regardless of the
+    order in which workers finished — the deterministic-merge shape
+    used by the shard layer. *)
+
+val shutdown : 'w t -> unit
+(** Finish the queued tasks, stop every worker and join the domains.
+    Idempotent. Tasks already submitted still run to completion; new
+    submissions are rejected. *)

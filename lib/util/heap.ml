@@ -5,6 +5,8 @@ type 'a t = {
 
 let create ~cmp = { cmp; data = Vec.create () }
 
+let create_sized ~capacity ~cmp = { cmp; data = Vec.create ~capacity () }
+
 let length h = Vec.length h.data
 
 let is_empty h = Vec.is_empty h.data

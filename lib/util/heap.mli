@@ -6,7 +6,13 @@
 type 'a t
 
 val create : cmp:('a -> 'a -> int) -> 'a t
-(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first). *)
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest
+    first). *)
+
+val create_sized : capacity:int -> cmp:('a -> 'a -> int) -> 'a t
+(** Like {!create}, but [capacity] pre-sizes the backing store (see
+    {!Vec.create}) so hot event queues of known steady-state size skip
+    the re-growth walk. *)
 
 val length : 'a t -> int
 

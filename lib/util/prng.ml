@@ -17,6 +17,21 @@ let next_int64 t =
 
 let split t = { state = mix (next_int64 t) }
 
+let keyed ~seed ~stream =
+  (* SplitMix64 stream derivation: place stream [i] at the [i]-th gamma
+     step from the mixed seed, then mix once more so neighbouring
+     streams are decorrelated. Unlike [split], the result depends only
+     on [(seed, stream)] — never on how many generators were derived
+     before it — which is what lets a sharded simulation hand SA [i]
+     the same randomness no matter which shard (or domain) runs it. *)
+  {
+    state =
+      mix
+        (Int64.add
+           (mix (Int64.of_int seed))
+           (Int64.mul golden_gamma (Int64.of_int stream)));
+  }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   (* Take the top 62 bits to get a non-negative OCaml int, then reduce.

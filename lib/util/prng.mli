@@ -16,6 +16,15 @@ val split : t -> t
 (** [split t] derives a new generator from [t], advancing [t]. The two
     streams are statistically independent. *)
 
+val keyed : seed:int -> stream:int -> t
+(** [keyed ~seed ~stream] is the [stream]-th generator of the family
+    rooted at [seed] — a pure function of the pair, unlike {!split},
+    which depends on every derivation made before it. Sharded
+    simulations key each SA's generator by its global index so the
+    randomness an SA sees is independent of how the SAs are partitioned
+    across shards and domains. Distinct streams are statistically
+    independent (SplitMix64 gamma stepping + finalizer). *)
+
 val next_int64 : t -> int64
 (** Uniform over all 2^64 values. *)
 

@@ -1,11 +1,18 @@
 type 'a t = {
   mutable data : 'a array;
   mutable size : int;
+  (* Capacity to allocate on the first growth. A polymorphic vector
+     cannot pre-allocate its backing array without a witness element,
+     so [create ~capacity] records the wish and the first [push] honors
+     it in one allocation instead of the 8-16-32-... doubling walk. *)
+  mutable hint : int;
 }
 
-let create () = { data = [||]; size = 0 }
+let create ?(capacity = 0) () =
+  if capacity < 0 then invalid_arg "Vec.create: negative capacity";
+  { data = [||]; size = 0; hint = capacity }
 
-let make n x = { data = Array.make n x; size = n }
+let make n x = { data = Array.make n x; size = n; hint = 0 }
 
 let length v = v.size
 
@@ -24,7 +31,7 @@ let set v i x =
 
 let grow v x =
   let capacity = Array.length v.data in
-  let new_capacity = if capacity = 0 then 8 else capacity * 2 in
+  let new_capacity = if capacity = 0 then max 8 v.hint else capacity * 2 in
   let data = Array.make new_capacity x in
   Array.blit v.data 0 data 0 v.size;
   v.data <- data

@@ -3,8 +3,12 @@
 
 type 'a t
 
-val create : unit -> 'a t
-(** [create ()] is an empty vector. *)
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] is an empty vector. [capacity] is a sizing hint: the
+    first growth allocates at least that many slots in one step instead
+    of walking the doubling sequence — worthwhile for queues whose
+    steady-state size is known up front (the simulation engine's event
+    heap). @raise Invalid_argument on a negative capacity. *)
 
 val make : int -> 'a -> 'a t
 (** [make n x] is a vector of [n] copies of [x]. *)

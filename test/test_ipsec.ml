@@ -281,6 +281,22 @@ let test_sadb_fold_spis () =
   Alcotest.(check (list int32)) "spis" [ 0x42l; 0x43l ]
     (List.sort compare (Sadb.spis db))
 
+let test_sadb_iteration_order_pinned () =
+  (* Traversal must be ascending SPI regardless of insertion order —
+     recovery sweeps iterating the database must not inherit hashtable
+     order (which varies with insertion history and would break the
+     sharded simulation's sequential oracle). *)
+  let db = Sadb.create () in
+  let scrambled = [ 0x99l; 0x03l; 0x7fl; 0x42l; 0x01l; 0xe0l; 0x55l ] in
+  List.iter (fun spi -> Sadb.install db (Sa.create (params ~spi ()))) scrambled;
+  let ascending = List.sort Int32.compare scrambled in
+  Alcotest.(check (list int32)) "spis ascending" ascending (Sadb.spis db);
+  let seen = ref [] in
+  Sadb.iter (fun sa -> seen := sa.Sa.params.Sa.spi :: !seen) db;
+  Alcotest.(check (list int32)) "iter ascending" ascending (List.rev !seen);
+  Alcotest.(check (list int32)) "fold ascending" ascending
+    (List.rev (Sadb.fold (fun acc sa -> sa.Sa.params.Sa.spi :: acc) [] db))
+
 (* ------------------------------------------------------------------ *)
 (* Ike *)
 
@@ -431,6 +447,8 @@ let () =
           Alcotest.test_case "remove/clear" `Quick test_sadb_remove_clear;
           Alcotest.test_case "volatile reset" `Quick test_sadb_volatile_reset_keeps_keys;
           Alcotest.test_case "fold/spis" `Quick test_sadb_fold_spis;
+          Alcotest.test_case "iteration order pinned" `Quick
+            test_sadb_iteration_order_pinned;
         ] );
       ( "ike",
         [
