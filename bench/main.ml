@@ -15,6 +15,7 @@
      E10 Section 6: prolonged resets over a bidirectional pair
      E11 Section 5: bounded model checking of the APN models
      E14 multi-SA scale: >= 1024 SAs through the unified Endpoint/Host path
+     E15 chaos batch: fault schedules under the invariant monitor + shrinker
      MICRO bechamel microbenchmarks of the hot paths
 
    Run all:        dune exec bench/main.exe
@@ -86,12 +87,12 @@ let json_dir, selected, e14_domains, e14_sizes =
     (List.tl (Array.to_list Sys.argv));
   let known =
     "E1" :: "E2" :: "E3" :: "E4" :: "E5" :: "E6" :: "E7" :: "E8" :: "E9"
-    :: "E10" :: "E11" :: "E12" :: "E13" :: "E14" :: [ "MICRO" ]
+    :: "E10" :: "E11" :: "E12" :: "E13" :: "E14" :: "E15" :: [ "MICRO" ]
   in
   List.iter
     (fun p ->
       if not (List.mem p known) then begin
-        Printf.eprintf "unknown experiment %s (expected E1..E14 or MICRO)\n" p;
+        Printf.eprintf "unknown experiment %s (expected E1..E15 or MICRO)\n" p;
         exit 1
       end)
     !picks;
@@ -698,6 +699,12 @@ let e14 report =
               ("delivered", Json.Int o.Multi_sa.delivered);
               ("messages_lost", Json.Int o.Multi_sa.messages_lost);
               ("disk_writes", Json.Int o.Multi_sa.disk_writes);
+              ("disk_saves_lost", Json.Int o.Multi_sa.disk_saves_lost);
+              ("disk_saves_failed", Json.Int o.Multi_sa.disk_saves_failed);
+              ("disk_fetches_corrupt", Json.Int o.Multi_sa.disk_fetches_corrupt);
+              ("link_dropped", Json.Int o.Multi_sa.link_dropped);
+              ("link_duplicated", Json.Int o.Multi_sa.link_duplicated);
+              ("link_reordered", Json.Int o.Multi_sa.link_reordered);
               ("events_fired", Json.Int o.Multi_sa.events_fired);
               ("events_per_sec", Json.Float events_per_sec);
               ("wall_clock_s", Json.Float wall);
@@ -1307,6 +1314,99 @@ let e13 report =
   | _ -> ())
 
 (* ------------------------------------------------------------------ *)
+(* E15 *)
+
+let e15 report =
+  Format.printf
+    "Chaos batch: seed-generated fault schedules — resets on both hosts,@.\
+     iid and Gilbert-Elliott burst loss, duplication, reordering, disk@.\
+     write failures / torn snapshots / corrupt FETCHes, and a replay@.\
+     adversary — run under the online invariant monitor. The stock@.\
+     protocol (robust receiver, 2K leap) must hold on every seed; the@.\
+     weakened leap (K, no bounded slide) must yield a violation that@.\
+     the shrinker reduces to a minimal, identically-replaying schedule.@.@.";
+  let seeds = 40 in
+  let cfg weak_leap =
+    { Resets_chaos.Explorer.default_config with seeds; weak_leap }
+  in
+  Report.param report "seeds" (Json.Int seeds);
+  Report.param report "seed_base" (Json.Int 1);
+  Report.param report "horizon_ms" (Json.Int 50);
+  Report.param report "save_retries"
+    (Json.Int Resets_chaos.Explorer.default_config.save_retries);
+  let batch ~table weak =
+    let r = Resets_chaos.Explorer.explore (cfg weak) in
+    List.iter
+      (fun (o : Resets_chaos.Explorer.outcome) ->
+        Report.row report ~table
+          [
+            ("seed", Json.Int o.schedule.seed);
+            ("violations", Json.Int o.violation_count);
+            ( "first_invariant",
+              match o.first_violation with
+              | None -> Json.Null
+              | Some v -> Json.String v.Invariant.invariant );
+          ])
+      r.outcomes;
+    Format.printf "%-9s %4d seed(s): %d violating, %d harness run(s)@."
+      table seeds
+      (List.length r.violating_seeds)
+      r.total_runs;
+    r
+  in
+  let stock = batch ~table:"stock" false in
+  let weak = batch ~table:"weak_leap" true in
+  Report.check report
+    ~name:"stock protocol: zero violations across the whole batch"
+    ~bound:0.
+    ~value:(float_of_int (List.length stock.violating_seeds))
+    (stock.violating_seeds = []);
+  Report.check report ~name:"weak leap: the explorer finds a violating seed"
+    ~value:(float_of_int (List.length weak.violating_seeds))
+    (weak.violating_seeds <> []);
+  (match weak.shrunk with
+  | None -> Report.check report ~name:"weak leap: shrinker ran" false
+  | Some s ->
+    let original =
+      Resets_chaos.Explorer.generate (cfg true) (s.minimal.seed - 1)
+    in
+    Report.param report "minimal_counterexample"
+      (Resets_chaos.Explorer.schedule_to_json s.minimal);
+    Report.param report "shrink_runs" (Json.Int s.shrink_runs);
+    Report.row report ~table:"shrink"
+      [
+        ("seed", Json.Int s.minimal.seed);
+        ("original_resets", Json.Int (List.length original.resets));
+        ("minimal_resets", Json.Int (List.length s.minimal.resets));
+        ( "minimal_horizon_us",
+          Json.Float (Time.to_sec s.minimal.horizon *. 1e6) );
+        ("minimal_violations", Json.Int (List.length s.violations));
+      ];
+    Format.printf
+      "@.minimal counterexample (seed %d, %d shrink run(s)): %d reset(s)@.\
+       (from %d), horizon %a, %d violation(s):@."
+      s.minimal.seed s.shrink_runs
+      (List.length s.minimal.resets)
+      (List.length original.resets)
+      Time.pp s.minimal.horizon
+      (List.length s.violations);
+    List.iter
+      (fun v -> Format.printf "  %a@." Invariant.pp_violation v)
+      s.violations;
+    Report.check report
+      ~name:"shrinker: minimal schedule still violates"
+      (s.violations <> []);
+    Report.check report
+      ~name:"shrinker: no more resets than the original schedule"
+      ~bound:(float_of_int (List.length original.resets))
+      ~value:(float_of_int (List.length s.minimal.resets))
+      (List.length s.minimal.resets <= List.length original.resets));
+  Report.check report
+    ~name:"minimal counterexample replays identically (weak) / batch \
+           deterministic (stock)"
+    (stock.replay_identical && weak.replay_identical)
+
+(* ------------------------------------------------------------------ *)
 (* MICRO *)
 
 let micro report =
@@ -1477,6 +1577,13 @@ let () =
        while per-SA recovery grows linearly, and an adversary replaying \
        against every link still gets zero packets accepted."
     e14;
+  section "E15" "chaos batch: fault schedules under the invariant monitor"
+    ~claim:
+      "Under randomized resets, burst loss, disk faults and a replay \
+       adversary the stock protocol violates no invariant on any seed; \
+       weakening the receiver leap to K re-creates the paper's unsoundness \
+       and the explorer shrinks it to a minimal replayable counterexample."
+    e15;
   section "MICRO" "hot-path microbenchmarks"
     ~claim:
       "Per-packet hot paths (window admit, ESP, HMAC, SHA-256, ChaCha20) \

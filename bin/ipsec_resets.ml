@@ -525,6 +525,109 @@ let kmin_cmd =
     Term.(const go $ const ())
 
 (* ------------------------------------------------------------------ *)
+(* chaos *)
+
+let chaos_cmd =
+  let go seeds seed_base horizon weak_leap retries quiet json_out =
+    let open Resets_chaos in
+    let config =
+      {
+        Explorer.default_config with
+        Explorer.seeds;
+        seed_base;
+        horizon = time_of_ms horizon;
+        weak_leap;
+        save_retries = retries;
+      }
+    in
+    let progress (i, violations) =
+      if not quiet then
+        if violations > 0 then
+          Format.printf "seed %4d: %d violation(s)@." (seed_base + i)
+            violations
+        else if (i + 1) mod 50 = 0 then
+          Format.printf "seed %4d: clean so far@." (seed_base + i)
+    in
+    let report = Explorer.explore ~progress config in
+    (match json_out with
+    | Some path ->
+      Resets_util.Json.write_file path (Explorer.report_to_json report);
+      Format.printf "[json] %s@." path
+    | None -> ());
+    Format.printf "%d schedule(s), %d violating, %d harness run(s)@."
+      (List.length report.Explorer.outcomes)
+      (List.length report.Explorer.violating_seeds)
+      report.Explorer.total_runs;
+    (match report.Explorer.shrunk with
+    | None -> Format.printf "no violations: protocol held under chaos@."
+    | Some s ->
+      Format.printf "minimal counterexample (after %d shrink runs):@."
+        s.Explorer.shrink_runs;
+      Format.printf "%s@."
+        (Resets_util.Json.to_string_pretty
+           (Explorer.schedule_to_json s.Explorer.minimal));
+      List.iter
+        (fun v ->
+          Format.printf "  %a@." Resets_core.Invariant.pp_violation v)
+        s.Explorer.violations;
+      Format.printf "replay identical: %b@." report.Explorer.replay_identical);
+    if
+      report.Explorer.violating_seeds = [] && report.Explorer.replay_identical
+    then 0
+    else 2
+  in
+  let seeds =
+    Arg.(
+      value
+      & opt positive_int_conv 50
+      & info [ "seeds" ] ~docv:"N" ~doc:"How many random fault schedules to run.")
+  in
+  let seed_base =
+    Arg.(
+      value & opt int 1
+      & info [ "seed-base" ] ~docv:"N" ~doc:"First schedule seed.")
+  in
+  let horizon =
+    Arg.(
+      value & opt float 50.
+      & info [ "horizon" ] ~docv:"MS" ~doc:"Per-schedule horizon (ms).")
+  in
+  let weak_leap =
+    Arg.(
+      value & flag
+      & info [ "weak-leap" ]
+          ~doc:
+            "Weaken the receiver wakeup leap from the paper's 2K to K — the \
+             unsound configuration the explorer is expected to catch and \
+             shrink.")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt positive_int_conv 3
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Recovery retry budget before an SA degrades to re-establishment.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No per-seed progress output.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the full report to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run random fault schedules (resets, link faults, disk faults, \
+          replay adversary) under the invariant monitor and shrink any \
+          violation to a minimal counterexample.")
+    Term.(
+      const go $ seeds $ seed_base $ horizon $ weak_leap $ retries $ quiet
+      $ json_out)
+
+(* ------------------------------------------------------------------ *)
 (* trace *)
 
 let trace_cmd =
@@ -566,5 +669,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            run_cmd; explore_cmd; bidir_cmd; multi_sa_cmd; rekey_cmd; kmin_cmd; trace_cmd;
+            run_cmd; explore_cmd; bidir_cmd; multi_sa_cmd; rekey_cmd; kmin_cmd;
+            chaos_cmd; trace_cmd;
           ]))

@@ -60,6 +60,7 @@ let run ?(seed = 7) ?(replay_announce = false) ~reset_at ~downtime ~horizon conf
              k = config.k;
              leap = 2 * config.k;
              trigger = Sender.On_count;
+             retries = 3;
            })
       ~receiver_persistence:
         (Some
@@ -70,6 +71,7 @@ let run ?(seed = 7) ?(replay_announce = false) ~reset_at ~downtime ~horizon conf
              leap = 2 * config.k;
              robust = false;
              wakeup_buffer = true;
+             retries = 3;
            })
       engine
   in

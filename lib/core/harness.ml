@@ -31,6 +31,10 @@ type scenario = {
   attack : attack;
   sender_stop_at : Time.t option;
   keep_trace : bool;
+  disk_faults : Sim_disk.Faults.spec;
+      (* storage fault plan, applied to both endpoint disks *)
+  save_retries : int; (* recovery retry budget before degrading *)
+  monitor : bool; (* attach the online invariant monitor *)
 }
 
 let default =
@@ -50,6 +54,9 @@ let default =
     attack = No_attack;
     sender_stop_at = None;
     keep_trace = false;
+    disk_faults = Sim_disk.Faults.none;
+    save_retries = 3;
+    monitor = false;
   }
 
 type result = {
@@ -61,11 +68,18 @@ type result = {
   saves_completed_q : int;
   saves_lost_p : int;
   saves_lost_q : int;
+  saves_failed_p : int;
+  saves_failed_q : int;
+  fetches_corrupt_p : int;
+  fetches_corrupt_q : int;
   link_sent : int;
   link_delivered : int;
   link_dropped : int;
+  link_duplicated : int;
+  link_reordered : int;
   adversary_injected : int;
   end_time : Time.t;
+  violations : Invariant.violation list;
 }
 
 let make_traffic scenario prng =
@@ -103,6 +117,7 @@ let run scenario =
                 (match sender.Protocol.save_timer with
                 | None -> Sender.On_count
                 | Some dt -> Sender.On_timer dt);
+              retries = scenario.save_retries;
             },
         Some
           Receiver.
@@ -113,6 +128,7 @@ let run scenario =
               leap = Protocol.resolved_leap receiver;
               robust = robust_receiver;
               wakeup_buffer;
+              retries = scenario.save_retries;
             } )
     | Protocol.Volatile | Protocol.Reestablish _ -> (None, None)
   in
@@ -147,6 +163,27 @@ let run scenario =
         pending_disruptions := []);
   (* Re-establishment baseline: wakeup renegotiates a fresh SA. *)
   let ike_prng = Prng.split master in
+  (* Storage fault plans. The splits are drawn unconditionally — after
+     link/traffic/ike, so the master PRNG stream feeding fault-free
+     scenarios is untouched and the committed artifacts replay
+     byte-identically — and the plans are attached post-construction
+     for the same reason. *)
+  let disk_fault_prng_p = Prng.split master in
+  let disk_fault_prng_q = Prng.split master in
+  if not (Sim_disk.Faults.is_none scenario.disk_faults) then begin
+    Option.iter
+      (fun (p : Sender.persistence) ->
+        Sim_disk.set_faults p.Sender.disk
+          (Sim_disk.Faults.create ~spec:scenario.disk_faults
+             ~prng:disk_fault_prng_p))
+      persistence_p;
+    Option.iter
+      (fun (p : Receiver.persistence) ->
+        Sim_disk.set_faults p.Receiver.disk
+          (Sim_disk.Faults.create ~spec:scenario.disk_faults
+             ~prng:disk_fault_prng_q))
+      persistence_q
+  end;
   let next_spi = ref 0x2000l in
   let reestablish_wakeup ~cost ~on_ready () =
     let spi = !next_spi in
@@ -157,6 +194,51 @@ let run scenario =
         Receiver.install_sa receiver (Sa.create params);
         if Sender.is_down sender then Sender.wakeup sender ~on_ready ();
         if Receiver.is_down receiver then Receiver.wakeup receiver ~on_ready:Fun.id ())
+  in
+  (* Degraded recovery: when an endpoint exhausts its retry budget
+     against a faulty store it abandons SAVE/FETCH and renegotiates a
+     fresh SA — fresh keys, fresh sequence space, window at edge 0. *)
+  let degrade_reestablish () =
+    let spi = !next_spi in
+    next_spi := Int32.add spi 1l;
+    Ike.establish ~window_width:scenario.window
+      ~window_impl:scenario.window_impl engine ~cost:Ike.default_cost
+      ~prng:ike_prng ~spi
+      ~on_complete:(fun params ->
+        Sender.install_sa sender (Sa.create params);
+        Receiver.install_sa receiver (Sa.create params);
+        (* A down endpoint resumes on the fresh SA; an up one (degraded
+           from a catchup failure) keeps running but must still re-sync
+           its durable state to the fresh sequence space. *)
+        if Receiver.is_down receiver then Receiver.resume_at receiver ~edge:0
+        else Receiver.resync_store receiver;
+        if Sender.is_down sender then Sender.resume_fresh sender
+        else Sender.resync_store sender)
+  in
+  Sender.set_degrade_handler sender degrade_reestablish;
+  Receiver.set_degrade_handler receiver degrade_reestablish;
+  (* Invariant monitor: attached before any traffic so the counter
+     baselines are the zero state. Pure observer — a monitored run is
+     byte-identical to an unmonitored one. *)
+  let monitor =
+    if not scenario.monitor then None
+    else
+      let max_skip_per_reset =
+        match persistence_p with
+        | Some (p : Sender.persistence) -> Some p.Sender.leap
+        | None -> None
+      in
+      (* On a lossy link an injected copy of a dropped packet is a
+         legitimate first delivery, not a replay violation. *)
+      let check_replay =
+        scenario.faults.Link.loss_prob = 0.
+        && scenario.faults.Link.dup_prob = 0.
+        && scenario.faults.Link.reorder_prob = 0.
+        && scenario.faults.Link.burst = None
+      in
+      Some
+        (Invariant.attach ?max_skip_per_reset ~check_replay ~sender
+           ~receiver ~metrics engine)
   in
   (* Schedule the reset/wakeup fault events. *)
   let schedule_fault (ev : Reset_schedule.event) =
@@ -193,15 +275,37 @@ let run scenario =
     scenario.sender_stop_at;
   Sender.start sender;
   ignore (Engine.run ~until:scenario.horizon engine);
+  let violations =
+    match monitor with
+    | None -> []
+    | Some mon ->
+      (* The wedged check only makes sense once every scheduled wakeup
+         has had a chance to fire. *)
+      let expect_up =
+        List.for_all
+          (fun (ev : Reset_schedule.event) ->
+            Time.(Time.add ev.at ev.downtime < scenario.horizon))
+          scenario.resets
+      in
+      Invariant.finish ~expect_up mon
+  in
   let saves_of persistence_disk =
     match persistence_disk with
-    | None -> (0, 0)
-    | Some disk -> (Sim_disk.saves_completed disk, Sim_disk.saves_lost disk)
+    | None -> (0, 0, 0, 0)
+    | Some disk ->
+      ( Sim_disk.saves_completed disk,
+        Sim_disk.saves_lost disk,
+        Sim_disk.saves_failed disk,
+        Sim_disk.fetches_corrupt disk + Sim_disk.fetches_stale disk )
   in
   let disk_p = Option.map (fun p -> p.Sender.disk) persistence_p in
   let disk_q = Option.map (fun (p : Receiver.persistence) -> p.Receiver.disk) persistence_q in
-  let saves_completed_p, saves_lost_p = saves_of disk_p in
-  let saves_completed_q, saves_lost_q = saves_of disk_q in
+  let saves_completed_p, saves_lost_p, saves_failed_p, fetches_corrupt_p =
+    saves_of disk_p
+  in
+  let saves_completed_q, saves_lost_q, saves_failed_q, fetches_corrupt_q =
+    saves_of disk_q
+  in
   {
     metrics;
     trace;
@@ -211,16 +315,30 @@ let run scenario =
     saves_completed_q;
     saves_lost_p;
     saves_lost_q;
+    saves_failed_p;
+    saves_failed_q;
+    fetches_corrupt_p;
+    fetches_corrupt_q;
     link_sent = Link.sent link;
     link_delivered = Link.delivered link;
     link_dropped = Link.dropped link;
+    link_duplicated = Link.duplicated link;
+    link_reordered = Link.reordered link;
     adversary_injected = Endpoint.injected_count endpoint;
     end_time = Engine.now engine;
+    violations;
   }
+
+let pp_violations ppf = function
+  | [] -> ()
+  | vs ->
+    Format.fprintf ppf "@ violations=%d" (List.length vs);
+    List.iter (fun v -> Format.fprintf ppf "@   %a" Invariant.pp_violation v) vs
 
 let pp_result ppf r =
   Format.fprintf ppf "@[<v>%a@ next_seq=%d edge=%d saves(p=%d,q=%d lost p=%d,q=%d)@ \
-                      link sent=%d delivered=%d dropped=%d injected=%d t=%a@]"
+                      link sent=%d delivered=%d dropped=%d injected=%d t=%a%a@]"
     Metrics.pp_summary r.metrics r.sender_next_seq r.receiver_edge r.saves_completed_p
     r.saves_completed_q r.saves_lost_p r.saves_lost_q r.link_sent r.link_delivered
-    r.link_dropped r.adversary_injected Time.pp r.end_time
+    r.link_dropped r.adversary_injected Time.pp r.end_time pp_violations
+    r.violations

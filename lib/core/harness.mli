@@ -56,6 +56,18 @@ type scenario = {
   keep_trace : bool;
       (** retain the event ring for post-run inspection ([--trace-out]
           forces this on) *)
+  disk_faults : Resets_persist.Sim_disk.Faults.spec;
+      (** storage fault plan (write failures, torn snapshots, corrupt or
+          stale FETCHes), applied to both endpoint disks; the fault
+          PRNGs are split from the master after link/traffic/ike, so
+          fault-free runs are byte-identical to pre-fault-model ones *)
+  save_retries : int;
+      (** recovery retry budget per endpoint before an SA degrades to
+          re-establishment (see {!Sender.set_degrade_handler}) *)
+  monitor : bool;
+      (** attach the online {!Invariant} monitor; its findings come
+          back in [result.violations]. A pure observer: a monitored run
+          is byte-identical to an unmonitored one *)
 }
 
 val default : scenario
@@ -75,11 +87,22 @@ type result = {
   saves_completed_q : int;  (** persistent writes q finished *)
   saves_lost_p : int;  (** SAVEs in flight when p was reset *)
   saves_lost_q : int;  (** SAVEs in flight when q was reset *)
+  saves_failed_p : int;  (** SAVEs p's disk reported failed (faults) *)
+  saves_failed_q : int;  (** SAVEs q's disk reported failed (faults) *)
+  fetches_corrupt_p : int;
+      (** checked FETCHes p's disk served corrupt or stale *)
+  fetches_corrupt_q : int;
+      (** checked FETCHes q's disk served corrupt or stale *)
   link_sent : int;  (** packets entering the link (incl. injected) *)
   link_delivered : int;  (** packets the link handed to q *)
   link_dropped : int;  (** packets the link lost (faults + downtime) *)
+  link_duplicated : int;  (** packets the link delivered twice *)
+  link_reordered : int;  (** packets the link delayed out of order *)
   adversary_injected : int;  (** replayed ciphertexts put on the wire *)
   end_time : Resets_sim.Time.t;  (** simulated clock at exit *)
+  violations : Invariant.violation list;
+      (** invariant breaches, detection order; always [[]] unless the
+          scenario set [monitor] *)
 }
 
 val run : scenario -> result

@@ -60,6 +60,7 @@ val create :
   ?first_sa:int ->
   ?spi_base:int32 ->
   ?flush_period:Resets_sim.Time.t ->
+  ?retries:int ->
   disk:Sim_disk.t ->
   discipline:discipline ->
   Endpoint.t array ->
@@ -76,7 +77,11 @@ val create :
     (default [k] disk latencies) covering every SA's current edge,
     skipped when no edge advanced. The flush schedule is absolute
     simulated time, deliberately {e not} traffic-driven — see the
-    sharding note above.
+    sharding note above. [retries] (default 3) is the recovery retry
+    budget: how many times a failed recovery SAVE or an unreadable
+    durable edge is retried (with capped exponential backoff) before
+    the SA gives up on the store and degrades to IKE
+    re-establishment.
     @raise Invalid_argument on an empty endpoint array, an [ike_prngs]
     array of the wrong length, or a non-positive [flush_period]. *)
 
@@ -91,6 +96,10 @@ val is_down : t -> bool
 val handshake_messages : t -> int
 (** Wire messages spent renegotiating (only [Reestablish] spends
     any). *)
+
+val degraded_count : t -> int
+(** SAs that abandoned SAVE/FETCH for IKE re-establishment after
+    exhausting the recovery retry budget (requires [ike_prngs]). *)
 
 val reset : t -> unit
 (** Crash the host now: every receiver goes down together and the one

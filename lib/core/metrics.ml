@@ -17,6 +17,11 @@ type t = {
   mutable buffered_during_wakeup : int;
   mutable p_resets : int;
   mutable q_resets : int;
+  mutable save_failures : int;
+  mutable save_retries : int;
+  mutable fetch_failures : int;
+  mutable sends_stalled : int;
+  mutable degraded_reestablish : int;
   recovery_times : Stats.Sample.s;
   disruption_times : Stats.Sample.s;
   deliveries_by_seq : (int * int, int) Hashtbl.t;
@@ -43,6 +48,11 @@ let create () =
     buffered_during_wakeup = 0;
     p_resets = 0;
     q_resets = 0;
+    save_failures = 0;
+    save_retries = 0;
+    fetch_failures = 0;
+    sends_stalled = 0;
+    degraded_reestablish = 0;
     recovery_times = Stats.Sample.create ();
     disruption_times = Stats.Sample.create ();
     deliveries_by_seq = Hashtbl.create 4096;
@@ -92,6 +102,12 @@ let absorb ~into src =
     into.buffered_during_wakeup + src.buffered_during_wakeup;
   into.p_resets <- into.p_resets + src.p_resets;
   into.q_resets <- into.q_resets + src.q_resets;
+  into.save_failures <- into.save_failures + src.save_failures;
+  into.save_retries <- into.save_retries + src.save_retries;
+  into.fetch_failures <- into.fetch_failures + src.fetch_failures;
+  into.sends_stalled <- into.sends_stalled + src.sends_stalled;
+  into.degraded_reestablish <-
+    into.degraded_reestablish + src.degraded_reestablish;
   if src.max_delivered > into.max_delivered then
     into.max_delivered <- src.max_delivered;
   if src.max_displacement > into.max_displacement then
@@ -108,4 +124,12 @@ let pp_summary ppf t =
      bad_icv=%d down_drops=%d resets(p=%d,q=%d)"
     t.sent t.delivered (delivered_distinct t) t.skipped_seqnos t.reused_seqnos
     t.fresh_rejected t.fresh_rejected_undelivered t.replay_accepted t.replay_rejected
-    t.duplicate_deliveries t.bad_icv t.dropped_host_down t.p_resets t.q_resets
+    t.duplicate_deliveries t.bad_icv t.dropped_host_down t.p_resets t.q_resets;
+  if
+    t.save_failures + t.fetch_failures + t.sends_stalled + t.degraded_reestablish
+    > 0
+  then
+    Format.fprintf ppf
+      " faults(save_fail=%d retries=%d fetch_fail=%d stalled=%d degraded=%d)"
+      t.save_failures t.save_retries t.fetch_failures t.sends_stalled
+      t.degraded_reestablish

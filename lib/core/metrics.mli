@@ -52,6 +52,19 @@ type t = {
       (** packets queued while a FETCH/SAVE wakeup was in progress *)
   mutable p_resets : int;  (** sender resets injected *)
   mutable q_resets : int;  (** receiver resets injected *)
+  mutable save_failures : int;
+      (** SAVEs the store reported failed (transient write faults and
+          torn snapshots observed by an endpoint) *)
+  mutable save_retries : int;
+      (** recovery FETCH/SAVE attempts re-issued after a failure *)
+  mutable fetch_failures : int;
+      (** checked FETCHes that came back corrupt or stale *)
+  mutable sends_stalled : int;
+      (** send opportunities the sender declined because its durable
+          counter lagged more than the leap behind (failing SAVEs) *)
+  mutable degraded_reestablish : int;
+      (** SAs that exhausted the retry budget and fell back to IKE
+          re-establishment instead of trusting the store *)
   recovery_times : Resets_util.Stats.Sample.s;
       (** reset → endpoint ready again, seconds *)
   disruption_times : Resets_util.Stats.Sample.s;

@@ -35,6 +35,12 @@ type outcome = Shard.outcome = {
   adversary_injected : int;
   duplicate_deliveries : int;
   disk_writes : int;
+  disk_saves_lost : int;
+  disk_saves_failed : int;
+  disk_fetches_corrupt : int;
+  link_dropped : int;
+  link_duplicated : int;
+  link_reordered : int;
   handshake_messages : int;
   delivered : int;
   events_fired : int;

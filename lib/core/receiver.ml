@@ -9,6 +9,7 @@ type persistence = {
   leap : int;
   robust : bool;
   wakeup_buffer : bool;
+  retries : int;
 }
 
 type status = Up | Down | Waking
@@ -27,6 +28,11 @@ type t = {
   mutable wakeup_buffer_q : Packet.t list; (* newest first *)
   mutable catchup_buffer : Packet.t list; (* newest first *)
   mutable catchup_saving : bool;
+  mutable save_failing : bool; (* a periodic SAVE failed; none has
+                                  succeeded since *)
+  mutable pending_ready : (unit -> unit) option;
+      (* wakeup's on_ready, fired by whichever path brings us up *)
+  mutable degrade : (unit -> unit) option;
   mutable deliver_hooks : (seq:int -> payload:Resets_util.Slice.t -> unit) list;
 }
 
@@ -51,6 +57,9 @@ let create ?(name = "q") ?trace ?(framing = Packet.Seq64) ~sa ~metrics ~persiste
     wakeup_buffer_q = [];
     catchup_buffer = [];
     catchup_saving = false;
+    save_failing = false;
+    pending_ready = None;
+    degrade = None;
     deliver_hooks = [];
   }
 
@@ -62,7 +71,13 @@ let tell t event detail =
 
 let on_deliver t hook = t.deliver_hooks <- t.deliver_hooks @ [ hook ]
 
+let set_degrade_handler t f = t.degrade <- Some f
+
 let window t = t.sa.Sa.window
+
+(* Capped exponential backoff for recovery retries: the n-th retry
+   waits 2^n disk latencies, capped at 8. *)
+let backoff_delay base n = Time.mul base (min (1 lsl n) 8)
 
 let maybe_begin_periodic_save t =
   match t.persistence with
@@ -70,8 +85,19 @@ let maybe_begin_periodic_save t =
   | Some p ->
     let r = Replay_window.right_edge (window t) in
     if r >= p.k + t.lst then begin
+      let prev_lst = t.lst in
       t.lst <- r;
-      Sim_disk.save p.disk ~key:p.key ~value:r ~on_complete:(fun () ->
+      Sim_disk.save p.disk ~key:p.key ~value:r
+        ~on_error:(fun () ->
+          (* Nothing became durable: roll the save threshold back so the
+             next accepted packet re-triggers the write, and engage the
+             bounded-slide guard until a SAVE succeeds again. *)
+          t.metrics.Metrics.save_failures <- t.metrics.Metrics.save_failures + 1;
+          t.save_failing <- true;
+          if t.lst = r then t.lst <- prev_lst;
+          tell t "save.fail" (string_of_int r))
+        ~on_complete:(fun () ->
+          t.save_failing <- false;
           if r > t.durable then t.durable <- r)
     end
 
@@ -99,9 +125,13 @@ let rec process t (pkt : Packet.t) =
       t.metrics.Metrics.arrived_replayed <- t.metrics.Metrics.arrived_replayed + 1
     else t.metrics.Metrics.arrived_fresh <- t.metrics.Metrics.arrived_fresh + 1;
     let prospective = max seq (Replay_window.right_edge (window t)) in
+    (* [robust] opts into the bounded-slide rule permanently; a failing
+       SAVE engages it for everyone — while durability lags, letting the
+       edge run past [durable + leap] would make a post-crash resume
+       edge fall below the old edge, re-opening the replay hole. *)
     let needs_catchup =
       match t.persistence with
-      | Some p -> p.robust && prospective > t.durable + p.leap
+      | Some p -> (p.robust || t.save_failing) && prospective > t.durable + p.leap
       | None -> false
     in
     if needs_catchup then defer t pkt ~edge:prospective
@@ -129,15 +159,52 @@ and defer t pkt ~edge =
     if not t.catchup_saving then begin
       t.catchup_saving <- true;
       tell t "catchup.begin" (string_of_int edge);
-      Sim_disk.save p.disk ~key:p.key ~value:edge ~on_complete:(fun () ->
-          if edge > t.durable then t.durable <- edge;
-          if edge > t.lst then t.lst <- edge;
-          t.catchup_saving <- false;
-          tell t "catchup.done" (string_of_int edge);
-          let held = List.rev t.catchup_buffer in
-          t.catchup_buffer <- [];
-          if t.status = Up then List.iter (process t) held)
+      catchup_save t p ~edge ~attempt:0
     end
+
+and catchup_save t p ~edge ~attempt =
+  Sim_disk.save p.disk ~key:p.key ~value:edge
+    ~on_error:(fun () ->
+      t.metrics.Metrics.save_failures <- t.metrics.Metrics.save_failures + 1;
+      if attempt + 1 >= p.retries then begin
+        (* Retry budget exhausted. The held packets stay buffered and
+           the next arrival re-arms the save with a fresh budget — or,
+           when a degrade handler is wired, the association abandons the
+           store and re-establishes. *)
+        t.catchup_saving <- false;
+        tell t "catchup.give_up" (string_of_int edge);
+        degrade_now t
+      end
+      else begin
+        t.metrics.Metrics.save_retries <- t.metrics.Metrics.save_retries + 1;
+        tell t "catchup.retry" (string_of_int edge);
+        catchup_save t p ~edge ~attempt:(attempt + 1)
+      end)
+    ~on_complete:(fun () ->
+      if edge > t.durable then t.durable <- edge;
+      if edge > t.lst then t.lst <- edge;
+      t.save_failing <- false;
+      t.catchup_saving <- false;
+      tell t "catchup.done" (string_of_int edge);
+      let held = List.rev t.catchup_buffer in
+      t.catchup_buffer <- [];
+      if t.status = Up then List.iter (process t) held)
+
+(* The store has exhausted its trust: record the degradation and hand
+   the association to the re-establishment fallback (fresh SA, fresh
+   window, fresh keys) when one is wired. Without a handler the
+   endpoint keeps retrying at the protocol's own pace — never silently
+   unsafe, only slower. *)
+and degrade_now t =
+  t.metrics.Metrics.degraded_reestablish <-
+    t.metrics.Metrics.degraded_reestablish + 1;
+  tell t "degrade" "falling back to re-establishment";
+  match t.degrade with
+  | None -> ()
+  | Some f ->
+    t.catchup_buffer <- [];
+    t.catchup_saving <- false;
+    f ()
 
 let on_packet t pkt =
   match t.status with
@@ -161,6 +228,8 @@ let reset t =
     t.wakeup_buffer_q <- [];
     t.catchup_buffer <- [];
     t.catchup_saving <- false;
+    t.save_failing <- false; (* RAM state: a crash forgets it *)
+    t.pending_ready <- None;
     Option.iter (fun p -> Sim_disk.crash p.disk) t.persistence;
     t.metrics.Metrics.q_resets <- t.metrics.Metrics.q_resets + 1;
     tell t "reset" ""
@@ -170,6 +239,13 @@ let drain_wakeup_buffer t =
   let held = List.rev t.wakeup_buffer_q in
   t.wakeup_buffer_q <- [];
   List.iter (process t) held
+
+let fire_ready t =
+  match t.pending_ready with
+  | None -> ()
+  | Some f ->
+    t.pending_ready <- None;
+    f ()
 
 let wakeup t ?(on_ready = fun () -> ()) () =
   if t.status = Up then invalid_arg "Receiver.wakeup: not down";
@@ -184,22 +260,69 @@ let wakeup t ?(on_ready = fun () -> ()) () =
     tell t "wakeup" "volatile, r=0";
     on_ready ()
   | Some p ->
-    let fetched =
-      match Sim_disk.fetch p.disk ~key:p.key with
-      | Some v -> v
-      | None -> 0
-    in
-    let new_edge = fetched + p.leap in
     t.status <- Waking;
-    tell t "fetch" (Printf.sprintf "fetched %d, leaping to %d" fetched new_edge);
-    Sim_disk.save p.disk ~key:p.key ~value:new_edge ~on_complete:(fun () ->
-        Replay_window.resume_at (window t) new_edge;
-        t.lst <- new_edge;
-        t.durable <- new_edge;
-        t.status <- Up;
-        tell t "wakeup" (Printf.sprintf "resume at edge %d" new_edge);
-        drain_wakeup_buffer t;
-        on_ready ())
+    (* [on_ready] is held aside so that whichever path finally brings
+       the receiver up — this wakeup or a degraded re-establishment's
+       [resume_at] — fires it exactly once. *)
+    t.pending_ready <- Some on_ready;
+    let base = Sim_disk.base_latency p.disk in
+    (* FETCH with verification. A corrupt or stale record is retried
+       with capped exponential backoff — transient-fault semantics: a
+       re-read may serve the good copy — and after the budget the SA
+       stops trusting the store and degrades. *)
+    let rec attempt_fetch n =
+      match Sim_disk.fetch_checked p.disk ~key:p.key with
+      | Sim_disk.Fetched v -> begin_leap_save v
+      | Sim_disk.Fetch_missing -> begin_leap_save 0
+      | Sim_disk.Fetch_corrupt | Sim_disk.Fetch_stale _ ->
+        t.metrics.Metrics.fetch_failures <- t.metrics.Metrics.fetch_failures + 1;
+        if n + 1 >= p.retries then degrade_now t
+        else begin
+          t.metrics.Metrics.save_retries <- t.metrics.Metrics.save_retries + 1;
+          tell t "fetch.retry" (string_of_int (n + 1));
+          ignore
+            (Engine.schedule_after t.engine ~after:(backoff_delay base n)
+               (fun () -> if t.status = Waking then attempt_fetch (n + 1)))
+        end
+    and begin_leap_save fetched =
+      let new_edge = fetched + p.leap in
+      tell t "fetch" (Printf.sprintf "fetched %d, leaping to %d" fetched new_edge);
+      attempt_save new_edge 0
+    and attempt_save new_edge n =
+      Sim_disk.save p.disk ~key:p.key ~value:new_edge
+        ~on_error:(fun () ->
+          t.metrics.Metrics.save_failures <- t.metrics.Metrics.save_failures + 1;
+          if n + 1 >= p.retries then degrade_now t
+          else begin
+            t.metrics.Metrics.save_retries <- t.metrics.Metrics.save_retries + 1;
+            tell t "wakeup.save_retry" (string_of_int (n + 1));
+            ignore
+              (Engine.schedule_after t.engine ~after:(backoff_delay base n)
+                 (fun () -> if t.status = Waking then attempt_save new_edge (n + 1)))
+          end)
+        ~on_complete:(fun () ->
+          Replay_window.resume_at (window t) new_edge;
+          t.lst <- new_edge;
+          t.durable <- new_edge;
+          t.status <- Up;
+          tell t "wakeup" (Printf.sprintf "resume at edge %d" new_edge);
+          drain_wakeup_buffer t;
+          fire_ready t)
+    in
+    attempt_fetch 0
+
+(* A fresh SA's edge becomes the store's durable truth for this key
+   (establishment state is durable by assumption), or a later reset
+   would FETCH the dead sequence space's edge and resume the new window
+   far ahead of the sender. *)
+let resync_store t =
+  let edge = Replay_window.right_edge (window t) in
+  (match t.persistence with
+  | None -> ()
+  | Some p -> Sim_disk.preload p.disk ~key:p.key ~value:edge);
+  t.lst <- edge;
+  t.durable <- edge;
+  t.save_failing <- false
 
 (* Host-managed recovery: the edge was determined (and made durable)
    externally — e.g. by a coalesced snapshot write or a fresh handshake —
@@ -207,13 +330,14 @@ let wakeup t ?(on_ready = fun () -> ()) () =
 let resume_at t ~edge =
   if t.status = Up then invalid_arg "Receiver.resume_at: not down";
   Replay_window.resume_at (window t) edge;
-  t.lst <- edge;
-  t.durable <- edge;
+  resync_store t;
   t.status <- Up;
   tell t "wakeup" (Printf.sprintf "resume at edge %d (host-managed)" edge);
-  drain_wakeup_buffer t
+  drain_wakeup_buffer t;
+  fire_ready t
 
 let is_down t = t.status <> Up
+let is_recovering t = t.status = Waking
 
 let right_edge t = Replay_window.right_edge (window t)
 

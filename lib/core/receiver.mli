@@ -29,6 +29,10 @@ type persistence = {
   leap : int;
   robust : bool;
   wakeup_buffer : bool;
+  retries : int;
+      (** recovery retry budget: how many times a wakeup FETCH or SAVE
+          (and the urgent catchup SAVE) is re-attempted after a store
+          fault before the SA degrades to re-establishment *)
 }
 
 type t
@@ -63,10 +67,33 @@ val resume_at : t -> edge:int -> unit
 (** Come up immediately with the window resumed at [edge], skipping the
     per-receiver FETCH + blocking SAVE. For host-managed recovery where
     the edge was computed and persisted externally: a coalesced snapshot
-    covering many SAs, or a freshly negotiated SA (edge 0). Drains the
-    wakeup buffer. @raise Invalid_argument when not down. *)
+    covering many SAs, or a freshly negotiated SA (edge 0). Re-syncs
+    this receiver's own store (if any) to [edge] — see {!resync_store} —
+    and drains the wakeup buffer.
+    @raise Invalid_argument when not down. *)
+
+val resync_store : t -> unit
+(** Make the current window edge the store's durable truth (a
+    synchronous establishment write, superseding any in-flight SAVE of
+    the old sequence space). Call after [install_sa] of a fresh SA on a
+    receiver that stayed up; without it a later reset would FETCH the
+    dead sequence space's edge and resume far ahead of the sender. *)
+
+val set_degrade_handler : t -> (unit -> unit) -> unit
+(** [f] runs when the retry budget against a faulty store is exhausted:
+    the SA should abandon SAVE/FETCH recovery and re-establish (fresh
+    keys, fresh window) — typically IKE followed by [install_sa] and
+    [resume_at ~edge:0]. Counted in [Metrics.degraded_reestablish].
+    Without a handler the receiver keeps the protocol's own retry pace
+    and never comes up on untrusted state. *)
 
 val is_down : t -> bool
+
+val is_recovering : t -> bool
+(** A wakeup (FETCH/SAVE, retries, or degraded re-establishment) is in
+    progress. [is_down && not is_recovering] after the scheduled wakeup
+    time means the receiver is wedged — the state {!Invariant} flags. *)
+
 val right_edge : t -> int
 val last_stored : t -> int option
 val install_sa : t -> Resets_ipsec.Sa.t -> unit

@@ -77,6 +77,7 @@ let run ?(seed = 5) strategy config =
                leap = 2 * config.k;
                robust = false;
                wakeup_buffer = false;
+               retries = 3;
              })
         engine
     in

@@ -170,6 +170,11 @@ let metrics_to_json (m : Metrics.t) =
       ("buffered_during_wakeup", Json.Int m.Metrics.buffered_during_wakeup);
       ("p_resets", Json.Int m.Metrics.p_resets);
       ("q_resets", Json.Int m.Metrics.q_resets);
+      ("save_failures", Json.Int m.Metrics.save_failures);
+      ("save_retries", Json.Int m.Metrics.save_retries);
+      ("fetch_failures", Json.Int m.Metrics.fetch_failures);
+      ("sends_stalled", Json.Int m.Metrics.sends_stalled);
+      ("degraded_reestablish", Json.Int m.Metrics.degraded_reestablish);
       ("max_displacement", Json.Int m.Metrics.max_displacement);
       ("recovery_times_s", sample_to_json m.Metrics.recovery_times);
       ("disruption_times_s", sample_to_json m.Metrics.disruption_times);
@@ -204,10 +209,19 @@ let result_to_json ?verdict (r : Harness.result) =
        ("saves_completed_q", Json.Int r.Harness.saves_completed_q);
        ("saves_lost_p", Json.Int r.Harness.saves_lost_p);
        ("saves_lost_q", Json.Int r.Harness.saves_lost_q);
+       ("saves_failed_p", Json.Int r.Harness.saves_failed_p);
+       ("saves_failed_q", Json.Int r.Harness.saves_failed_q);
+       ("fetches_corrupt_p", Json.Int r.Harness.fetches_corrupt_p);
+       ("fetches_corrupt_q", Json.Int r.Harness.fetches_corrupt_q);
        ("link_sent", Json.Int r.Harness.link_sent);
        ("link_delivered", Json.Int r.Harness.link_delivered);
        ("link_dropped", Json.Int r.Harness.link_dropped);
+       ("link_duplicated", Json.Int r.Harness.link_duplicated);
+       ("link_reordered", Json.Int r.Harness.link_reordered);
        ("adversary_injected", Json.Int r.Harness.adversary_injected);
+       ( "violations",
+         Json.List
+           (List.map Invariant.violation_to_json r.Harness.violations) );
        ( "end_time_ns",
          Json.Int (Int64.to_int (Resets_sim.Time.to_ns r.Harness.end_time)) );
      ]

@@ -33,6 +33,10 @@ type persistence = {
   k : int;
   leap : int;
   trigger : trigger;
+  retries : int;
+      (** recovery retry budget: how many times a wakeup FETCH or SAVE
+          is re-attempted after a store fault before the SA degrades to
+          re-establishment *)
 }
 
 type t
@@ -68,7 +72,34 @@ val wakeup : t -> ?on_ready:(unit -> unit) -> unit -> unit
     blocking SAVE under Save/Fetch, immediately for Volatile).
     @raise Invalid_argument when not down. *)
 
+val resume_fresh : t -> unit
+(** Come back up on the currently installed SA — for degraded
+    re-establishment, after [install_sa] of a fresh SA whose sequence
+    space starts anew. Re-syncs the store to the fresh counter (see
+    {!resync_store}). No-op when not down. *)
+
+val resync_store : t -> unit
+(** Make the current SA's counter the store's durable truth (a
+    synchronous establishment write, superseding any in-flight SAVE of
+    the old sequence space). Call after [install_sa] of a fresh SA on a
+    sender that stayed up; without it a later reset would FETCH the
+    dead sequence space's counter and leap far past the fresh one. *)
+
+val set_degrade_handler : t -> (unit -> unit) -> unit
+(** [f] runs when the recovery retry budget against a faulty store is
+    exhausted: the SA should abandon SAVE/FETCH and re-establish —
+    typically IKE, [install_sa], then {!resume_fresh}. Counted in
+    [Metrics.degraded_reestablish]. Without a handler the sender stays
+    down rather than resume from state it cannot trust. *)
+
 val is_down : t -> bool
+
+val is_recovering : t -> bool
+(** Down with a wakeup (FETCH/SAVE, retries, or degraded
+    re-establishment) in progress. [is_down && not is_recovering] after
+    the scheduled wakeup time means the sender is wedged — the state
+    {!Invariant} flags. *)
+
 val next_seq : t -> int
 (** The sequence number the next sent message will carry. *)
 

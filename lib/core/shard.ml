@@ -42,6 +42,12 @@ type result = {
   metrics : Metrics.t;
   adversary_injected : int;
   disk_writes : int;
+  disk_saves_lost : int;
+  disk_saves_failed : int;
+  disk_fetches_corrupt : int;
+  link_dropped : int;
+  link_duplicated : int;
+  link_reordered : int;
   handshake_messages : int;
   events_fired : int;
   wall_s : float;
@@ -64,6 +70,12 @@ type outcome = {
   adversary_injected : int;
   duplicate_deliveries : int;
   disk_writes : int;
+  disk_saves_lost : int;
+  disk_saves_failed : int;
+  disk_fetches_corrupt : int;
+  link_dropped : int;
+  link_duplicated : int;
+  link_reordered : int;
   handshake_messages : int;
   delivered : int;
   events_fired : int;
@@ -144,6 +156,7 @@ let run_range ?(seed = 11) ?engine discipline config ~lo ~hi =
             leap = 2 * config.k;
             robust = false;
             wakeup_buffer = false;
+            retries = 3;
           }
       | `Save_fetch_coalesced | `Reestablish ->
         (* the host manages durability (or renegotiates instead) *)
@@ -223,6 +236,22 @@ let run_range ?(seed = 11) ?engine discipline config ~lo ~hi =
     metrics = totals;
     adversary_injected;
     disk_writes = Sim_disk.saves_completed disk;
+    disk_saves_lost = Sim_disk.saves_lost disk;
+    disk_saves_failed = Sim_disk.saves_failed disk;
+    disk_fetches_corrupt =
+      Sim_disk.fetches_corrupt disk + Sim_disk.fetches_stale disk;
+    link_dropped =
+      Array.fold_left
+        (fun acc ep -> acc + Link.dropped (Endpoint.link ep))
+        0 endpoints;
+    link_duplicated =
+      Array.fold_left
+        (fun acc ep -> acc + Link.duplicated (Endpoint.link ep))
+        0 endpoints;
+    link_reordered =
+      Array.fold_left
+        (fun acc ep -> acc + Link.reordered (Endpoint.link ep))
+        0 endpoints;
     handshake_messages = Host.handshake_messages host;
     events_fired = Engine.fired_count engine;
     wall_s = Unix.gettimeofday () -. wall_start;
@@ -280,6 +309,12 @@ let merge config (results : result array) =
     adversary_injected = sum (fun r -> r.adversary_injected);
     duplicate_deliveries = totals.Metrics.duplicate_deliveries;
     disk_writes = sum (fun r -> r.disk_writes);
+    disk_saves_lost = sum (fun r -> r.disk_saves_lost);
+    disk_saves_failed = sum (fun r -> r.disk_saves_failed);
+    disk_fetches_corrupt = sum (fun r -> r.disk_fetches_corrupt);
+    link_dropped = sum (fun r -> r.link_dropped);
+    link_duplicated = sum (fun r -> r.link_duplicated);
+    link_reordered = sum (fun r -> r.link_reordered);
     handshake_messages = sum (fun r -> r.handshake_messages);
     delivered = totals.Metrics.delivered;
     events_fired = sum (fun r -> r.events_fired);

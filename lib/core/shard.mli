@@ -74,6 +74,12 @@ type result = {
   metrics : Metrics.t;  (** absorbed over the range, in sa order *)
   adversary_injected : int;
   disk_writes : int;
+  disk_saves_lost : int;
+  disk_saves_failed : int;
+  disk_fetches_corrupt : int;
+  link_dropped : int;
+  link_duplicated : int;
+  link_reordered : int;
   handshake_messages : int;
   events_fired : int;
   wall_s : float;  (** wall-clock seconds this range took to simulate *)
@@ -106,6 +112,14 @@ type outcome = {
   adversary_injected : int;  (** replayed packets put on the wires *)
   duplicate_deliveries : int;
   disk_writes : int;  (** completed persistent writes at the receiver *)
+  disk_saves_lost : int;  (** writes in flight when the host reset *)
+  disk_saves_failed : int;
+      (** writes the store reported failed (fault plan) *)
+  disk_fetches_corrupt : int;
+      (** checked FETCHes served corrupt or stale (fault plan) *)
+  link_dropped : int;  (** packets lost across every SA's link *)
+  link_duplicated : int;
+  link_reordered : int;
   handshake_messages : int;  (** wire messages spent renegotiating *)
   delivered : int;
   events_fired : int;

@@ -7,7 +7,7 @@ let create ~dir =
 (* Keys can contain characters unfit for filenames; encode them. *)
 let path t key = Filename.concat t.dir (Resets_util.Hex.encode key ^ ".seq")
 
-let save t ~key ~value ~on_complete =
+let save ?on_error:_ t ~key ~value ~on_complete =
   let final = path t key in
   let tmp = final ^ ".tmp" in
   let oc = open_out tmp in

@@ -47,7 +47,7 @@ let read_records t =
     List.filter_map Fun.id records
   end
 
-let save t ~key ~value ~on_complete =
+let save ?on_error:_ t ~key ~value ~on_complete =
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 t.file in
   (try output_string oc (format_record ~key ~value)
    with e ->

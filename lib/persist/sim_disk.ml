@@ -1,6 +1,66 @@
 open Resets_util
 open Resets_sim
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection *)
+
+module Faults = struct
+  type spec = {
+    write_fail_prob : float;
+    torn_prob : float;
+    read_corrupt_prob : float;
+    read_stale_prob : float;
+  }
+
+  let none =
+    {
+      write_fail_prob = 0.;
+      torn_prob = 0.;
+      read_corrupt_prob = 0.;
+      read_stale_prob = 0.;
+    }
+
+  let is_none s = s = none
+
+  type t = { spec : spec; prng : Prng.t }
+
+  let create ~spec ~prng = { spec; prng }
+end
+
+(* Checksummed record envelope: what SAVE actually lays down on the
+   (simulated) medium. [gen] is the per-key write generation; the
+   envelope checksum covers key, value and generation, so a corrupted
+   record fails verification and a stale record verifies but carries a
+   generation below the key's current one. The generation index itself
+   (the [gen] field of the latest durable envelope) is assumed
+   reliable — an 8-byte superblock counter — which is a strictly
+   weaker assumption than the paper's fully reliable store. *)
+type envelope = { value : int; gen : int; sum : int64 }
+
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let checksum ~key ~value ~gen =
+  mix64
+    (Int64.add
+       (mix64 (Int64.add (Int64.of_int (Hashtbl.hash key)) (Int64.of_int value)))
+       (Int64.of_int gen))
+
+let verify ~key (e : envelope) =
+  Int64.equal e.sum (checksum ~key ~value:e.value ~gen:e.gen)
+
+type fetch_result =
+  | Fetched of int
+  | Fetch_missing
+  | Fetch_corrupt
+  | Fetch_stale of int
+
 type pending = {
   id : int;
   keys : string list;
@@ -13,16 +73,22 @@ type t = {
   name : string;
   base_latency : Time.t;
   jitter : (Time.t * Prng.t) option;
-  durable : (string, int) Hashtbl.t;
+  durable : (string, envelope) Hashtbl.t;
+  prev : (string, envelope) Hashtbl.t; (* last superseded version per key *)
+  mutable faults : Faults.t option;
   mutable pending : pending list;
   mutable next_latency : Time.t option;
   mutable next_id : int;
   mutable begun : int;
   mutable completed : int;
   mutable lost : int;
+  mutable failed : int;
+  mutable torn : int;
+  mutable corrupt_served : int;
+  mutable stale_served : int;
 }
 
-let make ?trace ?(name = "disk") ~latency ~jitter engine =
+let make ?trace ?(name = "disk") ?faults ~latency ~jitter engine =
   {
     engine;
     trace;
@@ -30,19 +96,27 @@ let make ?trace ?(name = "disk") ~latency ~jitter engine =
     base_latency = latency;
     jitter;
     durable = Hashtbl.create 16;
+    prev = Hashtbl.create 16;
+    faults;
     pending = [];
     next_latency = None;
     next_id = 0;
     begun = 0;
     completed = 0;
     lost = 0;
+    failed = 0;
+    torn = 0;
+    corrupt_served = 0;
+    stale_served = 0;
   }
 
-let create ?trace ?name ~latency engine =
-  make ?trace ?name ~latency ~jitter:None engine
+let create ?trace ?name ?faults ~latency engine =
+  make ?trace ?name ?faults ~latency ~jitter:None engine
 
-let create_jittered ?trace ?name ~latency ~jitter ~prng engine =
-  make ?trace ?name ~latency ~jitter:(Some (jitter, prng)) engine
+let create_jittered ?trace ?name ?faults ~latency ~jitter ~prng engine =
+  make ?trace ?name ?faults ~latency ~jitter:(Some (jitter, prng)) engine
+
+let set_faults t faults = t.faults <- Some faults
 
 let sample_latency t =
   match t.jitter with
@@ -73,10 +147,35 @@ let drop_pending t key =
   t.pending <- kept;
   List.length dropped
 
+let install t ~key ~value =
+  let gen =
+    match Hashtbl.find_opt t.durable key with
+    | Some e ->
+      Hashtbl.replace t.prev key e;
+      e.gen + 1
+    | None -> 1
+  in
+  Hashtbl.replace t.durable key { value; gen; sum = checksum ~key ~value ~gen }
+
+(* One PRNG roll per begun write, drawn at begin time in write order so
+   the fault pattern is a pure function of the plan's seed. *)
+let roll_write t ~n_entries =
+  match t.faults with
+  | None -> `Ok
+  | Some f ->
+    if Prng.bernoulli f.Faults.prng f.Faults.spec.Faults.write_fail_prob then `Fail
+    else if
+      n_entries > 1 && Prng.bernoulli f.Faults.prng f.Faults.spec.Faults.torn_prob
+    then `Torn (1 + Prng.int f.Faults.prng (n_entries - 1))
+    else `Ok
+
 (* Begin one write covering [entries]. All keys become durable together
    when the single completion event fires; a crash before then loses the
-   whole write. Shared by [save] (one entry) and [save_snapshot]. *)
-let begin_write t ~entries ~label ~on_complete =
+   whole write. Shared by [save] (one entry) and [save_snapshot]. A
+   fault plan can make the write fail transiently (nothing durable,
+   [on_error] fires after the disk latency) or tear a multi-entry
+   snapshot (a strict prefix becomes durable, still reported failed). *)
+let begin_write t ~entries ~label ~on_complete ~on_error =
   let superseded =
     List.fold_left (fun acc (key, _) -> acc + drop_pending t key) 0 entries
   in
@@ -87,41 +186,97 @@ let begin_write t ~entries ~label ~on_complete =
   t.begun <- t.begun + 1;
   let id = t.next_id in
   t.next_id <- t.next_id + 1;
+  let outcome = roll_write t ~n_entries:(List.length entries) in
   tell t "save.begin" label;
   let handle =
     Engine.schedule_after t.engine ~after:latency (fun () ->
         t.pending <- List.filter (fun p -> p.id <> id) t.pending;
-        List.iter (fun (key, value) -> Hashtbl.replace t.durable key value) entries;
-        t.completed <- t.completed + 1;
-        tell t "save.done" label;
-        on_complete ())
+        match outcome with
+        | `Ok ->
+          List.iter (fun (key, value) -> install t ~key ~value) entries;
+          t.completed <- t.completed + 1;
+          tell t "save.done" label;
+          on_complete ()
+        | `Fail ->
+          t.failed <- t.failed + 1;
+          tell t "save.fail" label;
+          on_error ()
+        | `Torn prefix ->
+          List.iteri
+            (fun i (key, value) -> if i < prefix then install t ~key ~value)
+            entries;
+          t.failed <- t.failed + 1;
+          t.torn <- t.torn + 1;
+          tell t "save.torn" (Printf.sprintf "%s (%d durable)" label prefix);
+          on_error ())
   in
   t.pending <- { id; keys = List.map fst entries; handle } :: t.pending
 
-let save t ~key ~value ~on_complete =
+let save ?(on_error = fun () -> ()) t ~key ~value ~on_complete =
   (* A newer save for the same key supersedes an in-flight one: only the
      most recent write can become durable. *)
   begin_write t ~entries:[ (key, value) ]
     ~label:(Printf.sprintf "%s := %d" key value)
-    ~on_complete
+    ~on_complete ~on_error
 
-let save_snapshot t ~entries ~on_complete =
+let save_snapshot ?(on_error = fun () -> ()) t ~entries ~on_complete =
   if Array.length entries = 0 then
     invalid_arg "Sim_disk.save_snapshot: empty snapshot";
   begin_write t
     ~entries:(Array.to_list entries)
     ~label:(Printf.sprintf "snapshot[%d keys]" (Array.length entries))
-    ~on_complete
+    ~on_complete ~on_error
 
-let preload t ~key ~value = Hashtbl.replace t.durable key value
+let preload t ~key ~value =
+  (* Preloaded state is THE durable truth for the key (established
+     state is durable by assumption), so an in-flight write from an
+     older sequence space must not land on top of it. *)
+  ignore (drop_pending t key);
+  install t ~key ~value
 
 let remove t ~key =
   ignore (drop_pending t key);
-  Hashtbl.remove t.durable key
+  Hashtbl.remove t.durable key;
+  Hashtbl.remove t.prev key
 
 let key_count t = Hashtbl.length t.durable
 
-let fetch t ~key = Hashtbl.find_opt t.durable key
+let fetch t ~key =
+  Option.map (fun e -> e.value) (Hashtbl.find_opt t.durable key)
+
+let fetch_checked t ~key =
+  match Hashtbl.find_opt t.durable key with
+  | None -> Fetch_missing
+  | Some latest ->
+    let served =
+      match t.faults with
+      | None -> latest
+      | Some f ->
+        if Prng.bernoulli f.Faults.prng f.Faults.spec.Faults.read_corrupt_prob
+        then
+          (* a flipped bit somewhere in the record body *)
+          let bit = Prng.int f.Faults.prng 30 in
+          { latest with value = latest.value lxor (1 lsl bit) }
+        else if
+          Prng.bernoulli f.Faults.prng f.Faults.spec.Faults.read_stale_prob
+        then
+          match Hashtbl.find_opt t.prev key with
+          | Some p -> p
+          | None -> latest
+        else latest
+    in
+    if not (verify ~key served) then begin
+      t.corrupt_served <- t.corrupt_served + 1;
+      tell t "fetch.corrupt" key;
+      Fetch_corrupt
+    end
+    else if served.gen < latest.gen then begin
+      t.stale_served <- t.stale_served + 1;
+      tell t "fetch.stale"
+        (Printf.sprintf "%s gen %d < %d" key served.gen latest.gen);
+      Fetch_stale served.value
+    end
+    else Fetched served.value
 
 let crash t =
   let n = List.length t.pending in
@@ -137,3 +292,7 @@ let base_latency t = t.base_latency
 let saves_begun t = t.begun
 let saves_completed t = t.completed
 let saves_lost t = t.lost
+let saves_failed t = t.failed
+let snapshots_torn t = t.torn
+let fetches_corrupt t = t.corrupt_served
+let fetches_stale t = t.stale_served

@@ -6,6 +6,21 @@
     exactly the "reset occurs before the current SAVE finishes" branch
     of the paper's Figures 1 and 2.
 
+    {b Fault injection.} The paper assumes SAVE/FETCH hit a reliable
+    store; a {!Faults.t} plan relaxes that assumption deterministically.
+    With a plan attached, a write may fail transiently (nothing becomes
+    durable, the caller's [on_error] fires after the disk latency), a
+    multi-key snapshot may tear (a strict prefix of its entries becomes
+    durable, still reported failed), and a FETCH through
+    {!fetch_checked} may serve a corrupt or stale record. Every durable
+    record is a checksummed envelope carrying a per-key write
+    generation, so corruption is detected by checksum and staleness by
+    generation — the generation index itself is assumed reliable (an
+    8-byte superblock counter), a strictly weaker assumption than the
+    paper's fully reliable store. All faults are rolled from the plan's
+    own PRNG in a fixed order, so a fault pattern is a pure function of
+    its seed, and a disk without a plan behaves exactly as before.
+
     {b Per-shard isolation.} A disk belongs to exactly one
     {!Resets_sim.Engine.t} (its completion events are scheduled there)
     and is not thread-safe; a sharded simulation therefore gives every
@@ -19,11 +34,43 @@
 
 open Resets_sim
 
+(** Injectable fault plan. *)
+module Faults : sig
+  type spec = {
+    write_fail_prob : float;  (** a begun write fails transiently *)
+    torn_prob : float;  (** a multi-key snapshot tears (prefix durable) *)
+    read_corrupt_prob : float;  (** a checked fetch serves a bit-flipped record *)
+    read_stale_prob : float;  (** a checked fetch serves the superseded record *)
+  }
+
+  val none : spec
+  (** All probabilities zero. *)
+
+  val is_none : spec -> bool
+
+  type t
+
+  val create : spec:spec -> prng:Resets_util.Prng.t -> t
+  (** A plan rolling faults from [prng]. The plan owns the PRNG: rolls
+      happen once per begun write and once per checked fetch, in
+      simulation order, so the fault pattern is seed-deterministic. *)
+end
+
 type t
+
+(** Result of a checksummed {!fetch_checked}. *)
+type fetch_result =
+  | Fetched of int  (** latest durable value, verified *)
+  | Fetch_missing  (** no durable record under the key *)
+  | Fetch_corrupt  (** record failed checksum verification *)
+  | Fetch_stale of int
+      (** record verified but its generation is below the key's current
+          one: a superseded value was served *)
 
 val create :
   ?trace:Trace.t ->
   ?name:string ->
+  ?faults:Faults.t ->
   latency:Time.t ->
   Engine.t ->
   t
@@ -33,6 +80,7 @@ val create :
 val create_jittered :
   ?trace:Trace.t ->
   ?name:string ->
+  ?faults:Faults.t ->
   latency:Time.t ->
   jitter:Time.t ->
   prng:Resets_util.Prng.t ->
@@ -41,10 +89,19 @@ val create_jittered :
 (** Like [create] but each write takes [latency + U(0, jitter)] — the
     paper notes SAVE duration varies with CPU load. *)
 
+val set_faults : t -> Faults.t -> unit
+(** Attach (or replace) the fault plan after construction. Used by the
+    harness so fault-free scenarios keep their PRNG split order — and
+    therefore their committed artifacts — byte-identical. *)
+
 include Store.S with type t := t
 
 val save_snapshot :
-  t -> entries:(string * int) array -> on_complete:(unit -> unit) -> unit
+  ?on_error:(unit -> unit) ->
+  t ->
+  entries:(string * int) array ->
+  on_complete:(unit -> unit) ->
+  unit
 (** [save_snapshot t ~entries ~on_complete] begins ONE write covering
     every [(key, value)] pair: all keys become durable together after
     the disk latency, a crash before completion loses the whole
@@ -54,12 +111,26 @@ val save_snapshot :
     them) — the same "only the most recent write can become durable"
     rule as [save]. This is the coalesced multi-SA persistence
     discipline of Section 6: many SAs amortise one disk write.
-    @raise Invalid_argument when [entries] is empty. *)
+    Under a fault plan the snapshot may fail outright or tear: a torn
+    snapshot installs a strict prefix of [entries] (in array order) and
+    still reports [on_error]. @raise Invalid_argument when [entries] is
+    empty. *)
+
+val fetch_checked : t -> key:string -> fetch_result
+(** FETCH through the checksummed envelope. Without a fault plan this
+    is [fetch] with verification (always [Fetched]/[Fetch_missing]);
+    under a plan it may yield [Fetch_corrupt] or [Fetch_stale].
+    Each checked fetch under a plan consumes fault rolls, so call it
+    once per protocol FETCH. Repeating a failed fetch models re-reading
+    the medium and may succeed — transient-fault semantics. *)
 
 val preload : t -> key:string -> value:int -> unit
-(** Make a value durable immediately, bypassing latency and counters —
-    models state written at SA establishment, before the simulation
-    starts. *)
+(** Make a value durable immediately, bypassing latency, counters and
+    the fault plan — models state written at SA establishment (at
+    simulation start, or when a degraded SA re-establishes). Cancels
+    any write still in flight for the key: the preloaded value is the
+    durable truth, and a stale sequence space's write must not land on
+    top of it. *)
 
 val remove : t -> key:string -> unit
 (** Durably delete a key (cancels any pending write to it). Models
@@ -73,8 +144,22 @@ val in_flight : t -> int
 
 val saves_begun : t -> int
 val saves_completed : t -> int
+
 val saves_lost : t -> int
 (** Writes discarded by crashes. *)
+
+val saves_failed : t -> int
+(** Writes that reported failure (transient failures plus torn
+    snapshots). *)
+
+val snapshots_torn : t -> int
+(** Multi-key writes that left a strict prefix durable. *)
+
+val fetches_corrupt : t -> int
+(** Checked fetches that served a corrupt record. *)
+
+val fetches_stale : t -> int
+(** Checked fetches that served a stale (superseded) record. *)
 
 val latency_of_next_save : t -> Time.t
 (** The latency the next save will incur (samples jitter eagerly so

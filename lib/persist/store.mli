@@ -13,10 +13,20 @@
 module type S = sig
   type t
 
-  val save : t -> key:string -> value:int -> on_complete:(unit -> unit) -> unit
+  val save :
+    ?on_error:(unit -> unit) ->
+    t ->
+    key:string ->
+    value:int ->
+    on_complete:(unit -> unit) ->
+    unit
   (** Begin persisting [value] under [key]. [on_complete] runs when the
       write is durable. Starting a new save for the same key while one
-      is in flight supersedes the pending write. *)
+      is in flight supersedes the pending write. [on_error] (default: do
+      nothing) runs instead of [on_complete] when the store reports the
+      write as failed — nothing became durable, the previous value is
+      intact, and the caller may retry; stores without fault injection
+      never invoke it. *)
 
   val fetch : t -> key:string -> int option
   (** Last durably stored value, if any. *)

@@ -1,14 +1,28 @@
 open Resets_util
 
+type burst_loss = {
+  p_gb : float;
+  p_bg : float;
+  good_loss : float;
+  bad_loss : float;
+}
+
 type faults = {
   loss_prob : float;
   dup_prob : float;
   reorder_prob : float;
   reorder_delay : Time.t;
+  burst : burst_loss option;
 }
 
 let no_faults =
-  { loss_prob = 0.; dup_prob = 0.; reorder_prob = 0.; reorder_delay = Time.zero }
+  {
+    loss_prob = 0.;
+    dup_prob = 0.;
+    reorder_prob = 0.;
+    reorder_delay = Time.zero;
+    burst = None;
+  }
 
 type 'a t = {
   engine : Engine.t;
@@ -21,16 +35,19 @@ type 'a t = {
   mutable deliver : ('a -> unit) option;
   mutable observers : ('a -> unit) list;
   mutable up : bool;
+  mutable burst_bad : bool; (* Gilbert–Elliott chain state *)
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
   mutable duplicated : int;
   mutable reordered : int;
   mutable injected : int;
+  mutable burst_dropped : int;
 }
 
 let faults_need_prng f jitter =
   f.loss_prob > 0. || f.dup_prob > 0. || f.reorder_prob > 0.
+  || f.burst <> None
   || Time.(Time.zero < jitter)
 
 let create ?(name = "link") ?trace ?(faults = no_faults) ?(jitter = Time.zero) ?prng
@@ -48,12 +65,14 @@ let create ?(name = "link") ?trace ?(faults = no_faults) ?(jitter = Time.zero) ?
     deliver = None;
     observers = [];
     up = true;
+    burst_bad = false;
     sent = 0;
     delivered = 0;
     dropped = 0;
     duplicated = 0;
     reordered = 0;
     injected = 0;
+    burst_dropped = 0;
   }
 
 let tell t event detail =
@@ -100,9 +119,29 @@ let send t packet =
       | None -> false
       | Some prng -> Prng.bernoulli prng p
     in
+    (* Gilbert–Elliott correlated loss: a two-state Markov chain
+       stepped once per packet; the burst draws only happen when the
+       mode is configured, so i.i.d.-only runs consume the same PRNG
+       stream as before the mode existed. *)
+    let burst_lost =
+      match (t.faults.burst, t.prng) with
+      | Some b, Some prng ->
+        if t.burst_bad then begin
+          if Prng.bernoulli prng b.p_bg then t.burst_bad <- false
+        end
+        else if Prng.bernoulli prng b.p_gb then t.burst_bad <- true;
+        Prng.bernoulli prng
+          (if t.burst_bad then b.bad_loss else b.good_loss)
+      | Some _, None | None, _ -> false
+    in
     if prng_sample t.faults.loss_prob then begin
       t.dropped <- t.dropped + 1;
       tell t "link.drop" "loss"
+    end
+    else if burst_lost then begin
+      t.dropped <- t.dropped + 1;
+      t.burst_dropped <- t.burst_dropped + 1;
+      tell t "link.drop" "burst"
     end
     else begin
       let extra =
@@ -123,8 +162,16 @@ let send t packet =
 
 let inject t packet =
   t.injected <- t.injected + 1;
-  tell t "link.inject" "";
-  schedule_delivery t ~extra:Time.zero packet
+  if not t.up then begin
+    (* A downed link carries nothing, adversarial or not; counting the
+       drop keeps sent+injected = delivered+dropped+in-flight. *)
+    t.dropped <- t.dropped + 1;
+    tell t "link.drop" "down (inject)"
+  end
+  else begin
+    tell t "link.inject" "";
+    schedule_delivery t ~extra:Time.zero packet
+  end
 
 let sent t = t.sent
 let delivered t = t.delivered
@@ -132,3 +179,4 @@ let dropped t = t.dropped
 let duplicated t = t.duplicated
 let reordered t = t.reordered
 let injected t = t.injected
+let burst_dropped t = t.burst_dropped

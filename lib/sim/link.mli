@@ -9,11 +9,24 @@
 
 type 'a t
 
+(** Gilbert–Elliott correlated burst loss: a two-state (good/bad)
+    Markov chain stepped once per sent packet, with a per-state loss
+    probability. Mean burst length is [1 / p_bg] packets; stationary
+    badness [p_gb / (p_gb + p_bg)]. Composes with [loss_prob] (a packet
+    is dropped when either says so). *)
+type burst_loss = {
+  p_gb : float;  (** good → bad transition probability *)
+  p_bg : float;  (** bad → good transition probability *)
+  good_loss : float;  (** loss probability while good (usually 0) *)
+  bad_loss : float;  (** loss probability while bad (usually near 1) *)
+}
+
 type faults = {
   loss_prob : float;  (** i.i.d. drop probability *)
   dup_prob : float;  (** probability a packet is delivered twice *)
   reorder_prob : float;  (** probability a packet takes the slow path *)
   reorder_delay : Time.t;  (** extra delay on the slow path *)
+  burst : burst_loss option;  (** correlated burst-loss mode *)
 }
 
 val no_faults : faults
@@ -41,19 +54,29 @@ val send : 'a t -> 'a -> unit
 val inject : 'a t -> 'a -> unit
 (** Adversarial insertion: delivered like a normal packet but not
     reported to {!on_transit} observers (the adversary need not see its
-    own packets) and never dropped or reordered (the adversary times
-    its own injections). *)
+    own packets) and never randomly dropped or reordered (the adversary
+    times its own injections). A downed link still drops it — and
+    counts it in {!dropped} — like everything else. *)
 
 val on_transit : 'a t -> ('a -> unit) -> unit
 (** Observe every legitimately sent packet (even ones later lost — an
     on-path adversary sees the wire before the drop). *)
 
 val set_up : 'a t -> bool -> unit
-(** A downed link drops everything sent through it. *)
+(** A downed link drops everything sent through it — {!send} and
+    {!inject} alike, all counted in {!dropped}. *)
 
 val sent : 'a t -> int
 val delivered : 'a t -> int
+
 val dropped : 'a t -> int
+(** Every packet the link lost, whatever the cause: random loss, burst
+    loss, a downed link, or no delivery handler installed. *)
+
 val duplicated : 'a t -> int
 val reordered : 'a t -> int
 val injected : 'a t -> int
+
+val burst_dropped : 'a t -> int
+(** The subset of {!dropped} charged to the Gilbert–Elliott bad
+    state. *)

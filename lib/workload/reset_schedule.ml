@@ -41,4 +41,39 @@ let random ~mtbf ~horizon ?(downtime = default_downtime) ~prng target =
   in
   loop [] 0L
 
+let random_mixed ~mtbf ~horizon ?(min_downtime = default_downtime)
+    ?max_downtime ?(both_prob = 0.2) ~prng () =
+  let max_downtime = Option.value max_downtime ~default:min_downtime in
+  if Time.(max_downtime < min_downtime) then
+    invalid_arg "Reset_schedule.random_mixed: max_downtime < min_downtime";
+  let mtbf_ns = Int64.to_float (Time.to_ns mtbf) in
+  let horizon_ns = Time.to_ns horizon in
+  let draw_downtime () =
+    let lo = Time.to_ns min_downtime and hi = Time.to_ns max_downtime in
+    let span = Int64.to_int (Int64.sub hi lo) in
+    if span = 0 then min_downtime
+    else Time.of_ns (Int64.add lo (Int64.of_int (Prng.int prng (span + 1))))
+  in
+  let rec loop acc now =
+    let gap = Prng.exponential prng (1. /. mtbf_ns) in
+    let next = Int64.add now (Int64.of_float gap) in
+    if Int64.compare next horizon_ns > 0 then sort (List.rev acc)
+    else begin
+      let at = Time.of_ns next in
+      let acc =
+        if Prng.bernoulli prng both_prob then
+          (* simultaneous crash of both hosts — the paper's third
+             failure case, with independently drawn downtimes *)
+          { at; target = Receiver; downtime = draw_downtime () }
+          :: { at; target = Sender; downtime = draw_downtime () }
+          :: acc
+        else
+          let target = if Prng.bool prng then Sender else Receiver in
+          { at; target; downtime = draw_downtime () } :: acc
+      in
+      loop acc next
+    end
+  in
+  loop [] 0L
+
 let merge a b = sort (a @ b)

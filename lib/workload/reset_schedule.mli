@@ -40,5 +40,23 @@ val random :
 (** Poisson resets with the given mean time between failures, up to
     [horizon]. *)
 
+val random_mixed :
+  mtbf:Resets_sim.Time.t ->
+  horizon:Resets_sim.Time.t ->
+  ?min_downtime:Resets_sim.Time.t ->
+  ?max_downtime:Resets_sim.Time.t ->
+  ?both_prob:float ->
+  prng:Resets_util.Prng.t ->
+  unit ->
+  t
+(** Poisson arrivals as {!random}, but each strike picks its victim:
+    with probability [both_prob] (default 0.2) {e both} hosts crash at
+    that instant (the paper's third failure case), otherwise a fair
+    coin picks sender or receiver. Downtimes are drawn uniformly from
+    [[min_downtime, max_downtime]] (defaults: 1 ms, [min_downtime]).
+    The chaos explorer's reset generator.
+    @raise Invalid_argument when [max_downtime < min_downtime]. *)
+
 val merge : t -> t -> t
-(** Combine two schedules, keeping the time order. *)
+(** Combine two schedules, keeping the time order: the result is sorted
+    by [at] and contains every event of both inputs exactly once. *)

@@ -102,6 +102,32 @@ else
   echo "speedup gate skipped (cores=$ncores, needs >= 2 and python3)"
 fi
 
+echo "== chaos smoke gate (fixed seeds, invariant monitor) =="
+# A small fixed batch of random fault schedules (resets, burst loss,
+# disk faults, adversary) under the invariant monitor. Three binds:
+# the stock protocol must hold on every seed (exit 0), the run must be
+# deterministic (same seeds, same JSON report minus nothing — the
+# whole report is re-diffed), and the deliberately weakened --weak-leap
+# receiver must yield a violation the shrinker minimizes (exit 2).
+dune exec bin/ipsec_resets.exe -- chaos --seeds 25 --quiet \
+  --json "$out/chaos-a.json" \
+  || { echo "stock chaos batch reported violations" >&2; exit 1; }
+dune exec bin/ipsec_resets.exe -- chaos --seeds 25 --quiet \
+  --json "$out/chaos-b.json" \
+  || { echo "stock chaos batch reported violations on re-run" >&2; exit 1; }
+cmp -s "$out/chaos-a.json" "$out/chaos-b.json" \
+  || { echo "chaos batch is not deterministic across re-runs" >&2; exit 1; }
+echo "stock: 25 seeds clean, re-run byte-identical"
+if dune exec bin/ipsec_resets.exe -- chaos --seeds 25 --weak-leap --quiet \
+    --json "$out/chaos-weak.json"; then
+  echo "weak-leap chaos batch found no violation (expected one)" >&2; exit 1
+fi
+grep -q '"shrink_runs"' "$out/chaos-weak.json" \
+  || { echo "weak-leap report carries no shrunk counterexample" >&2; exit 1; }
+grep -q '"replay_identical": true' "$out/chaos-weak.json" \
+  || { echo "weak-leap counterexample did not replay identically" >&2; exit 1; }
+echo "weak leap: violation found, shrunk, replay-identical"
+
 echo "== allocation-regression gate (MICRO) =="
 dune exec bench/main.exe -- MICRO --json="$out" >/dev/null
 test -s "$out/BENCH_MICRO.json" || { echo "missing BENCH_MICRO.json" >&2; exit 1; }

@@ -42,6 +42,7 @@ let make_fixture ?(kp = 5) ?(kq = 5) ?(w = 64) ?(gap = us 10) ?(save_latency = u
           k = kp;
           leap = 2 * kp;
           trigger = Sender.On_count;
+          retries = 3;
         }
   in
   let persistence_q =
@@ -55,6 +56,7 @@ let make_fixture ?(kp = 5) ?(kq = 5) ?(w = 64) ?(gap = us 10) ?(save_latency = u
           leap = 2 * kq;
           robust;
           wakeup_buffer;
+          retries = 3;
         }
   in
   let sender =

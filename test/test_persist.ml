@@ -158,12 +158,144 @@ let test_snapshot_supersedes_and_is_superseded () =
   check_opt_int "stale snapshot entry discarded" (Some 20)
     (Sim_disk.fetch d ~key:"b")
 
+let test_remove_cancels_pending () =
+  let e = Engine.create () in
+  let d = Sim_disk.create ~latency:(us 100) e in
+  Sim_disk.preload d ~key:"k" ~value:1;
+  Sim_disk.save d ~key:"k" ~value:2 ~on_complete:(fun () ->
+      Alcotest.fail "cancelled write must not complete");
+  Sim_disk.remove d ~key:"k";
+  check_int "nothing in flight" 0 (Sim_disk.in_flight d);
+  ignore (Engine.run e);
+  check_opt_int "durably gone" None (Sim_disk.fetch d ~key:"k");
+  check_int "no keys left" 0 (Sim_disk.key_count d)
+
+let test_preload_cancels_pending () =
+  (* Establishment state supersedes an in-flight write of the old
+     sequence space — the degraded re-establishment rule. *)
+  let e = Engine.create () in
+  let d = Sim_disk.create ~latency:(us 100) e in
+  Sim_disk.save d ~key:"k" ~value:8270 ~on_complete:(fun () ->
+      Alcotest.fail "stale-space write must not land on the preload");
+  Sim_disk.preload d ~key:"k" ~value:1;
+  check_opt_int "preload durable now" (Some 1) (Sim_disk.fetch d ~key:"k");
+  ignore (Engine.run e);
+  check_opt_int "preload still the truth" (Some 1) (Sim_disk.fetch d ~key:"k")
+
 let test_snapshot_empty_rejected () =
   let e = Engine.create () in
   let d = Sim_disk.create ~latency:(us 10) e in
   Alcotest.check_raises "empty"
     (Invalid_argument "Sim_disk.save_snapshot: empty snapshot") (fun () ->
       Sim_disk.save_snapshot d ~entries:[||] ~on_complete:ignore)
+
+(* ------------------------------------------------------------------ *)
+(* Sim_disk fault injection: the chaos harness's faulty-store model *)
+
+let faulty spec seed =
+  Sim_disk.Faults.create ~spec ~prng:(Resets_util.Prng.create seed)
+
+let test_fault_write_fails_transiently () =
+  let e = Engine.create () in
+  let spec = { Sim_disk.Faults.none with write_fail_prob = 1.0 } in
+  let d = Sim_disk.create ~faults:(faulty spec 1) ~latency:(us 100) e in
+  let errored = ref 0 in
+  Sim_disk.save d ~key:"k" ~value:5
+    ~on_error:(fun () -> incr errored)
+    ~on_complete:(fun () -> Alcotest.fail "failed write must not complete");
+  ignore (Engine.run e);
+  check_int "on_error fired after the latency" 1 !errored;
+  check_opt_int "nothing durable" None (Sim_disk.fetch d ~key:"k");
+  check_int "counted failed" 1 (Sim_disk.saves_failed d);
+  check_int "not counted completed" 0 (Sim_disk.saves_completed d)
+
+let test_fault_torn_snapshot_prefix () =
+  let e = Engine.create () in
+  let spec = { Sim_disk.Faults.none with torn_prob = 1.0 } in
+  let d = Sim_disk.create ~faults:(faulty spec 2) ~latency:(us 100) e in
+  let errored = ref 0 in
+  Sim_disk.save_snapshot d
+    ~entries:[| ("a", 1); ("b", 2); ("c", 3) |]
+    ~on_error:(fun () -> incr errored)
+    ~on_complete:(fun () -> Alcotest.fail "torn snapshot must not complete");
+  ignore (Engine.run e);
+  check_int "reported failed" 1 !errored;
+  check_int "counted torn" 1 (Sim_disk.snapshots_torn d);
+  (* a STRICT prefix landed: c never durable, and b durable implies a *)
+  let durable key = Sim_disk.fetch d ~key <> None in
+  check_bool "last entry lost" false (durable "c");
+  check_bool "prefix shape" true ((not (durable "b")) || durable "a")
+
+let test_fault_corrupt_fetch_detected () =
+  let e = Engine.create () in
+  let spec = { Sim_disk.Faults.none with read_corrupt_prob = 1.0 } in
+  let d = Sim_disk.create ~faults:(faulty spec 3) ~latency:(us 10) e in
+  Sim_disk.save d ~key:"k" ~value:42 ~on_complete:ignore;
+  ignore (Engine.run e);
+  (match Sim_disk.fetch_checked d ~key:"k" with
+  | Fetch_corrupt -> ()
+  | _ -> Alcotest.fail "expected Fetch_corrupt");
+  check_int "counted" 1 (Sim_disk.fetches_corrupt d);
+  check_opt_int "medium itself undamaged" (Some 42) (Sim_disk.fetch d ~key:"k")
+
+let test_fault_stale_fetch_detected () =
+  let e = Engine.create () in
+  let spec = { Sim_disk.Faults.none with read_stale_prob = 1.0 } in
+  let d = Sim_disk.create ~faults:(faulty spec 4) ~latency:(us 10) e in
+  Sim_disk.save d ~key:"k" ~value:1 ~on_complete:ignore;
+  ignore (Engine.run e);
+  Sim_disk.save d ~key:"k" ~value:2 ~on_complete:ignore;
+  ignore (Engine.run e);
+  (match Sim_disk.fetch_checked d ~key:"k" with
+  | Fetch_stale 1 -> ()
+  | Fetch_stale v -> Alcotest.failf "stale served %d, expected 1" v
+  | _ -> Alcotest.fail "expected Fetch_stale");
+  check_int "counted" 1 (Sim_disk.fetches_stale d)
+
+let test_fault_clean_fetch_checked () =
+  (* Without a plan the checked path is just verification. *)
+  let e = Engine.create () in
+  let d = Sim_disk.create ~latency:(us 10) e in
+  (match Sim_disk.fetch_checked d ~key:"k" with
+  | Fetch_missing -> ()
+  | _ -> Alcotest.fail "expected Fetch_missing");
+  Sim_disk.save d ~key:"k" ~value:9 ~on_complete:ignore;
+  ignore (Engine.run e);
+  match Sim_disk.fetch_checked d ~key:"k" with
+  | Fetched 9 -> ()
+  | _ -> Alcotest.fail "expected Fetched 9"
+
+let test_fault_pattern_deterministic () =
+  let run seed =
+    let e = Engine.create () in
+    let spec =
+      {
+        Sim_disk.Faults.write_fail_prob = 0.3;
+        torn_prob = 0.0;
+        read_corrupt_prob = 0.2;
+        read_stale_prob = 0.1;
+      }
+    in
+    let d = Sim_disk.create ~faults:(faulty spec seed) ~latency:(us 10) e in
+    let trail = ref [] in
+    for v = 1 to 40 do
+      Sim_disk.save d ~key:"k" ~value:v ~on_complete:ignore;
+      ignore (Engine.run e);
+      let tag =
+        match Sim_disk.fetch_checked d ~key:"k" with
+        | Fetched v -> Printf.sprintf "ok%d" v
+        | Fetch_missing -> "miss"
+        | Fetch_corrupt -> "corrupt"
+        | Fetch_stale v -> Printf.sprintf "stale%d" v
+      in
+      trail := tag :: !trail
+    done;
+    (!trail, Sim_disk.saves_failed d, Sim_disk.fetches_corrupt d)
+  in
+  check_bool "same seed, same faults" true (run 7 = run 7);
+  check_bool "faults actually rolled" true
+    (let _, failed, corrupt = run 7 in
+     failed > 0 && corrupt > 0)
 
 (* ------------------------------------------------------------------ *)
 (* File_store *)
@@ -340,7 +472,24 @@ let () =
             test_snapshot_crash_loses_all_keys;
           Alcotest.test_case "supersede both ways" `Quick
             test_snapshot_supersedes_and_is_superseded;
+          Alcotest.test_case "remove cancels pending" `Quick
+            test_remove_cancels_pending;
+          Alcotest.test_case "preload cancels pending" `Quick
+            test_preload_cancels_pending;
           Alcotest.test_case "empty rejected" `Quick test_snapshot_empty_rejected;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "transient write failure" `Quick
+            test_fault_write_fails_transiently;
+          Alcotest.test_case "torn snapshot prefix" `Quick
+            test_fault_torn_snapshot_prefix;
+          Alcotest.test_case "corrupt fetch" `Quick test_fault_corrupt_fetch_detected;
+          Alcotest.test_case "stale fetch" `Quick test_fault_stale_fetch_detected;
+          Alcotest.test_case "clean checked fetch" `Quick
+            test_fault_clean_fetch_checked;
+          Alcotest.test_case "fault pattern determinism" `Quick
+            test_fault_pattern_deterministic;
         ] );
       ( "file_store",
         [

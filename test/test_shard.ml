@@ -301,6 +301,7 @@ let test_host_recovery_sa_order () =
              leap = 20;
              robust = false;
              wakeup_buffer = false;
+             retries = 3;
            })
       engine
   in

@@ -335,6 +335,58 @@ let test_link_inject_bypasses_observer_and_faults () =
   check_int "delivered despite loss_prob=1" 1 !got;
   check_int "injected counter" 1 (Link.injected link)
 
+let test_link_burst_loss_conservation () =
+  (* Gilbert–Elliott burst loss: every packet is delivered or counted
+     dropped, and the bad-state subset is tracked separately. *)
+  let e = Engine.create () in
+  let prng = Prng.create 21 in
+  let burst =
+    Some { Link.p_gb = 0.05; p_bg = 0.2; good_loss = 0.0; bad_loss = 0.9 }
+  in
+  let faults = { Link.no_faults with burst } in
+  let link = Link.create ~faults ~prng ~latency:(us 1) e in
+  let got = ref 0 in
+  Link.set_deliver link (fun _ -> incr got);
+  let n = 5_000 in
+  for _ = 1 to n do
+    Link.send link ()
+  done;
+  ignore (Engine.run e);
+  check_int "conservation" n (!got + Link.dropped link);
+  check_bool "bursts happened" true (Link.burst_dropped link > 0);
+  check_int "all drops are burst drops (good_loss = 0)"
+    (Link.dropped link) (Link.burst_dropped link)
+
+let test_link_burst_all_bad () =
+  (* p_gb = 1 with bad_loss = 1 and no way back: the chain enters the
+     bad state before the first sample, so nothing ever arrives. *)
+  let e = Engine.create () in
+  let prng = Prng.create 22 in
+  let burst =
+    Some { Link.p_gb = 1.0; p_bg = 0.0; good_loss = 0.0; bad_loss = 1.0 }
+  in
+  let faults = { Link.no_faults with burst } in
+  let link = Link.create ~faults ~prng ~latency:(us 1) e in
+  Link.set_deliver link (fun _ -> Alcotest.fail "nothing should arrive");
+  for _ = 1 to 50 do
+    Link.send link ()
+  done;
+  ignore (Engine.run e);
+  check_int "all dropped" 50 (Link.dropped link);
+  check_int "all charged to the burst" 50 (Link.burst_dropped link)
+
+let test_link_inject_while_down_counts_dropped () =
+  (* Regression: injected packets used to vanish silently when the link
+     was down — every loss must land in [dropped], whatever the cause. *)
+  let e = Engine.create () in
+  let link = Link.create ~latency:(us 1) e in
+  Link.set_deliver link (fun _ -> Alcotest.fail "down link must not deliver");
+  Link.set_up link false;
+  Link.inject link ();
+  ignore (Engine.run e);
+  check_int "dropped" 1 (Link.dropped link);
+  check_int "still counted injected" 1 (Link.injected link)
+
 let test_link_requires_prng_for_faults () =
   let e = Engine.create () in
   Alcotest.check_raises "no prng"
@@ -389,6 +441,9 @@ let () =
           Alcotest.test_case "reorder" `Quick test_link_reorder;
           Alcotest.test_case "observer sees lost" `Quick test_link_observer_sees_lost_packets;
           Alcotest.test_case "inject semantics" `Quick test_link_inject_bypasses_observer_and_faults;
+          Alcotest.test_case "burst loss conservation" `Quick test_link_burst_loss_conservation;
+          Alcotest.test_case "burst all bad" `Quick test_link_burst_all_bad;
+          Alcotest.test_case "inject while down" `Quick test_link_inject_while_down_counts_dropped;
           Alcotest.test_case "faults need prng" `Quick test_link_requires_prng_for_faults;
         ] );
     ]

@@ -117,6 +117,101 @@ let test_merge_keeps_order () =
 
 let test_none_is_empty () = check_int "none" 0 (List.length Reset_schedule.none)
 
+let test_random_mixed_shape () =
+  let min_downtime = us 100 and max_downtime = us 500 in
+  let s =
+    Reset_schedule.random_mixed ~mtbf:(us 100) ~horizon:(us 50_000)
+      ~min_downtime ~max_downtime ~both_prob:0.3 ~prng:(Prng.create 4) ()
+  in
+  check_bool "some resets" true (List.length s > 20);
+  check_bool "sorted" true (List.sort compare (times s) = times s);
+  List.iter
+    (fun ev ->
+      check_bool "within horizon" true Time.(ev.Reset_schedule.at < us 50_000);
+      check_bool "downtime in range" true
+        Time.(min_downtime <= ev.Reset_schedule.downtime
+              && ev.Reset_schedule.downtime <= max_downtime))
+    s;
+  check_bool "both targets occur" true
+    (List.mem Reset_schedule.Sender (targets s)
+    && List.mem Reset_schedule.Receiver (targets s))
+
+let test_random_mixed_both_prob_one () =
+  (* both_prob = 1: every strike fells both hosts at the same instant. *)
+  let s =
+    Reset_schedule.random_mixed ~mtbf:(us 200) ~horizon:(us 20_000)
+      ~both_prob:1.0 ~prng:(Prng.create 5) ()
+  in
+  check_bool "non-empty" true (s <> []);
+  check_bool "even count" true (List.length s mod 2 = 0);
+  let rec pairs = function
+    | a :: b :: rest ->
+      check_bool "pair simultaneous" true (a.Reset_schedule.at = b.Reset_schedule.at);
+      check_bool "pair covers both hosts" true
+        (a.Reset_schedule.target <> b.Reset_schedule.target);
+      pairs rest
+    | [ _ ] -> Alcotest.fail "odd event left over"
+    | [] -> ()
+  in
+  pairs s
+
+let test_random_mixed_deterministic () =
+  let run seed =
+    Reset_schedule.random_mixed ~mtbf:(us 150) ~horizon:(us 30_000)
+      ~prng:(Prng.create seed) ()
+  in
+  check_bool "same seed" true (run 11 = run 11);
+  check_bool "different seed" true (run 11 <> run 12)
+
+let test_random_mixed_validation () =
+  Alcotest.check_raises "max < min"
+    (Invalid_argument "Reset_schedule.random_mixed: max_downtime < min_downtime")
+    (fun () ->
+      ignore
+        (Reset_schedule.random_mixed ~mtbf:(us 100) ~horizon:(us 1000)
+           ~min_downtime:(us 200) ~max_downtime:(us 100) ~prng:(Prng.create 1) ()))
+
+(* Property: merge keeps the sort order and loses/invents no event —
+   the result is sorted by [at] and is a permutation of a @ b. *)
+let schedule_gen =
+  QCheck.Gen.(
+    let event_gen =
+      let* at_us = int_range 0 10_000 in
+      let* is_sender = bool in
+      let+ down_us = int_range 1 2_000 in
+      {
+        Reset_schedule.at = Time.of_us at_us;
+        target = (if is_sender then Reset_schedule.Sender else Reset_schedule.Receiver);
+        downtime = Time.of_us down_us;
+      }
+    in
+    map
+      (List.sort (fun a b -> compare a.Reset_schedule.at b.Reset_schedule.at))
+      (list_size (int_range 0 30) event_gen))
+
+let schedule_print s =
+  String.concat ";"
+    (List.map
+       (fun ev ->
+         Printf.sprintf "%Ldns:%s" (Time.to_ns ev.Reset_schedule.at)
+           (match ev.Reset_schedule.target with Sender -> "p" | Receiver -> "q"))
+       s)
+
+let prop_merge_order_and_multiplicity =
+  QCheck.Test.make ~name:"merge is a sorted permutation of its inputs" ~count:500
+    (QCheck.make
+       ~print:(fun (a, b) -> schedule_print a ^ " | " ^ schedule_print b)
+       QCheck.Gen.(pair schedule_gen schedule_gen))
+    (fun (a, b) ->
+      let m = Reset_schedule.merge a b in
+      let rec sorted_by_at = function
+        | x :: (y :: _ as rest) ->
+          Time.(x.Reset_schedule.at <= y.Reset_schedule.at) && sorted_by_at rest
+        | _ -> true
+      in
+      let canon s = List.sort compare s in
+      sorted_by_at m && canon m = canon (a @ b))
+
 let () =
   Alcotest.run "workload"
     [
@@ -138,5 +233,12 @@ let () =
           Alcotest.test_case "random mtbf" `Quick test_random_mtbf_statistics;
           Alcotest.test_case "merge" `Quick test_merge_keeps_order;
           Alcotest.test_case "none" `Quick test_none_is_empty;
+          Alcotest.test_case "random mixed shape" `Quick test_random_mixed_shape;
+          Alcotest.test_case "random mixed both" `Quick test_random_mixed_both_prob_one;
+          Alcotest.test_case "random mixed determinism" `Quick
+            test_random_mixed_deterministic;
+          Alcotest.test_case "random mixed validation" `Quick
+            test_random_mixed_validation;
+          QCheck_alcotest.to_alcotest prop_merge_order_and_multiplicity;
         ] );
     ]
