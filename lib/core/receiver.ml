@@ -102,7 +102,7 @@ let maybe_begin_periodic_save t =
     end
 
 let deliver t ~seq ~payload ~replayed =
-  t.sa.Sa.packets_received <- t.sa.Sa.packets_received + 1;
+  Sa.note_received t.sa;
   Metrics.record_delivery t.metrics ~seq ~replayed;
   List.iter (fun hook -> hook ~seq ~payload) t.deliver_hooks
 

@@ -45,7 +45,7 @@ let default_payload ~seq = Printf.sprintf "message-%d" seq
 let create ?(name = "p") ?trace ?(payload = default_payload)
     ?(framing = Packet.Seq64) ~sa ~link ~traffic ~metrics ~persistence engine =
   Option.iter
-    (fun p -> Sim_disk.preload p.disk ~key:p.key ~value:sa.Sa.send_seq)
+    (fun p -> Sim_disk.preload p.disk ~key:p.key ~value:(Sa.send_seq sa))
     persistence;
   {
     engine;
@@ -58,8 +58,8 @@ let create ?(name = "p") ?trace ?(payload = default_payload)
     traffic;
     metrics;
     persistence;
-    lst = sa.Sa.send_seq;
-    durable = sa.Sa.send_seq;
+    lst = Sa.send_seq sa;
+    durable = Sa.send_seq sa;
     save_failing = false;
     save_pending = false;
     pending_ready = None;
@@ -104,7 +104,7 @@ let maybe_begin_periodic_save t =
   match t.persistence with
   | None -> ()
   | Some ({ trigger = On_count; _ } as p) ->
-    let s = t.sa.Sa.send_seq in
+    let s = Sa.send_seq t.sa in
     if s >= p.k + t.lst then begin
       let prev_lst = t.lst in
       t.lst <- s;
@@ -121,7 +121,7 @@ let start_save_timer t =
   | Some ({ trigger = On_timer interval; _ } as p) ->
     let rec tick () =
       if not t.down then begin
-        let s = t.sa.Sa.send_seq in
+        let s = Sa.send_seq t.sa in
         if s <> t.lst then begin
           let prev_lst = t.lst in
           t.lst <- s;
@@ -153,7 +153,7 @@ let send_one t =
 let stalled t =
   match t.persistence with
   | None -> false
-  | Some p -> t.save_failing && t.sa.Sa.send_seq >= t.durable + p.leap
+  | Some p -> t.save_failing && Sa.send_seq t.sa >= t.durable + p.leap
 
 let rec schedule_next t =
   let gap = Resets_workload.Traffic.next_gap t.traffic in
@@ -169,7 +169,7 @@ let rec schedule_next t =
                   send loop, so re-issue the failed SAVE ourselves. *)
                (match t.persistence with
                | Some p when not t.save_pending ->
-                 let s = t.sa.Sa.send_seq in
+                 let s = Sa.send_seq t.sa in
                  let prev_lst = t.lst in
                  t.lst <- s;
                  tell t "stall" (string_of_int s);
@@ -206,14 +206,14 @@ let reset t =
   end
 
 let resume t ~new_seq ~on_ready =
-  let old_next = t.sa.Sa.send_seq in
+  let old_next = Sa.send_seq t.sa in
   if new_seq > old_next then
     t.metrics.Metrics.skipped_seqnos <-
       t.metrics.Metrics.skipped_seqnos + (new_seq - old_next)
   else
     t.metrics.Metrics.reused_seqnos <-
       t.metrics.Metrics.reused_seqnos + (old_next - new_seq);
-  t.sa.Sa.send_seq <- new_seq;
+  Sa.set_send_seq t.sa new_seq;
   t.lst <- new_seq;
   t.durable <- new_seq;
   t.save_failing <- false;
@@ -307,9 +307,9 @@ let wakeup t ?(on_ready = fun () -> ()) () =
 let resync_store t =
   (match t.persistence with
   | None -> ()
-  | Some p -> Sim_disk.preload p.disk ~key:p.key ~value:t.sa.Sa.send_seq);
-  t.lst <- t.sa.Sa.send_seq;
-  t.durable <- t.sa.Sa.send_seq;
+  | Some p -> Sim_disk.preload p.disk ~key:p.key ~value:(Sa.send_seq t.sa));
+  t.lst <- Sa.send_seq t.sa;
+  t.durable <- Sa.send_seq t.sa;
   t.save_failing <- false;
   t.save_pending <- false
 
@@ -321,7 +321,7 @@ let resume_fresh t =
     resync_store t;
     t.down <- false;
     t.recovering <- false;
-    tell t "wakeup" (Printf.sprintf "fresh SA at %d" t.sa.Sa.send_seq);
+    tell t "wakeup" (Printf.sprintf "fresh SA at %d" (Sa.send_seq t.sa));
     if t.running then schedule_next t;
     fire_ready t
   end
@@ -331,7 +331,7 @@ let set_degrade_handler t f = t.degrade <- Some f
 let is_down t = t.down
 let is_recovering t = t.down && t.recovering
 
-let next_seq t = t.sa.Sa.send_seq
+let next_seq t = Sa.send_seq t.sa
 
 let last_stored t =
   match t.persistence with

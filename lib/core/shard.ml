@@ -96,6 +96,12 @@ let partition ~sa_count ~shards =
 
 let heap_hint ~sa_count = max 64 (4 * sa_count)
 
+(* Every SA in a sharded run uses the default window width; its hot
+   state (counters + window words) lives in one flat arena per shard,
+   so the shard's per-packet working set is a cache-linear block the
+   GC never traces. See Sadb_flat and DESIGN.md §2e. *)
+let window_width = 64
+
 (* A bounded capture buffer per tapped link: enough for any replay the
    scenarios stage, small enough that thousands of SAs could carry one
    (the default 2^20-entry recorder would cost megabytes per link). *)
@@ -136,6 +142,10 @@ let run_range ?(seed = 11) ?engine discipline config ~lo ~hi =
      and however many shards there are. *)
   let ike_prngs = Array.make n (Prng.create 0) in
   let offsets = Array.make n Time.zero in
+  (* Two slots per SA (sender side + receiver side); re-established SAs
+     take fresh slots, which the doubling growth absorbs. *)
+  let hot = Sadb_flat.create ~capacity:(2 * n) ~w:window_width () in
+  let window_impl = Replay_window.Flat_impl hot in
   let endpoint_of i =
     let g = lo + i in
     let sa_prng = Prng.keyed ~seed ~stream:g in
@@ -166,7 +176,7 @@ let run_range ?(seed = 11) ?engine discipline config ~lo ~hi =
       ~sender_name:(Printf.sprintf "p%d" g)
       ~receiver_name:(Printf.sprintf "q%d" g)
       ~link_name:(Printf.sprintf "link%d" g)
-      ~link_prng ~tap
+      ~window:window_width ~window_impl ~link_prng ~tap
       ~spi:(Int32.of_int (0x4000 + g))
       ~secret:(Printf.sprintf "multi-sa-%d" g)
       ~link_latency:config.link_latency
@@ -177,7 +187,7 @@ let run_range ?(seed = 11) ?engine discipline config ~lo ~hi =
   let endpoints = Array.init n endpoint_of in
   let host =
     Host.create ~k:config.k ~leap:(2 * config.k) ~ike_prngs ~first_sa:lo
-      ~spi_base:0x6000l
+      ~window:window_width ~window_impl ~spi_base:0x6000l
       ~flush_period:(Time.mul config.message_gap config.k)
       ~disk ~discipline:host_discipline endpoints engine
   in
@@ -187,12 +197,17 @@ let run_range ?(seed = 11) ?engine discipline config ~lo ~hi =
   let all_ready_at = ref None in
   let all_recovered_at = ref None in
   let delivered_after_reset = Array.make n false in
+  (* Countdown rather than a rescan: at 10^6 SAs an Array.for_all on
+     every SA's first post-reset delivery would cost O(n^2) over the
+     run. *)
+  let not_yet_recovered = ref n in
   Array.iteri
     (fun i ep ->
       Receiver.on_deliver (Endpoint.receiver ep) (fun ~seq:_ ~payload:_ ->
           if !reset_happened && not delivered_after_reset.(i) then begin
             delivered_after_reset.(i) <- true;
-            if Array.for_all Fun.id delivered_after_reset then
+            decr not_yet_recovered;
+            if !not_yet_recovered = 0 then
               all_recovered_at := Some (Engine.now engine)
           end))
     endpoints;

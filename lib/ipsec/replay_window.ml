@@ -281,12 +281,111 @@ module Block = struct
     else false
 end
 
-type impl = Paper_impl | Bitmap_impl | Block_impl
+(* The Block scheme again, but over arena storage: the window words and
+   the right edge live in a Sadb_flat slot instead of a private record,
+   so one shard's windows share one unboxed backing store. The
+   algorithms are a word-for-word mirror of [Block] (word_bits matches),
+   which is what keeps the two observationally equivalent — the qcheck
+   agreement suite pins that down. *)
+module Flat = struct
+  let word_bits = Sadb_flat.word_bits
+
+  type t = { arena : Sadb_flat.t; islot : int }
+
+  let w t = Sadb_flat.w t.arena
+
+  let nwords t = Sadb_flat.wwords t.arena
+
+  let slots t = nwords t * word_bits
+
+  let right_edge t = Sadb_flat.right_edge t.arena t.islot
+
+  let slot t s =
+    let n = slots t in
+    ((s mod n) + n) mod n
+
+  let get_bit t s =
+    let i = slot t s in
+    Sadb_flat.wword t.arena t.islot (i / word_bits) land (1 lsl (i mod word_bits))
+    <> 0
+
+  let set_bit t s =
+    let i = slot t s in
+    Sadb_flat.set_wword t.arena t.islot (i / word_bits)
+      (Sadb_flat.wword t.arena t.islot (i / word_bits)
+      lor (1 lsl (i mod word_bits)))
+
+  let check t s =
+    let r = right_edge t in
+    if Seqno.is_stale ~right:r ~w:(w t) s then Reject_stale
+    else if Seqno.in_window ~right:r ~w:(w t) s then
+      if get_bit t s then Reject_duplicate else Accept_in_window
+    else Accept_new
+
+  let fill t v = Sadb_flat.fill_wwords t.arena t.islot (if v then -1 else 0)
+
+  let slide t s =
+    let nwords = nwords t in
+    let r = right_edge t in
+    let old_word = slot t r / word_bits and new_word = slot t s / word_bits in
+    let distance = s - r in
+    if distance + word_bits > slots t then fill t false
+    else begin
+      let steps = (new_word - old_word + nwords) mod nwords in
+      for k = 1 to steps do
+        Sadb_flat.set_wword t.arena t.islot ((old_word + k) mod nwords) 0
+      done
+    end;
+    Sadb_flat.set_right_edge t.arena t.islot s;
+    set_bit t s
+
+  let admit t s =
+    match check t s with
+    | Reject_stale -> Reject_stale
+    | Reject_duplicate -> Reject_duplicate
+    | Accept_in_window ->
+      set_bit t s;
+      Accept_in_window
+    | Accept_new ->
+      slide t s;
+      Accept_new
+
+  let mark_window_seen t =
+    fill t false;
+    let r = right_edge t in
+    for s = r - w t + 1 to r do
+      set_bit t s
+    done
+
+  let volatile_reset t =
+    Sadb_flat.bump_epoch t.arena t.islot;
+    Sadb_flat.set_right_edge t.arena t.islot Seqno.zero;
+    mark_window_seen t
+
+  let resume_at t s =
+    Sadb_flat.bump_epoch t.arena t.islot;
+    Sadb_flat.set_right_edge t.arena t.islot s;
+    mark_window_seen t
+
+  let seen t s =
+    let r = right_edge t in
+    if Seqno.is_stale ~right:r ~w:(w t) s then true
+    else if Seqno.in_window ~right:r ~w:(w t) s then get_bit t s
+    else false
+
+  (* A freshly [alloc]ed slot is all-zero: right edge 0, epoch 0, no
+     bits. The paper's declared initial state marks the whole window
+     seen, exactly like [Block.create]. *)
+  let init t = mark_window_seen t
+end
+
+type impl = Paper_impl | Bitmap_impl | Block_impl | Flat_impl of Sadb_flat.t
 
 type packed =
   | Packed_paper of Paper.t
   | Packed_bitmap of Bitmap.t
   | Packed_block of Block.t
+  | Packed_flat of Flat.t
 
 type t = packed ref
 
@@ -295,52 +394,74 @@ let create impl ~w =
     (match impl with
     | Paper_impl -> Packed_paper (Paper.create ~w)
     | Bitmap_impl -> Packed_bitmap (Bitmap.create ~w)
-    | Block_impl -> Packed_block (Block.create ~w))
+    | Block_impl -> Packed_block (Block.create ~w)
+    | Flat_impl arena ->
+      if w <= 0 then invalid_arg "Replay_window.Flat.create: w must be positive";
+      if w <> Sadb_flat.w arena then
+        invalid_arg
+          "Replay_window.create: Flat_impl arena was provisioned for a \
+           different window width";
+      let f = { Flat.arena; islot = Sadb_flat.alloc arena } in
+      Flat.init f;
+      Packed_flat f)
 
 let impl t =
   match !t with
   | Packed_paper _ -> Paper_impl
   | Packed_bitmap _ -> Bitmap_impl
   | Packed_block _ -> Block_impl
+  | Packed_flat f -> Flat_impl f.Flat.arena
+
+let flat_slot t =
+  match !t with
+  | Packed_flat f -> Some (f.Flat.arena, f.Flat.islot)
+  | Packed_paper _ | Packed_bitmap _ | Packed_block _ -> None
 
 let w t =
   match !t with
   | Packed_paper p -> Paper.w p
   | Packed_bitmap b -> Bitmap.w b
   | Packed_block b -> Block.w b
+  | Packed_flat f -> Flat.w f
 
 let right_edge t =
   match !t with
   | Packed_paper p -> Paper.right_edge p
   | Packed_bitmap b -> Bitmap.right_edge b
   | Packed_block b -> Block.right_edge b
+  | Packed_flat f -> Flat.right_edge f
 
 let check t s =
   match !t with
   | Packed_paper p -> Paper.check p s
   | Packed_bitmap b -> Bitmap.check b s
   | Packed_block b -> Block.check b s
+  | Packed_flat f -> Flat.check f s
 
 let admit t s =
   match !t with
   | Packed_paper p -> Paper.admit p s
   | Packed_bitmap b -> Bitmap.admit b s
   | Packed_block b -> Block.admit b s
+  | Packed_flat f -> Flat.admit f s
 
 let volatile_reset t =
   match !t with
   | Packed_paper p -> Paper.volatile_reset p
   | Packed_bitmap b -> Bitmap.volatile_reset b
   | Packed_block b -> Block.volatile_reset b
+  | Packed_flat f -> Flat.volatile_reset f
 
 let resume_at t s =
   match !t with
   | Packed_paper p -> Paper.resume_at p s
   | Packed_bitmap b -> Bitmap.resume_at b s
   | Packed_block b -> Block.resume_at b s
+  | Packed_flat f -> Flat.resume_at f s
 
 let seen t s =
   match !t with
   | Packed_paper p -> Paper.seen p s
   | Packed_bitmap b -> Bitmap.seen b s
   | Packed_block b -> Block.seen b s
+  | Packed_flat f -> Flat.seen f s

@@ -11,14 +11,17 @@
     - [s > r]: fresh beyond the edge — accept and slide the window so
       [s] becomes the new right edge.
 
-    Three implementations are provided: {!Paper} transliterates the
+    Four implementations are provided: {!Paper} transliterates the
     boolean-array process of Section 2 (including its two shift loops);
     {!Bitmap} is the RFC 2401-style circular bitmap; {!Block} is the
     RFC 6479-style blocked bitmap (the WireGuard scheme), which
     over-provisions the slot space so slides clear whole machine words
-    instead of individual slots. QCheck properties in the test suite
-    check all three observationally equivalent; the benchmark harness
-    compares their cost. *)
+    instead of individual slots; and the flat backend behind
+    {!Flat_impl} runs the same blocked-bitmap algorithm over a slot of
+    a shared {!Sadb_flat} arena, so a million-SA shard keeps every
+    window in one unboxed, cache-linear backing store. QCheck
+    properties in the test suite check them all observationally
+    equivalent; the benchmark harness compares their cost. *)
 
 type verdict =
   | Accept_new  (** beyond the right edge; window slid *)
@@ -72,12 +75,27 @@ module Block : S
     A first-class wrapper so harness code can pick the implementation
     at run time. *)
 
-type impl = Paper_impl | Bitmap_impl | Block_impl
+(** Which backend a packed window uses. {!Flat_impl} carries the
+    {!Sadb_flat} arena the window's state lives in: {!create} claims
+    the arena's next free slot, so every window (and, through
+    {!Sa.create}, every SA) built from the same [Flat_impl a] value
+    shares [a]'s backing store. The arena's provisioned width must
+    equal the [w] passed to {!create}. *)
+type impl = Paper_impl | Bitmap_impl | Block_impl | Flat_impl of Sadb_flat.t
 
 type t
 
 val create : impl -> w:int -> t
+(** @raise Invalid_argument if [w <= 0], or for {!Flat_impl} when the
+    arena was provisioned for a different width. *)
+
 val impl : t -> impl
+
+val flat_slot : t -> (Sadb_flat.t * int) option
+(** The arena and slot index backing a {!Flat_impl} window — [None]
+    for the boxed backends. {!Sa.create} uses this to co-locate the
+    SA's sequence counter in the same slot as its window. *)
+
 val w : t -> int
 val right_edge : t -> Resets_util.Seqno.t
 val check : t -> Resets_util.Seqno.t -> verdict

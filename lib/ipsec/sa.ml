@@ -90,40 +90,87 @@ let derive_params ?(algo = default_algo) ?(window_width = 64)
     crypto = derive_crypto keys;
   }
 
+(* The volatile state either sits in its own boxed record (the classic
+   layout) or in the Sadb_flat slot the SA's window already claimed, so
+   counter and window share one cache line. Which one an SA gets is
+   decided by params.window_impl — Flat_impl windows bring a slot. *)
+type hot_state =
+  | Hot_boxed of {
+      mutable bseq : Seqno.t;
+      mutable bsent : int;
+      mutable brecv : int;
+    }
+  | Hot_flat of { arena : Sadb_flat.t; slot : int }
+
 type t = {
   params : params;
-  mutable send_seq : Seqno.t;
   window : Replay_window.t;
-  mutable packets_sent : int;
-  mutable packets_received : int;
+  hot : hot_state;
 }
 
 let create params =
-  {
-    params;
-    send_seq = Seqno.first;
-    window = Replay_window.create params.window_impl ~w:params.window_width;
-    packets_sent = 0;
-    packets_received = 0;
-  }
+  let window = Replay_window.create params.window_impl ~w:params.window_width in
+  let hot =
+    match Replay_window.flat_slot window with
+    | Some (arena, slot) ->
+      Sadb_flat.set_send_seq arena slot Seqno.first;
+      Hot_flat { arena; slot }
+    | None -> Hot_boxed { bseq = Seqno.first; bsent = 0; brecv = 0 }
+  in
+  { params; window; hot }
+
+let send_seq t =
+  match t.hot with
+  | Hot_boxed b -> b.bseq
+  | Hot_flat f -> Sadb_flat.send_seq f.arena f.slot
+
+let set_send_seq t v =
+  match t.hot with
+  | Hot_boxed b -> b.bseq <- v
+  | Hot_flat f -> Sadb_flat.set_send_seq f.arena f.slot v
+
+let packets_sent t =
+  match t.hot with
+  | Hot_boxed b -> b.bsent
+  | Hot_flat f -> Sadb_flat.packets_sent f.arena f.slot
+
+let packets_received t =
+  match t.hot with
+  | Hot_boxed b -> b.brecv
+  | Hot_flat f -> Sadb_flat.packets_received f.arena f.slot
+
+let note_received t =
+  match t.hot with
+  | Hot_boxed b -> b.brecv <- b.brecv + 1
+  | Hot_flat f ->
+    Sadb_flat.set_packets_received f.arena f.slot
+      (Sadb_flat.packets_received f.arena f.slot + 1)
 
 let next_send_seq t =
-  let s = t.send_seq in
-  t.send_seq <- Seqno.succ s;
-  t.packets_sent <- t.packets_sent + 1;
-  s
+  match t.hot with
+  | Hot_boxed b ->
+    let s = b.bseq in
+    b.bseq <- Seqno.succ s;
+    b.bsent <- b.bsent + 1;
+    s
+  | Hot_flat f ->
+    let s = Sadb_flat.send_seq f.arena f.slot in
+    Sadb_flat.set_send_seq f.arena f.slot (Seqno.succ s);
+    Sadb_flat.set_packets_sent f.arena f.slot
+      (Sadb_flat.packets_sent f.arena f.slot + 1);
+    s
 
 let lifetime_exceeded t =
   match t.params.lifetime_packets with
   | None -> false
-  | Some limit -> t.packets_sent >= limit || t.packets_received >= limit
+  | Some limit -> packets_sent t >= limit || packets_received t >= limit
 
 let volatile_reset t =
-  t.send_seq <- Seqno.first;
+  set_send_seq t Seqno.first;
   Replay_window.volatile_reset t.window
 
 let pp ppf t =
   Format.fprintf ppf "SA(spi=%ld, next_seq=%a, right_edge=%a, w=%d)" t.params.spi
-    Seqno.pp t.send_seq Seqno.pp
+    Seqno.pp (send_seq t) Seqno.pp
     (Replay_window.right_edge t.window)
     t.params.window_width

@@ -71,23 +71,52 @@ val derive_params :
 (** Derive the key material for [spi] from a shared [secret] via HKDF;
     both peers calling this with the same inputs get identical SAs. *)
 
+(** Where an SA's volatile words (sequence counter, packet counters)
+    live. [Hot_boxed] is the classic one-record-per-SA layout;
+    [Hot_flat] places them in the same {!Sadb_flat} arena slot as the
+    SA's anti-replay window, so a shard's whole hot set is one unboxed,
+    cache-linear block. Always go through the accessors below — the
+    constructors are exposed only so [t] can stay a transparent
+    record. *)
+type hot_state =
+  | Hot_boxed of {
+      mutable bseq : Resets_util.Seqno.t;
+      mutable bsent : int;
+      mutable brecv : int;
+    }
+  | Hot_flat of { arena : Sadb_flat.t; slot : int }
+
 (** Mutable per-endpoint state layered over shared [params]. A
     unidirectional SA has a sending side (sequence counter) and a
     receiving side (window); each endpoint instantiates the side it
-    plays. *)
+    plays. Whether the volatile words are boxed or arena-resident
+    follows [params.window_impl]: a {!Replay_window.Flat_impl} window
+    brings an arena slot and the counters move in with it. *)
 type t = {
   params : params;
-  mutable send_seq : Resets_util.Seqno.t;  (** next to be sent, initially 1 *)
   window : Replay_window.t;  (** receiver's anti-replay window *)
-  mutable packets_sent : int;
-  mutable packets_received : int;
+  hot : hot_state;  (** volatile words — use the accessors *)
 }
 
 val create : params -> t
 
+val send_seq : t -> Resets_util.Seqno.t
+(** The next sequence number to be sent (initially 1). *)
+
+val set_send_seq : t -> Resets_util.Seqno.t -> unit
+(** Overwrite the sender counter — recovery paths only (FETCH + leap,
+    re-establishment); normal sending goes through {!next_send_seq}. *)
+
+val packets_sent : t -> int
+val packets_received : t -> int
+
+val note_received : t -> unit
+(** Count one accepted inbound packet against the soft lifetime. *)
+
 val next_send_seq : t -> Resets_util.Seqno.t
 (** Take the next outbound sequence number (post-increments, as in the
-    paper's first action of process p). *)
+    paper's first action of process p) and count it against the soft
+    lifetime. *)
 
 val lifetime_exceeded : t -> bool
 

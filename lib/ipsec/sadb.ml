@@ -1,33 +1,69 @@
-type t = (int32, Sa.t) Hashtbl.t
+(* SPI-keyed lookup plus a lazily (re)built ascending-SPI array for
+   iteration. The previous layout rebuilt and sorted an association
+   list on EVERY traversal; at 10^6 SAs that was O(n log n) allocation
+   per recovery sweep. Installs and removals just mark the order cache
+   dirty; steady-state iteration walks a flat Sa.t array and allocates
+   nothing. *)
+type t = {
+  by_spi : (int32, Sa.t) Hashtbl.t;
+  mutable order : Sa.t array; (* ascending SPI; valid when not dirty *)
+  mutable dirty : bool;
+}
 
-let create () = Hashtbl.create 16
+let create () = { by_spi = Hashtbl.create 16; order = [||]; dirty = false }
 
 let install t sa =
   let spi = sa.Sa.params.Sa.spi in
-  if Hashtbl.mem t spi then invalid_arg "Sadb.install: duplicate SPI";
-  Hashtbl.replace t spi sa
+  if Hashtbl.mem t.by_spi spi then invalid_arg "Sadb.install: duplicate SPI";
+  Hashtbl.replace t.by_spi spi sa;
+  t.dirty <- true
 
-let lookup t ~spi = Hashtbl.find_opt t spi
+let lookup t ~spi = Hashtbl.find_opt t.by_spi spi
 
-let remove t ~spi = Hashtbl.remove t spi
+let remove t ~spi =
+  if Hashtbl.mem t.by_spi spi then begin
+    Hashtbl.remove t.by_spi spi;
+    t.dirty <- true
+  end
 
-let count t = Hashtbl.length t
+let count t = Hashtbl.length t.by_spi
 
 (* Iteration is pinned to ascending SPI so every traversal — recovery
    sweeps, resets, metrics — is deterministic. Hashtbl's own order
    depends on insertion history and hashing, which is exactly the kind
    of hidden nondeterminism a parallel merge cannot oracle against. *)
-let sorted_bindings t =
-  let bindings = Hashtbl.fold (fun spi sa acc -> (spi, sa) :: acc) t [] in
-  List.sort (fun (a, _) (b, _) -> Int32.compare a b) bindings
+let ensure_sorted t =
+  if t.dirty then begin
+    let order = Array.make (Hashtbl.length t.by_spi) None in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun _ sa ->
+        order.(!i) <- Some sa;
+        incr i)
+      t.by_spi;
+    let order = Array.map Option.get order in
+    Array.sort
+      (fun a b -> Int32.compare a.Sa.params.Sa.spi b.Sa.params.Sa.spi)
+      order;
+    t.order <- order;
+    t.dirty <- false
+  end
 
-let iter f t = List.iter (fun (_spi, sa) -> f sa) (sorted_bindings t)
+let iter f t =
+  ensure_sorted t;
+  Array.iter f t.order
 
 let fold f acc t =
-  List.fold_left (fun acc (_spi, sa) -> f acc sa) acc (sorted_bindings t)
+  ensure_sorted t;
+  Array.fold_left f acc t.order
 
-let spis t = List.map fst (sorted_bindings t)
+let spis t =
+  ensure_sorted t;
+  Array.to_list (Array.map (fun sa -> sa.Sa.params.Sa.spi) t.order)
 
-let clear t = Hashtbl.reset t
+let clear t =
+  Hashtbl.reset t.by_spi;
+  t.order <- [||];
+  t.dirty <- false
 
 let volatile_reset t = iter Sa.volatile_reset t

@@ -1,0 +1,111 @@
+(** Flat per-SA hot state: a struct-of-arrays arena.
+
+    At 10^5–10^6 SAs per shard, giving every SA its own heap-allocated
+    counters and window words scatters the simulation's per-packet
+    working set across the heap and makes the GC trace a million small
+    objects. This arena packs the {e volatile} state of many SAs — the
+    paper's sequence counter, the anti-replay right edge and window
+    bits, plus packet counters and a reset-epoch diagnostic — into one
+    unboxed [Bigarray] of native ints, so a shard's hot state is
+    cache-linear, GC-invisible, and indexed by a flat slot number.
+
+    One arena serves one shard (all its SAs share a window width [w]);
+    {!alloc} hands out slots append-only and the backing store doubles
+    on demand, so re-established SAs simply take fresh slots — slots
+    are never reclaimed, which is the right trade for bounded-lifetime
+    simulation runs.
+
+    {2 Slot layout}
+
+    Every slot is [stride] words, with the stride rounded up to a
+    multiple of 8 words so each slot starts on a 64-byte cache-line
+    boundary. Word offsets within a slot ([×8] for byte offsets):
+
+    {v
+    word 0   send_seq          sender: next sequence number to use
+    word 1   packets_sent      sender: lifetime counter
+    word 2   packets_received  receiver: lifetime counter
+    word 3   right_edge        receiver: window right edge r
+    word 4   epoch             resets/resumes seen by this slot
+    word 5+  window words      RFC 6479-style seen-bits, 63 per word
+    v}
+
+    With the default [w = 64] a slot needs [ceil(64/63) + 1 = 3] window
+    words (the [+1] is the block scheme's word of slack), so the raw
+    size is [5 + 3 = 8] words — exactly one cache line per SA.
+
+    The window words hold the same blocked bitmap as
+    {!Replay_window.Block}; the sliding/checking logic itself lives in
+    [Replay_window]'s [Flat] backend, which reads and writes these
+    words through the accessors below. This module is pure storage: it
+    knows byte layout, not protocol. See DESIGN.md §2e for the worked
+    byte-offset diagram and the cache/GC argument. *)
+
+type t
+
+val word_bits : int
+(** Usable bits per window word (63: the native-int payload, matching
+    {!Replay_window.Block}). *)
+
+val header_words : int
+(** Number of fixed words before the window words in every slot (5). *)
+
+val create : ?capacity:int -> w:int -> unit -> t
+(** [create ~w ()] is an empty arena whose slots carry a width-[w]
+    anti-replay window each. [capacity] (default 16) pre-sizes the
+    backing store in slots; it grows by doubling, so the value is a
+    hint, not a limit.
+    @raise Invalid_argument if [w <= 0]. *)
+
+val w : t -> int
+(** The window width every slot was provisioned for. *)
+
+val wwords : t -> int
+(** Window words per slot: [ceil (w / word_bits) + 1]. *)
+
+val stride : t -> int
+(** Words per slot ([header_words + wwords], rounded up to a multiple
+    of 8 so slots are cache-line aligned). *)
+
+val capacity : t -> int
+(** Slots the current backing store can hold. *)
+
+val used : t -> int
+(** Slots handed out so far. *)
+
+val alloc : t -> int
+(** Claim the next free slot (its words are all zero) and return its
+    index. Append-only: slots are never freed. Doubles the backing
+    store when full — existing slot contents are preserved and slot
+    indices remain valid across growth. *)
+
+(** {2 Header-word accessors} *)
+
+val send_seq : t -> int -> int
+val set_send_seq : t -> int -> int -> unit
+val packets_sent : t -> int -> int
+val set_packets_sent : t -> int -> int -> unit
+val packets_received : t -> int -> int
+val set_packets_received : t -> int -> int -> unit
+val right_edge : t -> int -> int
+val set_right_edge : t -> int -> int -> unit
+
+val epoch : t -> int -> int
+(** How many volatile resets / recovery resumes this slot has seen — a
+    cheap diagnostic distinguishing a fresh slot from one that lived
+    through a crash. *)
+
+val bump_epoch : t -> int -> unit
+
+(** {2 Window-word accessors}
+
+    [wword t slot i] is window word [i] of [slot], [0 <= i < wwords t].
+    The bit semantics (which sequence number lives in which bit) are
+    owned by [Replay_window]'s flat backend. *)
+
+val wword : t -> int -> int -> int
+val set_wword : t -> int -> int -> int -> unit
+
+val fill_wwords : t -> int -> int -> unit
+(** [fill_wwords t slot v] sets every window word of [slot] to [v]
+    (typically 0 or -1 for all-clear / all-seen). *)

@@ -1,48 +1,91 @@
-(** Deterministic discrete-event engine.
+(** Deterministic discrete-event engine on a hierarchical timer wheel.
 
-    Events fire in (time, insertion order) order, so two runs with the
-    same inputs produce identical traces. Callbacks may schedule and
-    cancel further events. *)
+    Events fire in exact (time, insertion order) order, so two runs
+    with the same inputs produce identical traces — the contract every
+    committed artifact and the sharded-determinism gate depend on.
+    Callbacks may schedule and cancel further events, including more
+    events at the current instant (they fire after everything already
+    pending there, in insertion order).
+
+    The scheduler is a 13-level, 32-slot-per-level hierarchical timer
+    wheel over integer nanoseconds: {!schedule_at}, {!schedule_after}
+    and {!cancel} are O(1), and each event is cascaded toward its
+    bottom-level slot at most once per level, independent of how many
+    events are pending. This is what lets one engine carry the
+    millions of concurrent SAVE timers, resume deadlines and link
+    deliveries of a 10^5–10^6-SA shard; the legacy O(log n) heap
+    scheduler survives as {!Engine_heap}, the differential-testing
+    oracle and perf baseline. See DESIGN.md §2e for the wheel
+    geometry, the cascade rules and the determinism argument.
+
+    One geometric bound surfaces in the API: times at or beyond
+    [max_int] nanoseconds (about 146 simulated years) are outside the
+    wheel and are rejected by {!schedule_at}. *)
 
 type t
 
 type handle
-(** A scheduled event; can be cancelled until it fires. *)
+(** A scheduled event; can be cancelled until it fires. Handles are
+    invalidated by {!reset} (see {!cancel}). *)
 
 val create : ?hint:int -> unit -> t
-(** [hint] pre-sizes the event heap (number of simultaneously pending
-    events expected at steady state) so large simulations skip the
-    backing-store re-growth walk. *)
+(** [create ?hint ()] is an empty engine with the clock at zero.
+    [hint] (the number of simultaneously pending events expected at
+    steady state) pre-sizes the same-tick batch buffer; the wheel's
+    slot array itself is fixed-size, so the hint matters much less
+    than it did for the heap and is retained for API compatibility
+    with pooled callers. *)
 
 val reset : t -> unit
 (** Return the engine to its just-created state — clock at zero, no
-    pending events, counters cleared — while keeping the event heap's
-    grown backing store. Lets a pooled worker domain reuse one engine
-    across many shard runs. Handles from before the reset must not be
-    [cancel]led afterwards. *)
+    pending events, counters cleared — while keeping the grown batch
+    buffer, so a pooled worker domain can reuse one engine across many
+    shard runs. Handles issued before the reset are invalidated by an
+    internal generation counter: {!cancel} on one raises
+    [Invalid_argument] instead of corrupting the new run, and
+    {!is_pending} reports it as not pending. *)
 
 val now : t -> Time.t
+(** Current simulated time: the timestamp of the last fired event (or
+    the [until] limit of the last {!run} that stopped on it, if
+    later). *)
 
 val schedule_at : t -> at:Time.t -> (unit -> unit) -> handle
-(** @raise Invalid_argument when [at] is in the past. *)
+(** Schedule a callback at absolute time [at]. O(1).
+    @raise Invalid_argument when [at] is in the past, or at/beyond
+    [max_int] ns (outside the wheel horizon). *)
 
 val schedule_after : t -> after:Time.t -> (unit -> unit) -> handle
+(** [schedule_after t ~after f] is
+    [schedule_at t ~at:(Time.add (now t) after) f]. *)
 
 val cancel : handle -> unit
-(** Idempotent; no effect after the event fired. *)
+(** Cancel a pending event. O(1); idempotent; no effect after the
+    event fired. The slot entry is reclaimed when its tick is next
+    visited, but it stops counting toward {!pending_count}
+    immediately.
+    @raise Invalid_argument on a stale handle — one issued before the
+    engine's last {!reset}. Cancelling across a reset was previously
+    undocumented corruption; the generation check makes it a reported
+    bug in the caller. *)
 
 val is_pending : handle -> bool
+(** [true] until the event fires or is cancelled. Stale handles (from
+    before a {!reset}) are reported as not pending rather than
+    raising, so shutdown paths can poll handles they may have
+    outlived. *)
 
 val pending_count : t -> int
 (** Number of not-yet-fired, not-cancelled events. O(1): the engine
-    keeps a live counter and eagerly drops cancelled entries when they
-    reach the heap top, so long runs that cancel many timers do not
-    accumulate dead heap entries. *)
+    keeps a live counter, and cancelled slot entries are dropped when
+    their tick is visited, so long runs that cancel many timers do not
+    accumulate dead entries. *)
 
 val fired_count : t -> int
-(** Total events fired since [create] — the denominator for
-    events-per-second throughput measurements. *)
+(** Total events fired since {!create} (or the last {!reset}) — the
+    denominator for events-per-second throughput measurements. *)
 
+(** Why {!run} returned. *)
 type stop_reason =
   | Quiescent  (** no events left *)
   | Time_limit  (** next event lies beyond [until] *)
@@ -51,11 +94,14 @@ type stop_reason =
 
 val run : ?until:Time.t -> ?max_events:int -> t -> stop_reason
 (** Drain the queue. With [until], the clock is advanced to exactly
-    [until] on a [Time_limit] stop so a subsequent [run] continues from
-    there. *)
+    [until] on a [Time_limit] stop so a subsequent [run] continues
+    from there; events scheduled between that clock and the first
+    still-pending instant remain fully ordered (the engine keeps a
+    side channel for that gap — see DESIGN.md §2e). *)
 
 val step : t -> bool
 (** Fire the single next event; [false] when the queue is empty. *)
 
 val stop : t -> unit
-(** Request that the current [run] return after the active callback. *)
+(** Request that the current {!run} return after the active
+    callback. *)

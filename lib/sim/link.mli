@@ -8,6 +8,9 @@
     packets of its own. *)
 
 type 'a t
+(** A link carrying packets of type ['a]; delivery order and
+    timing are driven entirely by the {!Engine}, so runs are
+    reproducible. *)
 
 (** Gilbert–Elliott correlated burst loss: a two-state (good/bad)
     Markov chain stepped once per sent packet, with a per-state loss
@@ -21,6 +24,8 @@ type burst_loss = {
   bad_loss : float;  (** loss probability while bad (usually near 1) *)
 }
 
+(** Independent per-packet fault probabilities, sampled once per
+    {!send} from the link's PRNG. *)
 type faults = {
   loss_prob : float;  (** i.i.d. drop probability *)
   dup_prob : float;  (** probability a packet is delivered twice *)
@@ -30,6 +35,7 @@ type faults = {
 }
 
 val no_faults : faults
+(** All probabilities zero, no burst mode: a perfect link. *)
 
 val create :
   ?name:string ->
@@ -67,15 +73,24 @@ val set_up : 'a t -> bool -> unit
     {!inject} alike, all counted in {!dropped}. *)
 
 val sent : 'a t -> int
+(** Packets handed to {!send} (injections not included). *)
+
 val delivered : 'a t -> int
+(** Packets actually handed to the receive handler, duplicates and
+    injections included. *)
 
 val dropped : 'a t -> int
 (** Every packet the link lost, whatever the cause: random loss, burst
     loss, a downed link, or no delivery handler installed. *)
 
 val duplicated : 'a t -> int
+(** Packets delivered a second time by the duplication fault. *)
+
 val reordered : 'a t -> int
+(** Packets that took the slow (extra-delay) path. *)
+
 val injected : 'a t -> int
+(** Adversarial packets inserted through {!inject}. *)
 
 val burst_dropped : 'a t -> int
 (** The subset of {!dropped} charged to the Gilbert–Elliott bad

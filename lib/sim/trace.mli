@@ -4,14 +4,16 @@
     resets…); tests and the CLI read the trace back. Bounded by a ring
     so long simulations do not grow without bound. *)
 
+(** Severity: [Debug] for per-packet chatter, [Info] for protocol
+    milestones, [Warn] for faults and violations. *)
 type level = Debug | Info | Warn
 
 type entry = {
-  time : Time.t;
+  time : Time.t;  (** simulated instant of the event *)
   level : level;
   source : string;  (** component, e.g. "p", "q", "disk.p" *)
   event : string;  (** short machine-readable tag, e.g. "save.begin" *)
-  detail : string;
+  detail : string;  (** free-form human-readable context *)
 }
 
 type t
@@ -21,6 +23,8 @@ val create : ?capacity:int -> unit -> t
 
 val record :
   t -> time:Time.t -> ?level:level -> source:string -> event:string -> string -> unit
+(** [record t ~time ~source ~event detail] appends one entry
+    ([level] defaults to [Info]) and invokes every {!on_record} tap. *)
 
 val entries : t -> entry list
 (** Oldest first (up to capacity). *)
@@ -35,8 +39,11 @@ val on_record : t -> (entry -> unit) -> unit
 (** Register a tap invoked on every record (metrics hooks). *)
 
 val pp_entry : Format.formatter -> entry -> unit
+(** One line: bracketed time, level (unless [Info]), source, event,
+    detail. *)
 
 val dump : Format.formatter -> t -> unit
+(** {!pp_entry} for every retained entry, oldest first. *)
 
 (** {1 JSONL export}
 
@@ -45,6 +52,7 @@ val dump : Format.formatter -> t -> unit
     nanoseconds), [level], [source], [event], [detail]. *)
 
 val entry_to_json : entry -> Resets_util.Json.t
+(** The JSONL object for one entry (schema above). *)
 
 val attach_jsonl : t -> out_channel -> unit
 (** Stream every subsequently recorded entry to the channel as a JSON

@@ -26,9 +26,10 @@ trap 'rm -rf "$out"' EXIT
 # E1 exercises the single-SA harness path, E6 the SAVE-interval rule,
 # E14 the unified Endpoint/Host datapath plus the domain sweep: the
 # same workloads at 1 and 2 domains, diffed below. Smoke sizes keep the
-# sweep fast; the committed artifact uses the full 256/1024/4096 sweep.
+# sweep fast; the committed artifact uses the full 256/1024/4096 sweep
+# and the full 100k/1M scale sweep.
 dune exec bench/main.exe -- E1 E6 E14 --json="$out" \
-  --domains=1,2 --sweep-sizes=64,256,1024
+  --domains=1,2 --sweep-sizes=64,256,1024 --scale-sizes=512,2048
 
 for f in BENCH_E1.json BENCH_E6.json BENCH_E14.json; do
   test -s "$out/$f" || { echo "missing artifact $f" >&2; exit 1; }
@@ -50,28 +51,31 @@ import json, sys
 
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-rows = doc["measured"].get("domain_sweep", [])
-if not rows:
-    sys.exit("BENCH_E14.json has no domain_sweep rows")
 PROTOCOL = ("delivered", "messages_lost", "replay_accepted",
             "duplicate_deliveries", "recovered_fully", "ready_s",
             "recovery_s")
-by_size = {}
-for r in rows:
-    by_size.setdefault(r["sa_count"], {})[r["domains"]] = \
-        tuple(r[k] for k in PROTOCOL)
 bad = False
-for n, per_d in sorted(by_size.items()):
-    sigs = set(per_d.values())
-    if len(sigs) != 1:
-        bad = True
-        print(f"{n} SAs: protocol outcome differs across domain counts:",
-              file=sys.stderr)
-        for d, s in sorted(per_d.items()):
-            print(f"  domains={d}: {dict(zip(PROTOCOL, s))}", file=sys.stderr)
-    else:
-        ds = ",".join(str(d) for d in sorted(per_d))
-        print(f"{n} SAs: identical protocol outcome at domains {ds}")
+for table in ("domain_sweep", "scale_sweep"):
+    rows = doc["measured"].get(table, [])
+    if not rows:
+        sys.exit(f"BENCH_E14.json has no {table} rows")
+    by_size = {}
+    for r in rows:
+        by_size.setdefault(r["sa_count"], {})[r["domains"]] = \
+            tuple(r[k] for k in PROTOCOL)
+    for n, per_d in sorted(by_size.items()):
+        sigs = set(per_d.values())
+        if len(sigs) != 1:
+            bad = True
+            print(f"{table}: {n} SAs: protocol outcome differs across "
+                  "domain counts:", file=sys.stderr)
+            for d, s in sorted(per_d.items()):
+                print(f"  domains={d}: {dict(zip(PROTOCOL, s))}",
+                      file=sys.stderr)
+        else:
+            ds = ",".join(str(d) for d in sorted(per_d))
+            print(f"{table}: {n} SAs: identical protocol outcome at "
+                  f"domains {ds}")
 sys.exit(1 if bad else 0)
 PY
 else
@@ -152,5 +156,37 @@ alloc_gate() {
 }
 alloc_gate esp-encap-256B 90
 alloc_gate esp-decap-256B 110
+# The engine tick loop: one timer-wheel event (fire + self-reschedule)
+# allocates ~16 words steady state; anything past 20 means a boxed
+# deadline, a closure, or a list node crept into the per-event path.
+alloc_gate engine-wheel-event 20
+# Flat-SADB replay admission must stay allocation-free like the other
+# window backends (budget 1 tolerates measurement jitter, not boxing).
+alloc_gate window-admit-flat 1
+
+echo "== engine determinism smoke (wheel vs legacy heap) =="
+# MICRO replays a fixed-seed schedule of one-shot, periodic, tied and
+# cancelled timers on both engines and records a named check; require
+# that check to exist and pass so a silent drop of the comparison
+# cannot slip through.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$out/BENCH_MICRO.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+name = "wheel and heap fire an identical fixed-seed schedule in the same order"
+checks = [c for c in doc["checks"] if c["name"] == name]
+if not checks:
+    sys.exit("BENCH_MICRO.json carries no wheel-vs-heap determinism check")
+if not all(c["pass"] for c in checks):
+    sys.exit("wheel and heap diverged on the fixed-seed schedule")
+print("wheel and heap fire order identical on the fixed-seed schedule")
+PY
+else
+  grep -q '"wheel and heap fire an identical fixed-seed schedule in the same order"' \
+    "$out/BENCH_MICRO.json" \
+    || { echo "no wheel-vs-heap determinism check in BENCH_MICRO.json" >&2; exit 1; }
+fi
 
 echo "OK"

@@ -134,7 +134,8 @@ let test_invalid_width impl =
        (match impl with
        | Paper_impl -> "Replay_window.Paper.create: w must be positive"
        | Bitmap_impl -> "Replay_window.Bitmap.create: w must be positive"
-       | Block_impl -> "Replay_window.Block.create: w must be positive"))
+       | Block_impl -> "Replay_window.Block.create: w must be positive"
+       | Flat_impl _ -> "Replay_window.Flat.create: w must be positive"))
     (fun () -> ignore (create impl ~w:0))
 
 let test_packed_impl_tag () =
@@ -259,6 +260,137 @@ let w_delivery_property =
       let w = create Bitmap_impl ~w:width in
       Array.for_all (fun s -> verdict_accepts (admit w s)) arr)
 
+(* ------------------------------------------------------------------ *)
+(* The flat (arena-backed) backend: same blocked-bitmap algorithm as
+   Block, storage in a shared Sadb_flat slot. Agreement plus the
+   arena-specific behaviours no boxed backend has: slot independence,
+   growth, the epoch diagnostic, and Sa counter co-location. *)
+
+let flat_impl ~w = Flat_impl (Resets_ipsec.Sadb_flat.create ~w ())
+
+let flat_agrees_with_block =
+  QCheck.Test.make
+    ~name:"flat == block window across admits, resets and resumes" ~count:400
+    (let op =
+       QCheck.make
+         QCheck.Gen.(
+           oneof
+             [
+               map (fun s -> `Admit s) (int_range 1 1_000);
+               return `Reset;
+               map (fun r -> `Resume r) (int_range 0 500);
+             ])
+     in
+     QCheck.(pair (int_range 1 130) (list_of_size Gen.(int_range 1 80) op)))
+    (fun (width, ops) ->
+      let a = create Block_impl ~w:width and b = create (flat_impl ~w:width) ~w:width in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Admit s ->
+            equal_verdict (admit a s) (admit b s)
+            && right_edge a = right_edge b
+            && seen a s = seen b s
+          | `Reset ->
+            volatile_reset a;
+            volatile_reset b;
+            right_edge a = right_edge b
+          | `Resume r ->
+            resume_at a r;
+            resume_at b r;
+            right_edge a = right_edge b)
+        ops)
+
+(* Two windows in one arena must not share state: interleaved admits on
+   neighbouring slots behave exactly like two isolated block windows. *)
+let test_flat_slot_independence () =
+  let arena = Resets_ipsec.Sadb_flat.create ~w:8 () in
+  let impl = Flat_impl arena in
+  let f1 = create impl ~w:8 and f2 = create impl ~w:8 in
+  let b1 = create Block_impl ~w:8 and b2 = create Block_impl ~w:8 in
+  let seqs1 = [ 1; 2; 5; 3; 3; 40; 38; 2 ] and seqs2 = [ 7; 7; 1; 90; 88 ] in
+  List.iteri
+    (fun i s ->
+      check_verdict
+        (Printf.sprintf "w1 step %d" i)
+        (admit b1 s) (admit f1 s);
+      (* interleave: drive the second window between first-window steps *)
+      List.iteri
+        (fun j s2 ->
+          if j = i mod List.length seqs2 then
+            check_verdict
+              (Printf.sprintf "w2 step %d.%d" i j)
+              (admit b2 s2) (admit f2 s2))
+        seqs2)
+    seqs1;
+  check_int "w1 edge" (right_edge b1) (right_edge f1);
+  check_int "w2 edge" (right_edge b2) (right_edge f2)
+
+(* Arena growth (alloc beyond capacity) must preserve live slots. *)
+let test_flat_growth_preserves_state () =
+  let arena = Resets_ipsec.Sadb_flat.create ~capacity:1 ~w:4 () in
+  let impl = Flat_impl arena in
+  let f = create impl ~w:4 in
+  ignore (admit f 10);
+  ignore (admit f 8);
+  (* force several doublings *)
+  let others = List.init 9 (fun _ -> create impl ~w:4) in
+  check_bool "grew" true (Resets_ipsec.Sadb_flat.capacity arena >= 10);
+  check_int "edge survives growth" 10 (right_edge f);
+  check_bool "8 still seen" true (seen f 8);
+  check_bool "9 still unseen" false (seen f 9);
+  List.iteri
+    (fun i o -> check_int (Printf.sprintf "fresh slot %d edge" i) 0 (right_edge o))
+    others
+
+let test_flat_epoch_counts_resets () =
+  let arena = Resets_ipsec.Sadb_flat.create ~w:4 () in
+  let f = create (Flat_impl arena) ~w:4 in
+  let slot =
+    match flat_slot f with
+    | Some (_, s) -> s
+    | None -> Alcotest.fail "flat window must expose its slot"
+  in
+  check_int "fresh epoch" 0 (Resets_ipsec.Sadb_flat.epoch arena slot);
+  volatile_reset f;
+  resume_at f 50;
+  volatile_reset f;
+  check_int "three resets/resumes" 3 (Resets_ipsec.Sadb_flat.epoch arena slot)
+
+(* An SA built over a Flat_impl window co-locates its sequence counter
+   in the window's slot; the boxed accessors and the arena agree. *)
+let test_flat_sa_colocation () =
+  let arena = Resets_ipsec.Sadb_flat.create ~w:64 () in
+  let params =
+    Resets_ipsec.Sa.derive_params ~window_impl:(Flat_impl arena) ~spi:0x99l
+      ~secret:"flat-colocation" ()
+  in
+  let sa = Resets_ipsec.Sa.create params in
+  let arena', slot =
+    match flat_slot sa.Resets_ipsec.Sa.window with
+    | Some (a, s) -> (a, s)
+    | None -> Alcotest.fail "SA window must be flat"
+  in
+  check_bool "same arena" true (arena == arena');
+  check_int "seq starts at 1" 1 (Resets_ipsec.Sa.send_seq sa);
+  check_int "first take" 1 (Resets_ipsec.Sa.next_send_seq sa);
+  check_int "second take" 2 (Resets_ipsec.Sa.next_send_seq sa);
+  check_int "arena sees the counter" 3
+    (Resets_ipsec.Sadb_flat.send_seq arena slot);
+  check_int "arena sees packets_sent" 2
+    (Resets_ipsec.Sadb_flat.packets_sent arena slot);
+  Resets_ipsec.Sa.note_received sa;
+  check_int "arena sees packets_received" 1
+    (Resets_ipsec.Sadb_flat.packets_received arena slot)
+
+let test_flat_width_mismatch () =
+  let arena = Resets_ipsec.Sadb_flat.create ~w:8 () in
+  Alcotest.check_raises "arena width must match"
+    (Invalid_argument
+       "Replay_window.create: Flat_impl arena was provisioned for a different \
+        window width")
+    (fun () -> ignore (create (Flat_impl arena) ~w:16))
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "window"
@@ -282,6 +414,20 @@ let () =
             both "invalid width" test_invalid_width;
           ] );
       ("packed", [ Alcotest.test_case "impl tags" `Quick test_packed_impl_tag ]);
+      ( "flat",
+        [
+          qt flat_agrees_with_block;
+          Alcotest.test_case "slot independence" `Quick
+            test_flat_slot_independence;
+          Alcotest.test_case "growth preserves state" `Quick
+            test_flat_growth_preserves_state;
+          Alcotest.test_case "epoch counts resets" `Quick
+            test_flat_epoch_counts_resets;
+          Alcotest.test_case "sa counter co-location" `Quick
+            test_flat_sa_colocation;
+          Alcotest.test_case "width mismatch rejected" `Quick
+            test_flat_width_mismatch;
+        ] );
       ( "properties",
         [
           qt equivalence_property;
