@@ -1749,7 +1749,70 @@ let micro report =
     (String.length wheel_trace > 0 && wheel_trace = heap_trace);
   Format.printf
     "@.determinism smoke: wheel and heap fire order on a fixed-seed schedule %s@."
-    (if wheel_trace = heap_trace then "IDENTICAL" else "DIVERGED")
+    (if wheel_trace = heap_trace then "IDENTICAL" else "DIVERGED");
+  (* Wire throughput: the full datapath over a real socket. One core
+     plays both sides of a UNIX-datagram pair — encap, sendto, recvfrom,
+     decap, replay-window admit per packet — so pps_per_core is the
+     honest single-core number for the daemon's datapath (a deployment
+     scales it by sharding SAs across workers; see the serve verb). *)
+  let wire_pps () =
+    let open Resets_net in
+    let path =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "resets-bench-wire-%d.sock" (Unix.getpid ()))
+    in
+    let rx = Transport_udp.create ~bind:(Transport_udp.Unix_dgram path) () in
+    let tx = Transport_udp.create ~peer:(Transport_udp.Unix_dgram path) () in
+    let window = Replay_window.create Replay_window.Bitmap_impl ~w:64 in
+    let delivered = ref 0 in
+    Transport_udp.set_frame_handler rx (fun frame ->
+        match Esp.decap ~sa frame with
+        | Ok (seq, _) ->
+          if Replay_window.verdict_accepts (Replay_window.admit window seq)
+          then incr delivered
+        | Error _ -> ());
+    let n = 20_000 in
+    (* warmup outside the timed window *)
+    for seq = 1 to 100 do
+      ignore (Transport_udp.send_frame tx (Esp.encap ~sa ~seq ~payload));
+      ignore (Transport_udp.drain rx)
+    done;
+    let t0 = Unix.gettimeofday () in
+    for seq = 101 to 100 + n do
+      ignore (Transport_udp.send_frame tx (Esp.encap ~sa ~seq ~payload));
+      ignore (Transport_udp.drain rx)
+    done;
+    (* anything still queued in the kernel *)
+    while Transport_udp.wait_readable rx ~timeout:0.01 do
+      ignore (Transport_udp.drain rx)
+    done;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let tx_errors = Transport_udp.tx_errors tx in
+    Transport_udp.close tx;
+    Transport_udp.close rx;
+    (n, !delivered - 100, elapsed, tx_errors)
+  in
+  let n, delivered, elapsed, tx_errors = wire_pps () in
+  let pps = float_of_int delivered /. elapsed in
+  Report.row report ~table:"wire"
+    [
+      ("transport", Json.String "unix-dgram");
+      ("payload_bytes", Json.Int 256);
+      ("packets", Json.Int n);
+      ("delivered", Json.Int delivered);
+      ("tx_errors", Json.Int tx_errors);
+      ("ns_per_packet", Json.Float (elapsed *. 1e9 /. float_of_int delivered));
+      ("pps", Json.Float pps);
+      ("pps_per_core", Json.Float pps);
+    ];
+  Report.check report ~name:"wire loopback delivers every packet"
+    ~value:(float_of_int delivered)
+    (delivered = n && tx_errors = 0);
+  Format.printf
+    "@.wire loopback (unix-dgram, 256 B, encap+send+recv+decap+admit): %.0f \
+     pps/core (%.0f ns/packet)@."
+    pps
+    (elapsed *. 1e9 /. float_of_int delivered)
 
 let () =
   Format.printf "Convergence of IPsec in Presence of Resets — experiment harness@.";

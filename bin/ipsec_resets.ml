@@ -628,6 +628,171 @@ let chaos_cmd =
       $ json_out)
 
 (* ------------------------------------------------------------------ *)
+(* serve: one side of the association as a real daemon over a socket *)
+
+let serve_cmd =
+  let open Resets_net in
+  let go role addr peer secret spi_base sas k window rate duration store_dir
+      stats_path json_path workers expect_recovery heartbeat quiet =
+    let parse_addr label = function
+      | None -> None
+      | Some s -> (
+        match Transport_udp.addr_of_string s with
+        | Ok a -> Some a
+        | Error msg ->
+          Printf.eprintf "serve: bad %s: %s\n%!" label msg;
+          exit 1)
+    in
+    let cfg =
+      {
+        Daemon.role = (match role with `Send -> Daemon.Send | `Recv -> Daemon.Recv);
+        bind = parse_addr "--bind" addr;
+        peer = parse_addr "--peer" peer;
+        secret;
+        spi_base;
+        sas;
+        k;
+        window;
+        rate_pps = rate;
+        duration;
+        store_dir;
+        stats_path;
+        json_path;
+        workers;
+        expect_recovery;
+        heartbeat;
+      }
+    in
+    match Daemon.run cfg with
+    | code, rep ->
+      if not quiet then print_endline (Resets_util.Json.to_string_pretty rep);
+      code
+    | exception Invalid_argument msg ->
+      Printf.eprintf "serve: %s\n%!" msg;
+      1
+  in
+  let role =
+    Arg.(
+      required
+      & opt (some (enum [ ("send", `Send); ("recv", `Recv) ])) None
+      & info [ "role" ] ~docv:"ROLE"
+          ~doc:"Which process to run: $(b,send) (p) or $(b,recv) (q).")
+  in
+  let addr =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bind" ] ~docv:"ADDR"
+          ~doc:
+            "Local address to receive on: $(b,udp:HOST:PORT) or \
+             $(b,unix:PATH). Required for --role recv.")
+  in
+  let peer =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "peer" ] ~docv:"ADDR"
+          ~doc:"Peer address to send to (same syntax). Required for --role send.")
+  in
+  let secret =
+    Arg.(
+      value
+      & opt string "wire-shared-secret"
+      & info [ "secret" ] ~docv:"S"
+          ~doc:"Shared secret both daemons derive SA keys from (no wire IKE).")
+  in
+  let spi_base =
+    Arg.(
+      value & opt int 0x5000 & info [ "spi-base" ] ~docv:"N" ~doc:"First SPI.")
+  in
+  let sas =
+    Arg.(
+      value
+      & opt positive_int_conv 1
+      & info [ "sas" ] ~docv:"N" ~doc:"Number of SAs (SPIs spi-base..+N-1).")
+  in
+  let k =
+    Arg.(
+      value
+      & opt positive_int_conv 8
+      & info [ "k" ] ~docv:"K" ~doc:"SAVE every K messages; wakeup leap is 2K.")
+  in
+  let window =
+    Arg.(
+      value & opt positive_int_conv 64
+      & info [ "window" ] ~docv:"W" ~doc:"Replay window width.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 200.
+      & info [ "rate" ] ~docv:"PPS" ~doc:"Send rate per SA, packets/second.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 3.
+      & info [ "duration" ] ~docv:"S" ~doc:"Wall-clock run time in seconds.")
+  in
+  let store_dir =
+    Arg.(
+      value
+      & opt string "/tmp/resets-store"
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "File store directory. Keys already present are recovered from \
+             (FETCH + leap + blocking SAVE) instead of re-established.")
+  in
+  let stats_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats" ] ~docv:"FILE"
+          ~doc:
+            "Append heartbeat JSONL here; on restart the previous \
+             incarnation's last line seeds the cross-incarnation replay \
+             check.")
+  in
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the final report to $(docv).")
+  in
+  let workers =
+    Arg.(
+      value & opt positive_int_conv 1
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains (SAs sharded by SPI).")
+  in
+  let expect_recovery =
+    Arg.(
+      value & flag
+      & info [ "expect-recovery" ]
+          ~doc:
+            "Gate the exit code on post-restart convergence (recv role): \
+             stored edge recovered, deliveries resumed, at most 2K fresh \
+             rejections, no duplicates, no cross-incarnation replay. Exit 2 \
+             on violation.")
+  in
+  let heartbeat =
+    Arg.(
+      value & opt float 0.25
+      & info [ "heartbeat" ] ~docv:"S" ~doc:"Heartbeat period in seconds.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Do not print the final report.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run one side of the association as a real daemon: ESP datagrams \
+          over UDP or UNIX sockets, sequence state in a file store under the \
+          SAVE/FETCH k-rule. Kill it and restart on the same store to run \
+          the paper's reset experiment on real processes.")
+    Term.(
+      const go $ role $ addr $ peer $ secret $ spi_base $ sas $ k $ window
+      $ rate $ duration $ store_dir $ stats_path $ json_path $ workers
+      $ expect_recovery $ heartbeat $ quiet)
+
+(* ------------------------------------------------------------------ *)
 (* trace *)
 
 let trace_cmd =
@@ -670,5 +835,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; explore_cmd; bidir_cmd; multi_sa_cmd; rekey_cmd; kmin_cmd;
-            chaos_cmd; trace_cmd;
+            chaos_cmd; serve_cmd; trace_cmd;
           ]))

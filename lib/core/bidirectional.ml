@@ -55,7 +55,7 @@ let run ?(seed = 7) ?(replay_announce = false) ~reset_at ~downtime ~horizon conf
       ~sender_persistence:
         (Some
            {
-             Sender.disk = disk_a;
+             Sender.store = Sim_disk.store disk_a;
              key = "send_seq";
              k = config.k;
              leap = 2 * config.k;
@@ -65,7 +65,7 @@ let run ?(seed = 7) ?(replay_announce = false) ~reset_at ~downtime ~horizon conf
       ~receiver_persistence:
         (Some
            {
-             Receiver.disk = disk_b;
+             Receiver.store = Sim_disk.store disk_b;
              key = "recv_edge";
              k = config.k;
              leap = 2 * config.k;

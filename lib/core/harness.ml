@@ -94,8 +94,11 @@ let run scenario =
   let master = Prng.create scenario.seed in
   let trace = if scenario.keep_trace then Some (Trace.create ()) else None in
   let metrics = Metrics.create () in
-  (* Endpoint persistence per protocol. *)
-  let persistence_p, persistence_q =
+  (* Endpoint persistence per protocol. The concrete Sim_disk handles
+     stay in scope alongside the Store.t views the endpoints hold:
+     fault attachment and the end-of-run counters are disk-level
+     concerns the abstract store deliberately does not expose. *)
+  let persistence_p, persistence_q, disk_p, disk_q =
     match scenario.protocol with
     | Protocol.Save_fetch { sender; receiver; robust_receiver; wakeup_buffer } ->
       let disk_p =
@@ -109,7 +112,7 @@ let run scenario =
       ( Some
           Sender.
             {
-              disk = disk_p;
+              store = Sim_disk.store disk_p;
               key = "send_seq";
               k = sender.Protocol.k;
               leap = Protocol.resolved_leap sender;
@@ -122,15 +125,17 @@ let run scenario =
         Some
           Receiver.
             {
-              disk = disk_q;
+              store = Sim_disk.store disk_q;
               key = "recv_edge";
               k = receiver.Protocol.k;
               leap = Protocol.resolved_leap receiver;
               robust = robust_receiver;
               wakeup_buffer;
               retries = scenario.save_retries;
-            } )
-    | Protocol.Volatile | Protocol.Reestablish _ -> (None, None)
+            },
+        Some disk_p,
+        Some disk_q )
+    | Protocol.Volatile | Protocol.Reestablish _ -> (None, None, None, None)
   in
   (* The PRNG split order (link, traffic, ike) and the endpoint's
      internal construction order are part of the deterministic-replay
@@ -172,17 +177,17 @@ let run scenario =
   let disk_fault_prng_q = Prng.split master in
   if not (Sim_disk.Faults.is_none scenario.disk_faults) then begin
     Option.iter
-      (fun (p : Sender.persistence) ->
-        Sim_disk.set_faults p.Sender.disk
+      (fun disk ->
+        Sim_disk.set_faults disk
           (Sim_disk.Faults.create ~spec:scenario.disk_faults
              ~prng:disk_fault_prng_p))
-      persistence_p;
+      disk_p;
     Option.iter
-      (fun (p : Receiver.persistence) ->
-        Sim_disk.set_faults p.Receiver.disk
+      (fun disk ->
+        Sim_disk.set_faults disk
           (Sim_disk.Faults.create ~spec:scenario.disk_faults
              ~prng:disk_fault_prng_q))
-      persistence_q
+      disk_q
   end;
   let next_spi = ref 0x2000l in
   let reestablish_wakeup ~cost ~on_ready () =
@@ -298,8 +303,6 @@ let run scenario =
         Sim_disk.saves_failed disk,
         Sim_disk.fetches_corrupt disk + Sim_disk.fetches_stale disk )
   in
-  let disk_p = Option.map (fun p -> p.Sender.disk) persistence_p in
-  let disk_q = Option.map (fun (p : Receiver.persistence) -> p.Receiver.disk) persistence_q in
   let saves_completed_p, saves_lost_p, saves_failed_p, fetches_corrupt_p =
     saves_of disk_p
   in

@@ -3,7 +3,7 @@ open Resets_persist
 open Resets_ipsec
 
 type persistence = {
-  disk : Sim_disk.t;
+  store : Store.t;
   key : string;
   k : int;
   leap : int;
@@ -37,12 +37,13 @@ type t = {
 }
 
 
-let create ?(name = "q") ?trace ?(framing = Packet.Seq64) ~sa ~metrics ~persistence
-    engine =
+let create ?(name = "q") ?trace ?(framing = Packet.Seq64)
+    ?(preload_store = true) ~sa ~metrics ~persistence engine =
   let initial_edge = Resets_ipsec.Replay_window.right_edge sa.Sa.window in
-  Option.iter
-    (fun p -> Sim_disk.preload p.disk ~key:p.key ~value:initial_edge)
-    persistence;
+  if preload_store then
+    Option.iter
+      (fun p -> Store.preload p.store ~key:p.key ~value:initial_edge)
+      persistence;
   {
     engine;
     name;
@@ -87,7 +88,7 @@ let maybe_begin_periodic_save t =
     if r >= p.k + t.lst then begin
       let prev_lst = t.lst in
       t.lst <- r;
-      Sim_disk.save p.disk ~key:p.key ~value:r
+      Store.save p.store ~key:p.key ~value:r
         ~on_error:(fun () ->
           (* Nothing became durable: roll the save threshold back so the
              next accepted packet re-triggers the write, and engage the
@@ -163,7 +164,7 @@ and defer t pkt ~edge =
     end
 
 and catchup_save t p ~edge ~attempt =
-  Sim_disk.save p.disk ~key:p.key ~value:edge
+  Store.save p.store ~key:p.key ~value:edge
     ~on_error:(fun () ->
       t.metrics.Metrics.save_failures <- t.metrics.Metrics.save_failures + 1;
       if attempt + 1 >= p.retries then begin
@@ -230,7 +231,7 @@ let reset t =
     t.catchup_saving <- false;
     t.save_failing <- false; (* RAM state: a crash forgets it *)
     t.pending_ready <- None;
-    Option.iter (fun p -> Sim_disk.crash p.disk) t.persistence;
+    Option.iter (fun p -> Store.crash p.store) t.persistence;
     t.metrics.Metrics.q_resets <- t.metrics.Metrics.q_resets + 1;
     tell t "reset" ""
   end
@@ -265,16 +266,16 @@ let wakeup t ?(on_ready = fun () -> ()) () =
        the receiver up — this wakeup or a degraded re-establishment's
        [resume_at] — fires it exactly once. *)
     t.pending_ready <- Some on_ready;
-    let base = Sim_disk.base_latency p.disk in
+    let base = Store.base_latency p.store in
     (* FETCH with verification. A corrupt or stale record is retried
        with capped exponential backoff — transient-fault semantics: a
        re-read may serve the good copy — and after the budget the SA
        stops trusting the store and degrades. *)
     let rec attempt_fetch n =
-      match Sim_disk.fetch_checked p.disk ~key:p.key with
-      | Sim_disk.Fetched v -> begin_leap_save v
-      | Sim_disk.Fetch_missing -> begin_leap_save 0
-      | Sim_disk.Fetch_corrupt | Sim_disk.Fetch_stale _ ->
+      match Store.fetch_checked p.store ~key:p.key with
+      | Store.Fetched v -> begin_leap_save v
+      | Store.Missing -> begin_leap_save 0
+      | Store.Corrupt | Store.Stale _ ->
         t.metrics.Metrics.fetch_failures <- t.metrics.Metrics.fetch_failures + 1;
         if n + 1 >= p.retries then degrade_now t
         else begin
@@ -289,7 +290,7 @@ let wakeup t ?(on_ready = fun () -> ()) () =
       tell t "fetch" (Printf.sprintf "fetched %d, leaping to %d" fetched new_edge);
       attempt_save new_edge 0
     and attempt_save new_edge n =
-      Sim_disk.save p.disk ~key:p.key ~value:new_edge
+      Store.save p.store ~key:p.key ~value:new_edge
         ~on_error:(fun () ->
           t.metrics.Metrics.save_failures <- t.metrics.Metrics.save_failures + 1;
           if n + 1 >= p.retries then degrade_now t
@@ -319,7 +320,7 @@ let resync_store t =
   let edge = Replay_window.right_edge (window t) in
   (match t.persistence with
   | None -> ()
-  | Some p -> Sim_disk.preload p.disk ~key:p.key ~value:edge);
+  | Some p -> Store.preload p.store ~key:p.key ~value:edge);
   t.lst <- edge;
   t.durable <- edge;
   t.save_failing <- false
@@ -344,7 +345,7 @@ let right_edge t = Replay_window.right_edge (window t)
 let last_stored t =
   match t.persistence with
   | None -> None
-  | Some p -> Sim_disk.fetch p.disk ~key:p.key
+  | Some p -> Store.fetch p.store ~key:p.key
 
 let install_sa t sa =
   t.sa <- sa;

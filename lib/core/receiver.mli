@@ -22,9 +22,12 @@
     See DESIGN.md §5 and the E11 experiments. *)
 
 type persistence = {
-  disk : Resets_persist.Sim_disk.t;
-  key : string;  (** disk key this receiver's edge lives under — lets
-                     many receivers share one disk (multi-SA hosts) *)
+  store : Resets_persist.Store.t;
+      (** the persistent medium — {!Resets_persist.Sim_disk.store} in
+          simulation, {!Resets_persist.File_store.store} in the wire
+          daemon *)
+  key : string;  (** store key this receiver's edge lives under — lets
+                     many receivers share one store (multi-SA hosts) *)
   k : int;
   leap : int;
   robust : bool;
@@ -41,6 +44,7 @@ val create :
   ?name:string ->
   ?trace:Resets_sim.Trace.t ->
   ?framing:Packet.framing ->
+  ?preload_store:bool ->
   sa:Resets_ipsec.Sa.t ->
   metrics:Metrics.t ->
   persistence:persistence option ->
@@ -48,10 +52,14 @@ val create :
   t
 (** [framing] must match the sender's (default [Seq64]). Under [Esn32]
     the full sequence number is inferred from the window edge before
-    ICV verification, per RFC 4304. *)
+    ICV verification, per RFC 4304. [preload_store:false] skips the
+    establishment write of the initial edge — for a daemon restarting
+    against a store that already holds the previous incarnation's edge
+    (it then recovers via {!reset} + {!wakeup}). *)
 
 val on_packet : t -> Packet.t -> unit
-(** Wire this to the link's deliver hook. *)
+(** Wire this to the transport's receive hook
+    ({!Transport.set_recv}). *)
 
 val on_deliver : t -> (seq:int -> payload:Resets_util.Slice.t -> unit) -> unit
 (** Register an application-level consumer of delivered payloads. The

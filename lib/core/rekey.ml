@@ -71,7 +71,7 @@ let run ?(seed = 5) strategy config =
         ~persistence:
           (Some
              {
-               Receiver.disk;
+               Receiver.store = Sim_disk.store disk;
                key = key_of params.Sa.spi;
                k = config.k;
                leap = 2 * config.k;

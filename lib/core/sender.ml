@@ -7,7 +7,7 @@ type trigger =
   | On_timer of Time.t
 
 type persistence = {
-  disk : Sim_disk.t;
+  store : Store.t;
   key : string;
   k : int;
   leap : int;
@@ -22,7 +22,7 @@ type t = {
   payload : seq:int -> string;
   framing : Packet.framing;
   mutable sa : Sa.t;
-  link : Packet.t Link.t;
+  transport : Transport.t;
   traffic : Resets_workload.Traffic.t;
   metrics : Metrics.t;
   persistence : persistence option;
@@ -43,10 +43,12 @@ type t = {
 let default_payload ~seq = Printf.sprintf "message-%d" seq
 
 let create ?(name = "p") ?trace ?(payload = default_payload)
-    ?(framing = Packet.Seq64) ~sa ~link ~traffic ~metrics ~persistence engine =
-  Option.iter
-    (fun p -> Sim_disk.preload p.disk ~key:p.key ~value:(Sa.send_seq sa))
-    persistence;
+    ?(framing = Packet.Seq64) ?(preload_store = true) ~sa ~transport ~traffic
+    ~metrics ~persistence engine =
+  if preload_store then
+    Option.iter
+      (fun p -> Store.preload p.store ~key:p.key ~value:(Sa.send_seq sa))
+      persistence;
   {
     engine;
     name;
@@ -54,7 +56,7 @@ let create ?(name = "p") ?trace ?(payload = default_payload)
     payload;
     framing;
     sa;
-    link;
+    transport;
     traffic;
     metrics;
     persistence;
@@ -88,7 +90,7 @@ let cancel_timer t =
    stall guard in the send loop engages until a SAVE succeeds. *)
 let begin_background_save t (p : persistence) ~value ~prev_lst =
   t.save_pending <- true;
-  Sim_disk.save p.disk ~key:p.key ~value
+  Store.save p.store ~key:p.key ~value
     ~on_error:(fun () ->
       t.save_pending <- false;
       t.save_failing <- true;
@@ -140,7 +142,7 @@ let send_one t =
     | Packet.Seq64 -> Esp.encap ~sa:t.sa.Sa.params ~seq ~payload
     | Packet.Esn32 -> Esp.encap_esn ~sa:t.sa.Sa.params ~seq ~payload
   in
-  Link.send t.link (Packet.fresh wire);
+  Transport.send t.transport (Packet.fresh wire);
   t.metrics.Metrics.sent <- t.metrics.Metrics.sent + 1;
   maybe_begin_periodic_save t
 
@@ -200,7 +202,7 @@ let reset t =
     t.save_pending <- false;
     t.pending_ready <- None;
     cancel_timer t;
-    Option.iter (fun p -> Sim_disk.crash p.disk) t.persistence;
+    Option.iter (fun p -> Store.crash p.store) t.persistence;
     t.metrics.Metrics.p_resets <- t.metrics.Metrics.p_resets + 1;
     tell t "reset" ""
   end
@@ -258,15 +260,15 @@ let wakeup t ?(on_ready = fun () -> ()) () =
        the sender up — this wakeup or a degraded re-establishment's
        [resume_fresh] — fires it exactly once. *)
     t.pending_ready <- Some on_ready;
-    let base = Sim_disk.base_latency p.disk in
+    let base = Store.base_latency p.store in
     (* FETCH with verification, retried with capped exponential backoff
        on a corrupt or stale record; after the budget the SA degrades
        rather than resume from state it cannot trust. *)
     let rec attempt_fetch n =
-      match Sim_disk.fetch_checked p.disk ~key:p.key with
-      | Sim_disk.Fetched v -> begin_leap_save v
-      | Sim_disk.Fetch_missing -> begin_leap_save 1
-      | Sim_disk.Fetch_corrupt | Sim_disk.Fetch_stale _ ->
+      match Store.fetch_checked p.store ~key:p.key with
+      | Store.Fetched v -> begin_leap_save v
+      | Store.Missing -> begin_leap_save 1
+      | Store.Corrupt | Store.Stale _ ->
         t.metrics.Metrics.fetch_failures <- t.metrics.Metrics.fetch_failures + 1;
         if n + 1 >= p.retries then degrade_now t
         else begin
@@ -283,7 +285,7 @@ let wakeup t ?(on_ready = fun () -> ()) () =
     (* The wakeup SAVE blocks: p sends nothing until it is durable, so
        a second reset cannot re-issue these numbers. *)
     and attempt_save new_seq n =
-      Sim_disk.save p.disk ~key:p.key ~value:new_seq
+      Store.save p.store ~key:p.key ~value:new_seq
         ~on_error:(fun () ->
           t.metrics.Metrics.save_failures <- t.metrics.Metrics.save_failures + 1;
           if n + 1 >= p.retries then degrade_now t
@@ -307,7 +309,7 @@ let wakeup t ?(on_ready = fun () -> ()) () =
 let resync_store t =
   (match t.persistence with
   | None -> ()
-  | Some p -> Sim_disk.preload p.disk ~key:p.key ~value:(Sa.send_seq t.sa));
+  | Some p -> Store.preload p.store ~key:p.key ~value:(Sa.send_seq t.sa));
   t.lst <- Sa.send_seq t.sa;
   t.durable <- Sa.send_seq t.sa;
   t.save_failing <- false;
@@ -336,7 +338,7 @@ let next_seq t = Sa.send_seq t.sa
 let last_stored t =
   match t.persistence with
   | None -> None
-  | Some p -> Sim_disk.fetch p.disk ~key:p.key
+  | Some p -> Store.fetch p.store ~key:p.key
 
 let install_sa t sa = t.sa <- sa
 

@@ -27,9 +27,12 @@ type trigger =
   | On_timer of Resets_sim.Time.t  (** every fixed interval *)
 
 type persistence = {
-  disk : Resets_persist.Sim_disk.t;
-  key : string;  (** disk key this sender's counter lives under — lets
-                     many senders share one disk (multi-SA hosts) *)
+  store : Resets_persist.Store.t;
+      (** the persistent medium — {!Resets_persist.Sim_disk.store} in
+          simulation, {!Resets_persist.File_store.store} in the wire
+          daemon *)
+  key : string;  (** store key this sender's counter lives under — lets
+                     many senders share one store (multi-SA hosts) *)
   k : int;
   leap : int;
   trigger : trigger;
@@ -46,16 +49,20 @@ val create :
   ?trace:Resets_sim.Trace.t ->
   ?payload:(seq:int -> string) ->
   ?framing:Packet.framing ->
+  ?preload_store:bool ->
   sa:Resets_ipsec.Sa.t ->
-  link:Packet.t Resets_sim.Link.t ->
+  transport:Transport.t ->
   traffic:Resets_workload.Traffic.t ->
   metrics:Metrics.t ->
   persistence:persistence option ->
   Resets_sim.Engine.t ->
   t
-(** With persistence, the disk is preloaded with the initial sequence
-    number 1 (established state is durable). Default payload:
-    ["message-<seq>"]. *)
+(** With persistence, the store is preloaded with the initial sequence
+    number (established state is durable) — unless [preload_store] is
+    [false], for a daemon restarting against a store that already holds
+    the previous incarnation's counter (it then recovers via {!reset} +
+    {!wakeup} instead of clobbering the durable value). Default
+    payload: ["message-<seq>"]. *)
 
 val start : t -> unit
 (** Schedule the first send. @raise Invalid_argument if started

@@ -160,7 +160,7 @@ let run_range ?(seed = 11) ?engine discipline config ~lo ~hi =
       | `Save_fetch_per_sa ->
         Some
           {
-            Receiver.disk;
+            Receiver.store = Sim_disk.store disk;
             key = Host.sa_key g;
             k = config.k;
             leap = 2 * config.k;

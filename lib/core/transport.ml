@@ -1,0 +1,35 @@
+type stats = {
+  mutable tx : int;
+  mutable rx : int;
+  mutable tx_errors : int;
+}
+
+type t = {
+  label : string;
+  send_raw : Packet.t -> bool;
+  set_recv_raw : (Packet.t -> unit) -> unit;
+  stats : stats;
+}
+
+let make ~label ~send ~set_recv =
+  { label; send_raw = send; set_recv_raw = set_recv;
+    stats = { tx = 0; rx = 0; tx_errors = 0 } }
+
+let send t pkt =
+  if t.send_raw pkt then t.stats.tx <- t.stats.tx + 1
+  else t.stats.tx_errors <- t.stats.tx_errors + 1
+
+let set_recv t handler =
+  t.set_recv_raw (fun pkt ->
+      t.stats.rx <- t.stats.rx + 1;
+      handler pkt)
+
+let stats t = t.stats
+let label t = t.label
+
+let of_link link =
+  make ~label:"sim-link"
+    ~send:(fun pkt ->
+      Resets_sim.Link.send link pkt;
+      true)
+    ~set_recv:(fun handler -> Resets_sim.Link.set_deliver link handler)

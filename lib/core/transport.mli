@@ -1,0 +1,54 @@
+(** How packets leave and reach an endpoint.
+
+    {!Sender} and {!Receiver} run the paper's protocol; a transport
+    decides what "the channel" physically is. In simulation it is a
+    {!Resets_sim.Link} on the engine (deterministic latency, loss,
+    reordering, the adversary's tap); in the wire daemon it is a
+    nonblocking UDP or UNIX-datagram socket
+    ({!Resets_net.Transport_udp}). The protocol code is identical in
+    both — that is the point. See DESIGN.md §2f for the
+    transport/clock matrix.
+
+    A transport carries whole {!Packet.t}s. The [replayed] provenance
+    bit is simulation-side measurement metadata; wire transports
+    serialise only the ESP bytes and mark every received frame fresh
+    (a real network cannot tell a replay apart — that is the replay
+    window's job). *)
+
+type stats = {
+  mutable tx : int;  (** packets accepted for transmission *)
+  mutable rx : int;  (** packets handed to the receive handler *)
+  mutable tx_errors : int;
+      (** sends the medium refused (e.g. ECONNREFUSED from a dead
+          datagram peer); the protocol treats them as loss *)
+}
+
+type t
+
+val make :
+  label:string ->
+  send:(Packet.t -> bool) ->
+  set_recv:((Packet.t -> unit) -> unit) ->
+  t
+(** Build a transport from primitives. [send] returns [false] when the
+    medium refused the packet (counted in [tx_errors]; the packet is
+    treated as lost, which the protocol tolerates by design). *)
+
+val send : t -> Packet.t -> unit
+(** Hand a packet to the medium; never raises (refusals count as
+    [tx_errors]). *)
+
+val set_recv : t -> (Packet.t -> unit) -> unit
+(** Install the receive handler. At most one is active; installing a
+    new one replaces the old (same contract as
+    {!Resets_sim.Link.set_deliver}). *)
+
+val stats : t -> stats
+val label : t -> string
+
+val of_link : Packet.t Resets_sim.Link.t -> t
+(** The simulated link as a transport: [send] is {!Resets_sim.Link.send}
+    (so faults, delays and the adversary tap all still apply), [set_recv]
+    is {!Resets_sim.Link.set_deliver}. The link remains directly
+    reachable for the adversary and fault knobs — the transport is the
+    endpoints' view, not an information barrier. *)

@@ -1,0 +1,568 @@
+open Resets_util
+open Resets_sim
+open Resets_persist
+open Resets_ipsec
+open Resets_core
+
+type role = Send | Recv
+
+type config = {
+  role : role;
+  bind : Transport_udp.addr option;
+  peer : Transport_udp.addr option;
+  secret : string;
+  spi_base : int;
+  sas : int;
+  k : int;
+  window : int;
+  rate_pps : float;
+  duration : float;
+  store_dir : string;
+  stats_path : string option;
+  json_path : string option;
+  workers : int;
+  expect_recovery : bool;
+  heartbeat : float;
+}
+
+let default =
+  {
+    role = Recv;
+    bind = Some (Transport_udp.Unix_dgram "/tmp/resets.sock");
+    peer = None;
+    secret = "wire-shared-secret";
+    spi_base = 0x5000;
+    sas = 1;
+    k = 8;
+    window = 64;
+    rate_pps = 200.;
+    duration = 3.;
+    store_dir = "/tmp/resets-store";
+    stats_path = None;
+    json_path = None;
+    workers = 1;
+    expect_recovery = false;
+    heartbeat = 0.25;
+  }
+
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+(* ------------------------------------------------------------------ *)
+(* Per-SA statistics, snapshotted by workers and aggregated by the
+   main domain for heartbeats, the final report and the gate.          *)
+
+type sa_stat = {
+  spi : int;
+  recovered : bool;
+  recovered_from : int;  (** stored value found at startup (0 if none) *)
+  sent : int;
+  next_seq : int;
+  delivered : int;
+  min_seq : int;  (** lowest delivered seq this incarnation; 0 if none *)
+  max_seq : int;
+  fresh_rejected : int;
+  dups : int;
+  bad_icv : int;
+  edge : int;
+}
+
+let zero_stat spi =
+  {
+    spi;
+    recovered = false;
+    recovered_from = 0;
+    sent = 0;
+    next_seq = 0;
+    delivered = 0;
+    min_seq = 0;
+    max_seq = 0;
+    fresh_rejected = 0;
+    dups = 0;
+    bad_icv = 0;
+    edge = 0;
+  }
+
+let json_of_stat s =
+  Json.Obj
+    [
+      ("spi", Json.Int s.spi);
+      ("recovered", Json.Bool s.recovered);
+      ("recovered_from", Json.Int s.recovered_from);
+      ("sent", Json.Int s.sent);
+      ("next_seq", Json.Int s.next_seq);
+      ("delivered", Json.Int s.delivered);
+      ("min_seq", Json.Int s.min_seq);
+      ("max_seq", Json.Int s.max_seq);
+      ("fresh_rejected", Json.Int s.fresh_rejected);
+      ("dups", Json.Int s.dups);
+      ("bad_icv", Json.Int s.bad_icv);
+      ("edge", Json.Int s.edge);
+    ]
+
+(* The previous incarnation's last heartbeat: spi -> (max_seq,
+   delivered). Read before this incarnation appends anything. *)
+let read_prev_stats path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let last = ref None in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then last := Some line
+       done
+     with End_of_file -> ());
+    close_in ic;
+    match !last with
+    | None -> []
+    | Some line -> (
+      match Json.parse line with
+      | Error _ -> []
+      | Ok j -> (
+        match Option.bind (Json.member "sas" j) Json.as_list with
+        | None -> []
+        | Some sas ->
+          List.filter_map
+            (fun sa ->
+              match
+                ( Option.bind (Json.member "spi" sa) Json.as_int,
+                  Option.bind (Json.member "max_seq" sa) Json.as_int,
+                  Option.bind (Json.member "delivered" sa) Json.as_int )
+              with
+              | Some spi, Some max_seq, Some delivered ->
+                Some (spi, (max_seq, delivered))
+              | _ -> None)
+            sas))
+  end
+
+let append_heartbeat path ~role ~elapsed_ns stats =
+  let line =
+    Json.to_string
+      (Json.Obj
+         [
+           ("elapsed_ns", Json.Int elapsed_ns);
+           ("role", Json.String (match role with Send -> "send" | Recv -> "recv"));
+           ("sas", Json.List (List.map json_of_stat (Array.to_list stats)));
+         ])
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (line ^ "\n");
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Worker mailbox: the main domain pushes raw frames in (receive role)
+   and reads stat snapshots out; the worker does the reverse. The
+   mutex covers exactly these three fields.                            *)
+
+type mailbox = {
+  m : Mutex.t;
+  mutable frames : string list; (* newest first *)
+  mutable stop : bool;
+  mutable snapshot : sa_stat array;
+  mutable wire_tx : int;
+  mutable wire_tx_errors : int;
+}
+
+let make_mailbox n =
+  {
+    m = Mutex.create ();
+    frames = [];
+    stop = false;
+    snapshot = Array.init n (fun _ -> zero_stat 0);
+    wire_tx = 0;
+    wire_tx_errors = 0;
+  }
+
+let shard_indices cfg w =
+  List.filter (fun i -> i mod cfg.workers = w) (List.init cfg.sas Fun.id)
+
+let derive_sa cfg i =
+  let spi = Int32.of_int (cfg.spi_base + i) in
+  Sa.create (Sa.derive_params ~window_width:cfg.window ~spi ~secret:cfg.secret ())
+
+let key_of cfg role i =
+  Printf.sprintf "spi-%d-%s" (cfg.spi_base + i)
+    (match role with Send -> "seq" | Recv -> "edge")
+
+(* ------------------------------------------------------------------ *)
+(* Receive worker: a shard of receivers on its own engine, fed frames
+   through the mailbox by the main domain's socket loop.               *)
+
+let recv_worker cfg (mb : mailbox) w =
+  let indices = shard_indices cfg w in
+  let engine = Engine.create () in
+  let clock = Clock.of_ns_source now_ns in
+  let fs = File_store.create ~dir:cfg.store_dir in
+  let store = File_store.store fs in
+  let by_spi = Hashtbl.create 16 in
+  let states =
+    List.map
+      (fun i ->
+        let key = key_of cfg Recv i in
+        let prior = File_store.fetch fs ~key in
+        let recovered = prior <> None in
+        let metrics = Metrics.create () in
+        let sa = derive_sa cfg i in
+        let receiver =
+          Receiver.create
+            ~name:(Printf.sprintf "q%d" (cfg.spi_base + i))
+            ~preload_store:(not recovered) ~sa ~metrics
+            ~persistence:
+              (Some
+                 {
+                   Receiver.store;
+                   key;
+                   k = cfg.k;
+                   leap = 2 * cfg.k;
+                   robust = false;
+                   wakeup_buffer = true;
+                   retries = 3;
+                 })
+            engine
+        in
+        let min_seq = ref 0 in
+        Receiver.on_deliver receiver (fun ~seq ~payload:_ ->
+            if !min_seq = 0 || seq < !min_seq then min_seq := seq);
+        if recovered then begin
+          (* The paper's wakeup: FETCH, leap 2k, blocking SAVE — all
+             synchronous against the file store, so the receiver is up
+             before the first frame is read off the wire. *)
+          Receiver.reset receiver;
+          Receiver.wakeup receiver ()
+        end;
+        Hashtbl.replace by_spi (cfg.spi_base + i)
+          (fun frame -> Receiver.on_packet receiver (Packet.fresh frame));
+        (i, receiver, metrics, min_seq, recovered, Option.value prior ~default:0))
+      indices
+  in
+  let stat_of (i, receiver, (metrics : Metrics.t), min_seq, recovered, prior) =
+    {
+      spi = cfg.spi_base + i;
+      recovered;
+      recovered_from = prior;
+      sent = 0;
+      next_seq = 0;
+      delivered = metrics.Metrics.delivered;
+      min_seq = !min_seq;
+      max_seq = Metrics.max_delivered_seq metrics;
+      fresh_rejected = metrics.Metrics.fresh_rejected;
+      dups = metrics.Metrics.duplicate_deliveries;
+      bad_icv = metrics.Metrics.bad_icv;
+      edge = Receiver.right_edge receiver;
+    }
+  in
+  let publish () =
+    let snap = Array.of_list (List.map stat_of states) in
+    Mutex.lock mb.m;
+    mb.snapshot <- snap;
+    Mutex.unlock mb.m
+  in
+  publish ();
+  let hb = Time.of_ns (Int64.of_float (cfg.heartbeat *. 1e9)) in
+  let rec tick () =
+    publish ();
+    ignore (Engine.schedule_after engine ~after:hb tick)
+  in
+  ignore (Engine.schedule_after engine ~after:hb tick);
+  let process frame =
+    match Esp.spi_of_packet frame with
+    | None -> ()
+    | Some spi -> (
+      match Hashtbl.find_opt by_spi (Int32.to_int spi) with
+      | Some deliver -> deliver frame
+      | None -> ())
+  in
+  let idle ~due:_ =
+    Mutex.lock mb.m;
+    let frames = mb.frames in
+    mb.frames <- [];
+    let stop = mb.stop in
+    Mutex.unlock mb.m;
+    List.iter process (List.rev frames);
+    if stop then Engine.stop engine
+    else if frames = [] then Unix.sleepf 0.002
+  in
+  ignore
+    (Engine.run_clocked ~clock ~idle ~until:(Time.of_sec cfg.duration) engine);
+  (* Drain what the main domain pushed between our last pop and its
+     own shutdown, so late frames still count. *)
+  Mutex.lock mb.m;
+  let rest = mb.frames in
+  mb.frames <- [];
+  Mutex.unlock mb.m;
+  List.iter process (List.rev rest);
+  publish ()
+
+(* ------------------------------------------------------------------ *)
+(* Send worker: a shard of senders, each worker with a socket of its
+   own (sockets are single-owner).                                     *)
+
+let send_worker cfg (mb : mailbox) w =
+  let indices = shard_indices cfg w in
+  let engine = Engine.create () in
+  let clock = Clock.of_ns_source now_ns in
+  let fs = File_store.create ~dir:cfg.store_dir in
+  let store = File_store.store fs in
+  let sock = Transport_udp.create ?peer:cfg.peer () in
+  let transport = Transport_udp.transport sock in
+  let gap = Time.of_ns (Int64.of_float (1e9 /. cfg.rate_pps)) in
+  let states =
+    List.map
+      (fun i ->
+        let key = key_of cfg Send i in
+        let prior = File_store.fetch fs ~key in
+        let recovered = prior <> None in
+        let metrics = Metrics.create () in
+        let sa = derive_sa cfg i in
+        let sender =
+          Sender.create
+            ~name:(Printf.sprintf "p%d" (cfg.spi_base + i))
+            ~preload_store:(not recovered) ~sa ~transport
+            ~traffic:(Resets_workload.Traffic.constant ~gap)
+            ~metrics
+            ~persistence:
+              (Some
+                 {
+                   Sender.store;
+                   key;
+                   k = cfg.k;
+                   leap = 2 * cfg.k;
+                   trigger = Sender.On_count;
+                   retries = 3;
+                 })
+            engine
+        in
+        if recovered then begin
+          Sender.reset sender;
+          Sender.wakeup sender ()
+        end;
+        Sender.start sender;
+        (i, sender, metrics, recovered, Option.value prior ~default:0))
+      indices
+  in
+  let stat_of (i, sender, (metrics : Metrics.t), recovered, prior) =
+    {
+      (zero_stat (cfg.spi_base + i)) with
+      recovered;
+      recovered_from = prior;
+      sent = metrics.Metrics.sent;
+      next_seq = Sender.next_seq sender;
+    }
+  in
+  let publish () =
+    let snap = Array.of_list (List.map stat_of states) in
+    Mutex.lock mb.m;
+    mb.snapshot <- snap;
+    mb.wire_tx <- Transport_udp.tx_frames sock;
+    mb.wire_tx_errors <- Transport_udp.tx_errors sock;
+    Mutex.unlock mb.m
+  in
+  publish ();
+  let hb = Time.of_ns (Int64.of_float (cfg.heartbeat *. 1e9)) in
+  let rec tick () =
+    publish ();
+    ignore (Engine.schedule_after engine ~after:hb tick)
+  in
+  ignore (Engine.schedule_after engine ~after:hb tick);
+  let idle ~due =
+    match due with
+    | None -> Unix.sleepf 0.002
+    | Some d ->
+      let ahead = Time.to_sec d -. Time.to_sec (Clock.elapsed clock) in
+      if ahead > 0. then Unix.sleepf (Float.min ahead 0.01)
+  in
+  ignore
+    (Engine.run_clocked ~clock ~idle ~until:(Time.of_sec cfg.duration) engine);
+  publish ();
+  Transport_udp.close sock
+
+(* ------------------------------------------------------------------ *)
+
+let aggregate mailboxes =
+  let stats =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun mb ->
+              Mutex.lock mb.m;
+              let s = Array.copy mb.snapshot in
+              Mutex.unlock mb.m;
+              s)
+            mailboxes))
+  in
+  Array.sort (fun a b -> compare a.spi b.spi) stats;
+  stats
+
+(* Gate: did every SA converge after the restart, within the paper's
+   bound, with no cross-incarnation replay? Returns violation strings
+   (empty = pass). *)
+let check_gate cfg ~prev stats =
+  let leap = 2 * cfg.k in
+  List.concat_map
+    (fun s ->
+      let fail fmt = Printf.ksprintf (fun m -> [ m ]) fmt in
+      let v1 =
+        if not s.recovered then
+          fail "spi %d: no stored edge found — previous incarnation left no state"
+            s.spi
+        else []
+      and v2 =
+        if s.delivered = 0 then
+          fail "spi %d: no deliveries after recovery (did not converge)" s.spi
+        else []
+      and v3 =
+        if s.fresh_rejected > leap then
+          fail "spi %d: %d fresh rejections > 2k = %d (convergence bound broken)"
+            s.spi s.fresh_rejected leap
+        else []
+      and v4 =
+        if s.dups > 0 then fail "spi %d: %d duplicate deliveries" s.spi s.dups
+        else []
+      and v5 =
+        if s.bad_icv > 0 then
+          fail "spi %d: %d integrity failures on a clean wire" s.spi s.bad_icv
+        else []
+      and v6 =
+        match List.assoc_opt s.spi prev with
+        | Some (prev_max, _) when s.min_seq > 0 && s.min_seq <= prev_max ->
+          fail
+            "spi %d: delivered seq %d <= previous incarnation's max %d \
+             (cross-incarnation replay)"
+            s.spi s.min_seq prev_max
+        | _ -> []
+      in
+      List.concat [ v1; v2; v3; v4; v5; v6 ])
+    (Array.to_list stats)
+
+let report cfg ~elapsed_s ~wire_rx ~wire_tx ~wire_tx_errors ~gate stats =
+  let total f = Array.fold_left (fun acc s -> acc + f s) 0 stats in
+  let delivered = total (fun s -> s.delivered)
+  and sent = total (fun s -> s.sent) in
+  let pps =
+    match cfg.role with
+    | Recv -> float_of_int delivered /. elapsed_s
+    | Send -> float_of_int sent /. elapsed_s
+  in
+  Json.Obj
+    [
+      ("role", Json.String (match cfg.role with Send -> "send" | Recv -> "recv"));
+      ("sas", Json.Int cfg.sas);
+      ("k", Json.Int cfg.k);
+      ("workers", Json.Int cfg.workers);
+      ("elapsed_s", Json.Float elapsed_s);
+      ("wire_rx", Json.Int wire_rx);
+      ("wire_tx", Json.Int wire_tx);
+      ("wire_tx_errors", Json.Int wire_tx_errors);
+      ("sent", Json.Int sent);
+      ("delivered", Json.Int delivered);
+      ("pps", Json.Float pps);
+      ("pps_per_core", Json.Float (pps /. float_of_int cfg.workers));
+      ("per_sa", Json.List (List.map json_of_stat (Array.to_list stats)));
+      ( "gate",
+        Json.Obj
+          [
+            ("checked", Json.Bool cfg.expect_recovery);
+            ("passed", Json.Bool (gate = []));
+            ("violations", Json.List (List.map (fun v -> Json.String v) gate));
+          ] );
+    ]
+
+let run cfg =
+  if cfg.sas < 1 then invalid_arg "Daemon.run: sas must be >= 1";
+  if cfg.workers < 1 then invalid_arg "Daemon.run: workers must be >= 1";
+  if cfg.workers > cfg.sas then invalid_arg "Daemon.run: more workers than SAs";
+  (match (cfg.role, cfg.bind, cfg.peer) with
+  | Recv, None, _ -> invalid_arg "Daemon.run: Recv needs a bind address"
+  | Send, _, None -> invalid_arg "Daemon.run: Send needs a peer address"
+  | _ -> ());
+  if not (Sys.file_exists cfg.store_dir) then Sys.mkdir cfg.store_dir 0o755;
+  (* Read the previous incarnation's last heartbeat BEFORE appending
+     this incarnation's first one. *)
+  let prev =
+    match cfg.stats_path with
+    | Some path when cfg.expect_recovery -> read_prev_stats path
+    | Some _ | None -> []
+  in
+  let clock = Clock.of_ns_source now_ns in
+  let mailboxes = Array.init cfg.workers (fun _ -> make_mailbox cfg.sas) in
+  let sock =
+    match cfg.role with
+    | Recv -> Some (Transport_udp.create ?bind:cfg.bind ())
+    | Send -> None
+  in
+  Option.iter
+    (fun s ->
+      Transport_udp.set_frame_handler s (fun frame ->
+          match Esp.spi_of_packet frame with
+          | None -> ()
+          | Some spi ->
+            let i = Int32.to_int spi - cfg.spi_base in
+            if i >= 0 && i < cfg.sas then begin
+              let mb = mailboxes.(i mod cfg.workers) in
+              Mutex.lock mb.m;
+              mb.frames <- frame :: mb.frames;
+              Mutex.unlock mb.m
+            end))
+    sock;
+  let pool = Domain_pool.create ~domains:cfg.workers ~init:(fun _ -> ()) () in
+  let futures =
+    Array.init cfg.workers (fun w ->
+        Domain_pool.submit pool (fun () ->
+            match cfg.role with
+            | Recv -> recv_worker cfg mailboxes.(w) w
+            | Send -> send_worker cfg mailboxes.(w) w))
+  in
+  (* Main loop: drain the socket (receive role) and emit heartbeats
+     until the wall-clock duration elapses. *)
+  let next_hb = ref cfg.heartbeat in
+  let heartbeat () =
+    match cfg.stats_path with
+    | None -> ()
+    | Some path ->
+      append_heartbeat path ~role:cfg.role
+        ~elapsed_ns:(Int64.to_int (Time.to_ns (Clock.elapsed clock)))
+        (aggregate mailboxes)
+  in
+  let rec main_loop () =
+    let elapsed = Time.to_sec (Clock.elapsed clock) in
+    if elapsed < cfg.duration then begin
+      if elapsed >= !next_hb then begin
+        heartbeat ();
+        next_hb := !next_hb +. cfg.heartbeat
+      end;
+      (match sock with
+      | Some s ->
+        if Transport_udp.wait_readable s ~timeout:0.02 then
+          ignore (Transport_udp.drain s)
+      | None -> Unix.sleepf 0.02);
+      main_loop ()
+    end
+  in
+  main_loop ();
+  Array.iter
+    (fun mb ->
+      Mutex.lock mb.m;
+      mb.stop <- true;
+      Mutex.unlock mb.m)
+    mailboxes;
+  Array.iter Domain_pool.await futures;
+  Domain_pool.shutdown pool;
+  let elapsed_s = Time.to_sec (Clock.elapsed clock) in
+  let stats = aggregate mailboxes in
+  heartbeat ();
+  let wire_rx =
+    match sock with Some s -> Transport_udp.rx_frames s | None -> 0
+  in
+  let wire_tx, wire_tx_errors =
+    Array.fold_left
+      (fun (tx, errs) mb -> (tx + mb.wire_tx, errs + mb.wire_tx_errors))
+      (0, 0) mailboxes
+  in
+  Option.iter Transport_udp.close sock;
+  let gate =
+    if cfg.expect_recovery && cfg.role = Recv then check_gate cfg ~prev stats
+    else []
+  in
+  let rep = report cfg ~elapsed_s ~wire_rx ~wire_tx ~wire_tx_errors ~gate stats in
+  Option.iter (fun path -> Json.write_file path rep) cfg.json_path;
+  ((if gate = [] then 0 else 2), rep)

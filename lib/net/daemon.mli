@@ -1,0 +1,65 @@
+(** The [serve] daemon: the paper's protocol as two real processes.
+
+    One daemon plays one side of the unidirectional association —
+    [Send] (process p) or [Recv] (process q) — over a
+    {!Transport_udp} socket, with sequence state persisted through
+    {!Resets_persist.File_store} under the SAVE/FETCH k-rule, exactly
+    the code paths the simulation runs, now against a wall clock
+    ({!Resets_sim.Clock.of_ns_source}) and a real filesystem.
+
+    {b Recovery is implicit in the store.} On startup, each SA whose
+    key already exists in the store directory is a previous
+    incarnation's: the daemon then skips the establishment preload and
+    performs the paper's wakeup — FETCH, leap by [2k], blocking SAVE —
+    before touching the wire. Killing a daemon with SIGKILL and
+    restarting it on the same store is therefore the paper's reset
+    experiment on real processes.
+
+    {b Sharding.} SAs are distributed round-robin by SPI across
+    [workers] domains ({!Resets_util.Domain_pool}). The receive side
+    keeps the socket on the main domain (single-owner discipline,
+    batched {!Transport_udp.drain}) and fans frames out to per-worker
+    mailboxes; each send worker owns a socket of its own. Every worker
+    drives its own engine with {!Resets_sim.Engine.run_clocked}.
+
+    {b Convergence gate.} With [expect_recovery], a receiving daemon
+    exits 0 only if every SA converged after the restart: its stored
+    edge was recovered, fresh traffic was delivered again, at most
+    [2k] fresh packets were rejected (the paper's bound), no duplicate
+    deliveries, no ICV failures, and — against the previous
+    incarnation's last heartbeat in [stats_path] — no delivered
+    sequence number at or below the old incarnation's highest (no
+    cross-incarnation replay). Violations exit 2, listed in the
+    report. *)
+
+type role = Send | Recv
+
+type config = {
+  role : role;
+  bind : Transport_udp.addr option;  (** required for [Recv] *)
+  peer : Transport_udp.addr option;  (** required for [Send] *)
+  secret : string;  (** shared SA-derivation secret (no wire IKE) *)
+  spi_base : int;
+  sas : int;  (** SPIs [spi_base .. spi_base+sas-1] *)
+  k : int;  (** SAVE every [k] (leap = [2k]) *)
+  window : int;
+  rate_pps : float;  (** send rate per SA *)
+  duration : float;  (** wall-clock run time, seconds *)
+  store_dir : string;
+  stats_path : string option;
+      (** heartbeat JSONL, appended — and, on restart, where the
+          previous incarnation's last heartbeat is read from *)
+  json_path : string option;  (** final report *)
+  workers : int;
+  expect_recovery : bool;
+  heartbeat : float;  (** heartbeat period, seconds *)
+}
+
+val default : config
+(** [Recv] over [unix:/tmp/resets.sock], 1 SA, [k = 8], 1 worker, 3 s
+    at 200 pps — override per run. *)
+
+val run : config -> int * Resets_util.Json.t
+(** Run to [duration]; returns (exit code, final report). Exit 0 on
+    success, 2 when the [expect_recovery] gate found violations
+    (listed under ["gate"] in the report). *)

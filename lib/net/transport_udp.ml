@@ -1,0 +1,167 @@
+type addr =
+  | Udp of string * int
+  | Unix_dgram of string
+
+let addr_of_string s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "address %S: expected udp:HOST:PORT or unix:PATH" s)
+  | Some i -> (
+    let scheme = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match scheme with
+    | "unix" when rest <> "" -> Ok (Unix_dgram rest)
+    | "udp" -> (
+      match String.rindex_opt rest ':' with
+      | None -> Error (Printf.sprintf "address %S: missing port" s)
+      | Some j -> (
+        let host = String.sub rest 0 j in
+        let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Udp (host, p))
+        | _ -> Error (Printf.sprintf "address %S: bad host or port" s)))
+    | _ -> Error (Printf.sprintf "address %S: unknown scheme %S" s scheme))
+
+let addr_to_string = function
+  | Udp (h, p) -> Printf.sprintf "udp:%s:%d" h p
+  | Unix_dgram p -> "unix:" ^ p
+
+let sockaddr_of_addr = function
+  | Unix_dgram path -> Unix.ADDR_UNIX path
+  | Udp (host, port) ->
+    let inet =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+        | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+        | _ -> invalid_arg (Printf.sprintf "cannot resolve host %S" host))
+    in
+    Unix.ADDR_INET (inet, port)
+
+let family_of = function
+  | Udp _ -> Unix.PF_INET
+  | Unix_dgram _ -> Unix.PF_UNIX
+
+type t = {
+  sock : Unix.file_descr;
+  peer : Unix.sockaddr option;
+  bound_path : string option;
+  buf : Bytes.t;
+  mutable handler : (string -> unit) option;
+  mutable tx_frames : int;
+  mutable tx_errors : int;
+  mutable rx_frames : int;
+  mutable rx_dropped : int;
+}
+
+let create ?bind ?peer () =
+  let family =
+    match (bind, peer) with
+    | Some a, _ | None, Some a -> family_of a
+    | None, None -> invalid_arg "Transport_udp.create: need bind or peer"
+  in
+  (match (bind, peer) with
+  | Some a, Some b when family_of a <> family_of b ->
+    invalid_arg "Transport_udp.create: bind and peer families differ"
+  | _ -> ());
+  let sock = Unix.socket family Unix.SOCK_DGRAM 0 in
+  let bound_path =
+    match bind with
+    | None -> None
+    | Some a ->
+      (match a with
+      | Unix_dgram path when Sys.file_exists path -> (
+        try Unix.unlink path with Unix.Unix_error _ -> ())
+      | Unix_dgram _ | Udp _ -> ());
+      (try
+         if family = Unix.PF_INET then
+           Unix.setsockopt sock Unix.SO_REUSEADDR true
+       with Unix.Unix_error _ -> ());
+      Unix.bind sock (sockaddr_of_addr a);
+      (match a with Unix_dgram path -> Some path | Udp _ -> None)
+  in
+  Unix.set_nonblock sock;
+  {
+    sock;
+    peer = Option.map sockaddr_of_addr peer;
+    bound_path;
+    buf = Bytes.create 65536;
+    handler = None;
+    tx_frames = 0;
+    tx_errors = 0;
+    rx_frames = 0;
+    rx_dropped = 0;
+  }
+
+let send_frame t frame =
+  match t.peer with
+  | None -> invalid_arg "Transport_udp.send_frame: no peer address"
+  | Some dst -> (
+    let len = String.length frame in
+    match
+      Unix.sendto t.sock (Bytes.unsafe_of_string frame) 0 len [] dst
+    with
+    | n when n = len ->
+      t.tx_frames <- t.tx_frames + 1;
+      true
+    | _ ->
+      t.tx_errors <- t.tx_errors + 1;
+      false
+    | exception Unix.Unix_error _ ->
+      (* Dead peer (ECONNREFUSED / ENOENT on unix-dgram), full buffers
+         (EAGAIN), oversized frame: all channel loss to the protocol. *)
+      t.tx_errors <- t.tx_errors + 1;
+      false)
+
+let set_frame_handler t h = t.handler <- Some h
+
+let drain t =
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Unix.recvfrom t.sock t.buf 0 (Bytes.length t.buf) [] with
+    | 0, _ -> continue := false
+    | n, _ -> (
+      t.rx_frames <- t.rx_frames + 1;
+      incr count;
+      let frame = Bytes.sub_string t.buf 0 n in
+      match t.handler with
+      | Some h -> h frame
+      | None -> t.rx_dropped <- t.rx_dropped + 1)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+      (* Linux reports a previous send's ICMP error on the next recv;
+         not an arriving frame. *)
+      ()
+  done;
+  !count
+
+let wait_readable t ~timeout =
+  match Unix.select [ t.sock ] [] [] timeout with
+  | [], _, _ -> false
+  | _ :: _, _, _ -> true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+let transport t =
+  Resets_core.Transport.make
+    ~label:
+      (match t.peer with
+      | Some (Unix.ADDR_UNIX p) -> "wire:unix:" ^ p
+      | Some (Unix.ADDR_INET (a, p)) ->
+        Printf.sprintf "wire:udp:%s:%d" (Unix.string_of_inet_addr a) p
+      | None -> "wire:recv-only")
+    ~send:(fun pkt -> send_frame t pkt.Resets_core.Packet.wire)
+    ~set_recv:(fun h ->
+      set_frame_handler t (fun frame -> h (Resets_core.Packet.fresh frame)))
+
+let tx_frames t = t.tx_frames
+let tx_errors t = t.tx_errors
+let rx_frames t = t.rx_frames
+let rx_dropped t = t.rx_dropped
+
+let close t =
+  (try Unix.close t.sock with Unix.Unix_error _ -> ());
+  match t.bound_path with
+  | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | None -> ()

@@ -1,0 +1,73 @@
+(** Datagram wire transport: real packets over real sockets.
+
+    The other half of the transport matrix (DESIGN.md §2f): where
+    {!Resets_core.Transport.of_link} puts the protocol on the
+    deterministic simulated link, this module puts the very same
+    protocol on a nonblocking UDP or UNIX-datagram socket. One ESP
+    packet per datagram — ESP is datagram-shaped, so the framing is
+    the trivial one.
+
+    Datagram semantics match the paper's channel assumptions for free:
+    the network may lose, reorder or duplicate, and the protocol is
+    built to converge anyway. A send the kernel refuses (dead peer:
+    [ECONNREFUSED]/[ENOENT]; full buffers: [EAGAIN]) is counted and
+    treated as loss, never raised — a sender must keep sending while
+    its peer is mid-reset, that being the whole experiment.
+
+    Single-owner discipline: one domain owns a socket ([drain]/[send]
+    are not thread-safe). A multi-worker daemon gives the socket to
+    its receive loop and fans frames out by SPI (see {!Daemon}). *)
+
+(** A wire address. [Udp] for cross-host runs, [Unix_dgram] for local
+    two-process harnesses (no port allocation, no firewall). *)
+type addr =
+  | Udp of string * int  (** host (dotted quad or name), port *)
+  | Unix_dgram of string  (** filesystem socket path *)
+
+val addr_of_string : string -> (addr, string) result
+(** ["udp:HOST:PORT"] or ["unix:PATH"]. *)
+
+val addr_to_string : addr -> string
+
+type t
+
+val create : ?bind:addr -> ?peer:addr -> unit -> t
+(** A nonblocking datagram socket. [bind] makes it receivable (the
+    daemon's receive side; a UNIX-dgram path is unlinked first if a
+    stale one exists). [peer] is the default destination for
+    {!send_frame}. At least one must be given.
+    @raise Invalid_argument when both are missing or address families
+    mix. *)
+
+val send_frame : t -> string -> bool
+(** Send one datagram to [peer]. [false] (and a [tx_errors] tick) when
+    the kernel refused it — dead peer, full buffers — which the caller
+    treats as channel loss. @raise Invalid_argument without a peer. *)
+
+val set_frame_handler : t -> (string -> unit) -> unit
+(** Install the handler {!drain} feeds. Frames drained with no handler
+    installed are dropped (counted in {!rx_dropped}). *)
+
+val drain : t -> int
+(** Batched receive: pull every datagram currently queued (until
+    [EAGAIN]), feed each to the frame handler, return how many. *)
+
+val wait_readable : t -> timeout:float -> bool
+(** Block (select) until the socket is readable or [timeout] seconds
+    pass — the daemon's idle hook. *)
+
+val transport : t -> Resets_core.Transport.t
+(** The endpoints' view: {!Resets_core.Transport.send} serialises just
+    the ESP bytes ([Packet.wire]); every frame {!drain} hands back
+    comes up as [Packet.fresh] — a real wire cannot mark provenance;
+    telling replays apart is the replay window's job. *)
+
+val tx_frames : t -> int
+val tx_errors : t -> int
+val rx_frames : t -> int
+
+val rx_dropped : t -> int
+(** Frames drained while no handler was installed. *)
+
+val close : t -> unit
+(** Close the socket; a bound UNIX-dgram path is unlinked. *)

@@ -7,23 +7,59 @@ let create ~dir =
 (* Keys can contain characters unfit for filenames; encode them. *)
 let path t key = Filename.concat t.dir (Resets_util.Hex.encode key ^ ".seq")
 
-let save ?on_error:_ t ~key ~value ~on_complete =
+let fsync_dir dir =
+  (* Durability of the rename itself: the directory entry must reach
+     the medium, or a crash can forget the file existed at all. Some
+     filesystems refuse fsync on a directory fd; that narrows the
+     window back to rename-only atomicity rather than failing the
+     save. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write fd bytes !off (len - !off) in
+    if n <= 0 then raise (Unix.Unix_error (Unix.EIO, "write", ""));
+    off := !off + n
+  done
+
+(* Crash-atomic, durable save: write the whole value to a unique tmp
+   file, fsync it, rename over the final name, fsync the directory.
+   An observer (or a crash) at any point sees either the old complete
+   value or the new complete value — never a torn write — because the
+   final name only ever changes via rename, and the data is on the
+   medium before the rename makes it visible. *)
+let save ?(on_error = fun () -> ()) t ~key ~value ~on_complete =
   let final = path t key in
-  let tmp = final ^ ".tmp" in
-  let oc = open_out tmp in
-  (try output_string oc (string_of_int value)
-   with e ->
-     close_out_noerr oc;
-     raise e);
-  close_out oc;
-  Sys.rename tmp final;
-  on_complete ()
+  let tmp = Printf.sprintf "%s.%d.tmp" final (Unix.getpid ()) in
+  match
+    let fd =
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    (try
+       write_all fd (Bytes.of_string (string_of_int value));
+       Unix.fsync fd
+     with e ->
+       Unix.close fd;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    Unix.close fd;
+    Unix.rename tmp final;
+    fsync_dir t.dir
+  with
+  | () -> on_complete ()
+  | exception (Unix.Unix_error _ | Sys_error _) -> on_error ()
 
 let fetch t ~key =
   let file = path t key in
   if not (Sys.file_exists file) then None
   else begin
-    let ic = open_in file in
+    let ic = open_in_bin file in
     let content =
       try really_input_string ic (in_channel_length ic)
       with e ->
@@ -33,6 +69,15 @@ let fetch t ~key =
     close_in ic;
     int_of_string_opt (String.trim content)
   end
+
+let fetch_checked t ~key =
+  let file = path t key in
+  if not (Sys.file_exists file) then Store.Missing
+  else
+    match fetch t ~key with
+    | Some v -> Store.Fetched v
+    | None -> Store.Corrupt (* file exists but does not parse *)
+    | exception Sys_error _ -> Store.Corrupt
 
 let crash (_ : t) = ()
 
@@ -47,3 +92,16 @@ let keys t =
 let remove t ~key =
   let file = path t key in
   if Sys.file_exists file then Sys.remove file
+
+let store ?(base_latency = Resets_sim.Time.of_ms 1) t =
+  {
+    Store.label = "file:" ^ t.dir;
+    save =
+      (fun ~key ~value ~on_error ~on_complete ->
+        save ~on_error t ~key ~value ~on_complete);
+    fetch = (fun ~key -> fetch t ~key);
+    fetch_checked = (fun ~key -> fetch_checked t ~key);
+    preload = (fun ~key ~value -> save t ~key ~value ~on_complete:ignore);
+    crash = (fun () -> ());
+    base_latency;
+  }

@@ -2,10 +2,13 @@
 
     The paper notes SAVE/FETCH "can be implemented by write-to-file and
     read-from-file operations in an operating system"; this module is
-    that implementation. Writes are atomic (write to a temporary file,
-    then rename), so a value is either the old or the new one — never
-    torn — matching the [Store.S] contract. Used by the CLI and
-    examples when run against a real filesystem. *)
+    that implementation. Writes are crash-atomic {e and} durable: the
+    value is written to a unique temporary file, fsynced, renamed over
+    the final name, and the directory is fsynced so the rename itself
+    survives a power cut. A reader (or a post-crash FETCH) sees either
+    the old complete value or the new complete value — never a torn
+    write — matching the [Store.S] contract. Used by the CLI, the wire
+    daemon ([serve]) and examples against a real filesystem. *)
 
 type t
 
@@ -22,3 +25,16 @@ val keys : t -> string list
 
 val remove : t -> key:string -> unit
 (** Delete a stored value (used to model "delete the SA"). *)
+
+val fetch_checked : t -> key:string -> Store.checked_fetch
+(** [Missing] when no file exists, [Corrupt] when a file exists but
+    does not parse as a value (a torn or foreign write — which the
+    atomic save protocol never produces itself), [Fetched] otherwise.
+    Never [Stale]: rename serialises writes per key. *)
+
+val store : ?base_latency:Resets_sim.Time.t -> t -> Store.t
+(** This store as a first-class {!Store.t}. Saves complete
+    synchronously (callback before [save] returns); [crash] is a
+    no-op; [preload] is a synchronous save. [base_latency] (default
+    1 ms) is only advisory — recovery schedules derive wait times
+    from it. *)

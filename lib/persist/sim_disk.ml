@@ -296,3 +296,20 @@ let saves_failed t = t.failed
 let snapshots_torn t = t.torn
 let fetches_corrupt t = t.corrupt_served
 let fetches_stale t = t.stale_served
+
+let store t =
+  {
+    Store.label = t.name;
+    save = (fun ~key ~value ~on_error ~on_complete ->
+      save ~on_error t ~key ~value ~on_complete);
+    fetch = (fun ~key -> fetch t ~key);
+    fetch_checked = (fun ~key ->
+      match fetch_checked t ~key with
+      | Fetched v -> Store.Fetched v
+      | Fetch_missing -> Store.Missing
+      | Fetch_corrupt -> Store.Corrupt
+      | Fetch_stale v -> Store.Stale v);
+    preload = (fun ~key ~value -> preload t ~key ~value);
+    crash = (fun () -> crash t);
+    base_latency = t.base_latency;
+  }

@@ -170,3 +170,8 @@ val base_latency : t -> Time.t
     layer's staggered per-SA recovery schedule is computed from it, so
     deterministic sharding requires an un-jittered disk (see
     {!Resets_core.Host.recover}). *)
+
+val store : t -> Store.t
+(** This disk as a first-class {!Store.t} — what the protocol
+    processes hold. The record closes over the disk: counters,
+    [set_faults] and [crash] through either view stay coherent. *)

@@ -1,0 +1,45 @@
+module type S = sig
+  type t
+
+  val save :
+    ?on_error:(unit -> unit) ->
+    t ->
+    key:string ->
+    value:int ->
+    on_complete:(unit -> unit) ->
+    unit
+
+  val fetch : t -> key:string -> int option
+  val crash : t -> unit
+end
+
+type checked_fetch =
+  | Fetched of int
+  | Missing
+  | Corrupt
+  | Stale of int
+
+type t = {
+  label : string;
+  save :
+    key:string ->
+    value:int ->
+    on_error:(unit -> unit) ->
+    on_complete:(unit -> unit) ->
+    unit;
+  fetch : key:string -> int option;
+  fetch_checked : key:string -> checked_fetch;
+  preload : key:string -> value:int -> unit;
+  crash : unit -> unit;
+  base_latency : Resets_sim.Time.t;
+}
+
+let save ?(on_error = fun () -> ()) t ~key ~value ~on_complete =
+  t.save ~key ~value ~on_error ~on_complete
+
+let fetch t ~key = t.fetch ~key
+let fetch_checked t ~key = t.fetch_checked ~key
+let preload t ~key ~value = t.preload ~key ~value
+let crash t = t.crash ()
+let base_latency t = t.base_latency
+let label t = t.label

@@ -35,3 +35,65 @@ module type S = sig
   (** Simulate a reset of the attached host: every in-flight save is
       discarded; durable state is untouched. *)
 end
+
+(** {1 First-class stores}
+
+    The protocol processes ({!Resets_core.Sender}, [Receiver]) hold a
+    store as a {e value} rather than a functor argument, so one compiled
+    sender runs against the simulated disk in a deterministic replay
+    {e and} against the real filesystem in the wire daemon. The record
+    mirrors {!S} plus the checked-fetch and preload operations the
+    protocol needs; {!Sim_disk.store} and {!File_store.store} build
+    it. *)
+
+(** Result of a checked (integrity-verified) fetch. *)
+type checked_fetch =
+  | Fetched of int  (** latest durable value, verified *)
+  | Missing  (** no durable record under the key *)
+  | Corrupt  (** record present but failed verification *)
+  | Stale of int  (** a superseded value was served *)
+
+type t = {
+  label : string;  (** for traces and error messages *)
+  save :
+    key:string ->
+    value:int ->
+    on_error:(unit -> unit) ->
+    on_complete:(unit -> unit) ->
+    unit;
+      (** Begin persisting [value] under [key]; [on_complete] once
+          durable, [on_error] if the write failed leaving the previous
+          value intact. May complete synchronously (the real
+          filesystem) or after a scheduled latency (the simulated
+          disk); callers must cope with both. *)
+  fetch : key:string -> int option;  (** last durable value *)
+  fetch_checked : key:string -> checked_fetch;
+      (** FETCH with integrity verification; one call per protocol
+          FETCH (fault rolls are consumed per call on faulty media). *)
+  preload : key:string -> value:int -> unit;
+      (** Make a value durable immediately, bypassing latency and
+          fault injection — SA-establishment state. *)
+  crash : unit -> unit;
+      (** Host reset: discard in-flight writes, keep durable state.
+          No-op on stores with synchronous saves. *)
+  base_latency : Resets_sim.Time.t;
+      (** Jitter-free write latency; recovery schedules (and the
+          shard layer's stagger) are computed from it. *)
+}
+
+val save :
+  ?on_error:(unit -> unit) ->
+  t ->
+  key:string ->
+  value:int ->
+  on_complete:(unit -> unit) ->
+  unit
+(** {!S.save} over the record ([on_error] defaults to doing
+    nothing). *)
+
+val fetch : t -> key:string -> int option
+val fetch_checked : t -> key:string -> checked_fetch
+val preload : t -> key:string -> value:int -> unit
+val crash : t -> unit
+val base_latency : t -> Resets_sim.Time.t
+val label : t -> string

@@ -1,0 +1,26 @@
+type real = {
+  now_ns : unit -> int64;
+  origin : int64;
+  mutable last : int64; (* highest reading seen, for monotonization *)
+}
+
+type t =
+  | Virtual
+  | Real of real
+
+let virtual_ = Virtual
+
+let of_ns_source now_ns =
+  let origin = now_ns () in
+  Real { now_ns; origin; last = origin }
+
+let is_virtual = function
+  | Virtual -> true
+  | Real _ -> false
+
+let elapsed = function
+  | Virtual -> invalid_arg "Clock.elapsed: virtual clock has no wall time"
+  | Real r ->
+    let reading = r.now_ns () in
+    if Int64.compare reading r.last > 0 then r.last <- reading;
+    Time.of_ns (Int64.sub r.last r.origin)

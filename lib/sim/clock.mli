@@ -1,0 +1,34 @@
+(** Time source abstraction: what makes the timer wheel tick.
+
+    The {!Engine} orders events on an integer-nanosecond axis; a clock
+    decides how the axis relates to reality. The {e virtual} clock is
+    the discrete-event simulation contract: time jumps to the next
+    pending event, runs are a pure function of their inputs, and every
+    committed BENCH artifact replays bit-identically. A {e real} clock
+    anchors the same axis to a monotonic nanosecond source, so the very
+    same wheel (and the senders, receivers and stores scheduled on it)
+    drives a live daemon: events fire when the wall catches up with
+    them, and the gaps in between belong to a poll loop
+    ({!Engine.run_clocked}'s [idle] hook — where a daemon waits on its
+    sockets). See DESIGN.md §2f for the transport/clock matrix. *)
+
+type t
+
+val virtual_ : t
+(** The simulation clock: the engine owns time and advances it by
+    firing events. [run_clocked ~clock:virtual_] is byte-for-byte
+    {!Engine.run}. *)
+
+val of_ns_source : (unit -> int64) -> t
+(** [of_ns_source now_ns] is a real clock reading [now_ns] (an
+    absolute monotonic nanosecond counter; the origin is sampled
+    immediately, so {!elapsed} starts at zero). Readings that go
+    backwards are clamped to the previous one — the engine axis never
+    retreats even if the underlying source does. *)
+
+val is_virtual : t -> bool
+
+val elapsed : t -> Time.t
+(** Nanoseconds since the clock was created, monotonized.
+    @raise Invalid_argument on the virtual clock — simulated time lives
+    in {!Engine.now}, not here. *)

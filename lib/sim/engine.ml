@@ -412,3 +412,61 @@ let run ?until ?max_events t =
             loop ()))
   in
   loop ()
+
+let next_due t =
+  match prepare t with
+  | None -> None
+  | Some e -> Some (Time.of_ns (Int64.of_int e.time))
+
+(* Real-time driver: fire everything the wall clock has caught up
+   with, then hand the gap to [idle] (a daemon's socket poll). The
+   virtual clock degenerates to [run], preserving the determinism
+   contract bit for bit. *)
+let run_clocked ~clock ?idle ?until ?max_events t =
+  if Clock.is_virtual clock then run ?until ?max_events t
+  else begin
+    let limit = Option.map ns_of_limit until in
+    let budget = ref (match max_events with Some m -> m | None -> max_int) in
+    let rec loop () =
+      if t.stop_requested then Stopped
+      else if !budget <= 0 then Event_limit
+      else begin
+        let elapsed_ns = ns_of_limit (Clock.elapsed clock) in
+        let horizon =
+          match limit with
+          | Some l -> Stdlib.min l elapsed_ns
+          | None -> elapsed_ns
+        in
+        let fired_before = t.fired in
+        let reason =
+          run ~until:(Time.of_ns (Int64.of_int horizon)) ~max_events:!budget t
+        in
+        budget := !budget - (t.fired - fired_before);
+        match reason with
+        | Stopped -> Stopped
+        | Event_limit -> Event_limit
+        | Quiescent | Time_limit -> (
+          match limit with
+          | Some l when elapsed_ns >= l ->
+            t.clock <- Stdlib.max t.clock l;
+            Time_limit
+          | Some _ | None -> (
+            let due = next_due t in
+            match idle with
+            | Some wait ->
+              wait ~due;
+              loop ()
+            | None -> (
+              (* No poll hook: nothing can inject new events, so an
+                 empty wheel is final; otherwise spin until the wall
+                 reaches the next deadline. *)
+              match due with
+              | None -> Quiescent
+              | Some _ ->
+                Domain.cpu_relax ();
+                loop ())))
+      end
+    in
+    t.stop_requested <- false;
+    loop ()
+  end

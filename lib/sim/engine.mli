@@ -99,6 +99,29 @@ val run : ?until:Time.t -> ?max_events:int -> t -> stop_reason
     still-pending instant remain fully ordered (the engine keeps a
     side channel for that gap — see DESIGN.md §2e). *)
 
+val next_due : t -> Time.t option
+(** Timestamp of the earliest pending event, without firing it —
+    what a real-time poll loop sleeps until. Amortized O(1) (it may
+    cascade wheel levels, work the eventual fire would do anyway). *)
+
+val run_clocked :
+  clock:Clock.t ->
+  ?idle:(due:Time.t option -> unit) ->
+  ?until:Time.t ->
+  ?max_events:int ->
+  t ->
+  stop_reason
+(** Drive the wheel from a {!Clock}. With [Clock.virtual_] this {e is}
+    {!run} — same code path, same determinism contract. With a real
+    clock, events fire once {!Clock.elapsed} passes their timestamp;
+    between deadlines the engine calls [idle ~due] ([due] = the next
+    pending timestamp, [None] when the wheel is empty) so the caller
+    can block on I/O that may schedule new events — a daemon's socket
+    poll. Without [idle] an empty wheel ends the run ([Quiescent]) and
+    a non-empty one is busy-waited. [until] bounds the run in engine
+    time (elapsed wall time for a real clock); [stop] works from both
+    callbacks and [idle]. *)
+
 val step : t -> bool
 (** Fire the single next event; [false] when the queue is empty. *)
 

@@ -70,3 +70,17 @@ val max : t -> t -> t
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable with an adaptive unit (ns/µs/ms/s). *)
+
+val duration_to_string : t -> string
+(** ["1.25 ms"]-style rendering: the largest unit (s/ms/us/ns) that
+    keeps the value at least 1, at most three decimals, trailing
+    zeros trimmed. Every produced string is accepted by
+    {!duration_of_string}. *)
+
+val pp_duration : Format.formatter -> t -> unit
+(** Prints {!duration_to_string}. *)
+
+val duration_of_string : string -> t option
+(** Parse ["512 ns"], ["1.25ms"], ["2 s"] … (case-insensitive unit,
+    optional space). [None] on malformed input, unknown units, or
+    negative values. Rounds to the nearest nanosecond. *)

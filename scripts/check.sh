@@ -164,6 +164,15 @@ alloc_gate engine-wheel-event 20
 # window backends (budget 1 tolerates measurement jitter, not boxing).
 alloc_gate window-admit-flat 1
 
+echo "== daemon loopback smoke (unix-dgram, kill/recover) =="
+# Two real processes over a UNIX-datagram socket: receiver daemon is
+# SIGKILLed mid-run and restarted on the same durable store while the
+# sender keeps transmitting. The restarted receiver's convergence gate
+# (edge recovered, leap within 2k, no cross-incarnation replay, zero
+# duplicates) is the verdict; nonzero exit fails the check.
+sh scripts/daemon_loopback.sh _build/default/bin/ipsec_resets.exe \
+  || { echo "daemon loopback kill/recover gate failed" >&2; exit 1; }
+
 echo "== engine determinism smoke (wheel vs legacy heap) =="
 # MICRO replays a fixed-seed schedule of one-shot, periodic, tied and
 # cancelled timers on both engines and records a named check; require

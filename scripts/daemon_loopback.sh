@@ -1,0 +1,95 @@
+#!/usr/bin/env sh
+# Two-process daemon loopback smoke: a receiver and a sender daemon
+# exchange ESP frames over a UNIX-datagram socket pair, the receiver
+# is SIGKILLed mid-run, then restarted on the same durable store. The
+# restarted receiver's own convergence gate (recovered edge, leap
+# within 2k, no cross-incarnation replay, zero duplicates) is the
+# verdict: its exit code propagates as this script's exit code.
+#
+# Usage: scripts/daemon_loopback.sh [path-to-ipsec_resets.exe]
+# With no argument the binary is built and located via dune.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "$#" -ge 1 ]; then
+  BIN=$1
+else
+  dune build bin/ipsec_resets.exe
+  BIN=_build/default/bin/ipsec_resets.exe
+fi
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/daemon-loopback.XXXXXX")
+SENDER_PID=
+RECV_PID=
+cleanup() {
+  [ -n "$SENDER_PID" ] && kill "$SENDER_PID" 2>/dev/null || true
+  [ -n "$RECV_PID" ] && kill -9 "$RECV_PID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+SOCK="$work/recv.sock"
+STORE="$work/store"
+STATS="$work/recv.stats"
+SAS=2
+K=8
+RATE=400
+
+# Incarnation 1: receiver daemon, generously long duration — it will
+# not die of old age, we kill it.
+"$BIN" serve --role recv --bind "unix:$SOCK" \
+  --sas "$SAS" -k "$K" --duration 30 \
+  --store "$STORE" --stats "$STATS" --quiet &
+RECV_PID=$!
+
+# Give it a moment to bind before the sender starts shooting.
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  [ "$i" -gt 50 ] && { echo "receiver never bound $SOCK" >&2; exit 1; }
+  sleep 0.1
+done
+
+# Sender runs across the whole experiment, including the receiver's
+# downtime, so the restarted receiver must leap over the gap.
+"$BIN" serve --role send --peer "unix:$SOCK" \
+  --sas "$SAS" -k "$K" --rate "$RATE" --duration 8 --quiet &
+SENDER_PID=$!
+
+sleep 2
+echo "killing receiver (pid $RECV_PID) mid-run"
+kill -9 "$RECV_PID"
+wait "$RECV_PID" 2>/dev/null || true
+RECV_PID=
+rm -f "$SOCK"
+
+# Let traffic flow into the void for a moment: the sender keeps
+# advancing sequence numbers while the receiver is down.
+sleep 1
+
+# Incarnation 2: same store, same stats journal, recovery expected.
+# Its gate checks: edge recovered from the store, deliveries resumed,
+# fresh rejections <= 2k, zero duplicates, zero ICV failures, and the
+# minimum delivered sequence number strictly above the previous
+# incarnation's maximum (no cross-incarnation replay).
+"$BIN" serve --role recv --bind "unix:$SOCK" \
+  --sas "$SAS" -k "$K" --duration 6 \
+  --store "$STORE" --stats "$STATS" \
+  --expect-recovery --json "$work/recv2.json" &
+RECV_PID=$!
+rc=0
+wait "$RECV_PID" || rc=$?
+RECV_PID=
+
+wait "$SENDER_PID" 2>/dev/null || true
+SENDER_PID=
+
+if [ "$rc" -eq 0 ]; then
+  echo "daemon loopback: kill/recover converged (gate passed)"
+else
+  echo "daemon loopback: recovery gate FAILED (exit $rc)" >&2
+  [ -f "$work/recv2.json" ] && cat "$work/recv2.json" >&2
+fi
+exit "$rc"

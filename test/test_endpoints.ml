@@ -37,7 +37,7 @@ let make_fixture ?(kp = 5) ?(kq = 5) ?(w = 64) ?(gap = us 10) ?(save_latency = u
     else
       Some
         {
-          Sender.disk = disk_p;
+          Sender.store = Sim_disk.store disk_p;
           key = "send_seq";
           k = kp;
           leap = 2 * kp;
@@ -50,7 +50,7 @@ let make_fixture ?(kp = 5) ?(kq = 5) ?(w = 64) ?(gap = us 10) ?(save_latency = u
     else
       Some
         {
-          Receiver.disk = disk_q;
+          Receiver.store = Sim_disk.store disk_q;
           key = "recv_edge";
           k = kq;
           leap = 2 * kq;
@@ -60,7 +60,7 @@ let make_fixture ?(kp = 5) ?(kq = 5) ?(w = 64) ?(gap = us 10) ?(save_latency = u
         }
   in
   let sender =
-    Sender.create ~sa:sa_p ~link
+    Sender.create ~sa:sa_p ~transport:(Transport.of_link link)
       ~traffic:(Resets_workload.Traffic.constant ~gap)
       ~metrics ~persistence:persistence_p engine
   in

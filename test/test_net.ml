@@ -1,0 +1,218 @@
+(* Unit tests for the wire layer: address parsing, the nonblocking
+   UNIX-datagram socket pair, the Transport adapter, and an in-process
+   daemon smoke (send role against a scratch socket). The two-process
+   kill-and-recover experiment lives in scripts/daemon_loopback.sh;
+   these tests cover the pieces it is built from. *)
+
+open Resets_net
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let scratch_path name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "resets-net-%s-%d.sock" name (Unix.getpid ()))
+
+(* ------------------------------------------------------------------ *)
+(* Address parsing *)
+
+let test_addr_parse () =
+  (match Transport_udp.addr_of_string "udp:127.0.0.1:4500" with
+  | Ok (Transport_udp.Udp ("127.0.0.1", 4500)) -> ()
+  | Ok a -> Alcotest.failf "wrong parse: %s" (Transport_udp.addr_to_string a)
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Transport_udp.addr_of_string "unix:/run/q.sock" with
+  | Ok (Transport_udp.Unix_dgram "/run/q.sock") -> ()
+  | Ok a -> Alcotest.failf "wrong parse: %s" (Transport_udp.addr_to_string a)
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (* IPv6-ish host:port splits on the last colon *)
+  (match Transport_udp.addr_of_string "udp:fe80::1:500" with
+  | Ok (Transport_udp.Udp ("fe80::1", 500)) -> ()
+  | Ok a -> Alcotest.failf "wrong parse: %s" (Transport_udp.addr_to_string a)
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  List.iter
+    (fun s ->
+      match Transport_udp.addr_of_string s with
+      | Ok a ->
+          Alcotest.failf "accepted %S as %s" s (Transport_udp.addr_to_string a)
+      | Error _ -> ())
+    [ "udp:nohost"; "udp:h:notaport"; "tcp:1.2.3.4:5"; ""; "unix:" ]
+
+let test_addr_roundtrip () =
+  List.iter
+    (fun s ->
+      match Transport_udp.addr_of_string s with
+      | Ok a -> check_string s s (Transport_udp.addr_to_string a)
+      | Error e -> Alcotest.failf "parse failed: %s" e)
+    [ "udp:10.0.0.1:4500"; "unix:/tmp/a.sock" ]
+
+(* ------------------------------------------------------------------ *)
+(* Socket pair over UNIX-dgram *)
+
+let test_dgram_pair_send_drain () =
+  let path = scratch_path "pair" in
+  let rx = Transport_udp.create ~bind:(Transport_udp.Unix_dgram path) () in
+  let tx = Transport_udp.create ~peer:(Transport_udp.Unix_dgram path) () in
+  let got = ref [] in
+  Transport_udp.set_frame_handler rx (fun f -> got := f :: !got);
+  check_bool "send a" true (Transport_udp.send_frame tx "frame-a");
+  check_bool "send b" true (Transport_udp.send_frame tx "frame-b");
+  check_bool "readable" true (Transport_udp.wait_readable rx ~timeout:1.0);
+  let n = Transport_udp.drain rx in
+  check_int "drained both" 2 n;
+  Alcotest.(check (list string)) "payloads intact" [ "frame-a"; "frame-b" ]
+    (List.rev !got);
+  check_int "tx count" 2 (Transport_udp.tx_frames tx);
+  check_int "rx count" 2 (Transport_udp.rx_frames rx);
+  check_int "no tx errors" 0 (Transport_udp.tx_errors tx);
+  Transport_udp.close tx;
+  Transport_udp.close rx;
+  check_bool "bound path unlinked on close" false (Sys.file_exists path)
+
+let test_dgram_dead_peer_is_loss () =
+  let path = scratch_path "dead" in
+  let tx = Transport_udp.create ~peer:(Transport_udp.Unix_dgram path) () in
+  (* nobody bound the path: the kernel refuses, the transport counts
+     it and reports loss instead of raising *)
+  check_bool "refused" false (Transport_udp.send_frame tx "into-the-void");
+  check_int "tx error counted" 1 (Transport_udp.tx_errors tx);
+  Transport_udp.close tx
+
+let test_dgram_no_handler_drops () =
+  let path = scratch_path "nohandler" in
+  let rx = Transport_udp.create ~bind:(Transport_udp.Unix_dgram path) () in
+  let tx = Transport_udp.create ~peer:(Transport_udp.Unix_dgram path) () in
+  check_bool "sent" true (Transport_udp.send_frame tx "orphan");
+  check_bool "readable" true (Transport_udp.wait_readable rx ~timeout:1.0);
+  check_int "drained" 1 (Transport_udp.drain rx);
+  check_int "dropped without handler" 1 (Transport_udp.rx_dropped rx);
+  Transport_udp.close tx;
+  Transport_udp.close rx
+
+let test_dgram_wait_timeout () =
+  let path = scratch_path "timeout" in
+  let rx = Transport_udp.create ~bind:(Transport_udp.Unix_dgram path) () in
+  let t0 = Unix.gettimeofday () in
+  check_bool "times out" false (Transport_udp.wait_readable rx ~timeout:0.05);
+  check_bool "took about the timeout" true (Unix.gettimeofday () -. t0 < 1.0);
+  Transport_udp.close rx
+
+let test_create_validation () =
+  (match Transport_udp.create () with
+  | exception Invalid_argument _ -> ()
+  | t ->
+      Transport_udp.close t;
+      Alcotest.fail "create with neither bind nor peer must be rejected");
+  match
+    Transport_udp.create
+      ~bind:(Transport_udp.Unix_dgram (scratch_path "mix"))
+      ~peer:(Transport_udp.Udp ("127.0.0.1", 4500))
+      ()
+  with
+  | exception Invalid_argument _ -> ()
+  | t ->
+      Transport_udp.close t;
+      Alcotest.fail "mixed address families must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Transport adapter: wire bytes only, everything received is fresh *)
+
+let test_transport_adapter () =
+  let path = scratch_path "adapter" in
+  let rx = Transport_udp.create ~bind:(Transport_udp.Unix_dgram path) () in
+  let tx = Transport_udp.create ~peer:(Transport_udp.Unix_dgram path) () in
+  let t_tx = Transport_udp.transport tx in
+  let t_rx = Transport_udp.transport rx in
+  let got = ref [] in
+  Resets_core.Transport.set_recv t_rx (fun p -> got := p :: !got);
+  (* a replay-marked packet loses its provenance on the wire *)
+  let p =
+    Resets_core.Packet.mark_replayed (Resets_core.Packet.fresh "esp-bytes")
+  in
+  Resets_core.Transport.send t_tx p;
+  check_bool "readable" true (Transport_udp.wait_readable rx ~timeout:1.0);
+  ignore (Transport_udp.drain rx);
+  (match !got with
+  | [ q ] ->
+      check_string "wire bytes survive" "esp-bytes" q.Resets_core.Packet.wire;
+      check_bool "wire cannot carry provenance" false
+        q.Resets_core.Packet.replayed
+  | l -> Alcotest.failf "expected 1 packet, got %d" (List.length l));
+  let st = Resets_core.Transport.stats t_tx in
+  check_int "adapter tx stat" 1 st.Resets_core.Transport.tx;
+  Transport_udp.close tx;
+  Transport_udp.close rx
+
+(* ------------------------------------------------------------------ *)
+(* Daemon smoke: a send-role daemon runs to duration against a scratch
+   socket (nobody listening: every send is counted loss) and reports. *)
+
+let test_daemon_send_smoke () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "resets-net-daemon-%d" (Unix.getpid ()))
+  in
+  let cfg =
+    {
+      Daemon.default with
+      Daemon.role = Daemon.Send;
+      bind = None;
+      peer = Some (Transport_udp.Unix_dgram (scratch_path "daemon"));
+      sas = 2;
+      k = 4;
+      rate_pps = 200.;
+      duration = 0.4;
+      store_dir = dir;
+      stats_path = None;
+      json_path = None;
+    }
+  in
+  let rc, report = Daemon.run cfg in
+  check_int "clean exit" 0 rc;
+  let s = Resets_util.Json.to_string report in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "reports role" true (contains s "\"send\"");
+  check_bool "reports per-core throughput" true (contains s "pps_per_core");
+  check_bool "counts refused sends as loss" true (contains s "wire_tx_errors")
+
+let test_daemon_validates () =
+  (match Daemon.run { Daemon.default with Daemon.bind = None } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "recv without bind must be rejected");
+  match
+    Daemon.run { Daemon.default with Daemon.role = Daemon.Send; peer = None }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "send without peer must be rejected"
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "parse" `Quick test_addr_parse;
+          Alcotest.test_case "round trip" `Quick test_addr_roundtrip;
+        ] );
+      ( "dgram",
+        [
+          Alcotest.test_case "send/drain" `Quick test_dgram_pair_send_drain;
+          Alcotest.test_case "dead peer is loss" `Quick
+            test_dgram_dead_peer_is_loss;
+          Alcotest.test_case "no handler drops" `Quick
+            test_dgram_no_handler_drops;
+          Alcotest.test_case "wait timeout" `Quick test_dgram_wait_timeout;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+        ] );
+      ( "transport",
+        [ Alcotest.test_case "adapter" `Quick test_transport_adapter ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "send smoke" `Quick test_daemon_send_smoke;
+          Alcotest.test_case "config validation" `Quick test_daemon_validates;
+        ] );
+    ]

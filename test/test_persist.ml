@@ -341,6 +341,110 @@ let test_file_store_crash_noop () =
   File_store.crash store;
   check_opt_int "filesystem is durable" (Some 3) (File_store.fetch store ~key:"k")
 
+let test_file_store_no_tmp_residue () =
+  let dir = temp_dir "fs6" in
+  let store = File_store.create ~dir in
+  for v = 1 to 50 do
+    File_store.save store ~key:"hot" ~value:v ~on_complete:ignore
+  done;
+  check_opt_int "last write wins" (Some 50) (File_store.fetch store ~key:"hot");
+  let leftovers =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".tmp")
+  in
+  Alcotest.(check (list string)) "no tmp files survive a save" [] leftovers
+
+let test_file_store_stale_tmp_ignored () =
+  (* A torn write is a partial tmp file left by a crash: it must be
+     invisible to fetch/keys, and a later save must still land. *)
+  let dir = temp_dir "fs7" in
+  let store = File_store.create ~dir in
+  File_store.save store ~key:"edge" ~value:4242 ~on_complete:ignore;
+  (* plant a half-written tmp next to the real file, as a crashed
+     writer (a different pid) would leave it *)
+  let torn =
+    Filename.concat dir (Resets_util.Hex.encode "edge" ^ ".seq.99999.tmp")
+  in
+  let oc = open_out_bin torn in
+  output_string oc "12";
+  (* a torn prefix of some larger value *)
+  close_out oc;
+  check_opt_int "fetch ignores the torn tmp" (Some 4242)
+    (File_store.fetch store ~key:"edge");
+  Alcotest.(check (list string)) "keys ignore the torn tmp" [ "edge" ]
+    (File_store.keys store);
+  File_store.save store ~key:"edge" ~value:4243 ~on_complete:ignore;
+  check_opt_int "save still lands" (Some 4243)
+    (File_store.fetch store ~key:"edge")
+
+let test_file_store_corrupt_detected () =
+  let dir = temp_dir "fs8" in
+  let store = File_store.create ~dir in
+  (* overwrite the final file with garbage, bypassing save *)
+  let final = Filename.concat dir (Resets_util.Hex.encode "bad" ^ ".seq") in
+  let oc = open_out_bin final in
+  output_string oc "not-a-number";
+  close_out oc;
+  check_bool "fetch_checked flags garbage" true
+    (File_store.fetch_checked store ~key:"bad" = Store.Corrupt);
+  check_bool "missing key reported" true
+    (File_store.fetch_checked store ~key:"absent" = Store.Missing)
+
+let test_file_store_save_error_reported () =
+  let dir = temp_dir "fs9" in
+  let store = File_store.create ~dir in
+  (* Destroy the directory out from under the store: the tmp open
+     fails, on_error fires, on_complete must not. *)
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir;
+  let errored = ref false and completed = ref false in
+  File_store.save store ~key:"k" ~value:1
+    ~on_error:(fun () -> errored := true)
+    ~on_complete:(fun () -> completed := true);
+  check_bool "on_error fired" true !errored;
+  check_bool "on_complete suppressed" false !completed
+
+let test_file_store_torn_write_never_observed () =
+  (* A writer process is SIGKILLed while overwriting one key in a tight
+     loop; a concurrent reader (and the post-mortem fetch) must only
+     ever see one of the two complete values — never a prefix, suffix
+     or splice. The two values share no digits and differ in length so
+     any torn read fails the membership check. *)
+  let dir = temp_dir "fs10" in
+  let store = File_store.create ~dir in
+  let a = 77777 and b = 333333333333333 in
+  File_store.save store ~key:"spin" ~value:a ~on_complete:ignore;
+  match Unix.fork () with
+  | 0 ->
+      (* child: hammer the key until killed *)
+      let v = ref b in
+      (try
+         while true do
+           File_store.save store ~key:"spin" ~value:!v ~on_complete:ignore;
+           v := if !v = a then b else a
+         done
+       with _ -> ());
+      Unix._exit 0
+  | pid ->
+      let deadline = Unix.gettimeofday () +. 0.3 in
+      let reads = ref 0 in
+      while Unix.gettimeofday () < deadline do
+        (match File_store.fetch store ~key:"spin" with
+        | Some v when v = a || v = b -> incr reads
+        | Some v -> Alcotest.failf "torn value observed: %d" v
+        | None -> Alcotest.fail "key vanished mid-overwrite");
+        ignore (File_store.fetch_checked store ~key:"spin" |> function
+                | Store.Corrupt -> Alcotest.fail "corrupt observed"
+                | _ -> ())
+      done;
+      Unix.kill pid Sys.sigkill;
+      ignore (Unix.waitpid [] pid);
+      check_bool "reader actually raced the writer" true (!reads > 100);
+      (match File_store.fetch store ~key:"spin" with
+      | Some v when v = a || v = b -> ()
+      | Some v -> Alcotest.failf "post-kill torn value: %d" v
+      | None -> Alcotest.fail "post-kill key missing")
+
 (* ------------------------------------------------------------------ *)
 (* Journal *)
 
@@ -498,6 +602,15 @@ let () =
           Alcotest.test_case "overwrite" `Quick test_file_store_overwrite;
           Alcotest.test_case "keys/remove" `Quick test_file_store_keys_and_remove;
           Alcotest.test_case "crash noop" `Quick test_file_store_crash_noop;
+          Alcotest.test_case "no tmp residue" `Quick test_file_store_no_tmp_residue;
+          Alcotest.test_case "stale tmp ignored" `Quick
+            test_file_store_stale_tmp_ignored;
+          Alcotest.test_case "corrupt detected" `Quick
+            test_file_store_corrupt_detected;
+          Alcotest.test_case "save error reported" `Quick
+            test_file_store_save_error_reported;
+          Alcotest.test_case "torn write never observed" `Quick
+            test_file_store_torn_write_never_observed;
         ] );
       ( "journal",
         [

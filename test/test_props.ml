@@ -196,6 +196,64 @@ let determinism =
          = b.Harness.metrics.Metrics.fresh_rejected
       && a.Harness.receiver_edge = b.Harness.receiver_edge)
 
+(* ------------------------------------------------------------------ *)
+(* PRNG stream independence. The sharded simulation and the daemon key
+   per-SA generators by index; the whole determinism story rests on
+   distinct streams not echoing each other. These are sanity bounds on
+   "independent-looking", not statistical test batteries: two truly
+   independent 64-bit streams collide at any position with probability
+   ~2^-64, so a single positional match across a handful of draws is
+   already overwhelming evidence of coupling. *)
+
+let draws g n = List.init n (fun _ -> Resets_util.Prng.next_int64 g)
+
+let positional_matches xs ys =
+  List.fold_left2 (fun acc x y -> if Int64.equal x y then acc + 1 else acc)
+    0 xs ys
+
+let prng_keyed_streams_independent =
+  QCheck.Test.make ~name:"keyed streams pairwise independent-looking"
+    ~count:100
+    QCheck.(triple small_nat small_nat (int_bound 1_000_000))
+    (fun (i, j, seed) ->
+      QCheck.assume (i <> j);
+      let a = draws (Resets_util.Prng.keyed ~seed ~stream:i) 64 in
+      let b = draws (Resets_util.Prng.keyed ~seed ~stream:j) 64 in
+      positional_matches a b = 0)
+
+let prng_keyed_pure_function_of_pair =
+  QCheck.Test.make ~name:"keyed stream is a pure function of (seed, stream)"
+    ~count:100
+    QCheck.(pair small_nat (int_bound 1_000_000))
+    (fun (i, seed) ->
+      let a = draws (Resets_util.Prng.keyed ~seed ~stream:i) 16 in
+      let b = draws (Resets_util.Prng.keyed ~seed ~stream:i) 16 in
+      List.for_all2 Int64.equal a b)
+
+let prng_split_streams_independent =
+  QCheck.Test.make ~name:"split streams independent of parent and siblings"
+    ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let parent = Resets_util.Prng.create seed in
+      let c1 = Resets_util.Prng.split parent in
+      let c2 = Resets_util.Prng.split parent in
+      let a = draws c1 64 and b = draws c2 64 in
+      let p = draws parent 64 in
+      positional_matches a b = 0
+      && positional_matches a p = 0
+      && positional_matches b p = 0)
+
+let prng_seed_sensitivity =
+  QCheck.Test.make ~name:"same stream index under different seeds diverges"
+    ~count:100
+    QCheck.(triple small_nat (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (i, s1, s2) ->
+      QCheck.assume (s1 <> s2);
+      let a = draws (Resets_util.Prng.keyed ~seed:s1 ~stream:i) 64 in
+      let b = draws (Resets_util.Prng.keyed ~seed:s2 ~stream:i) 64 in
+      positional_matches a b = 0)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "props"
@@ -208,5 +266,12 @@ let () =
           qt sender_never_reuses;
           qt skip_bound;
           qt determinism;
+        ] );
+      ( "prng",
+        [
+          qt prng_keyed_streams_independent;
+          qt prng_keyed_pure_function_of_pair;
+          qt prng_split_streams_independent;
+          qt prng_seed_sensitivity;
         ] );
     ]

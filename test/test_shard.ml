@@ -295,7 +295,7 @@ let test_host_recovery_sa_order () =
       ~receiver_persistence:
         (Some
            {
-             Receiver.disk;
+             Receiver.store = Resets_persist.Sim_disk.store disk;
              key = Host.sa_key i;
              k = 10;
              leap = 20;

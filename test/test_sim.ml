@@ -397,6 +397,143 @@ let test_link_requires_prng_for_faults () =
            ~latency:(us 1) e
           : unit Link.t))
 
+(* ------------------------------------------------------------------ *)
+(* Duration pretty-printing *)
+
+let test_duration_to_string () =
+  let s t = Time.duration_to_string t in
+  Alcotest.(check string) "ns" "250 ns" (s (Time.of_ns 250L));
+  Alcotest.(check string) "us" "1.5 us" (s (Time.of_ns 1_500L));
+  Alcotest.(check string) "ms" "1.25 ms" (s (Time.of_ns 1_250_000L));
+  Alcotest.(check string) "s" "2 s" (s (Time.of_sec 2.));
+  Alcotest.(check string) "zero" "0 ns" (s Time.zero);
+  Alcotest.(check string) "whole ms" "3 ms" (s (Time.of_ms 3))
+
+let test_duration_of_string () =
+  let ns s =
+    match Time.duration_of_string s with
+    | Some t -> Time.to_ns t
+    | None -> Alcotest.failf "unparsable: %S" s
+  in
+  Alcotest.(check int64) "ns" 250L (ns "250 ns");
+  Alcotest.(check int64) "us" 1_500L (ns "1.5us");
+  Alcotest.(check int64) "ms" 1_250_000L (ns "1.25 ms");
+  Alcotest.(check int64) "s" 2_000_000_000L (ns "2 s");
+  Alcotest.(check int64) "case" 7_000_000L (ns "7 MS");
+  Alcotest.(check int64) "padding" 5_000L (ns "  5 us  ");
+  check_bool "garbage" true (Time.duration_of_string "fast" = None);
+  check_bool "negative" true (Time.duration_of_string "-1 ms" = None);
+  check_bool "bad unit" true (Time.duration_of_string "3 h" = None);
+  check_bool "empty" true (Time.duration_of_string "" = None)
+
+let test_duration_roundtrip () =
+  (* to_string then of_string is the identity on a spread of scales. *)
+  List.iter
+    (fun t ->
+      let s = Time.duration_to_string t in
+      match Time.duration_of_string s with
+      | None -> Alcotest.failf "round trip lost %S" s
+      | Some t' ->
+          Alcotest.(check int64)
+            (Printf.sprintf "round trip %s" s)
+            (Time.to_ns t) (Time.to_ns t'))
+    [
+      Time.zero;
+      Time.of_ns 1L;
+      Time.of_ns 999L;
+      Time.of_ns 1_000L;
+      Time.of_ns 1_250L;
+      Time.of_us 42;
+      Time.of_ns 1_250_000L;
+      Time.of_ms 999;
+      Time.of_sec 1.;
+      Time.of_sec 61.5;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Clock and Engine.run_clocked *)
+
+let test_clock_virtual () =
+  check_bool "virtual" true (Clock.is_virtual Clock.virtual_);
+  Alcotest.check_raises "elapsed on virtual"
+    (Invalid_argument "Clock.elapsed: virtual clock has no wall time")
+    (fun () -> ignore (Clock.elapsed Clock.virtual_))
+
+let test_clock_monotonized () =
+  (* A source that stutters backwards must never move the axis back. *)
+  let readings = ref [ 100L; 300L; 200L; 450L ] in
+  let src () =
+    match !readings with
+    | [] -> 450L
+    | r :: rest ->
+        readings := rest;
+        r
+  in
+  let c = Clock.of_ns_source src in
+  check_bool "real" false (Clock.is_virtual c);
+  (* origin sampled at create (100); subsequent reads are deltas. *)
+  Alcotest.(check int64) "first" 200L (Time.to_ns (Clock.elapsed c));
+  Alcotest.(check int64) "clamped" 200L (Time.to_ns (Clock.elapsed c));
+  Alcotest.(check int64) "resumes" 350L (Time.to_ns (Clock.elapsed c))
+
+let test_run_clocked_virtual_matches_run () =
+  (* Same seeded workload on both drivers: identical fire order. *)
+  let record engine log =
+    ignore (Engine.schedule_at engine ~at:(us 30) (fun () -> log := "c" :: !log));
+    ignore (Engine.schedule_at engine ~at:(us 10) (fun () -> log := "a" :: !log));
+    ignore (Engine.schedule_at engine ~at:(us 10) (fun () -> log := "a2" :: !log));
+    ignore (Engine.schedule_at engine ~at:(us 20) (fun () -> log := "b" :: !log))
+  in
+  let e1 = Engine.create () in
+  let l1 = ref [] in
+  record e1 l1;
+  ignore (Engine.run e1);
+  let e2 = Engine.create () in
+  let l2 = ref [] in
+  record e2 l2;
+  let reason = Engine.run_clocked ~clock:Clock.virtual_ e2 in
+  check_bool "quiescent" true (reason = Engine.Quiescent);
+  Alcotest.(check (list string)) "identical order" (List.rev !l1) (List.rev !l2);
+  Alcotest.(check int64) "same clock" (Time.to_ns (Engine.now e1))
+    (Time.to_ns (Engine.now e2))
+
+let test_run_clocked_real_fires_on_catchup () =
+  (* Drive a fake monotonic source from the idle hook: events fire only
+     once the wall clock passes their timestamps. *)
+  let wall = ref 0L in
+  let clock = Clock.of_ns_source (fun () -> !wall) in
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule_at e ~at:(us 10) (fun () -> log := 10 :: !log));
+  ignore (Engine.schedule_at e ~at:(us 30) (fun () -> log := 30 :: !log));
+  let idles = ref 0 in
+  let idle ~due =
+    incr idles;
+    (* advance the wall to the next deadline, or stop when drained *)
+    match due with
+    | Some t -> wall := Time.to_ns t
+    | None -> Engine.stop e
+  in
+  let reason = Engine.run_clocked ~clock ~idle e in
+  check_bool "stopped from idle" true (reason = Engine.Stopped);
+  Alcotest.(check (list int)) "fired in order" [ 10; 30 ] (List.rev !log);
+  check_bool "idle ran" true (!idles >= 2)
+
+let test_next_due () =
+  let e = Engine.create () in
+  check_bool "empty" true (Engine.next_due e = None);
+  let h = Engine.schedule_at e ~at:(us 20) (fun () -> ()) in
+  ignore (Engine.schedule_at e ~at:(us 40) (fun () -> ()));
+  (match Engine.next_due e with
+  | Some t -> Alcotest.(check int64) "earliest" 20_000L (Time.to_ns t)
+  | None -> Alcotest.fail "expected a deadline");
+  Engine.cancel h;
+  (match Engine.next_due e with
+  | Some t -> Alcotest.(check int64) "skips cancelled" 40_000L (Time.to_ns t)
+  | None -> Alcotest.fail "expected the second deadline");
+  ignore (Engine.run e);
+  check_bool "drained" true (Engine.next_due e = None)
+
 let () =
   Alcotest.run "sim"
     [
@@ -405,6 +542,9 @@ let () =
           Alcotest.test_case "conversions" `Quick test_time_conversions;
           Alcotest.test_case "arithmetic" `Quick test_time_arithmetic;
           Alcotest.test_case "invalid" `Quick test_time_invalid;
+          Alcotest.test_case "duration to_string" `Quick test_duration_to_string;
+          Alcotest.test_case "duration of_string" `Quick test_duration_of_string;
+          Alcotest.test_case "duration round trip" `Quick test_duration_roundtrip;
         ] );
       ( "engine",
         [
@@ -423,6 +563,16 @@ let () =
           Alcotest.test_case "cancelled storm" `Quick
             test_engine_cancelled_storm_is_dropped;
           Alcotest.test_case "fired count" `Quick test_engine_fired_count;
+          Alcotest.test_case "next_due" `Quick test_next_due;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "virtual" `Quick test_clock_virtual;
+          Alcotest.test_case "monotonized" `Quick test_clock_monotonized;
+          Alcotest.test_case "run_clocked virtual = run" `Quick
+            test_run_clocked_virtual_matches_run;
+          Alcotest.test_case "run_clocked real catchup" `Quick
+            test_run_clocked_real_fires_on_catchup;
         ] );
       ( "trace",
         [
