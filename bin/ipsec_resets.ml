@@ -49,11 +49,40 @@ let protocol_arg =
         `Save_fetch
     & info [ "protocol" ] ~docv:"P" ~doc)
 
+(* A SAVE interval is a positive count or the literal "auto": derive
+   the Section 4 floor ceil(T_save / t_msg) from --save-latency and
+   --gap. Explicit counts below that floor are rejected (the paper's
+   safety argument needs K >= kmin); "auto" always lands on it. *)
+let k_auto_conv =
+  let parse s =
+    match s with
+    | "auto" -> Ok `Auto
+    | _ -> (
+      match int_of_string_opt s with
+      | Some v when v > 0 -> Ok (`Fixed v)
+      | Some v -> Error (`Msg (Printf.sprintf "K must be positive, got %d" v))
+      | None -> Error (`Msg (Printf.sprintf "%S is not a count or \"auto\"" s)))
+  in
+  let print ppf = function
+    | `Auto -> Format.pp_print_string ppf "auto"
+    | `Fixed v -> Format.pp_print_int ppf v
+  in
+  Arg.conv (parse, print)
+
+(* [None] means "flag absent": the default applies unvalidated, so a
+   run that only turns a latency knob keeps working; an explicit count
+   is held to the floor. *)
 let k_arg name default =
   Arg.(
     value
-    & opt int default
-    & info [ name ] ~docv:"K" ~doc:(Printf.sprintf "SAVE interval %s." name))
+    & opt (some k_auto_conv) None
+    & info [ name ] ~docv:"K"
+        ~doc:
+          (Printf.sprintf
+             "SAVE interval %s (default %d): a count, or $(b,auto) to derive \
+              the floor ceil(T_save/t_msg) from --save-latency and --gap. \
+              Explicit counts below the floor are rejected."
+             name default))
 
 let gap_arg =
   Arg.(
@@ -97,6 +126,12 @@ let attack_conv =
     | [ "replay-all"; ms ] -> timed "replay-all" ms (fun f -> `Replay_all f)
     | [ "wedge"; ms ] -> timed "wedge" ms (fun f -> `Wedge f)
     | [ "flood"; ms ] -> timed "flood" ms (fun f -> `Flood f)
+    | [ "stealth-save-drop"; ms ] ->
+      timed "stealth-save-drop" ms (fun f -> `Stealth_save_drop f)
+    | [ "stealth-reset-storm"; ms ] ->
+      timed "stealth-reset-storm" ms (fun f -> `Stealth_reset_storm f)
+    | [ "stealth-recovery-jam"; ms ] ->
+      timed "stealth-recovery-jam" ms (fun f -> `Stealth_recovery_jam f)
     | _ -> Error (`Msg (Printf.sprintf "unknown attack plan %S" s))
   in
   let print ppf = function
@@ -104,21 +139,46 @@ let attack_conv =
     | `Replay_all f -> Format.fprintf ppf "replay-all@%g" f
     | `Wedge f -> Format.fprintf ppf "wedge@%g" f
     | `Flood f -> Format.fprintf ppf "flood@%g" f
+    | `Stealth_save_drop f -> Format.fprintf ppf "stealth-save-drop@%g" f
+    | `Stealth_reset_storm f -> Format.fprintf ppf "stealth-reset-storm@%g" f
+    | `Stealth_recovery_jam f -> Format.fprintf ppf "stealth-recovery-jam@%g" f
   in
   Arg.conv (parse, print)
 
-let build_attack gap = function
+(* Stealth plans force [--attack-resets] sender resets of [--downtime]
+   each; the jam/reset timing itself is derived from the protocol's own
+   SAVE cadence inside the harness. *)
+let build_attack ~gap ~downtime ~stealth_resets = function
   | `No_attack -> Harness.No_attack
   | `Replay_all f -> Harness.Replay_all_at (time_of_ms f)
   | `Wedge f -> Harness.Wedge_at (time_of_ms f)
   | `Flood f -> Harness.Flood { start = time_of_ms f; gap }
+  | `Stealth_save_drop f ->
+    Harness.Stealth_save_drop
+      { from = time_of_ms f; resets = stealth_resets; downtime }
+  | `Stealth_reset_storm f ->
+    Harness.Stealth_reset_storm
+      { from = time_of_ms f; resets = stealth_resets; downtime }
+  | `Stealth_recovery_jam f ->
+    Harness.Stealth_recovery_jam
+      { from = time_of_ms f; resets = stealth_resets; downtime }
 
 let attack_arg =
   let doc =
-    "Adversary plan: $(b,none), $(b,replay-all@MS), $(b,wedge@MS) or \
-     $(b,flood@MS)."
+    "Adversary plan: $(b,none), $(b,replay-all@MS), $(b,wedge@MS), \
+     $(b,flood@MS), or a goodput-degradation plan $(b,stealth-save-drop@MS), \
+     $(b,stealth-reset-storm@MS), $(b,stealth-recovery-jam@MS) (safety-clean: \
+     nothing injected, the link is jammed and resets forced phase-locked to \
+     the SAVE cadence; see --attack-resets)."
   in
   Arg.(value & opt attack_conv `No_attack & info [ "attack" ] ~docv:"PLAN" ~doc)
+
+let attack_resets_arg =
+  Arg.(
+    value
+    & opt int 3
+    & info [ "attack-resets" ] ~docv:"N"
+        ~doc:"How many sender resets a stealth attack plan forces.")
 
 (* Strictly positive integer (cmdliner rejects 0 and negatives at parse
    time, so e.g. --domains=0 never reaches the simulation). *)
@@ -162,10 +222,17 @@ let write_trace_jsonl path trace =
       ~finally:(fun () -> close_out oc)
       (fun () -> Resets_sim.Trace.dump_jsonl oc trace)
 
-let build_protocol variant ~kp ~kq ~save_latency =
+let build_protocol variant ~adaptive ~kp ~kq ~save_latency =
+  let pol k =
+    if adaptive then Some (K_policy.adaptive ~initial_k:k ()) else None
+  in
   match variant with
-  | `Save_fetch -> Protocol.save_fetch ~kp ~kq ~save_latency ()
-  | `Robust -> Protocol.save_fetch ~robust_receiver:true ~kp ~kq ~save_latency ()
+  | `Save_fetch ->
+    Protocol.save_fetch ?policy_p:(pol kp) ?policy_q:(pol kq) ~kp ~kq
+      ~save_latency ()
+  | `Robust ->
+    Protocol.save_fetch ~robust_receiver:true ?policy_p:(pol kp)
+      ?policy_q:(pol kq) ~kp ~kq ~save_latency ()
   | `Volatile -> Protocol.Volatile
   | `Reestablish -> Protocol.Reestablish { cost = Resets_ipsec.Ike.default_cost }
 
@@ -173,23 +240,49 @@ let build_protocol variant ~kp ~kq ~save_latency =
 (* run *)
 
 let run_cmd =
-  let go seed horizon variant kp kq gap save_latency resets downtime attack stop json
-      trace_out =
+  let go seed horizon variant kp kq gap save_latency adaptive paired resets
+      downtime attack attack_resets stop json trace_out =
     let message_gap = Time.of_ns (Int64.of_float (gap *. 1e3)) in
-    let attack = build_attack message_gap attack in
-    let scenario =
+    let save_latency_t = Time.of_ns (Int64.of_float (save_latency *. 1e3)) in
+    let downtime_t = time_of_ms downtime in
+    let floor_k =
+      Analysis.k_of_rates ~t_save:save_latency_t ~t_msg:message_gap
+    in
+    let resolve name = function
+      | None -> Ok 25
+      | Some `Auto -> Ok floor_k
+      | Some (`Fixed v) ->
+        if v < floor_k then
+          Error
+            (Printf.sprintf
+               "--%s %d is below the derived safety floor K >= \
+                ceil(T_save/t_msg) = %d (save latency %gus, message gap \
+                %gus): a SAVE every %d messages cannot complete before the \
+                next is due, so the durable counter falls behind unboundedly. \
+                Use --%s auto or a count >= %d."
+               name v floor_k save_latency gap v name floor_k)
+        else Ok v
+    in
+    match (resolve "kp" kp, resolve "kq" kq) with
+    | Error msg, _ | _, Error msg -> `Error (false, msg)
+    | Ok kp, Ok kq ->
+      let attack =
+        build_attack ~gap:message_gap ~downtime:downtime_t
+          ~stealth_resets:attack_resets attack
+      in
+      let scenario =
         {
           Harness.default with
           seed;
           horizon = time_of_ms horizon;
           protocol =
-            build_protocol variant ~kp ~kq
-              ~save_latency:(Time.of_ns (Int64.of_float (save_latency *. 1e3)));
+            build_protocol variant ~adaptive ~kp ~kq
+              ~save_latency:save_latency_t;
           message_gap;
           resets =
             List.concat_map
               (fun (target, ms) ->
-                Reset_schedule.single ~at:(time_of_ms ms) ~downtime:(time_of_ms downtime)
+                Reset_schedule.single ~at:(time_of_ms ms) ~downtime:downtime_t
                   target)
               resets
             |> List.sort (fun a b ->
@@ -199,25 +292,73 @@ let run_cmd =
           keep_trace = Harness.default.Harness.keep_trace || trace_out <> None;
         }
       in
-      let result = Harness.run scenario in
-      let verdict = Convergence.check ~scenario result in
-      (match (trace_out, result.Harness.trace) with
-      | Some path, Some trace -> write_trace_jsonl path trace
-      | Some _, None | None, _ -> ());
-      if json then
-        print_endline
-          (Resets_util.Json.to_string_pretty (Report.result_to_json ~verdict result))
+      if paired then begin
+        let deg = Harness.run_paired scenario in
+        let result = deg.Harness.primary in
+        let verdict = Convergence.check ~scenario result in
+        (match (trace_out, result.Harness.trace) with
+        | Some path, Some trace -> write_trace_jsonl path trace
+        | Some _, None | None, _ -> ());
+        if json then
+          print_endline
+            (Resets_util.Json.to_string_pretty
+               (Report.degradation_to_json ~verdict deg))
+        else begin
+          Format.printf "%a@." Harness.pp_result result;
+          Format.printf
+            "paired oracle: goodput %.3f of attack-free twin \
+             (%d/%d distinct), disruption %+.6fs, recovery %+.6fs@."
+            deg.Harness.goodput_ratio
+            (result.Harness.metrics.Metrics.delivered
+            - result.Harness.metrics.Metrics.duplicate_deliveries)
+            (deg.Harness.oracle.Harness.metrics.Metrics.delivered
+            - deg.Harness.oracle.Harness.metrics.Metrics.duplicate_deliveries)
+            deg.Harness.disruption_delta_s deg.Harness.recovery_delta_s;
+          Format.printf "verdict: %a@." Convergence.pp verdict
+        end;
+        `Ok (if Convergence.holds verdict then 0 else 2)
+      end
       else begin
-        Format.printf "%a@." Harness.pp_result result;
-        Format.printf "verdict: %a@." Convergence.pp verdict
-      end;
-      if Convergence.holds verdict then 0 else 2
+        let result = Harness.run scenario in
+        let verdict = Convergence.check ~scenario result in
+        (match (trace_out, result.Harness.trace) with
+        | Some path, Some trace -> write_trace_jsonl path trace
+        | Some _, None | None, _ -> ());
+        if json then
+          print_endline
+            (Resets_util.Json.to_string_pretty
+               (Report.result_to_json ~verdict result))
+        else begin
+          Format.printf "%a@." Harness.pp_result result;
+          Format.printf "verdict: %a@." Convergence.pp verdict
+        end;
+        `Ok (if Convergence.holds verdict then 0 else 2)
+      end
+  in
+  let adaptive =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:
+            "Run the adaptive K policy: both endpoints re-derive their SAVE \
+             cadence online from EWMA-percentile observations of SAVE latency \
+             and inter-send gap, seeded at the resolved --kp/--kq.")
+  in
+  let paired =
+    Arg.(
+      value & flag
+      & info [ "paired" ]
+          ~doc:
+            "Replay the same seed attack-free as an oracle and report goodput \
+             and convergence-time degradation against it.")
   in
   let term =
     Term.(
-      const go $ seed_arg $ horizon_arg $ protocol_arg $ k_arg "kp" 25 $ k_arg "kq" 25
-      $ gap_arg $ save_latency_arg $ reset_arg $ downtime_arg $ attack_arg $ stop_arg
-      $ json_arg $ trace_out_arg)
+      ret
+        (const go $ seed_arg $ horizon_arg $ protocol_arg $ k_arg "kp" 25
+       $ k_arg "kq" 25 $ gap_arg $ save_latency_arg $ adaptive $ paired
+       $ reset_arg $ downtime_arg $ attack_arg $ attack_resets_arg $ stop_arg
+       $ json_arg $ trace_out_arg))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one simulated scenario and print metrics + verdict.")
@@ -528,7 +669,8 @@ let kmin_cmd =
 (* chaos *)
 
 let chaos_cmd =
-  let go seeds seed_base horizon weak_leap retries quiet json_out =
+  let go seeds seed_base horizon weak_leap retries stealth min_goodput quiet
+      json_out =
     let open Resets_chaos in
     let config =
       {
@@ -538,6 +680,8 @@ let chaos_cmd =
         horizon = time_of_ms horizon;
         weak_leap;
         save_retries = retries;
+        stealth;
+        min_goodput;
       }
     in
     let progress (i, violations) =
@@ -608,6 +752,25 @@ let chaos_cmd =
       & info [ "retries" ] ~docv:"N"
           ~doc:"Recovery retry budget before an SA degrades to re-establishment.")
   in
+  let stealth =
+    Arg.(
+      value & flag
+      & info [ "stealth" ]
+          ~doc:
+            "Draw adversaries from the stealth goodput-degradation family, \
+             slow the simulated disk, and judge each schedule by a paired \
+             attack-free oracle as well as the invariant monitor: goodput \
+             below --min-goodput of the oracle counts as a violation and is \
+             shrunk like one.")
+  in
+  let min_goodput =
+    Arg.(
+      value
+      & opt float 0.6
+      & info [ "min-goodput" ] ~docv:"R"
+          ~doc:
+            "Stealth mode's tolerated fraction of oracle goodput (0..1).")
+  in
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"No per-seed progress output.")
   in
@@ -621,19 +784,20 @@ let chaos_cmd =
     (Cmd.info "chaos"
        ~doc:
          "Run random fault schedules (resets, link faults, disk faults, \
-          replay adversary) under the invariant monitor and shrink any \
-          violation to a minimal counterexample.")
+          replay adversary — and, with --stealth, goodput-degradation \
+          adversaries judged against a paired oracle) under the invariant \
+          monitor and shrink any violation to a minimal counterexample.")
     Term.(
-      const go $ seeds $ seed_base $ horizon $ weak_leap $ retries $ quiet
-      $ json_out)
+      const go $ seeds $ seed_base $ horizon $ weak_leap $ retries $ stealth
+      $ min_goodput $ quiet $ json_out)
 
 (* ------------------------------------------------------------------ *)
 (* serve: one side of the association as a real daemon over a socket *)
 
 let serve_cmd =
   let open Resets_net in
-  let go role addr peer secret spi_base sas k window rate duration store_dir
-      stats_path json_path workers expect_recovery heartbeat quiet =
+  let go role addr peer secret spi_base sas k adaptive window rate duration
+      store_dir stats_path json_path workers expect_recovery heartbeat quiet =
     let parse_addr label = function
       | None -> None
       | Some s -> (
@@ -642,6 +806,16 @@ let serve_cmd =
         | Error msg ->
           Printf.eprintf "serve: bad %s: %s\n%!" label msg;
           exit 1)
+    in
+    (* "--k auto" on a live daemon means: start at the default cadence
+       and let the adaptive policy re-derive it from measured
+       wall-clock SAVE latency — there is no simulated T_save to
+       compute a static floor from. *)
+    let k, adaptive =
+      match k with
+      | None -> (8, adaptive)
+      | Some `Auto -> (8, true)
+      | Some (`Fixed v) -> (v, adaptive)
     in
     let cfg =
       {
@@ -652,6 +826,7 @@ let serve_cmd =
         spi_base;
         sas;
         k;
+        adaptive;
         window;
         rate_pps = rate;
         duration;
@@ -714,8 +889,21 @@ let serve_cmd =
   let k =
     Arg.(
       value
-      & opt positive_int_conv 8
-      & info [ "k" ] ~docv:"K" ~doc:"SAVE every K messages; wakeup leap is 2K.")
+      & opt (some k_auto_conv) None
+      & info [ "k" ] ~docv:"K"
+          ~doc:
+            "SAVE every K messages (default 8); wakeup leap is 2K. $(b,auto) \
+             starts at the default and lets the adaptive policy re-derive the \
+             cadence from measured SAVE latency (implies --adaptive).")
+  in
+  let adaptive =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:
+            "Re-derive each SA's SAVE cadence online from wall-clock SAVE \
+             latency and inter-send gaps; the recovery gate's leap bound \
+             widens to the policy ceiling.")
   in
   let window =
     Arg.(
@@ -788,9 +976,9 @@ let serve_cmd =
           SAVE/FETCH k-rule. Kill it and restart on the same store to run \
           the paper's reset experiment on real processes.")
     Term.(
-      const go $ role $ addr $ peer $ secret $ spi_base $ sas $ k $ window
-      $ rate $ duration $ store_dir $ stats_path $ json_path $ workers
-      $ expect_recovery $ heartbeat $ quiet)
+      const go $ role $ addr $ peer $ secret $ spi_base $ sas $ k $ adaptive
+      $ window $ rate $ duration $ store_dir $ stats_path $ json_path
+      $ workers $ expect_recovery $ heartbeat $ quiet)
 
 (* ------------------------------------------------------------------ *)
 (* trace *)

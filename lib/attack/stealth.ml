@@ -1,0 +1,86 @@
+open Resets_sim
+
+type jam = { down : Time.t; up : Time.t }
+type forced_reset = { at : Time.t; downtime : Time.t }
+type plan = { jams : jam list; resets : forced_reset list }
+
+let no_plan = { jams = []; resets = [] }
+
+let check ~k ~resets =
+  if k <= 0 then invalid_arg "Stealth: k must be positive";
+  if resets < 0 then invalid_arg "Stealth: resets must be non-negative"
+
+(* [at + save_latency - message_gap]: the instant one message before an
+   in-flight SAVE begun at [at] completes — the worst moment to crash.
+   Clamped to [at] when the SAVE is shorter than a gap. *)
+let just_before_completion ~at ~save_latency ~message_gap =
+  if Time.(message_gap < save_latency) then
+    Time.add at (Time.diff save_latency message_gap)
+  else at
+
+let save_window_drop ~from ~horizon ~k ~message_gap ~save_latency ~resets
+    ~downtime =
+  check ~k ~resets;
+  let period = Time.mul message_gap k in
+  let n_windows =
+    let span = if Time.(from < horizon) then Time.diff horizon from else Time.zero in
+    Int64.to_int (Int64.div (Time.to_ns span) (Time.to_ns period))
+  in
+  let stride = if resets = 0 then 0 else max 1 (n_windows / (resets + 1)) in
+  let jams = ref [] and forced = ref [] in
+  for i = 0 to n_windows - 1 do
+    let down = Time.add from (Time.mul period i) in
+    jams := { down; up = Time.add down save_latency } :: !jams;
+    if
+      stride > 0 && i > 0
+      && i mod stride = 0
+      && List.length !forced < resets
+    then
+      forced :=
+        {
+          at = just_before_completion ~at:down ~save_latency ~message_gap;
+          downtime;
+        }
+        :: !forced
+  done;
+  { jams = List.rev !jams; resets = List.rev !forced }
+
+let reset_storm ~from ~horizon ~k ~message_gap ~save_latency ~resets ~downtime =
+  check ~k ~resets;
+  (* The adversary's model of one reset cycle: recovery, then a full
+     SAVE window elapses, then the periodic SAVE is in flight — strike
+     one gap before it lands. *)
+  let worst_phase = Time.add (Time.mul message_gap k) save_latency in
+  let worst_phase =
+    if Time.(message_gap < worst_phase) then Time.diff worst_phase message_gap
+    else worst_phase
+  in
+  let rec go acc n at =
+    let strike = Time.add at worst_phase in
+    if n = 0 || not Time.(strike < horizon) then List.rev acc
+    else
+      go ({ at = strike; downtime } :: acc) (n - 1)
+        (Time.add strike downtime)
+  in
+  { jams = []; resets = go [] resets from }
+
+let recovery_jam ~from ~horizon ~k ~message_gap ~save_latency ~resets ~downtime =
+  check ~k ~resets;
+  let spacing = Time.mul message_gap (8 * k) in
+  let burst = save_latency and good = Time.mul save_latency 2 in
+  let jams = ref [] and forced = ref [] in
+  for j = 0 to resets - 1 do
+    let at = Time.add from (Time.mul spacing j) in
+    if Time.(at < horizon) then begin
+      forced := { at; downtime } :: !forced;
+      (* Two-state Gilbert–Elliott-style burst pattern, entered exactly
+         at the wakeup instant: bad for [burst], good for [good]. *)
+      let cursor = ref (Time.add at downtime) in
+      for _cycle = 1 to 4 do
+        let down = !cursor in
+        jams := { down; up = Time.add down burst } :: !jams;
+        cursor := Time.add down (Time.add burst good)
+      done
+    end
+  done;
+  { jams = List.rev !jams; resets = List.rev !forced }

@@ -1,0 +1,88 @@
+(** Stealth-degradation adversaries.
+
+    The Section 3 replay attacks try to break {e safety} (make the
+    receiver accept an injected packet); SAVE/FETCH defeats them
+    outright. This module plans the complementary family: adversaries
+    that leave every safety invariant intact and instead attack
+    {e goodput}, by timing link outages and forced resets against the
+    persistence discipline's own cadence — the SAVE window, the
+    recovery instant, the in-flight write.
+
+    A plan is pure data: a list of link-jam windows and a list of
+    forced sender resets, all computed up front from the protocol
+    constants the adversary is assumed to know (K, the message gap,
+    the SAVE latency). Nothing here touches a PRNG or an engine, so a
+    stealth-attacked run consumes exactly the random stream of its
+    attack-free twin — the property the paired-run oracle depends on.
+
+    The forced resets belong to the attack (power-glitch, management
+    interface abuse, …), not to the environment: an attack-free oracle
+    run of the same scenario has neither the jams nor these resets, so
+    the goodput ratio measures the attack's full damage. *)
+
+open Resets_sim
+
+type jam = { down : Time.t; up : Time.t }
+(** The link is forced down on [down, up). *)
+
+type forced_reset = { at : Time.t; downtime : Time.t }
+(** A sender reset the adversary provokes. *)
+
+type plan = { jams : jam list; resets : forced_reset list }
+(** Both lists sorted by time; all instants computed eagerly. *)
+
+val no_plan : plan
+
+val save_window_drop :
+  from:Time.t ->
+  horizon:Time.t ->
+  k:int ->
+  message_gap:Time.t ->
+  save_latency:Time.t ->
+  resets:int ->
+  downtime:Time.t ->
+  plan
+(** SAVE-window selective drop. The adversary knows the sender begins a
+    background SAVE every [k] messages and that each write takes
+    [save_latency]: it jams the link for exactly that window, every
+    [k * message_gap], from [from] to [horizon] — dropping precisely
+    the packets sent while a SAVE is in flight, a vanishing fraction of
+    traffic on a healthy disk. It additionally forces [resets] sender
+    resets (each down for [downtime]) spread evenly across the jammed
+    windows, each placed one message gap before its window's SAVE would
+    complete — losing the in-flight write and forcing recovery from the
+    previous durable value. *)
+
+val reset_storm :
+  from:Time.t ->
+  horizon:Time.t ->
+  k:int ->
+  message_gap:Time.t ->
+  save_latency:Time.t ->
+  resets:int ->
+  downtime:Time.t ->
+  plan
+(** Worst-phase reset forcing. No jamming at all: [resets] forced
+    sender resets, each placed at the worst phase of the SAVE cycle —
+    one message gap before an in-flight periodic SAVE completes, i.e.
+    [k * message_gap + save_latency - message_gap] after the previous
+    recovery — so every reset loses a full window of durability and
+    pays the maximal wakeup leap. Resets stop at [horizon] even if
+    fewer than [resets] fit. *)
+
+val recovery_jam :
+  from:Time.t ->
+  horizon:Time.t ->
+  k:int ->
+  message_gap:Time.t ->
+  save_latency:Time.t ->
+  resets:int ->
+  downtime:Time.t ->
+  plan
+(** Gilbert–Elliott bursts phase-locked to recovery. [resets] forced
+    sender resets spaced [8 * k * message_gap] apart; after each
+    scheduled wakeup instant the link runs a deterministic two-state
+    burst pattern — [save_latency] down, [2 * save_latency] up, four
+    cycles — so the post-recovery catch-up traffic (the packets that
+    would close the disruption window) keeps landing in the bad
+    state. *)

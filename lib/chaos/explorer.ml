@@ -26,6 +26,8 @@ type config = {
   weak_leap : bool;
   save_retries : int;
   max_shrink_runs : int;
+  stealth : bool;
+  min_goodput : float;
 }
 
 let default_config =
@@ -36,6 +38,8 @@ let default_config =
     weak_leap = false;
     save_retries = 3;
     max_shrink_runs = 200;
+    stealth = false;
+    min_goodput = 0.6;
   }
 
 (* Everything is drawn from a [Prng.keyed] stream distinct from the
@@ -96,6 +100,7 @@ let generate config index =
           torn_prob = Prng.float prng 0.3;
           read_corrupt_prob = Prng.float prng 0.3;
           read_stale_prob = Prng.float prng 0.3;
+          latency_factor = 1.0;
         }
   in
   (* Replay adversary: biased towards replay-all strikes landing after
@@ -107,6 +112,31 @@ let generate config index =
     | 3 | 4 | 5 | 6 -> Harness.Replay_all_at at
     | 7 | 8 -> Harness.Wedge_at at
     | _ -> Harness.Flood { start = at; gap = Time.of_us 40 }
+  in
+  (* Stealth mode redraws the adversary from the goodput-degradation
+     family and slows the disk so the static cadence can actually fall
+     behind. The extra PRNG draws are gated behind the flag: stock
+     schedule streams are byte-for-byte what they were before the
+     stealth family existed. *)
+  let disk_faults, attack =
+    if not config.stealth then (disk_faults, attack)
+    else begin
+      let latency_factor = 1.5 +. Prng.float prng 4.5 in
+      let disk_faults = { disk_faults with Sim_disk.Faults.latency_factor } in
+      let from =
+        time_in prng ~lo:(Time.of_ms 2)
+          ~hi:(Time.of_ns (Int64.div (Time.to_ns horizon) 2L))
+      in
+      let n = 1 + Prng.int prng 3 in
+      let downtime = time_in prng ~lo:(Time.of_us 200) ~hi:(Time.of_ms 2) in
+      let attack =
+        match Prng.int prng 3 with
+        | 0 -> Harness.Stealth_save_drop { from; resets = n; downtime }
+        | 1 -> Harness.Stealth_reset_storm { from; resets = n; downtime }
+        | _ -> Harness.Stealth_recovery_jam { from; resets = n; downtime }
+      in
+      (disk_faults, attack)
+    end
   in
   { seed; horizon; resets; link_faults; disk_faults; attack }
 
@@ -138,6 +168,31 @@ let scenario_of config sched =
   }
 
 let run_schedule config sched = Harness.run (scenario_of config sched)
+
+(* What a schedule is judged by. Invariant violations always count; in
+   stealth mode the schedule is additionally run paired against its
+   attack-free twin, and losing more goodput than [min_goodput]
+   tolerates becomes a synthetic "goodput-degraded" record — so the
+   shrinker minimizes towards a degradation threshold exactly as it
+   does towards a safety breach. *)
+let violations_of config sched =
+  if not config.stealth then (run_schedule config sched).Harness.violations
+  else begin
+    let deg = Harness.run_paired (scenario_of config sched) in
+    let vs = deg.Harness.primary.Harness.violations in
+    if deg.Harness.goodput_ratio < config.min_goodput then
+      vs
+      @ [
+          {
+            Invariant.invariant = "goodput-degraded";
+            at = sched.horizon;
+            detail =
+              Printf.sprintf "goodput %.3f of attack-free oracle, floor %.3f"
+                deg.Harness.goodput_ratio config.min_goodput;
+          };
+        ]
+    else vs
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Shrinking *)
@@ -222,8 +277,34 @@ let candidates sched ~first_violation_at =
       else []
     | None -> []
   in
-  dropped_resets @ no_attack @ link_zeroed @ disk_zeroed @ shorter_downtimes
-  @ truncated
+  (* Stealth-specific moves: shave one forced reset off the plan, and
+     relax the slowed disk halfway back towards nominal — both strictly
+     smaller, so the minimal schedule pins the degradation threshold. *)
+  let fewer_forced_resets =
+    match sched.attack with
+    | Harness.Stealth_save_drop ({ resets; _ } as a) when resets > 1 ->
+      [ { sched with attack = Harness.Stealth_save_drop { a with resets = resets - 1 } } ]
+    | Harness.Stealth_reset_storm ({ resets; _ } as a) when resets > 1 ->
+      [ { sched with attack = Harness.Stealth_reset_storm { a with resets = resets - 1 } } ]
+    | Harness.Stealth_recovery_jam ({ resets; _ } as a) when resets > 1 ->
+      [ { sched with attack = Harness.Stealth_recovery_jam { a with resets = resets - 1 } } ]
+    | _ -> []
+  in
+  let faster_disk =
+    let f = sched.disk_faults.Sim_disk.Faults.latency_factor in
+    if f > 1.0 then
+      let f' = if f <= 1.25 then 1.0 else 1.0 +. ((f -. 1.0) /. 2.0) in
+      [
+        {
+          sched with
+          disk_faults =
+            { sched.disk_faults with Sim_disk.Faults.latency_factor = f' };
+        };
+      ]
+    else []
+  in
+  dropped_resets @ no_attack @ fewer_forced_resets @ link_zeroed @ disk_zeroed
+  @ faster_disk @ shorter_downtimes @ truncated
 
 type shrink_outcome = {
   minimal : schedule;
@@ -235,7 +316,7 @@ let shrink config sched =
   let runs = ref 0 in
   let try_run s =
     incr runs;
-    (run_schedule config s).Harness.violations
+    violations_of config s
   in
   let rec loop sched violations =
     if !runs >= config.max_shrink_runs then { minimal = sched; violations; shrink_runs = !runs }
@@ -260,7 +341,7 @@ let shrink config sched =
       | None -> { minimal = sched; violations; shrink_runs = !runs }
     end
   in
-  loop sched (run_schedule config sched).Harness.violations
+  loop sched (violations_of config sched)
 
 (* ------------------------------------------------------------------ *)
 (* Batch exploration *)
@@ -292,8 +373,7 @@ let explore ?(progress = fun _ -> ()) config =
     List.init config.seeds (fun i ->
         let sched = generate config i in
         incr total_runs;
-        let result = run_schedule config sched in
-        let violations = result.Harness.violations in
+        let violations = violations_of config sched in
         progress (i, List.length violations);
         {
           schedule = sched;
@@ -317,7 +397,7 @@ let explore ?(progress = fun _ -> ()) config =
       total_runs := !total_runs + s.shrink_runs + 1;
       (* Determinism proof: the minimal schedule must reproduce its
          violation list exactly on a fresh run. *)
-      let again = (run_schedule config s.minimal).Harness.violations in
+      let again = violations_of config s.minimal in
       ( Some s,
         List.length again = List.length s.violations
         && List.for_all2 violation_equal again s.violations )
@@ -348,6 +428,30 @@ let attack_to_json = function
         ("kind", Json.String "flood");
         ("at_us", time_json start);
         ("gap_us", time_json gap);
+      ]
+  | Harness.Stealth_save_drop { from; resets; downtime } ->
+    Json.Obj
+      [
+        ("kind", Json.String "stealth-save-drop");
+        ("from_us", time_json from);
+        ("resets", Json.Int resets);
+        ("downtime_us", time_json downtime);
+      ]
+  | Harness.Stealth_reset_storm { from; resets; downtime } ->
+    Json.Obj
+      [
+        ("kind", Json.String "stealth-reset-storm");
+        ("from_us", time_json from);
+        ("resets", Json.Int resets);
+        ("downtime_us", time_json downtime);
+      ]
+  | Harness.Stealth_recovery_jam { from; resets; downtime } ->
+    Json.Obj
+      [
+        ("kind", Json.String "stealth-recovery-jam");
+        ("from_us", time_json from);
+        ("resets", Json.Int resets);
+        ("downtime_us", time_json downtime);
       ]
 
 let schedule_to_json s =
@@ -402,6 +506,8 @@ let schedule_to_json s =
               Json.Float s.disk_faults.Sim_disk.Faults.read_corrupt_prob );
             ( "read_stale_prob",
               Json.Float s.disk_faults.Sim_disk.Faults.read_stale_prob );
+            ( "latency_factor",
+              Json.Float s.disk_faults.Sim_disk.Faults.latency_factor );
           ] );
       ("attack", attack_to_json s.attack);
     ]
@@ -417,6 +523,8 @@ let report_to_json r =
             ("horizon_us", time_json r.config.horizon);
             ("weak_leap", Json.Bool r.config.weak_leap);
             ("save_retries", Json.Int r.config.save_retries);
+            ("stealth", Json.Bool r.config.stealth);
+            ("min_goodput", Json.Float r.config.min_goodput);
           ] );
       ("schedules_run", Json.Int (List.length r.outcomes));
       ( "violating_seeds",

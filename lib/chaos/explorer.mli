@@ -45,11 +45,23 @@ type config = {
           unsound configuration the explorer must catch *)
   save_retries : int;  (** recovery retry budget (see {!Harness}) *)
   max_shrink_runs : int;  (** harness-run budget for one shrink *)
+  stealth : bool;
+      (** draw adversaries from the stealth goodput-degradation family
+          ({!Harness.attack}'s [Stealth_*]), slow the simulated disk by
+          a drawn latency factor, and judge each schedule by a paired
+          attack-free oracle run as well as the invariant monitor. The
+          extra PRNG draws are gated behind this flag, so stock
+          schedule streams are unchanged. *)
+  min_goodput : float;
+      (** stealth mode only: a schedule whose paired run delivers less
+          than this fraction of its oracle's goodput counts as a
+          (synthetic, ["goodput-degraded"]) violation — the shrinker
+          then minimizes towards the degradation threshold *)
 }
 
 val default_config : config
 (** 50 seeds from 1, 50 ms horizon, sound leap, 3 retries, 200 shrink
-    runs. *)
+    runs, stealth off (goodput floor 0.6 when enabled). *)
 
 val generate : config -> int -> schedule
 (** The [i]-th schedule — a pure function of [config.seed_base + i],

@@ -12,6 +12,13 @@ let k_min ~save_latency ~message_gap =
   if g <= 0. then invalid_arg "Analysis.k_min: message gap must be positive";
   int_of_float (Float.ceil (t /. g))
 
+let k_of_rates ~t_save ~t_msg =
+  if Time.(t_msg <= Time.zero) then
+    invalid_arg "Analysis.k_of_rates: t_msg must be positive";
+  if Time.(t_save < Time.zero) then
+    invalid_arg "Analysis.k_of_rates: t_save must be non-negative";
+  max 1 (k_min ~save_latency:t_save ~message_gap:t_msg)
+
 let save_write_fraction ~k =
   if k <= 0 then invalid_arg "Analysis.save_write_fraction: k must be positive";
   1. /. float_of_int k

@@ -30,6 +30,17 @@ val k_min : save_latency:Resets_sim.Time.t -> message_gap:Resets_sim.Time.t -> i
     admits more than one SAVE in flight, breaking the Figure 1/2 gap
     accounting. @raise Invalid_argument on a non-positive gap. *)
 
+val k_of_rates :
+  t_save:Resets_sim.Time.t -> t_msg:Resets_sim.Time.t -> int
+(** The paper's rule as a constructor for configuration: the smallest
+    safe K for a SAVE that takes [t_save] against messages spaced
+    [t_msg] — [max 1 (ceil (t_save / t_msg))]. This is {!k_min}
+    clamped to at least 1 (an instantaneous SAVE still needs a
+    positive interval). [run --k auto] and the adaptive policy's
+    re-derivation both go through this rule.
+    @raise Invalid_argument on a non-positive [t_msg] or negative
+    [t_save]. *)
+
 val save_write_fraction : k:int -> float
 (** Fraction of messages that trigger a persistent write, [1 / k]. *)
 

@@ -57,8 +57,7 @@ let run ?(seed = 7) ?(replay_announce = false) ~reset_at ~downtime ~horizon conf
            {
              Sender.store = Sim_disk.store disk_a;
              key = "send_seq";
-             k = config.k;
-             leap = 2 * config.k;
+             policy = K_policy.make (K_policy.static config.k);
              trigger = Sender.On_count;
              retries = 3;
            })
@@ -67,8 +66,7 @@ let run ?(seed = 7) ?(replay_announce = false) ~reset_at ~downtime ~horizon conf
            {
              Receiver.store = Sim_disk.store disk_b;
              key = "recv_edge";
-             k = config.k;
-             leap = 2 * config.k;
+             policy = K_policy.make (K_policy.static config.k);
              robust = false;
              wakeup_buffer = true;
              retries = 3;

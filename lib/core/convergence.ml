@@ -15,19 +15,24 @@ let holds v =
 
 let check ~(scenario : Harness.scenario) (result : Harness.result) =
   let m = result.Harness.metrics in
+  (* Stealth attacks carry their own forced sender resets: the 2K
+     budgets scale with what the run actually experienced. *)
+  let all_resets = Harness.effective_resets scenario in
   let resets_of target =
     List.length
-      (List.filter
-         (fun ev -> ev.Reset_schedule.target = target)
-         scenario.Harness.resets)
+      (List.filter (fun ev -> ev.Reset_schedule.target = target) all_resets)
   in
   let p_resets = resets_of Reset_schedule.Sender in
   let q_resets = resets_of Reset_schedule.Receiver in
   let skipped_bound, discard_bound =
     match scenario.Harness.protocol with
     | Protocol.Save_fetch { sender; receiver; _ } ->
-      ( Some (p_resets * Analysis.max_lost_seqnos ~kp:sender.Protocol.k),
-        Some (q_resets * Analysis.max_fresh_discards ~kq:receiver.Protocol.k) )
+      (* For adaptive policies the worst-case K is the ceiling — the
+         bound the online controller can never exceed. *)
+      let kp = K_policy.bound_of_mode (Protocol.policy_of sender) in
+      let kq = K_policy.bound_of_mode (Protocol.policy_of receiver) in
+      ( Some (p_resets * Analysis.max_lost_seqnos ~kp),
+        Some (q_resets * Analysis.max_fresh_discards ~kq) )
     | Protocol.Volatile | Protocol.Reestablish _ -> (None, None)
   in
   let within bound value =
@@ -38,7 +43,7 @@ let check ~(scenario : Harness.scenario) (result : Harness.result) =
   let last_reset_at =
     List.fold_left
       (fun acc ev -> Resets_sim.Time.max acc ev.Reset_schedule.at)
-      Resets_sim.Time.zero scenario.Harness.resets
+      Resets_sim.Time.zero all_resets
   in
   let traffic_after_last_reset =
     (* Liveness is vacuous when the scenario stops fresh traffic before
@@ -49,10 +54,10 @@ let check ~(scenario : Harness.scenario) (result : Harness.result) =
   in
   let delivery_resumed =
     (* Every reset's disruption window was closed by a delivery. *)
-    scenario.Harness.resets = []
+    all_resets = []
     || (not traffic_after_last_reset)
     || Resets_util.Stats.Sample.count m.Metrics.disruption_times
-       >= List.length scenario.Harness.resets
+       >= List.length all_resets
   in
   {
     no_replay_accepted = m.Metrics.replay_accepted = 0;

@@ -9,11 +9,17 @@ type traffic_model =
   | Poisson
   | Bursty of { burst_length : int; off_duration : Time.t }
 
-type attack = Endpoint.attack =
+(* The scenario vocabulary is a strict superset of the endpoint's
+   replay attacks: the stealth family below is lowered by the harness
+   itself (link jams + forced resets), not by the adversary tap. *)
+type attack =
   | No_attack
   | Replay_all_at of Time.t
   | Wedge_at of Time.t
   | Flood of { start : Time.t; gap : Time.t }
+  | Stealth_save_drop of { from : Time.t; resets : int; downtime : Time.t }
+  | Stealth_reset_storm of { from : Time.t; resets : int; downtime : Time.t }
+  | Stealth_recovery_jam of { from : Time.t; resets : int; downtime : Time.t }
 
 type scenario = {
   seed : int;
@@ -80,7 +86,67 @@ type result = {
   adversary_injected : int;
   end_time : Time.t;
   violations : Invariant.violation list;
+  effective_k_p : int;
+  effective_k_q : int;
+  k_adjustments_p : int;
+  k_adjustments_q : int;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Stealth lowering.
+
+   A stealth attack is pure data (Resets_attack.Stealth.plan): link-jam
+   windows plus the sender resets the adversary provokes. The plan is
+   computed from the protocol constants the adversary is assumed to
+   know — the configured K (the adaptive policy's initial K; the
+   adversary cannot see the online re-derivation), the message gap and
+   the nominal SAVE latency. Everything is deterministic and PRNG-free,
+   so a stealth-attacked run consumes exactly the random stream of its
+   attack-free twin. *)
+
+let endpoint_attack = function
+  | No_attack | Stealth_save_drop _ | Stealth_reset_storm _
+  | Stealth_recovery_jam _ ->
+    Endpoint.No_attack
+  | Replay_all_at at -> Endpoint.Replay_all_at at
+  | Wedge_at at -> Endpoint.Wedge_at at
+  | Flood { start; gap } -> Endpoint.Flood { start; gap }
+
+let stealth_plan scenario =
+  let k, save_latency =
+    match scenario.protocol with
+    | Protocol.Save_fetch { sender; _ } ->
+      (sender.Protocol.k, sender.Protocol.save_latency)
+    | Protocol.Volatile | Protocol.Reestablish _ ->
+      (25, Protocol.default_save_latency)
+  in
+  let plan f ~from ~resets ~downtime =
+    f ~from ~horizon:scenario.horizon ~k ~message_gap:scenario.message_gap
+      ~save_latency ~resets ~downtime
+  in
+  match scenario.attack with
+  | No_attack | Replay_all_at _ | Wedge_at _ | Flood _ ->
+    Resets_attack.Stealth.no_plan
+  | Stealth_save_drop { from; resets; downtime } ->
+    plan Resets_attack.Stealth.save_window_drop ~from ~resets ~downtime
+  | Stealth_reset_storm { from; resets; downtime } ->
+    plan Resets_attack.Stealth.reset_storm ~from ~resets ~downtime
+  | Stealth_recovery_jam { from; resets; downtime } ->
+    plan Resets_attack.Stealth.recovery_jam ~from ~resets ~downtime
+
+let effective_resets scenario =
+  match (stealth_plan scenario).Resets_attack.Stealth.resets with
+  | [] -> scenario.resets
+  | forced ->
+    Reset_schedule.merge scenario.resets
+      (List.map
+         (fun (r : Resets_attack.Stealth.forced_reset) ->
+           {
+             Reset_schedule.at = r.Resets_attack.Stealth.at;
+             target = Reset_schedule.Sender;
+             downtime = r.Resets_attack.Stealth.downtime;
+           })
+         forced)
 
 let make_traffic scenario prng =
   match scenario.traffic with
@@ -109,13 +175,24 @@ let run scenario =
         Sim_disk.create ?trace ~name:"disk.q" ~latency:receiver.Protocol.save_latency
           engine
       in
+      let policy_p = K_policy.make (Protocol.policy_of sender) in
+      let policy_q = K_policy.make (Protocol.policy_of receiver) in
+      (* The SAVE-latency observation seam. Installed only for adaptive
+         policies: a static run carries no observer at all, keeping it
+         bit-for-bit the pre-policy-layer run. The observer is a pure
+         reader either way (no events, no PRNG draws). *)
+      if K_policy.is_adaptive policy_p then
+        Sim_disk.set_latency_observer disk_p
+          (K_policy.observe_save_latency policy_p);
+      if K_policy.is_adaptive policy_q then
+        Sim_disk.set_latency_observer disk_q
+          (K_policy.observe_save_latency policy_q);
       ( Some
           Sender.
             {
               store = Sim_disk.store disk_p;
               key = "send_seq";
-              k = sender.Protocol.k;
-              leap = Protocol.resolved_leap sender;
+              policy = policy_p;
               trigger =
                 (match sender.Protocol.save_timer with
                 | None -> Sender.On_count
@@ -127,8 +204,7 @@ let run scenario =
             {
               store = Sim_disk.store disk_q;
               key = "recv_edge";
-              k = receiver.Protocol.k;
-              leap = Protocol.resolved_leap receiver;
+              policy = policy_q;
               robust = robust_receiver;
               wakeup_buffer;
               retries = scenario.save_retries;
@@ -230,7 +306,7 @@ let run scenario =
     else
       let max_skip_per_reset =
         match persistence_p with
-        | Some (p : Sender.persistence) -> Some p.Sender.leap
+        | Some (p : Sender.persistence) -> Some (K_policy.max_leap p.Sender.policy)
         | None -> None
       in
       (* On a lossy link an injected copy of a dropped packet is a
@@ -270,10 +346,23 @@ let run scenario =
     in
     ignore (Engine.schedule_at engine ~at:ev.at do_reset)
   in
-  List.iter schedule_fault scenario.resets;
-  (* Schedule the adversary. *)
+  let all_resets = effective_resets scenario in
+  List.iter schedule_fault all_resets;
+  (* Schedule the adversary: the replay tap for the Section 3 attacks,
+     link jams for the stealth family. A downed link drops everything
+     sent through it and consumes no PRNG draw, so the jam windows
+     leave the random stream untouched. *)
   Endpoint.schedule_attack endpoint ~message_gap:scenario.message_gap
-    scenario.attack;
+    (endpoint_attack scenario.attack);
+  List.iter
+    (fun (j : Resets_attack.Stealth.jam) ->
+      ignore
+        (Engine.schedule_at engine ~at:j.Resets_attack.Stealth.down (fun () ->
+             Link.set_up link false));
+      ignore
+        (Engine.schedule_at engine ~at:j.Resets_attack.Stealth.up (fun () ->
+             Link.set_up link true)))
+    (stealth_plan scenario).Resets_attack.Stealth.jams;
   Option.iter
     (fun at ->
       ignore (Engine.schedule_at engine ~at (fun () -> Sender.stop sender)))
@@ -290,7 +379,7 @@ let run scenario =
         List.for_all
           (fun (ev : Reset_schedule.event) ->
             Time.(Time.add ev.at ev.downtime < scenario.horizon))
-          scenario.resets
+          all_resets
       in
       Invariant.finish ~expect_up mon
   in
@@ -330,6 +419,64 @@ let run scenario =
     adversary_injected = Endpoint.injected_count endpoint;
     end_time = Engine.now engine;
     violations;
+    effective_k_p =
+      (match persistence_p with
+      | Some (p : Sender.persistence) -> K_policy.current p.Sender.policy
+      | None -> 0);
+    effective_k_q =
+      (match persistence_q with
+      | Some (q : Receiver.persistence) -> K_policy.current q.Receiver.policy
+      | None -> 0);
+    k_adjustments_p =
+      (match persistence_p with
+      | Some (p : Sender.persistence) -> K_policy.adjustments p.Sender.policy
+      | None -> 0);
+    k_adjustments_q =
+      (match persistence_q with
+      | Some (q : Receiver.persistence) -> K_policy.adjustments q.Receiver.policy
+      | None -> 0);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Paired runs: the goodput-vs-oracle degradation metric.
+
+   The oracle is the same scenario replayed attack-free: same seed,
+   same resets field, same fault plans — only the adversary removed.
+   Because the stealth family is PRNG-free and carries its own forced
+   resets, the oracle's random stream is identical and the ratio
+   isolates exactly the attack's damage. *)
+
+type degradation = {
+  primary : result;
+  oracle : result;
+  goodput_ratio : float;
+  disruption_delta_s : float;
+  recovery_delta_s : float;
+}
+
+let run_paired scenario =
+  let primary = run scenario in
+  let oracle = run { scenario with attack = No_attack } in
+  let oracle_delivered = Metrics.delivered_distinct oracle.metrics in
+  let goodput_ratio =
+    if oracle_delivered = 0 then 1.
+    else
+      float_of_int (Metrics.delivered_distinct primary.metrics)
+      /. float_of_int oracle_delivered
+  in
+  primary.metrics.Metrics.oracle_delivered <- oracle_delivered;
+  primary.metrics.Metrics.goodput_vs_oracle <- goodput_ratio;
+  let mean s = if Stats.Sample.count s = 0 then 0. else Stats.Sample.mean s in
+  {
+    primary;
+    oracle;
+    goodput_ratio;
+    disruption_delta_s =
+      mean primary.metrics.Metrics.disruption_times
+      -. mean oracle.metrics.Metrics.disruption_times;
+    recovery_delta_s =
+      mean primary.metrics.Metrics.recovery_times
+      -. mean oracle.metrics.Metrics.recovery_times;
   }
 
 let pp_violations ppf = function

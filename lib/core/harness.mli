@@ -14,10 +14,15 @@ type traffic_model =
       (** [burst_length] back-to-back messages at [message_gap]
           spacing, then silence for [off_duration] *)
 
-(** The Section 3 replay adversary: records every ciphertext on the
-    wire and re-injects per one of these strategies. A re-export of
-    {!Endpoint.attack}, the shared vocabulary of every composer. *)
-type attack = Endpoint.attack =
+(** The adversary. The first four are the Section 3 replay attacks
+    (recorded ciphertexts re-injected through the {!Endpoint} tap);
+    the [Stealth_*] family are the goodput-degradation adversaries of
+    {!Resets_attack.Stealth}: safety-clean by construction (nothing is
+    injected), they jam the link and force sender resets phase-locked
+    to the persistence discipline's own cadence. The harness lowers
+    them to deterministic link up/down events and extra entries in the
+    effective reset schedule (see {!effective_resets}). *)
+type attack =
   | No_attack  (** passive wire; nothing injected *)
   | Replay_all_at of Resets_sim.Time.t
       (** Section 3's first attack: replay everything captured, in
@@ -27,6 +32,28 @@ type attack = Endpoint.attack =
           q's window ahead of p *)
   | Flood of { start : Resets_sim.Time.t; gap : Resets_sim.Time.t }
       (** sustained replay of the capture buffer *)
+  | Stealth_save_drop of {
+      from : Resets_sim.Time.t;
+      resets : int;
+      downtime : Resets_sim.Time.t;
+    }
+      (** jam the link during every predicted SAVE window, plus
+          [resets] forced sender resets timed to lose in-flight SAVEs
+          — {!Resets_attack.Stealth.save_window_drop} *)
+  | Stealth_reset_storm of {
+      from : Resets_sim.Time.t;
+      resets : int;
+      downtime : Resets_sim.Time.t;
+    }
+      (** [resets] forced sender resets at the worst phase of the SAVE
+          cycle — {!Resets_attack.Stealth.reset_storm} *)
+  | Stealth_recovery_jam of {
+      from : Resets_sim.Time.t;
+      resets : int;
+      downtime : Resets_sim.Time.t;
+    }
+      (** forced resets followed by burst jamming phase-locked to each
+          recovery — {!Resets_attack.Stealth.recovery_jam} *)
 
 (** One experiment configuration. [default] is the paper's operating
     point; experiments override individual fields with record
@@ -103,11 +130,48 @@ type result = {
   violations : Invariant.violation list;
       (** invariant breaches, detection order; always [[]] unless the
           scenario set [monitor] *)
+  effective_k_p : int;
+      (** [K_policy.current] of p's policy at the horizon — the
+          configured K for static policies, the online-derived one for
+          adaptive; 0 without persistence *)
+  effective_k_q : int;  (** likewise for q *)
+  k_adjustments_p : int;
+      (** times p's adaptive policy moved K (0 for static) *)
+  k_adjustments_q : int;  (** likewise for q *)
 }
+
+val effective_resets : scenario -> Resets_workload.Reset_schedule.t
+(** The resets the run actually experiences: [scenario.resets] plus
+    the forced sender resets a stealth attack carries. Identical to
+    [scenario.resets] for non-stealth attacks. {!Convergence.check}
+    scales the paper's 2K budgets by this schedule, not the raw
+    field. *)
 
 val run : scenario -> result
 (** Deterministic for a given scenario (all randomness flows from
     [seed]). *)
+
+(** A paired run: the scenario, and the same scenario replayed
+    attack-free as an oracle. Because stealth attacks are PRNG-free
+    and carry their own forced resets, the oracle consumes the
+    identical random stream and the ratio isolates the attack's
+    damage. *)
+type degradation = {
+  primary : result;  (** the attacked run, oracle fields filled in *)
+  oracle : result;  (** the attack-free twin *)
+  goodput_ratio : float;
+      (** distinct deliveries, primary ÷ oracle; 1.0 when the oracle
+          delivered nothing *)
+  disruption_delta_s : float;
+      (** mean reset→first-delivery time, primary − oracle, seconds *)
+  recovery_delta_s : float;
+      (** mean reset→endpoint-ready time, primary − oracle, seconds *)
+}
+
+val run_paired : scenario -> degradation
+(** {!run} the scenario and its attack-free twin, then fill
+    [primary.metrics.oracle_delivered] and [goodput_vs_oracle]. Under
+    [No_attack] the two runs are bit-identical and the ratio is 1. *)
 
 val pp_result : Format.formatter -> result -> unit
 (** Human-readable run summary; the machine-readable twin is

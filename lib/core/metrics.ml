@@ -28,6 +28,8 @@ type t = {
   mutable max_delivered : int;
   mutable epoch : int;
   mutable max_displacement : int;
+  mutable oracle_delivered : int;
+  mutable goodput_vs_oracle : float;
 }
 
 let create () =
@@ -59,6 +61,8 @@ let create () =
     max_delivered = 0;
     epoch = 0;
     max_displacement = 0;
+    oracle_delivered = 0;
+    goodput_vs_oracle = 1.;
   }
 
 let bump_epoch t = t.epoch <- t.epoch + 1
@@ -111,7 +115,14 @@ let absorb ~into src =
   if src.max_delivered > into.max_delivered then
     into.max_delivered <- src.max_delivered;
   if src.max_displacement > into.max_displacement then
-    into.max_displacement <- src.max_displacement
+    into.max_displacement <- src.max_displacement;
+  into.oracle_delivered <- into.oracle_delivered + src.oracle_delivered;
+  if into.oracle_delivered > 0 then
+    (* distinct = delivered − duplicates; the per-sequence table is not
+       merged, so compute it from the scalar counters *)
+    into.goodput_vs_oracle <-
+      float_of_int (into.delivered - into.duplicate_deliveries)
+      /. float_of_int into.oracle_delivered
 
 let delivered_distinct t = Hashtbl.length t.deliveries_by_seq
 

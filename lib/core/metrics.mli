@@ -78,6 +78,12 @@ type t = {
   mutable max_displacement : int;
       (** largest (right edge − sequence number) over accepted
           arrivals: the worst reorder the window absorbed *)
+  mutable oracle_delivered : int;
+      (** distinct deliveries of this run's attack-free oracle twin
+          (see [Harness.run_paired]); 0 = unpaired run *)
+  mutable goodput_vs_oracle : float;
+      (** distinct deliveries ÷ [oracle_delivered] — the paired-run
+          goodput-degradation ratio; 1.0 for unpaired runs *)
 }
 
 val create : unit -> t

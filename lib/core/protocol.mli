@@ -9,18 +9,30 @@ type persistence = {
       (** [None] = the paper's message-counted trigger; [Some dt] saves
           on a fixed timer instead (the ablation Section 4 argues
           against; see E13) *)
+  policy : K_policy.mode option;
+      (** [None] = the paper's static policy built from [k] and [leap].
+          [Some (Adaptive _)] re-derives K online from observed SAVE
+          latency and send gaps — see {!K_policy}. *)
 }
+
+val default_save_latency : Resets_sim.Time.t
+(** The paper's 100 µs write-to-file figure. *)
 
 val persistence :
   ?leap:int ->
   ?save_latency:Resets_sim.Time.t ->
   ?save_timer:Resets_sim.Time.t ->
+  ?policy:K_policy.mode ->
   k:int ->
   unit ->
   persistence
 (** Default save latency: the paper's 100 µs write-to-file figure. *)
 
 val resolved_leap : persistence -> int
+
+val policy_of : persistence -> K_policy.mode
+(** The effective policy: [policy] when set, else
+    [K_policy.static ~leap:(resolved_leap p) p.k]. *)
 
 type t =
   | Save_fetch of {
@@ -46,6 +58,8 @@ val save_fetch :
   ?leap_q:int ->
   ?save_latency:Resets_sim.Time.t ->
   ?save_timer_p:Resets_sim.Time.t ->
+  ?policy_p:K_policy.mode ->
+  ?policy_q:K_policy.mode ->
   kp:int ->
   kq:int ->
   unit ->

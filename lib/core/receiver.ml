@@ -5,8 +5,7 @@ open Resets_ipsec
 type persistence = {
   store : Store.t;
   key : string;
-  k : int;
-  leap : int;
+  policy : K_policy.t;
   robust : bool;
   wakeup_buffer : bool;
   retries : int;
@@ -34,6 +33,9 @@ type t = {
       (* wakeup's on_ready, fired by whichever path brings us up *)
   mutable degrade : (unit -> unit) option;
   mutable deliver_hooks : (seq:int -> payload:Resets_util.Slice.t -> unit) list;
+  mutable last_fresh_at : Time.t option;
+      (* previous fresh delivery instant, feeding the policy's gap
+         estimate (the receiver's view of t_msg) *)
 }
 
 
@@ -62,6 +64,7 @@ let create ?(name = "q") ?trace ?(framing = Packet.Seq64)
     pending_ready = None;
     degrade = None;
     deliver_hooks = [];
+    last_fresh_at = None;
   }
 
 let tell t event detail =
@@ -85,7 +88,7 @@ let maybe_begin_periodic_save t =
   | None -> ()
   | Some p ->
     let r = Replay_window.right_edge (window t) in
-    if r >= p.k + t.lst then begin
+    if r >= K_policy.current p.policy + t.lst then begin
       let prev_lst = t.lst in
       t.lst <- r;
       Store.save p.store ~key:p.key ~value:r
@@ -99,12 +102,25 @@ let maybe_begin_periodic_save t =
           tell t "save.fail" (string_of_int r))
         ~on_complete:(fun () ->
           t.save_failing <- false;
-          if r > t.durable then t.durable <- r)
+          if r > t.durable then t.durable <- r;
+          K_policy.note_durable p.policy)
     end
 
 let deliver t ~seq ~payload ~replayed =
   Sa.note_received t.sa;
   Metrics.record_delivery t.metrics ~seq ~replayed;
+  (* Fresh arrivals measure the receiver's view of the inter-send gap
+     (a no-op for static policies). *)
+  (if not replayed then
+     match t.persistence with
+     | None -> ()
+     | Some p ->
+       let now = Engine.now t.engine in
+       (match t.last_fresh_at with
+       | Some prev when Time.(prev <= now) ->
+         K_policy.observe_send_gap p.policy (Time.diff now prev)
+       | Some _ | None -> ());
+       t.last_fresh_at <- Some now);
   List.iter (fun hook -> hook ~seq ~payload) t.deliver_hooks
 
 (* Process one packet through decap + window. Returns [`Deferred pkt]
@@ -132,7 +148,9 @@ let rec process t (pkt : Packet.t) =
        edge fall below the old edge, re-opening the replay hole. *)
     let needs_catchup =
       match t.persistence with
-      | Some p -> (p.robust || t.save_failing) && prospective > t.durable + p.leap
+      | Some p ->
+        (p.robust || t.save_failing)
+        && prospective > t.durable + K_policy.leap p.policy
       | None -> false
     in
     if needs_catchup then defer t pkt ~edge:prospective
@@ -231,6 +249,7 @@ let reset t =
     t.catchup_saving <- false;
     t.save_failing <- false; (* RAM state: a crash forgets it *)
     t.pending_ready <- None;
+    t.last_fresh_at <- None; (* downtime is not an inter-send gap *)
     Option.iter (fun p -> Store.crash p.store) t.persistence;
     t.metrics.Metrics.q_resets <- t.metrics.Metrics.q_resets + 1;
     tell t "reset" ""
@@ -286,7 +305,7 @@ let wakeup t ?(on_ready = fun () -> ()) () =
                (fun () -> if t.status = Waking then attempt_fetch (n + 1)))
         end
     and begin_leap_save fetched =
-      let new_edge = fetched + p.leap in
+      let new_edge = fetched + K_policy.leap p.policy in
       tell t "fetch" (Printf.sprintf "fetched %d, leaping to %d" fetched new_edge);
       attempt_save new_edge 0
     and attempt_save new_edge n =

@@ -28,8 +28,11 @@ type persistence = {
           daemon *)
   key : string;  (** store key this receiver's edge lives under — lets
                      many receivers share one store (multi-SA hosts) *)
-  k : int;
-  leap : int;
+  policy : K_policy.t;
+      (** the SAVE-interval policy: [K_policy.current] replaces the
+          historical frozen [k], [K_policy.leap] the frozen [2k] wakeup
+          leap. Build with [K_policy.make (K_policy.static k)] for the
+          paper's constant. *)
   robust : bool;
   wakeup_buffer : bool;
   retries : int;

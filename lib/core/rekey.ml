@@ -73,8 +73,7 @@ let run ?(seed = 5) strategy config =
              {
                Receiver.store = Sim_disk.store disk;
                key = key_of params.Sa.spi;
-               k = config.k;
-               leap = 2 * config.k;
+               policy = K_policy.make (K_policy.static config.k);
                robust = false;
                wakeup_buffer = false;
                retries = 3;

@@ -151,7 +151,7 @@ let histogram_to_json h =
 
 let metrics_to_json (m : Metrics.t) =
   Json.Obj
-    [
+    ([
       ("sent", Json.Int m.Metrics.sent);
       ("delivered", Json.Int m.Metrics.delivered);
       ("delivered_distinct", Json.Int (Metrics.delivered_distinct m));
@@ -179,6 +179,15 @@ let metrics_to_json (m : Metrics.t) =
       ("recovery_times_s", sample_to_json m.Metrics.recovery_times);
       ("disruption_times_s", sample_to_json m.Metrics.disruption_times);
     ]
+    (* Paired-run fields appear only when an oracle twin was actually
+       run: every pre-existing (unpaired) artifact stays byte-identical. *)
+    @
+    if m.Metrics.oracle_delivered = 0 then []
+    else
+      [
+        ("oracle_delivered", Json.Int m.Metrics.oracle_delivered);
+        ("goodput_vs_oracle", Json.Float m.Metrics.goodput_vs_oracle);
+      ])
 
 let verdict_to_json (v : Convergence.verdict) =
   Json.Obj
@@ -219,6 +228,10 @@ let result_to_json ?verdict (r : Harness.result) =
        ("link_duplicated", Json.Int r.Harness.link_duplicated);
        ("link_reordered", Json.Int r.Harness.link_reordered);
        ("adversary_injected", Json.Int r.Harness.adversary_injected);
+       ("effective_k_p", Json.Int r.Harness.effective_k_p);
+       ("effective_k_q", Json.Int r.Harness.effective_k_q);
+       ("k_adjustments_p", Json.Int r.Harness.k_adjustments_p);
+       ("k_adjustments_q", Json.Int r.Harness.k_adjustments_q);
        ( "violations",
          Json.List
            (List.map Invariant.violation_to_json r.Harness.violations) );
@@ -226,3 +239,15 @@ let result_to_json ?verdict (r : Harness.result) =
          Json.Int (Int64.to_int (Resets_sim.Time.to_ns r.Harness.end_time)) );
      ]
     @ verdict_field)
+
+let degradation_to_json ?verdict (d : Harness.degradation) =
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("record", Json.String "paired_run");
+      ("goodput_ratio", Json.Float d.Harness.goodput_ratio);
+      ("disruption_delta_s", Json.Float d.Harness.disruption_delta_s);
+      ("recovery_delta_s", Json.Float d.Harness.recovery_delta_s);
+      ("primary", result_to_json ?verdict d.Harness.primary);
+      ("oracle", result_to_json d.Harness.oracle);
+    ]

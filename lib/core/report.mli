@@ -66,7 +66,10 @@ val histogram_to_json : Resets_util.Stats.Histogram.h -> Resets_util.Json.t
 
 val metrics_to_json : Metrics.t -> Resets_util.Json.t
 (** Every counter of {!Metrics.t} plus recovery/disruption summaries
-    (seconds). *)
+    (seconds). The paired-run fields ([oracle_delivered],
+    [goodput_vs_oracle]) are emitted only when the run was paired, so
+    unpaired records — every committed artifact predating the policy
+    layer — serialize byte-identically. *)
 
 val verdict_to_json : Convergence.verdict -> Resets_util.Json.t
 (** The six Section 5 verdict components plus the conjunction under
@@ -75,5 +78,11 @@ val verdict_to_json : Convergence.verdict -> Resets_util.Json.t
 val result_to_json :
   ?verdict:Convergence.verdict -> Harness.result -> Resets_util.Json.t
 (** One harness run: metrics, endpoint/save/link/adversary counters,
-    end time, and (when given) the convergence verdict — the record
-    [ipsec_resets run --json] prints. *)
+    effective K per side, end time, and (when given) the convergence
+    verdict — the record [ipsec_resets run --json] prints. *)
+
+val degradation_to_json :
+  ?verdict:Convergence.verdict -> Harness.degradation -> Resets_util.Json.t
+(** One paired run ([record = "paired_run"]): the goodput ratio and
+    convergence-time deltas, plus the full primary and oracle run
+    records. [verdict] (of the primary run) lands inside [primary]. *)

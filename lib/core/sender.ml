@@ -9,8 +9,7 @@ type trigger =
 type persistence = {
   store : Store.t;
   key : string;
-  k : int;
-  leap : int;
+  policy : K_policy.t;
   trigger : trigger;
   retries : int;
 }
@@ -37,6 +36,8 @@ type t = {
   mutable recovering : bool; (* wakeup FETCH+SAVE in progress *)
   mutable running : bool;
   mutable timer : Engine.handle option;
+  mutable last_send_at : Time.t option;
+      (* previous send instant, feeding the policy's gap estimate *)
 }
 
 
@@ -70,6 +71,7 @@ let create ?(name = "p") ?trace ?(payload = default_payload)
     recovering = false;
     running = false;
     timer = None;
+    last_send_at = None;
   }
 
 let tell t event detail =
@@ -100,14 +102,15 @@ let begin_background_save t (p : persistence) ~value ~prev_lst =
     ~on_complete:(fun () ->
       t.save_pending <- false;
       t.save_failing <- false;
-      if value > t.durable then t.durable <- value)
+      if value > t.durable then t.durable <- value;
+      K_policy.note_durable p.policy)
 
 let maybe_begin_periodic_save t =
   match t.persistence with
   | None -> ()
   | Some ({ trigger = On_count; _ } as p) ->
     let s = Sa.send_seq t.sa in
-    if s >= p.k + t.lst then begin
+    if s >= K_policy.current p.policy + t.lst then begin
       let prev_lst = t.lst in
       t.lst <- s;
       (* Background SAVE: sending continues while it is in flight. *)
@@ -135,6 +138,17 @@ let start_save_timer t =
     ignore (Engine.schedule_after t.engine ~after:interval tick)
 
 let send_one t =
+  (* Feed the actual inter-send gap to the policy (a no-op for static
+     policies; pure arithmetic for adaptive ones). *)
+  (match t.persistence with
+  | None -> ()
+  | Some p ->
+    let now = Engine.now t.engine in
+    (match t.last_send_at with
+    | Some prev when Time.(prev <= now) ->
+      K_policy.observe_send_gap p.policy (Time.diff now prev)
+    | Some _ | None -> ());
+    t.last_send_at <- Some now);
   let seq = Sa.next_send_seq t.sa in
   let payload = t.payload ~seq in
   let wire =
@@ -155,7 +169,8 @@ let send_one t =
 let stalled t =
   match t.persistence with
   | None -> false
-  | Some p -> t.save_failing && Sa.send_seq t.sa >= t.durable + p.leap
+  | Some p ->
+    t.save_failing && Sa.send_seq t.sa >= t.durable + K_policy.leap p.policy
 
 let rec schedule_next t =
   let gap = Resets_workload.Traffic.next_gap t.traffic in
@@ -201,6 +216,7 @@ let reset t =
     t.save_failing <- false; (* RAM state: a crash forgets it *)
     t.save_pending <- false;
     t.pending_ready <- None;
+    t.last_send_at <- None; (* downtime is not an inter-send gap *)
     cancel_timer t;
     Option.iter (fun p -> Store.crash p.store) t.persistence;
     t.metrics.Metrics.p_resets <- t.metrics.Metrics.p_resets + 1;
@@ -279,7 +295,7 @@ let wakeup t ?(on_ready = fun () -> ()) () =
                (fun () -> if t.down && t.recovering then attempt_fetch (n + 1)))
         end
     and begin_leap_save fetched =
-      let new_seq = fetched + p.leap in
+      let new_seq = fetched + K_policy.leap p.policy in
       tell t "fetch" (Printf.sprintf "fetched %d, leaping to %d" fetched new_seq);
       attempt_save new_seq 0
     (* The wakeup SAVE blocks: p sends nothing until it is durable, so

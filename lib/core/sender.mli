@@ -33,8 +33,11 @@ type persistence = {
           daemon *)
   key : string;  (** store key this sender's counter lives under — lets
                      many senders share one store (multi-SA hosts) *)
-  k : int;
-  leap : int;
+  policy : K_policy.t;
+      (** the SAVE-interval policy: [K_policy.current] replaces the
+          historical frozen [k], [K_policy.leap] the frozen [2k] wakeup
+          leap. Build with [K_policy.make (K_policy.static k)] for the
+          paper's constant. *)
   trigger : trigger;
   retries : int;
       (** recovery retry budget: how many times a wakeup FETCH or SAVE

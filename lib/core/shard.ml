@@ -162,8 +162,7 @@ let run_range ?(seed = 11) ?engine discipline config ~lo ~hi =
           {
             Receiver.store = Sim_disk.store disk;
             key = Host.sa_key g;
-            k = config.k;
-            leap = 2 * config.k;
+            policy = K_policy.make (K_policy.static config.k);
             robust = false;
             wakeup_buffer = false;
             retries = 3;

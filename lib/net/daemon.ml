@@ -14,6 +14,7 @@ type config = {
   spi_base : int;
   sas : int;
   k : int;
+  adaptive : bool;
   window : int;
   rate_pps : float;
   duration : float;
@@ -34,6 +35,7 @@ let default =
     spi_base = 0x5000;
     sas = 1;
     k = 8;
+    adaptive = false;
     window = 64;
     rate_pps = 200.;
     duration = 3.;
@@ -46,6 +48,34 @@ let default =
   }
 
 let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+(* The SAVE-interval policy every SA of this daemon runs under.
+   [--k auto] (adaptive) re-derives K online from the wall-clock SAVE
+   latency the file store actually exhibits. *)
+let policy_mode cfg =
+  if cfg.adaptive then K_policy.adaptive ~initial_k:cfg.k ()
+  else K_policy.static cfg.k
+
+(* Wrap a store so every completed save reports its wall-clock latency:
+   into the per-worker sample (heartbeat percentiles) and, when
+   adaptive, into the SA's policy. File-store saves are synchronous, so
+   the callback runs before [save] returns and the measured latency is
+   the real fsync+rename cost. *)
+let timed_store ~sample ~policy store =
+  {
+    store with
+    Store.save =
+      (fun ~key ~value ~on_error ~on_complete ->
+        let t0 = now_ns () in
+        store.Store.save ~key ~value ~on_error ~on_complete:(fun () ->
+            let dt = Int64.sub (now_ns ()) t0 in
+            let dt = if Int64.compare dt 0L < 0 then 0L else dt in
+            Stats.Sample.add sample (Int64.to_float dt);
+            (match policy with
+            | Some p -> K_policy.observe_save_latency p (Time.of_ns dt)
+            | None -> ());
+            on_complete ()));
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Per-SA statistics, snapshotted by workers and aggregated by the
@@ -64,6 +94,7 @@ type sa_stat = {
   dups : int;
   bad_icv : int;
   edge : int;
+  k_now : int;  (** currently effective K (static: the configured K) *)
 }
 
 let zero_stat spi =
@@ -80,6 +111,7 @@ let zero_stat spi =
     dups = 0;
     bad_icv = 0;
     edge = 0;
+    k_now = 0;
   }
 
 let json_of_stat s =
@@ -97,6 +129,7 @@ let json_of_stat s =
       ("dups", Json.Int s.dups);
       ("bad_icv", Json.Int s.bad_icv);
       ("edge", Json.Int s.edge);
+      ("k_now", Json.Int s.k_now);
     ]
 
 (* The previous incarnation's last heartbeat: spi -> (max_seq,
@@ -135,7 +168,7 @@ let read_prev_stats path =
             sas))
   end
 
-let append_heartbeat path ~role ~elapsed_ns stats =
+let append_heartbeat path ~role ~elapsed_ns ~shards stats =
   let line =
     Json.to_string
       (Json.Obj
@@ -143,6 +176,8 @@ let append_heartbeat path ~role ~elapsed_ns stats =
            ("elapsed_ns", Json.Int elapsed_ns);
            ("role", Json.String (match role with Send -> "send" | Recv -> "recv"));
            ("sas", Json.List (List.map json_of_stat (Array.to_list stats)));
+           (* per-shard (worker) wall-clock SAVE-latency percentiles *)
+           ("save_latency_ns", Json.List shards);
          ])
   in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
@@ -154,11 +189,42 @@ let append_heartbeat path ~role ~elapsed_ns stats =
    and reads stat snapshots out; the worker does the reverse. The
    mutex covers exactly these three fields.                            *)
 
+type save_lat_snapshot = {
+  lat_count : int;
+  lat_p50_ns : float;
+  lat_p99_ns : float;
+  lat_max_ns : float;
+}
+
+let no_latencies = { lat_count = 0; lat_p50_ns = 0.; lat_p99_ns = 0.; lat_max_ns = 0. }
+
+let snapshot_latencies sample =
+  let n = Stats.Sample.count sample in
+  if n = 0 then no_latencies
+  else
+    {
+      lat_count = n;
+      lat_p50_ns = Stats.Sample.percentile sample 50.;
+      lat_p99_ns = Stats.Sample.percentile sample 99.;
+      lat_max_ns = Stats.Sample.percentile sample 100.;
+    }
+
+let json_of_latencies ~worker l =
+  Json.Obj
+    [
+      ("worker", Json.Int worker);
+      ("count", Json.Int l.lat_count);
+      ("p50", Json.Float l.lat_p50_ns);
+      ("p99", Json.Float l.lat_p99_ns);
+      ("max", Json.Float l.lat_max_ns);
+    ]
+
 type mailbox = {
   m : Mutex.t;
   mutable frames : string list; (* newest first *)
   mutable stop : bool;
   mutable snapshot : sa_stat array;
+  mutable save_latencies : save_lat_snapshot;
   mutable wire_tx : int;
   mutable wire_tx_errors : int;
 }
@@ -169,6 +235,7 @@ let make_mailbox n =
     frames = [];
     stop = false;
     snapshot = Array.init n (fun _ -> zero_stat 0);
+    save_latencies = no_latencies;
     wire_tx = 0;
     wire_tx_errors = 0;
   }
@@ -193,7 +260,7 @@ let recv_worker cfg (mb : mailbox) w =
   let engine = Engine.create () in
   let clock = Clock.of_ns_source now_ns in
   let fs = File_store.create ~dir:cfg.store_dir in
-  let store = File_store.store fs in
+  let save_lat = Stats.Sample.create () in
   let by_spi = Hashtbl.create 16 in
   let states =
     List.map
@@ -203,6 +270,12 @@ let recv_worker cfg (mb : mailbox) w =
         let recovered = prior <> None in
         let metrics = Metrics.create () in
         let sa = derive_sa cfg i in
+        let policy = K_policy.make (policy_mode cfg) in
+        let store =
+          timed_store ~sample:save_lat
+            ~policy:(if cfg.adaptive then Some policy else None)
+            (File_store.store fs)
+        in
         let receiver =
           Receiver.create
             ~name:(Printf.sprintf "q%d" (cfg.spi_base + i))
@@ -212,8 +285,7 @@ let recv_worker cfg (mb : mailbox) w =
                  {
                    Receiver.store;
                    key;
-                   k = cfg.k;
-                   leap = 2 * cfg.k;
+                   policy;
                    robust = false;
                    wakeup_buffer = true;
                    retries = 3;
@@ -232,10 +304,17 @@ let recv_worker cfg (mb : mailbox) w =
         end;
         Hashtbl.replace by_spi (cfg.spi_base + i)
           (fun frame -> Receiver.on_packet receiver (Packet.fresh frame));
-        (i, receiver, metrics, min_seq, recovered, Option.value prior ~default:0))
+        ( i,
+          receiver,
+          metrics,
+          min_seq,
+          recovered,
+          Option.value prior ~default:0,
+          policy ))
       indices
   in
-  let stat_of (i, receiver, (metrics : Metrics.t), min_seq, recovered, prior) =
+  let stat_of (i, receiver, (metrics : Metrics.t), min_seq, recovered, prior, policy)
+      =
     {
       spi = cfg.spi_base + i;
       recovered;
@@ -249,12 +328,14 @@ let recv_worker cfg (mb : mailbox) w =
       dups = metrics.Metrics.duplicate_deliveries;
       bad_icv = metrics.Metrics.bad_icv;
       edge = Receiver.right_edge receiver;
+      k_now = K_policy.current policy;
     }
   in
   let publish () =
     let snap = Array.of_list (List.map stat_of states) in
     Mutex.lock mb.m;
     mb.snapshot <- snap;
+    mb.save_latencies <- snapshot_latencies save_lat;
     Mutex.unlock mb.m
   in
   publish ();
@@ -302,7 +383,7 @@ let send_worker cfg (mb : mailbox) w =
   let engine = Engine.create () in
   let clock = Clock.of_ns_source now_ns in
   let fs = File_store.create ~dir:cfg.store_dir in
-  let store = File_store.store fs in
+  let save_lat = Stats.Sample.create () in
   let sock = Transport_udp.create ?peer:cfg.peer () in
   let transport = Transport_udp.transport sock in
   let gap = Time.of_ns (Int64.of_float (1e9 /. cfg.rate_pps)) in
@@ -314,6 +395,12 @@ let send_worker cfg (mb : mailbox) w =
         let recovered = prior <> None in
         let metrics = Metrics.create () in
         let sa = derive_sa cfg i in
+        let policy = K_policy.make (policy_mode cfg) in
+        let store =
+          timed_store ~sample:save_lat
+            ~policy:(if cfg.adaptive then Some policy else None)
+            (File_store.store fs)
+        in
         let sender =
           Sender.create
             ~name:(Printf.sprintf "p%d" (cfg.spi_base + i))
@@ -325,8 +412,7 @@ let send_worker cfg (mb : mailbox) w =
                  {
                    Sender.store;
                    key;
-                   k = cfg.k;
-                   leap = 2 * cfg.k;
+                   policy;
                    trigger = Sender.On_count;
                    retries = 3;
                  })
@@ -337,22 +423,24 @@ let send_worker cfg (mb : mailbox) w =
           Sender.wakeup sender ()
         end;
         Sender.start sender;
-        (i, sender, metrics, recovered, Option.value prior ~default:0))
+        (i, sender, metrics, recovered, Option.value prior ~default:0, policy))
       indices
   in
-  let stat_of (i, sender, (metrics : Metrics.t), recovered, prior) =
+  let stat_of (i, sender, (metrics : Metrics.t), recovered, prior, policy) =
     {
       (zero_stat (cfg.spi_base + i)) with
       recovered;
       recovered_from = prior;
       sent = metrics.Metrics.sent;
       next_seq = Sender.next_seq sender;
+      k_now = K_policy.current policy;
     }
   in
   let publish () =
     let snap = Array.of_list (List.map stat_of states) in
     Mutex.lock mb.m;
     mb.snapshot <- snap;
+    mb.save_latencies <- snapshot_latencies save_lat;
     mb.wire_tx <- Transport_udp.tx_frames sock;
     mb.wire_tx_errors <- Transport_udp.tx_errors sock;
     Mutex.unlock mb.m
@@ -397,7 +485,9 @@ let aggregate mailboxes =
    bound, with no cross-incarnation replay? Returns violation strings
    (empty = pass). *)
 let check_gate cfg ~prev stats =
-  let leap = 2 * cfg.k in
+  (* Adaptive daemons may legitimately run a larger K than configured;
+     the convergence budget scales with the policy's worst case. *)
+  let leap = 2 * K_policy.bound_of_mode (policy_mode cfg) in
   List.concat_map
     (fun s ->
       let fail fmt = Printf.ksprintf (fun m -> [ m ]) fmt in
@@ -448,6 +538,7 @@ let report cfg ~elapsed_s ~wire_rx ~wire_tx ~wire_tx_errors ~gate stats =
       ("role", Json.String (match cfg.role with Send -> "send" | Recv -> "recv"));
       ("sas", Json.Int cfg.sas);
       ("k", Json.Int cfg.k);
+      ("k_policy", Json.String (K_policy.describe (policy_mode cfg)));
       ("workers", Json.Int cfg.workers);
       ("elapsed_s", Json.Float elapsed_s);
       ("wire_rx", Json.Int wire_rx);
@@ -519,9 +610,18 @@ let run cfg =
     match cfg.stats_path with
     | None -> ()
     | Some path ->
+      let shards =
+        List.mapi
+          (fun w (mb : mailbox) ->
+            Mutex.lock mb.m;
+            let l = mb.save_latencies in
+            Mutex.unlock mb.m;
+            json_of_latencies ~worker:w l)
+          (Array.to_list mailboxes)
+      in
       append_heartbeat path ~role:cfg.role
         ~elapsed_ns:(Int64.to_int (Time.to_ns (Clock.elapsed clock)))
-        (aggregate mailboxes)
+        ~shards (aggregate mailboxes)
   in
   let rec main_loop () =
     let elapsed = Time.to_sec (Clock.elapsed clock) in

@@ -42,6 +42,11 @@ type config = {
   spi_base : int;
   sas : int;  (** SPIs [spi_base .. spi_base+sas-1] *)
   k : int;  (** SAVE every [k] (leap = [2k]) *)
+  adaptive : bool;
+      (** when true, each SA runs {!Resets_core.K_policy.adaptive}
+          seeded at [k]: the SAVE cadence re-derives itself online
+          from measured wall-clock SAVE latency and inter-send gaps
+          (the gate's leap bound widens to [2 * ceiling]) *)
   window : int;
   rate_pps : float;  (** send rate per SA *)
   duration : float;  (** wall-clock run time, seconds *)

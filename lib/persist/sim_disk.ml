@@ -10,6 +10,7 @@ module Faults = struct
     torn_prob : float;
     read_corrupt_prob : float;
     read_stale_prob : float;
+    latency_factor : float;
   }
 
   let none =
@@ -18,6 +19,7 @@ module Faults = struct
       torn_prob = 0.;
       read_corrupt_prob = 0.;
       read_stale_prob = 0.;
+      latency_factor = 1.;
     }
 
   let is_none s = s = none
@@ -76,6 +78,7 @@ type t = {
   durable : (string, envelope) Hashtbl.t;
   prev : (string, envelope) Hashtbl.t; (* last superseded version per key *)
   mutable faults : Faults.t option;
+  mutable latency_observer : (Time.t -> unit) option;
   mutable pending : pending list;
   mutable next_latency : Time.t option;
   mutable next_id : int;
@@ -98,6 +101,7 @@ let make ?trace ?(name = "disk") ?faults ~latency ~jitter engine =
     durable = Hashtbl.create 16;
     prev = Hashtbl.create 16;
     faults;
+    latency_observer = None;
     pending = [];
     next_latency = None;
     next_id = 0;
@@ -118,12 +122,26 @@ let create_jittered ?trace ?name ?faults ~latency ~jitter ~prng engine =
 
 let set_faults t faults = t.faults <- Some faults
 
+let set_latency_observer t f = t.latency_observer <- Some f
+
 let sample_latency t =
-  match t.jitter with
-  | None -> t.base_latency
-  | Some (jitter, prng) ->
-    let extra = Prng.int prng (Int64.to_int (Time.to_ns jitter) + 1) in
-    Time.add t.base_latency (Time.of_ns (Int64.of_int extra))
+  let base =
+    match t.jitter with
+    | None -> t.base_latency
+    | Some (jitter, prng) ->
+      let extra = Prng.int prng (Int64.to_int (Time.to_ns jitter) + 1) in
+      Time.add t.base_latency (Time.of_ns (Int64.of_int extra))
+  in
+  (* Latency inflation is part of the fault plan (a disk degraded by the
+     environment); factor 1 — every plan predating it — leaves the
+     arithmetic untouched. *)
+  match t.faults with
+  | Some f when f.Faults.spec.Faults.latency_factor <> 1. ->
+    Time.of_ns
+      (Int64.of_float
+         (f.Faults.spec.Faults.latency_factor
+         *. Int64.to_float (Time.to_ns base)))
+  | Some _ | None -> base
 
 let latency_of_next_save t =
   match t.next_latency with
@@ -183,6 +201,11 @@ let begin_write t ~entries ~label ~on_complete ~on_error =
     tell t "save.supersede" (Printf.sprintf "%s (%d dropped)" label superseded);
   let latency = latency_of_next_save t in
   t.next_latency <- None;
+  (* Observed at begin time, not completion: under supersede pressure a
+     too-small K means writes are cancelled before they ever complete,
+     and a completion-based observer would starve exactly when the
+     latency signal matters most. *)
+  (match t.latency_observer with None -> () | Some f -> f latency);
   t.begun <- t.begun + 1;
   let id = t.next_id in
   t.next_id <- t.next_id + 1;

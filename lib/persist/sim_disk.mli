@@ -41,6 +41,12 @@ module Faults : sig
     torn_prob : float;  (** a multi-key snapshot tears (prefix durable) *)
     read_corrupt_prob : float;  (** a checked fetch serves a bit-flipped record *)
     read_stale_prob : float;  (** a checked fetch serves the superseded record *)
+    latency_factor : float;
+        (** multiply every write's latency (after jitter) by this —
+            models a disk degraded by contention or wear. [1.] (the
+            [none] default) leaves latency untouched; no PRNG rolls are
+            consumed, so a plan differing only in this field keeps the
+            fault pattern of the probabilistic fields byte-identical *)
   }
 
   val none : spec
@@ -93,6 +99,14 @@ val set_faults : t -> Faults.t -> unit
 (** Attach (or replace) the fault plan after construction. Used by the
     harness so fault-free scenarios keep their PRNG split order — and
     therefore their committed artifacts — byte-identical. *)
+
+val set_latency_observer : t -> (Time.t -> unit) -> unit
+(** [f latency] fires at the {e begin} of every write with the latency
+    that write will incur. Begin-time (not completion-time) on purpose:
+    a superseded write never completes, and the adaptive K policy needs
+    the latency signal precisely when supersede pressure is starving
+    completions. A pure observer — installing one changes no simulation
+    event and consumes no PRNG draw. *)
 
 include Store.S with type t := t
 

@@ -39,8 +39,7 @@ let make_fixture ?(kp = 5) ?(kq = 5) ?(w = 64) ?(gap = us 10) ?(save_latency = u
         {
           Sender.store = Sim_disk.store disk_p;
           key = "send_seq";
-          k = kp;
-          leap = 2 * kp;
+          policy = K_policy.make (K_policy.static kp);
           trigger = Sender.On_count;
           retries = 3;
         }
@@ -52,8 +51,7 @@ let make_fixture ?(kp = 5) ?(kq = 5) ?(w = 64) ?(gap = us 10) ?(save_latency = u
         {
           Receiver.store = Sim_disk.store disk_q;
           key = "recv_edge";
-          k = kq;
-          leap = 2 * kq;
+          policy = K_policy.make (K_policy.static kq);
           robust;
           wakeup_buffer;
           retries = 3;

@@ -274,6 +274,7 @@ let test_fault_pattern_deterministic () =
         torn_prob = 0.0;
         read_corrupt_prob = 0.2;
         read_stale_prob = 0.1;
+        latency_factor = 1.0;
       }
     in
     let d = Sim_disk.create ~faults:(faulty spec seed) ~latency:(us 10) e in

@@ -100,7 +100,13 @@ let scenario_print (s : Harness.scenario) =
     | Harness.No_attack -> "none"
     | Harness.Replay_all_at t -> Format.asprintf "replay-all@%a" Time.pp t
     | Harness.Wedge_at t -> Format.asprintf "wedge@%a" Time.pp t
-    | Harness.Flood { start; _ } -> Format.asprintf "flood@%a" Time.pp start)
+    | Harness.Flood { start; _ } -> Format.asprintf "flood@%a" Time.pp start
+    | Harness.Stealth_save_drop { from; _ } ->
+      Format.asprintf "stealth-save-drop@%a" Time.pp from
+    | Harness.Stealth_reset_storm { from; _ } ->
+      Format.asprintf "stealth-reset-storm@%a" Time.pp from
+    | Harness.Stealth_recovery_jam { from; _ } ->
+      Format.asprintf "stealth-recovery-jam@%a" Time.pp from)
 
 let scenario_arb = QCheck.make ~print:scenario_print scenario_gen
 

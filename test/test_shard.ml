@@ -297,8 +297,7 @@ let test_host_recovery_sa_order () =
            {
              Receiver.store = Resets_persist.Sim_disk.store disk;
              key = Host.sa_key i;
-             k = 10;
-             leap = 20;
+             policy = K_policy.make (K_policy.static 10);
              robust = false;
              wakeup_buffer = false;
              retries = 3;
