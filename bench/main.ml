@@ -1868,6 +1868,18 @@ let micro report =
         fun () -> ignore (Engine_heap.step eng) );
       ("esp-encap-256B", fun () -> ignore (Esp.encap ~sa ~seq:7 ~payload));
       ("esp-decap-256B", fun () -> ignore (Esp.decap ~sa packet));
+      (* The wire datapath's per-frame codec work, syscalls excluded:
+         encap straight into a tx-pool slot, decap straight out of an
+         rx-arena slot. check.sh gates these at a small constant — a
+         string or boxed intermediate creeping back into the batched
+         wire path shows up here before it shows up as lost pps. *)
+      ( "esp-encap-into-256B",
+        let slot = Bytes.create 4096 in
+        fun () -> ignore (Esp.encap_into ~sa ~seq:7 ~payload slot ~off:0) );
+      ( "esp-decap-slice-256B",
+        let arena = Bytes.of_string packet in
+        let frame = Slice.make arena ~off:0 ~len:(Bytes.length arena) in
+        fun () -> ignore (Esp.decap_of_slice ~sa frame) );
       ( "hmac-sha256-256B",
         fun () -> ignore (Resets_crypto.Hmac.mac ~key:"k" payload) );
       ( "sha256-1KiB",
@@ -1988,68 +2000,120 @@ let micro report =
     "@.determinism smoke: wheel and heap fire order on a fixed-seed schedule %s@."
     (if wheel_trace = heap_trace then "IDENTICAL" else "DIVERGED");
   (* Wire throughput: the full datapath over a real socket. One core
-     plays both sides of a UNIX-datagram pair — encap, sendto, recvfrom,
-     decap, replay-window admit per packet — so pps_per_core is the
-     honest single-core number for the daemon's datapath (a deployment
-     scales it by sharding SAs across workers; see the serve verb). *)
-  let wire_pps () =
+     plays both sides of a UNIX-datagram pair — encap into the tx pool,
+     batched send, batched recv, decap straight out of the rx arena,
+     replay-window admit per packet — so pps_per_core is the honest
+     single-core number for the daemon's datapath (a deployment scales
+     it by sharding SAs across workers; see the serve verb). The sweep
+     varies the recvmmsg/sendmmsg batch depth.
+
+     One kernel limit binds the deepest row: unix(7) caps a datagram
+     socket's receive queue at net.unix.max_dgram_qlen datagrams
+     (commonly ~10), so flushing a batch deeper than the queue into a
+     receiver that cannot drain concurrently sheds the tail as
+     backpressure — counted in tx_errors, never retried, exactly the
+     channel-loss semantics the protocol is built for. The sweep
+     reports it rather than hiding it: every row must deliver every
+     kernel-accepted frame (no silent loss), and rows whose flush depth
+     fits the queue must deliver every frame, full stop. *)
+  let wire_pps ~batch =
     let open Resets_net in
     let path =
       Filename.concat (Filename.get_temp_dir_name ())
-        (Printf.sprintf "resets-bench-wire-%d.sock" (Unix.getpid ()))
+        (Printf.sprintf "resets-bench-wire-%d-%d.sock" (Unix.getpid ()) batch)
     in
-    let rx = Transport_udp.create ~bind:(Transport_udp.Unix_dgram path) () in
-    let tx = Transport_udp.create ~peer:(Transport_udp.Unix_dgram path) () in
+    let rx =
+      Transport_udp.create ~bind:(Transport_udp.Unix_dgram path) ~batch ()
+    in
+    let tx =
+      Transport_udp.create ~peer:(Transport_udp.Unix_dgram path) ~batch ()
+    in
     let window = Replay_window.create Replay_window.Bitmap_impl ~w:64 in
     let delivered = ref 0 in
-    Transport_udp.set_frame_handler rx (fun frame ->
-        match Esp.decap ~sa frame with
+    Transport_udp.set_slice_handler rx (fun frame ->
+        match Esp.decap_of_slice ~sa frame with
         | Ok (seq, _) ->
           if Replay_window.verdict_accepts (Replay_window.admit window seq)
           then incr delivered
         | Error _ -> ());
+    let slot = Bytes.create 4096 in
+    let send_one seq =
+      let len = Esp.encap_into ~sa ~seq ~payload slot ~off:0 in
+      ignore (Transport_udp.send_slice tx (Slice.make slot ~off:0 ~len) : bool)
+    in
+    (* one flush + one drain per [batch] packets *)
+    let rec bursts seq last =
+      if seq <= last then begin
+        let count = min batch (last - seq + 1) in
+        for s = seq to seq + count - 1 do
+          send_one s
+        done;
+        ignore (Transport_udp.flush tx : int);
+        ignore (Transport_udp.drain rx : int);
+        bursts (seq + count) last
+      end
+    in
     let n = 20_000 in
-    (* warmup outside the timed window *)
-    for seq = 1 to 100 do
-      ignore (Transport_udp.send_frame tx (Esp.encap ~sa ~seq ~payload));
-      ignore (Transport_udp.drain rx)
-    done;
+    bursts 1 100 (* warmup outside the timed window *);
+    let warm_delivered = !delivered in
+    let warm_accepted = Transport_udp.tx_frames tx in
+    let warm_errors = Transport_udp.tx_errors tx in
     let t0 = Unix.gettimeofday () in
-    for seq = 101 to 100 + n do
-      ignore (Transport_udp.send_frame tx (Esp.encap ~sa ~seq ~payload));
-      ignore (Transport_udp.drain rx)
-    done;
+    bursts 101 (100 + n);
     (* anything still queued in the kernel *)
     while Transport_udp.wait_readable rx ~timeout:0.01 do
       ignore (Transport_udp.drain rx)
     done;
     let elapsed = Unix.gettimeofday () -. t0 in
-    let tx_errors = Transport_udp.tx_errors tx in
+    let accepted = Transport_udp.tx_frames tx - warm_accepted in
+    let tx_errors = Transport_udp.tx_errors tx - warm_errors in
+    let mmsg = Resets_net_stubs.Batch_io.using_mmsg () in
     Transport_udp.close tx;
     Transport_udp.close rx;
-    (n, !delivered - 100, elapsed, tx_errors)
+    (n, accepted, !delivered - warm_delivered, elapsed, tx_errors, mmsg)
   in
-  let n, delivered, elapsed, tx_errors = wire_pps () in
-  let pps = float_of_int delivered /. elapsed in
-  Report.row report ~table:"wire"
-    [
-      ("transport", Json.String "unix-dgram");
-      ("payload_bytes", Json.Int 256);
-      ("packets", Json.Int n);
-      ("delivered", Json.Int delivered);
-      ("tx_errors", Json.Int tx_errors);
-      ("ns_per_packet", Json.Float (elapsed *. 1e9 /. float_of_int delivered));
-      ("pps", Json.Float pps);
-      ("pps_per_core", Json.Float pps);
-    ];
-  Report.check report ~name:"wire loopback delivers every packet"
-    ~value:(float_of_int delivered)
-    (delivered = n && tx_errors = 0);
-  Format.printf
-    "@.wire loopback (unix-dgram, 256 B, encap+send+recv+decap+admit): %.0f \
-     pps/core (%.0f ns/packet)@."
-    pps
-    (elapsed *. 1e9 /. float_of_int delivered)
+  let best_pps = ref 0. in
+  List.iter
+    (fun batch ->
+      let n, accepted, delivered, elapsed, tx_errors, mmsg = wire_pps ~batch in
+      let pps = float_of_int delivered /. elapsed in
+      if pps > !best_pps then best_pps := pps;
+      let ns_pkt = elapsed *. 1e9 /. float_of_int (max delivered 1) in
+      Report.row report ~table:"wire"
+        [
+          ("transport", Json.String "unix-dgram");
+          ("batch", Json.Int batch);
+          ("mmsg", Json.Bool mmsg);
+          ("payload_bytes", Json.Int 256);
+          ("packets", Json.Int n);
+          ("accepted", Json.Int accepted);
+          ("delivered", Json.Int delivered);
+          ("tx_errors", Json.Int tx_errors);
+          ("ns_per_packet", Json.Float ns_pkt);
+          ("pps", Json.Float pps);
+          ("pps_per_core", Json.Float pps);
+        ];
+      (* every frame the kernel accepted came out the other end *)
+      Report.check report
+        ~name:
+          (Printf.sprintf "wire batch %d: no silent loss (delivered = accepted)"
+             batch)
+        ~value:(float_of_int delivered)
+        (delivered = accepted && accepted + tx_errors = n);
+      (* a flush depth within the unix-dgram queue loses nothing at all *)
+      if batch <= 8 then
+        Report.check report
+          ~name:(Printf.sprintf "wire batch %d: delivers every packet" batch)
+          ~value:(float_of_int delivered)
+          (delivered = n && tx_errors = 0);
+      Format.printf
+        "@.wire loopback (unix-dgram, batch %2d%s, 256 B, \
+         encap+send+recv+decap+admit): %.0f pps/core (%.0f ns/packet, \
+         %d/%d delivered, %d shed)@."
+        batch
+        (if mmsg then ", mmsg" else ", fallback")
+        pps ns_pkt delivered n tx_errors)
+    [ 1; 8; 32 ]
 
 let () =
   Format.printf "Convergence of IPsec in Presence of Resets — experiment harness@.";

@@ -797,7 +797,8 @@ let chaos_cmd =
 let serve_cmd =
   let open Resets_net in
   let go role addr peer secret spi_base sas k adaptive window rate duration
-      store_dir stats_path json_path workers expect_recovery heartbeat quiet =
+      store_dir stats_path json_path workers expect_recovery heartbeat batch
+      rcvbuf sndbuf quiet =
     let parse_addr label = function
       | None -> None
       | Some s -> (
@@ -836,6 +837,9 @@ let serve_cmd =
         workers;
         expect_recovery;
         heartbeat;
+        batch;
+        rcvbuf;
+        sndbuf;
       }
     in
     match Daemon.run cfg with
@@ -965,6 +969,34 @@ let serve_cmd =
       value & opt float 0.25
       & info [ "heartbeat" ] ~docv:"S" ~doc:"Heartbeat period in seconds.")
   in
+  let batch =
+    Arg.(
+      value
+      & opt positive_int_conv Resets_net_stubs.Batch_io.default_batch
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Wire batch size: datagrams per recvmmsg/sendmmsg syscall (rx \
+             arena slots / tx pool depth). 1 disables batching — one syscall \
+             per frame, synchronous send errors.")
+  in
+  let rcvbuf =
+    Arg.(
+      value
+      & opt (some positive_int_conv) None
+      & info [ "rcvbuf" ] ~docv:"BYTES"
+          ~doc:
+            "Request an explicit SO_RCVBUF; the effective (kernel-granted) \
+             size is reported in the startup heartbeat.")
+  in
+  let sndbuf =
+    Arg.(
+      value
+      & opt (some positive_int_conv) None
+      & info [ "sndbuf" ] ~docv:"BYTES"
+          ~doc:
+            "Request an explicit SO_SNDBUF; the effective (kernel-granted) \
+             size is reported in the startup heartbeat.")
+  in
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Do not print the final report.")
   in
@@ -978,7 +1010,8 @@ let serve_cmd =
     Term.(
       const go $ role $ addr $ peer $ secret $ spi_base $ sas $ k $ adaptive
       $ window $ rate $ duration $ store_dir $ stats_path $ json_path
-      $ workers $ expect_recovery $ heartbeat $ quiet)
+      $ workers $ expect_recovery $ heartbeat $ batch $ rcvbuf $ sndbuf
+      $ quiet)
 
 (* ------------------------------------------------------------------ *)
 (* trace *)

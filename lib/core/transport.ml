@@ -7,22 +7,51 @@ type stats = {
 type t = {
   label : string;
   send_raw : Packet.t -> bool;
+  send_slice_raw : (Resets_util.Slice.t -> bool) option;
   set_recv_raw : (Packet.t -> unit) -> unit;
+  set_recv_slice_raw : ((Resets_util.Slice.t -> unit) -> unit) option;
   stats : stats;
 }
 
-let make ~label ~send ~set_recv =
-  { label; send_raw = send; set_recv_raw = set_recv;
+let make ?send_slice ?set_recv_slice ~label ~send ~set_recv () =
+  { label; send_raw = send; send_slice_raw = send_slice;
+    set_recv_raw = set_recv; set_recv_slice_raw = set_recv_slice;
     stats = { tx = 0; rx = 0; tx_errors = 0 } }
 
-let send t pkt =
-  if t.send_raw pkt then t.stats.tx <- t.stats.tx + 1
+let[@inline] count t ok =
+  if ok then t.stats.tx <- t.stats.tx + 1
   else t.stats.tx_errors <- t.stats.tx_errors + 1
+
+let send t pkt = count t (t.send_raw pkt)
+
+let send_slice t slice =
+  count t
+    (match t.send_slice_raw with
+    | Some f -> f slice
+    | None ->
+      (* String-only medium: materialize once, mark fresh — the
+         provenance bit is sender-side metadata and a slice send is
+         always an original transmission. *)
+      t.send_raw (Packet.fresh (Resets_util.Slice.to_string slice)))
 
 let set_recv t handler =
   t.set_recv_raw (fun pkt ->
       t.stats.rx <- t.stats.rx + 1;
       handler pkt)
+
+let set_recv_slice t handler =
+  match t.set_recv_slice_raw with
+  | Some install ->
+    install (fun slice ->
+        t.stats.rx <- t.stats.rx + 1;
+        handler slice)
+  | None ->
+    (* Packet-native medium (the simulated link): view the wire string
+       in place. The [replayed] bit is dropped — slice consumers are
+       wire-shaped and a real wire carries no provenance. *)
+    t.set_recv_raw (fun pkt ->
+        t.stats.rx <- t.stats.rx + 1;
+        handler (Resets_util.Slice.of_string pkt.Packet.wire))
 
 let stats t = t.stats
 let label t = t.label
@@ -33,3 +62,4 @@ let of_link link =
       Resets_sim.Link.send link pkt;
       true)
     ~set_recv:(fun handler -> Resets_sim.Link.set_deliver link handler)
+    ()

@@ -26,22 +26,48 @@ type stats = {
 type t
 
 val make :
+  ?send_slice:(Resets_util.Slice.t -> bool) ->
+  ?set_recv_slice:((Resets_util.Slice.t -> unit) -> unit) ->
   label:string ->
   send:(Packet.t -> bool) ->
   set_recv:((Packet.t -> unit) -> unit) ->
+  unit ->
   t
 (** Build a transport from primitives. [send] returns [false] when the
     medium refused the packet (counted in [tx_errors]; the packet is
-    treated as lost, which the protocol tolerates by design). *)
+    treated as lost, which the protocol tolerates by design).
+
+    [send_slice]/[set_recv_slice] are the zero-copy primitives a
+    wire-native medium ({!Resets_net.Transport_udp}) supplies: frames
+    travel as {!Resets_util.Slice.t} views into pooled buffers and are
+    never materialized as strings. When omitted, {!send_slice} and
+    {!set_recv_slice} below still work — they bridge through the
+    string primitives with one copy, so every transport presents both
+    faces. *)
 
 val send : t -> Packet.t -> unit
 (** Hand a packet to the medium; never raises (refusals count as
     [tx_errors]). *)
 
+val send_slice : t -> Resets_util.Slice.t -> unit
+(** Like {!send} for a frame that lives in a borrowed buffer (an rx
+    arena slot, an SA scratch). The medium consumes the bytes before
+    returning — zero-copy on a slice-native medium, one copy
+    otherwise. Counted in the same [tx]/[tx_errors]. *)
+
 val set_recv : t -> (Packet.t -> unit) -> unit
 (** Install the receive handler. At most one is active; installing a
     new one replaces the old (same contract as
     {!Resets_sim.Link.set_deliver}). *)
+
+val set_recv_slice : t -> (Resets_util.Slice.t -> unit) -> unit
+(** Install a zero-copy receive handler: each frame arrives as a view
+    into the transport's rx buffer, valid only during the callback —
+    holders must copy ({!Resets_util.Slice.to_string}) to keep it. On
+    a packet-native medium the view aliases the packet's wire string;
+    the [replayed] provenance bit is dropped, as on a real wire.
+    Replaces any handler installed by {!set_recv} (one handler per
+    transport). *)
 
 val stats : t -> stats
 val label : t -> string

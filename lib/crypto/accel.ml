@@ -1,0 +1,24 @@
+(* Runtime switch for the C fast paths in crypto_accel.c.
+
+   The pure-OCaml implementations in Sha256/Chacha20 stay the reference
+   and are always compiled; the C primitives compute the identical
+   block functions over the same [int array] state layout. The switch
+   exists so differential tests can force the fallback and so a
+   miscompiled platform can be rescued with RESETS_NO_ACCEL=1 without
+   rebuilding. *)
+
+external available : unit -> bool = "caml_resets_crypto_accel_available"
+
+external sha256_blocks : int array -> Bytes.t -> int -> int -> unit
+  = "caml_resets_sha256_blocks"
+[@@noalloc]
+
+external chacha20_xor : int array -> Bytes.t -> int -> int -> int -> unit
+  = "caml_resets_chacha20_xor"
+[@@noalloc]
+
+let enabled =
+  ref (available () && Sys.getenv_opt "RESETS_NO_ACCEL" = None)
+
+let set_enabled b = enabled := b && available ()
+let in_use () = !enabled

@@ -1,0 +1,29 @@
+(** Runtime switch for the C crypto fast paths (SHA-256 block compress,
+    ChaCha20 keystream XOR). The pure-OCaml implementations remain the
+    reference; the C primitives are bit-for-bit equivalent and are used
+    by default when compiled in. Set [RESETS_NO_ACCEL=1] in the
+    environment (checked once at startup) or call [set_enabled false]
+    to force the pure paths — the differential tests do exactly that. *)
+
+val available : unit -> bool
+(** Whether the C primitives were compiled in. *)
+
+val in_use : unit -> bool
+(** Whether hot paths currently dispatch to the C primitives. *)
+
+val set_enabled : bool -> unit
+(** Toggle dispatch at runtime; [set_enabled true] is a no-op when
+    [available ()] is [false]. *)
+
+(**/**)
+
+val sha256_blocks : int array -> Bytes.t -> int -> int -> unit
+(** [sha256_blocks h data off n] runs the SHA-256 compression function
+    over [n] 64-byte blocks of [data] starting at [off], updating the
+    8 u32 chaining words in [h] in place. Internal: bounds unchecked. *)
+
+val chacha20_xor : int array -> Bytes.t -> int -> int -> int -> unit
+(** [chacha20_xor init buf off len counter0] XORs the ChaCha20
+    keystream into [buf.(off .. off+len-1)]. [init] is the 16-word
+    state template (constants, key, nonce); word 12 is ignored in
+    favour of [counter0]. Internal: bounds unchecked. *)

@@ -91,18 +91,31 @@ let crypt_into t ~nonce ?(counter = 1l) buf ~off ~len =
     invalid_arg "Chacha20.crypt_into: out of bounds";
   set_nonce t nonce ~off:0;
   let c0 = Int32.to_int counter land mask in
-  let blocks = (len + 63) / 64 in
-  for b = 0 to blocks - 1 do
-    fill_block t ((c0 + b) land mask);
-    let boff = off + (64 * b) in
-    let blen = min 64 (len - (64 * b)) in
-    for i = 0 to blen - 1 do
-      Bytes.unsafe_set buf (boff + i)
-        (Char.unsafe_chr
-           (Char.code (Bytes.unsafe_get buf (boff + i))
-            lxor Char.code (Bytes.unsafe_get t.ks i)))
+  if Accel.in_use () then begin
+    (* The C primitive consumes the full 16-word template; fill_block
+       normally (re)writes the constant and key words per block, so do
+       it once here. *)
+    let init = t.init in
+    init.(0) <- 0x61707865;
+    init.(1) <- 0x3320646e;
+    init.(2) <- 0x79622d32;
+    init.(3) <- 0x6b206574;
+    Array.blit t.key_words 0 init 4 8;
+    Accel.chacha20_xor init buf off len c0
+  end
+  else
+    let blocks = (len + 63) / 64 in
+    for b = 0 to blocks - 1 do
+      fill_block t ((c0 + b) land mask);
+      let boff = off + (64 * b) in
+      let blen = min 64 (len - (64 * b)) in
+      for i = 0 to blen - 1 do
+        Bytes.unsafe_set buf (boff + i)
+          (Char.unsafe_chr
+             (Char.code (Bytes.unsafe_get buf (boff + i))
+              lxor Char.code (Bytes.unsafe_get t.ks i)))
+      done
     done
-  done
 
 let block ~key ~nonce ~counter =
   if String.length nonce <> nonce_size then

@@ -1,0 +1,183 @@
+/* Scalar C fast paths for the two per-packet crypto inner loops.
+ *
+ * The OCaml implementations in sha256.ml / chacha20.ml remain the
+ * reference (validated against the RFC/FIPS vectors) and the fallback;
+ * these primitives compute the exact same block functions on the same
+ * state layout, they just run the arithmetic in C where a 32-bit
+ * rotate is one instruction instead of four.  Both are leaf calls:
+ * they allocate nothing, never release the runtime lock, and touch
+ * only the buffers they are handed, so they are safe as [@@noalloc]
+ * externals.
+ *
+ * State crosses the boundary as OCaml [int array]s holding u32 words
+ * (tagged immediates: Long_val/Val_long, no boxing, no caml_modify
+ * needed).  Message bytes cross as [Bytes.t].
+ */
+
+#include <stdint.h>
+#include <string.h>
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+
+CAMLprim value caml_resets_crypto_accel_available(value unit)
+{
+  (void)unit;
+  return Val_true;
+}
+
+/* ---------------- SHA-256 (FIPS 180-4) ---------------- */
+
+static const uint32_t sha_k[64] = {
+  0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+  0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+  0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+  0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+  0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+  0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+  0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+  0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+  0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+  0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+  0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2
+};
+
+static inline uint32_t rotr32(uint32_t x, int n)
+{
+  return (x >> n) | (x << (32 - n));
+}
+
+static inline uint32_t be32(const unsigned char *p)
+{
+  return ((uint32_t)p[0] << 24) | ((uint32_t)p[1] << 16)
+       | ((uint32_t)p[2] << 8) | (uint32_t)p[3];
+}
+
+#define S0(x) (rotr32(x, 2) ^ rotr32(x, 13) ^ rotr32(x, 22))
+#define S1(x) (rotr32(x, 6) ^ rotr32(x, 11) ^ rotr32(x, 25))
+#define s0(x) (rotr32(x, 7) ^ rotr32(x, 18) ^ ((x) >> 3))
+#define s1(x) (rotr32(x, 17) ^ rotr32(x, 19) ^ ((x) >> 10))
+#define CH(x, y, z) (((x) & (y)) ^ (~(x) & (z)))
+#define MAJ(x, y, z) (((x) & (y)) ^ ((x) & (z)) ^ ((y) & (z)))
+
+#define RND(a, b, c, d, e, f, g, h, i)                                 \
+  do {                                                                 \
+    uint32_t t1 = h + S1(e) + CH(e, f, g) + sha_k[i] + w[i];           \
+    uint32_t t2 = S0(a) + MAJ(a, b, c);                                \
+    d += t1;                                                           \
+    h = t1 + t2;                                                       \
+  } while (0)
+
+/* caml_resets_sha256_blocks h data off nblocks
+ *   h: int array of 8 u32 chaining words, updated in place
+ *   data: message bytes; [nblocks] 64-byte blocks starting at [off]  */
+CAMLprim value caml_resets_sha256_blocks(value vh, value vdata, value voff,
+                                         value vn)
+{
+  const unsigned char *p = Bytes_val(vdata) + Long_val(voff);
+  long n = Long_val(vn);
+  uint32_t h0 = (uint32_t)Long_val(Field(vh, 0));
+  uint32_t h1 = (uint32_t)Long_val(Field(vh, 1));
+  uint32_t h2 = (uint32_t)Long_val(Field(vh, 2));
+  uint32_t h3 = (uint32_t)Long_val(Field(vh, 3));
+  uint32_t h4 = (uint32_t)Long_val(Field(vh, 4));
+  uint32_t h5 = (uint32_t)Long_val(Field(vh, 5));
+  uint32_t h6 = (uint32_t)Long_val(Field(vh, 6));
+  uint32_t h7 = (uint32_t)Long_val(Field(vh, 7));
+  for (long b = 0; b < n; b++, p += 64) {
+    uint32_t w[64];
+    uint32_t a = h0, bb = h1, c = h2, d = h3, e = h4, f = h5, g = h6,
+             hh = h7;
+    int i;
+    for (i = 0; i < 16; i++) w[i] = be32(p + 4 * i);
+    for (i = 16; i < 64; i++)
+      w[i] = s1(w[i - 2]) + w[i - 7] + s0(w[i - 15]) + w[i - 16];
+    for (i = 0; i < 64; i += 8) {
+      RND(a, bb, c, d, e, f, g, hh, i);
+      RND(hh, a, bb, c, d, e, f, g, i + 1);
+      RND(g, hh, a, bb, c, d, e, f, i + 2);
+      RND(f, g, hh, a, bb, c, d, e, i + 3);
+      RND(e, f, g, hh, a, bb, c, d, i + 4);
+      RND(d, e, f, g, hh, a, bb, c, i + 5);
+      RND(c, d, e, f, g, hh, a, bb, i + 6);
+      RND(bb, c, d, e, f, g, hh, a, i + 7);
+    }
+    h0 += a; h1 += bb; h2 += c; h3 += d;
+    h4 += e; h5 += f; h6 += g; h7 += hh;
+  }
+  Field(vh, 0) = Val_long((long)h0);
+  Field(vh, 1) = Val_long((long)h1);
+  Field(vh, 2) = Val_long((long)h2);
+  Field(vh, 3) = Val_long((long)h3);
+  Field(vh, 4) = Val_long((long)h4);
+  Field(vh, 5) = Val_long((long)h5);
+  Field(vh, 6) = Val_long((long)h6);
+  Field(vh, 7) = Val_long((long)h7);
+  return Val_unit;
+}
+
+/* ---------------- ChaCha20 (RFC 8439) ---------------- */
+
+#define QR(a, b, c, d)                                                 \
+  do {                                                                 \
+    a += b; d ^= a; d = (d << 16) | (d >> 16);                         \
+    c += d; b ^= c; b = (b << 12) | (b >> 20);                         \
+    a += b; d ^= a; d = (d << 8) | (d >> 24);                          \
+    c += d; b ^= c; b = (b << 7) | (b >> 25);                          \
+  } while (0)
+
+/* caml_resets_chacha20_xor init buf off len counter0
+ *   init: int array of 16 u32 state-template words (constants, key,
+ *         nonce); word 12 is ignored — the counter is [counter0],
+ *         incremented per 64-byte block.
+ *   buf:  XORed with the keystream in place over [off, off+len).     */
+CAMLprim value caml_resets_chacha20_xor(value vinit, value vbuf, value voff,
+                                        value vlen, value vctr)
+{
+  uint32_t st[16];
+  unsigned char *buf = Bytes_val(vbuf) + Long_val(voff);
+  long len = Long_val(vlen);
+  uint32_t ctr = (uint32_t)Long_val(vctr);
+  int i;
+  for (i = 0; i < 16; i++) st[i] = (uint32_t)Long_val(Field(vinit, i));
+  while (len > 0) {
+    uint32_t x0 = st[0], x1 = st[1], x2 = st[2], x3 = st[3];
+    uint32_t x4 = st[4], x5 = st[5], x6 = st[6], x7 = st[7];
+    uint32_t x8 = st[8], x9 = st[9], x10 = st[10], x11 = st[11];
+    uint32_t x12 = ctr, x13 = st[13], x14 = st[14], x15 = st[15];
+    unsigned char ks[64];
+    long take = len < 64 ? len : 64;
+    for (i = 0; i < 10; i++) {
+      QR(x0, x4, x8, x12);
+      QR(x1, x5, x9, x13);
+      QR(x2, x6, x10, x14);
+      QR(x3, x7, x11, x15);
+      QR(x0, x5, x10, x15);
+      QR(x1, x6, x11, x12);
+      QR(x2, x7, x8, x13);
+      QR(x3, x4, x9, x14);
+    }
+    {
+      uint32_t out[16];
+      out[0] = x0 + st[0];   out[1] = x1 + st[1];
+      out[2] = x2 + st[2];   out[3] = x3 + st[3];
+      out[4] = x4 + st[4];   out[5] = x5 + st[5];
+      out[6] = x6 + st[6];   out[7] = x7 + st[7];
+      out[8] = x8 + st[8];   out[9] = x9 + st[9];
+      out[10] = x10 + st[10]; out[11] = x11 + st[11];
+      out[12] = x12 + ctr;   out[13] = x13 + st[13];
+      out[14] = x14 + st[14]; out[15] = x15 + st[15];
+      for (i = 0; i < 16; i++) {
+        ks[4 * i] = (unsigned char)(out[i] & 0xff);
+        ks[4 * i + 1] = (unsigned char)((out[i] >> 8) & 0xff);
+        ks[4 * i + 2] = (unsigned char)((out[i] >> 16) & 0xff);
+        ks[4 * i + 3] = (unsigned char)((out[i] >> 24) & 0xff);
+      }
+    }
+    for (i = 0; i < take; i++) buf[i] ^= ks[i];
+    buf += take;
+    len -= take;
+    ctr++;
+  }
+  return Val_unit;
+}

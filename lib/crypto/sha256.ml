@@ -128,6 +128,16 @@ let compress ctx block off =
   ctx.h.(6) <- (ctx.h.(6) + !g) land mask;
   ctx.h.(7) <- (ctx.h.(7) + !h) land mask
 
+(* All compression goes through here: one dispatch between the C fast
+   path (whole run of blocks in a single call) and the portable OCaml
+   compress. *)
+let[@inline] compress_blocks ctx src off nblocks =
+  if Accel.in_use () then Accel.sha256_blocks ctx.h src off nblocks
+  else
+    for b = 0 to nblocks - 1 do
+      compress ctx src (off + (block_size * b))
+    done
+
 let feed_bytes ctx src ~off ~len =
   if ctx.finalized then invalid_arg "Sha256.feed: context already finalized";
   if off < 0 || len < 0 || off + len > Bytes.length src then
@@ -142,15 +152,16 @@ let feed_bytes ctx src ~off ~len =
     pos := !pos + take;
     remaining := !remaining - take;
     if ctx.block_len = block_size then begin
-      compress ctx ctx.block 0;
+      compress_blocks ctx ctx.block 0 1;
       ctx.block_len <- 0
     end
   end;
-  while !remaining >= block_size do
-    compress ctx src !pos;
-    pos := !pos + block_size;
-    remaining := !remaining - block_size
-  done;
+  let full = !remaining / block_size in
+  if full > 0 then begin
+    compress_blocks ctx src !pos full;
+    pos := !pos + (full * block_size);
+    remaining := !remaining - (full * block_size)
+  end;
   if !remaining > 0 then begin
     Bytes.blit src !pos ctx.block 0 !remaining;
     ctx.block_len <- !remaining
@@ -172,7 +183,7 @@ let finalize_into ctx dst ~off =
   Bytes.set ctx.block bl '\x80';
   if bl + 1 + 8 > block_size then begin
     Bytes.fill ctx.block (bl + 1) (block_size - bl - 1) '\x00';
-    compress ctx ctx.block 0;
+    compress_blocks ctx ctx.block 0 1;
     Bytes.fill ctx.block 0 (block_size - 8) '\x00'
   end
   else Bytes.fill ctx.block (bl + 1) (block_size - 8 - (bl + 1)) '\x00';
@@ -181,7 +192,7 @@ let finalize_into ctx dst ~off =
     Bytes.set ctx.block (block_size - 8 + i)
       (Char.chr (Int64.to_int (Int64.shift_right_logical bit_len shift) land 0xff))
   done;
-  compress ctx ctx.block 0;
+  compress_blocks ctx ctx.block 0 1;
   ctx.block_len <- 0;
   ctx.finalized <- true;
   for i = 0 to 7 do

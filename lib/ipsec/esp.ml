@@ -23,20 +23,29 @@ let encrypt_in_place (sa : Sa.params) ~seq buf ~off ~len =
     Resets_crypto.Chacha20.crypt_into sa.crypto.cipher
       ~nonce:(arm_nonce sa ~seq) buf ~off ~len
 
+let encap_into ~(sa : Sa.params) ~seq ~payload dst ~off =
+  if seq < 0 then invalid_arg "Esp.encap_into: negative sequence number";
+  let icv_len = Sa.icv_length sa.algo.integ in
+  let plen = String.length payload in
+  let total = header_length + plen + icv_len in
+  if off < 0 || off + total > Bytes.length dst then
+    invalid_arg "Esp.encap_into: out of bounds";
+  Wire.set_be32 dst off sa.spi;
+  Wire.set_be64 dst (off + 4) (Int64.of_int seq);
+  Bytes.blit_string payload 0 dst (off + header_length) plen;
+  encrypt_in_place sa ~seq dst ~off:(off + header_length) ~len:plen;
+  let st = sa.crypto.hmac in
+  Resets_crypto.Hmac.start st;
+  Resets_crypto.Hmac.add_bytes st dst ~off ~len:(header_length + plen);
+  Resets_crypto.Hmac.finish_into st ~bytes:icv_len ~dst
+    ~dst_off:(off + header_length + plen);
+  total
+
 let encap ~(sa : Sa.params) ~seq ~payload =
   if seq < 0 then invalid_arg "Esp.encap: negative sequence number";
   let icv_len = Sa.icv_length sa.algo.integ in
-  let plen = String.length payload in
-  let out = Bytes.create (header_length + plen + icv_len) in
-  Wire.set_be32 out 0 sa.spi;
-  Wire.set_be64 out 4 (Int64.of_int seq);
-  Bytes.blit_string payload 0 out header_length plen;
-  encrypt_in_place sa ~seq out ~off:header_length ~len:plen;
-  let st = sa.crypto.hmac in
-  Resets_crypto.Hmac.start st;
-  Resets_crypto.Hmac.add_bytes st out ~off:0 ~len:(header_length + plen);
-  Resets_crypto.Hmac.finish_into st ~bytes:icv_len ~dst:out
-    ~dst_off:(header_length + plen);
+  let out = Bytes.create (header_length + String.length payload + icv_len) in
+  let (_ : int) = encap_into ~sa ~seq ~payload out ~off:0 in
   Bytes.unsafe_to_string out
 
 (* Decrypt [packet]'s ciphertext range into the SA's scratch buffer
@@ -53,25 +62,36 @@ let plaintext_slice (sa : Sa.params) ~seq packet ~off ~len =
       ~nonce:(arm_nonce sa ~seq) scratch ~off:0 ~len;
     Slice.make scratch ~off:0 ~len
 
-let decap_slice ~(sa : Sa.params) packet =
+(* Range-based core: [packet] may be a whole wire string or a window
+   into a shared rx arena buffer ([decap_of_slice]); nothing below
+   assumes the frame starts at offset 0. *)
+let decap_range ~(sa : Sa.params) packet ~off ~len =
   let icv_len = Sa.icv_length sa.algo.integ in
-  let n = String.length packet in
-  if n < header_length + icv_len then Error Malformed
+  if len < header_length + icv_len then Error Malformed
   else begin
-    let covered_len = n - icv_len in
+    let covered_len = len - icv_len in
     let st = sa.crypto.hmac in
     Resets_crypto.Hmac.start st;
-    Resets_crypto.Hmac.add_sub st packet ~off:0 ~len:covered_len;
+    Resets_crypto.Hmac.add_sub st packet ~off ~len:covered_len;
     if
       not
-        (Resets_crypto.Hmac.finish_verify st ~tag:packet ~tag_off:covered_len
-           ~tag_len:icv_len)
+        (Resets_crypto.Hmac.finish_verify st ~tag:packet
+           ~tag_off:(off + covered_len) ~tag_len:icv_len)
     then Error Bad_icv
     else begin
-      let seq = Int64.to_int (Wire.get_be64 packet 4) in
-      Ok (seq, plaintext_slice sa ~seq packet ~off:header_length ~len:(covered_len - header_length))
+      let seq = Int64.to_int (Wire.get_be64 packet (off + 4)) in
+      Ok
+        ( seq,
+          plaintext_slice sa ~seq packet ~off:(off + header_length)
+            ~len:(covered_len - header_length) )
     end
   end
+
+let decap_slice ~sa packet =
+  decap_range ~sa packet ~off:0 ~len:(String.length packet)
+
+let decap_of_slice ~sa (s : Slice.t) =
+  decap_range ~sa (Bytes.unsafe_to_string s.base) ~off:s.off ~len:s.len
 
 let decap ~sa packet =
   Result.map (fun (seq, s) -> (seq, Slice.to_string s)) (decap_slice ~sa packet)
@@ -82,6 +102,13 @@ let seq_of_packet packet =
 
 let spi_of_packet packet =
   if String.length packet < 4 then None else Some (Wire.get_be32 packet 0)
+
+let seq_of_slice (s : Slice.t) =
+  if s.len < header_length then None
+  else Some (Int64.to_int (Wire.get_be64_bytes s.base (s.off + 4)))
+
+let spi_of_slice (s : Slice.t) =
+  if s.len < 4 then None else Some (Wire.get_be32_bytes s.base s.off)
 
 let overhead ~sa = header_length + Sa.icv_length sa.Sa.algo.integ
 

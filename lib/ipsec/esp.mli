@@ -28,6 +28,18 @@ val error_to_string : error -> string
 val encap : sa:Sa.params -> seq:Resets_util.Seqno.t -> payload:string -> string
 (** Build a wire packet. @raise Invalid_argument on negative [seq]. *)
 
+val encap_into :
+  sa:Sa.params ->
+  seq:Resets_util.Seqno.t ->
+  payload:string ->
+  Bytes.t ->
+  off:int ->
+  int
+(** Write the wire packet directly at [off] in a caller-owned buffer
+    (a tx pool slot) and return its total length — [encap] without the
+    per-packet allocation. @raise Invalid_argument on negative [seq]
+    or if the frame does not fit. *)
+
 val decap : sa:Sa.params -> string -> (Resets_util.Seqno.t * string, error) result
 (** Verify the ICV, decrypt, and return (sequence number, payload).
     Replay-window processing is the caller's job — in IPsec the window
@@ -42,12 +54,30 @@ val decap_slice :
     buffer (or the packet, under null encryption) — valid only until
     the next codec operation on the same SA. *)
 
+val decap_of_slice :
+  sa:Sa.params ->
+  Resets_util.Slice.t ->
+  (Resets_util.Seqno.t * Resets_util.Slice.t, error) result
+(** [decap_slice] for a frame that is itself a view into a shared
+    buffer — an rx arena slot holding a just-received datagram. No
+    string is ever materialized: the ICV streams over the viewed
+    bytes and the returned payload slice follows the usual scratch
+    lifetime rules (additionally: it must be consumed before the arena
+    slot is reused by the next receive batch). *)
+
 val seq_of_packet : string -> Resets_util.Seqno.t option
 (** Peek at the sequence number without verifying (what an adversary on
     the path can read). Seq64 framing only — an [Esn32] packet carries
     just 32 low bits at a different offset; use {!seq_of_packet_esn}. *)
 
 val spi_of_packet : string -> int32 option
+
+val seq_of_slice : Resets_util.Slice.t -> Resets_util.Seqno.t option
+(** {!seq_of_packet} over an arena-backed frame, allocation-free. *)
+
+val spi_of_slice : Resets_util.Slice.t -> int32 option
+(** {!spi_of_packet} over an arena-backed frame — what the daemon's
+    socket loop reads to shard a batch across workers. *)
 
 val overhead : sa:Sa.params -> int
 (** Bytes added to a payload by [encap]. *)

@@ -15,3 +15,10 @@ val get_be32 : string -> int -> int32
 
 val get_be64 : string -> int -> int64
 (** @raise Invalid_argument on short input. *)
+
+val get_be32_bytes : Bytes.t -> int -> int32
+(** [get_be32] over a mutable buffer (an rx arena slot) without
+    aliasing it as a string. @raise Invalid_argument on short input. *)
+
+val get_be64_bytes : Bytes.t -> int -> int64
+(** @raise Invalid_argument on short input. *)

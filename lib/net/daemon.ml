@@ -4,6 +4,8 @@ open Resets_persist
 open Resets_ipsec
 open Resets_core
 
+module Batch_io = Resets_net_stubs.Batch_io
+
 type role = Send | Recv
 
 type config = {
@@ -24,6 +26,9 @@ type config = {
   workers : int;
   expect_recovery : bool;
   heartbeat : float;
+  batch : int;
+  rcvbuf : int option;
+  sndbuf : int option;
 }
 
 let default =
@@ -45,6 +50,9 @@ let default =
     workers = 1;
     expect_recovery = false;
     heartbeat = 0.25;
+    batch = Batch_io.default_batch;
+    rcvbuf = None;
+    sndbuf = None;
   }
 
 let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
@@ -168,21 +176,42 @@ let read_prev_stats path =
             sas))
   end
 
-let append_heartbeat path ~role ~elapsed_ns ~shards stats =
-  let line =
-    Json.to_string
-      (Json.Obj
-         [
-           ("elapsed_ns", Json.Int elapsed_ns);
-           ("role", Json.String (match role with Send -> "send" | Recv -> "recv"));
-           ("sas", Json.List (List.map json_of_stat (Array.to_list stats)));
-           (* per-shard (worker) wall-clock SAVE-latency percentiles *)
-           ("save_latency_ns", Json.List shards);
-         ])
-  in
+let append_line path line =
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   output_string oc (line ^ "\n");
   close_out oc
+
+let append_heartbeat path ~role ~elapsed_ns ~shards ~wire stats =
+  append_line path
+    (Json.to_string
+       (Json.Obj
+          [
+            ("elapsed_ns", Json.Int elapsed_ns);
+            ( "role",
+              Json.String (match role with Send -> "send" | Recv -> "recv") );
+            ("sas", Json.List (List.map json_of_stat (Array.to_list stats)));
+            (* per-shard (worker) wall-clock SAVE-latency percentiles *)
+            ("save_latency_ns", Json.List shards);
+            (* wire pressure: batch-fill percentiles, flush counts,
+               tx-pool high-water mark (DESIGN.md §2f) *)
+            ("wire", wire);
+          ]))
+
+(* The startup heartbeat carries what a post-mortem needs to interpret
+   the run's wire numbers: the configured batch and the socket-buffer
+   sizes the kernel actually granted (it clamps and rounds requests). *)
+let append_startup path ~role ~batch ~rcvbuf_effective ~sndbuf_effective =
+  append_line path
+    (Json.to_string
+       (Json.Obj
+          [
+            ("event", Json.String "startup");
+            ( "role",
+              Json.String (match role with Send -> "send" | Recv -> "recv") );
+            ("batch", Json.Int batch);
+            ("rcvbuf_effective", Json.Int rcvbuf_effective);
+            ("sndbuf_effective", Json.Int sndbuf_effective);
+          ]))
 
 (* ------------------------------------------------------------------ *)
 (* Worker mailbox: the main domain pushes raw frames in (receive role)
@@ -219,14 +248,44 @@ let json_of_latencies ~worker l =
       ("max", Json.Float l.lat_max_ns);
     ]
 
+(* A send worker's view of its private socket, snapshotted under the
+   mailbox mutex alongside the SA stats. *)
+type wire_snapshot = {
+  w_tx : int;
+  w_tx_errors : int;
+  w_tx_flushes : int;
+  w_tx_queue_hwm : int;
+  w_rcvbuf : int;
+  w_sndbuf : int;
+}
+
+let no_wire =
+  {
+    w_tx = 0;
+    w_tx_errors = 0;
+    w_tx_flushes = 0;
+    w_tx_queue_hwm = 0;
+    w_rcvbuf = 0;
+    w_sndbuf = 0;
+  }
+
+let snapshot_wire sock =
+  {
+    w_tx = Transport_udp.tx_frames sock;
+    w_tx_errors = Transport_udp.tx_errors sock;
+    w_tx_flushes = Transport_udp.tx_flushes sock;
+    w_tx_queue_hwm = Transport_udp.tx_queue_hwm sock;
+    w_rcvbuf = Transport_udp.rcvbuf_effective sock;
+    w_sndbuf = Transport_udp.sndbuf_effective sock;
+  }
+
 type mailbox = {
   m : Mutex.t;
   mutable frames : string list; (* newest first *)
   mutable stop : bool;
   mutable snapshot : sa_stat array;
   mutable save_latencies : save_lat_snapshot;
-  mutable wire_tx : int;
-  mutable wire_tx_errors : int;
+  mutable wire : wire_snapshot;
 }
 
 let make_mailbox n =
@@ -236,8 +295,7 @@ let make_mailbox n =
     stop = false;
     snapshot = Array.init n (fun _ -> zero_stat 0);
     save_latencies = no_latencies;
-    wire_tx = 0;
-    wire_tx_errors = 0;
+    wire = no_wire;
   }
 
 let shard_indices cfg w =
@@ -384,7 +442,10 @@ let send_worker cfg (mb : mailbox) w =
   let clock = Clock.of_ns_source now_ns in
   let fs = File_store.create ~dir:cfg.store_dir in
   let save_lat = Stats.Sample.create () in
-  let sock = Transport_udp.create ?peer:cfg.peer () in
+  let sock =
+    Transport_udp.create ?peer:cfg.peer ~batch:cfg.batch ?rcvbuf:cfg.rcvbuf
+      ?sndbuf:cfg.sndbuf ()
+  in
   let transport = Transport_udp.transport sock in
   let gap = Time.of_ns (Int64.of_float (1e9 /. cfg.rate_pps)) in
   let states =
@@ -441,8 +502,7 @@ let send_worker cfg (mb : mailbox) w =
     Mutex.lock mb.m;
     mb.snapshot <- snap;
     mb.save_latencies <- snapshot_latencies save_lat;
-    mb.wire_tx <- Transport_udp.tx_frames sock;
-    mb.wire_tx_errors <- Transport_udp.tx_errors sock;
+    mb.wire <- snapshot_wire sock;
     Mutex.unlock mb.m
   in
   publish ();
@@ -453,6 +513,9 @@ let send_worker cfg (mb : mailbox) w =
   in
   ignore (Engine.schedule_after engine ~after:hb tick);
   let idle ~due =
+    (* About to wait: push whatever the burst staged so a batch never
+       sits in the tx pool across an idle period. *)
+    ignore (Transport_udp.flush sock : int);
     match due with
     | None -> Unix.sleepf 0.002
     | Some d ->
@@ -460,7 +523,10 @@ let send_worker cfg (mb : mailbox) w =
       if ahead > 0. then Unix.sleepf (Float.min ahead 0.01)
   in
   ignore
-    (Engine.run_clocked ~clock ~idle ~until:(Time.of_sec cfg.duration) engine);
+    (Engine.run_clocked ~clock ~idle
+       ~tick:(fun () -> ignore (Transport_udp.flush sock : int))
+       ~until:(Time.of_sec cfg.duration) engine);
+  ignore (Transport_udp.flush sock : int);
   publish ();
   Transport_udp.close sock
 
@@ -524,7 +590,8 @@ let check_gate cfg ~prev stats =
       List.concat [ v1; v2; v3; v4; v5; v6 ])
     (Array.to_list stats)
 
-let report cfg ~elapsed_s ~wire_rx ~wire_tx ~wire_tx_errors ~gate stats =
+let report cfg ~elapsed_s ~wire_rx ~wire_tx ~wire_tx_errors ~wire_stats ~gate
+    stats =
   let total f = Array.fold_left (fun acc s -> acc + f s) 0 stats in
   let delivered = total (fun s -> s.delivered)
   and sent = total (fun s -> s.sent) in
@@ -544,6 +611,8 @@ let report cfg ~elapsed_s ~wire_rx ~wire_tx ~wire_tx_errors ~gate stats =
       ("wire_rx", Json.Int wire_rx);
       ("wire_tx", Json.Int wire_tx);
       ("wire_tx_errors", Json.Int wire_tx_errors);
+      ("batch", Json.Int cfg.batch);
+      ("wire", wire_stats);
       ("sent", Json.Int sent);
       ("delivered", Json.Int delivered);
       ("pps", Json.Float pps);
@@ -561,6 +630,9 @@ let report cfg ~elapsed_s ~wire_rx ~wire_tx ~wire_tx_errors ~gate stats =
 let run cfg =
   if cfg.sas < 1 then invalid_arg "Daemon.run: sas must be >= 1";
   if cfg.workers < 1 then invalid_arg "Daemon.run: workers must be >= 1";
+  if cfg.batch < 1 || cfg.batch > Batch_io.max_batch then
+    invalid_arg
+      (Printf.sprintf "Daemon.run: batch must be in [1, %d]" Batch_io.max_batch);
   if cfg.workers > cfg.sas then invalid_arg "Daemon.run: more workers than SAs";
   (match (cfg.role, cfg.bind, cfg.peer) with
   | Recv, None, _ -> invalid_arg "Daemon.run: Recv needs a bind address"
@@ -578,23 +650,43 @@ let run cfg =
   let mailboxes = Array.init cfg.workers (fun _ -> make_mailbox cfg.sas) in
   let sock =
     match cfg.role with
-    | Recv -> Some (Transport_udp.create ?bind:cfg.bind ())
+    | Recv ->
+      Some
+        (Transport_udp.create ?bind:cfg.bind ~batch:cfg.batch
+           ?rcvbuf:cfg.rcvbuf ?sndbuf:cfg.sndbuf ())
     | Send -> None
   in
+  (* Frames are partitioned by SPI shard straight out of the rx arena
+     (no string until the shard is known to want the frame); each
+     worker's chunk is then pushed under ONE lock acquisition per
+     drained burst, not one per frame. *)
+  let chunks = Array.make cfg.workers [] in
   Option.iter
     (fun s ->
-      Transport_udp.set_frame_handler s (fun frame ->
-          match Esp.spi_of_packet frame with
+      Transport_udp.set_slice_handler s (fun slice ->
+          match Esp.spi_of_slice slice with
           | None -> ()
           | Some spi ->
             let i = Int32.to_int spi - cfg.spi_base in
-            if i >= 0 && i < cfg.sas then begin
-              let mb = mailboxes.(i mod cfg.workers) in
-              Mutex.lock mb.m;
-              mb.frames <- frame :: mb.frames;
-              Mutex.unlock mb.m
-            end))
+            if i >= 0 && i < cfg.sas then
+              (* the arena slot is reused by the next receive batch, so
+                 a frame crossing domains must be materialized *)
+              chunks.(i mod cfg.workers) <-
+                Slice.to_string slice :: chunks.(i mod cfg.workers)))
     sock;
+  let dispatch () =
+    for w = 0 to cfg.workers - 1 do
+      match chunks.(w) with
+      | [] -> ()
+      | chunk ->
+        chunks.(w) <- [];
+        let mb = mailboxes.(w) in
+        Mutex.lock mb.m;
+        (* both lists are newest-first and [chunk] is strictly newer *)
+        mb.frames <- chunk @ mb.frames;
+        Mutex.unlock mb.m
+    done
+  in
   let pool = Domain_pool.create ~domains:cfg.workers ~init:(fun _ -> ()) () in
   let futures =
     Array.init cfg.workers (fun w ->
@@ -603,6 +695,73 @@ let run cfg =
             | Recv -> recv_worker cfg mailboxes.(w) w
             | Send -> send_worker cfg mailboxes.(w) w))
   in
+  (* A send daemon's sockets live in its workers; its wire stats reach
+     the main domain through the mailbox snapshots. *)
+  let wire_of_workers () =
+    Array.fold_left
+      (fun acc (mb : mailbox) ->
+        Mutex.lock mb.m;
+        let w = mb.wire in
+        Mutex.unlock mb.m;
+        {
+          w_tx = acc.w_tx + w.w_tx;
+          w_tx_errors = acc.w_tx_errors + w.w_tx_errors;
+          w_tx_flushes = acc.w_tx_flushes + w.w_tx_flushes;
+          w_tx_queue_hwm = max acc.w_tx_queue_hwm w.w_tx_queue_hwm;
+          w_rcvbuf = max acc.w_rcvbuf w.w_rcvbuf;
+          w_sndbuf = max acc.w_sndbuf w.w_sndbuf;
+        })
+      no_wire mailboxes
+  in
+  let wire_json () =
+    match sock with
+    | Some s ->
+      Json.Obj
+        [
+          ("rx_frames", Json.Int (Transport_udp.rx_frames s));
+          ("rx_dropped", Json.Int (Transport_udp.rx_dropped s));
+          ("rx_batches", Json.Int (Transport_udp.rx_batches s));
+          ("rx_batch_p50", Json.Int (Transport_udp.rx_batch_percentile s 0.5));
+          ("rx_batch_p99", Json.Int (Transport_udp.rx_batch_percentile s 0.99));
+          ("rx_batch_max", Json.Int (Transport_udp.rx_batch_max s));
+          ("rcvbuf_effective", Json.Int (Transport_udp.rcvbuf_effective s));
+        ]
+    | None ->
+      let w = wire_of_workers () in
+      Json.Obj
+        [
+          ("tx_frames", Json.Int w.w_tx);
+          ("tx_errors", Json.Int w.w_tx_errors);
+          ("tx_flushes", Json.Int w.w_tx_flushes);
+          ("tx_queue_hwm", Json.Int w.w_tx_queue_hwm);
+          ("sndbuf_effective", Json.Int w.w_sndbuf);
+        ]
+  in
+  (* Startup heartbeat: the effective socket-buffer sizes. The send
+     role's sockets are worker-owned, so give the workers a moment to
+     publish their first snapshot. *)
+  (match cfg.stats_path with
+  | None -> ()
+  | Some path ->
+    let rcv, snd =
+      match sock with
+      | Some s ->
+        (Transport_udp.rcvbuf_effective s, Transport_udp.sndbuf_effective s)
+      | None ->
+        let deadline = Unix.gettimeofday () +. 1.0 in
+        let rec wait () =
+          let w = wire_of_workers () in
+          if w.w_sndbuf > 0 || Unix.gettimeofday () > deadline then
+            (w.w_rcvbuf, w.w_sndbuf)
+          else begin
+            Unix.sleepf 0.005;
+            wait ()
+          end
+        in
+        wait ()
+    in
+    append_startup path ~role:cfg.role ~batch:cfg.batch ~rcvbuf_effective:rcv
+      ~sndbuf_effective:snd);
   (* Main loop: drain the socket (receive role) and emit heartbeats
      until the wall-clock duration elapses. *)
   let next_hb = ref cfg.heartbeat in
@@ -621,7 +780,7 @@ let run cfg =
       in
       append_heartbeat path ~role:cfg.role
         ~elapsed_ns:(Int64.to_int (Time.to_ns (Clock.elapsed clock)))
-        ~shards (aggregate mailboxes)
+        ~shards ~wire:(wire_json ()) (aggregate mailboxes)
   in
   let rec main_loop () =
     let elapsed = Time.to_sec (Clock.elapsed clock) in
@@ -632,13 +791,22 @@ let run cfg =
       end;
       (match sock with
       | Some s ->
-        if Transport_udp.wait_readable s ~timeout:0.02 then
-          ignore (Transport_udp.drain s)
+        if Transport_udp.wait_readable s ~timeout:0.02 then begin
+          ignore (Transport_udp.drain s);
+          dispatch ()
+        end
       | None -> Unix.sleepf 0.02);
       main_loop ()
     end
   in
   main_loop ();
+  (* One last sweep of the socket so frames that raced shutdown still
+     reach their shard before the workers' final drain. *)
+  (match sock with
+  | Some s ->
+    ignore (Transport_udp.drain s);
+    dispatch ()
+  | None -> ());
   Array.iter
     (fun mb ->
       Mutex.lock mb.m;
@@ -653,16 +821,16 @@ let run cfg =
   let wire_rx =
     match sock with Some s -> Transport_udp.rx_frames s | None -> 0
   in
-  let wire_tx, wire_tx_errors =
-    Array.fold_left
-      (fun (tx, errs) mb -> (tx + mb.wire_tx, errs + mb.wire_tx_errors))
-      (0, 0) mailboxes
-  in
+  let wire_stats = wire_json () in
+  let ww = wire_of_workers () in
   Option.iter Transport_udp.close sock;
   let gate =
     if cfg.expect_recovery && cfg.role = Recv then check_gate cfg ~prev stats
     else []
   in
-  let rep = report cfg ~elapsed_s ~wire_rx ~wire_tx ~wire_tx_errors ~gate stats in
+  let rep =
+    report cfg ~elapsed_s ~wire_rx ~wire_tx:ww.w_tx
+      ~wire_tx_errors:ww.w_tx_errors ~wire_stats ~gate stats
+  in
   Option.iter (fun path -> Json.write_file path rep) cfg.json_path;
   ((if gate = [] then 0 else 2), rep)

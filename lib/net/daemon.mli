@@ -17,10 +17,23 @@
 
     {b Sharding.} SAs are distributed round-robin by SPI across
     [workers] domains ({!Resets_util.Domain_pool}). The receive side
-    keeps the socket on the main domain (single-owner discipline,
-    batched {!Transport_udp.drain}) and fans frames out to per-worker
-    mailboxes; each send worker owns a socket of its own. Every worker
-    drives its own engine with {!Resets_sim.Engine.run_clocked}.
+    keeps the socket on the main domain (single-owner discipline): each
+    {!Transport_udp.drain} pulls whole [recvmmsg] batches into the rx
+    arena, the SPI is read off each frame in place
+    ({!Resets_ipsec.Esp.spi_of_slice}) to pick its shard, and every
+    worker's chunk is pushed to its mailbox under a single lock
+    acquisition per drained burst — never one lock per frame. Each send
+    worker owns a batched socket of its own, flushed at every
+    engine-tick boundary ({!Resets_sim.Engine.run_clocked}'s [tick]
+    hook) so staged frames never outlive a tick. Every worker drives
+    its own engine with {!Resets_sim.Engine.run_clocked}.
+
+    {b Observability.} With [stats_path] set, a startup line records
+    the configured [batch] and the socket-buffer sizes the kernel
+    actually granted ([rcvbuf_effective]/[sndbuf_effective]); each
+    heartbeat line carries a ["wire"] object — receive-batch fill
+    percentiles ([rx_batch_p50]/[p99]/[max]) on the receive side, flush
+    counts and the tx-pool high-water mark on the send side.
 
     {b Convergence gate.} With [expect_recovery], a receiving daemon
     exits 0 only if every SA converged after the restart: its stored
@@ -58,6 +71,12 @@ type config = {
   workers : int;
   expect_recovery : bool;
   heartbeat : float;  (** heartbeat period, seconds *)
+  batch : int;
+      (** wire batch size (rx arena slots / tx pool depth), in
+          [\[1, Batch_io.max_batch\]]; 1 = unbatched
+          one-syscall-per-frame *)
+  rcvbuf : int option;  (** request an explicit [SO_RCVBUF] *)
+  sndbuf : int option;  (** request an explicit [SO_SNDBUF] *)
 }
 
 val default : config

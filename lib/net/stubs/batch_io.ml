@@ -1,0 +1,110 @@
+(* Batched datagram I/O over a pooled frame arena.
+
+   The mmsg path (Linux) moves a whole batch per syscall through the
+   stubs in mmsg_stubs.c; everywhere else — and whenever forced for
+   differential testing — the portable fallback makes one Unix.recv /
+   Unix.sendto call per frame over the very same rings. Both paths
+   present identical semantics to Transport_udp: same counts, same
+   order, same loss discipline. *)
+
+type dest =
+  | Inet of string * int  (* numeric host (v4 or v6), port *)
+  | Unix_path of string
+
+external mmsg_available : unit -> bool = "caml_resets_mmsg_available"
+
+external recvmmsg_stub :
+  Unix.file_descr -> Bytes.t array -> int array -> int -> int
+  = "caml_resets_recvmmsg"
+
+external sendmmsg_stub :
+  Unix.file_descr -> dest -> Bytes.t array -> int array -> int -> int
+  = "caml_resets_sendmmsg"
+
+(* Mirrors RESETS_MAX_BATCH in mmsg_stubs.c. *)
+let max_batch = 64
+let default_batch = 32
+
+(* 65535 covers the largest possible UDP datagram, so the mmsg path
+   can never hit MSG_TRUNC and the fallback path (which cannot detect
+   truncation portably) can never truncate. *)
+let frame_size = 65536
+
+let forced_fallback = ref (Sys.getenv_opt "RESETS_NO_MMSG" <> None)
+let force_fallback b = forced_fallback := b
+let using_mmsg () = mmsg_available () && not !forced_fallback
+
+type ring = {
+  bufs : Bytes.t array;
+  lens : int array;
+  batch : int;
+}
+
+let ring batch =
+  if batch < 1 || batch > max_batch then
+    invalid_arg
+      (Printf.sprintf "Batch_io.ring: batch must be in [1, %d]" max_batch);
+  {
+    bufs = Array.init batch (fun _ -> Bytes.create frame_size);
+    lens = Array.make batch 0;
+    batch;
+  }
+
+let dest_of_sockaddr = function
+  | Unix.ADDR_UNIX path -> Unix_path path
+  | Unix.ADDR_INET (a, p) -> Inet (Unix.string_of_inet_addr a, p)
+
+let sockaddr_of_dest = function
+  | Unix_path path -> Unix.ADDR_UNIX path
+  | Inet (h, p) -> Unix.ADDR_INET (Unix.inet_addr_of_string h, p)
+
+(* Fill [r.bufs.(0..n-1)] / [r.lens] with up to [count] queued
+   datagrams; returns n. A zero-length datagram is a real datagram:
+   lens.(i) = 0 and it counts. lens.(i) = -1 marks a frame the kernel
+   truncated (mmsg path only; cannot happen at [frame_size]). *)
+let recv_batch fd r ~count =
+  let count = min count r.batch in
+  if using_mmsg () then begin
+    match recvmmsg_stub fd r.bufs r.lens count with
+    | -1 -> 0
+    | n -> n
+  end
+  else begin
+    let n = ref 0 and continue = ref true in
+    while !continue && !n < count do
+      let buf = r.bufs.(!n) in
+      match Unix.recv fd buf 0 frame_size [] with
+      | len ->
+        r.lens.(!n) <- len;
+        incr n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+        (* Deferred ICMP error from an earlier send, not a frame. *)
+        ()
+    done;
+    !n
+  end
+
+(* Send [r.bufs.(i)][0..r.lens.(i)) for i < count to [dest]; returns
+   how many the kernel accepted. Sending stops at the first refusal
+   (would-block, dead peer, unreachable) and the unsent tail is the
+   caller's tx_errors — the paper's channel is lossy, so a refused
+   frame is loss, never an exception. *)
+let send_batch fd r ~dest ~count =
+  let count = min count r.batch in
+  if using_mmsg () then sendmmsg_stub fd dest r.bufs r.lens count
+  else begin
+    let sockaddr = sockaddr_of_dest dest in
+    let sent = ref 0 and continue = ref true in
+    while !continue && !sent < count do
+      let buf = r.bufs.(!sent) and len = r.lens.(!sent) in
+      match Unix.sendto fd buf 0 len [] sockaddr with
+      | n when n = len -> incr sent
+      | _ -> continue := false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (_, _, _) -> continue := false
+    done;
+    !sent
+  end

@@ -1,0 +1,183 @@
+/* recvmmsg/sendmmsg batched datagram I/O.
+ *
+ * One syscall moves up to RESETS_MAX_BATCH datagrams between the
+ * kernel and a pre-registered ring of OCaml [Bytes.t] buffers (the
+ * frame arena owned by Batch_io). The socket is nonblocking and the
+ * calls never release the runtime lock, so holding direct pointers
+ * into the OCaml heap across the syscall is safe: no allocation, no
+ * GC, no other mutator can run.
+ *
+ * Outside Linux the primitives compile to "unavailable" stubs and
+ * Batch_io routes everything through the portable one-syscall-per-
+ * frame Unix fallback instead — same observable frame stream, just
+ * slower.
+ *
+ * Error discipline mirrors Transport_udp: EINTR retries in place;
+ * ECONNREFUSED on receive (deferred ICMP from an earlier send to a
+ * dead peer) retries in place, it is not an arriving frame; EAGAIN
+ * means "ring drained"/"kernel buffer full" and returns -1. A send
+ * refused for a destination-shaped reason (dead peer, unreachable,
+ * oversized) returns the count already sent — the unsent tail is the
+ * caller's tx_errors, i.e. channel loss, never an exception.
+ */
+
+#define _GNU_SOURCE
+
+#include <errno.h>
+#include <string.h>
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+
+#define RESETS_MAX_BATCH 64
+
+#ifdef __linux__
+
+#include <sys/types.h>
+#include <sys/socket.h>
+#include <netinet/in.h>
+#include <arpa/inet.h>
+#include <sys/un.h>
+#include <caml/unixsupport.h>
+
+CAMLprim value caml_resets_mmsg_available(value unit)
+{
+  (void)unit;
+  return Val_true;
+}
+
+/* caml_resets_recvmmsg fd bufs lens count
+ *   Receive up to [count] datagrams into bufs[0..count-1]; write each
+ *   datagram's length into lens[i] (-1 if it was truncated to the
+ *   buffer, i.e. MSG_TRUNC). Returns the number received, or -1 when
+ *   nothing is queued. */
+CAMLprim value caml_resets_recvmmsg(value vfd, value vbufs, value vlens,
+                                    value vcount)
+{
+  struct mmsghdr msgs[RESETS_MAX_BATCH];
+  struct iovec iovs[RESETS_MAX_BATCH];
+  long count = Long_val(vcount);
+  int n, i;
+  if (count > RESETS_MAX_BATCH) count = RESETS_MAX_BATCH;
+  if (count <= 0) return Val_long(0);
+  for (i = 0; i < count; i++) {
+    value b = Field(vbufs, i);
+    iovs[i].iov_base = Bytes_val(b);
+    iovs[i].iov_len = caml_string_length(b);
+    memset(&msgs[i].msg_hdr, 0, sizeof(struct msghdr));
+    msgs[i].msg_hdr.msg_iov = &iovs[i];
+    msgs[i].msg_hdr.msg_iovlen = 1;
+  }
+  for (;;) {
+    n = recvmmsg(Int_val(vfd), msgs, (unsigned int)count, MSG_DONTWAIT, NULL);
+    if (n >= 0) break;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Val_long(-1);
+    if (errno == EINTR || errno == ECONNREFUSED) continue;
+    caml_uerror("recvmmsg", Nothing);
+  }
+  for (i = 0; i < n; i++) {
+    long len = (long)msgs[i].msg_len;
+    if (msgs[i].msg_hdr.msg_flags & MSG_TRUNC) len = -1;
+    Field(vlens, i) = Val_long(len);
+  }
+  return Val_long(n);
+}
+
+/* Destination: OCaml Batch_io.dest, tag 0 = Inet (numeric host, port),
+ * tag 1 = Unix_path path. Built here with inet_pton so the hot path
+ * never touches the (allocating) Unix.sockaddr representation. */
+static socklen_t build_sockaddr(value vdest, struct sockaddr_storage *ss)
+{
+  memset(ss, 0, sizeof *ss);
+  if (Tag_val(vdest) == 0) {
+    const char *host = String_val(Field(vdest, 0));
+    int port = Int_val(Field(vdest, 1));
+    struct sockaddr_in *sin = (struct sockaddr_in *)ss;
+    struct sockaddr_in6 *sin6 = (struct sockaddr_in6 *)ss;
+    if (inet_pton(AF_INET, host, &sin->sin_addr) == 1) {
+      sin->sin_family = AF_INET;
+      sin->sin_port = htons((unsigned short)port);
+      return (socklen_t)sizeof *sin;
+    }
+    if (inet_pton(AF_INET6, host, &sin6->sin6_addr) == 1) {
+      sin6->sin6_family = AF_INET6;
+      sin6->sin6_port = htons((unsigned short)port);
+      return (socklen_t)sizeof *sin6;
+    }
+    caml_invalid_argument("Batch_io.send_batch: host is not a numeric address");
+  } else {
+    struct sockaddr_un *sun = (struct sockaddr_un *)ss;
+    mlsize_t plen = caml_string_length(Field(vdest, 0));
+    if (plen >= sizeof sun->sun_path)
+      caml_invalid_argument("Batch_io.send_batch: unix socket path too long");
+    sun->sun_family = AF_UNIX;
+    memcpy(sun->sun_path, String_val(Field(vdest, 0)), plen + 1);
+    return (socklen_t)sizeof *sun;
+  }
+}
+
+/* caml_resets_sendmmsg fd dest bufs lens count
+ *   Send bufs[i][0..lens[i]) for i < count as [count] datagrams to
+ *   [dest]. Returns how many the kernel accepted (0..count); the
+ *   unsent tail — would-block, dead peer, unreachable — is the
+ *   caller's per-frame loss accounting. Raises only on errors that
+ *   are not destination-shaped (e.g. EBADF). */
+CAMLprim value caml_resets_sendmmsg(value vfd, value vdest, value vbufs,
+                                    value vlens, value vcount)
+{
+  struct mmsghdr msgs[RESETS_MAX_BATCH];
+  struct iovec iovs[RESETS_MAX_BATCH];
+  struct sockaddr_storage ss;
+  socklen_t slen = build_sockaddr(vdest, &ss);
+  long count = Long_val(vcount);
+  int n, i;
+  if (count > RESETS_MAX_BATCH) count = RESETS_MAX_BATCH;
+  if (count <= 0) return Val_long(0);
+  for (i = 0; i < count; i++) {
+    value b = Field(vbufs, i);
+    iovs[i].iov_base = Bytes_val(b);
+    iovs[i].iov_len = (size_t)Long_val(Field(vlens, i));
+    memset(&msgs[i].msg_hdr, 0, sizeof(struct msghdr));
+    msgs[i].msg_hdr.msg_iov = &iovs[i];
+    msgs[i].msg_hdr.msg_iovlen = 1;
+    msgs[i].msg_hdr.msg_name = &ss;
+    msgs[i].msg_hdr.msg_namelen = slen;
+  }
+  for (;;) {
+    n = sendmmsg(Int_val(vfd), msgs, (unsigned int)count, 0);
+    if (n >= 0) break;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNREFUSED ||
+        errno == ENOENT || errno == ENOTCONN || errno == EHOSTUNREACH ||
+        errno == ENETUNREACH || errno == ENETDOWN || errno == EMSGSIZE ||
+        errno == EPERM || errno == EACCES || errno == ENOBUFS)
+      return Val_long(0);
+    caml_uerror("sendmmsg", Nothing);
+  }
+  return Val_long(n);
+}
+
+#else /* !__linux__ */
+
+CAMLprim value caml_resets_mmsg_available(value unit)
+{
+  (void)unit;
+  return Val_false;
+}
+
+CAMLprim value caml_resets_recvmmsg(value vfd, value vbufs, value vlens,
+                                    value vcount)
+{
+  (void)vfd; (void)vbufs; (void)vlens; (void)vcount;
+  caml_failwith("Batch_io: recvmmsg not available on this platform");
+}
+
+CAMLprim value caml_resets_sendmmsg(value vfd, value vdest, value vbufs,
+                                    value vlens, value vcount)
+{
+  (void)vfd; (void)vdest; (void)vbufs; (void)vlens; (void)vcount;
+  caml_failwith("Batch_io: sendmmsg not available on this platform");
+}
+
+#endif

@@ -1,4 +1,4 @@
-(** Datagram wire transport: real packets over real sockets.
+(** Datagram wire transport: real packets over real sockets, batched.
 
     The other half of the transport matrix (DESIGN.md §2f): where
     {!Resets_core.Transport.of_link} puts the protocol on the
@@ -7,12 +7,23 @@
     packet per datagram — ESP is datagram-shaped, so the framing is
     the trivial one.
 
+    The datapath is batched and allocation-light ({!Batch_io}):
+    receives pull up to [batch] datagrams per syscall into a pooled
+    frame arena and hand each out as a {!Resets_util.Slice.t} (the
+    string handler remains as a copying compatibility path); sends
+    stage frames in a tx pool flushed by one batched syscall when full
+    — and, in the daemon, at every engine-tick boundary
+    ({!Resets_sim.Engine.run_clocked}'s [tick] hook) so a batch never
+    outlives a tick.
+
     Datagram semantics match the paper's channel assumptions for free:
     the network may lose, reorder or duplicate, and the protocol is
     built to converge anyway. A send the kernel refuses (dead peer:
     [ECONNREFUSED]/[ENOENT]; full buffers: [EAGAIN]) is counted and
     treated as loss, never raised — a sender must keep sending while
-    its peer is mid-reset, that being the whole experiment.
+    its peer is mid-reset, that being the whole experiment. The same
+    discipline extends to batches: a partial [sendmmsg] completion
+    counts the unsent tail in [tx_errors] and never retries.
 
     Single-owner discipline: one domain owns a socket ([drain]/[send]
     are not thread-safe). A multi-worker daemon gives the socket to
@@ -21,53 +32,134 @@
 (** A wire address. [Udp] for cross-host runs, [Unix_dgram] for local
     two-process harnesses (no port allocation, no firewall). *)
 type addr =
-  | Udp of string * int  (** host (dotted quad or name), port *)
+  | Udp of string * int
+      (** host (dotted quad, bare IPv6 literal, or name), port *)
   | Unix_dgram of string  (** filesystem socket path *)
 
 val addr_of_string : string -> (addr, string) result
-(** ["udp:HOST:PORT"] or ["unix:PATH"]. *)
+(** ["udp:HOST:PORT"], ["udp:\[V6ADDR\]:PORT"] (bracketed IPv6
+    literal), or ["unix:PATH"]. An empty host ([udp::4500]) and an
+    unbracketed IPv6 literal are rejected with a pointed error. *)
 
 val addr_to_string : addr -> string
+(** Inverse of {!addr_of_string}; IPv6 literals come back bracketed. *)
 
 type t
 
-val create : ?bind:addr -> ?peer:addr -> unit -> t
+val create :
+  ?bind:addr ->
+  ?peer:addr ->
+  ?batch:int ->
+  ?rcvbuf:int ->
+  ?sndbuf:int ->
+  unit ->
+  t
 (** A nonblocking datagram socket. [bind] makes it receivable (the
     daemon's receive side; a UNIX-dgram path is unlinked first if a
-    stale one exists). [peer] is the default destination for
-    {!send_frame}. At least one must be given.
-    @raise Invalid_argument when both are missing or address families
-    mix. *)
+    stale one exists). [peer] is the default destination for sends.
+    At least one must be given.
+
+    [batch] (default {!Batch_io.default_batch} = 32) sizes both the rx
+    arena and the tx pool; [batch = 1] degenerates to exactly the
+    unbatched one-syscall-per-frame transport, including synchronous
+    per-send error reporting. [rcvbuf]/[sndbuf] request explicit
+    kernel socket buffer sizes; the {e effective} values (as granted —
+    kernels clamp and round) are readable via {!rcvbuf_effective} /
+    {!sndbuf_effective} and reported in the daemon's startup
+    heartbeat.
+
+    @raise Invalid_argument when both addresses are missing, address
+    families mix, or [batch] is outside [\[1, Batch_io.max_batch\]]. *)
 
 val send_frame : t -> string -> bool
-(** Send one datagram to [peer]. [false] (and a [tx_errors] tick) when
-    the kernel refused it — dead peer, full buffers — which the caller
-    treats as channel loss. @raise Invalid_argument without a peer. *)
+(** Stage one datagram for [peer]; the batch is flushed by one
+    [sendmmsg]-style syscall when full (or explicitly via {!flush}).
+    [false] (and a [tx_errors] tick) when the frame is already known
+    lost — oversized, or it sat in the unsent tail of the flush its
+    enqueue triggered. With [batch = 1] this is exactly the old
+    synchronous send. @raise Invalid_argument without a peer. *)
+
+val send_slice : t -> Resets_util.Slice.t -> bool
+(** {!send_frame} for a frame viewed in a borrowed buffer — blits
+    straight into the tx pool, no string materialized. *)
+
+val flush : t -> int
+(** Send every staged frame now; returns how many the kernel accepted
+    (the rest are counted in [tx_errors] — loss, never retried). The
+    daemon calls this at every engine-tick boundary. No-op returning 0
+    on an empty queue. @raise Invalid_argument without a peer. *)
 
 val set_frame_handler : t -> (string -> unit) -> unit
-(** Install the handler {!drain} feeds. Frames drained with no handler
-    installed are dropped (counted in {!rx_dropped}). *)
+(** Install a copying (string) handler for {!drain} to feed. Replaces
+    any slice handler — one handler is active at a time. Frames
+    drained with no handler installed are dropped (counted in
+    {!rx_dropped}). *)
+
+val set_slice_handler : t -> (Resets_util.Slice.t -> unit) -> unit
+(** Install a zero-copy handler: each frame arrives as a view into the
+    rx arena, valid only during the call (the slot is reused by the
+    next receive batch). Replaces any string handler. *)
 
 val drain : t -> int
-(** Batched receive: pull every datagram currently queued (until
-    [EAGAIN]), feed each to the frame handler, return how many. *)
+(** Batched receive: pull every datagram currently queued (whole
+    batches per syscall, until the socket would block), feed each to
+    the installed handler, return how many. A zero-length datagram is
+    a real datagram — counted in [rx_frames] and delivered (the codec
+    rejects it as a short frame); it does {e not} end the poll. *)
 
 val wait_readable : t -> timeout:float -> bool
 (** Block (select) until the socket is readable or [timeout] seconds
     pass — the daemon's idle hook. *)
 
 val transport : t -> Resets_core.Transport.t
-(** The endpoints' view: {!Resets_core.Transport.send} serialises just
-    the ESP bytes ([Packet.wire]); every frame {!drain} hands back
-    comes up as [Packet.fresh] — a real wire cannot mark provenance;
-    telling replays apart is the replay window's job. *)
+(** The endpoints' view, both faces wired natively:
+    {!Resets_core.Transport.send} stages the ESP bytes
+    ([Packet.wire]); {!Resets_core.Transport.send_slice} blits without
+    materializing; {!Resets_core.Transport.set_recv_slice} receives
+    straight out of the arena. Every received frame is fresh — a real
+    wire cannot mark provenance; telling replays apart is the replay
+    window's job. *)
 
 val tx_frames : t -> int
-val tx_errors : t -> int
-val rx_frames : t -> int
+(** Frames the kernel accepted. *)
 
+val tx_errors : t -> int
+(** Frames refused or abandoned in a partial flush: always
+    [tx_frames + tx_errors] = frames attempted. *)
+
+val rx_frames : t -> int
 val rx_dropped : t -> int
-(** Frames drained while no handler was installed. *)
+(** Frames drained while no handler was installed, plus any the kernel
+    truncated. *)
+
+(** {1 Wire-pressure observability}
+
+    Fed into the daemon heartbeat so convergence percentiles can be
+    correlated with how hard the wire was pushing (ROADMAP item 4). *)
+
+val batch : t -> int
+val tx_queued : t -> int
+(** Frames currently staged awaiting {!flush}. *)
+
+val tx_flushes : t -> int
+(** Completed flushes (including auto-flushes on a full pool). *)
+
+val tx_queue_hwm : t -> int
+(** High-water mark of tx pool occupancy. *)
+
+val rx_batches : t -> int
+(** Non-empty receive batches drained. *)
+
+val rx_batch_max : t -> int
+val rx_batch_percentile : t -> float -> int
+(** [rx_batch_percentile t 0.5] / [... 0.99]: batch-size percentiles
+    over all non-empty receive batches; 0 before any arrive. *)
+
+val rcvbuf_effective : t -> int
+(** [SO_RCVBUF] as the kernel granted it. *)
+
+val sndbuf_effective : t -> int
 
 val close : t -> unit
-(** Close the socket; a bound UNIX-dgram path is unlinked. *)
+(** Flush staged sends (best effort), close the socket; a bound
+    UNIX-dgram path is unlinked. *)

@@ -422,7 +422,7 @@ let next_due t =
    with, then hand the gap to [idle] (a daemon's socket poll). The
    virtual clock degenerates to [run], preserving the determinism
    contract bit for bit. *)
-let run_clocked ~clock ?idle ?until ?max_events t =
+let run_clocked ~clock ?idle ?tick ?until ?max_events t =
   if Clock.is_virtual clock then run ?until ?max_events t
   else begin
     let limit = Option.map ns_of_limit until in
@@ -442,6 +442,10 @@ let run_clocked ~clock ?idle ?until ?max_events t =
           run ~until:(Time.of_ns (Int64.of_int horizon)) ~max_events:!budget t
         in
         budget := !budget - (t.fired - fired_before);
+        (* Engine-tick boundary: one burst of due events has fired.
+           The tx batching in Transport_udp flushes here, so a batch
+           never outlives a tick even at low rates. *)
+        (match tick with Some f -> f () | None -> ());
         match reason with
         | Stopped -> Stopped
         | Event_limit -> Event_limit

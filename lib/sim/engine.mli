@@ -107,20 +107,24 @@ val next_due : t -> Time.t option
 val run_clocked :
   clock:Clock.t ->
   ?idle:(due:Time.t option -> unit) ->
+  ?tick:(unit -> unit) ->
   ?until:Time.t ->
   ?max_events:int ->
   t ->
   stop_reason
 (** Drive the wheel from a {!Clock}. With [Clock.virtual_] this {e is}
-    {!run} — same code path, same determinism contract. With a real
-    clock, events fire once {!Clock.elapsed} passes their timestamp;
-    between deadlines the engine calls [idle ~due] ([due] = the next
-    pending timestamp, [None] when the wheel is empty) so the caller
-    can block on I/O that may schedule new events — a daemon's socket
-    poll. Without [idle] an empty wheel ends the run ([Quiescent]) and
-    a non-empty one is busy-waited. [until] bounds the run in engine
-    time (elapsed wall time for a real clock); [stop] works from both
-    callbacks and [idle]. *)
+    {!run} — same code path, same determinism contract ([tick] is
+    never called: the simulated path has no batching to flush). With a
+    real clock, events fire once {!Clock.elapsed} passes their
+    timestamp; after each burst of due events [tick] runs once — the
+    engine-tick boundary where {!Resets_net.Transport_udp} flushes its
+    tx batch — and between deadlines the engine calls [idle ~due]
+    ([due] = the next pending timestamp, [None] when the wheel is
+    empty) so the caller can block on I/O that may schedule new events
+    — a daemon's socket poll. Without [idle] an empty wheel ends the
+    run ([Quiescent]) and a non-empty one is busy-waited. [until]
+    bounds the run in engine time (elapsed wall time for a real
+    clock); [stop] works from both callbacks and [idle]. *)
 
 val step : t -> bool
 (** Fire the single next event; [false] when the queue is empty. *)

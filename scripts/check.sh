@@ -301,6 +301,13 @@ alloc_gate() {
 }
 alloc_gate esp-encap-256B 90
 alloc_gate esp-decap-256B 110
+# The batched wire path's per-frame codec work (syscalls excluded):
+# encap straight into a tx-pool slot, decap straight out of an rx-arena
+# slot. Steady state is 12 / 21 minor words per frame; the budgets are
+# ~2x that. A regression means a string or boxed intermediate crept
+# back into the zero-copy datapath.
+alloc_gate esp-encap-into-256B 25
+alloc_gate esp-decap-slice-256B 45
 # The engine tick loop: one timer-wheel event (fire + self-reschedule)
 # allocates ~16 words steady state; anything past 20 means a boxed
 # deadline, a closure, or a list node crept into the per-event path.
@@ -309,14 +316,61 @@ alloc_gate engine-wheel-event 20
 # window backends (budget 1 tolerates measurement jitter, not boxing).
 alloc_gate window-admit-flat 1
 
-echo "== daemon loopback smoke (unix-dgram, kill/recover) =="
+echo "== batched wire sweep gate (MICRO wire table) =="
+# Re-derive the wire sweep verdicts from the JSON: rows at batch 1, 8
+# and 32 must exist; every row must account for every attempted frame
+# (delivered = kernel-accepted, accepted + shed = attempted — loss is
+# counted, never silent); rows whose flush depth fits the unix-dgram
+# receive queue must deliver everything; and batching must not cost
+# throughput against the unbatched row (10% jitter allowance — the
+# absolute pps number is a property of the machine, not gated here).
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$out/BENCH_MICRO.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+rows = {r["batch"]: r for r in doc["measured"].get("wire", [])}
+bad = []
+for b in (1, 8, 32):
+    if b not in rows:
+        bad.append(f"no wire row at batch {b}")
+for b, r in sorted(rows.items()):
+    if r["delivered"] != r["accepted"] or r["accepted"] + r["tx_errors"] != r["packets"]:
+        bad.append(f"batch {b}: silent loss — delivered {r['delivered']}, "
+                   f"accepted {r['accepted']}, shed {r['tx_errors']}, "
+                   f"attempted {r['packets']}")
+    if b <= 8 and (r["delivered"] != r["packets"] or r["tx_errors"]):
+        bad.append(f"batch {b}: shallow flush lost frames "
+                   f"({r['delivered']}/{r['packets']}, {r['tx_errors']} shed)")
+if 1 in rows and 8 in rows and rows[8]["pps"] < 0.9 * rows[1]["pps"]:
+    bad.append(f"batch 8 ({rows[8]['pps']:.0f} pps) slower than "
+               f"unbatched ({rows[1]['pps']:.0f} pps)")
+if bad:
+    sys.exit("wire sweep gate failed:\n  " + "\n  ".join(bad))
+for b, r in sorted(rows.items()):
+    print(f"batch {b:2d}: {r['pps']:8.0f} pps/core, "
+          f"{r['delivered']}/{r['packets']} delivered, {r['tx_errors']} shed"
+          + (" (mmsg)" if r.get("mmsg") else " (fallback)"))
+PY
+else
+  echo "wire sweep re-derivation skipped (python3 missing): in-bench checks only"
+fi
+
+echo "== daemon loopback smoke (unix-dgram, kill/recover, batch sweep) =="
 # Two real processes over a UNIX-datagram socket: receiver daemon is
 # SIGKILLed mid-run and restarted on the same durable store while the
 # sender keeps transmitting. The restarted receiver's convergence gate
 # (edge recovered, leap within 2k, no cross-incarnation replay, zero
-# duplicates) is the verdict; nonzero exit fails the check.
-sh scripts/daemon_loopback.sh _build/default/bin/ipsec_resets.exe \
-  || { echo "daemon loopback kill/recover gate failed" >&2; exit 1; }
+# duplicates) is the verdict; nonzero exit fails the check. Run once
+# unbatched and once at the full batch depth: convergence must not
+# depend on the wire batching mode.
+for wire_batch in 1 32; do
+  echo "-- daemon loopback at --batch $wire_batch --"
+  BATCH=$wire_batch sh scripts/daemon_loopback.sh \
+    _build/default/bin/ipsec_resets.exe \
+    || { echo "daemon loopback kill/recover gate failed at --batch $wire_batch" >&2; exit 1; }
+done
 
 echo "== engine determinism smoke (wheel vs legacy heap) =="
 # MICRO replays a fixed-seed schedule of one-shot, periodic, tied and

@@ -8,6 +8,8 @@
 #
 # Usage: scripts/daemon_loopback.sh [path-to-ipsec_resets.exe]
 # With no argument the binary is built and located via dune.
+# BATCH=<n> selects the wire batch depth (recvmmsg/sendmmsg frames per
+# syscall) for both daemons; default 32, BATCH=1 runs unbatched.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -36,11 +38,12 @@ STATS="$work/recv.stats"
 SAS=2
 K=8
 RATE=400
+BATCH=${BATCH:-32}
 
 # Incarnation 1: receiver daemon, generously long duration — it will
 # not die of old age, we kill it.
 "$BIN" serve --role recv --bind "unix:$SOCK" \
-  --sas "$SAS" -k "$K" --duration 30 \
+  --sas "$SAS" -k "$K" --duration 30 --batch "$BATCH" \
   --store "$STORE" --stats "$STATS" --quiet &
 RECV_PID=$!
 
@@ -55,7 +58,7 @@ done
 # Sender runs across the whole experiment, including the receiver's
 # downtime, so the restarted receiver must leap over the gap.
 "$BIN" serve --role send --peer "unix:$SOCK" \
-  --sas "$SAS" -k "$K" --rate "$RATE" --duration 8 --quiet &
+  --sas "$SAS" -k "$K" --rate "$RATE" --duration 8 --batch "$BATCH" --quiet &
 SENDER_PID=$!
 
 sleep 2
@@ -75,7 +78,7 @@ sleep 1
 # minimum delivered sequence number strictly above the previous
 # incarnation's maximum (no cross-incarnation replay).
 "$BIN" serve --role recv --bind "unix:$SOCK" \
-  --sas "$SAS" -k "$K" --duration 6 \
+  --sas "$SAS" -k "$K" --duration 6 --batch "$BATCH" \
   --store "$STORE" --stats "$STATS" \
   --expect-recovery --json "$work/recv2.json" &
 RECV_PID=$!

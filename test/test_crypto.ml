@@ -403,6 +403,70 @@ let ct_equal_sub_matches_extract =
       in
       Ct.equal_sub s ~off b ~len = expected)
 
+(* ------------------------------------------------------------------ *)
+(* C fast path vs pure OCaml reference: the accelerated SHA-256
+   compress and ChaCha20 keystream must be bit-identical to the
+   reference code on every input — which wire bytes a run produces
+   must not depend on which path executed. *)
+
+let with_accel on f =
+  let prev = Accel.in_use () in
+  Accel.set_enabled on;
+  Fun.protect ~finally:(fun () -> Accel.set_enabled prev) f
+
+let test_accel_vectors_both_paths () =
+  (* The official vectors re-checked under each dispatch path. *)
+  List.iter
+    (fun on ->
+      if (not on) || Accel.available () then
+        with_accel on (fun () ->
+            let tag = if on then "accel" else "reference" in
+            check_bool (tag ^ " path active") on (Accel.in_use ());
+            List.iter
+              (fun (msg, expect) ->
+                check_str (tag ^ " sha256 " ^ msg) expect (Sha256.hex_digest msg))
+              sha_vectors;
+            let nonce = hex "000000000000004a00000000" in
+            let plain =
+              "Ladies and Gentlemen of the class of '99: If I could offer you \
+               only one tip for the future, sunscreen would be it."
+            in
+            check_str (tag ^ " chacha20 rfc8439")
+              "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+               f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+               07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+               5af90bbf74a35be6b40b8eedf2785e42874d"
+              (Hex.encode (Chacha20.crypt ~key:rfc8439_key ~nonce ~counter:1l plain))))
+    [ false; true ]
+
+let accel_sha_differential =
+  QCheck.Test.make ~name:"sha256: accel = reference (any input)" ~count:300
+    QCheck.string (fun s ->
+      QCheck.assume (Accel.available ());
+      with_accel true (fun () -> Sha256.digest s)
+      = with_accel false (fun () -> Sha256.digest s))
+
+let accel_hmac_differential =
+  QCheck.Test.make ~name:"hmac: accel = reference (any key/msg)" ~count:200
+    QCheck.(pair string string)
+    (fun (key, msg) ->
+      QCheck.assume (Accel.available ());
+      let key = if key = "" then "k" else key in
+      with_accel true (fun () -> Hmac.mac ~key msg)
+      = with_accel false (fun () -> Hmac.mac ~key msg))
+
+let accel_chacha_differential =
+  QCheck.Test.make ~name:"chacha20: accel = reference (any input/counter)"
+    ~count:300
+    QCheck.(pair string small_nat)
+    (fun (s, ctr) ->
+      QCheck.assume (Accel.available ());
+      let nonce = hex "000000090000004a00000000" in
+      let counter = Int32.of_int ctr in
+      with_accel true (fun () -> Chacha20.crypt ~key:rfc8439_key ~nonce ~counter s)
+      = with_accel false (fun () ->
+            Chacha20.crypt ~key:rfc8439_key ~nonce ~counter s))
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "crypto"
@@ -458,5 +522,13 @@ let () =
           Alcotest.test_case "equal_sub" `Quick test_ct_equal_sub;
           qt ct_matches_structural;
           qt ct_equal_sub_matches_extract;
+        ] );
+      ( "accel",
+        [
+          Alcotest.test_case "vectors both paths" `Quick
+            test_accel_vectors_both_paths;
+          qt accel_sha_differential;
+          qt accel_hmac_differential;
+          qt accel_chacha_differential;
         ] );
     ]

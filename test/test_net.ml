@@ -1,10 +1,15 @@
-(* Unit tests for the wire layer: address parsing, the nonblocking
-   UNIX-datagram socket pair, the Transport adapter, and an in-process
-   daemon smoke (send role against a scratch socket). The two-process
-   kill-and-recover experiment lives in scripts/daemon_loopback.sh;
-   these tests cover the pieces it is built from. *)
+(* Unit tests for the wire layer: address parsing (including bracketed
+   IPv6 and qcheck round-trip properties), the batched nonblocking
+   UNIX-datagram socket pair (empty-datagram delivery, partial-batch
+   accounting, mmsg-vs-fallback differential, batched-vs-unbatched
+   stream equality), the Transport adapter (string and slice faces),
+   and an in-process daemon smoke (send role against a scratch
+   socket). The two-process kill-and-recover experiment lives in
+   scripts/daemon_loopback.sh; these tests cover the pieces it is
+   built from. *)
 
 open Resets_net
+module Batch_io = Resets_net_stubs.Batch_io
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -13,6 +18,11 @@ let check_string = Alcotest.(check string)
 let scratch_path name =
   Filename.concat (Filename.get_temp_dir_name ())
     (Printf.sprintf "resets-net-%s-%d.sock" name (Unix.getpid ()))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
 
 (* ------------------------------------------------------------------ *)
 (* Address parsing *)
@@ -26,18 +36,29 @@ let test_addr_parse () =
   | Ok (Transport_udp.Unix_dgram "/run/q.sock") -> ()
   | Ok a -> Alcotest.failf "wrong parse: %s" (Transport_udp.addr_to_string a)
   | Error e -> Alcotest.failf "parse failed: %s" e);
-  (* IPv6-ish host:port splits on the last colon *)
-  (match Transport_udp.addr_of_string "udp:fe80::1:500" with
+  (* IPv6 literals must be bracketed *)
+  (match Transport_udp.addr_of_string "udp:[::1]:4500" with
+  | Ok (Transport_udp.Udp ("::1", 4500)) -> ()
+  | Ok a -> Alcotest.failf "wrong parse: %s" (Transport_udp.addr_to_string a)
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Transport_udp.addr_of_string "udp:[fe80::1]:500" with
   | Ok (Transport_udp.Udp ("fe80::1", 500)) -> ()
   | Ok a -> Alcotest.failf "wrong parse: %s" (Transport_udp.addr_to_string a)
   | Error e -> Alcotest.failf "parse failed: %s" e);
+  (* empty host gets a pointed error, not a parse *)
+  (match Transport_udp.addr_of_string "udp::4500" with
+  | Error e -> check_bool "names the empty host" true (contains e "empty host")
+  | Ok a -> Alcotest.failf "accepted udp::4500 as %s"
+              (Transport_udp.addr_to_string a));
   List.iter
     (fun s ->
       match Transport_udp.addr_of_string s with
       | Ok a ->
           Alcotest.failf "accepted %S as %s" s (Transport_udp.addr_to_string a)
       | Error _ -> ())
-    [ "udp:nohost"; "udp:h:notaport"; "tcp:1.2.3.4:5"; ""; "unix:" ]
+    [ "udp:nohost"; "udp:h:notaport"; "tcp:1.2.3.4:5"; ""; "unix:";
+      "udp:fe80::1:500" (* unbracketed IPv6: ambiguous, rejected *);
+      "udp:[]:4500"; "udp:[::1]4500"; "udp:[::1:4500"; "udp:h:0"; "udp:h:70000" ]
 
 let test_addr_roundtrip () =
   List.iter
@@ -45,7 +66,54 @@ let test_addr_roundtrip () =
       match Transport_udp.addr_of_string s with
       | Ok a -> check_string s s (Transport_udp.addr_to_string a)
       | Error e -> Alcotest.failf "parse failed: %s" e)
-    [ "udp:10.0.0.1:4500"; "unix:/tmp/a.sock" ]
+    [ "udp:10.0.0.1:4500"; "unix:/tmp/a.sock"; "udp:[::1]:4500";
+      "udp:[2001:db8::2]:500" ]
+
+(* qcheck: [addr_to_string] then [addr_of_string] is the identity over
+   the whole addr type, and strings shaped like an empty-host or
+   unbracketed-v6 address never parse. *)
+let arb_addr =
+  let open QCheck in
+  let host =
+    oneofl
+      [ "10.0.0.1"; "192.168.7.3"; "example.com"; "host-7.local"; "::1";
+        "fe80::1"; "2001:db8::2"; "2001:db8:0:1:1:1:1:1" ]
+  in
+  let port = 1 -- 65535 in
+  let path =
+    oneofl [ "/tmp/x.sock"; "/run/resets/a:b.sock"; "relative.sock" ]
+  in
+  let gen =
+    Gen.oneof
+      [
+        Gen.map2 (fun h p -> Transport_udp.Udp (h, p)) (gen host) (gen port);
+        Gen.map (fun p -> Transport_udp.Unix_dgram p) (gen path);
+      ]
+  in
+  QCheck.make
+    ~print:(fun a -> Transport_udp.addr_to_string a)
+    gen
+
+let prop_addr_roundtrip =
+  QCheck.Test.make ~name:"addr_of_string (addr_to_string a) = Ok a" ~count:200
+    arb_addr (fun a ->
+      match Transport_udp.addr_of_string (Transport_udp.addr_to_string a) with
+      | Ok b -> b = a
+      | Error e -> QCheck.Test.fail_reportf "did not round-trip: %s" e)
+
+let prop_addr_malformed =
+  let open QCheck in
+  Test.make ~name:"malformed addresses never parse" ~count:200
+    (pair (oneofl [ "::1"; "fe80::1"; ""; "2001:db8::2" ]) (1 -- 65535))
+    (fun (host, port) ->
+      (* unbracketed v6 literal or empty host *)
+      match
+        Transport_udp.addr_of_string (Printf.sprintf "udp:%s:%d" host port)
+      with
+      | Error _ -> true
+      | Ok a ->
+        Test.fail_reportf "accepted udp:%s:%d as %s" host port
+          (Transport_udp.addr_to_string a))
 
 (* ------------------------------------------------------------------ *)
 (* Socket pair over UNIX-dgram *)
@@ -53,7 +121,9 @@ let test_addr_roundtrip () =
 let test_dgram_pair_send_drain () =
   let path = scratch_path "pair" in
   let rx = Transport_udp.create ~bind:(Transport_udp.Unix_dgram path) () in
-  let tx = Transport_udp.create ~peer:(Transport_udp.Unix_dgram path) () in
+  let tx =
+    Transport_udp.create ~peer:(Transport_udp.Unix_dgram path) ~batch:1 ()
+  in
   let got = ref [] in
   Transport_udp.set_frame_handler rx (fun f -> got := f :: !got);
   check_bool "send a" true (Transport_udp.send_frame tx "frame-a");
@@ -72,9 +142,12 @@ let test_dgram_pair_send_drain () =
 
 let test_dgram_dead_peer_is_loss () =
   let path = scratch_path "dead" in
-  let tx = Transport_udp.create ~peer:(Transport_udp.Unix_dgram path) () in
+  let tx =
+    Transport_udp.create ~peer:(Transport_udp.Unix_dgram path) ~batch:1 ()
+  in
   (* nobody bound the path: the kernel refuses, the transport counts
-     it and reports loss instead of raising *)
+     it and reports loss instead of raising — batch 1 keeps the old
+     synchronous per-send report *)
   check_bool "refused" false (Transport_udp.send_frame tx "into-the-void");
   check_int "tx error counted" 1 (Transport_udp.tx_errors tx);
   Transport_udp.close tx
@@ -82,7 +155,9 @@ let test_dgram_dead_peer_is_loss () =
 let test_dgram_no_handler_drops () =
   let path = scratch_path "nohandler" in
   let rx = Transport_udp.create ~bind:(Transport_udp.Unix_dgram path) () in
-  let tx = Transport_udp.create ~peer:(Transport_udp.Unix_dgram path) () in
+  let tx =
+    Transport_udp.create ~peer:(Transport_udp.Unix_dgram path) ~batch:1 ()
+  in
   check_bool "sent" true (Transport_udp.send_frame tx "orphan");
   check_bool "readable" true (Transport_udp.wait_readable rx ~timeout:1.0);
   check_int "drained" 1 (Transport_udp.drain rx);
@@ -104,16 +179,181 @@ let test_create_validation () =
   | t ->
       Transport_udp.close t;
       Alcotest.fail "create with neither bind nor peer must be rejected");
+  (match
+     Transport_udp.create
+       ~bind:(Transport_udp.Unix_dgram (scratch_path "mix"))
+       ~peer:(Transport_udp.Udp ("127.0.0.1", 4500))
+       ()
+   with
+  | exception Invalid_argument _ -> ()
+  | t ->
+      Transport_udp.close t;
+      Alcotest.fail "mixed address families must be rejected");
   match
     Transport_udp.create
-      ~bind:(Transport_udp.Unix_dgram (scratch_path "mix"))
-      ~peer:(Transport_udp.Udp ("127.0.0.1", 4500))
-      ()
+      ~peer:(Transport_udp.Unix_dgram (scratch_path "bigbatch"))
+      ~batch:(Batch_io.max_batch + 1) ()
   with
   | exception Invalid_argument _ -> ()
   | t ->
       Transport_udp.close t;
-      Alcotest.fail "mixed address families must be rejected"
+      Alcotest.fail "oversized batch must be rejected"
+
+(* A zero-length UDP datagram is a real datagram: it must be counted
+   and delivered (the codec will reject it as short), and it must not
+   terminate the drain loop — the frame behind it arrives in the same
+   drain. Regression for the seed's [| 0, _ -> continue := false]. *)
+let test_empty_datagram_not_poll_end () =
+  let path = scratch_path "empty" in
+  let rx = Transport_udp.create ~bind:(Transport_udp.Unix_dgram path) () in
+  let tx =
+    Transport_udp.create ~peer:(Transport_udp.Unix_dgram path) ~batch:1 ()
+  in
+  let got = ref [] in
+  Transport_udp.set_frame_handler rx (fun f -> got := f :: !got);
+  check_bool "send empty" true (Transport_udp.send_frame tx "");
+  check_bool "send real" true (Transport_udp.send_frame tx "after-empty");
+  check_bool "readable" true (Transport_udp.wait_readable rx ~timeout:1.0);
+  check_int "both delivered in one drain" 2 (Transport_udp.drain rx);
+  Alcotest.(check (list string)) "empty frame first, real frame behind it"
+    [ ""; "after-empty" ] (List.rev !got);
+  check_int "both counted" 2 (Transport_udp.rx_frames rx);
+  Transport_udp.close tx;
+  Transport_udp.close rx
+
+(* Counter consistency under batching: however a flush ends — full
+   completion, dead peer refusing the whole batch — every attempted
+   frame lands in exactly one of tx_frames/tx_errors. *)
+let test_partial_batch_counters () =
+  (* dead peer: the flush's sendmmsg fails at frame 0, the whole
+     batch is the unsent tail *)
+  let dead =
+    Transport_udp.create
+      ~peer:(Transport_udp.Unix_dgram (scratch_path "gone"))
+      ~batch:4 ()
+  in
+  for i = 1 to 3 do
+    check_bool
+      (Printf.sprintf "frame %d staged" i)
+      true
+      (Transport_udp.send_frame dead (Printf.sprintf "f%d" i))
+  done;
+  check_int "nothing attempted yet" 0
+    (Transport_udp.tx_frames dead + Transport_udp.tx_errors dead);
+  (* 4th send fills the pool and triggers the flush; its own frame is
+     in the failed tail, so the send reports false *)
+  check_bool "flush-triggering send reports loss" false
+    (Transport_udp.send_frame dead "f4");
+  check_int "all four accounted as errors" 4 (Transport_udp.tx_errors dead);
+  check_int "none as sent" 0 (Transport_udp.tx_frames dead);
+  Transport_udp.close dead;
+  (* live peer: same shape, everything lands in tx_frames *)
+  let path = scratch_path "live" in
+  let rx = Transport_udp.create ~bind:(Transport_udp.Unix_dgram path) () in
+  let tx =
+    Transport_udp.create ~peer:(Transport_udp.Unix_dgram path) ~batch:4 ()
+  in
+  for i = 1 to 10 do
+    ignore (Transport_udp.send_frame tx (Printf.sprintf "m%d" i) : bool)
+  done;
+  let tail = Transport_udp.tx_queued tx in
+  check_int "two frames still staged" 2 tail;
+  ignore (Transport_udp.flush tx : int);
+  check_int "attempted = tx_frames + tx_errors" 10
+    (Transport_udp.tx_frames tx + Transport_udp.tx_errors tx);
+  check_int "live peer: no loss" 10 (Transport_udp.tx_frames tx);
+  check_int "explicit flush + 2 auto-flushes" 3 (Transport_udp.tx_flushes tx);
+  check_int "pool high-water mark" 4 (Transport_udp.tx_queue_hwm tx);
+  ignore (Transport_udp.drain rx : int);
+  Transport_udp.close tx;
+  Transport_udp.close rx
+
+(* The mmsg stubs and the portable fallback must deliver the identical
+   frame stream: same frames, same order, same counters. Drains are
+   interleaved with sends and the batch stays under the kernel's
+   unix-dgram queue-length cap (net.unix.max_dgram_qlen, commonly 10)
+   so the loopback delivers everything — backpressure loss is real but
+   it is not what this test is about. *)
+let run_stream ~batch frames =
+  let path = scratch_path "diff" in
+  let rx =
+    Transport_udp.create ~bind:(Transport_udp.Unix_dgram path) ~batch ()
+  in
+  let tx =
+    Transport_udp.create ~peer:(Transport_udp.Unix_dgram path) ~batch ()
+  in
+  let got = ref [] in
+  Transport_udp.set_frame_handler rx (fun f -> got := f :: !got);
+  List.iter
+    (fun f ->
+      ignore (Transport_udp.send_frame tx f : bool);
+      ignore (Transport_udp.drain rx : int))
+    frames;
+  ignore (Transport_udp.flush tx : int);
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  while
+    List.length !got < List.length frames && Unix.gettimeofday () < deadline
+  do
+    ignore (Transport_udp.wait_readable rx ~timeout:0.1 : bool);
+    ignore (Transport_udp.drain rx : int)
+  done;
+  let sent = Transport_udp.tx_frames tx in
+  Transport_udp.close tx;
+  Transport_udp.close rx;
+  (List.rev !got, sent)
+
+let test_stub_vs_fallback_identical () =
+  if not (Batch_io.mmsg_available ()) then ()
+  else begin
+    let frames =
+      List.init 50 (fun i -> Printf.sprintf "frame-%03d-%s" i
+                               (String.make (i mod 17) 'x'))
+    in
+    check_bool "mmsg in use" true (Batch_io.using_mmsg ());
+    let via_mmsg, sent_mmsg = run_stream ~batch:8 frames in
+    Batch_io.force_fallback true;
+    check_bool "fallback forced" false (Batch_io.using_mmsg ());
+    let via_fallback, sent_fallback =
+      Fun.protect
+        ~finally:(fun () -> Batch_io.force_fallback false)
+        (fun () -> run_stream ~batch:8 frames)
+    in
+    check_int "same frames accepted" sent_mmsg sent_fallback;
+    Alcotest.(check (list string))
+      "identical frame stream through stub and fallback" via_mmsg via_fallback
+  end
+
+(* Batched and unbatched transports deliver the same frames in the
+   same order — batching changes syscall count, not semantics. *)
+let test_batched_vs_unbatched_stream () =
+  let frames = List.init 40 (fun i -> Printf.sprintf "pkt-%d" i) in
+  let batched, _ = run_stream ~batch:8 frames in
+  let unbatched, _ = run_stream ~batch:1 frames in
+  Alcotest.(check (list string)) "same stream at batch 8 and batch 1"
+    batched unbatched;
+  Alcotest.(check (list string)) "nothing lost on loopback" frames batched
+
+(* Buffer sizing: requested SO_RCVBUF/SO_SNDBUF surface as effective
+   values (kernels clamp/round — only positivity and monotone growth
+   are portable assertions). *)
+let test_socket_buffer_sizing () =
+  let path = scratch_path "bufs" in
+  let small =
+    Transport_udp.create ~bind:(Transport_udp.Unix_dgram path) ~rcvbuf:16384
+      ~sndbuf:16384 ()
+  in
+  let small_rcv = Transport_udp.rcvbuf_effective small in
+  let small_snd = Transport_udp.sndbuf_effective small in
+  Transport_udp.close small;
+  let big =
+    Transport_udp.create ~bind:(Transport_udp.Unix_dgram path) ~rcvbuf:262144
+      ~sndbuf:262144 ()
+  in
+  let big_rcv = Transport_udp.rcvbuf_effective big in
+  Transport_udp.close big;
+  check_bool "effective rcvbuf positive" true (small_rcv > 0);
+  check_bool "effective sndbuf positive" true (small_snd > 0);
+  check_bool "bigger request, no smaller grant" true (big_rcv >= small_rcv)
 
 (* ------------------------------------------------------------------ *)
 (* Transport adapter: wire bytes only, everything received is fresh *)
@@ -121,7 +361,9 @@ let test_create_validation () =
 let test_transport_adapter () =
   let path = scratch_path "adapter" in
   let rx = Transport_udp.create ~bind:(Transport_udp.Unix_dgram path) () in
-  let tx = Transport_udp.create ~peer:(Transport_udp.Unix_dgram path) () in
+  let tx =
+    Transport_udp.create ~peer:(Transport_udp.Unix_dgram path) ~batch:1 ()
+  in
   let t_tx = Transport_udp.transport tx in
   let t_rx = Transport_udp.transport rx in
   let got = ref [] in
@@ -141,6 +383,44 @@ let test_transport_adapter () =
   | l -> Alcotest.failf "expected 1 packet, got %d" (List.length l));
   let st = Resets_core.Transport.stats t_tx in
   check_int "adapter tx stat" 1 st.Resets_core.Transport.tx;
+  Transport_udp.close tx;
+  Transport_udp.close rx
+
+(* The zero-copy face: frames leave via send_slice and arrive as arena
+   slices that feed Esp.decap_of_slice without ever becoming strings. *)
+let test_transport_slice_face () =
+  let sa =
+    Resets_ipsec.Sa.derive_params ~window_width:64 ~spi:0x51CEl
+      ~secret:"slice-face" ()
+  in
+  let path = scratch_path "sliceface" in
+  let rx = Transport_udp.create ~bind:(Transport_udp.Unix_dgram path) () in
+  let tx =
+    Transport_udp.create ~peer:(Transport_udp.Unix_dgram path) ~batch:1 ()
+  in
+  let t_tx = Transport_udp.transport tx in
+  let t_rx = Transport_udp.transport rx in
+  let got = ref [] in
+  Resets_core.Transport.set_recv_slice t_rx (fun s ->
+      (match Resets_ipsec.Esp.spi_of_slice s with
+      | Some spi -> check_int "spi peeked from slice" 0x51CE (Int32.to_int spi)
+      | None -> Alcotest.fail "short frame");
+      match Resets_ipsec.Esp.decap_of_slice ~sa s with
+      | Ok (seq, payload) ->
+        got := (seq, Resets_util.Slice.to_string payload) :: !got
+      | Error e -> Alcotest.failf "decap: %s" (Resets_ipsec.Esp.error_to_string e));
+  let frame = Resets_ipsec.Esp.encap ~sa ~seq:7 ~payload:"zero-copy rx" in
+  Resets_core.Transport.send_slice t_tx (Resets_util.Slice.of_string frame);
+  check_bool "readable" true (Transport_udp.wait_readable rx ~timeout:1.0);
+  ignore (Transport_udp.drain rx);
+  (match !got with
+  | [ (7, "zero-copy rx") ] -> ()
+  | [ (seq, p) ] -> Alcotest.failf "wrong decap: seq=%d payload=%S" seq p
+  | l -> Alcotest.failf "expected 1 frame, got %d" (List.length l));
+  let st = Resets_core.Transport.stats t_tx in
+  check_int "slice send counted as tx" 1 st.Resets_core.Transport.tx;
+  check_int "slice recv counted as rx" 1
+    (Resets_core.Transport.stats t_rx).Resets_core.Transport.rx;
   Transport_udp.close tx;
   Transport_udp.close rx
 
@@ -171,14 +451,10 @@ let test_daemon_send_smoke () =
   let rc, report = Daemon.run cfg in
   check_int "clean exit" 0 rc;
   let s = Resets_util.Json.to_string report in
-  let contains hay needle =
-    let nh = String.length hay and nn = String.length needle in
-    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
-    go 0
-  in
   check_bool "reports role" true (contains s "\"send\"");
   check_bool "reports per-core throughput" true (contains s "pps_per_core");
-  check_bool "counts refused sends as loss" true (contains s "wire_tx_errors")
+  check_bool "counts refused sends as loss" true (contains s "wire_tx_errors");
+  check_bool "reports wire pressure" true (contains s "tx_flushes")
 
 let test_daemon_validates () =
   (match Daemon.run { Daemon.default with Daemon.bind = None } with
@@ -197,6 +473,8 @@ let () =
         [
           Alcotest.test_case "parse" `Quick test_addr_parse;
           Alcotest.test_case "round trip" `Quick test_addr_roundtrip;
+          QCheck_alcotest.to_alcotest prop_addr_roundtrip;
+          QCheck_alcotest.to_alcotest prop_addr_malformed;
         ] );
       ( "dgram",
         [
@@ -207,9 +485,25 @@ let () =
             test_dgram_no_handler_drops;
           Alcotest.test_case "wait timeout" `Quick test_dgram_wait_timeout;
           Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "empty datagram delivered" `Quick
+            test_empty_datagram_not_poll_end;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "partial-batch counters" `Quick
+            test_partial_batch_counters;
+          Alcotest.test_case "stub vs fallback identical" `Quick
+            test_stub_vs_fallback_identical;
+          Alcotest.test_case "batched vs unbatched stream" `Quick
+            test_batched_vs_unbatched_stream;
+          Alcotest.test_case "socket buffer sizing" `Quick
+            test_socket_buffer_sizing;
         ] );
       ( "transport",
-        [ Alcotest.test_case "adapter" `Quick test_transport_adapter ] );
+        [
+          Alcotest.test_case "adapter" `Quick test_transport_adapter;
+          Alcotest.test_case "slice face" `Quick test_transport_slice_face;
+        ] );
       ( "daemon",
         [
           Alcotest.test_case "send smoke" `Quick test_daemon_send_smoke;
