@@ -17,6 +17,7 @@
      E14 multi-SA scale: >= 1024 SAs through the unified Endpoint/Host path
      E15 chaos batch: fault schedules under the invariant monitor + shrinker
      E16 adaptive-K vs static-K: stealth degradation, goodput-vs-oracle frontier
+     E17 reboot-convergence matrix: supervised daemon pairs, scripted kills
      MICRO bechamel microbenchmarks of the hot paths
 
    Run all:        dune exec bench/main.exe
@@ -94,13 +95,13 @@ let json_dir, selected, e14_domains, e14_sizes, e14_scale_sizes =
     (List.tl (Array.to_list Sys.argv));
   let known =
     "E1" :: "E2" :: "E3" :: "E4" :: "E5" :: "E6" :: "E7" :: "E8" :: "E9"
-    :: "E10" :: "E11" :: "E12" :: "E13" :: "E14" :: "E15" :: "E16"
+    :: "E10" :: "E11" :: "E12" :: "E13" :: "E14" :: "E15" :: "E16" :: "E17"
     :: [ "MICRO" ]
   in
   List.iter
     (fun p ->
       if not (List.mem p known) then begin
-        Printf.eprintf "unknown experiment %s (expected E1..E16 or MICRO)\n" p;
+        Printf.eprintf "unknown experiment %s (expected E1..E17 or MICRO)\n" p;
         exit 1
       end)
     !picks;
@@ -1814,6 +1815,156 @@ let e16 report =
     paired_identity
 
 (* ------------------------------------------------------------------ *)
+(* E17 *)
+
+let e17 report =
+  Format.printf
+    "The reboot-convergence matrix on real processes: a fault-injecting@.\
+     supervisor runs daemon pairs over a loopback wire, SIGKILLs the@.\
+     receiver in every cell of reset scope x recovery discipline x@.\
+     background churn (wiping the store for the disk-lost scope), and@.\
+     measures — from the heartbeat JSONL alone — fresh discards against@.\
+     the 2k bound and time from respawn to full delivery. Kill-mode@.\
+     probes check the SIGTERM graceful flush and the SIGSTOP watchdog;@.\
+     faulty cells rerun the crash under a misbehaving file store and an@.\
+     impaired wire.@.@.";
+  (* The daemons are the CLI's serve verb: find the binary next to this
+     bench executable (or take RESETS_DAEMON_BIN). *)
+  let bin =
+    match Sys.getenv_opt "RESETS_DAEMON_BIN" with
+    | Some b -> b
+    | None ->
+      Filename.concat
+        (Filename.dirname Sys.executable_name)
+        "../bin/ipsec_resets.exe"
+  in
+  if not (Sys.file_exists bin) then
+    Report.check report
+      ~name:
+        "E17 needs the ipsec_resets binary (dune build, or set \
+         RESETS_DAEMON_BIN)"
+      false
+  else begin
+    let open Resets_fleet in
+    let params = Matrix.full_params in
+    let workdir =
+      Filename.concat (Filename.get_temp_dir_name ()) "resets-e17"
+    in
+    Report.param report "k" (Json.Int params.Matrix.k);
+    Report.param report "rate_pps" (Json.Float params.Matrix.rate_pps);
+    Report.param report "warmup_s" (Json.Float params.Matrix.warmup_s);
+    Report.param report "downtime_s" (Json.Float params.Matrix.downtime_s);
+    Report.param report "post_s" (Json.Float params.Matrix.post_s);
+    Report.param report "repeats" (Json.Int params.Matrix.repeats);
+    Report.param report "seed" (Json.Int params.Matrix.seed);
+    let result, _ok =
+      Matrix.run ~bin ~workdir
+        ~log:(fun m -> Format.printf "  [fleet] %s@." m)
+        ()
+    in
+    let rows table key =
+      match Json.member key result with
+      | Some (Json.List items) ->
+        List.iter
+          (fun item ->
+            match item with
+            | Json.Obj kv -> Report.row report ~table kv
+            | _ -> ())
+          items;
+        List.filter_map (function Json.Obj kv -> Some kv | _ -> None) items
+      | _ -> []
+    in
+    let cells = rows "cells" "cells" in
+    let kill_modes = rows "kill_modes" "kill_modes" in
+    let faulty = rows "faulty" "faulty" in
+    let bool_of kv key =
+      match List.assoc_opt key kv with Some (Json.Bool b) -> b | _ -> false
+    in
+    let float_of kv key =
+      match List.assoc_opt key kv with
+      | Some j -> Option.value (Json.as_float j) ~default:nan
+      | None -> nan
+    in
+    let bound = float_of_int (2 * params.Matrix.k) in
+    (* The printed table, one line per cell. *)
+    Format.printf
+      "  %-34s %9s %9s %9s %6s@." "cell (scope-discipline-churn)" "lost_max"
+      "ttc_p50" "ttc_max" "ok";
+    List.iter
+      (fun kv ->
+        let s k =
+          match List.assoc_opt k kv with
+          | Some (Json.String v) -> v
+          | _ -> "?"
+        in
+        Format.printf "  %-34s %9.0f %8.3fs %8.3fs %6b@."
+          (Printf.sprintf "%s-%s-%s" (s "scope") (s "discipline") (s "churn"))
+          (float_of kv "lost_max") (float_of kv "ttc_p50_s")
+          (float_of kv "ttc_max_s") (bool_of kv "ok"))
+      cells;
+    let lost_worst =
+      List.fold_left (fun a kv -> Float.max a (float_of kv "lost_max")) 0. cells
+    in
+    let ttc_worst =
+      List.fold_left (fun a kv -> Float.max a (float_of kv "ttc_max_s")) 0.
+        cells
+    in
+    Report.measure report "cells_run" (Json.Int (List.length cells));
+    Report.measure report "lost_worst" (Json.Float lost_worst);
+    Report.measure report "ttc_worst_s" (Json.Float ttc_worst);
+    Report.check report
+      ~name:
+        "every crash-restart cell: fresh discards <= 2k and convergence \
+         detected from heartbeats alone"
+      ~bound ~value:lost_worst
+      (List.length cells = 27 && List.for_all (fun kv -> bool_of kv "ok") cells);
+    (match
+       List.find_opt
+         (fun kv -> List.assoc_opt "mode" kv = Some (Json.String "sigterm"))
+         kill_modes
+     with
+    | Some kv ->
+      Report.check report
+        ~name:
+          "SIGTERM graceful stop: terminal heartbeat written and the \
+           restart recovers the final edge"
+        (bool_of kv "ok")
+    | None ->
+      Report.check report ~name:"SIGTERM kill-mode probe ran" false);
+    (match
+       List.find_opt
+         (fun kv -> List.assoc_opt "mode" kv = Some (Json.String "sigstop"))
+         kill_modes
+     with
+    | Some kv ->
+      Report.check report
+        ~name:
+          "SIGSTOP stall: the heartbeat watchdog forces the restart and \
+           the pair reconverges"
+        (bool_of kv "ok")
+    | None ->
+      Report.check report ~name:"SIGSTOP kill-mode probe ran" false);
+    List.iter
+      (fun kv ->
+        let s =
+          match List.assoc_opt "fault" kv with
+          | Some (Json.String v) -> v
+          | _ -> "?"
+        in
+        Report.check report
+          ~name:
+            (Printf.sprintf
+               "faulty %s cell: discards still <= 2k through injected faults"
+               s)
+          ~bound
+          ~value:(float_of kv "lost_max")
+          (bool_of kv "ok"))
+      faulty;
+    if List.length faulty <> 2 then
+      Report.check report ~name:"both faulty cells ran" false
+  end
+
+(* ------------------------------------------------------------------ *)
 (* MICRO *)
 
 let micro report =
@@ -2208,6 +2359,17 @@ let () =
        cadence online, restores safety on every cell and recovers most of \
        the attack-free oracle's goodput at bounded SAVE overhead."
     e16;
+  section "E17" "reboot-convergence matrix: supervised daemon pairs"
+    ~claim:
+      "On real processes over a real wire, every combination of reset \
+       scope (one SA, the whole SADB, a lost disk), recovery discipline \
+       (per-SA files, coalesced snapshot, re-establishment) and background \
+       churn converges after a SIGKILL-and-restart with at most 2k fresh \
+       discards, detected from the heartbeat file alone; a SIGTERM flush \
+       survives to the next incarnation, a SIGSTOP stall is caught only \
+       by the heartbeat watchdog, and the bound holds through injected \
+       store faults and wire impairment."
+    e17;
   section "MICRO" "hot-path microbenchmarks"
     ~claim:
       "Per-packet hot paths (window admit, ESP, HMAC, SHA-256, ChaCha20) \

@@ -798,7 +798,8 @@ let serve_cmd =
   let open Resets_net in
   let go role addr peer secret spi_base sas k adaptive window rate duration
       store_dir stats_path json_path workers expect_recovery heartbeat batch
-      rcvbuf sndbuf quiet =
+      rcvbuf sndbuf discipline churn impair impair_seed store_faults fault_seed
+      graceful quiet =
     let parse_addr label = function
       | None -> None
       | Some s -> (
@@ -840,6 +841,13 @@ let serve_cmd =
         batch;
         rcvbuf;
         sndbuf;
+        discipline;
+        churn;
+        impair;
+        impair_seed;
+        store_faults;
+        fault_seed;
+        handle_signals = graceful;
       }
     in
     match Daemon.run cfg with
@@ -997,6 +1005,102 @@ let serve_cmd =
             "Request an explicit SO_SNDBUF; the effective (kernel-granted) \
              size is reported in the startup heartbeat.")
   in
+  let discipline =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("per-sa", Resets_net.Daemon.Per_sa);
+               ("coalesced", Resets_net.Daemon.Coalesced);
+               ("reestablish", Resets_net.Daemon.Reestablish);
+             ])
+          Resets_net.Daemon.Per_sa
+      & info [ "discipline" ] ~docv:"D"
+          ~doc:
+            "Recovery discipline: $(b,per-sa) (one store key per SA), \
+             $(b,coalesced) (one snapshot file per worker, all SAs recovered \
+             together), or $(b,reestablish) (ignore stored state, fresh \
+             sequence space).")
+  in
+  let churn =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("steady", Resets_net.Daemon.Steady);
+               ("storm", Resets_net.Daemon.Storm);
+               ("mixed", Resets_net.Daemon.Mixed);
+             ])
+          Resets_net.Daemon.Steady
+      & info [ "churn" ] ~docv:"C"
+          ~doc:
+            "Background traffic shape: $(b,steady) constant spacing, \
+             $(b,storm) bursty on/off (the wire-level rekey-storm analogue), \
+             $(b,mixed) alternating by SA.")
+  in
+  let impair_conv =
+    let parse s =
+      match Resets_core.Impair.spec_of_string s with
+      | Ok spec -> Ok spec
+      | Error msg -> Error (`Msg msg)
+    in
+    Arg.conv
+      (parse, fun fmt s -> Format.pp_print_string fmt (Resets_core.Impair.spec_to_string s))
+  in
+  let impair =
+    Arg.(
+      value
+      & opt impair_conv Resets_core.Impair.none
+      & info [ "impair" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic wire impairment on the send path, e.g. \
+             $(b,drop=0.05,dup=0.01,reorder=0.02,delay=0.01:4,ge=0.01:0.2:0.9) \
+             (ge = Gilbert-Elliott enter:exit:drop burst loss).")
+  in
+  let impair_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "impair-seed" ] ~docv:"N"
+          ~doc:"PRNG root for the impairment (and churn) streams.")
+  in
+  let faults_conv =
+    let parse s =
+      match Resets_persist.Faults.spec_of_string s with
+      | Ok spec -> Ok spec
+      | Error msg -> Error (`Msg msg)
+    in
+    Arg.conv
+      ( parse,
+        fun fmt s ->
+          Format.pp_print_string fmt (Resets_persist.Faults.spec_to_string s) )
+  in
+  let store_faults =
+    Arg.(
+      value
+      & opt faults_conv Resets_persist.Faults.none
+      & info [ "store-faults" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic file-store fault plan, e.g. \
+             $(b,write_fail=0.05,torn=0.02,corrupt=0.01,stale=0.01): transient \
+             write failures, aborted renames, corrupt/stale checked reads.")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-seed" ] ~docv:"N"
+          ~doc:"PRNG root for the store-fault plan (keyed per worker).")
+  in
+  let graceful =
+    Arg.(
+      value & flag
+      & info [ "graceful" ]
+          ~doc:
+            "Handle SIGTERM as a graceful stop: finish with a final blocking \
+             SAVE of every SA's freshest counter and a terminal heartbeat \
+             (reason sigterm) instead of dying mid-write.")
+  in
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Do not print the final report.")
   in
@@ -1011,7 +1115,91 @@ let serve_cmd =
       const go $ role $ addr $ peer $ secret $ spi_base $ sas $ k $ adaptive
       $ window $ rate $ duration $ store_dir $ stats_path $ json_path
       $ workers $ expect_recovery $ heartbeat $ batch $ rcvbuf $ sndbuf
-      $ quiet)
+      $ discipline $ churn $ impair $ impair_seed $ store_faults $ fault_seed
+      $ graceful $ quiet)
+
+(* ------------------------------------------------------------------ *)
+(* fleet: the E17 reboot-convergence scenario matrix *)
+
+let fleet_cmd =
+  let open Resets_fleet in
+  let go smoke json_out workdir bin repeats seed quiet =
+    let params0 = if smoke then Matrix.smoke_params else Matrix.full_params in
+    let params = { params0 with Matrix.repeats; seed } in
+    let cells = if smoke then Matrix.smoke_cells else Matrix.full_cells in
+    let bin = match bin with Some b -> b | None -> Sys.executable_name in
+    let log msg = if not quiet then Format.printf "[fleet] %s@." msg in
+    let report, ok =
+      Matrix.run ~bin ~workdir ~log ~cells ~params ~kill_modes:(not smoke)
+        ~faulty:(not smoke) ()
+    in
+    (match json_out with
+    | Some path ->
+      Resets_util.Json.write_file path report;
+      if not quiet then Format.printf "[fleet] wrote %s@." path
+    | None -> print_endline (Resets_util.Json.to_string_pretty report));
+    if not quiet then
+      Format.printf "[fleet] %s@." (if ok then "all gates held" else "FAILED");
+    if ok then 0 else 2
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Small matrix: one cell per reset scope, short durations, no \
+             kill-mode probes or faulty cells — the check.sh gate.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the full report to $(docv).")
+  in
+  let workdir =
+    Arg.(
+      value
+      & opt string "/tmp/resets-fleet"
+      & info [ "workdir" ] ~docv:"DIR"
+          ~doc:
+            "Scratch directory: one subdirectory per cell (sockets, stores, \
+             heartbeats, daemon logs), left in place for inspection.")
+  in
+  let bin =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bin" ] ~docv:"PATH"
+          ~doc:
+            "The ipsec-resets executable whose $(b,serve) verb runs the \
+             daemons (default: this executable).")
+  in
+  let repeats =
+    Arg.(
+      value & opt int 1
+      & info [ "repeats" ] ~docv:"N" ~doc:"Repeats per cell.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Root seed for impairment and fault plans.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No per-cell progress output.")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Run the E17 reboot-convergence matrix: a fault-injecting \
+          supervisor crosses reset scope (single SA / whole SADB / \
+          disk-lost cold start) x recovery discipline (per-SA / coalesced \
+          / re-establish) x background churn over real daemon pairs, \
+          measuring messages lost and time-to-converged per cell against \
+          the 2k bound from heartbeats alone. Exit 0 when every gate \
+          holds, 2 otherwise (matching serve --expect-recovery).")
+    Term.(
+      const go $ smoke $ json_out $ workdir $ bin $ repeats $ seed $ quiet)
 
 (* ------------------------------------------------------------------ *)
 (* trace *)
@@ -1056,5 +1244,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; explore_cmd; bidir_cmd; multi_sa_cmd; rekey_cmd; kmin_cmd;
-            chaos_cmd; serve_cmd; trace_cmd;
+            chaos_cmd; serve_cmd; fleet_cmd; trace_cmd;
           ]))

@@ -1,0 +1,71 @@
+type status = Running | Exited of int | Signaled of int
+
+type t = {
+  pid : int;
+  argv : string array;
+  log : string;
+  started_at : float;
+  mutable reaped : status option;
+}
+
+let spawn ~argv ~log () =
+  (match argv with [] -> invalid_arg "Proc.spawn: empty argv" | _ -> ());
+  let argv = Array.of_list argv in
+  let fd =
+    Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  let pid =
+    try Unix.create_process argv.(0) argv Unix.stdin fd fd
+    with e ->
+      Unix.close fd;
+      raise e
+  in
+  Unix.close fd;
+  { pid; argv; log; started_at = Unix.gettimeofday (); reaped = None }
+
+let pid t = t.pid
+let argv t = Array.to_list t.argv
+let log t = t.log
+let started_at t = t.started_at
+
+(* Nonblocking reap. A child can only be waited on once; the result is
+   cached so [poll] stays idempotent. A SIGSTOPped child is Running —
+   stalled-but-alive is exactly what the watchdog exists to catch. *)
+let poll t =
+  match t.reaped with
+  | Some s -> s
+  | None -> (
+    match Unix.waitpid [ Unix.WNOHANG; Unix.WUNTRACED ] t.pid with
+    | 0, _ -> Running
+    | _, Unix.WEXITED c ->
+      t.reaped <- Some (Exited c);
+      Exited c
+    | _, Unix.WSIGNALED s ->
+      t.reaped <- Some (Signaled s);
+      Signaled s
+    | _, Unix.WSTOPPED _ -> Running
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+      (* not our child (or already reaped elsewhere): call it gone *)
+      t.reaped <- Some (Exited 255);
+      Exited 255)
+
+let alive t = poll t = Running
+
+let kill t signal =
+  if alive t then
+    try Unix.kill t.pid signal with Unix.Unix_error (Unix.ESRCH, _, _) -> ()
+
+let wait ?(timeout = 30.) ?(poll_interval = 0.01) t =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    match poll t with
+    | (Exited _ | Signaled _) as s -> Some s
+    | Running ->
+      if Unix.gettimeofday () >= deadline then None
+      else begin
+        (try Unix.sleepf poll_interval
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        go ()
+      end
+  in
+  go ()

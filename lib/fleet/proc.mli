@@ -1,0 +1,38 @@
+(** One supervised child process.
+
+    A thin, reap-safe wrapper over [fork/exec]: stdout and stderr go to
+    an append-mode log file, liveness is polled without blocking, and
+    the exit status is cached at first reap (a child can only be waited
+    on once). Signal delivery is the only control channel — matching
+    how a real init system treats its charges. *)
+
+type status = Running | Exited of int | Signaled of int
+
+type t
+
+val spawn : argv:string list -> log:string -> unit -> t
+(** Start [argv] (absolute or PATH-resolved program first), appending
+    its stdout+stderr to [log]. @raise Invalid_argument on empty argv;
+    raises [Unix.Unix_error] when the program cannot be executed. *)
+
+val pid : t -> int
+val argv : t -> string list
+val log : t -> string
+
+val started_at : t -> float
+(** Spawn wall-clock time (epoch seconds) — restart-to-convergence
+    measurements anchor here. *)
+
+val poll : t -> status
+(** Nonblocking status. A SIGSTOPped child reports [Running]:
+    stalled-but-alive is the watchdog's case to detect, not this
+    function's. *)
+
+val alive : t -> bool
+
+val kill : t -> int -> unit
+(** Deliver a signal ([Sys.sigkill], [Sys.sigterm], [Sys.sigstop],
+    ...); no-op if already dead. *)
+
+val wait : ?timeout:float -> ?poll_interval:float -> t -> status option
+(** Block (by polling) until exit; [None] on timeout (default 30 s). *)

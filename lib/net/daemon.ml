@@ -8,6 +8,19 @@ module Batch_io = Resets_net_stubs.Batch_io
 
 type role = Send | Recv
 
+(* How this process treats persisted sequence state across a restart —
+   the recovery-discipline axis of the E17 matrix. *)
+type discipline =
+  | Per_sa  (** one store key per SA, recover each independently *)
+  | Coalesced  (** one snapshot file per worker, all SAs together *)
+  | Reestablish  (** ignore stored state; establish a fresh space *)
+
+(* Background traffic shape during the run — the churn axis. The wire
+   daemon has no IKE, so "rekey storm" is modelled at the wire level:
+   the bursty on/off source that motivates message-counted SAVE
+   intervals in the paper. *)
+type churn = Steady | Storm | Mixed
+
 type config = {
   role : role;
   bind : Transport_udp.addr option;
@@ -29,6 +42,15 @@ type config = {
   batch : int;
   rcvbuf : int option;
   sndbuf : int option;
+  discipline : discipline;
+  churn : churn;
+  impair : Impair.spec;  (** send-path wire impairment plan *)
+  impair_seed : int;
+  store_faults : Faults.spec;  (** file-store fault plan *)
+  fault_seed : int;
+  handle_signals : bool;
+      (** install a SIGTERM handler: stop early, final blocking SAVE
+          per SA, terminal heartbeat *)
 }
 
 let default =
@@ -53,9 +75,22 @@ let default =
     batch = Batch_io.default_batch;
     rcvbuf = None;
     sndbuf = None;
+    discipline = Per_sa;
+    churn = Steady;
+    impair = Impair.none;
+    impair_seed = 1;
+    store_faults = Faults.none;
+    fault_seed = 1;
+    handle_signals = false;
   }
 
 let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+(* A SIGTERM arriving mid-syscall surfaces as EINTR; the interrupted
+   wait is treated as "nothing happened" so the loop re-checks its stop
+   flag instead of dying. *)
+let no_eintr ~default f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> default
 
 (* The SAVE-interval policy every SA of this daemon runs under.
    [--k auto] (adaptive) re-derives K online from the wall-clock SAVE
@@ -99,6 +134,11 @@ type sa_stat = {
   min_seq : int;  (** lowest delivered seq this incarnation; 0 if none *)
   max_seq : int;
   fresh_rejected : int;
+  lost : int;
+      (** fresh messages rejected with no copy ever delivered — the
+          paper's convergence cost. [fresh_rejected] also counts
+          window rejections of wire-duplicated frames whose original
+          got through, so only [lost] is bounded by 2k. *)
   dups : int;
   bad_icv : int;
   edge : int;
@@ -116,6 +156,7 @@ let zero_stat spi =
     min_seq = 0;
     max_seq = 0;
     fresh_rejected = 0;
+    lost = 0;
     dups = 0;
     bad_icv = 0;
     edge = 0;
@@ -134,6 +175,7 @@ let json_of_stat s =
       ("min_seq", Json.Int s.min_seq);
       ("max_seq", Json.Int s.max_seq);
       ("fresh_rejected", Json.Int s.fresh_rejected);
+      ("lost", Json.Int s.lost);
       ("dups", Json.Int s.dups);
       ("bad_icv", Json.Int s.bad_icv);
       ("edge", Json.Int s.edge);
@@ -181,21 +223,36 @@ let append_line path line =
   output_string oc (line ^ "\n");
   close_out oc
 
-let append_heartbeat path ~role ~elapsed_ns ~shards ~wire stats =
+(* Every heartbeat carries the writer's pid and an absolute wall-clock
+   stamp: a supervisor reading the JSONL can tell incarnations apart by
+   pid alone and measure restart-to-convergence times without sharing a
+   clock with the daemon. [event] marks the terminal line a cleanly
+   exiting daemon appends (["shutdown"], with the stop reason); its
+   absence at exit is how a crash looks. *)
+let append_heartbeat ?event path ~role ~elapsed_ns ~shards ~wire stats =
   append_line path
     (Json.to_string
        (Json.Obj
-          [
-            ("elapsed_ns", Json.Int elapsed_ns);
-            ( "role",
-              Json.String (match role with Send -> "send" | Recv -> "recv") );
-            ("sas", Json.List (List.map json_of_stat (Array.to_list stats)));
-            (* per-shard (worker) wall-clock SAVE-latency percentiles *)
-            ("save_latency_ns", Json.List shards);
-            (* wire pressure: batch-fill percentiles, flush counts,
-               tx-pool high-water mark (DESIGN.md §2f) *)
-            ("wire", wire);
-          ]))
+          ((match event with
+           | Some (name, reason) ->
+             [
+               ("event", Json.String name); ("reason", Json.String reason);
+             ]
+           | None -> [])
+          @ [
+              ("pid", Json.Int (Unix.getpid ()));
+              ("ts_ns", Json.Int (Int64.to_int (now_ns ())));
+              ("elapsed_ns", Json.Int elapsed_ns);
+              ( "role",
+                Json.String (match role with Send -> "send" | Recv -> "recv")
+              );
+              ("sas", Json.List (List.map json_of_stat (Array.to_list stats)));
+              (* per-shard (worker) wall-clock SAVE-latency percentiles *)
+              ("save_latency_ns", Json.List shards);
+              (* wire pressure: batch-fill percentiles, flush counts,
+                 tx-pool high-water mark (DESIGN.md §2f) *)
+              ("wire", wire);
+            ])))
 
 (* The startup heartbeat carries what a post-mortem needs to interpret
    the run's wire numbers: the configured batch and the socket-buffer
@@ -206,6 +263,8 @@ let append_startup path ~role ~batch ~rcvbuf_effective ~sndbuf_effective =
        (Json.Obj
           [
             ("event", Json.String "startup");
+            ("pid", Json.Int (Unix.getpid ()));
+            ("ts_ns", Json.Int (Int64.to_int (now_ns ())));
             ( "role",
               Json.String (match role with Send -> "send" | Recv -> "recv") );
             ("batch", Json.Int batch);
@@ -283,6 +342,7 @@ type mailbox = {
   m : Mutex.t;
   mutable frames : string list; (* newest first *)
   mutable stop : bool;
+  mutable graceful : bool; (* stop came from SIGTERM: flush state *)
   mutable snapshot : sa_stat array;
   mutable save_latencies : save_lat_snapshot;
   mutable wire : wire_snapshot;
@@ -293,6 +353,7 @@ let make_mailbox n =
     m = Mutex.create ();
     frames = [];
     stop = false;
+    graceful = false;
     snapshot = Array.init n (fun _ -> zero_stat 0);
     save_latencies = no_latencies;
     wire = no_wire;
@@ -309,6 +370,82 @@ let key_of cfg role i =
   Printf.sprintf "spi-%d-%s" (cfg.spi_base + i)
     (match role with Send -> "seq" | Recv -> "edge")
 
+(* The worker's persistence backend, shaped by the recovery
+   discipline: per-SA file-per-key ([Per_sa], [Reestablish]) or one
+   snapshot file per worker holding every SA together ([Coalesced]).
+   [Reestablish] additionally blinds the startup fetch — stored state
+   is ignored, the SA establishes a fresh sequence space. A store-fault
+   plan (keyed by worker index, so the pattern is independent of how
+   the sharding interleaves) makes the backend misbehave
+   deterministically. *)
+let worker_store cfg ~role w =
+  let faults =
+    if Faults.is_none cfg.store_faults then None
+    else
+      Some
+        (Faults.create ~spec:cfg.store_faults
+           ~prng:(Prng.keyed ~seed:cfg.fault_seed ~stream:w))
+  in
+  match cfg.discipline with
+  | Coalesced ->
+    let name =
+      Printf.sprintf "%s-w%d" (match role with Send -> "send" | Recv -> "recv") w
+    in
+    let snap = File_store.Snapshot.load ?faults ~dir:cfg.store_dir ~name () in
+    ( File_store.Snapshot.store snap,
+      fun ~key -> File_store.Snapshot.fetch snap ~key )
+  | Per_sa | Reestablish ->
+    let fs = File_store.create ~dir:cfg.store_dir in
+    Option.iter (File_store.set_faults fs) faults;
+    let fetch ~key =
+      match cfg.discipline with
+      | Reestablish -> None
+      | _ -> File_store.fetch fs ~key
+    in
+    (File_store.store fs, fetch)
+
+(* Final blocking SAVE on graceful shutdown: the freshest counter must
+   be durable before the process exits. Saves are synchronous on the
+   file store; under an injected fault plan a save may fail, so retry a
+   few times and finally fall back to [preload] (which bypasses the
+   plan — flushing state at shutdown is establishment-grade). *)
+let final_save (st : Store.t) ~key ~value =
+  let ok = ref false in
+  let attempts = ref 0 in
+  while (not !ok) && !attempts < 3 do
+    incr attempts;
+    st.Store.save ~key ~value ~on_error:ignore ~on_complete:(fun () ->
+        ok := true)
+  done;
+  if not !ok then st.Store.preload ~key ~value
+
+(* The churn axis as a wire traffic shape, per SA: [Storm] is the
+   on/off bursty source (4x the steady rate inside bursts, idle
+   between, same long-run average), [Mixed] alternates shapes by SA
+   index. PRNGs are keyed by global SA index so the shape an SA sees
+   is independent of the sharding. *)
+let traffic_of cfg i ~gap =
+  let bursty () =
+    let on_gap =
+      Time.of_ns (Int64.of_float (Int64.to_float (Time.to_ns gap) /. 4.))
+    in
+    let burst = 32 in
+    let off_ns =
+      Int64.of_float
+        (float_of_int burst
+        *. (Int64.to_float (Time.to_ns gap) -. Int64.to_float (Time.to_ns on_gap))
+        )
+    in
+    Resets_workload.Traffic.bursty ~on_gap ~off_duration:(Time.of_ns off_ns)
+      ~burst_length:burst
+      ~prng:(Prng.keyed ~seed:(cfg.impair_seed lxor 0x5747) ~stream:i)
+  in
+  match cfg.churn with
+  | Steady -> Resets_workload.Traffic.constant ~gap
+  | Storm -> bursty ()
+  | Mixed ->
+    if i mod 2 = 0 then Resets_workload.Traffic.constant ~gap else bursty ()
+
 (* ------------------------------------------------------------------ *)
 (* Receive worker: a shard of receivers on its own engine, fed frames
    through the mailbox by the main domain's socket loop.               *)
@@ -317,14 +454,14 @@ let recv_worker cfg (mb : mailbox) w =
   let indices = shard_indices cfg w in
   let engine = Engine.create () in
   let clock = Clock.of_ns_source now_ns in
-  let fs = File_store.create ~dir:cfg.store_dir in
+  let base_store, fetch_prior = worker_store cfg ~role:Recv w in
   let save_lat = Stats.Sample.create () in
   let by_spi = Hashtbl.create 16 in
   let states =
     List.map
       (fun i ->
         let key = key_of cfg Recv i in
-        let prior = File_store.fetch fs ~key in
+        let prior = fetch_prior ~key in
         let recovered = prior <> None in
         let metrics = Metrics.create () in
         let sa = derive_sa cfg i in
@@ -332,7 +469,7 @@ let recv_worker cfg (mb : mailbox) w =
         let store =
           timed_store ~sample:save_lat
             ~policy:(if cfg.adaptive then Some policy else None)
-            (File_store.store fs)
+            base_store
         in
         let receiver =
           Receiver.create
@@ -383,6 +520,7 @@ let recv_worker cfg (mb : mailbox) w =
       min_seq = !min_seq;
       max_seq = Metrics.max_delivered_seq metrics;
       fresh_rejected = metrics.Metrics.fresh_rejected;
+      lost = metrics.Metrics.fresh_rejected_undelivered;
       dups = metrics.Metrics.duplicate_deliveries;
       bad_icv = metrics.Metrics.bad_icv;
       edge = Receiver.right_edge receiver;
@@ -419,7 +557,7 @@ let recv_worker cfg (mb : mailbox) w =
     Mutex.unlock mb.m;
     List.iter process (List.rev frames);
     if stop then Engine.stop engine
-    else if frames = [] then Unix.sleepf 0.002
+    else if frames = [] then no_eintr ~default:() (fun () -> Unix.sleepf 0.002)
   in
   ignore
     (Engine.run_clocked ~clock ~idle ~until:(Time.of_sec cfg.duration) engine);
@@ -428,8 +566,18 @@ let recv_worker cfg (mb : mailbox) w =
   Mutex.lock mb.m;
   let rest = mb.frames in
   mb.frames <- [];
+  let graceful = mb.graceful in
   Mutex.unlock mb.m;
   List.iter process (List.rev rest);
+  (* Graceful (SIGTERM) stop: make every SA's freshest edge durable
+     before exiting, so the next incarnation recovers from the true
+     edge instead of the last periodic SAVE. *)
+  if graceful then
+    List.iter
+      (fun (i, receiver, _, _, _, _, _) ->
+        final_save base_store ~key:(key_of cfg Recv i)
+          ~value:(Receiver.right_edge receiver))
+      states;
   publish ()
 
 (* ------------------------------------------------------------------ *)
@@ -440,7 +588,7 @@ let send_worker cfg (mb : mailbox) w =
   let indices = shard_indices cfg w in
   let engine = Engine.create () in
   let clock = Clock.of_ns_source now_ns in
-  let fs = File_store.create ~dir:cfg.store_dir in
+  let base_store, fetch_prior = worker_store cfg ~role:Send w in
   let save_lat = Stats.Sample.create () in
   let sock =
     Transport_udp.create ?peer:cfg.peer ~batch:cfg.batch ?rcvbuf:cfg.rcvbuf
@@ -452,7 +600,7 @@ let send_worker cfg (mb : mailbox) w =
     List.map
       (fun i ->
         let key = key_of cfg Send i in
-        let prior = File_store.fetch fs ~key in
+        let prior = fetch_prior ~key in
         let recovered = prior <> None in
         let metrics = Metrics.create () in
         let sa = derive_sa cfg i in
@@ -460,13 +608,24 @@ let send_worker cfg (mb : mailbox) w =
         let store =
           timed_store ~sample:save_lat
             ~policy:(if cfg.adaptive then Some policy else None)
-            (File_store.store fs)
+            base_store
+        in
+        (* The impairment plan sits on the sender's view of the wire,
+           one instance per SA keyed by global index: deterministic
+           per stream, independent of the sharding. *)
+        let sa_transport =
+          if Impair.is_none cfg.impair then transport
+          else
+            Impair.wrap
+              (Impair.create ~spec:cfg.impair
+                 ~prng:(Prng.keyed ~seed:cfg.impair_seed ~stream:i))
+              transport
         in
         let sender =
           Sender.create
             ~name:(Printf.sprintf "p%d" (cfg.spi_base + i))
-            ~preload_store:(not recovered) ~sa ~transport
-            ~traffic:(Resets_workload.Traffic.constant ~gap)
+            ~preload_store:(not recovered) ~sa ~transport:sa_transport
+            ~traffic:(traffic_of cfg i ~gap)
             ~metrics
             ~persistence:
               (Some
@@ -516,17 +675,34 @@ let send_worker cfg (mb : mailbox) w =
     (* About to wait: push whatever the burst staged so a batch never
        sits in the tx pool across an idle period. *)
     ignore (Transport_udp.flush sock : int);
-    match due with
-    | None -> Unix.sleepf 0.002
-    | Some d ->
-      let ahead = Time.to_sec d -. Time.to_sec (Clock.elapsed clock) in
-      if ahead > 0. then Unix.sleepf (Float.min ahead 0.01)
+    Mutex.lock mb.m;
+    let stop = mb.stop in
+    Mutex.unlock mb.m;
+    if stop then Engine.stop engine
+    else
+      no_eintr ~default:() (fun () ->
+          match due with
+          | None -> Unix.sleepf 0.002
+          | Some d ->
+            let ahead = Time.to_sec d -. Time.to_sec (Clock.elapsed clock) in
+            if ahead > 0. then Unix.sleepf (Float.min ahead 0.01))
   in
   ignore
     (Engine.run_clocked ~clock ~idle
        ~tick:(fun () -> ignore (Transport_udp.flush sock : int))
        ~until:(Time.of_sec cfg.duration) engine);
   ignore (Transport_udp.flush sock : int);
+  Mutex.lock mb.m;
+  let graceful = mb.graceful in
+  Mutex.unlock mb.m;
+  (* Graceful (SIGTERM) stop: the sender's next_seq must be durable so
+     the next incarnation never reuses a sequence number. *)
+  if graceful then
+    List.iter
+      (fun (i, sender, _, _, _, _) ->
+        final_save base_store ~key:(key_of cfg Send i)
+          ~value:(Sender.next_seq sender))
+      states;
   publish ();
   Transport_udp.close sock
 
@@ -558,7 +734,10 @@ let check_gate cfg ~prev stats =
     (fun s ->
       let fail fmt = Printf.ksprintf (fun m -> [ m ]) fmt in
       let v1 =
-        if not s.recovered then
+        (* Re-establishment ignores stored state by design: the SA is
+           expected to come up fresh, not to recover. *)
+        if cfg.discipline = Reestablish then []
+        else if not s.recovered then
           fail "spi %d: no stored edge found — previous incarnation left no state"
             s.spi
         else []
@@ -567,9 +746,13 @@ let check_gate cfg ~prev stats =
           fail "spi %d: no deliveries after recovery (did not converge)" s.spi
         else []
       and v3 =
-        if s.fresh_rejected > leap then
-          fail "spi %d: %d fresh rejections > 2k = %d (convergence bound broken)"
-            s.spi s.fresh_rejected leap
+        (* The bound covers fresh messages lost outright; rejections of
+           wire-duplicated frames whose original was delivered are not
+           losses (the wire may duplicate freely). *)
+        if s.lost > leap then
+          fail "spi %d: %d fresh messages lost > 2k = %d (convergence bound \
+                broken)"
+            s.spi s.lost leap
         else []
       and v4 =
         if s.dups > 0 then fail "spi %d: %d duplicate deliveries" s.spi s.dups
@@ -606,6 +789,20 @@ let report cfg ~elapsed_s ~wire_rx ~wire_tx ~wire_tx_errors ~wire_stats ~gate
       ("sas", Json.Int cfg.sas);
       ("k", Json.Int cfg.k);
       ("k_policy", Json.String (K_policy.describe (policy_mode cfg)));
+      ( "discipline",
+        Json.String
+          (match cfg.discipline with
+          | Per_sa -> "per-sa"
+          | Coalesced -> "coalesced"
+          | Reestablish -> "reestablish") );
+      ( "churn",
+        Json.String
+          (match cfg.churn with
+          | Steady -> "steady"
+          | Storm -> "storm"
+          | Mixed -> "mixed") );
+      ("impair", Json.String (Impair.spec_to_string cfg.impair));
+      ("store_faults", Json.String (Faults.spec_to_string cfg.store_faults));
       ("workers", Json.Int cfg.workers);
       ("elapsed_s", Json.Float elapsed_s);
       ("wire_rx", Json.Int wire_rx);
@@ -639,6 +836,19 @@ let run cfg =
   | Send, _, None -> invalid_arg "Daemon.run: Send needs a peer address"
   | _ -> ());
   if not (Sys.file_exists cfg.store_dir) then Sys.mkdir cfg.store_dir 0o755;
+  (* Graceful shutdown: a SIGTERM only raises this flag; the main loop
+     notices it, stops the workers with [graceful] set (final blocking
+     SAVE per SA), and appends the terminal heartbeat. The handler is
+     opt-in — embedded runs (tests, the fleet supervisor's own process)
+     must not have their signal dispositions stolen. *)
+  let stop_requested = Atomic.make false in
+  let prev_sigterm =
+    if cfg.handle_signals then
+      Some
+        (Sys.signal Sys.sigterm
+           (Sys.Signal_handle (fun _ -> Atomic.set stop_requested true)))
+    else None
+  in
   (* Read the previous incarnation's last heartbeat BEFORE appending
      this incarnation's first one. *)
   let prev =
@@ -765,7 +975,7 @@ let run cfg =
   (* Main loop: drain the socket (receive role) and emit heartbeats
      until the wall-clock duration elapses. *)
   let next_hb = ref cfg.heartbeat in
-  let heartbeat () =
+  let heartbeat ?event () =
     match cfg.stats_path with
     | None -> ()
     | Some path ->
@@ -778,24 +988,27 @@ let run cfg =
             json_of_latencies ~worker:w l)
           (Array.to_list mailboxes)
       in
-      append_heartbeat path ~role:cfg.role
+      append_heartbeat ?event path ~role:cfg.role
         ~elapsed_ns:(Int64.to_int (Time.to_ns (Clock.elapsed clock)))
         ~shards ~wire:(wire_json ()) (aggregate mailboxes)
   in
   let rec main_loop () =
     let elapsed = Time.to_sec (Clock.elapsed clock) in
-    if elapsed < cfg.duration then begin
+    if elapsed < cfg.duration && not (Atomic.get stop_requested) then begin
       if elapsed >= !next_hb then begin
         heartbeat ();
         next_hb := !next_hb +. cfg.heartbeat
       end;
       (match sock with
       | Some s ->
-        if Transport_udp.wait_readable s ~timeout:0.02 then begin
+        if
+          no_eintr ~default:false (fun () ->
+              Transport_udp.wait_readable s ~timeout:0.02)
+        then begin
           ignore (Transport_udp.drain s);
           dispatch ()
         end
-      | None -> Unix.sleepf 0.02);
+      | None -> no_eintr ~default:() (fun () -> Unix.sleepf 0.02));
       main_loop ()
     end
   in
@@ -807,17 +1020,24 @@ let run cfg =
     ignore (Transport_udp.drain s);
     dispatch ()
   | None -> ());
+  let graceful = Atomic.get stop_requested in
   Array.iter
     (fun mb ->
       Mutex.lock mb.m;
       mb.stop <- true;
+      mb.graceful <- graceful;
       Mutex.unlock mb.m)
     mailboxes;
   Array.iter Domain_pool.await futures;
   Domain_pool.shutdown pool;
+  Option.iter (Sys.set_signal Sys.sigterm) prev_sigterm;
   let elapsed_s = Time.to_sec (Clock.elapsed clock) in
   let stats = aggregate mailboxes in
-  heartbeat ();
+  (* Terminal heartbeat: a cleanly exiting daemon always leaves one,
+     stamped with why it stopped. Its absence marks a crash. *)
+  heartbeat
+    ~event:("shutdown", if graceful then "sigterm" else "duration")
+    ();
   let wire_rx =
     match sock with Some s -> Transport_udp.rx_frames s | None -> 0
   in

@@ -47,6 +47,26 @@
 
 type role = Send | Recv
 
+(** Recovery discipline: how this process treats persisted sequence
+    state across a restart — one axis of the E17 reboot-convergence
+    matrix. *)
+type discipline =
+  | Per_sa  (** one store key per SA, each recovered independently *)
+  | Coalesced
+      (** one {!Resets_persist.File_store.Snapshot} file per worker:
+          every SA of the shard saves and recovers together (the
+          paper's Section 6 coalesced discipline on a real disk) *)
+  | Reestablish
+      (** ignore stored state; every SA establishes a fresh sequence
+          space (recovery by re-establishment — the alternative the
+          paper's protocol exists to avoid). The [expect_recovery]
+          gate then checks convergence without requiring recovery. *)
+
+(** Background traffic shape (the churn axis). The daemon has no wire
+    IKE, so a "rekey storm" is modelled at the wire level as the
+    bursty on/off source; [Mixed] alternates shapes by SA index. *)
+type churn = Steady | Storm | Mixed
+
 type config = {
   role : role;
   bind : Transport_udp.addr option;  (** required for [Recv] *)
@@ -77,6 +97,26 @@ type config = {
           one-syscall-per-frame *)
   rcvbuf : int option;  (** request an explicit [SO_RCVBUF] *)
   sndbuf : int option;  (** request an explicit [SO_SNDBUF] *)
+  discipline : discipline;
+  churn : churn;
+  impair : Resets_core.Impair.spec;
+      (** seed-deterministic impairment on every sender's view of the
+          wire (loss, bursts, dup, reorder, delay); {!Impair.none}
+          leaves the send path untouched *)
+  impair_seed : int;
+      (** PRNG root for impairment (and churn) streams, keyed per SA
+          by global index — patterns are independent of sharding *)
+  store_faults : Resets_persist.Faults.spec;
+      (** seed-deterministic fault plan on the file store (transient
+          write failures, aborted renames, corrupt/stale checked
+          reads); {!Resets_persist.Faults.none} = clean store *)
+  fault_seed : int;  (** PRNG root for store faults, keyed per worker *)
+  handle_signals : bool;
+      (** install a SIGTERM handler: on delivery the daemon stops
+          early, every SA performs a final blocking SAVE of its
+          freshest counter, and the terminal heartbeat is stamped
+          [reason = "sigterm"]. Opt-in so embedded runs never steal
+          the host process's signal dispositions. *)
 }
 
 val default : config

@@ -1,0 +1,42 @@
+type t = { value : int; gen : int; sum : int64 }
+
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let checksum ~key ~value ~gen =
+  mix64
+    (Int64.add
+       (mix64 (Int64.add (Int64.of_int (Hashtbl.hash key)) (Int64.of_int value)))
+       (Int64.of_int gen))
+
+let make ~key ~value ~gen = { value; gen; sum = checksum ~key ~value ~gen }
+
+let verify ~key e = Int64.equal e.sum (checksum ~key ~value:e.value ~gen:e.gen)
+
+(* On-medium text form: "gen value sum-hex" on one line. A bare integer
+   is accepted as a legacy (pre-envelope) record at generation 1 — the
+   format File_store laid down before checked fetches existed. *)
+let to_string e = Printf.sprintf "%d %d %Lx" e.gen e.value e.sum
+
+let of_string ~key s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ v ] -> (
+    match int_of_string_opt v with
+    | Some value -> Some (make ~key ~value ~gen:1)
+    | None -> None)
+  | [ g; v; sum ] -> (
+    match
+      ( int_of_string_opt g,
+        int_of_string_opt v,
+        (* hex accepts the full unsigned 64-bit range *)
+        Int64.of_string_opt ("0x" ^ sum) )
+    with
+    | Some gen, Some value, Some sum -> Some { value; gen; sum }
+    | _ -> None)
+  | _ -> None

@@ -1,0 +1,27 @@
+(** Checksummed record envelope: what SAVE actually lays down on the
+    medium (simulated or real).
+
+    The envelope checksum covers key, value and write generation, so a
+    corrupted record fails verification and a stale record verifies but
+    carries a generation below the key's current one. The generation
+    index itself is assumed reliable — an 8-byte superblock counter — a
+    strictly weaker assumption than the paper's fully reliable store. *)
+
+type t = { value : int; gen : int; sum : int64 }
+
+val checksum : key:string -> value:int -> gen:int -> int64
+
+val make : key:string -> value:int -> gen:int -> t
+(** An envelope with a freshly computed checksum. *)
+
+val verify : key:string -> t -> bool
+
+val to_string : t -> string
+(** One-line text form (["gen value sum-hex"]) — what
+    {!Resets_persist.File_store} writes to the medium. *)
+
+val of_string : key:string -> string -> t option
+(** Inverse of {!to_string}. A bare integer parses as a legacy
+    (pre-envelope) record at generation 1, so stores written before the
+    envelope format read back verified. [None] when the content parses
+    as neither — a torn or foreign record. *)

@@ -1,0 +1,90 @@
+open Resets_util
+
+type spec = {
+  write_fail_prob : float;
+  torn_prob : float;
+  read_corrupt_prob : float;
+  read_stale_prob : float;
+  latency_factor : float;
+}
+
+let none =
+  {
+    write_fail_prob = 0.;
+    torn_prob = 0.;
+    read_corrupt_prob = 0.;
+    read_stale_prob = 0.;
+    latency_factor = 1.;
+  }
+
+let is_none s = s = none
+
+type t = { spec : spec; prng : Prng.t }
+
+let create ~spec ~prng = { spec; prng }
+
+let spec t = t.spec
+
+let latency_factor t = t.spec.latency_factor
+
+type write_outcome = [ `Ok | `Fail | `Torn of int ]
+
+(* One PRNG roll per begun write, drawn at begin time in write order so
+   the fault pattern is a pure function of the plan's seed. The torn
+   roll is only drawn for multi-entry writes — single-key saves keep
+   their historical one-roll cost, which is what makes the extraction
+   byte-compatible with the committed chaos artifacts. *)
+let roll_write t ~n_entries : write_outcome =
+  if Prng.bernoulli t.prng t.spec.write_fail_prob then `Fail
+  else if n_entries > 1 && Prng.bernoulli t.prng t.spec.torn_prob then
+    `Torn (1 + Prng.int t.prng (n_entries - 1))
+  else `Ok
+
+type read_outcome = [ `Ok | `Corrupt_bit of int | `Stale ]
+
+let roll_read t : read_outcome =
+  if Prng.bernoulli t.prng t.spec.read_corrupt_prob then
+    (* a flipped bit somewhere in the record body *)
+    `Corrupt_bit (Prng.int t.prng 30)
+  else if Prng.bernoulli t.prng t.spec.read_stale_prob then `Stale
+  else `Ok
+
+let spec_to_string s =
+  Printf.sprintf "write_fail=%g,torn=%g,corrupt=%g,stale=%g,latency=%g"
+    s.write_fail_prob s.torn_prob s.read_corrupt_prob s.read_stale_prob
+    s.latency_factor
+
+let spec_of_string str =
+  let parse_field acc part =
+    match acc with
+    | Error _ -> acc
+    | Ok spec -> (
+      match String.index_opt part '=' with
+      | None -> Error (Printf.sprintf "expected key=value, got %S" part)
+      | Some i -> (
+        let key = String.sub part 0 i
+        and v = String.sub part (i + 1) (String.length part - i - 1) in
+        match float_of_string_opt v with
+        | None -> Error (Printf.sprintf "%s: %S is not a number" key v)
+        | Some f when f < 0. ->
+          Error (Printf.sprintf "%s must be non-negative" key)
+        | Some f -> (
+          match key with
+          | "write_fail" -> Ok { spec with write_fail_prob = f }
+          | "torn" -> Ok { spec with torn_prob = f }
+          | "corrupt" -> Ok { spec with read_corrupt_prob = f }
+          | "stale" -> Ok { spec with read_stale_prob = f }
+          | "latency" -> Ok { spec with latency_factor = f }
+          | _ ->
+            Error
+              (Printf.sprintf
+                 "unknown fault field %S (expected write_fail, torn, corrupt, \
+                  stale, latency)"
+                 key))))
+  in
+  if String.trim str = "" then Ok none
+  else
+    List.fold_left parse_field (Ok none)
+      (List.filter
+         (fun s -> s <> "")
+         (List.map String.trim (String.split_on_char ',' str)))

@@ -8,12 +8,36 @@
     survives a power cut. A reader (or a post-crash FETCH) sees either
     the old complete value or the new complete value — never a torn
     write — matching the [Store.S] contract. Used by the CLI, the wire
-    daemon ([serve]) and examples against a real filesystem. *)
+    daemon ([serve]) and examples against a real filesystem.
+
+    {b On-medium format.} Each key is one file holding a checksummed
+    {!Envelope} (["gen value sum-hex"]); files written by the
+    pre-envelope format (a bare integer) read back as generation-1
+    records, so existing store directories stay readable.
+
+    {b Fault injection.} An optional {!Faults.t} plan — the same
+    seed-deterministic model {!Sim_disk} rolls against the simulated
+    medium — makes the real filesystem misbehave on purpose. Every save
+    rolls once, with the write's two phases (tmp write, rename) as its
+    entries: [`Fail] is a transient write/fsync failure (nothing
+    touches the medium), [`Torn _] is an {e aborted rename} (the tmp
+    file is fully written and left behind, but the final name never
+    changes — the old value stays the durable truth, which is exactly
+    the atomicity the protocol relies on). Every {!fetch_checked} under
+    a plan rolls once and may serve a corrupt (bit-flipped, caught by
+    checksum) or stale (superseded generation) record. Rolls are
+    consumed in operation order, so the fault pattern is a pure
+    function of the plan's seed; a store without a plan behaves exactly
+    as before. *)
 
 type t
 
 val create : dir:string -> t
 (** Store values as files under [dir] (created if missing). *)
+
+val set_faults : t -> Faults.t -> unit
+(** Attach (or replace) a deterministic fault plan; a store without
+    one behaves exactly as before. *)
 
 include Store.S with type t := t
 (** [save] here completes synchronously (the callback runs before
@@ -28,13 +52,83 @@ val remove : t -> key:string -> unit
 
 val fetch_checked : t -> key:string -> Store.checked_fetch
 (** [Missing] when no file exists, [Corrupt] when a file exists but
-    does not parse as a value (a torn or foreign write — which the
+    does not parse or verify (a torn or foreign write — which the
     atomic save protocol never produces itself), [Fetched] otherwise.
-    Never [Stale]: rename serialises writes per key. *)
+    Under a fault plan a roll may serve the superseded record
+    ([Stale]) or a bit-flipped value ([Corrupt]); each call consumes
+    rolls, so call once per protocol FETCH. *)
+
+val preload : t -> key:string -> value:int -> unit
+(** Make a value durable immediately, bypassing the fault plan —
+    SA-establishment state is durable by assumption (same contract as
+    {!Sim_disk.preload}). *)
+
+val saves_begun : t -> int
+val saves_completed : t -> int
+
+val saves_failed : t -> int
+(** Saves that reported [on_error]: transient failures, aborted
+    renames, and real filesystem errors. *)
+
+val renames_torn : t -> int
+(** Injected aborted renames (tmp written, final name unchanged). *)
+
+val fetches_corrupt : t -> int
+(** Checked fetches that served a corrupt record. *)
+
+val fetches_stale : t -> int
+(** Checked fetches that served a stale (superseded) record. *)
 
 val store : ?base_latency:Resets_sim.Time.t -> t -> Store.t
 (** This store as a first-class {!Store.t}. Saves complete
     synchronously (callback before [save] returns); [crash] is a
-    no-op; [preload] is a synchronous save. [base_latency] (default
+    no-op; [preload] bypasses the fault plan. [base_latency] (default
     1 ms) is only advisory — recovery schedules derive wait times
     from it. *)
+
+(** Coalesced snapshot store: every SA of a host (or worker shard)
+    keeps its counter in ONE file, rewritten atomically as a whole on
+    every save — the on-disk twin of {!Sim_disk.save_snapshot} and the
+    coalesced persistence discipline of the paper's Section 6. A crash
+    keeps or loses nothing partially (rename atomicity), and recovery
+    reads every SA's edge back with one file. Under a fault plan a
+    snapshot write may fail or {e tear}: a strict prefix of its sorted
+    entries carries the new values while the rest keep their previous
+    durable ones — still atomic on the medium, torn only with respect
+    to the logical update, and still reported failed. *)
+module Snapshot : sig
+  type snap
+
+  val load : ?faults:Faults.t -> dir:string -> name:string -> unit -> snap
+  (** Open (or create) the snapshot file [name ^ ".snap"] under [dir]
+      and read the durable table back, dropping entries that fail
+      checksum verification. *)
+
+  val entries : snap -> (string * int) list
+  (** Durable table in sorted key order. *)
+
+  val save :
+    ?on_error:(unit -> unit) ->
+    snap ->
+    key:string ->
+    value:int ->
+    on_complete:(unit -> unit) ->
+    unit
+
+  val preload : snap -> key:string -> value:int -> unit
+  val fetch : snap -> key:string -> int option
+  val fetch_checked : snap -> key:string -> Store.checked_fetch
+  val saves_begun : snap -> int
+  val saves_completed : snap -> int
+  val saves_failed : snap -> int
+
+  val snapshots_torn : snap -> int
+  (** Snapshot writes that installed a strict prefix of new values. *)
+
+  val fetches_corrupt : snap -> int
+  val fetches_stale : snap -> int
+
+  val store : ?base_latency:Resets_sim.Time.t -> snap -> Store.t
+  (** This snapshot as a first-class {!Store.t} — a save of any one
+      key rewrites the whole table. *)
+end

@@ -1,61 +1,17 @@
 open Resets_util
 open Resets_sim
 
-(* ------------------------------------------------------------------ *)
-(* Fault injection *)
+(* The fault plan and the checksummed envelope now live in their own
+   modules ({!Faults}, {!Envelope}) shared with the real File_store;
+   this disk keeps rolling them in the historical order, so committed
+   fault artifacts replay byte-identically. *)
 
-module Faults = struct
-  type spec = {
-    write_fail_prob : float;
-    torn_prob : float;
-    read_corrupt_prob : float;
-    read_stale_prob : float;
-    latency_factor : float;
-  }
+module Faults = Faults
 
-  let none =
-    {
-      write_fail_prob = 0.;
-      torn_prob = 0.;
-      read_corrupt_prob = 0.;
-      read_stale_prob = 0.;
-      latency_factor = 1.;
-    }
+type envelope = Envelope.t = { value : int; gen : int; sum : int64 }
 
-  let is_none s = s = none
-
-  type t = { spec : spec; prng : Prng.t }
-
-  let create ~spec ~prng = { spec; prng }
-end
-
-(* Checksummed record envelope: what SAVE actually lays down on the
-   (simulated) medium. [gen] is the per-key write generation; the
-   envelope checksum covers key, value and generation, so a corrupted
-   record fails verification and a stale record verifies but carries a
-   generation below the key's current one. The generation index itself
-   (the [gen] field of the latest durable envelope) is assumed
-   reliable — an 8-byte superblock counter — which is a strictly
-   weaker assumption than the paper's fully reliable store. *)
-type envelope = { value : int; gen : int; sum : int64 }
-
-let mix64 z =
-  let z =
-    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
-  in
-  let z =
-    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
-  in
-  Int64.logxor z (Int64.shift_right_logical z 31)
-
-let checksum ~key ~value ~gen =
-  mix64
-    (Int64.add
-       (mix64 (Int64.add (Int64.of_int (Hashtbl.hash key)) (Int64.of_int value)))
-       (Int64.of_int gen))
-
-let verify ~key (e : envelope) =
-  Int64.equal e.sum (checksum ~key ~value:e.value ~gen:e.gen)
+let checksum = Envelope.checksum
+let verify = Envelope.verify
 
 type fetch_result =
   | Fetched of int
@@ -136,11 +92,9 @@ let sample_latency t =
      environment); factor 1 — every plan predating it — leaves the
      arithmetic untouched. *)
   match t.faults with
-  | Some f when f.Faults.spec.Faults.latency_factor <> 1. ->
+  | Some f when Faults.latency_factor f <> 1. ->
     Time.of_ns
-      (Int64.of_float
-         (f.Faults.spec.Faults.latency_factor
-         *. Int64.to_float (Time.to_ns base)))
+      (Int64.of_float (Faults.latency_factor f *. Int64.to_float (Time.to_ns base)))
   | Some _ | None -> base
 
 let latency_of_next_save t =
@@ -180,12 +134,7 @@ let install t ~key ~value =
 let roll_write t ~n_entries =
   match t.faults with
   | None -> `Ok
-  | Some f ->
-    if Prng.bernoulli f.Faults.prng f.Faults.spec.Faults.write_fail_prob then `Fail
-    else if
-      n_entries > 1 && Prng.bernoulli f.Faults.prng f.Faults.spec.Faults.torn_prob
-    then `Torn (1 + Prng.int f.Faults.prng (n_entries - 1))
-    else `Ok
+  | Some f -> (Faults.roll_write f ~n_entries :> [ `Ok | `Fail | `Torn of int ])
 
 (* Begin one write covering [entries]. All keys become durable together
    when the single completion event fires; a crash before then loses the
@@ -274,19 +223,14 @@ let fetch_checked t ~key =
     let served =
       match t.faults with
       | None -> latest
-      | Some f ->
-        if Prng.bernoulli f.Faults.prng f.Faults.spec.Faults.read_corrupt_prob
-        then
-          (* a flipped bit somewhere in the record body *)
-          let bit = Prng.int f.Faults.prng 30 in
-          { latest with value = latest.value lxor (1 lsl bit) }
-        else if
-          Prng.bernoulli f.Faults.prng f.Faults.spec.Faults.read_stale_prob
-        then
+      | Some f -> (
+        match Faults.roll_read f with
+        | `Corrupt_bit bit -> { latest with value = latest.value lxor (1 lsl bit) }
+        | `Stale -> (
           match Hashtbl.find_opt t.prev key with
           | Some p -> p
-          | None -> latest
-        else latest
+          | None -> latest)
+        | `Ok -> latest)
     in
     if not (verify ~key served) then begin
       t.corrupt_served <- t.corrupt_served + 1;

@@ -34,33 +34,10 @@
 
 open Resets_sim
 
-(** Injectable fault plan. *)
-module Faults : sig
-  type spec = {
-    write_fail_prob : float;  (** a begun write fails transiently *)
-    torn_prob : float;  (** a multi-key snapshot tears (prefix durable) *)
-    read_corrupt_prob : float;  (** a checked fetch serves a bit-flipped record *)
-    read_stale_prob : float;  (** a checked fetch serves the superseded record *)
-    latency_factor : float;
-        (** multiply every write's latency (after jitter) by this —
-            models a disk degraded by contention or wear. [1.] (the
-            [none] default) leaves latency untouched; no PRNG rolls are
-            consumed, so a plan differing only in this field keeps the
-            fault pattern of the probabilistic fields byte-identical *)
-  }
-
-  val none : spec
-  (** All probabilities zero. *)
-
-  val is_none : spec -> bool
-
-  type t
-
-  val create : spec:spec -> prng:Resets_util.Prng.t -> t
-  (** A plan rolling faults from [prng]. The plan owns the PRNG: rolls
-      happen once per begun write and once per checked fetch, in
-      simulation order, so the fault pattern is seed-deterministic. *)
-end
+(** The injectable fault plan — now the library-wide {!Faults} model,
+    shared with {!File_store} so the same seed-deterministic plan can
+    be rolled against the simulated medium or the real filesystem. *)
+module Faults = Faults
 
 type t
 

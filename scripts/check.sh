@@ -372,6 +372,36 @@ for wire_batch in 1 32; do
     || { echo "daemon loopback kill/recover gate failed at --batch $wire_batch" >&2; exit 1; }
 done
 
+echo "== E17 fleet smoke (supervised kill/recover, one cell per reset scope) =="
+# One matrix cell per reset scope (single-SA / whole-SADB / disk-lost)
+# through the fault-injecting fleet supervisor: daemon pairs over a
+# real wire, the receiver SIGKILLed and respawned (store wiped for the
+# disk-lost scope), convergence and the 2k fresh-loss bound re-derived
+# from the heartbeat JSONL alone. Exit 0 is the verdict that every
+# smoke cell held; exit 2 says a cell broke the bound or failed to
+# converge; anything else is an infrastructure error. The wall-clock
+# cap keeps a hung daemon pair from wedging the gate.
+rc=0
+if command -v timeout >/dev/null 2>&1; then
+  timeout 300 dune exec bin/ipsec_resets.exe -- fleet --smoke \
+    --workdir "$out/fleet" --json "$out/fleet-smoke.json" --quiet || rc=$?
+else
+  dune exec bin/ipsec_resets.exe -- fleet --smoke \
+    --workdir "$out/fleet" --json "$out/fleet-smoke.json" --quiet || rc=$?
+fi
+case $rc in
+  0) ;;
+  2) echo "E17 smoke: a cell broke the 2k bound or failed to converge" >&2
+     [ -f "$out/fleet-smoke.json" ] && cat "$out/fleet-smoke.json" >&2
+     exit 1 ;;
+  124) echo "E17 smoke: wall-clock timeout — hung daemon pair?" >&2; exit 1 ;;
+  *) echo "E17 smoke errored (exit $rc)" >&2; exit 1 ;;
+esac
+test -s "$out/fleet-smoke.json" || { echo "missing fleet-smoke.json" >&2; exit 1; }
+grep -q '"all_ok": true' "$out/fleet-smoke.json" \
+  || { echo "fleet-smoke.json does not report all_ok" >&2; exit 1; }
+echo "E17 smoke: all reset-scope cells converged within the 2k bound"
+
 echo "== engine determinism smoke (wheel vs legacy heap) =="
 # MICRO replays a fixed-seed schedule of one-shot, periodic, tied and
 # cancelled timers on both engines and records a named check; require

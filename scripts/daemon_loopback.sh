@@ -40,20 +40,46 @@ K=8
 RATE=400
 BATCH=${BATCH:-32}
 
+# Spawn a receiver incarnation and wait for it to bind, retrying on a
+# bind failure: a stale socket file left by a killed receiver (or a
+# path collision with a concurrent run) makes the bind fail fast, and
+# a retry after cleaning the path is the correct response — not a
+# script failure. Extra flags ($@) select the incarnation.
+start_recv() {
+  attempt=0
+  while :; do
+    attempt=$((attempt + 1))
+    # a dead receiver cannot unlink its own socket; clean it before
+    # the bind instead of failing on the leftover
+    [ -e "$SOCK" ] && rm -f "$SOCK"
+    "$BIN" serve --role recv --bind "unix:$SOCK" \
+      --sas "$SAS" -k "$K" --batch "$BATCH" \
+      --store "$STORE" --stats "$STATS" "$@" &
+    RECV_PID=$!
+    i=0
+    while [ ! -S "$SOCK" ]; do
+      # died before binding: address in use or transient — retry
+      kill -0 "$RECV_PID" 2>/dev/null || break
+      i=$((i + 1))
+      [ "$i" -gt 50 ] && break
+      sleep 0.1
+    done
+    [ -S "$SOCK" ] && return 0
+    kill -9 "$RECV_PID" 2>/dev/null || true
+    wait "$RECV_PID" 2>/dev/null || true
+    RECV_PID=
+    if [ "$attempt" -ge 3 ]; then
+      echo "receiver never bound $SOCK after $attempt attempts" >&2
+      return 1
+    fi
+    echo "receiver bind attempt $attempt failed, cleaning and retrying" >&2
+    sleep 0.2
+  done
+}
+
 # Incarnation 1: receiver daemon, generously long duration — it will
 # not die of old age, we kill it.
-"$BIN" serve --role recv --bind "unix:$SOCK" \
-  --sas "$SAS" -k "$K" --duration 30 --batch "$BATCH" \
-  --store "$STORE" --stats "$STATS" --quiet &
-RECV_PID=$!
-
-# Give it a moment to bind before the sender starts shooting.
-i=0
-while [ ! -S "$SOCK" ]; do
-  i=$((i + 1))
-  [ "$i" -gt 50 ] && { echo "receiver never bound $SOCK" >&2; exit 1; }
-  sleep 0.1
-done
+start_recv --duration 30 --quiet
 
 # Sender runs across the whole experiment, including the receiver's
 # downtime, so the restarted receiver must leap over the gap.
@@ -77,11 +103,7 @@ sleep 1
 # fresh rejections <= 2k, zero duplicates, zero ICV failures, and the
 # minimum delivered sequence number strictly above the previous
 # incarnation's maximum (no cross-incarnation replay).
-"$BIN" serve --role recv --bind "unix:$SOCK" \
-  --sas "$SAS" -k "$K" --duration 6 --batch "$BATCH" \
-  --store "$STORE" --stats "$STATS" \
-  --expect-recovery --json "$work/recv2.json" &
-RECV_PID=$!
+start_recv --duration 6 --expect-recovery --json "$work/recv2.json"
 rc=0
 wait "$RECV_PID" || rc=$?
 RECV_PID=

@@ -456,6 +456,245 @@ let test_daemon_send_smoke () =
   check_bool "counts refused sends as loss" true (contains s "wire_tx_errors");
   check_bool "reports wire pressure" true (contains s "tx_flushes")
 
+(* ------------------------------------------------------------------ *)
+(* Impair: the deterministic wire-impairment wrapper *)
+
+module Impair = Resets_core.Impair
+module Packet = Resets_core.Packet
+
+let impair_spec_str = "drop=0.2,dup=0.1,reorder=0.1,delay=0.05:3,ge=0.1:0.4:0.9"
+
+let test_impair_spec_roundtrip () =
+  match Impair.spec_of_string impair_spec_str with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok spec -> (
+    let s = Impair.spec_to_string spec in
+    match Impair.spec_of_string s with
+    | Ok spec2 ->
+      check_string "print/parse fixpoint" s (Impair.spec_to_string spec2)
+    | Error e -> Alcotest.failf "re-parse failed: %s" e)
+
+let test_impair_spec_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Impair.spec_of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ "drop=2.0"; "nope=0.1"; "ge=0.1:0.2"; "drop=x"; "dup=-0.5" ]
+
+(* Run a numbered packet stream through an impairment and collect the
+   emitted stream (payloads are the sequence numbers). *)
+let impair_run spec seed n =
+  let t =
+    Impair.create ~spec ~prng:(Resets_util.Prng.create seed)
+  in
+  let out = ref [] in
+  for i = 1 to n do
+    Impair.offer t
+      (Packet.fresh (string_of_int i))
+      ~emit:(fun p -> out := p.Packet.wire :: !out)
+  done;
+  ( List.rev !out,
+    ( Impair.offered t,
+      Impair.dropped t,
+      Impair.duplicated t,
+      Impair.reordered t,
+      Impair.delayed t ) )
+
+let test_impair_deterministic () =
+  let spec =
+    match Impair.spec_of_string impair_spec_str with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  let a = impair_run spec 42 500 and b = impair_run spec 42 500 in
+  check_bool "same seed, same stream and counters" true (a = b);
+  let c = impair_run spec 43 500 in
+  check_bool "different seed, different stream" true (fst a <> fst c)
+
+let test_impair_drop_all () =
+  let spec = { Impair.none with Impair.drop_prob = 1.0 } in
+  let out, (offered, dropped, _, _, _) = impair_run spec 1 100 in
+  check_int "nothing emitted" 0 (List.length out);
+  check_int "all offered" 100 offered;
+  check_int "all dropped" 100 dropped
+
+let test_impair_dup_all () =
+  let spec = { Impair.none with Impair.dup_prob = 1.0 } in
+  let out, (_, _, duplicated, _, _) = impair_run spec 1 50 in
+  check_int "every frame twice" 100 (List.length out);
+  check_int "counted" 50 duplicated;
+  (* both copies carry the same bytes — the wire duplicated the frame,
+     it did not invent one (the receiver's window rejects the second
+     copy; the [lost] metric excludes such rejections) *)
+  check_bool "copies are byte-identical pairs" true
+    (out = List.concat_map (fun i ->
+         [ string_of_int i; string_of_int i ])
+         (List.init 50 (fun i -> i + 1)))
+
+let test_impair_reorder_holds () =
+  (* a held frame only re-enters on a later Emit; with reorder=1.0
+     every frame is held, no Emit ever happens, and the whole stream
+     dies in the hold queue — the documented end-of-stream loss *)
+  let spec = { Impair.none with Impair.reorder_prob = 1.0 } in
+  let out, (offered, _, _, reordered, _) = impair_run spec 1 6 in
+  check_int "nothing emitted" 0 (List.length out);
+  check_int "all offered" 6 offered;
+  check_int "all counted reordered" 6 reordered
+
+let test_impair_reorder_swaps () =
+  (* with reorder < 1 some frames Emit and flush the hold queue: the
+     emitted stream is a permutation of a subset of the offered one,
+     with at least one inversion (a held frame re-entered late).
+     Everything is a pure function of the seed, so the properties are
+     stable run to run. *)
+  let spec = { Impair.none with Impair.reorder_prob = 0.5 } in
+  let out, (offered, dropped, _, reordered, _) = impair_run spec 1 40 in
+  check_int "nothing dropped" 0 dropped;
+  check_bool "some frames reordered" true (reordered > 0);
+  check_bool "emitted is a subset" true
+    (List.length out <= offered
+    && List.for_all
+         (fun w ->
+           let i = int_of_string w in
+           1 <= i && i <= offered)
+         out);
+  let distinct = List.sort_uniq compare out in
+  check_int "no frame emitted twice" (List.length out)
+    (List.length distinct);
+  let rec has_inversion = function
+    | a :: (b :: _ as rest) ->
+      int_of_string a > int_of_string b || has_inversion rest
+    | _ -> false
+  in
+  check_bool "at least one adjacent inversion" true (has_inversion out)
+
+let test_impair_wrap_counts () =
+  let spec = { Impair.none with Impair.drop_prob = 1.0 } in
+  let t =
+    Impair.create ~spec ~prng:(Resets_util.Prng.create 3)
+  in
+  let delivered = ref 0 in
+  let inner =
+    Resets_core.Transport.make ~label:"sink"
+      ~send:(fun _ -> incr delivered; true)
+      ~set_recv:(fun _ -> ())
+      ()
+  in
+  let wrapped = Impair.wrap t inner in
+  for _ = 1 to 20 do
+    Resets_core.Transport.send wrapped (Packet.fresh "p")
+  done;
+  check_int "inner transport never saw a frame" 0 !delivered;
+  check_int "offered counted" 20 (Impair.offered t)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful SIGTERM: the daemon flushes a final SAVE and stamps the
+   terminal heartbeat. Needs a real process to signal — and this test
+   binary has already spawned domains, after which [Unix.fork] is
+   forbidden — so spawn the real daemon executable (a dune dep of this
+   test) exactly as the fleet supervisor would. *)
+
+let daemon_bin =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    "../bin/ipsec_resets.exe"
+
+let test_daemon_sigterm_graceful () =
+  if not (Sys.file_exists daemon_bin) then
+    Alcotest.failf "daemon binary not built at %s" daemon_bin;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "resets-net-sigterm-%d" (Unix.getpid ()))
+  in
+  let hb = Filename.concat dir "hb.jsonl" in
+  (if Sys.file_exists dir then
+     Array.iter
+       (fun f -> Sys.remove (Filename.concat dir f))
+       (Sys.readdir dir));
+  let argv =
+    [|
+      daemon_bin; "serve"; "--role"; "send"; "--peer";
+      "unix:" ^ scratch_path "sigterm"; "--sas"; "2"; "-k"; "4"; "--rate";
+      "500"; "--duration"; "30";
+      (* far longer than the test: only SIGTERM can end it in time *)
+      "--store"; dir; "--stats"; hb; "--heartbeat"; "0.05"; "--graceful";
+      "--quiet";
+    |]
+  in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process daemon_bin argv devnull devnull Unix.stderr
+  in
+  Unix.close devnull;
+  (* wait for the first heartbeat so the SAs exist before we stop it *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec wait_hb () =
+    if Sys.file_exists hb && (Unix.stat hb).Unix.st_size > 0 then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "daemon wrote no heartbeat"
+    else (
+      Unix.sleepf 0.05;
+      wait_hb ())
+  in
+  wait_hb ();
+  Unix.sleepf 0.3;
+  Unix.kill pid Sys.sigterm;
+  let _, status = Unix.waitpid [] pid in
+  (
+    (match status with
+    | Unix.WEXITED 0 -> ()
+    | Unix.WEXITED c -> Alcotest.failf "daemon exited %d" c
+    | _ -> Alcotest.fail "daemon did not exit cleanly");
+    (* The terminal heartbeat records the stop reason and the final
+       counters... *)
+    let lines =
+      let ic = open_in hb in
+      let rec go acc =
+        match input_line ic with
+        | l -> go (l :: acc)
+        | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+      in
+      go []
+    in
+    let terminal =
+      List.find_opt (fun l -> contains l "\"shutdown\"") lines
+    in
+    match terminal with
+    | None -> Alcotest.fail "no terminal heartbeat"
+    | Some l ->
+      check_bool "reason is sigterm" true (contains l "\"sigterm\"");
+      (* ...and the final blocking SAVE made exactly those counters
+         durable: the stored seq for each SA equals the terminal
+         heartbeat's next_seq. *)
+      let j = Resets_util.Json.parse_exn l in
+      let sas =
+        match Resets_util.Json.member "sas" j with
+        | Some (Resets_util.Json.List sas) -> sas
+        | _ -> Alcotest.fail "terminal heartbeat lists no SAs"
+      in
+      let store = Resets_persist.File_store.create ~dir in
+      List.iter
+        (fun sa ->
+          let geti name =
+            match Resets_util.Json.member name sa with
+            | Some v ->
+              Option.value (Resets_util.Json.as_int v) ~default:(-1)
+            | None -> -1
+          in
+          let spi = geti "spi" and next_seq = geti "next_seq" in
+          check_bool "sender actually ran" true (next_seq > 0);
+          let key = Printf.sprintf "spi-%d-seq" spi in
+          match Resets_persist.File_store.fetch store ~key with
+          | Some stored ->
+            check_int
+              (Printf.sprintf "spi %d: stored seq = terminal heartbeat" spi)
+              next_seq stored
+          | None -> Alcotest.failf "spi %d: no stored value" spi)
+        sas)
+
 let test_daemon_validates () =
   (match Daemon.run { Daemon.default with Daemon.bind = None } with
   | exception Invalid_argument _ -> ()
@@ -504,9 +743,24 @@ let () =
           Alcotest.test_case "adapter" `Quick test_transport_adapter;
           Alcotest.test_case "slice face" `Quick test_transport_slice_face;
         ] );
+      ( "impair",
+        [
+          Alcotest.test_case "spec round trip" `Quick test_impair_spec_roundtrip;
+          Alcotest.test_case "spec rejects garbage" `Quick
+            test_impair_spec_rejects_garbage;
+          Alcotest.test_case "deterministic" `Quick test_impair_deterministic;
+          Alcotest.test_case "drop all" `Quick test_impair_drop_all;
+          Alcotest.test_case "dup all" `Quick test_impair_dup_all;
+          Alcotest.test_case "reorder holds to stream end" `Quick
+            test_impair_reorder_holds;
+          Alcotest.test_case "reorder swaps" `Quick test_impair_reorder_swaps;
+          Alcotest.test_case "wrapped transport" `Quick test_impair_wrap_counts;
+        ] );
       ( "daemon",
         [
           Alcotest.test_case "send smoke" `Quick test_daemon_send_smoke;
           Alcotest.test_case "config validation" `Quick test_daemon_validates;
+          Alcotest.test_case "sigterm graceful flush" `Quick
+            test_daemon_sigterm_graceful;
         ] );
     ]

@@ -447,6 +447,170 @@ let test_file_store_torn_write_never_observed () =
       | None -> Alcotest.fail "post-kill key missing")
 
 (* ------------------------------------------------------------------ *)
+(* File_store under an injected fault plan: the same seed-deterministic
+   Faults model the chaos harness drives Sim_disk with, now against a
+   real filesystem. *)
+
+let fs_faulty spec seed =
+  Faults.create ~spec ~prng:(Resets_util.Prng.create seed)
+
+let test_fs_fault_write_fails_transiently () =
+  let store = File_store.create ~dir:(temp_dir "fsf1") in
+  File_store.set_faults store
+    (fs_faulty { Faults.none with write_fail_prob = 1.0 } 1);
+  let errors = ref 0 in
+  File_store.save store ~key:"k" ~value:9
+    ~on_error:(fun () -> incr errors)
+    ~on_complete:(fun () -> Alcotest.fail "completed under write_fail=1");
+  check_int "on_error fired" 1 !errors;
+  check_int "counted" 1 (File_store.saves_failed store);
+  check_opt_int "nothing reached the medium" None
+    (File_store.fetch store ~key:"k")
+
+let test_fs_fault_torn_rename_keeps_old_value () =
+  (* An aborted rename is the filesystem's torn write: the tmp file is
+     fully written but never installed, so the old envelope stays the
+     durable truth and no reader can observe an intermediate state. *)
+  let dir = temp_dir "fsf2" in
+  let store = File_store.create ~dir in
+  File_store.save store ~key:"edge" ~value:100 ~on_complete:ignore;
+  File_store.set_faults store
+    (fs_faulty { Faults.none with torn_prob = 1.0 } 2);
+  let errors = ref 0 in
+  File_store.save store ~key:"edge" ~value:200
+    ~on_error:(fun () -> incr errors)
+    ~on_complete:(fun () -> Alcotest.fail "completed under torn=1");
+  check_int "on_error fired" 1 !errors;
+  check_int "torn counted" 1 (File_store.renames_torn store);
+  check_opt_int "old value still durable" (Some 100)
+    (File_store.fetch store ~key:"edge");
+  check_bool "checked fetch serves the old value intact" true
+    (File_store.fetch_checked store ~key:"edge" = Store.Fetched 100);
+  (* a reader through a fresh handle (a restarted process) agrees *)
+  check_opt_int "fresh handle agrees" (Some 100)
+    (File_store.fetch (File_store.create ~dir) ~key:"edge")
+
+let test_fs_fault_corrupt_fetch_detected () =
+  let store = File_store.create ~dir:(temp_dir "fsf3") in
+  File_store.save store ~key:"k" ~value:4242 ~on_complete:ignore;
+  File_store.set_faults store
+    (fs_faulty { Faults.none with read_corrupt_prob = 1.0 } 3);
+  (match File_store.fetch_checked store ~key:"k" with
+  | Store.Corrupt -> ()
+  | _ -> Alcotest.fail "bit-flipped read not flagged Corrupt");
+  check_int "counted" 1 (File_store.fetches_corrupt store);
+  (* the medium itself is untouched: a clean handle reads 4242 *)
+  File_store.set_faults store Faults.(create ~spec:none ~prng:(Resets_util.Prng.create 1));
+  check_bool "plan off: value intact" true
+    (File_store.fetch_checked store ~key:"k" = Store.Fetched 4242)
+
+let test_fs_fault_stale_fetch_detected () =
+  let store = File_store.create ~dir:(temp_dir "fsf4") in
+  File_store.set_faults store
+    (fs_faulty { Faults.none with read_stale_prob = 1.0 } 4);
+  File_store.save store ~key:"k" ~value:1 ~on_complete:ignore;
+  File_store.save store ~key:"k" ~value:2 ~on_complete:ignore;
+  match File_store.fetch_checked store ~key:"k" with
+  | Store.Stale v ->
+    check_int "stale read serves the superseded generation" 1 v;
+    check_int "counted" 1 (File_store.fetches_stale store)
+  | _ -> Alcotest.fail "stale read not flagged Stale"
+
+let test_fs_fault_plan_deterministic () =
+  (* Two stores over different directories, same seed: the fault plan
+     must produce the identical outcome sequence — sharding and disk
+     layout must not perturb the stream. *)
+  let spec =
+    { Faults.none with write_fail_prob = 0.3; torn_prob = 0.2;
+      read_corrupt_prob = 0.2; read_stale_prob = 0.2 }
+  in
+  let run name seed =
+    let store = File_store.create ~dir:(temp_dir name) in
+    File_store.set_faults store (fs_faulty spec seed);
+    let trace = Buffer.create 64 in
+    for v = 1 to 40 do
+      File_store.save store ~key:"k" ~value:v
+        ~on_error:(fun () -> Buffer.add_char trace 'e')
+        ~on_complete:(fun () -> Buffer.add_char trace '.');
+      Buffer.add_string trace
+        (match File_store.fetch_checked store ~key:"k" with
+        | Store.Fetched _ -> "F"
+        | Store.Stale _ -> "S"
+        | Store.Corrupt -> "C"
+        | Store.Missing -> "M")
+    done;
+    Buffer.contents trace
+  in
+  let a = run "fsf5a" 7 and b = run "fsf5b" 7 and c = run "fsf5c" 8 in
+  check_bool "same seed, same fault pattern" true (a = b);
+  check_bool "different seed, different pattern" true (a <> c)
+
+let test_fs_fault_preload_bypasses_plan () =
+  let store = File_store.create ~dir:(temp_dir "fsf6") in
+  File_store.set_faults store
+    (fs_faulty { Faults.none with write_fail_prob = 1.0 } 5);
+  File_store.preload store ~key:"k" ~value:77;
+  check_opt_int "establishment write is durable by assumption" (Some 77)
+    (File_store.fetch store ~key:"k")
+
+(* ------------------------------------------------------------------ *)
+(* File_store.Snapshot: the coalesced (one file per worker) store. *)
+
+let test_snap_roundtrip_and_reload () =
+  let dir = temp_dir "snap1" in
+  let s = File_store.Snapshot.load ~dir ~name:"recv-w0" () in
+  File_store.Snapshot.save s ~key:"sa/1" ~value:11 ~on_complete:ignore;
+  File_store.Snapshot.save s ~key:"sa/2" ~value:22 ~on_complete:ignore;
+  File_store.Snapshot.save s ~key:"sa/1" ~value:111 ~on_complete:ignore;
+  check_opt_int "in-memory" (Some 111) (File_store.Snapshot.fetch s ~key:"sa/1");
+  (* a restarted process reloads the same table from the file *)
+  let s2 = File_store.Snapshot.load ~dir ~name:"recv-w0" () in
+  check_opt_int "reloaded sa/1" (Some 111)
+    (File_store.Snapshot.fetch s2 ~key:"sa/1");
+  check_opt_int "reloaded sa/2" (Some 22)
+    (File_store.Snapshot.fetch s2 ~key:"sa/2");
+  check_bool "checked fetch verifies" true
+    (File_store.Snapshot.fetch_checked s2 ~key:"sa/2" = Store.Fetched 22);
+  check_bool "missing key" true
+    (File_store.Snapshot.fetch_checked s2 ~key:"nope" = Store.Missing)
+
+let test_snap_torn_prefix () =
+  (* A torn snapshot write installs a strict prefix of the new entries;
+     the remaining keys keep their previous durable values (the old
+     snapshot was replaced, not erased). *)
+  let dir = temp_dir "snap2" in
+  let s = File_store.Snapshot.load ~dir ~name:"w" () in
+  File_store.Snapshot.save s ~key:"a" ~value:1 ~on_complete:ignore;
+  File_store.Snapshot.save s ~key:"b" ~value:2 ~on_complete:ignore;
+  let f = fs_faulty { Faults.none with torn_prob = 1.0 } 6 in
+  let s =
+    File_store.Snapshot.load ~faults:f ~dir ~name:"w" ()
+  in
+  let errors = ref 0 in
+  File_store.Snapshot.save s ~key:"a" ~value:10
+    ~on_error:(fun () -> incr errors)
+    ~on_complete:ignore;
+  check_int "torn write reported" 1 !errors;
+  check_bool "torn counted" true (File_store.Snapshot.snapshots_torn s >= 1);
+  (* reload through a clean handle: every key present, every value one
+     of the two complete generations, never a splice *)
+  let s2 = File_store.Snapshot.load ~dir ~name:"w" () in
+  (match File_store.Snapshot.fetch s2 ~key:"a" with
+  | Some (1 | 10) -> ()
+  | v -> Alcotest.failf "a: unexpected %s"
+           (match v with Some n -> string_of_int n | None -> "missing"));
+  check_opt_int "b keeps its durable value" (Some 2)
+    (File_store.Snapshot.fetch s2 ~key:"b")
+
+let test_snap_store_face () =
+  (* The Store.t face drives the snapshot like any other backend. *)
+  let dir = temp_dir "snap3" in
+  let s = File_store.Snapshot.load ~dir ~name:"w" () in
+  let st = File_store.Snapshot.store s in
+  st.Store.save ~key:"k" ~value:5 ~on_error:ignore ~on_complete:ignore;
+  check_opt_int "fetch through the face" (Some 5) (st.Store.fetch ~key:"k")
+
+(* ------------------------------------------------------------------ *)
 (* Journal *)
 
 let temp_journal name =
@@ -612,6 +776,28 @@ let () =
             test_file_store_save_error_reported;
           Alcotest.test_case "torn write never observed" `Quick
             test_file_store_torn_write_never_observed;
+        ] );
+      ( "file_store_faults",
+        [
+          Alcotest.test_case "transient write failure" `Quick
+            test_fs_fault_write_fails_transiently;
+          Alcotest.test_case "torn rename keeps old value" `Quick
+            test_fs_fault_torn_rename_keeps_old_value;
+          Alcotest.test_case "corrupt fetch" `Quick
+            test_fs_fault_corrupt_fetch_detected;
+          Alcotest.test_case "stale fetch" `Quick
+            test_fs_fault_stale_fetch_detected;
+          Alcotest.test_case "fault plan determinism" `Quick
+            test_fs_fault_plan_deterministic;
+          Alcotest.test_case "preload bypasses plan" `Quick
+            test_fs_fault_preload_bypasses_plan;
+        ] );
+      ( "file_store_snapshot",
+        [
+          Alcotest.test_case "roundtrip and reload" `Quick
+            test_snap_roundtrip_and_reload;
+          Alcotest.test_case "torn prefix" `Quick test_snap_torn_prefix;
+          Alcotest.test_case "store face" `Quick test_snap_store_face;
         ] );
       ( "journal",
         [
